@@ -1,0 +1,79 @@
+#ifndef SMARTICEBERG_BENCH_BENCH_UTIL_H_
+#define SMARTICEBERG_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the figure-reproduction harnesses. Each bench binary
+// regenerates one table/figure of the paper: it runs the workload on every
+// system configuration and prints the measured series next to the shape
+// the paper reports. Absolute times differ from the paper (different
+// hardware, an in-memory engine instead of PostgreSQL, reduced data sizes
+// tuned by ICEBERG_BENCH_SCALE); the claims under test are the relative
+// shapes.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/engine/database.h"
+
+namespace iceberg {
+namespace bench {
+
+/// Global size multiplier from the environment (default 1.0).
+inline double Scale() {
+  const char* s = std::getenv("ICEBERG_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  double v = std::atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+inline size_t Scaled(size_t n) {
+  return static_cast<size_t>(static_cast<double>(n) * Scale());
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Runs a query on the baseline executor and reports seconds; aborts the
+/// process on error (benches are not expected to fail).
+inline double TimeBaseline(Database* db, const std::string& sql,
+                           ExecOptions exec, size_t* rows = nullptr) {
+  Timer timer;
+  Result<TablePtr> result = db->Query(sql, exec);
+  if (!result.ok()) {
+    std::fprintf(stderr, "baseline failed: %s\nquery: %s\n",
+                 result.status().ToString().c_str(), sql.c_str());
+    std::exit(1);
+  }
+  if (rows != nullptr) *rows = (*result)->num_rows();
+  return timer.Seconds();
+}
+
+inline double TimeIceberg(Database* db, const std::string& sql,
+                          IcebergOptions options, size_t* rows = nullptr,
+                          IcebergReport* report = nullptr) {
+  Timer timer;
+  Result<TablePtr> result = db->QueryIceberg(sql, options, report);
+  if (!result.ok()) {
+    std::fprintf(stderr, "smart-iceberg failed: %s\nquery: %s\n",
+                 result.status().ToString().c_str(), sql.c_str());
+    std::exit(1);
+  }
+  if (rows != nullptr) *rows = (*result)->num_rows();
+  return timer.Seconds();
+}
+
+}  // namespace bench
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_BENCH_BENCH_UTIL_H_

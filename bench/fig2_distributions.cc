@@ -1,0 +1,65 @@
+// Reproduces Figure 2: data distributions for the two attribute pairings
+// and their consequence — the same skyband query returns a different
+// fraction of records depending on the pairing (the paper reports 1.8% on
+// the correlated pair vs 3.1% on the trade-off pair at k=500).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/workload_queries.h"
+
+int main() {
+  using namespace iceberg;
+  using namespace iceberg::bench;
+
+  const size_t rows = Scaled(12000);
+  auto db = MakeScoreDb(rows);
+  TablePtr score = *db->GetTable("score");
+  std::printf("=== Figure 2: attribute-pair distributions, %zu rows ===\n\n",
+              rows);
+
+  auto stats = [&](const char* a, const char* b) {
+    size_t ca = *score->schema().FindColumn(a);
+    size_t cb = *score->schema().FindColumn(b);
+    double sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+    double n = static_cast<double>(score->num_rows());
+    for (const Row& row : score->rows()) {
+      double x = row[ca].AsDouble(), y = row[cb].AsDouble();
+      sa += x;
+      sb += y;
+      saa += x * x;
+      sbb += y * y;
+      sab += x * y;
+    }
+    double cov = sab / n - (sa / n) * (sb / n);
+    double va = saa / n - (sa / n) * (sa / n);
+    double vb = sbb / n - (sb / n) * (sb / n);
+    double corr = cov / std::sqrt(va > 0 ? va * vb : 1);
+    std::printf("pair (%s, %s): mean=(%.1f, %.1f) correlation=%+.2f\n", a, b,
+                sa / n, sb / n, corr);
+    return corr;
+  };
+  stats("hits", "hruns");
+  stats("h2", "sb");
+
+  // Skyband selectivity contrast at a fixed k (scaled from the paper's
+  // k=500 at 3x10^5 rows).
+  int k = static_cast<int>(20 * Scale() * 2.5) + 1;
+  for (const char* pair : {"hits,hruns", "h2,sb"}) {
+    std::string a(pair, std::string(pair).find(','));
+    std::string b(std::string(pair).substr(a.size() + 1));
+    size_t out_rows = 0;
+    TimeIceberg(db.get(), SkybandSql(a, b, k), IcebergOptions::All(),
+                &out_rows);
+    std::printf("skyband k=%d on (%s): %zu rows = %.1f%% of records\n", k,
+                pair, out_rows,
+                100.0 * static_cast<double>(out_rows) /
+                    static_cast<double>(score->num_rows()));
+  }
+  std::printf(
+      "\nexpected shape: the correlated pair (hits,hruns) yields a sparser "
+      "skyband\nthan the trade-off pair (h2,sb), as in the paper's 1.8%% vs "
+      "3.1%%.\n");
+  return 0;
+}

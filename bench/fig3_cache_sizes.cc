@@ -1,0 +1,43 @@
+// Reproduces Figure 3: NLJP cache sizes (kB and entries) at the end of
+// execution for the eight workload queries with all optimizations on.
+// Expected shape: caches stay small (the paper: none above 3,000 kB, most
+// below 500 kB) except the four-way pairs queries, where the cache can
+// approach the input size (the paper calls out Q5 at >60% of input rows).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/workload_queries.h"
+
+int main() {
+  using namespace iceberg;
+  using namespace iceberg::bench;
+
+  const size_t rows = Scaled(12000);
+  auto db = MakeScoreDb(rows);
+  std::printf("=== Figure 3: cache sizes, %zu score rows ===\n\n", rows);
+  std::printf("%-28s %12s %12s %10s %10s\n", "query", "cache(kB)", "entries",
+              "memo_hits", "pruned");
+
+  double total_kb = 0;
+  size_t count = 0;
+  for (const NamedQuery& q : Figure1Queries()) {
+    IcebergReport report;
+    TimeIceberg(db.get(), q.sql, IcebergOptions::All(), nullptr, &report);
+    if (!report.used_nljp) {
+      std::printf("%-28s %12s\n", q.name.c_str(), "n/a (no NLJP)");
+      continue;
+    }
+    const NljpStats& s = report.nljp_stats;
+    std::printf("%-28s %12.1f %12zu %10zu %10zu\n", q.name.c_str(),
+                static_cast<double>(s.cache_bytes) / 1024.0, s.cache_entries,
+                s.memo_hits, s.pruned);
+    total_kb += static_cast<double>(s.cache_bytes) / 1024.0;
+    ++count;
+  }
+  if (count > 0) {
+    std::printf("\nmean cache size: %.1f kB over %zu NLJP queries\n",
+                total_kb / static_cast<double>(count), count);
+  }
+  return 0;
+}

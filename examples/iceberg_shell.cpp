@@ -1,0 +1,107 @@
+// An interactive Smart-Iceberg shell: loads the demo workloads and accepts
+// SQL on stdin. Meta-commands:
+//   \explain <sql>   show the Smart-Iceberg plan (reducers + NLJP parts)
+//   \base <sql>      run on the baseline executor instead
+//   \tables          list tables
+//   \load <table> <csv-path>   bulk-load a CSV file
+//   \q               quit
+// Anything else is executed through the Smart-Iceberg optimizer.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/engine/csv.h"
+#include "src/engine/database.h"
+#include "src/workload/baseball.h"
+#include "src/workload/basket.h"
+#include "src/workload/object.h"
+
+namespace {
+
+using namespace iceberg;
+
+void RunStatement(Database* db, const std::string& line) {
+  if (line.rfind("\\explain ", 0) == 0) {
+    Result<std::string> plan = db->ExplainIceberg(line.substr(9));
+    std::printf("%s\n", plan.ok() ? plan->c_str()
+                                  : plan.status().ToString().c_str());
+    return;
+  }
+  if (line.rfind("\\base ", 0) == 0) {
+    Result<TablePtr> result = db->Query(line.substr(6));
+    if (!result.ok()) {
+      std::printf("%s\n", result.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", FormatTable(**result).c_str());
+    return;
+  }
+  if (line.rfind("\\load ", 0) == 0) {
+    std::string rest = line.substr(6);
+    size_t space = rest.find(' ');
+    if (space == std::string::npos) {
+      std::printf("usage: \\load <table> <csv-path>\n");
+      return;
+    }
+    Status st = LoadCsvFile(db, rest.substr(0, space), rest.substr(space + 1));
+    std::printf("%s\n", st.ok() ? "loaded" : st.ToString().c_str());
+    return;
+  }
+  IcebergReport report;
+  Result<TablePtr> result = db->QueryIceberg(line, IcebergOptions::All(),
+                                             &report);
+  if (!result.ok()) {
+    std::printf("%s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", FormatTable(**result).c_str());
+  if (!report.steps.empty() || report.used_nljp) {
+    std::printf("-- optimizer: ");
+    for (size_t i = 0; i < report.steps.size(); ++i) {
+      if (i > 0) std::printf("; ");
+      std::printf("%s", report.steps[i].c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  ObjectConfig objects;
+  objects.num_objects = 5000;
+  if (!RegisterObjects(&db, objects).ok()) return 1;
+  BasketConfig baskets;
+  baskets.num_baskets = 5000;
+  if (!RegisterBaskets(&db, baskets).ok()) return 1;
+  BaseballConfig baseball;
+  baseball.num_rows = 20000;
+  baseball.num_players = 1000;
+  if (!RegisterBaseball(&db, baseball).ok()) return 1;
+
+  std::printf(
+      "Smart-Iceberg shell. Demo tables: object(id,x,y), basket(bid,item), "
+      "score(pid,year,round,teamid,hits,hruns,h2,sb).\n"
+      "Commands: \\explain <sql>, \\base <sql>, \\tables, \\load <table> "
+      "<csv>, \\q\n");
+  std::string line;
+  while (true) {
+    std::printf("iceberg> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\q") break;
+    if (line == "\\tables") {
+      for (const char* name : {"object", "basket", "score"}) {
+        TablePtr t = *db.GetTable(name);
+        std::printf("%s %s rows=%zu\n", name, t->schema().ToString().c_str(),
+                    t->num_rows());
+      }
+      continue;
+    }
+    RunStatement(&db, line);
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "src/catalog/fd.h"
+
+#include "src/common/string_util.h"
+
+namespace iceberg {
+
+AttrSet MakeAttrSet(const std::vector<std::string>& names) {
+  AttrSet out;
+  for (const std::string& n : names) out.insert(ToLower(n));
+  return out;
+}
+
+std::string AttrSetToString(const AttrSet& attrs) {
+  std::string out = "{";
+  bool first = true;
+  for (const std::string& a : attrs) {
+    if (!first) out += ", ";
+    out += a;
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+std::string FunctionalDependency::ToString() const {
+  return AttrSetToString(lhs) + " -> " + AttrSetToString(rhs);
+}
+
+void FdSet::Add(FunctionalDependency fd) {
+  FunctionalDependency folded;
+  for (const std::string& a : fd.lhs) folded.lhs.insert(ToLower(a));
+  for (const std::string& a : fd.rhs) folded.rhs.insert(ToLower(a));
+  fds_.push_back(std::move(folded));
+}
+
+void FdSet::Add(const std::vector<std::string>& lhs,
+                const std::vector<std::string>& rhs) {
+  Add(FunctionalDependency{MakeAttrSet(lhs), MakeAttrSet(rhs)});
+}
+
+void FdSet::AddEquivalence(const std::string& a, const std::string& b) {
+  Add({a}, {b});
+  Add({b}, {a});
+}
+
+AttrSet FdSet::Closure(const AttrSet& attrs) const {
+  AttrSet closure = attrs;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionalDependency& fd : fds_) {
+      bool lhs_contained = true;
+      for (const std::string& a : fd.lhs) {
+        if (closure.find(a) == closure.end()) {
+          lhs_contained = false;
+          break;
+        }
+      }
+      if (!lhs_contained) continue;
+      for (const std::string& a : fd.rhs) {
+        if (closure.insert(a).second) changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+bool FdSet::Determines(const AttrSet& attrs, const AttrSet& target) const {
+  AttrSet closure = Closure(attrs);
+  for (const std::string& a : target) {
+    if (closure.find(a) == closure.end()) return false;
+  }
+  return true;
+}
+
+bool FdSet::IsSuperkey(const AttrSet& attrs, const AttrSet& all) const {
+  return Determines(attrs, all);
+}
+
+FdSet FdSet::WithQualifier(const std::string& qualifier) const {
+  std::string prefix = ToLower(qualifier) + ".";
+  FdSet out;
+  for (const FunctionalDependency& fd : fds_) {
+    FunctionalDependency lifted;
+    for (const std::string& a : fd.lhs) lifted.lhs.insert(prefix + a);
+    for (const std::string& a : fd.rhs) lifted.rhs.insert(prefix + a);
+    out.fds_.push_back(std::move(lifted));
+  }
+  return out;
+}
+
+void FdSet::Merge(const FdSet& other) {
+  for (const FunctionalDependency& fd : other.fds_) fds_.push_back(fd);
+}
+
+std::string FdSet::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += fds_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace iceberg

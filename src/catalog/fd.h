@@ -1,0 +1,70 @@
+#ifndef SMARTICEBERG_CATALOG_FD_H_
+#define SMARTICEBERG_CATALOG_FD_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace iceberg {
+
+/// A set of attribute names. Names are stored case-folded (lower) so FD
+/// reasoning is case-insensitive, matching SQL identifier semantics.
+using AttrSet = std::set<std::string>;
+
+/// Builds an AttrSet, lower-casing each name.
+AttrSet MakeAttrSet(const std::vector<std::string>& names);
+
+/// Renders "{a, b}".
+std::string AttrSetToString(const AttrSet& attrs);
+
+/// A functional dependency lhs -> rhs over some relation's attributes.
+struct FunctionalDependency {
+  AttrSet lhs;
+  AttrSet rhs;
+
+  std::string ToString() const;
+};
+
+/// A collection of functional dependencies supporting the standard
+/// Armstrong-axiom reasoning used by the optimizer's safety checks
+/// (Theorems 2 and 3 of the paper) and the join FD-inference of Appendix D.
+class FdSet {
+ public:
+  FdSet() = default;
+
+  void Add(FunctionalDependency fd);
+  /// Convenience: add {lhs} -> {rhs} from plain name lists.
+  void Add(const std::vector<std::string>& lhs,
+           const std::vector<std::string>& rhs);
+  /// Adds a two-way equivalence a <-> b (produced by equality predicates).
+  void AddEquivalence(const std::string& a, const std::string& b);
+
+  const std::vector<FunctionalDependency>& fds() const { return fds_; }
+  size_t size() const { return fds_.size(); }
+
+  /// Computes the attribute closure of `attrs` under this FD set.
+  AttrSet Closure(const AttrSet& attrs) const;
+
+  /// True if `attrs` functionally determines every attribute in `target`.
+  bool Determines(const AttrSet& attrs, const AttrSet& target) const;
+
+  /// True if `attrs` is a superkey of a relation with attribute set `all`.
+  bool IsSuperkey(const AttrSet& attrs, const AttrSet& all) const;
+
+  /// Returns a new FdSet whose attribute names are prefixed with
+  /// "<qualifier>." — used to lift per-table FDs into a query's namespace
+  /// (one lift per table *instance*, so self-joins get distinct prefixes).
+  FdSet WithQualifier(const std::string& qualifier) const;
+
+  /// Merges another FdSet into this one.
+  void Merge(const FdSet& other);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<FunctionalDependency> fds_;
+};
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_CATALOG_FD_H_

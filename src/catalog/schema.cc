@@ -1,0 +1,52 @@
+#include "src/catalog/schema.h"
+
+#include "src/common/string_util.h"
+
+namespace iceberg {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+std::optional<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::GetColumnIndex(const std::string& name) const {
+  std::optional<size_t> idx = FindColumn(name);
+  if (!idx.has_value()) {
+    return Status::BindError("column not found: " + name);
+  }
+  return *idx;
+}
+
+Status Schema::AddColumn(Column column) {
+  if (FindColumn(column.name).has_value()) {
+    return Status::AlreadyExists("duplicate column: " + column.name);
+  }
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> cols = left.columns();
+  for (const Column& c : right.columns()) cols.push_back(c);
+  Schema out;
+  out.columns_ = std::move(cols);
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += DataTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace iceberg

@@ -1,0 +1,52 @@
+#ifndef SMARTICEBERG_CATALOG_SCHEMA_H_
+#define SMARTICEBERG_CATALOG_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+
+namespace iceberg {
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  DataType type = DataType::kInt64;
+};
+
+/// An ordered list of columns. Column names are case-insensitive and must be
+/// unique within a schema.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Returns the ordinal of the column with the given (case-insensitive)
+  /// name, or nullopt.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  /// Like FindColumn but returns a BindError when missing.
+  Result<size_t> GetColumnIndex(const std::string& name) const;
+
+  /// Appends a column; fails if the name already exists.
+  Status AddColumn(Column column);
+
+  /// Concatenates two schemas (used for join outputs); caller is responsible
+  /// for disambiguating names via qualifiers.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_CATALOG_SCHEMA_H_

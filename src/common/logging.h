@@ -1,0 +1,21 @@
+#ifndef SMARTICEBERG_COMMON_LOGGING_H_
+#define SMARTICEBERG_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Internal invariant check. Unlike Status-based error handling (used for
+/// all user-reachable failures), a failed check indicates a library bug and
+/// aborts the process.
+#define ICEBERG_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "ICEBERG_CHECK failed at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, #cond);                           \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define ICEBERG_DCHECK(cond) ICEBERG_CHECK(cond)
+
+#endif  // SMARTICEBERG_COMMON_LOGGING_H_

@@ -1,0 +1,121 @@
+#ifndef SMARTICEBERG_COMMON_STATUS_H_
+#define SMARTICEBERG_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace iceberg {
+
+/// Error categories used across the library. Mirrors the coarse taxonomy of
+/// Arrow/RocksDB style status objects; the library never throws exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kBindError,
+  kNotSupported,
+  kInternal,
+};
+
+/// A lightweight, exception-free error carrier. Functions that can fail
+/// return `Status` (or `Result<T>` when they also produce a value).
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "ParseError: unexpected token".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`. Analogous to
+/// absl::StatusOr / arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from Status so `return value;` and
+  /// `return Status::...;` both work at call sites.
+  Result(T value) : value_(std::move(value)) {}          // NOLINT
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace iceberg
+
+/// Propagates a non-OK Status from an expression returning Status.
+#define ICEBERG_RETURN_NOT_OK(expr)            \
+  do {                                         \
+    ::iceberg::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluates an expression returning Result<T>; assigns the value to `lhs`
+/// or propagates the error.
+#define ICEBERG_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                  \
+  if (!var.ok()) return var.status();                  \
+  lhs = std::move(var).value();
+
+#define ICEBERG_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define ICEBERG_ASSIGN_OR_RETURN_NAME(x, y) \
+  ICEBERG_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define ICEBERG_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  ICEBERG_ASSIGN_OR_RETURN_IMPL(                                          \
+      ICEBERG_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, rexpr)
+
+#endif  // SMARTICEBERG_COMMON_STATUS_H_

@@ -1,0 +1,29 @@
+#ifndef SMARTICEBERG_COMMON_STRING_UTIL_H_
+#define SMARTICEBERG_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iceberg {
+
+/// Lower-cases ASCII characters (SQL keywords and identifiers are treated
+/// case-insensitively by the parser).
+std::string ToLower(std::string_view s);
+
+/// Upper-cases ASCII characters.
+std::string ToUpper(std::string_view s);
+
+/// Joins the elements with the given separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// True if `s` equals `other` ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view s, std::string_view other);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delimiter);
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_COMMON_STRING_UTIL_H_

@@ -1,0 +1,104 @@
+#ifndef SMARTICEBERG_COMMON_VALUE_H_
+#define SMARTICEBERG_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace iceberg {
+
+/// Column data types supported by the storage engine.
+enum class DataType {
+  kNull,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// Returns "INT64" etc. for diagnostics and EXPLAIN output.
+const char* DataTypeName(DataType type);
+
+/// A dynamically typed SQL value (NULL, 64-bit integer, double, or string).
+///
+/// Comparison follows SQL semantics for the subset we support: numeric types
+/// compare by value with int64<->double coercion; NULL never compares equal
+/// or ordered against anything (three-valued logic is handled by the
+/// expression evaluator, which checks is_null() before comparing).
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+  /// Boolean values are represented as int64 0/1 in this engine.
+  static Value Bool(bool v) { return Value(static_cast<int64_t>(v ? 1 : 0)); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  DataType type() const;
+
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const {
+    return is_int() ? static_cast<double>(std::get<int64_t>(data_))
+                    : std::get<double>(data_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  /// Truthiness for predicate results: non-null and non-zero.
+  bool AsBool() const { return !is_null() && AsDouble() != 0.0; }
+
+  /// Total order used for grouping and index keys: NULLs sort first, then
+  /// numerics (coerced), then strings. Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+/// A tuple of values; the schema lives separately (catalog::Schema).
+using Row = std::vector<Value>;
+
+/// Hash/equality functors so Row can key unordered containers.
+struct RowHash {
+  size_t operator()(const Row& row) const;
+};
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const;
+};
+
+/// Lexicographic comparison of two rows (shorter prefix sorts first).
+int CompareRows(const Row& a, const Row& b);
+
+/// Renders "(1, 2.5, 'x')" for diagnostics.
+std::string RowToString(const Row& row);
+
+struct RowLess {
+  bool operator()(const Row& a, const Row& b) const {
+    return CompareRows(a, b) < 0;
+  }
+};
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_COMMON_VALUE_H_

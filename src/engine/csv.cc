@@ -1,0 +1,214 @@
+#include "src/engine/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "src/common/string_util.h"
+
+namespace iceberg {
+
+namespace {
+
+/// Splits one CSV record honoring double-quote escaping.
+std::vector<std::string> SplitCsvLine(const std::string& line,
+                                      char delimiter) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c != '\r') {
+      field += c;
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+Result<Value> ParseField(const std::string& text, DataType type) {
+  if (text.empty()) return Value::Null();
+  switch (type) {
+    case DataType::kInt64: {
+      char* end = nullptr;
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("not an integer: '" + text + "'");
+      }
+      return Value::Int(v);
+    }
+    case DataType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("not a number: '" + text + "'");
+      }
+      return Value::Double(v);
+    }
+    default:
+      return Value::Str(text);
+  }
+}
+
+std::string EscapeField(const std::string& text, char delimiter) {
+  bool needs_quotes = text.find(delimiter) != std::string::npos ||
+                      text.find('"') != std::string::npos ||
+                      text.find('\n') != std::string::npos;
+  if (!needs_quotes) return text;
+  std::string out = "\"";
+  for (char c : text) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Status LoadCsv(Database* db, const std::string& table, std::istream& input,
+               const CsvOptions& options) {
+  ICEBERG_ASSIGN_OR_RETURN(TablePtr target, db->GetTable(table));
+  const Schema& schema = target->schema();
+
+  std::string line;
+  // Column order: identity by default, permuted by header when present.
+  std::vector<size_t> column_of_field;
+  if (options.header) {
+    if (!std::getline(input, line)) {
+      return Status::InvalidArgument("empty CSV input");
+    }
+    for (const std::string& name : SplitCsvLine(line, options.delimiter)) {
+      ICEBERG_ASSIGN_OR_RETURN(size_t idx, schema.GetColumnIndex(name));
+      column_of_field.push_back(idx);
+    }
+  } else {
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      column_of_field.push_back(i);
+    }
+  }
+
+  size_t line_number = options.header ? 1 : 0;
+  while (std::getline(input, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(line, options.delimiter);
+    if (fields.size() != column_of_field.size()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": expected " +
+          std::to_string(column_of_field.size()) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    Row row(schema.num_columns(), Value::Null());
+    for (size_t f = 0; f < fields.size(); ++f) {
+      size_t col = column_of_field[f];
+      Result<Value> v = ParseField(fields[f], schema.column(col).type);
+      if (!v.ok()) {
+        return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                       ", column " + schema.column(col).name +
+                                       ": " + v.status().message());
+      }
+      row[col] = std::move(*v);
+    }
+    ICEBERG_RETURN_NOT_OK(db->Insert(table, std::move(row)));
+  }
+  return Status::OK();
+}
+
+Status LoadCsvFile(Database* db, const std::string& table,
+                   const std::string& path, const CsvOptions& options) {
+  std::ifstream input(path);
+  if (!input.is_open()) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  return LoadCsv(db, table, input, options);
+}
+
+Status WriteCsv(const Table& table, std::ostream& output,
+                const CsvOptions& options) {
+  const Schema& schema = table.schema();
+  if (options.header) {
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      if (i > 0) output << options.delimiter;
+      output << EscapeField(schema.column(i).name, options.delimiter);
+    }
+    output << "\n";
+  }
+  for (const Row& row : table.rows()) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) output << options.delimiter;
+      if (row[i].is_null()) {
+        // empty field
+      } else if (row[i].is_string()) {
+        output << EscapeField(row[i].AsString(), options.delimiter);
+      } else {
+        output << row[i].ToString();
+      }
+    }
+    output << "\n";
+  }
+  return Status::OK();
+}
+
+std::string FormatTable(const Table& table, size_t max_rows) {
+  const Schema& schema = table.schema();
+  std::vector<size_t> widths(schema.num_columns());
+  auto cell = [](const Value& v) {
+    return v.is_string() ? v.AsString() : v.ToString();
+  };
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    widths[i] = schema.column(i).name.size();
+  }
+  size_t shown = std::min(max_rows, table.num_rows());
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      widths[i] = std::max(widths[i], cell(table.row(r)[i]).size());
+    }
+  }
+  std::ostringstream out;
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (i > 0) out << " | ";
+    out << schema.column(i).name
+        << std::string(widths[i] - schema.column(i).name.size(), ' ');
+  }
+  out << "\n";
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (i > 0) out << "-+-";
+    out << std::string(widths[i], '-');
+  }
+  out << "\n";
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      if (i > 0) out << " | ";
+      std::string text = cell(table.row(r)[i]);
+      out << text << std::string(widths[i] - text.size(), ' ');
+    }
+    out << "\n";
+  }
+  if (table.num_rows() > shown) {
+    out << "... (" << table.num_rows() - shown << " more rows)\n";
+  }
+  out << "(" << table.num_rows() << " rows)\n";
+  return out.str();
+}
+
+}  // namespace iceberg

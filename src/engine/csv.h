@@ -1,0 +1,39 @@
+#ifndef SMARTICEBERG_ENGINE_CSV_H_
+#define SMARTICEBERG_ENGINE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/engine/database.h"
+
+namespace iceberg {
+
+/// CSV options: comma-separated, first line is the header. Fields are
+/// parsed according to the target table's column types; empty fields become
+/// NULL. Quoting supports double quotes with "" escapes.
+struct CsvOptions {
+  char delimiter = ',';
+  bool header = true;
+};
+
+/// Parses CSV text into an existing table (columns are matched by header
+/// name when present, by position otherwise).
+Status LoadCsv(Database* db, const std::string& table,
+               std::istream& input, const CsvOptions& options = CsvOptions());
+
+/// Convenience: load from a file path.
+Status LoadCsvFile(Database* db, const std::string& table,
+                   const std::string& path,
+                   const CsvOptions& options = CsvOptions());
+
+/// Writes a table (or query result) as CSV with a header line.
+Status WriteCsv(const Table& table, std::ostream& output,
+                const CsvOptions& options = CsvOptions());
+
+/// Renders a result table as aligned text (for the shell example).
+std::string FormatTable(const Table& table, size_t max_rows = 50);
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_ENGINE_CSV_H_

@@ -1,0 +1,300 @@
+#include "src/engine/database.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace iceberg {
+
+Status Database::CreateTable(const std::string& name, Schema schema) {
+  std::string key = ToLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  CatalogEntry entry;
+  entry.table = std::make_shared<Table>(name, std::move(schema));
+  tables_.emplace(std::move(key), std::move(entry));
+  return Status::OK();
+}
+
+Status Database::RegisterTable(TablePtr table) {
+  std::string key = ToLower(table->name());
+  if (key.empty()) return Status::InvalidArgument("table needs a name");
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table exists: " + table->name());
+  }
+  CatalogEntry entry;
+  entry.table = std::move(table);
+  tables_.emplace(std::move(key), std::move(entry));
+  return Status::OK();
+}
+
+Status Database::DeclareKey(const std::string& table,
+                            const std::vector<std::string>& columns) {
+  auto it = tables_.find(ToLower(table));
+  if (it == tables_.end()) return Status::NotFound("no table: " + table);
+  std::vector<std::string> all;
+  for (const Column& c : it->second.table->schema().columns()) {
+    all.push_back(c.name);
+  }
+  it->second.fds.Add(columns, all);
+  return Status::OK();
+}
+
+Status Database::DeclareFd(const std::string& table,
+                           const std::vector<std::string>& lhs,
+                           const std::vector<std::string>& rhs) {
+  auto it = tables_.find(ToLower(table));
+  if (it == tables_.end()) return Status::NotFound("no table: " + table);
+  it->second.fds.Add(lhs, rhs);
+  return Status::OK();
+}
+
+Status Database::Insert(const std::string& table, Row row) {
+  auto it = tables_.find(ToLower(table));
+  if (it == tables_.end()) return Status::NotFound("no table: " + table);
+  return it->second.table->Append(std::move(row));
+}
+
+Status Database::CreateOrderedIndex(const std::string& table,
+                                    const std::vector<std::string>& columns) {
+  auto it = tables_.find(ToLower(table));
+  if (it == tables_.end()) return Status::NotFound("no table: " + table);
+  Result<size_t> r = it->second.table->BuildOrderedIndex(columns);
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Status Database::CreateHashIndex(const std::string& table,
+                                 const std::vector<std::string>& columns) {
+  auto it = tables_.find(ToLower(table));
+  if (it == tables_.end()) return Status::NotFound("no table: " + table);
+  Result<size_t> r = it->second.table->BuildHashIndex(columns);
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Result<TablePtr> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) return Status::NotFound("no table: " + name);
+  return it->second.table;
+}
+
+Result<CatalogEntry> Database::GetEntry(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) return Status::NotFound("no table: " + name);
+  return it->second;
+}
+
+Status Database::DropIndexes(const std::string& table) {
+  auto it = tables_.find(ToLower(table));
+  if (it == tables_.end()) return Status::NotFound("no table: " + table);
+  it->second.table->DropIndexes();
+  return Status::OK();
+}
+
+FdSet Database::DerivedFds(const QueryBlock& block,
+                           const Schema& out_schema) {
+  FdSet fds;
+  if (block.group_by.empty()) {
+    if (block.distinct) {
+      // DISTINCT output: all columns form a key (trivially, each row is
+      // unique), which downstream reasoning can use.
+      std::vector<std::string> all;
+      for (const Column& c : out_schema.columns()) all.push_back(c.name);
+      fds.Add(all, all);
+    }
+    return fds;
+  }
+  // If every GROUP BY column is projected, the projected names form a key.
+  std::vector<std::string> key;
+  for (const ExprPtr& g : block.group_by) {
+    bool found = false;
+    for (size_t i = 0; i < block.select.size(); ++i) {
+      const ExprPtr& e = block.select[i].expr;
+      if (e->kind == ExprKind::kColumnRef &&
+          e->resolved_index == g->resolved_index) {
+        key.push_back(out_schema.column(i).name);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return fds;  // a grouping column is not visible downstream
+  }
+  std::vector<std::string> all;
+  for (const Column& c : out_schema.columns()) all.push_back(c.name);
+  fds.Add(key, all);
+  return fds;
+}
+
+Result<QueryBlock> Database::BindSelect(
+    const ParsedSelect& select,
+    const std::map<std::string, CatalogEntry>& scope,
+    const std::map<std::string, CatalogEntry>& inline_tables) {
+  TableResolver resolver = [this, &scope, &inline_tables](
+                               const std::string& name) -> Result<CatalogEntry> {
+    std::string key = ToLower(name);
+    auto inl = inline_tables.find(key);
+    if (inl != inline_tables.end()) return inl->second;
+    auto cte = scope.find(key);
+    if (cte != scope.end()) return cte->second;
+    auto base = tables_.find(key);
+    if (base != tables_.end()) return base->second;
+    return Status::NotFound("unknown relation: " + name);
+  };
+  Binder binder(resolver);
+  return binder.Bind(select);
+}
+
+Result<CatalogEntry> Database::Materialize(
+    const ParsedSelect& select,
+    const std::map<std::string, CatalogEntry>& scope, bool use_iceberg,
+    const IcebergOptions& iceberg_options, const ExecOptions& exec,
+    ExecStats* stats, IcebergReport* report) {
+  // Materialize FROM-subqueries bottom-up, exposing them as inline tables
+  // under their aliases.
+  std::map<std::string, CatalogEntry> inline_tables;
+  ParsedSelect rewritten = select;
+  for (ParsedTableRef& ref : rewritten.from) {
+    if (ref.subquery == nullptr) continue;
+    ICEBERG_ASSIGN_OR_RETURN(
+        CatalogEntry entry,
+        Materialize(*ref.subquery, scope, use_iceberg, iceberg_options, exec,
+                    stats, report));
+    entry.table->SetName(ref.alias);
+    std::string key = ToLower(ref.alias);
+    if (inline_tables.count(key) > 0) {
+      return Status::BindError("duplicate subquery alias: " + ref.alias);
+    }
+    inline_tables.emplace(key, std::move(entry));
+    ref.subquery = nullptr;
+    ref.table_name = ref.alias;
+  }
+
+  ICEBERG_ASSIGN_OR_RETURN(QueryBlock block,
+                           BindSelect(rewritten, scope, inline_tables));
+  TablePtr result;
+  if (use_iceberg) {
+    IcebergOptimizer optimizer(iceberg_options);
+    ICEBERG_ASSIGN_OR_RETURN(result, optimizer.Run(block, report));
+  } else {
+    Executor executor(exec);
+    ICEBERG_ASSIGN_OR_RETURN(result, executor.Execute(block, stats));
+  }
+  result = ApplyOrderAndLimit(block, std::move(result));
+  CatalogEntry entry;
+  entry.table = std::move(result);
+  entry.fds = DerivedFds(block, entry.table->schema());
+  return entry;
+}
+
+TablePtr Database::ApplyOrderAndLimit(const QueryBlock& block,
+                                      TablePtr result) {
+  if (block.order_by.empty() &&
+      (block.limit < 0 ||
+       block.limit >= static_cast<int64_t>(result->num_rows()))) {
+    return result;
+  }
+  std::vector<Row> rows = result->rows();
+  if (!block.order_by.empty()) {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&](const Row& a, const Row& b) {
+                       for (const QueryBlock::OrderSpec& spec :
+                            block.order_by) {
+                         int c = a[spec.output_column].Compare(
+                             b[spec.output_column]);
+                         if (c != 0) return spec.ascending ? c < 0 : c > 0;
+                       }
+                       return false;
+                     });
+  }
+  if (block.limit >= 0 &&
+      rows.size() > static_cast<size_t>(block.limit)) {
+    rows.resize(static_cast<size_t>(block.limit));
+  }
+  auto sorted = std::make_shared<Table>(result->name(), result->schema());
+  for (Row& row : rows) sorted->AppendUnchecked(std::move(row));
+  return sorted;
+}
+
+Result<TablePtr> Database::Query(const std::string& sql, ExecOptions exec,
+                                 ExecStats* stats) {
+  ICEBERG_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseSql(sql));
+  std::map<std::string, CatalogEntry> scope;
+  for (const auto& [name, cte] : parsed.ctes) {
+    ICEBERG_ASSIGN_OR_RETURN(
+        CatalogEntry entry,
+        Materialize(*cte, scope, /*use_iceberg=*/false, IcebergOptions(),
+                    exec, stats, nullptr));
+    entry.table->SetName(name);
+    scope.emplace(ToLower(name), std::move(entry));
+  }
+  ICEBERG_ASSIGN_OR_RETURN(
+      CatalogEntry entry,
+      Materialize(*parsed.select, scope, /*use_iceberg=*/false,
+                  IcebergOptions(), exec, stats, nullptr));
+  return entry.table;
+}
+
+Result<TablePtr> Database::QueryIceberg(const std::string& sql,
+                                        IcebergOptions options,
+                                        IcebergReport* report) {
+  ICEBERG_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseSql(sql));
+  std::map<std::string, CatalogEntry> scope;
+  for (const auto& [name, cte] : parsed.ctes) {
+    ICEBERG_ASSIGN_OR_RETURN(
+        CatalogEntry entry,
+        Materialize(*cte, scope, /*use_iceberg=*/true, options,
+                    options.base_exec, nullptr, report));
+    entry.table->SetName(name);
+    scope.emplace(ToLower(name), std::move(entry));
+  }
+  ICEBERG_ASSIGN_OR_RETURN(
+      CatalogEntry entry,
+      Materialize(*parsed.select, scope, /*use_iceberg=*/true, options,
+                  options.base_exec, nullptr, report));
+  return entry.table;
+}
+
+Result<std::string> Database::ExplainBaseline(const std::string& sql,
+                                              ExecOptions exec) {
+  ICEBERG_ASSIGN_OR_RETURN(QueryBlock block, Prepare(sql));
+  Executor executor(exec);
+  return executor.Explain(block);
+}
+
+Result<std::string> Database::ExplainIceberg(const std::string& sql,
+                                             IcebergOptions options) {
+  ICEBERG_ASSIGN_OR_RETURN(QueryBlock block, Prepare(sql));
+  IcebergOptimizer optimizer(options);
+  return optimizer.Explain(block);
+}
+
+Result<QueryBlock> Database::Prepare(const std::string& sql) {
+  ICEBERG_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseSql(sql));
+  std::map<std::string, CatalogEntry> scope;
+  for (const auto& [name, cte] : parsed.ctes) {
+    ICEBERG_ASSIGN_OR_RETURN(
+        CatalogEntry entry,
+        Materialize(*cte, scope, /*use_iceberg=*/false, IcebergOptions(),
+                    ExecOptions(), nullptr, nullptr));
+    entry.table->SetName(name);
+    scope.emplace(ToLower(name), std::move(entry));
+  }
+  // Materialize FROM-subqueries of the main block, then bind it.
+  std::map<std::string, CatalogEntry> inline_tables;
+  ParsedSelect rewritten = *parsed.select;
+  for (ParsedTableRef& ref : rewritten.from) {
+    if (ref.subquery == nullptr) continue;
+    ICEBERG_ASSIGN_OR_RETURN(
+        CatalogEntry entry,
+        Materialize(*ref.subquery, scope, /*use_iceberg=*/false,
+                    IcebergOptions(), ExecOptions(), nullptr, nullptr));
+    entry.table->SetName(ref.alias);
+    inline_tables.emplace(ToLower(ref.alias), std::move(entry));
+    ref.subquery = nullptr;
+    ref.table_name = ref.alias;
+  }
+  return BindSelect(rewritten, scope, inline_tables);
+}
+
+}  // namespace iceberg

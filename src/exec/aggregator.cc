@@ -1,0 +1,116 @@
+#include "src/exec/aggregator.h"
+
+#include <set>
+
+namespace iceberg {
+
+Aggregator::Aggregator(const QueryBlock& block) : block_(block) {
+  CollectAggregates(block.having, &agg_nodes_);
+  for (const BoundSelectItem& item : block.select) {
+    CollectAggregates(item.expr, &agg_nodes_);
+  }
+}
+
+bool Aggregator::IsAggregated() const {
+  return !block_.group_by.empty() || block_.having != nullptr ||
+         !agg_nodes_.empty();
+}
+
+Row Aggregator::GroupKey(const Row& joined_row) const {
+  Row key;
+  key.reserve(block_.group_by.size());
+  for (const ExprPtr& g : block_.group_by) {
+    key.push_back(Evaluate(*g, joined_row));
+  }
+  return key;
+}
+
+void Aggregator::AddRow(const Row& joined_row) {
+  Row key = GroupKey(joined_row);
+  auto it = groups_.find(key);
+  if (it == groups_.end()) {
+    GroupState state;
+    state.representative = joined_row;
+    state.accumulators.reserve(agg_nodes_.size());
+    for (const ExprPtr& agg : agg_nodes_) {
+      state.accumulators.emplace_back(agg->agg);
+    }
+    it = groups_.emplace(std::move(key), std::move(state)).first;
+  }
+  GroupState& state = it->second;
+  for (size_t i = 0; i < agg_nodes_.size(); ++i) {
+    const ExprPtr& agg = agg_nodes_[i];
+    if (agg->agg == AggFunc::kCountStar) {
+      state.accumulators[i].Add(Value::Null());
+    } else {
+      state.accumulators[i].Add(Evaluate(*agg->children[0], joined_row));
+    }
+  }
+}
+
+void Aggregator::MergeFrom(Aggregator&& other) {
+  for (auto& [key, other_state] : other.groups_) {
+    auto it = groups_.find(key);
+    if (it == groups_.end()) {
+      groups_.emplace(key, std::move(other_state));
+      continue;
+    }
+    GroupState& state = it->second;
+    for (size_t i = 0; i < state.accumulators.size(); ++i) {
+      state.accumulators[i].MergeFrom(other_state.accumulators[i]);
+    }
+  }
+}
+
+Result<TablePtr> Aggregator::Finalize(ExecStats* stats) const {
+  auto result = std::make_shared<Table>(block_.output_schema);
+  if (stats != nullptr) stats->groups_created += groups_.size();
+
+  // SQL scalar-aggregate semantics: with no GROUP BY, an aggregated query
+  // over empty input still yields one group.
+  if (groups_.empty() && block_.group_by.empty() && !agg_nodes_.empty()) {
+    AggValueMap agg_values;
+    std::vector<Accumulator> empty;
+    for (const ExprPtr& agg : agg_nodes_) empty.emplace_back(agg->agg);
+    for (size_t i = 0; i < agg_nodes_.size(); ++i) {
+      agg_values[agg_nodes_[i].get()] = empty[i].Final();
+    }
+    Row dummy(block_.TotalWidth(), Value::Null());
+    if (block_.having == nullptr ||
+        EvaluatePredicate(*block_.having, dummy, &agg_values)) {
+      Row out;
+      for (const BoundSelectItem& item : block_.select) {
+        out.push_back(Evaluate(*item.expr, dummy, &agg_values));
+      }
+      result->AppendUnchecked(std::move(out));
+      if (stats != nullptr) stats->groups_output += 1;
+    }
+    return result;
+  }
+
+  std::set<Row, RowLess> distinct_rows;
+  for (const auto& [key, state] : groups_) {
+    AggValueMap agg_values;
+    for (size_t i = 0; i < agg_nodes_.size(); ++i) {
+      agg_values[agg_nodes_[i].get()] = state.accumulators[i].Final();
+    }
+    if (block_.having != nullptr &&
+        !EvaluatePredicate(*block_.having, state.representative,
+                           &agg_values)) {
+      continue;
+    }
+    Row out;
+    out.reserve(block_.select.size());
+    for (const BoundSelectItem& item : block_.select) {
+      out.push_back(Evaluate(*item.expr, state.representative, &agg_values));
+    }
+    if (block_.distinct) {
+      if (!distinct_rows.insert(out).second) continue;
+    }
+    result->AppendUnchecked(std::move(out));
+    if (stats != nullptr) stats->groups_output += 1;
+  }
+  return result;
+}
+
+}  // namespace iceberg

@@ -1,0 +1,56 @@
+#ifndef SMARTICEBERG_EXEC_AGGREGATOR_H_
+#define SMARTICEBERG_EXEC_AGGREGATOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/exec/exec_options.h"
+#include "src/expr/aggregate.h"
+#include "src/expr/evaluator.h"
+#include "src/plan/query_block.h"
+#include "src/storage/table.h"
+
+namespace iceberg {
+
+/// Hash-aggregation state shared by the baseline executor and the NLJP
+/// post-processing stage: groups joined rows by the block's GROUP BY keys,
+/// maintains one Accumulator per aggregate subexpression of HAVING and the
+/// select list, then applies HAVING and projects.
+class Aggregator {
+ public:
+  /// Collects the aggregate nodes of `block` (HAVING first, then select
+  /// items). The block must outlive the aggregator.
+  explicit Aggregator(const QueryBlock& block);
+
+  /// True if the block needs grouping/aggregation at all.
+  bool IsAggregated() const;
+
+  /// Folds one joined row into its group.
+  void AddRow(const Row& joined_row);
+
+  /// Merges the groups of another aggregator (parallel workers).
+  void MergeFrom(Aggregator&& other);
+
+  /// Applies HAVING, projects the select list, returns the result table.
+  /// `stats` (optional) receives groups_created / groups_output.
+  Result<TablePtr> Finalize(ExecStats* stats) const;
+
+  size_t num_groups() const { return groups_.size(); }
+
+ private:
+  struct GroupState {
+    Row representative;  // any row of the group (group keys are constant)
+    std::vector<Accumulator> accumulators;
+  };
+
+  Row GroupKey(const Row& joined_row) const;
+
+  const QueryBlock& block_;
+  std::vector<ExprPtr> agg_nodes_;
+  std::unordered_map<Row, GroupState, RowHash, RowEq> groups_;
+};
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_EXEC_AGGREGATOR_H_

@@ -1,0 +1,57 @@
+#ifndef SMARTICEBERG_EXEC_EXEC_OPTIONS_H_
+#define SMARTICEBERG_EXEC_EXEC_OPTIONS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace iceberg {
+
+/// Which baseline system the executor emulates.
+///
+///  - kPostgres: sequential execution, prefers indexed nested-loop joins
+///    followed by hash aggregation (the plans shown in the paper's
+///    Appendix E for baseline PostgreSQL).
+///  - kVendorA: the commercial "Vendor A" of the paper; same plan space but
+///    makes aggressive use of parallelism (4 workers by default).
+enum class ExecProfile {
+  kPostgres,
+  kVendorA,
+};
+
+struct ExecOptions {
+  ExecProfile profile = ExecProfile::kPostgres;
+
+  /// Whether secondary indexes may be used for join probing (the paper's
+  /// "BT" index-configuration axis in Fig. 4).
+  bool use_indexes = true;
+
+  /// Worker threads for the join + partial-aggregation pipeline. 1 means
+  /// sequential. The Vendor A profile defaults to 4, matching the paper's
+  /// setup ("Vendor A using all 4 cores").
+  int num_threads = 1;
+
+  static ExecOptions Postgres() { return ExecOptions{}; }
+  static ExecOptions VendorA() {
+    ExecOptions o;
+    o.profile = ExecProfile::kVendorA;
+    o.num_threads = 4;
+    return o;
+  }
+};
+
+/// Counters filled during execution; used by tests and the benchmark
+/// harness to verify *why* a configuration is faster.
+struct ExecStats {
+  size_t join_pairs_examined = 0;  // (outer, inner-candidate) pairs tested
+  size_t rows_joined = 0;          // tuples surviving all join predicates
+  size_t groups_created = 0;
+  size_t groups_output = 0;        // groups surviving HAVING
+  size_t index_probes = 0;
+
+  void Reset() { *this = ExecStats(); }
+  std::string ToString() const;
+};
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_EXEC_EXEC_OPTIONS_H_

@@ -1,0 +1,49 @@
+#ifndef SMARTICEBERG_EXEC_EXECUTOR_H_
+#define SMARTICEBERG_EXEC_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/exec/exec_options.h"
+#include "src/plan/query_block.h"
+#include "src/storage/table.h"
+
+namespace iceberg {
+
+/// Executes bound query blocks with conventional relational plans: a
+/// left-deep join pipeline (indexed nested-loop / hash / block nested-loop),
+/// hash aggregation, HAVING filter, projection. This is the baseline engine
+/// the Smart-Iceberg optimizer is compared against; it evaluates the full
+/// join before applying the (typically highly selective) HAVING condition,
+/// exactly like the PostgreSQL and Vendor A plans in the paper's Appendix E.
+class Executor {
+ public:
+  explicit Executor(ExecOptions options = ExecOptions())
+      : options_(options) {}
+
+  const ExecOptions& options() const { return options_; }
+
+  /// Runs the block and materializes the result.
+  Result<TablePtr> Execute(const QueryBlock& block,
+                           ExecStats* stats = nullptr);
+
+  /// Renders the physical plan that Execute would choose, in an
+  /// EXPLAIN-like indented format.
+  std::string Explain(const QueryBlock& block) const;
+
+ private:
+  ExecOptions options_;
+};
+
+/// Evaluates all aggregates over a set of joined rows grouped by the given
+/// key expressions, applies `having`, and projects `select`. Exposed for
+/// reuse by the NLJP operator's post-processing stage.
+Result<TablePtr> GroupAndProject(const QueryBlock& block,
+                                 const std::vector<Row>& joined_rows,
+                                 ExecStats* stats);
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_EXEC_EXECUTOR_H_

@@ -1,0 +1,361 @@
+#include "src/exec/join_pipeline.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/expr/evaluator.h"
+
+namespace iceberg {
+
+const char* JoinMethodName(JoinMethod method) {
+  switch (method) {
+    case JoinMethod::kSeqScan:
+      return "SeqScan";
+    case JoinMethod::kHashIndexProbe:
+      return "IndexNLJoin(hash)";
+    case JoinMethod::kOrderedIndexProbe:
+      return "IndexNLJoin(btree)";
+    case JoinMethod::kHashJoin:
+      return "HashJoin";
+    case JoinMethod::kOrderedIndexRange:
+      return "IndexNLJoin(btree-range)";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Highest flat offset referenced by the expression, or -1 for none.
+int MaxOffset(const ExprPtr& e) {
+  std::vector<const Expr*> refs;
+  CollectColumnRefs(e, &refs);
+  int max_off = -1;
+  for (const Expr* r : refs) max_off = std::max(max_off, r->resolved_index);
+  return max_off;
+}
+
+/// Lowest flat offset referenced, or INT_MAX for none.
+int MinOffset(const ExprPtr& e) {
+  std::vector<const Expr*> refs;
+  CollectColumnRefs(e, &refs);
+  int min_off = 1 << 30;
+  for (const Expr* r : refs) min_off = std::min(min_off, r->resolved_index);
+  return min_off;
+}
+
+bool RefsOnlyBelow(const ExprPtr& e, size_t end_offset) {
+  return MaxOffset(e) < static_cast<int>(end_offset);
+}
+
+bool RefsOnlyWithin(const ExprPtr& e, size_t begin, size_t end) {
+  int lo = MinOffset(e);
+  int hi = MaxOffset(e);
+  if (hi < 0) return false;  // no refs at all
+  return lo >= static_cast<int>(begin) && hi < static_cast<int>(end);
+}
+
+}  // namespace
+
+Result<JoinPipeline> JoinPipeline::Plan(const QueryBlock& block,
+                                        bool use_indexes) {
+  JoinPipeline pipeline(block);
+  const size_t num_tables = block.tables.size();
+  ICEBERG_CHECK(num_tables >= 1);
+
+  // Assign each WHERE conjunct to the first level at which all of its
+  // column references are bound.
+  std::vector<std::vector<ExprPtr>> conjuncts_at(num_tables);
+  for (const ExprPtr& conjunct : block.where_conjuncts) {
+    int max_off = MaxOffset(conjunct);
+    size_t level = 0;
+    if (max_off >= 0) {
+      level = block.TableOfOffset(static_cast<size_t>(max_off));
+    }
+    conjuncts_at[level].push_back(conjunct);
+  }
+
+  for (size_t level = 0; level < num_tables; ++level) {
+    JoinLevel jl;
+    jl.table_index = level;
+    const BoundTableRef& tref = block.tables[level];
+    const size_t begin = tref.offset;
+    const size_t end = begin + tref.table->schema().num_columns();
+
+    if (level == 0) {
+      jl.method = JoinMethod::kSeqScan;
+      jl.residual = conjuncts_at[0];
+      pipeline.levels_.push_back(std::move(jl));
+      continue;
+    }
+
+    // Find equality conjuncts usable as join keys: inner side is a plain
+    // column of this table, outer side references only earlier tables.
+    std::vector<ExprPtr> remaining;
+    for (const ExprPtr& conjunct : conjuncts_at[level]) {
+      bool used = false;
+      if (conjunct->kind == ExprKind::kBinary &&
+          conjunct->bop == BinaryOp::kEq) {
+        const ExprPtr& l = conjunct->children[0];
+        const ExprPtr& r = conjunct->children[1];
+        ExprPtr inner, outer;
+        if (l->kind == ExprKind::kColumnRef &&
+            RefsOnlyWithin(l, begin, end) && RefsOnlyBelow(r, begin)) {
+          inner = l;
+          outer = r;
+        } else if (r->kind == ExprKind::kColumnRef &&
+                   RefsOnlyWithin(r, begin, end) && RefsOnlyBelow(l, begin)) {
+          inner = r;
+          outer = l;
+        }
+        if (inner != nullptr) {
+          jl.inner_eq_columns.push_back(
+              static_cast<size_t>(inner->resolved_index) - begin);
+          jl.probe_exprs.push_back(outer);
+          used = true;
+        }
+      }
+      if (!used) remaining.push_back(conjunct);
+    }
+    jl.residual = std::move(remaining);
+
+    if (!jl.inner_eq_columns.empty()) {
+      // Prefer an existing index over building a hash table.
+      if (use_indexes) {
+        std::vector<size_t> key_order;
+        const HashIndex* hidx =
+            tref.table->FindHashIndex(jl.inner_eq_columns, &key_order);
+        if (hidx != nullptr) {
+          // Reorder probe exprs to the index's key order.
+          std::vector<ExprPtr> probes(key_order.size());
+          for (size_t k = 0; k < key_order.size(); ++k) {
+            for (size_t j = 0; j < jl.inner_eq_columns.size(); ++j) {
+              if (jl.inner_eq_columns[j] == key_order[k]) {
+                probes[k] = jl.probe_exprs[j];
+              }
+            }
+          }
+          jl.method = JoinMethod::kHashIndexProbe;
+          jl.hash_index = hidx;
+          jl.inner_eq_columns = key_order;
+          jl.probe_exprs = std::move(probes);
+          pipeline.levels_.push_back(std::move(jl));
+          continue;
+        }
+        const OrderedIndex* oidx =
+            tref.table->FindOrderedIndex(jl.inner_eq_columns);
+        if (oidx != nullptr) {
+          jl.method = JoinMethod::kOrderedIndexProbe;
+          jl.ordered_eq_index = oidx;
+          pipeline.levels_.push_back(std::move(jl));
+          continue;
+        }
+      }
+      // Build a hash table over the equality keys.
+      jl.method = JoinMethod::kHashJoin;
+      auto built = std::make_shared<HashIndex>(jl.inner_eq_columns);
+      for (size_t i = 0; i < tref.table->num_rows(); ++i) {
+        built->Insert(tref.table->row(i), i);
+      }
+      jl.built_hash = std::move(built);
+      pipeline.levels_.push_back(std::move(jl));
+      continue;
+    }
+
+    // No equality keys: try a B-tree range probe on an inequality bound.
+    if (use_indexes) {
+      bool planned = false;
+      for (const ExprPtr& conjunct : jl.residual) {
+        if (conjunct->kind != ExprKind::kBinary ||
+            !IsComparisonOp(conjunct->bop) ||
+            conjunct->bop == BinaryOp::kEq || conjunct->bop == BinaryOp::kNe) {
+          continue;
+        }
+        const ExprPtr& l = conjunct->children[0];
+        const ExprPtr& r = conjunct->children[1];
+        ExprPtr inner, outer;
+        BinaryOp op = conjunct->bop;
+        if (l->kind == ExprKind::kColumnRef && RefsOnlyWithin(l, begin, end) &&
+            RefsOnlyBelow(r, begin)) {
+          inner = l;
+          outer = r;
+        } else if (r->kind == ExprKind::kColumnRef &&
+                   RefsOnlyWithin(r, begin, end) && RefsOnlyBelow(l, begin)) {
+          inner = r;
+          outer = l;
+          op = FlipComparison(op);  // normalize to inner OP outer
+        } else {
+          continue;
+        }
+        size_t inner_col = static_cast<size_t>(inner->resolved_index) - begin;
+        // Find an ordered index whose first key column is inner_col.
+        const OrderedIndex* found = nullptr;
+        for (size_t i = 0; i < tref.table->num_ordered_indexes(); ++i) {
+          const OrderedIndex& idx = tref.table->ordered_index(i);
+          if (!idx.key_columns().empty() &&
+              idx.key_columns()[0] == inner_col) {
+            found = &idx;
+            break;
+          }
+        }
+        if (found == nullptr) continue;
+        jl.method = JoinMethod::kOrderedIndexRange;
+        jl.range_index = found;
+        jl.bound_expr = outer;
+        // Strictness handled by keeping the conjunct in residual; the scan
+        // is inclusive on the bound.
+        jl.is_lower_bound = (op == BinaryOp::kGt || op == BinaryOp::kGe);
+        planned = true;
+        break;
+      }
+      if (planned) {
+        pipeline.levels_.push_back(std::move(jl));
+        continue;
+      }
+    }
+
+    jl.method = JoinMethod::kSeqScan;  // block nested loop
+    pipeline.levels_.push_back(std::move(jl));
+  }
+  return pipeline;
+}
+
+size_t JoinPipeline::OuterSize() const {
+  return block_->tables[0].table->num_rows();
+}
+
+void JoinPipeline::Run(size_t outer_begin, size_t outer_end,
+                       const RowCallback& callback, ExecStats* stats) const {
+  const Table& outer = *block_->tables[0].table;
+  outer_end = std::min(outer_end, outer.num_rows());
+  const JoinLevel& l0 = levels_[0];
+  Row partial;
+  partial.reserve(block_->TotalWidth());
+  for (size_t i = outer_begin; i < outer_end; ++i) {
+    const Row& row = outer.row(i);
+    partial.assign(row.begin(), row.end());
+    if (stats != nullptr) ++stats->join_pairs_examined;
+    bool pass = true;
+    for (const ExprPtr& p : l0.residual) {
+      if (!EvaluatePredicate(*p, partial)) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    if (levels_.size() == 1) {
+      if (stats != nullptr) ++stats->rows_joined;
+      callback(partial);
+    } else {
+      RunLevel(1, &partial, callback, stats);
+    }
+  }
+}
+
+void JoinPipeline::RunLevel(size_t level, Row* partial,
+                            const RowCallback& callback,
+                            ExecStats* stats) const {
+  const JoinLevel& jl = levels_[level];
+  const Table& table = *block_->tables[jl.table_index].table;
+
+  auto try_row = [&](const Row& inner_row) {
+    if (stats != nullptr) ++stats->join_pairs_examined;
+    size_t base = partial->size();
+    partial->insert(partial->end(), inner_row.begin(), inner_row.end());
+    bool pass = true;
+    for (const ExprPtr& p : jl.residual) {
+      if (!EvaluatePredicate(*p, *partial)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) {
+      if (level + 1 == levels_.size()) {
+        if (stats != nullptr) ++stats->rows_joined;
+        callback(*partial);
+      } else {
+        RunLevel(level + 1, partial, callback, stats);
+      }
+    }
+    partial->resize(base);
+  };
+
+  switch (jl.method) {
+    case JoinMethod::kSeqScan: {
+      for (size_t i = 0; i < table.num_rows(); ++i) try_row(table.row(i));
+      break;
+    }
+    case JoinMethod::kHashIndexProbe:
+    case JoinMethod::kHashJoin: {
+      Row key;
+      key.reserve(jl.probe_exprs.size());
+      for (const ExprPtr& e : jl.probe_exprs) {
+        key.push_back(Evaluate(*e, *partial));
+      }
+      const HashIndex* index =
+          jl.method == JoinMethod::kHashIndexProbe ? jl.hash_index
+                                                   : jl.built_hash.get();
+      if (stats != nullptr) ++stats->index_probes;
+      const std::vector<size_t>* ids = index->Lookup(key);
+      if (ids != nullptr) {
+        for (size_t id : *ids) try_row(table.row(id));
+      }
+      break;
+    }
+    case JoinMethod::kOrderedIndexProbe: {
+      Row key;
+      for (const ExprPtr& e : jl.probe_exprs) {
+        key.push_back(Evaluate(*e, *partial));
+      }
+      if (stats != nullptr) ++stats->index_probes;
+      for (size_t id : jl.ordered_eq_index->Lookup(key)) {
+        try_row(table.row(id));
+      }
+      break;
+    }
+    case JoinMethod::kOrderedIndexRange: {
+      Row bound{Evaluate(*jl.bound_expr, *partial)};
+      if (stats != nullptr) ++stats->index_probes;
+      std::vector<size_t> ids =
+          jl.is_lower_bound
+              ? jl.range_index->LowerBoundScan(bound, /*strict=*/false)
+              : jl.range_index->UpperBoundScan(bound);
+      for (size_t id : ids) try_row(table.row(id));
+      break;
+    }
+  }
+}
+
+std::string JoinPipeline::Explain() const {
+  std::string out;
+  for (size_t i = levels_.size(); i-- > 0;) {
+    const JoinLevel& jl = levels_[i];
+    const BoundTableRef& tref = block_->tables[jl.table_index];
+    std::string indent((levels_.size() - 1 - i) * 2, ' ');
+    out += indent;
+    if (i == 0) {
+      out += "SeqScan " + tref.table->name() + " [" + tref.alias + "]";
+    } else {
+      out += std::string(JoinMethodName(jl.method)) + " " +
+             tref.table->name() + " [" + tref.alias + "]";
+      if (!jl.probe_exprs.empty()) {
+        out += " key=(";
+        for (size_t k = 0; k < jl.inner_eq_columns.size(); ++k) {
+          if (k > 0) out += ", ";
+          out += tref.table->schema().column(jl.inner_eq_columns[k]).name;
+        }
+        out += ")";
+      }
+      if (jl.method == JoinMethod::kOrderedIndexRange) {
+        out += std::string(" bound=") + (jl.is_lower_bound ? ">= " : "<= ") +
+               jl.bound_expr->ToString();
+      }
+    }
+    if (!jl.residual.empty()) {
+      out += " filter=(" + AndAll(jl.residual)->ToString() + ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace iceberg

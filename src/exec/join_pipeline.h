@@ -1,0 +1,85 @@
+#ifndef SMARTICEBERG_EXEC_JOIN_PIPELINE_H_
+#define SMARTICEBERG_EXEC_JOIN_PIPELINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/exec/exec_options.h"
+#include "src/plan/query_block.h"
+#include "src/storage/table.h"
+
+namespace iceberg {
+
+/// How one FROM relation is attached to the left-deep join pipeline.
+enum class JoinMethod {
+  kSeqScan,           // level 0, or no usable predicate (block NLJ)
+  kHashIndexProbe,    // existing hash index matched the equality keys
+  kOrderedIndexProbe, // existing ordered (B-tree) index matched eq keys
+  kHashJoin,          // hash table built on the fly for equality keys
+  kOrderedIndexRange, // B-tree range probe driven by an inequality bound
+};
+
+const char* JoinMethodName(JoinMethod method);
+
+/// Per-level physical join choice made by PlanJoins.
+struct JoinLevel {
+  size_t table_index = 0;
+  JoinMethod method = JoinMethod::kSeqScan;
+
+  // Equality probing (kHashIndexProbe / kOrderedIndexProbe / kHashJoin):
+  // probe_exprs evaluate on the partial (outer) row, in the key order of
+  // `inner_eq_columns` (table-local column ids).
+  std::vector<ExprPtr> probe_exprs;
+  std::vector<size_t> inner_eq_columns;
+  const HashIndex* hash_index = nullptr;        // borrowed from the table
+  const OrderedIndex* ordered_eq_index = nullptr;
+  std::shared_ptr<HashIndex> built_hash;        // owned, for kHashJoin
+
+  // Inequality range probing (kOrderedIndexRange): the index's first key
+  // column is bounded by `bound_expr` evaluated on the partial row.
+  const OrderedIndex* range_index = nullptr;
+  ExprPtr bound_expr;
+  bool is_lower_bound = true;  // true: inner.col >= bound, false: <=
+
+  // Residual predicates checked after the level's row is appended.
+  std::vector<ExprPtr> residual;
+};
+
+/// A compiled left-deep join pipeline over the block's FROM list, in FROM
+/// order. Thread-safe for concurrent Run calls after Prepare (all mutable
+/// state lives in the per-call stack).
+class JoinPipeline {
+ public:
+  /// Chooses a physical join method per level. When `use_indexes` is false
+  /// only kSeqScan/kHashJoin are considered (the paper's "PK only"
+  /// configuration in Fig. 4).
+  static Result<JoinPipeline> Plan(const QueryBlock& block, bool use_indexes);
+
+  using RowCallback = std::function<void(const Row&)>;
+
+  /// Streams every joined row whose level-0 row id is in
+  /// [outer_begin, outer_end) to the callback.
+  void Run(size_t outer_begin, size_t outer_end, const RowCallback& callback,
+           ExecStats* stats) const;
+
+  /// Number of rows of the outer (level-0) table.
+  size_t OuterSize() const;
+
+  std::string Explain() const;
+
+ private:
+  explicit JoinPipeline(const QueryBlock& block) : block_(&block) {}
+
+  void RunLevel(size_t level, Row* partial, const RowCallback& callback,
+                ExecStats* stats) const;
+
+  const QueryBlock* block_;
+  std::vector<JoinLevel> levels_;
+};
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_EXEC_JOIN_PIPELINE_H_

@@ -1,0 +1,108 @@
+#include "src/expr/evaluator.h"
+
+#include "src/common/logging.h"
+
+namespace iceberg {
+
+namespace {
+
+Value EvalBinary(const Expr& e, const Row& row, const AggValueMap* aggs) {
+  // Short-circuit logic with SQL three-valued semantics.
+  if (e.bop == BinaryOp::kAnd) {
+    Value l = Evaluate(*e.children[0], row, aggs);
+    if (!l.is_null() && !l.AsBool()) return Value::Bool(false);
+    Value r = Evaluate(*e.children[1], row, aggs);
+    if (!r.is_null() && !r.AsBool()) return Value::Bool(false);
+    if (l.is_null() || r.is_null()) return Value::Null();
+    return Value::Bool(true);
+  }
+  if (e.bop == BinaryOp::kOr) {
+    Value l = Evaluate(*e.children[0], row, aggs);
+    if (!l.is_null() && l.AsBool()) return Value::Bool(true);
+    Value r = Evaluate(*e.children[1], row, aggs);
+    if (!r.is_null() && r.AsBool()) return Value::Bool(true);
+    if (l.is_null() || r.is_null()) return Value::Null();
+    return Value::Bool(false);
+  }
+
+  Value l = Evaluate(*e.children[0], row, aggs);
+  Value r = Evaluate(*e.children[1], row, aggs);
+  if (l.is_null() || r.is_null()) return Value::Null();
+
+  if (IsComparisonOp(e.bop)) {
+    int c = l.Compare(r);
+    switch (e.bop) {
+      case BinaryOp::kEq:
+        return Value::Bool(c == 0);
+      case BinaryOp::kNe:
+        return Value::Bool(c != 0);
+      case BinaryOp::kLt:
+        return Value::Bool(c < 0);
+      case BinaryOp::kLe:
+        return Value::Bool(c <= 0);
+      case BinaryOp::kGt:
+        return Value::Bool(c > 0);
+      case BinaryOp::kGe:
+        return Value::Bool(c >= 0);
+      default:
+        break;
+    }
+  }
+
+  // Arithmetic: keep int64 when both sides are ints (except division).
+  switch (e.bop) {
+    case BinaryOp::kAdd:
+      if (l.is_int() && r.is_int()) return Value::Int(l.AsInt() + r.AsInt());
+      return Value::Double(l.AsDouble() + r.AsDouble());
+    case BinaryOp::kSub:
+      if (l.is_int() && r.is_int()) return Value::Int(l.AsInt() - r.AsInt());
+      return Value::Double(l.AsDouble() - r.AsDouble());
+    case BinaryOp::kMul:
+      if (l.is_int() && r.is_int()) return Value::Int(l.AsInt() * r.AsInt());
+      return Value::Double(l.AsDouble() * r.AsDouble());
+    case BinaryOp::kDiv: {
+      double d = r.AsDouble();
+      if (d == 0.0) return Value::Null();
+      return Value::Double(l.AsDouble() / d);
+    }
+    default:
+      ICEBERG_CHECK(false);
+      return Value::Null();
+  }
+}
+
+}  // namespace
+
+Value Evaluate(const Expr& e, const Row& row, const AggValueMap* agg_values) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kColumnRef:
+      ICEBERG_DCHECK(e.resolved_index >= 0);
+      ICEBERG_DCHECK(static_cast<size_t>(e.resolved_index) < row.size());
+      return row[static_cast<size_t>(e.resolved_index)];
+    case ExprKind::kBinary:
+      return EvalBinary(e, row, agg_values);
+    case ExprKind::kUnary: {
+      Value v = Evaluate(*e.children[0], row, agg_values);
+      if (v.is_null()) return Value::Null();
+      if (e.uop == UnaryOp::kNot) return Value::Bool(!v.AsBool());
+      if (v.is_int()) return Value::Int(-v.AsInt());
+      return Value::Double(-v.AsDouble());
+    }
+    case ExprKind::kAggregate: {
+      ICEBERG_CHECK(agg_values != nullptr);
+      auto it = agg_values->find(&e);
+      ICEBERG_CHECK(it != agg_values->end());
+      return it->second;
+    }
+  }
+  return Value::Null();
+}
+
+bool EvaluatePredicate(const Expr& e, const Row& row,
+                       const AggValueMap* agg_values) {
+  return Evaluate(e, row, agg_values).AsBool();
+}
+
+}  // namespace iceberg

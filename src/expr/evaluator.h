@@ -1,0 +1,35 @@
+#ifndef SMARTICEBERG_EXPR_EVALUATOR_H_
+#define SMARTICEBERG_EXPR_EVALUATOR_H_
+
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/expr/expr.h"
+
+namespace iceberg {
+
+/// Maps aggregate nodes (by identity) to their computed values for a group,
+/// letting Evaluate handle post-aggregation expressions such as HAVING
+/// conditions.
+using AggValueMap = std::unordered_map<const Expr*, Value>;
+
+/// Evaluates a bound expression against a row.
+///
+/// Column references must have resolved_index set (see plan/binder).
+/// Aggregate nodes are looked up in `agg_values`; evaluating an aggregate
+/// without a value map is an internal error.
+///
+/// Three-valued logic: comparisons and arithmetic on NULL yield NULL;
+/// AND/OR use SQL Kleene semantics; NOT NULL is NULL. Predicate call sites
+/// should use Value::AsBool() which treats NULL as false.
+Value Evaluate(const Expr& e, const Row& row,
+               const AggValueMap* agg_values = nullptr);
+
+/// Convenience wrapper for predicates: evaluates and applies AsBool().
+bool EvaluatePredicate(const Expr& e, const Row& row,
+                       const AggValueMap* agg_values = nullptr);
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_EXPR_EVALUATOR_H_

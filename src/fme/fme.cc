@@ -1,0 +1,343 @@
+#include "src/fme/fme.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/common/logging.h"
+
+namespace iceberg {
+namespace fme {
+
+namespace {
+
+/// Negation of a single atom as a formula (may be a disjunction for =).
+FormulaPtr NegateAtom(const LinAtom& atom) {
+  switch (atom.op) {
+    case AtomOp::kLe: {  // not(e <= 0)  ==  e > 0  ==  -e < 0
+      LinearExpr e = atom.expr;
+      e.Scale(-1.0);
+      return MakeAtom(LinAtom{std::move(e), AtomOp::kLt});
+    }
+    case AtomOp::kLt: {  // not(e < 0)  ==  e >= 0  ==  -e <= 0
+      LinearExpr e = atom.expr;
+      e.Scale(-1.0);
+      return MakeAtom(LinAtom{std::move(e), AtomOp::kLe});
+    }
+    case AtomOp::kEq: {  // not(e = 0)  ==  e < 0 or -e < 0
+      LinearExpr neg = atom.expr;
+      neg.Scale(-1.0);
+      return MakeOr({MakeAtom(LinAtom{atom.expr, AtomOp::kLt}),
+                     MakeAtom(LinAtom{std::move(neg), AtomOp::kLt})});
+    }
+  }
+  return MakeFalse();
+}
+
+}  // namespace
+
+FormulaPtr ToNnf(const FormulaPtr& f, bool negate) {
+  switch (f->kind) {
+    case FormulaKind::kTrue:
+      return negate ? MakeFalse() : MakeTrue();
+    case FormulaKind::kFalse:
+      return negate ? MakeTrue() : MakeFalse();
+    case FormulaKind::kAtom:
+      return negate ? NegateAtom(f->atom) : f;
+    case FormulaKind::kNot:
+      return ToNnf(f->children[0], !negate);
+    case FormulaKind::kAnd: {
+      std::vector<FormulaPtr> children;
+      for (const FormulaPtr& c : f->children) {
+        children.push_back(ToNnf(c, negate));
+      }
+      return negate ? MakeOr(std::move(children))
+                    : MakeAnd(std::move(children));
+    }
+    case FormulaKind::kOr: {
+      std::vector<FormulaPtr> children;
+      for (const FormulaPtr& c : f->children) {
+        children.push_back(ToNnf(c, negate));
+      }
+      return negate ? MakeAnd(std::move(children))
+                    : MakeOr(std::move(children));
+    }
+    case FormulaKind::kExists: {
+      FormulaPtr body = ToNnf(f->children[0], negate);
+      return negate ? MakeForall(f->var, std::move(body))
+                    : MakeExists(f->var, std::move(body));
+    }
+    case FormulaKind::kForall: {
+      FormulaPtr body = ToNnf(f->children[0], negate);
+      return negate ? MakeExists(f->var, std::move(body))
+                    : MakeForall(f->var, std::move(body));
+    }
+  }
+  return MakeFalse();
+}
+
+Result<std::vector<Conjunction>> ToDnf(const FormulaPtr& f,
+                                       size_t max_disjuncts) {
+  switch (f->kind) {
+    case FormulaKind::kTrue:
+      return std::vector<Conjunction>{Conjunction{}};
+    case FormulaKind::kFalse:
+      return std::vector<Conjunction>{};
+    case FormulaKind::kAtom:
+      return std::vector<Conjunction>{Conjunction{f->atom}};
+    case FormulaKind::kOr: {
+      std::vector<Conjunction> out;
+      for (const FormulaPtr& c : f->children) {
+        ICEBERG_ASSIGN_OR_RETURN(std::vector<Conjunction> sub,
+                                 ToDnf(c, max_disjuncts));
+        for (Conjunction& conj : sub) out.push_back(std::move(conj));
+        if (out.size() > max_disjuncts) {
+          return Status::NotSupported("DNF blow-up in quantifier elimination");
+        }
+      }
+      return out;
+    }
+    case FormulaKind::kAnd: {
+      std::vector<Conjunction> out{Conjunction{}};
+      for (const FormulaPtr& c : f->children) {
+        ICEBERG_ASSIGN_OR_RETURN(std::vector<Conjunction> sub,
+                                 ToDnf(c, max_disjuncts));
+        std::vector<Conjunction> next;
+        for (const Conjunction& a : out) {
+          for (const Conjunction& b : sub) {
+            Conjunction merged = a;
+            merged.insert(merged.end(), b.begin(), b.end());
+            next.push_back(std::move(merged));
+            if (next.size() > max_disjuncts) {
+              return Status::NotSupported(
+                  "DNF blow-up in quantifier elimination");
+            }
+          }
+        }
+        out = std::move(next);
+      }
+      return out;
+    }
+    default:
+      return Status::Internal("ToDnf requires a quantifier-free NNF formula");
+  }
+}
+
+Conjunction EliminateVarFme(const Conjunction& conjunction, int var) {
+  // Case (i): an equality pins the variable; substitute it away.
+  for (size_t i = 0; i < conjunction.size(); ++i) {
+    const LinAtom& eq = conjunction[i];
+    if (eq.op != AtomOp::kEq) continue;
+    double c = eq.expr.Coeff(var);
+    if (c == 0.0) continue;
+    Conjunction out;
+    for (size_t j = 0; j < conjunction.size(); ++j) {
+      if (j == i) continue;
+      LinAtom atom = conjunction[j];
+      double d = atom.expr.Coeff(var);
+      if (d != 0.0) {
+        // atom.expr + (-d/c) * eq.expr removes var exactly.
+        atom.expr.Add(eq.expr, -d / c);
+      }
+      out.push_back(std::move(atom));
+    }
+    return out;
+  }
+
+  // Case (ii)/(iii): collect lower and upper bounds on var.
+  struct Bound {
+    LinearExpr expr;  // var >= expr (lower) or var <= expr (upper)
+    bool strict;
+  };
+  std::vector<Bound> lowers, uppers;
+  Conjunction out;
+  for (const LinAtom& atom : conjunction) {
+    double c = atom.expr.Coeff(var);
+    if (c == 0.0) {
+      out.push_back(atom);
+      continue;
+    }
+    // c*var + r OP 0  with OP in {<=, <}.
+    LinearExpr rest = atom.expr;
+    rest.Add(LinearExpr::Var(var), -c);  // rest = r
+    rest.Scale(-1.0 / c);                // candidate bound value
+    bool strict = atom.op == AtomOp::kLt;
+    if (c > 0) {
+      uppers.push_back({std::move(rest), strict});  // var <= (-r)/c
+    } else {
+      lowers.push_back({std::move(rest), strict});  // var >= (-r)/c = r/(-c)
+    }
+  }
+  if (lowers.empty() || uppers.empty()) {
+    return out;  // case (iii): unbounded on one side, drop var's atoms
+  }
+  for (const Bound& lo : lowers) {
+    for (const Bound& up : uppers) {
+      LinearExpr diff = lo.expr;   // lo <= up   <=>   lo - up <= 0
+      diff.Add(up.expr, -1.0);
+      LinAtom combined{std::move(diff),
+                       lo.strict || up.strict ? AtomOp::kLt : AtomOp::kLe};
+      out.push_back(std::move(combined));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Drops constant atoms, detects contradictions within a disjunct, and
+/// dedupes atoms. Returns false when the conjunction is unsatisfiable on
+/// its face (a constant-false atom).
+bool CleanConjunction(Conjunction* conj) {
+  Conjunction out;
+  std::set<std::string> seen;
+  for (LinAtom& atom : *conj) {
+    atom.expr.Normalize();
+    if (atom.expr.IsConstant()) {
+      if (!atom.Eval({})) return false;
+      continue;  // trivially true
+    }
+    std::string key = atom.CanonicalKey();
+    if (seen.insert(key).second) out.push_back(std::move(atom));
+  }
+  *conj = std::move(out);
+  return true;
+}
+
+/// Set of canonical keys for a disjunct.
+std::set<std::string> KeysOf(const Conjunction& conj) {
+  std::set<std::string> keys;
+  for (const LinAtom& atom : conj) keys.insert(atom.CanonicalKey());
+  return keys;
+}
+
+std::vector<Conjunction> NormalizeDnf(std::vector<Conjunction> dnf) {
+  // Clean each disjunct; drop contradictions.
+  std::vector<Conjunction> cleaned;
+  for (Conjunction& conj : dnf) {
+    if (CleanConjunction(&conj)) cleaned.push_back(std::move(conj));
+  }
+  // Absorption: remove any disjunct whose atom set is a superset of
+  // another's (the smaller disjunct is weaker, hence implied coverage).
+  std::vector<std::set<std::string>> keys;
+  keys.reserve(cleaned.size());
+  for (const Conjunction& c : cleaned) keys.push_back(KeysOf(c));
+  std::vector<bool> dead(cleaned.size(), false);
+  for (size_t i = 0; i < cleaned.size(); ++i) {
+    if (dead[i]) continue;
+    for (size_t j = 0; j < cleaned.size(); ++j) {
+      if (i == j || dead[j] || dead[i]) continue;
+      bool i_subset_of_j =
+          std::includes(keys[j].begin(), keys[j].end(), keys[i].begin(),
+                        keys[i].end());
+      if (i_subset_of_j) {
+        if (keys[i].size() == keys[j].size() && i > j) continue;  // identical
+        dead[j] = true;
+      }
+    }
+  }
+  std::vector<Conjunction> out;
+  for (size_t i = 0; i < cleaned.size(); ++i) {
+    if (!dead[i]) out.push_back(std::move(cleaned[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+FormulaPtr FromDnf(const std::vector<Conjunction>& dnf) {
+  std::vector<FormulaPtr> disjuncts;
+  for (const Conjunction& conj : dnf) {
+    std::vector<FormulaPtr> atoms;
+    for (const LinAtom& atom : conj) atoms.push_back(MakeAtom(atom));
+    disjuncts.push_back(MakeAnd(std::move(atoms)));
+  }
+  return MakeOr(std::move(disjuncts));
+}
+
+Result<FormulaPtr> SimplifyToDnf(const FormulaPtr& f) {
+  FormulaPtr nnf = ToNnf(f);
+  if (HasQuantifier(*nnf)) {
+    return Status::Internal("SimplifyToDnf requires a quantifier-free input");
+  }
+  ICEBERG_ASSIGN_OR_RETURN(std::vector<Conjunction> dnf, ToDnf(nnf));
+  return FromDnf(NormalizeDnf(std::move(dnf)));
+}
+
+Result<FormulaPtr> EliminateQuantifiers(const FormulaPtr& f) {
+  switch (f->kind) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kAtom:
+      return f;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::vector<FormulaPtr> children;
+      for (const FormulaPtr& c : f->children) {
+        ICEBERG_ASSIGN_OR_RETURN(FormulaPtr qc, EliminateQuantifiers(c));
+        children.push_back(std::move(qc));
+      }
+      return f->kind == FormulaKind::kAnd ? MakeAnd(std::move(children))
+                                          : MakeOr(std::move(children));
+    }
+    case FormulaKind::kNot: {
+      ICEBERG_ASSIGN_OR_RETURN(FormulaPtr qc,
+                               EliminateQuantifiers(f->children[0]));
+      return MakeNot(std::move(qc));
+    }
+    case FormulaKind::kForall: {
+      // (UE) a maximal block of universals dualizes once:
+      //   forall x1..xk. theta  ==  not exists x1..xk. not theta.
+      std::vector<int> vars{f->var};
+      FormulaPtr body = f->children[0];
+      while (body->kind == FormulaKind::kForall) {
+        vars.push_back(body->var);
+        body = body->children[0];
+      }
+      FormulaPtr exists = MakeNot(body);
+      for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+        exists = MakeExists(*it, std::move(exists));
+      }
+      ICEBERG_ASSIGN_OR_RETURN(FormulaPtr inner,
+                               EliminateQuantifiers(exists));
+      return SimplifyToDnf(MakeNot(std::move(inner)));
+    }
+    case FormulaKind::kExists: {
+      // A maximal block of existentials is eliminated with ONE DNF
+      // conversion: (DE) distributes the block over the disjuncts, and each
+      // disjunct stays a conjunction across the per-variable (EE)
+      // Fourier-Motzkin projections, so no re-expansion is needed between
+      // variables.
+      std::vector<int> vars{f->var};
+      FormulaPtr body = f->children[0];
+      while (body->kind == FormulaKind::kExists) {
+        vars.push_back(body->var);
+        body = body->children[0];
+      }
+      ICEBERG_ASSIGN_OR_RETURN(body, EliminateQuantifiers(body));
+      FormulaPtr nnf = ToNnf(body);
+      ICEBERG_ASSIGN_OR_RETURN(std::vector<Conjunction> dnf, ToDnf(nnf));
+      std::vector<Conjunction> projected;
+      for (Conjunction& conj : dnf) {
+        bool alive = true;
+        for (int var : vars) {
+          if (!CleanConjunction(&conj)) {
+            alive = false;  // contradiction: drop the disjunct
+            break;
+          }
+          conj = EliminateVarFme(conj, var);
+        }
+        if (alive && CleanConjunction(&conj)) {
+          projected.push_back(std::move(conj));
+        }
+      }
+      return FromDnf(NormalizeDnf(std::move(projected)));
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace fme
+}  // namespace iceberg

@@ -1,0 +1,49 @@
+#ifndef SMARTICEBERG_FME_FME_H_
+#define SMARTICEBERG_FME_FME_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/fme/formula.h"
+
+namespace iceberg {
+namespace fme {
+
+/// A conjunction of linear atoms (one DNF disjunct).
+using Conjunction = std::vector<LinAtom>;
+
+/// Rewrites into negation normal form: NOT appears nowhere (atom negation
+/// is expressed by flipping the comparison; negated equalities become
+/// strict-inequality disjunctions). Quantifiers are dualized as needed.
+FormulaPtr ToNnf(const FormulaPtr& f, bool negate = false);
+
+/// Converts a quantifier-free NNF formula to DNF. Fails (NotSupported) if
+/// the number of disjuncts would exceed `max_disjuncts`.
+Result<std::vector<Conjunction>> ToDnf(const FormulaPtr& f,
+                                       size_t max_disjuncts = 50000);
+
+/// One Fourier-Motzkin step: eliminates `var` from a conjunction of linear
+/// constraints, returning an equivalent (w.r.t. satisfiability over the
+/// remaining variables) conjunction without `var`. Implements the three
+/// cases of Section 5.2: substitution via equalities, cross-combination of
+/// lower/upper bounds, and dropping one-sided variables.
+Conjunction EliminateVarFme(const Conjunction& conjunction, int var);
+
+/// Eliminates every quantifier using the UE / DE / EE steps of the paper's
+/// derivation procedure (Section 5.2): universal quantifiers are dualized,
+/// existentials distribute over DNF disjuncts, and each disjunct is
+/// projected by Fourier-Motzkin elimination.
+Result<FormulaPtr> EliminateQuantifiers(const FormulaPtr& f);
+
+/// Normalizes a quantifier-free formula to a compact DNF: constant folding,
+/// duplicate-atom and duplicate-disjunct removal, and absorption (a
+/// disjunct that is a superset of another is dropped).
+Result<FormulaPtr> SimplifyToDnf(const FormulaPtr& f);
+
+/// Builds a formula back from DNF disjuncts.
+FormulaPtr FromDnf(const std::vector<Conjunction>& dnf);
+
+}  // namespace fme
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_FME_FME_H_

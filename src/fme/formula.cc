@@ -1,0 +1,205 @@
+#include "src/fme/formula.h"
+
+#include "src/common/logging.h"
+
+namespace iceberg {
+namespace fme {
+
+namespace {
+
+FormulaPtr Make(FormulaKind kind) {
+  auto f = std::make_shared<Formula>();
+  f->kind = kind;
+  return f;
+}
+
+}  // namespace
+
+FormulaPtr MakeTrue() { return Make(FormulaKind::kTrue); }
+FormulaPtr MakeFalse() { return Make(FormulaKind::kFalse); }
+
+FormulaPtr MakeAtom(LinAtom atom) {
+  // Constant-fold variable-free atoms.
+  if (atom.expr.IsConstant()) {
+    return atom.Eval({}) ? MakeTrue() : MakeFalse();
+  }
+  auto f = std::make_shared<Formula>();
+  f->kind = FormulaKind::kAtom;
+  f->atom = std::move(atom);
+  return f;
+}
+
+FormulaPtr MakeAnd(std::vector<FormulaPtr> children) {
+  std::vector<FormulaPtr> flat;
+  for (FormulaPtr& c : children) {
+    if (c->kind == FormulaKind::kTrue) continue;
+    if (c->kind == FormulaKind::kFalse) return MakeFalse();
+    if (c->kind == FormulaKind::kAnd) {
+      for (const FormulaPtr& g : c->children) flat.push_back(g);
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  if (flat.empty()) return MakeTrue();
+  if (flat.size() == 1) return flat[0];
+  auto f = std::make_shared<Formula>();
+  f->kind = FormulaKind::kAnd;
+  f->children = std::move(flat);
+  return f;
+}
+
+FormulaPtr MakeOr(std::vector<FormulaPtr> children) {
+  std::vector<FormulaPtr> flat;
+  for (FormulaPtr& c : children) {
+    if (c->kind == FormulaKind::kFalse) continue;
+    if (c->kind == FormulaKind::kTrue) return MakeTrue();
+    if (c->kind == FormulaKind::kOr) {
+      for (const FormulaPtr& g : c->children) flat.push_back(g);
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  if (flat.empty()) return MakeFalse();
+  if (flat.size() == 1) return flat[0];
+  auto f = std::make_shared<Formula>();
+  f->kind = FormulaKind::kOr;
+  f->children = std::move(flat);
+  return f;
+}
+
+FormulaPtr MakeNot(FormulaPtr child) {
+  if (child->kind == FormulaKind::kTrue) return MakeFalse();
+  if (child->kind == FormulaKind::kFalse) return MakeTrue();
+  if (child->kind == FormulaKind::kNot) return child->children[0];
+  auto f = std::make_shared<Formula>();
+  f->kind = FormulaKind::kNot;
+  f->children = {std::move(child)};
+  return f;
+}
+
+FormulaPtr MakeExists(int var, FormulaPtr child) {
+  auto f = std::make_shared<Formula>();
+  f->kind = FormulaKind::kExists;
+  f->var = var;
+  f->children = {std::move(child)};
+  return f;
+}
+
+FormulaPtr MakeForall(int var, FormulaPtr child) {
+  auto f = std::make_shared<Formula>();
+  f->kind = FormulaKind::kForall;
+  f->var = var;
+  f->children = {std::move(child)};
+  return f;
+}
+
+FormulaPtr AtomLe(LinearExpr lhs, LinearExpr rhs) {
+  lhs.Add(rhs, -1.0);
+  return MakeAtom(LinAtom{std::move(lhs), AtomOp::kLe});
+}
+
+FormulaPtr AtomLt(LinearExpr lhs, LinearExpr rhs) {
+  lhs.Add(rhs, -1.0);
+  return MakeAtom(LinAtom{std::move(lhs), AtomOp::kLt});
+}
+
+FormulaPtr AtomEq(LinearExpr lhs, LinearExpr rhs) {
+  lhs.Add(rhs, -1.0);
+  return MakeAtom(LinAtom{std::move(lhs), AtomOp::kEq});
+}
+
+bool EvalFormula(const Formula& f, const std::vector<double>& assignment) {
+  switch (f.kind) {
+    case FormulaKind::kTrue:
+      return true;
+    case FormulaKind::kFalse:
+      return false;
+    case FormulaKind::kAtom:
+      return f.atom.Eval(assignment);
+    case FormulaKind::kAnd:
+      for (const FormulaPtr& c : f.children) {
+        if (!EvalFormula(*c, assignment)) return false;
+      }
+      return true;
+    case FormulaKind::kOr:
+      for (const FormulaPtr& c : f.children) {
+        if (EvalFormula(*c, assignment)) return true;
+      }
+      return false;
+    case FormulaKind::kNot:
+      return !EvalFormula(*f.children[0], assignment);
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      ICEBERG_CHECK(false);  // not evaluable; eliminate quantifiers first
+      return false;
+  }
+  return false;
+}
+
+void FreeVars(const Formula& f, std::set<int>* out) {
+  switch (f.kind) {
+    case FormulaKind::kAtom:
+      for (const auto& [var, coeff] : f.atom.expr.coeffs()) {
+        (void)coeff;
+        out->insert(var);
+      }
+      return;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      std::set<int> inner;
+      FreeVars(*f.children[0], &inner);
+      inner.erase(f.var);
+      out->insert(inner.begin(), inner.end());
+      return;
+    }
+    default:
+      for (const FormulaPtr& c : f.children) FreeVars(*c, out);
+  }
+}
+
+bool HasQuantifier(const Formula& f) {
+  if (f.kind == FormulaKind::kExists || f.kind == FormulaKind::kForall) {
+    return true;
+  }
+  for (const FormulaPtr& c : f.children) {
+    if (HasQuantifier(*c)) return true;
+  }
+  return false;
+}
+
+std::string Formula::ToString(const VarPool& pool) const {
+  switch (kind) {
+    case FormulaKind::kTrue:
+      return "TRUE";
+    case FormulaKind::kFalse:
+      return "FALSE";
+    case FormulaKind::kAtom:
+      return atom.ToString(pool);
+    case FormulaKind::kAnd: {
+      std::string out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += " AND ";
+        out += children[i]->ToString(pool);
+      }
+      return out + ")";
+    }
+    case FormulaKind::kOr: {
+      std::string out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += " OR ";
+        out += children[i]->ToString(pool);
+      }
+      return out + ")";
+    }
+    case FormulaKind::kNot:
+      return "NOT " + children[0]->ToString(pool);
+    case FormulaKind::kExists:
+      return "EXISTS " + pool.Name(var) + ". " + children[0]->ToString(pool);
+    case FormulaKind::kForall:
+      return "FORALL " + pool.Name(var) + ". " + children[0]->ToString(pool);
+  }
+  return "?";
+}
+
+}  // namespace fme
+}  // namespace iceberg

@@ -1,0 +1,66 @@
+#ifndef SMARTICEBERG_FME_FORMULA_H_
+#define SMARTICEBERG_FME_FORMULA_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/fme/linear.h"
+
+namespace iceberg {
+namespace fme {
+
+enum class FormulaKind {
+  kTrue,
+  kFalse,
+  kAtom,
+  kAnd,
+  kOr,
+  kNot,
+  kExists,
+  kForall,
+};
+
+struct Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// A first-order formula over linear real arithmetic. Immutable after
+/// construction; shared subtrees are allowed.
+struct Formula {
+  FormulaKind kind = FormulaKind::kTrue;
+  LinAtom atom;                      // kAtom
+  std::vector<FormulaPtr> children;  // kAnd/kOr (n-ary), kNot/quantifier (1)
+  int var = -1;                      // quantified variable
+
+  std::string ToString(const VarPool& pool) const;
+};
+
+FormulaPtr MakeTrue();
+FormulaPtr MakeFalse();
+FormulaPtr MakeAtom(LinAtom atom);
+/// And/Or flatten nested same-kind children and fold constants.
+FormulaPtr MakeAnd(std::vector<FormulaPtr> children);
+FormulaPtr MakeOr(std::vector<FormulaPtr> children);
+FormulaPtr MakeNot(FormulaPtr child);
+FormulaPtr MakeExists(int var, FormulaPtr child);
+FormulaPtr MakeForall(int var, FormulaPtr child);
+
+/// Convenience atom builders for `lhs OP rhs`.
+FormulaPtr AtomLe(LinearExpr lhs, LinearExpr rhs);
+FormulaPtr AtomLt(LinearExpr lhs, LinearExpr rhs);
+FormulaPtr AtomEq(LinearExpr lhs, LinearExpr rhs);
+
+/// Evaluates a quantifier-free formula under the assignment.
+bool EvalFormula(const Formula& f, const std::vector<double>& assignment);
+
+/// Collects the free variables of `f` into `out`.
+void FreeVars(const Formula& f, std::set<int>* out);
+
+/// True if the formula contains a quantifier.
+bool HasQuantifier(const Formula& f);
+
+}  // namespace fme
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_FME_FORMULA_H_

@@ -1,0 +1,98 @@
+#ifndef SMARTICEBERG_FME_SUBSUMPTION_H_
+#define SMARTICEBERG_FME_SUBSUMPTION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/expr/expr.h"
+#include "src/fme/fme.h"
+
+namespace iceberg {
+namespace fme {
+
+/// Translates a bound SQL predicate into a linear-arithmetic formula.
+/// `var_of` maps a column reference (by its resolved flat offset) to a
+/// variable id; returning -1 marks the column unsupported and fails the
+/// translation. Supported: comparisons of linear scalar expressions,
+/// AND/OR/NOT, numeric literals, + and -, multiplication/division by
+/// constants.
+Result<FormulaPtr> TranslatePredicate(
+    const ExprPtr& e, VarPool* pool,
+    const std::function<int(int flat_offset)>& var_of);
+
+/// Inputs describing the join condition Theta of an NLJP candidate.
+struct SubsumptionSpec {
+  /// Join conjuncts (bound; column refs carry flat offsets).
+  std::vector<ExprPtr> theta;
+  /// The binding attributes J_L in binding-row layout order (flat offsets).
+  std::vector<size_t> binding_offsets;
+  /// Distinguishes outer (L) column offsets from inner (R) offsets.
+  std::function<bool(size_t flat_offset)> is_left_offset;
+  /// Column type per flat offset (for routing string equalities).
+  std::vector<DataType> types_by_offset;
+};
+
+/// The compiled instance-oblivious subsumption test p>=(w, w') of
+/// Definition 4 / Section 5.2: Subsumes(w, w') is true only if every
+/// R-tuple joining with binding w' also joins with binding w, on every
+/// database instance.
+class SubsumptionTest {
+ public:
+  /// Tests w >= w' (w subsumes w'). Rows use the binding layout of
+  /// SubsumptionSpec::binding_offsets.
+  bool Subsumes(const Row& w, const Row& w_prime) const;
+
+  /// Human-readable derived predicate, e.g.
+  /// "w.x <= w'.x AND w.y <= w'.y".
+  std::string ToString() const;
+
+  /// True if the derived predicate is the trivially-false formula, i.e. no
+  /// binding ever subsumes another (pruning would be useless).
+  bool IsNeverTrue() const;
+
+  /// True if the predicate degenerates to requiring w = w' on all binding
+  /// attributes (pruning adds nothing beyond memoization).
+  bool IsEqualityOnly() const;
+
+  /// Binding positions on which p>= *requires* w[i] = w'[i] (the string
+  /// residue plus formula components of the form w_i <= w'_i AND
+  /// w_i >= w'_i). Callers may bucket cached bindings by these positions:
+  /// entries differing there can never subsume each other, so the bucket
+  /// lookup is a lossless accelerator for the pruning query Q_C.
+  std::vector<size_t> EqualityPositions() const;
+
+ private:
+  friend Result<SubsumptionTest> DeriveSubsumption(
+      const SubsumptionSpec& spec);
+
+  FormulaPtr formula_;  // over w / w' vars; nullptr means TRUE
+  VarPool pool_;
+  // Per binding-row position: var ids (-1 when the position does not appear
+  // in the numeric part).
+  std::vector<int> w_var_of_position_;
+  std::vector<int> w_prime_var_of_position_;
+  // Positions that must satisfy w[i] == w'[i] (string-equality residue).
+  std::vector<size_t> equal_positions_;
+};
+
+/// Derives p>= by the paper's Section 5.2 procedure:
+///
+///   p>=(w,w') = forall wr: Theta(w', wr) => Theta(w, wr)
+///
+/// expanded per attribute, put in NNF, with universal quantifiers dualized
+/// (UE), existentials distributed over disjunctions (DE), and variables
+/// eliminated by Fourier-Motzkin (EE). String-typed equality conjuncts
+/// L.a = R.b contribute the (sound) residue w.a = w'.a instead of entering
+/// the linear system.
+///
+/// Fails with NotSupported when Theta is not linear over the reals (beyond
+/// the string-equality case) — callers then simply skip pruning.
+Result<SubsumptionTest> DeriveSubsumption(const SubsumptionSpec& spec);
+
+}  // namespace fme
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_FME_SUBSUMPTION_H_

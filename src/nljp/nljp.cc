@@ -1,0 +1,561 @@
+#include "src/nljp/nljp.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/logging.h"
+#include "src/exec/join_pipeline.h"
+#include "src/expr/aggregate.h"
+#include "src/expr/evaluator.h"
+
+namespace iceberg {
+
+namespace {
+
+size_t RowBytes(const Row& row) {
+  size_t bytes = row.size() * sizeof(Value);
+  for (const Value& v : row) {
+    if (v.is_string()) bytes += v.AsString().size();
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::string NljpStats::ToString() const {
+  return "bindings=" + std::to_string(bindings_total) +
+         " memo_hits=" + std::to_string(memo_hits) +
+         " pruned=" + std::to_string(pruned) +
+         " inner_evals=" + std::to_string(inner_evaluations) +
+         " prune_tests=" + std::to_string(prune_tests) +
+         " cache_entries=" + std::to_string(cache_entries) +
+         " cache_kb=" + std::to_string(cache_bytes / 1024) +
+         (cache_evictions > 0
+              ? " evictions=" + std::to_string(cache_evictions)
+              : "");
+}
+
+Result<std::unique_ptr<NljpOperator>> NljpOperator::Create(
+    IcebergView view, NljpOptions options) {
+  const QueryBlock& block = *view.block;
+  if (block.having == nullptr) {
+    return Status::NotSupported("NLJP requires a HAVING condition");
+  }
+  if (view.theta.empty() || view.jl_offsets.empty()) {
+    return Status::NotSupported("NLJP requires a join condition with "
+                                "binding attributes");
+  }
+  if (!view.ApplicableTo(block.having, /*left_side=*/false)) {
+    return Status::NotSupported("HAVING not applicable to the inner side");
+  }
+
+  auto op = std::unique_ptr<NljpOperator>(new NljpOperator());
+  op->view_ = std::move(view);
+  op->block_ = op->view_.block;
+  op->options_ = options;
+  op->monotonicity_ = op->view_.HavingMonotonicity();
+  op->group_determines_left_ = op->view_.GroupDeterminesLeft();
+
+  // Collect aggregates (HAVING first, then select items) and verify their
+  // arguments live on the inner side.
+  CollectAggregates(block.having, &op->agg_nodes_);
+  const size_t num_phi_aggs = op->agg_nodes_.size();
+  for (const BoundSelectItem& item : block.select) {
+    CollectAggregates(item.expr, &op->agg_nodes_);
+  }
+  bool all_algebraic = true;
+  for (const ExprPtr& agg : op->agg_nodes_) {
+    if (!agg->children.empty() &&
+        !op->view_.ApplicableTo(agg->children[0], /*left_side=*/false)) {
+      return Status::NotSupported(
+          "aggregate over outer-side attributes: " + agg->ToString());
+    }
+    if (!IsAlgebraic(agg->agg)) all_algebraic = false;
+  }
+  // Appendix C: non-algebraic aggregates are only safe when every LR-group
+  // receives a single contribution (G_L -> A_L).
+  op->algebraic_mode_ = all_algebraic;
+  if (!all_algebraic && !op->group_determines_left_) {
+    return Status::NotSupported(
+        "holistic aggregate without G_L -> A_L; partial results cannot be "
+        "combined");
+  }
+
+  // ---- Q_B: the L-side sub-join ----
+  ICEBERG_ASSIGN_OR_RETURN(
+      op->binding_block_,
+      MakeSubBlock(block, op->view_.partition.left, op->view_.left_only,
+                   &op->left_offset_map_));
+  for (size_t off : op->view_.jl_offsets) {
+    op->binding_positions_.push_back(op->left_offset_map_.at(off));
+  }
+
+  // ---- Q_R(b): parameter table + R-side tables ----
+  Schema param_schema;
+  std::vector<DataType> types_by_offset;
+  for (const BoundTableRef& t : block.tables) {
+    for (const Column& c : t.table->schema().columns()) {
+      types_by_offset.push_back(c.type);
+    }
+  }
+  for (size_t i = 0; i < op->view_.jl_offsets.size(); ++i) {
+    ICEBERG_RETURN_NOT_OK(param_schema.AddColumn(
+        {"b" + std::to_string(i), types_by_offset[op->view_.jl_offsets[i]]}));
+  }
+  op->param_table_ = std::make_shared<Table>("_binding", param_schema);
+  op->param_table_->AppendUnchecked(
+      Row(param_schema.num_columns(), Value::Null()));
+
+  BoundTableRef param_ref;
+  param_ref.alias = "_b";
+  param_ref.table = op->param_table_;
+  param_ref.offset = 0;
+  op->inner_block_.tables.push_back(param_ref);
+  size_t inner_offset = param_schema.num_columns();
+  std::map<size_t, size_t> inner_map;
+  for (size_t i = 0; i < op->view_.jl_offsets.size(); ++i) {
+    inner_map[op->view_.jl_offsets[i]] = i;  // J_L -> param columns
+  }
+  for (size_t ti : op->view_.partition.right) {
+    BoundTableRef ref = block.tables[ti];
+    for (size_t c = 0; c < ref.table->schema().num_columns(); ++c) {
+      inner_map[ref.offset + c] = inner_offset + c;
+      op->right_offset_map_[ref.offset + c] = inner_offset + c;
+    }
+    ref.offset = inner_offset;
+    inner_offset += ref.table->schema().num_columns();
+    op->inner_block_.tables.push_back(std::move(ref));
+  }
+  for (const ExprPtr& conjunct : op->view_.theta) {
+    ICEBERG_ASSIGN_OR_RETURN(ExprPtr remapped,
+                             RemapExpr(conjunct, inner_map));
+    op->inner_block_.where_conjuncts.push_back(std::move(remapped));
+  }
+  for (const ExprPtr& conjunct : op->view_.right_only) {
+    ICEBERG_ASSIGN_OR_RETURN(ExprPtr remapped,
+                             RemapExpr(conjunct, inner_map));
+    op->inner_block_.where_conjuncts.push_back(std::move(remapped));
+  }
+  for (size_t gr : op->view_.gr_offsets) {
+    ExprPtr ref = Col(block.QualifiedNameOfOffset(gr));
+    ref->resolved_index = static_cast<int>(op->right_offset_map_.at(gr));
+    op->inner_gr_exprs_.push_back(std::move(ref));
+  }
+  ICEBERG_ASSIGN_OR_RETURN(op->inner_phi_,
+                           RemapExpr(block.having, inner_map));
+  CollectAggregates(op->inner_phi_, &op->inner_phi_aggs_);
+  ICEBERG_CHECK(op->inner_phi_aggs_.size() == num_phi_aggs);
+  // Deduplicate structurally identical aggregates into shared slots.
+  std::map<std::string, size_t> slot_of_signature;
+  for (const ExprPtr& agg : op->agg_nodes_) {
+    ExprPtr arg;
+    if (!agg->children.empty()) {
+      ICEBERG_ASSIGN_OR_RETURN(arg, RemapExpr(agg->children[0], inner_map));
+    }
+    std::string signature = std::to_string(static_cast<int>(agg->agg)) +
+                            ":" + (arg == nullptr ? "*" : ExprSignature(*arg));
+    auto it = slot_of_signature.find(signature);
+    if (it == slot_of_signature.end()) {
+      it = slot_of_signature.emplace(signature, op->slot_funcs_.size()).first;
+      op->slot_funcs_.push_back(agg->agg);
+      op->slot_args_.push_back(std::move(arg));
+    }
+    op->agg_slot_.push_back(it->second);
+  }
+
+  // Plan Q_R once; only the parameter row changes across bindings.
+  {
+    Result<JoinPipeline> inner_pipeline =
+        JoinPipeline::Plan(op->inner_block_, options.use_indexes);
+    if (!inner_pipeline.ok()) return inner_pipeline.status();
+    op->inner_pipeline_.emplace(std::move(*inner_pipeline));
+  }
+
+  // ---- Memoization applicability (Section 6) ----
+  op->memo_enabled_ = options.enable_memo;
+  if (op->memo_enabled_ && !options.force_memo &&
+      op->view_.JoinDeterminesLeft()) {
+    // Bindings are unique across L-tuples; caching adds cost, no reuse.
+    op->memo_enabled_ = false;
+  }
+
+  // ---- Pruning applicability (Theorem 3) ----
+  op->prune_enabled_ = options.enable_prune;
+  if (op->prune_enabled_) {
+    if (op->monotonicity_ == Monotonicity::kMonotone) {
+      if (!op->group_determines_left_) {
+        op->prune_enabled_ = false;
+        op->prune_disabled_reason_ = "G_L is not a superkey of L";
+      }
+    } else if (op->monotonicity_ == Monotonicity::kAntiMonotone) {
+      if (!op->group_determines_left_) {
+        op->prune_enabled_ = false;
+        op->prune_disabled_reason_ = "G_L is not a superkey of L";
+      } else if (!op->view_.gr_offsets.empty()) {
+        op->prune_enabled_ = false;
+        op->prune_disabled_reason_ =
+            "anti-monotone pruning requires empty G_R";
+      }
+    } else {
+      op->prune_enabled_ = false;
+      op->prune_disabled_reason_ = "HAVING is neither monotone nor "
+                                   "anti-monotone";
+    }
+  }
+  if (op->prune_enabled_) {
+    fme::SubsumptionSpec spec;
+    spec.theta = op->view_.theta;
+    spec.binding_offsets = op->view_.jl_offsets;
+    const IcebergView* view_ptr = &op->view_;
+    spec.is_left_offset = [view_ptr](size_t off) {
+      return view_ptr->IsLeftOffset(off);
+    };
+    spec.types_by_offset = types_by_offset;
+    Result<fme::SubsumptionTest> derived = fme::DeriveSubsumption(spec);
+    if (!derived.ok()) {
+      op->prune_enabled_ = false;
+      op->prune_disabled_reason_ =
+          "p>= derivation failed: " + derived.status().ToString();
+    } else if (derived->IsNeverTrue()) {
+      op->prune_enabled_ = false;
+      op->prune_disabled_reason_ = "derived p>= is unsatisfiable";
+    } else {
+      op->subsumption_ = std::move(*derived);
+      op->prune_eq_positions_ = op->subsumption_->EqualityPositions();
+    }
+  }
+  return op;
+}
+
+NljpOperator::CacheEntry NljpOperator::EvaluateInner(Row binding,
+                                                     NljpStats* stats) {
+  param_table_->UpdateRow(0, binding);
+  const JoinPipeline& pipeline = *inner_pipeline_;
+
+  // Partition joining R-tuples by G_R, accumulating every aggregate.
+  struct PartitionState {
+    Row representative;
+    std::vector<Accumulator> accumulators;  // one per slot
+  };
+  std::unordered_map<Row, PartitionState, RowHash, RowEq> partitions;
+  ExecStats inner_stats;
+  pipeline.Run(
+      0, 1,
+      [&](const Row& joined) {
+        Row key;
+        key.reserve(inner_gr_exprs_.size());
+        for (const ExprPtr& g : inner_gr_exprs_) {
+          key.push_back(Evaluate(*g, joined));
+        }
+        auto it = partitions.find(key);
+        if (it == partitions.end()) {
+          PartitionState state;
+          state.representative = joined;
+          for (AggFunc func : slot_funcs_) {
+            state.accumulators.emplace_back(func);
+          }
+          it = partitions.emplace(std::move(key), std::move(state)).first;
+        }
+        PartitionState& state = it->second;
+        for (size_t i = 0; i < slot_funcs_.size(); ++i) {
+          if (slot_args_[i] == nullptr) {
+            state.accumulators[i].Add(Value::Null());  // COUNT(*)
+          } else {
+            state.accumulators[i].Add(Evaluate(*slot_args_[i], joined));
+          }
+        }
+      },
+      &inner_stats);
+  if (stats != nullptr) {
+    stats->inner_pairs_examined += inner_stats.join_pairs_examined;
+  }
+
+  CacheEntry entry;
+  entry.binding = std::move(binding);
+  entry.unpromising = true;
+  if (partitions.empty()) {
+    // No joining R-tuple: the binding contributes no candidate LR-group.
+    // Whether it may serve as a PRUNING witness depends on the direction:
+    //  - monotone Phi: any binding subsumed by this one (R|x<l subset of
+    //    the empty set) also joins nothing, so pruning via it is sound —
+    //    and Definition 5 marks it unpromising vacuously.
+    //  - anti-monotone Phi: unsound in general. Monotonicity per Table 2
+    //    holds on NON-EMPTY inputs, but e.g. MIN(A) >= c has Phi(empty) =
+    //    false (NULL comparison) while a superset can satisfy Phi — the
+    //    T-superset-of-empty implication breaks. (For COUNT(*) <= c,
+    //    Phi(empty) is true and the binding is promising anyway.)
+    entry.unpromising = monotonicity_ == Monotonicity::kMonotone;
+    return entry;
+  }
+  for (auto& [key, state] : partitions) {
+    PartitionPayload payload;
+    payload.gr_key = key;
+    AggValueMap phi_values;
+    for (size_t i = 0; i < inner_phi_aggs_.size(); ++i) {
+      phi_values[inner_phi_aggs_[i].get()] =
+          state.accumulators[agg_slot_[i]].Final();
+    }
+    payload.phi_pass =
+        EvaluatePredicate(*inner_phi_, state.representative, &phi_values);
+    if (payload.phi_pass) entry.unpromising = false;
+    if (algebraic_mode_) {
+      for (const Accumulator& acc : state.accumulators) {
+        payload.partials.push_back(acc.PartialState());
+      }
+    } else {
+      for (const Accumulator& acc : state.accumulators) {
+        payload.finals.push_back(acc.Final());
+      }
+    }
+    entry.partitions.push_back(std::move(payload));
+  }
+  return entry;
+}
+
+Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
+  const QueryBlock& block = *block_;
+
+  // ---- Q_B: stream (or sort) the L-side tuples ----
+  ICEBERG_ASSIGN_OR_RETURN(
+      JoinPipeline binding_pipeline,
+      JoinPipeline::Plan(binding_block_, options_.use_indexes));
+  std::vector<Row> l_rows;
+  binding_pipeline.Run(0, binding_pipeline.OuterSize(),
+                       [&](const Row& row) { l_rows.push_back(row); },
+                       nullptr);
+  auto binding_of = [&](const Row& l_row) {
+    Row b;
+    b.reserve(binding_positions_.size());
+    for (size_t pos : binding_positions_) b.push_back(l_row[pos]);
+    return b;
+  };
+  if (options_.binding_order != BindingOrder::kNatural) {
+    bool asc = options_.binding_order == BindingOrder::kSortedAsc;
+    std::sort(l_rows.begin(), l_rows.end(), [&](const Row& a, const Row& b) {
+      int c = CompareRows(binding_of(a), binding_of(b));
+      return asc ? c < 0 : c > 0;
+    });
+  }
+
+  // ---- Cache ----
+  std::vector<CacheEntry> cache;
+  std::unordered_map<Row, size_t, RowHash, RowEq> cache_by_binding;  // CI
+  // Unpromising entries, bucketed by the binding positions on which p>=
+  // requires equality (a lossless accelerator for Q_C; see
+  // SubsumptionTest::EqualityPositions).
+  std::unordered_map<Row, std::vector<size_t>, RowHash, RowEq>
+      unpromising_buckets;
+  auto eq_key_of = [&](const Row& binding) {
+    Row key;
+    key.reserve(prune_eq_positions_.size());
+    for (size_t pos : prune_eq_positions_) key.push_back(binding[pos]);
+    return key;
+  };
+  // Bounded-cache bookkeeping (FIFO over slot ids).
+  std::vector<size_t> eviction_order;
+  size_t eviction_cursor = 0;
+  size_t live_entries = 0;
+
+  auto memo_lookup = [&](const Row& binding) -> const CacheEntry* {
+    if (options_.cache_index) {
+      auto it = cache_by_binding.find(binding);
+      return it == cache_by_binding.end() ? nullptr : &cache[it->second];
+    }
+    // No CI: linear scan of the cache table (Fig. 4's PK+BT config).
+    RowEq eq;
+    for (const CacheEntry& entry : cache) {
+      if (eq(entry.binding, binding)) return &entry;
+    }
+    return nullptr;
+  };
+
+  auto prune_check = [&](const Row& binding) -> bool {
+    auto bucket = unpromising_buckets.find(eq_key_of(binding));
+    if (bucket == unpromising_buckets.end()) return false;
+    for (size_t id : bucket->second) {
+      if (stats != nullptr) ++stats->prune_tests;
+      const Row& cached = cache[id].binding;
+      bool subsumed = monotonicity_ == Monotonicity::kMonotone
+                          ? subsumption_->Subsumes(cached, binding)
+                          : subsumption_->Subsumes(binding, cached);
+      if (subsumed) return true;
+    }
+    return false;
+  };
+
+  // ---- Main loop + post-processing accumulation (Q_P) ----
+  struct GroupState {
+    Row synthetic;  // full-width row with L and G_R columns filled
+    std::vector<Accumulator> accumulators;  // per slot, algebraic mode
+    std::vector<Value> finals;              // per slot, non-algebraic mode
+    bool has_contribution = false;
+  };
+  std::unordered_map<Row, GroupState, RowHash, RowEq> groups;
+
+  const size_t total_width = block.TotalWidth();
+  auto contribute = [&](const Row& l_row, const CacheEntry& entry) {
+    for (const PartitionPayload& payload : entry.partitions) {
+      // Build the synthetic full-width row for group-key evaluation.
+      Row synthetic(total_width, Value::Null());
+      for (const auto& [orig, pos] : left_offset_map_) {
+        synthetic[orig] = l_row[pos];
+      }
+      for (size_t i = 0; i < view_.gr_offsets.size(); ++i) {
+        synthetic[view_.gr_offsets[i]] = payload.gr_key[i];
+      }
+      Row group_key;
+      group_key.reserve(block.group_by.size());
+      for (const ExprPtr& g : block.group_by) {
+        group_key.push_back(Evaluate(*g, synthetic));
+      }
+      auto it = groups.find(group_key);
+      if (it == groups.end()) {
+        GroupState state;
+        state.synthetic = synthetic;
+        if (algebraic_mode_) {
+          for (AggFunc func : slot_funcs_) {
+            state.accumulators.emplace_back(func);
+          }
+        }
+        it = groups.emplace(std::move(group_key), std::move(state)).first;
+      }
+      GroupState& state = it->second;
+      if (algebraic_mode_) {
+        for (size_t i = 0; i < slot_funcs_.size(); ++i) {
+          state.accumulators[i].MergePartial(payload.partials[i]);
+        }
+      } else if (!state.has_contribution) {
+        // G_L -> A_L guarantees a single contributing binding; duplicate
+        // L-rows contribute identical values, so keeping the first is
+        // exact for holistic aggregates like COUNT(DISTINCT).
+        state.finals = payload.finals;
+      }
+      state.has_contribution = true;
+    }
+  };
+
+  for (const Row& l_row : l_rows) {
+    if (stats != nullptr) ++stats->bindings_total;
+    Row binding = binding_of(l_row);
+    if (memo_enabled_) {
+      const CacheEntry* hit = memo_lookup(binding);
+      if (hit != nullptr) {
+        if (stats != nullptr) ++stats->memo_hits;
+        contribute(l_row, *hit);
+        continue;
+      }
+    }
+    if (prune_enabled_ && prune_check(binding)) {
+      if (stats != nullptr) ++stats->pruned;
+      continue;
+    }
+    if (stats != nullptr) ++stats->inner_evaluations;
+    CacheEntry entry = EvaluateInner(binding, stats);
+    contribute(l_row, entry);
+    // Cache the entry when memoization or pruning can use it.
+    bool cache_it = memo_enabled_ || (prune_enabled_ && entry.unpromising);
+    if (cache_it) {
+      size_t id;
+      if (options_.max_cache_entries > 0 &&
+          live_entries >= options_.max_cache_entries) {
+        // FIFO replacement (paper Section 7 future work): retire the
+        // oldest entry. Always safe — the cache only accelerates.
+        id = eviction_order[eviction_cursor];
+        eviction_cursor = (eviction_cursor + 1) % eviction_order.size();
+        CacheEntry& victim = cache[id];
+        if (memo_enabled_) cache_by_binding.erase(victim.binding);
+        if (prune_enabled_ && victim.unpromising) {
+          std::vector<size_t>& bucket =
+              unpromising_buckets[eq_key_of(victim.binding)];
+          bucket.erase(std::remove(bucket.begin(), bucket.end(), id),
+                       bucket.end());
+        }
+        cache[id] = std::move(entry);
+        if (stats != nullptr) ++stats->cache_evictions;
+      } else {
+        id = cache.size();
+        cache.push_back(std::move(entry));
+        eviction_order.push_back(id);
+        ++live_entries;
+      }
+      if (memo_enabled_) {
+        cache_by_binding.emplace(cache[id].binding, id);
+      }
+      if (prune_enabled_ && cache[id].unpromising) {
+        unpromising_buckets[eq_key_of(cache[id].binding)].push_back(id);
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->cache_entries = cache.size();
+    for (const CacheEntry& entry : cache) {
+      stats->cache_bytes += RowBytes(entry.binding) + sizeof(CacheEntry);
+      for (const PartitionPayload& p : entry.partitions) {
+        stats->cache_bytes += RowBytes(p.gr_key);
+        for (const Row& r : p.partials) stats->cache_bytes += RowBytes(r);
+        stats->cache_bytes += p.finals.size() * sizeof(Value);
+      }
+    }
+  }
+
+  // ---- Q_P: final HAVING + projection per LR-group ----
+  auto result = std::make_shared<Table>(block.output_schema);
+  for (const auto& [key, state] : groups) {
+    AggValueMap agg_values;
+    for (size_t i = 0; i < agg_nodes_.size(); ++i) {
+      size_t slot = agg_slot_[i];
+      agg_values[agg_nodes_[i].get()] = algebraic_mode_
+                                            ? state.accumulators[slot].Final()
+                                            : state.finals[slot];
+    }
+    if (!EvaluatePredicate(*block.having, state.synthetic, &agg_values)) {
+      continue;
+    }
+    Row out;
+    out.reserve(block.select.size());
+    for (const BoundSelectItem& item : block.select) {
+      out.push_back(Evaluate(*item.expr, state.synthetic, &agg_values));
+    }
+    result->AppendUnchecked(std::move(out));
+  }
+  return result;
+}
+
+std::string NljpOperator::Explain() const {
+  std::string out = "NLJP operator\n";
+  out += "  Q_B (binding query): " + binding_block_.ToString() + "\n";
+  out += "  binding = J_L = (";
+  for (size_t i = 0; i < view_.jl_offsets.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += block_->QualifiedNameOfOffset(view_.jl_offsets[i]);
+  }
+  out += ")\n";
+  out += "  Q_R(b) (inner query): " + inner_block_.ToString() + "\n";
+  out += "  aggregates: ";
+  for (size_t i = 0; i < agg_nodes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += agg_nodes_[i]->ToString();
+  }
+  out += "\n";
+  if (prune_enabled_) {
+    out += "  Q_C(b') (pruning): cached unpromising w' with ";
+    out += monotonicity_ == Monotonicity::kMonotone ? "b <= w' where p>=: "
+                                                    : "b >= w' where p>=: ";
+    out += subsumption_->ToString() + "\n";
+  } else {
+    out += "  pruning: disabled (" + prune_disabled_reason_ + ")\n";
+  }
+  out += std::string("  memoization: ") +
+         (memo_enabled_ ? "enabled (cache keyed by J_L" +
+                              std::string(view_.gr_offsets.empty()
+                                              ? ")"
+                                              : ", payload per G_R)")
+                        : "disabled") +
+         "\n";
+  out += "  Q_P (post-processing): GROUP BY <G_L, G_R> HAVING " +
+         block_->having->ToString() + "\n";
+  return out;
+}
+
+}  // namespace iceberg

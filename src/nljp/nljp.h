@@ -1,0 +1,160 @@
+#ifndef SMARTICEBERG_NLJP_NLJP_H_
+#define SMARTICEBERG_NLJP_NLJP_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/exec/exec_options.h"
+#include "src/exec/join_pipeline.h"
+#include "src/fme/subsumption.h"
+#include "src/rewrite/iceberg_view.h"
+#include "src/storage/table.h"
+
+namespace iceberg {
+
+/// Exploration order of the binding query Q_B (the paper leaves this
+/// unspecified and flags it as future work; we expose it for ablation).
+enum class BindingOrder {
+  kNatural,     // whatever order the L-side pipeline produces
+  kSortedAsc,   // bindings ascending (lexicographic)
+  kSortedDesc,
+};
+
+struct NljpOptions {
+  bool enable_memo = true;
+  bool enable_prune = true;
+  /// "CI" of Fig. 4: a hash index on the cache keyed by binding. Without
+  /// it, memo lookups fall back to a linear scan of the cache table.
+  bool cache_index = true;
+  /// Use secondary indexes inside the inner query Q_R(b).
+  bool use_indexes = true;
+  /// Apply memoization even when J_L -> A_L makes bindings unique
+  /// (normally skipped as non-beneficial; Section 6).
+  bool force_memo = false;
+  /// Bounds the cache to this many entries with FIFO replacement
+  /// (0 = unbounded). The paper flags cache replacement policies as future
+  /// work ("we can outfit the cache C with a replacement policy ... to
+  /// bound its size"); eviction is always safe — the cache is advisory —
+  /// but evicted bindings are re-evaluated on reuse and lose their
+  /// pruning-witness role.
+  size_t max_cache_entries = 0;
+  BindingOrder binding_order = BindingOrder::kNatural;
+};
+
+struct NljpStats {
+  size_t bindings_total = 0;   // L-tuples streamed by Q_B
+  size_t memo_hits = 0;        // bindings answered from the cache
+  size_t pruned = 0;           // bindings skipped via Q_C
+  size_t inner_evaluations = 0;  // Q_R(b) executions
+  size_t prune_tests = 0;        // subsumption comparisons
+  size_t inner_pairs_examined = 0;
+  size_t cache_entries = 0;
+  size_t cache_bytes = 0;
+  size_t cache_evictions = 0;
+
+  std::string ToString() const;
+};
+
+/// The NLJP (Nested-Loop Join with Pruning) operator of Section 7.
+///
+/// Conceptually evaluates the iceberg block of `view` as:
+///   for each L-tuple from the binding query Q_B:
+///     b = its J_L values
+///     if memo: cached result for b?        -> reuse
+///     if prune: Q_C(b) finds a subsuming unpromising cached binding
+///                                          -> skip
+///     else: evaluate inner query Q_R(b), cache by b
+///   post-process (Q_P): merge contributions per LR-group, apply HAVING,
+///   project.
+///
+/// Safety of pruning follows Theorem 3; the subsumption test p>= is derived
+/// from Theta by quantifier elimination (Section 5.2). Memoization follows
+/// Section 6 / Appendix C, storing algebraic partial aggregates when an
+/// LR-group can combine multiple bindings.
+class NljpOperator {
+ public:
+  /// Builds the operator for the given analyzed view. Fails with
+  /// NotSupported when the applicability conditions do not hold (the
+  /// optimizer then falls back to the baseline plan). Pruning is silently
+  /// disabled (memoization retained) when Theorem 3's premises fail or the
+  /// derived p>= is unusable.
+  static Result<std::unique_ptr<NljpOperator>> Create(IcebergView view,
+                                                      NljpOptions options);
+
+  Result<TablePtr> Execute(NljpStats* stats = nullptr);
+
+  /// Renders the component queries Q_B, Q_R(b), Q_C(b'), Q_P in the style
+  /// of the paper's Listing 7.
+  std::string Explain() const;
+
+  bool memo_enabled() const { return memo_enabled_; }
+  bool prune_enabled() const { return prune_enabled_; }
+  /// The derived pruning predicate (valid only when prune_enabled()).
+  const fme::SubsumptionTest& subsumption() const { return *subsumption_; }
+  Monotonicity monotonicity() const { return monotonicity_; }
+
+ private:
+  NljpOperator() = default;
+
+  struct PartitionPayload {
+    Row gr_key;                  // G_R values (empty when G_R is empty)
+    std::vector<Row> partials;   // per aggregate: algebraic partial state
+    std::vector<Value> finals;   // used instead when not in algebraic mode
+    bool phi_pass = false;       // partition-level HAVING outcome
+  };
+  struct CacheEntry {
+    Row binding;
+    std::vector<PartitionPayload> partitions;
+    bool unpromising = false;
+  };
+
+  /// Runs Q_R for the binding currently loaded in the parameter table.
+  CacheEntry EvaluateInner(Row binding, NljpStats* stats);
+
+  const QueryBlock* block_ = nullptr;
+  IcebergView view_;
+  NljpOptions options_;
+  Monotonicity monotonicity_ = Monotonicity::kNeither;
+  bool group_determines_left_ = false;
+  bool algebraic_mode_ = true;
+  bool memo_enabled_ = false;
+  bool prune_enabled_ = false;
+  std::string prune_disabled_reason_;
+
+  // Q_B: the L-side sub-join.
+  QueryBlock binding_block_;
+  std::map<size_t, size_t> left_offset_map_;   // orig offset -> L-row pos
+  std::vector<size_t> binding_positions_;      // J_L positions in L row
+
+  // Q_R(b): [param table, R tables...] with Theta + R-local filters.
+  // The pipeline is planned once (PostgreSQL "prepares these statements in
+  // advance"); only the parameter row changes between bindings.
+  QueryBlock inner_block_;
+  std::optional<JoinPipeline> inner_pipeline_;
+  TablePtr param_table_;
+  std::map<size_t, size_t> right_offset_map_;  // orig offset -> inner pos
+  std::vector<ExprPtr> inner_gr_exprs_;        // G_R in inner layout
+  ExprPtr inner_phi_;                          // HAVING in inner layout
+  std::vector<ExprPtr> inner_phi_aggs_;        // its aggregate nodes
+  std::vector<ExprPtr> agg_nodes_;             // original aggregates
+  // Structurally identical aggregates (e.g. COUNT(*) in both HAVING and the
+  // select list) share one accumulator slot.
+  std::vector<size_t> agg_slot_;               // agg_nodes_[i] -> slot
+  std::vector<AggFunc> slot_funcs_;
+  std::vector<ExprPtr> slot_args_;             // inner layout; null = COUNT(*)
+
+  // Pruning accelerator: positions of the binding on which p>= requires
+  // equality; unpromising entries are bucketed by these values.
+  std::vector<size_t> prune_eq_positions_;
+
+  // Q_C: derived subsumption predicate.
+  std::optional<fme::SubsumptionTest> subsumption_;
+};
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_NLJP_NLJP_H_

@@ -1,0 +1,214 @@
+#include "src/optimizer/iceberg_optimizer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/logging.h"
+#include "src/rewrite/equality_inference.h"
+
+namespace iceberg {
+
+std::string IcebergReport::ToString() const {
+  std::string out;
+  for (const std::string& s : steps) out += "- " + s + "\n";
+  for (const Reduction& r : reductions) {
+    out += "- reduced " + r.alias + ": " + std::to_string(r.rows_before) +
+           " -> " + std::to_string(r.rows_after) + " rows\n";
+  }
+  if (used_nljp) {
+    out += nljp_explain;
+    out += "  stats: " + nljp_stats.ToString() + "\n";
+  }
+  return out;
+}
+
+std::vector<AprioriOpportunity> IcebergOptimizer::PickApriori(
+    const QueryBlock& block, IcebergReport* report) {
+  std::vector<AprioriOpportunity> picked;
+  if (!options_.enable_apriori) return picked;
+
+  // Listing 9: iterate over candidate subsets; once a reducer claims a set
+  // of tables, remove them from further consideration.
+  std::set<size_t> available;
+  for (size_t i = 0; i < block.tables.size(); ++i) available.insert(i);
+
+  bool progress = true;
+  while (progress && !available.empty()) {
+    progress = false;
+    // Score every available candidate and take the most constrained one:
+    // more intra-L join conjuncts means a tighter (more selective, cheaper)
+    // reducer. First-found ordering could otherwise pick a weakly joined
+    // pair that starves a better one (e.g. {S2,T1} vs {S2,T2} in
+    // Example 13 once FD inference links the categories).
+    std::optional<AprioriOpportunity> best;
+    std::string best_desc;
+    size_t best_score = 0;
+    for (size_t size = 1; size < block.tables.size() && !best.has_value();
+         ++size) {
+      for (const TablePartition& partition : CandidatePartitions(block)) {
+        if (partition.left.size() != size) continue;
+        bool all_available = true;
+        for (size_t ti : partition.left) {
+          if (available.count(ti) == 0) all_available = false;
+        }
+        if (!all_available) continue;
+        Result<IcebergView> view = AnalyzeIceberg(block, partition);
+        if (!view.ok()) continue;
+        size_t score = 1 + view->left_only.size();
+        Result<AprioriOpportunity> opp = CheckApriori(*view);
+        if (!opp.ok()) continue;
+        if (!best.has_value() || score > best_score) {
+          best = std::move(*opp);
+          best_desc = partition.ToString(block);
+          best_score = score;
+        }
+      }
+    }
+    if (best.has_value()) {
+      // Claim only the tables the reducer actually filters (the paper's
+      // "subset of T_L with at least one attribute output by Q_L").
+      for (const auto& app : best->applications) {
+        available.erase(app.table_index);
+      }
+      if (report != nullptr) {
+        report->steps.push_back("a-priori on " + best_desc + ": " +
+                                best->safety_reason);
+      }
+      picked.push_back(std::move(*best));
+      progress = true;
+    }
+  }
+  return picked;
+}
+
+Result<QueryBlock> IcebergOptimizer::ApplyReducers(
+    const QueryBlock& block,
+    const std::vector<AprioriOpportunity>& opportunities,
+    IcebergReport* report) {
+  QueryBlock rewritten = block;
+  Executor executor(options_.base_exec);
+  for (const AprioriOpportunity& opp : opportunities) {
+    ICEBERG_ASSIGN_OR_RETURN(auto replacements,
+                             ApplyApriori(opp, &executor));
+    for (auto& [table_index, table] : replacements) {
+      if (report != nullptr) {
+        IcebergReport::Reduction r;
+        r.alias = rewritten.tables[table_index].alias;
+        r.rows_before = rewritten.tables[table_index].table->num_rows();
+        r.rows_after = table->num_rows();
+        report->reductions.push_back(std::move(r));
+      }
+      rewritten.tables[table_index].table = table;
+    }
+  }
+  return rewritten;
+}
+
+Result<std::unique_ptr<NljpOperator>> IcebergOptimizer::PickMemprune(
+    const QueryBlock& block, IcebergReport* report) {
+  NljpOptions nljp_options;
+  nljp_options.enable_memo = options_.enable_memo;
+  nljp_options.enable_prune = options_.enable_prune;
+  nljp_options.cache_index = options_.cache_index;
+  nljp_options.use_indexes = options_.use_indexes;
+  nljp_options.binding_order = options_.binding_order;
+  nljp_options.max_cache_entries = options_.max_cache_entries;
+
+  std::string failures;
+  for (const TablePartition& partition : CandidatePartitions(block)) {
+    // CandidatePartitions emits the minimal L side covering all GROUP BY
+    // attributes first — the paper's preferred starting point.
+    Result<IcebergView> view = AnalyzeIceberg(block, partition);
+    if (!view.ok()) continue;
+    Result<std::unique_ptr<NljpOperator>> op =
+        NljpOperator::Create(std::move(*view), nljp_options);
+    if (op.ok()) {
+      // Require at least one technique to be active; a bare NLJP is never
+      // better than the baseline join.
+      if (!(*op)->memo_enabled() && !(*op)->prune_enabled()) {
+        failures += "\n  " + partition.ToString(block) +
+                    ": neither memoization nor pruning applicable";
+        continue;
+      }
+      if (report != nullptr) {
+        report->steps.push_back("NLJP on " + partition.ToString(block));
+      }
+      return op;
+    }
+    failures += "\n  " + partition.ToString(block) + ": " +
+                op.status().message();
+  }
+  return Status::NotSupported("no NLJP opportunity:" + failures);
+}
+
+Result<TablePtr> IcebergOptimizer::Run(const QueryBlock& block,
+                                       IcebergReport* report) {
+  QueryBlock inferred = block;
+  size_t derived = InferDerivedEqualities(&inferred);
+  if (derived > 0 && report != nullptr) {
+    report->steps.push_back("inferred " + std::to_string(derived) +
+                            " equality predicate(s) from FDs");
+  }
+  std::vector<AprioriOpportunity> reducers = PickApriori(inferred, report);
+  QueryBlock rewritten = inferred;
+  if (!reducers.empty()) {
+    ICEBERG_ASSIGN_OR_RETURN(rewritten,
+                             ApplyReducers(inferred, reducers, report));
+  }
+  if (options_.enable_memo || options_.enable_prune) {
+    Result<std::unique_ptr<NljpOperator>> op =
+        PickMemprune(rewritten, report);
+    if (op.ok()) {
+      if (report != nullptr) {
+        report->used_nljp = true;
+        report->nljp_explain = (*op)->Explain();
+      }
+      return (*op)->Execute(report != nullptr ? &report->nljp_stats
+                                              : nullptr);
+    }
+    if (report != nullptr) {
+      report->steps.push_back("fallback to baseline (" +
+                              op.status().message() + ")");
+    }
+  }
+  Executor executor(options_.base_exec);
+  return executor.Execute(rewritten);
+}
+
+Result<std::string> IcebergOptimizer::Explain(const QueryBlock& block) {
+  IcebergReport report;
+  QueryBlock inferred = block;
+  size_t derived = InferDerivedEqualities(&inferred);
+  std::string out;
+  if (derived > 0) {
+    out += "inferred " + std::to_string(derived) +
+           " equality predicate(s) from FDs\n";
+  }
+  std::vector<AprioriOpportunity> reducers = PickApriori(inferred, &report);
+  for (const AprioriOpportunity& opp : reducers) {
+    out += opp.ToString() + "\n";
+  }
+  QueryBlock rewritten = inferred;
+  if (!reducers.empty()) {
+    ICEBERG_ASSIGN_OR_RETURN(rewritten,
+                             ApplyReducers(inferred, reducers, &report));
+    for (const IcebergReport::Reduction& r : report.reductions) {
+      out += "reduced " + r.alias + ": " + std::to_string(r.rows_before) +
+             " -> " + std::to_string(r.rows_after) + " rows\n";
+    }
+  }
+  if (options_.enable_memo || options_.enable_prune) {
+    Result<std::unique_ptr<NljpOperator>> op =
+        PickMemprune(rewritten, &report);
+    if (op.ok()) {
+      out += (*op)->Explain();
+      return out;
+    }
+    out += "no NLJP: " + op.status().message() + "\n";
+  }
+  Executor executor(options_.base_exec);
+  out += executor.Explain(rewritten);
+  return out;
+}
+
+}  // namespace iceberg

@@ -1,0 +1,105 @@
+#ifndef SMARTICEBERG_OPTIMIZER_ICEBERG_OPTIMIZER_H_
+#define SMARTICEBERG_OPTIMIZER_ICEBERG_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/exec/executor.h"
+#include "src/nljp/nljp.h"
+#include "src/rewrite/apriori.h"
+
+namespace iceberg {
+
+/// Toggles for the three Smart-Iceberg techniques plus physical knobs.
+/// Disabling all three reduces Run() to the baseline executor.
+struct IcebergOptions {
+  bool enable_apriori = true;
+  bool enable_memo = true;
+  bool enable_prune = true;
+
+  /// Cache index (Fig. 4 "CI"): hash lookup vs. linear scan for memo hits.
+  bool cache_index = true;
+  /// Secondary-index use in component queries (Fig. 4 "BT").
+  bool use_indexes = true;
+  BindingOrder binding_order = BindingOrder::kNatural;
+  /// Bound on NLJP cache entries (0 = unbounded); see NljpOptions.
+  size_t max_cache_entries = 0;
+
+  /// Executor used for reducers and the fallback plan.
+  ExecOptions base_exec;
+
+  static IcebergOptions All() { return IcebergOptions{}; }
+  static IcebergOptions None() {
+    IcebergOptions o;
+    o.enable_apriori = o.enable_memo = o.enable_prune = false;
+    return o;
+  }
+  static IcebergOptions Only(bool apriori, bool memo, bool prune) {
+    IcebergOptions o;
+    o.enable_apriori = apriori;
+    o.enable_memo = memo;
+    o.enable_prune = prune;
+    return o;
+  }
+};
+
+/// What the optimizer did for one query: applied reducers, chosen NLJP
+/// partition, derived predicate, runtime counters.
+struct IcebergReport {
+  std::vector<std::string> steps;  // human-readable decisions
+  bool used_nljp = false;
+  std::string nljp_explain;
+  NljpStats nljp_stats;
+  /// (table alias, rows before, rows after) per a-priori reduction.
+  struct Reduction {
+    std::string alias;
+    size_t rows_before = 0;
+    size_t rows_after = 0;
+  };
+  std::vector<Reduction> reductions;
+
+  std::string ToString() const;
+};
+
+/// The optimization procedure of Section 7 / Appendix D (Listing 9):
+/// iteratively find safe generalized-a-priori reducers over relation
+/// subsets, then attach memoization/pruning via one NLJP operator whose
+/// L side covers the GROUP BY attributes.
+class IcebergOptimizer {
+ public:
+  explicit IcebergOptimizer(IcebergOptions options = IcebergOptions())
+      : options_(options) {}
+
+  const IcebergOptions& options() const { return options_; }
+
+  /// Optimizes and executes the block.
+  Result<TablePtr> Run(const QueryBlock& block,
+                       IcebergReport* report = nullptr);
+
+  /// Describes the plan Run would choose, without executing the main query
+  /// (reducers are still evaluated, since their output shapes the plan).
+  Result<std::string> Explain(const QueryBlock& block);
+
+ private:
+  /// Phase 1 of Listing 9: greedily pick disjoint a-priori reducers.
+  std::vector<AprioriOpportunity> PickApriori(const QueryBlock& block,
+                                              IcebergReport* report);
+
+  /// Applies reducers, returning a rewritten block over reduced tables.
+  Result<QueryBlock> ApplyReducers(
+      const QueryBlock& block,
+      const std::vector<AprioriOpportunity>& opportunities,
+      IcebergReport* report);
+
+  /// Phase 2: try to attach an NLJP operator (memo and/or pruning).
+  Result<std::unique_ptr<NljpOperator>> PickMemprune(const QueryBlock& block,
+                                                     IcebergReport* report);
+
+  IcebergOptions options_;
+};
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_OPTIMIZER_ICEBERG_OPTIMIZER_H_

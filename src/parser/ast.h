@@ -1,0 +1,58 @@
+#ifndef SMARTICEBERG_PARSER_AST_H_
+#define SMARTICEBERG_PARSER_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/expr/expr.h"
+
+namespace iceberg {
+
+struct ParsedSelect;
+using ParsedSelectPtr = std::shared_ptr<ParsedSelect>;
+
+/// One entry in a FROM clause: either a named relation (base table or CTE)
+/// or an inline subquery, with an optional alias.
+struct ParsedTableRef {
+  std::string table_name;     // empty when subquery is set
+  ParsedSelectPtr subquery;   // nullptr for named relations
+  std::string alias;          // defaults to table_name when empty
+};
+
+struct ParsedSelectItem {
+  ExprPtr expr;
+  std::string alias;  // may be empty
+};
+
+struct ParsedOrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// A single SELECT block of our SQL subset:
+///   SELECT [DISTINCT] items FROM refs [WHERE e] [GROUP BY es] [HAVING e]
+struct ParsedSelect {
+  bool distinct = false;
+  std::vector<ParsedSelectItem> items;
+  std::vector<ParsedTableRef> from;
+  ExprPtr where;                 // nullptr if absent
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;                // nullptr if absent
+  std::vector<ParsedOrderItem> order_by;
+  int64_t limit = -1;            // -1 = no LIMIT
+
+  std::string ToString() const;
+};
+
+/// A full statement: optional WITH clauses followed by a main SELECT.
+struct ParsedQuery {
+  std::vector<std::pair<std::string, ParsedSelectPtr>> ctes;
+  ParsedSelectPtr select;
+
+  std::string ToString() const;
+};
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_PARSER_AST_H_

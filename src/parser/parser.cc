@@ -1,0 +1,468 @@
+#include "src/parser/parser.h"
+
+#include <cstdlib>
+
+#include "src/common/string_util.h"
+#include "src/parser/token.h"
+
+namespace iceberg {
+
+namespace {
+
+/// Recursive-descent parser over the token stream. All Parse* methods
+/// return Result and never throw.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> ParseQuery() {
+    ParsedQuery query;
+    if (PeekKeyword("WITH")) {
+      Advance();
+      while (true) {
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return Error("expected CTE name after WITH");
+        }
+        std::string name = Advance().text;
+        ICEBERG_RETURN_NOT_OK(ExpectKeyword("AS"));
+        ICEBERG_RETURN_NOT_OK(ExpectSymbol("("));
+        ICEBERG_ASSIGN_OR_RETURN(ParsedSelectPtr cte, ParseSelect());
+        ICEBERG_RETURN_NOT_OK(ExpectSymbol(")"));
+        query.ctes.emplace_back(std::move(name), std::move(cte));
+        if (PeekSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    ICEBERG_ASSIGN_OR_RETURN(query.select, ParseSelect());
+    if (PeekSymbol(";")) Advance();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input: '" + Peek().text + "'");
+    }
+    return query;
+  }
+
+  Result<ExprPtr> ParseStandaloneExpression() {
+    ICEBERG_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::ParseError("unexpected trailing input: '" +
+                                Peek().text + "'");
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+  }
+  Token Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  bool PeekKeyword(const std::string& kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == TokenKind::kKeyword && t.text == kw;
+  }
+  bool PeekSymbol(const std::string& s, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == TokenKind::kSymbol && t.text == s;
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!PeekKeyword(kw)) {
+      return Status::ParseError("expected " + kw + " but found '" +
+                                Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+  Status ExpectSymbol(const std::string& s) {
+    if (!PeekSymbol(s)) {
+      return Status::ParseError("expected '" + s + "' but found '" +
+                                Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " (at offset " +
+                              std::to_string(Peek().position) + ")");
+  }
+
+  Result<ParsedSelectPtr> ParseSelect() {
+    ICEBERG_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    auto select = std::make_shared<ParsedSelect>();
+    if (PeekKeyword("DISTINCT")) {
+      Advance();
+      select->distinct = true;
+    }
+    // Select items.
+    while (true) {
+      ParsedSelectItem item;
+      ICEBERG_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (PeekKeyword("AS")) {
+        Advance();
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return Error("expected alias after AS");
+        }
+        item.alias = Advance().text;
+      } else if (Peek().kind == TokenKind::kIdentifier) {
+        item.alias = Advance().text;
+      }
+      select->items.push_back(std::move(item));
+      if (PeekSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    // FROM.
+    ICEBERG_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    while (true) {
+      ParsedTableRef ref;
+      if (PeekSymbol("(")) {
+        Advance();
+        ICEBERG_ASSIGN_OR_RETURN(ref.subquery, ParseSelect());
+        ICEBERG_RETURN_NOT_OK(ExpectSymbol(")"));
+      } else if (Peek().kind == TokenKind::kIdentifier) {
+        ref.table_name = Advance().text;
+      } else {
+        return Error("expected table name or subquery in FROM");
+      }
+      if (PeekKeyword("AS")) {
+        Advance();
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return Error("expected alias after AS");
+        }
+        ref.alias = Advance().text;
+      } else if (Peek().kind == TokenKind::kIdentifier) {
+        ref.alias = Advance().text;
+      }
+      if (ref.alias.empty()) {
+        if (ref.table_name.empty()) {
+          return Error("subquery in FROM requires an alias");
+        }
+        ref.alias = ref.table_name;
+      }
+      select->from.push_back(std::move(ref));
+      if (PeekSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    // WHERE.
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      ICEBERG_ASSIGN_OR_RETURN(select->where, ParseExpr());
+    }
+    // GROUP BY.
+    if (PeekKeyword("GROUP")) {
+      Advance();
+      ICEBERG_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        ICEBERG_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        select->group_by.push_back(std::move(e));
+        if (PeekSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    // HAVING.
+    if (PeekKeyword("HAVING")) {
+      Advance();
+      ICEBERG_ASSIGN_OR_RETURN(select->having, ParseExpr());
+    }
+    // ORDER BY.
+    if (PeekKeyword("ORDER")) {
+      Advance();
+      ICEBERG_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        ParsedOrderItem item;
+        ICEBERG_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (PeekKeyword("ASC")) {
+          Advance();
+        } else if (PeekKeyword("DESC")) {
+          Advance();
+          item.ascending = false;
+        }
+        select->order_by.push_back(std::move(item));
+        if (PeekSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    // LIMIT.
+    if (PeekKeyword("LIMIT")) {
+      Advance();
+      if (Peek().kind != TokenKind::kIntLiteral) {
+        return Error("expected integer after LIMIT");
+      }
+      select->limit = std::strtoll(Advance().text.c_str(), nullptr, 10);
+    }
+    return select;
+  }
+
+  // Expression grammar: or_expr.
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    ICEBERG_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (PeekKeyword("OR")) {
+      Advance();
+      ICEBERG_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = Bin(BinaryOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    ICEBERG_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (PeekKeyword("AND")) {
+      Advance();
+      ICEBERG_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = Bin(BinaryOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (PeekKeyword("NOT")) {
+      Advance();
+      ICEBERG_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
+      return Not(std::move(e));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    ICEBERG_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    BinaryOp op;
+    if (PeekSymbol("=")) {
+      op = BinaryOp::kEq;
+    } else if (PeekSymbol("<>")) {
+      op = BinaryOp::kNe;
+    } else if (PeekSymbol("<=")) {
+      op = BinaryOp::kLe;
+    } else if (PeekSymbol(">=")) {
+      op = BinaryOp::kGe;
+    } else if (PeekSymbol("<")) {
+      op = BinaryOp::kLt;
+    } else if (PeekSymbol(">")) {
+      op = BinaryOp::kGt;
+    } else {
+      return left;
+    }
+    Advance();
+    ICEBERG_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+    return Bin(op, std::move(left), std::move(right));
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    ICEBERG_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (PeekSymbol("+") || PeekSymbol("-")) {
+      BinaryOp op = PeekSymbol("+") ? BinaryOp::kAdd : BinaryOp::kSub;
+      Advance();
+      ICEBERG_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = Bin(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    ICEBERG_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    while (PeekSymbol("*") || PeekSymbol("/")) {
+      BinaryOp op = PeekSymbol("*") ? BinaryOp::kMul : BinaryOp::kDiv;
+      Advance();
+      ICEBERG_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = Bin(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (PeekSymbol("-")) {
+      Advance();
+      ICEBERG_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      if (e->kind == ExprKind::kLiteral && e->literal.is_int()) {
+        return LitInt(-e->literal.AsInt());
+      }
+      if (e->kind == ExprKind::kLiteral && e->literal.is_double()) {
+        return LitDouble(-e->literal.AsDouble());
+      }
+      return Neg(std::move(e));
+    }
+    if (PeekSymbol("+")) Advance();
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParseAggregate(const std::string& func_name) {
+    ICEBERG_RETURN_NOT_OK(ExpectSymbol("("));
+    AggFunc func;
+    bool distinct = false;
+    if (func_name == "COUNT") {
+      if (PeekSymbol("*")) {
+        Advance();
+        ICEBERG_RETURN_NOT_OK(ExpectSymbol(")"));
+        return Agg(AggFunc::kCountStar, nullptr);
+      }
+      if (PeekKeyword("DISTINCT")) {
+        Advance();
+        distinct = true;
+      }
+      func = distinct ? AggFunc::kCountDistinct : AggFunc::kCount;
+    } else if (func_name == "SUM") {
+      func = AggFunc::kSum;
+    } else if (func_name == "MIN") {
+      func = AggFunc::kMin;
+    } else if (func_name == "MAX") {
+      func = AggFunc::kMax;
+    } else {
+      func = AggFunc::kAvg;
+    }
+    ICEBERG_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+    ICEBERG_RETURN_NOT_OK(ExpectSymbol(")"));
+    // COUNT(1) is COUNT(*) in our engine (the constant is never NULL).
+    if (func == AggFunc::kCount && arg->kind == ExprKind::kLiteral &&
+        !arg->literal.is_null()) {
+      return Agg(AggFunc::kCountStar, nullptr);
+    }
+    return Agg(func, std::move(arg));
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kIntLiteral) {
+      int64_t v = std::strtoll(Advance().text.c_str(), nullptr, 10);
+      return LitInt(v);
+    }
+    if (t.kind == TokenKind::kDoubleLiteral) {
+      double v = std::strtod(Advance().text.c_str(), nullptr);
+      return LitDouble(v);
+    }
+    if (t.kind == TokenKind::kStringLiteral) {
+      return Lit(Value::Str(Advance().text));
+    }
+    if (t.kind == TokenKind::kKeyword) {
+      if (t.text == "NULL") {
+        Advance();
+        return Lit(Value::Null());
+      }
+      if (t.text == "TRUE") {
+        Advance();
+        return Lit(Value::Bool(true));
+      }
+      if (t.text == "FALSE") {
+        Advance();
+        return Lit(Value::Bool(false));
+      }
+      if (t.text == "COUNT" || t.text == "SUM" || t.text == "MIN" ||
+          t.text == "MAX" || t.text == "AVG") {
+        std::string func = Advance().text;
+        return ParseAggregate(func);
+      }
+      return Error("unexpected keyword '" + t.text + "' in expression");
+    }
+    if (t.kind == TokenKind::kIdentifier) {
+      std::string first = Advance().text;
+      if (PeekSymbol(".")) {
+        Advance();
+        if (Peek().kind != TokenKind::kIdentifier &&
+            Peek().kind != TokenKind::kKeyword) {
+          return Error("expected column name after '.'");
+        }
+        std::string second = Advance().text;
+        return Col(std::move(first), std::move(second));
+      }
+      return Col(std::move(first));
+    }
+    if (t.kind == TokenKind::kSymbol && t.text == "(") {
+      Advance();
+      ICEBERG_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      ICEBERG_RETURN_NOT_OK(ExpectSymbol(")"));
+      return e;
+    }
+    return Error("unexpected token '" + t.text + "' in expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedQuery> ParseSql(const std::string& sql) {
+  ICEBERG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  ICEBERG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseStandaloneExpression();
+}
+
+std::string ParsedSelect::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i].expr->ToString();
+    if (!items[i].alias.empty()) out += " AS " + items[i].alias;
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (from[i].subquery != nullptr) {
+      out += "(" + from[i].subquery->ToString() + ")";
+    } else {
+      out += from[i].table_name;
+    }
+    if (!from[i].alias.empty() && from[i].alias != from[i].table_name) {
+      out += " " + from[i].alias;
+    }
+  }
+  if (where != nullptr) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  if (having != nullptr) out += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].expr->ToString();
+      if (!order_by[i].ascending) out += " DESC";
+    }
+  }
+  if (limit >= 0) out += " LIMIT " + std::to_string(limit);
+  return out;
+}
+
+std::string ParsedQuery::ToString() const {
+  std::string out;
+  if (!ctes.empty()) {
+    out += "WITH ";
+    for (size_t i = 0; i < ctes.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ctes[i].first + " AS (" + ctes[i].second->ToString() + ")";
+    }
+    out += " ";
+  }
+  out += select->ToString();
+  return out;
+}
+
+}  // namespace iceberg

@@ -1,0 +1,31 @@
+#ifndef SMARTICEBERG_PARSER_PARSER_H_
+#define SMARTICEBERG_PARSER_PARSER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/parser/ast.h"
+
+namespace iceberg {
+
+/// Parses one SQL statement of the supported subset:
+///
+///   [WITH name AS (select) [, ...]]
+///   SELECT [DISTINCT] expr [AS alias] [, ...]
+///   FROM table [alias] | (select) alias [, ...]
+///   [WHERE predicate]
+///   [GROUP BY expr [, ...]]
+///   [HAVING predicate]
+///
+/// Expressions support AND/OR/NOT, comparisons (= <> < <= > >=),
+/// + - * /, parentheses, qualified column refs (t.col), numeric and string
+/// literals, NULL/TRUE/FALSE, and the aggregates COUNT(*), COUNT(x),
+/// COUNT(DISTINCT x), SUM, MIN, MAX, AVG.
+Result<ParsedQuery> ParseSql(const std::string& sql);
+
+/// Parses a standalone scalar/boolean expression (used by tests).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_PARSER_PARSER_H_

@@ -1,0 +1,121 @@
+#include "src/parser/token.h"
+
+#include <cctype>
+#include <set>
+
+#include "src/common/string_util.h"
+
+namespace iceberg {
+
+bool IsKeyword(const std::string& upper_word) {
+  static const std::set<std::string>* const kKeywords =
+      new std::set<std::string>({
+          "SELECT", "FROM",  "WHERE",  "GROUP",  "BY",    "HAVING",
+          "WITH",   "AS",    "AND",    "OR",     "NOT",   "IN",
+          "COUNT",  "SUM",   "MIN",    "MAX",    "AVG",   "DISTINCT",
+          "ORDER",  "ASC",   "DESC",   "LIMIT",  "NULL",  "TRUE",   "FALSE",
+      });
+  return kKeywords->count(upper_word) > 0;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (IsKeyword(upper)) {
+        tokens.push_back({TokenKind::kKeyword, upper, start});
+      } else {
+        tokens.push_back({TokenKind::kIdentifier, word, start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        // Distinguish "1.5" from "t.col" — a dot followed by a digit is a
+        // decimal point.
+        if (i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+          is_double = true;
+          ++i;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+            ++i;
+          }
+        }
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (sql[j] == '+' || sql[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) {
+          is_double = true;
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+            ++i;
+          }
+        }
+      }
+      tokens.push_back({is_double ? TokenKind::kDoubleLiteral
+                                  : TokenKind::kIntLiteral,
+                        sql.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      while (i < n && sql[i] != '\'') {
+        text += sql[i];
+        ++i;
+      }
+      if (i >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      ++i;  // closing quote
+      tokens.push_back({TokenKind::kStringLiteral, text, start});
+      continue;
+    }
+    // Multi-char symbols first.
+    if (i + 1 < n) {
+      std::string two = sql.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+        tokens.push_back(
+            {TokenKind::kSymbol, two == "!=" ? "<>" : two, start});
+        i += 2;
+        continue;
+      }
+    }
+    static const std::string kSingles = "()*,.;=<>+-/";
+    if (kSingles.find(c) != std::string::npos) {
+      tokens.push_back({TokenKind::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(start));
+  }
+  tokens.push_back({TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace iceberg

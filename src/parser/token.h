@@ -1,0 +1,36 @@
+#ifndef SMARTICEBERG_PARSER_TOKEN_H_
+#define SMARTICEBERG_PARSER_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace iceberg {
+
+enum class TokenKind {
+  kIdentifier,
+  kKeyword,
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  kSymbol,  // ( ) , . * = <> < <= > >= + - / ;
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // keywords are upper-cased, identifiers as written
+  size_t position = 0;  // byte offset for error messages
+};
+
+/// Lexes a SQL string into tokens. Keywords are recognized
+/// case-insensitively. Comments ("--" to end of line) are skipped.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+/// True if `word` (upper-case) is a reserved SQL keyword in our subset.
+bool IsKeyword(const std::string& upper_word);
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_PARSER_TOKEN_H_

@@ -1,0 +1,151 @@
+#include "src/rewrite/equality_inference.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/common/string_util.h"
+
+namespace iceberg {
+
+namespace {
+
+class UnionFind {
+ public:
+  size_t Find(size_t x) {
+    auto it = parent_.find(x);
+    if (it == parent_.end() || it->second == x) return x;
+    size_t root = Find(it->second);
+    parent_[x] = root;
+    return root;
+  }
+  /// Returns true if the union merged two distinct classes.
+  bool Union(size_t a, size_t b) {
+    size_t ra = Find(a);
+    size_t rb = Find(b);
+    parent_.emplace(ra, ra);
+    parent_.emplace(rb, rb);
+    if (ra == rb) return false;
+    parent_[ra] = rb;
+    return true;
+  }
+
+ private:
+  std::map<size_t, size_t> parent_;
+};
+
+}  // namespace
+
+size_t InferDerivedEqualities(QueryBlock* block) {
+  UnionFind classes;
+  // Seed with explicit column=column conjuncts.
+  for (const ExprPtr& conjunct : block->where_conjuncts) {
+    if (conjunct->kind != ExprKind::kBinary ||
+        conjunct->bop != BinaryOp::kEq) {
+      continue;
+    }
+    const ExprPtr& l = conjunct->children[0];
+    const ExprPtr& r = conjunct->children[1];
+    if (l->kind == ExprKind::kColumnRef && r->kind == ExprKind::kColumnRef) {
+      classes.Union(static_cast<size_t>(l->resolved_index),
+                    static_cast<size_t>(r->resolved_index));
+    }
+  }
+
+  // Track which offset pairs already have an explicit conjunct.
+  std::set<std::pair<size_t, size_t>> explicit_pairs;
+  std::set<size_t> equated_offsets;
+  for (const ExprPtr& conjunct : block->where_conjuncts) {
+    if (conjunct->kind != ExprKind::kBinary ||
+        conjunct->bop != BinaryOp::kEq) {
+      continue;
+    }
+    const ExprPtr& l = conjunct->children[0];
+    const ExprPtr& r = conjunct->children[1];
+    if (l->kind == ExprKind::kColumnRef && r->kind == ExprKind::kColumnRef) {
+      size_t a = static_cast<size_t>(l->resolved_index);
+      size_t b = static_cast<size_t>(r->resolved_index);
+      explicit_pairs.emplace(std::min(a, b), std::max(a, b));
+      equated_offsets.insert(a);
+      equated_offsets.insert(b);
+    }
+  }
+
+  // Fixpoint: same-table instance pairs propagate FDs.
+  std::set<size_t> derived_offsets;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < block->tables.size(); ++i) {
+      for (size_t j = 0; j < block->tables.size(); ++j) {
+        if (i == j) continue;
+        const BoundTableRef& ti = block->tables[i];
+        const BoundTableRef& tj = block->tables[j];
+        if (ti.table != tj.table) continue;  // same stored relation only
+        for (const FunctionalDependency& fd : ti.fds.fds()) {
+          bool lhs_equated = !fd.lhs.empty();
+          for (const std::string& col : fd.lhs) {
+            std::optional<size_t> ci = ti.table->schema().FindColumn(col);
+            if (!ci.has_value()) {
+              lhs_equated = false;
+              break;
+            }
+            if (classes.Find(ti.offset + *ci) !=
+                classes.Find(tj.offset + *ci)) {
+              lhs_equated = false;
+              break;
+            }
+          }
+          if (!lhs_equated) continue;
+          for (const std::string& col : fd.rhs) {
+            std::optional<size_t> ci = ti.table->schema().FindColumn(col);
+            if (!ci.has_value()) continue;
+            size_t a = ti.offset + *ci;
+            size_t b = tj.offset + *ci;
+            if (classes.Union(a, b)) {
+              derived_offsets.insert(a);
+              derived_offsets.insert(b);
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Emit the full pairwise closure over every class touched by a derived
+  // equality (so any table subset the optimizer later carves out sees the
+  // predicate as a local conjunct), skipping pairs already explicit.
+  std::set<size_t> all_offsets = equated_offsets;
+  all_offsets.insert(derived_offsets.begin(), derived_offsets.end());
+  size_t added = 0;
+  auto make_ref = [&](size_t offset) {
+    size_t ti = block->TableOfOffset(offset);
+    ExprPtr ref = Col(block->tables[ti].alias,
+                      ToLower(block->tables[ti].table->schema()
+                                  .column(offset - block->tables[ti].offset)
+                                  .name));
+    ref->resolved_index = static_cast<int>(offset);
+    return ref;
+  };
+  for (size_t a : all_offsets) {
+    for (size_t b : all_offsets) {
+      if (a >= b) continue;
+      if (classes.Find(a) != classes.Find(b)) continue;
+      // Only emit pairs involving at least one derived offset; purely
+      // explicit classes are already fully usable via their own conjuncts.
+      if (derived_offsets.count(a) == 0 && derived_offsets.count(b) == 0) {
+        continue;
+      }
+      if (explicit_pairs.count({a, b}) > 0) continue;
+      if (block->TableOfOffset(a) == block->TableOfOffset(b)) continue;
+      block->where_conjuncts.push_back(
+          Bin(BinaryOp::kEq, make_ref(a), make_ref(b)));
+      ++added;
+    }
+  }
+  return added;
+}
+
+}  // namespace iceberg

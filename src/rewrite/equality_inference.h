@@ -1,0 +1,28 @@
+#ifndef SMARTICEBERG_REWRITE_EQUALITY_INFERENCE_H_
+#define SMARTICEBERG_REWRITE_EQUALITY_INFERENCE_H_
+
+#include "src/plan/query_block.h"
+
+namespace iceberg {
+
+/// Derives equality predicates implied by the query's equality conjuncts
+/// and the base tables' functional dependencies, and appends them to the
+/// block's WHERE conjuncts (they are redundant, hence harmless, but unlock
+/// better reducers and index probes).
+///
+/// This is the inference component of the paper's Appendix D walkthrough
+/// (Example 13): from S1.id = S2.id, T1.id = T2.id,
+/// S1.category = T1.category and the FD id -> category on Product, infer
+/// S2.category = T2.category — which makes the Q_S2 reducer as effective
+/// as Q_S1.
+///
+/// Rule (applied to fixpoint): for two FROM entries ti, tj over the same
+/// stored table with FD X -> Y, if ti.x ~ tj.x for every x in X under the
+/// current equality-equivalence, then ti.y ~ tj.y for every y in Y.
+///
+/// Returns the number of conjuncts added.
+size_t InferDerivedEqualities(QueryBlock* block);
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_REWRITE_EQUALITY_INFERENCE_H_

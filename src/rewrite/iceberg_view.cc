@@ -1,0 +1,388 @@
+#include "src/rewrite/iceberg_view.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace iceberg {
+
+namespace {
+
+/// Table indices referenced by an expression.
+std::set<size_t> TablesOf(const ExprPtr& e, const QueryBlock& block) {
+  std::vector<const Expr*> refs;
+  CollectColumnRefs(e, &refs);
+  std::set<size_t> out;
+  for (const Expr* r : refs) {
+    out.insert(block.TableOfOffset(static_cast<size_t>(r->resolved_index)));
+  }
+  return out;
+}
+
+void InsertSorted(std::vector<size_t>* v, size_t x) {
+  auto it = std::lower_bound(v->begin(), v->end(), x);
+  if (it == v->end() || *it != x) v->insert(it, x);
+}
+
+}  // namespace
+
+std::string TablePartition::ToString(const QueryBlock& block) const {
+  auto render = [&](const std::vector<size_t>& side) {
+    std::string out = "{";
+    for (size_t i = 0; i < side.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += block.tables[side[i]].alias;
+    }
+    return out + "}";
+  };
+  return "L=" + render(left) + " R=" + render(right);
+}
+
+bool IcebergView::IsLeftOffset(size_t offset) const {
+  size_t ti = block->TableOfOffset(offset);
+  return std::find(partition.left.begin(), partition.left.end(), ti) !=
+         partition.left.end();
+}
+
+namespace {
+
+FdSet SideFds(const IcebergView& view, const std::vector<size_t>& side,
+              const std::vector<ExprPtr>& side_conjuncts) {
+  FdSet out;
+  for (size_t ti : side) {
+    const BoundTableRef& t = view.block->tables[ti];
+    out.Merge(t.fds.WithQualifier(t.alias));
+  }
+  for (const ExprPtr& conjunct : side_conjuncts) {
+    if (conjunct->kind != ExprKind::kBinary ||
+        conjunct->bop != BinaryOp::kEq) {
+      continue;
+    }
+    const ExprPtr& l = conjunct->children[0];
+    const ExprPtr& r = conjunct->children[1];
+    if (l->kind == ExprKind::kColumnRef && r->kind == ExprKind::kColumnRef) {
+      out.AddEquivalence(
+          view.block->QualifiedNameOfOffset(l->resolved_index),
+          view.block->QualifiedNameOfOffset(r->resolved_index));
+    } else if (l->kind == ExprKind::kColumnRef &&
+               r->kind == ExprKind::kLiteral) {
+      out.Add(FunctionalDependency{
+          {}, {view.block->QualifiedNameOfOffset(l->resolved_index)}});
+    } else if (r->kind == ExprKind::kColumnRef &&
+               l->kind == ExprKind::kLiteral) {
+      out.Add(FunctionalDependency{
+          {}, {view.block->QualifiedNameOfOffset(r->resolved_index)}});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FdSet IcebergView::LeftFds() const {
+  return SideFds(*this, partition.left, left_only);
+}
+
+FdSet IcebergView::RightFds() const {
+  return SideFds(*this, partition.right, right_only);
+}
+
+AttrSet IcebergView::LeftAttrs() const {
+  return block->AttributesOf(partition.left);
+}
+
+AttrSet IcebergView::RightAttrs() const {
+  return block->AttributesOf(partition.right);
+}
+
+AttrSet IcebergView::NamesOf(const std::vector<size_t>& offsets) const {
+  AttrSet out;
+  for (size_t o : offsets) out.insert(block->QualifiedNameOfOffset(o));
+  return out;
+}
+
+bool IcebergView::ApplicableTo(const ExprPtr& e, bool left_side) const {
+  std::vector<const Expr*> refs;
+  CollectColumnRefs(e, &refs);
+  for (const Expr* r : refs) {
+    bool is_left = IsLeftOffset(static_cast<size_t>(r->resolved_index));
+    if (is_left != left_side) return false;
+  }
+  return true;
+}
+
+Monotonicity IcebergView::HavingMonotonicity() const {
+  NonNegativeHint hint = [this](const ExprPtr& arg) {
+    // Instance-level soundness check: every column referenced by the SUM
+    // argument must be non-negative in the stored data (and the expression
+    // must be built from +, * and non-negative constants so it preserves
+    // non-negativity).
+    std::vector<const Expr*> refs;
+    CollectColumnRefs(arg, &refs);
+    for (const Expr* r : refs) {
+      size_t ti = block->TableOfOffset(static_cast<size_t>(r->resolved_index));
+      size_t ci = static_cast<size_t>(r->resolved_index) -
+                  block->tables[ti].offset;
+      const Table& table = *block->tables[ti].table;
+      for (const Row& row : table.rows()) {
+        const Value& v = row[ci];
+        if (!v.is_null() && v.is_numeric() && v.AsDouble() < 0) return false;
+      }
+    }
+    // Structural check on the expression.
+    std::function<bool(const ExprPtr&)> preserves =
+        [&](const ExprPtr& e) -> bool {
+      switch (e->kind) {
+        case ExprKind::kColumnRef:
+          return true;
+        case ExprKind::kLiteral:
+          return e->literal.is_numeric() && e->literal.AsDouble() >= 0;
+        case ExprKind::kBinary:
+          if (e->bop == BinaryOp::kAdd || e->bop == BinaryOp::kMul) {
+            return preserves(e->children[0]) && preserves(e->children[1]);
+          }
+          return false;
+        default:
+          return false;
+      }
+    };
+    return preserves(arg);
+  };
+  return ClassifyHaving(block->having, hint);
+}
+
+bool IcebergView::GroupDeterminesLeft() const {
+  return LeftFds().Determines(NamesOf(gl_offsets), LeftAttrs());
+}
+
+bool IcebergView::JoinDeterminesLeft() const {
+  return LeftFds().Determines(NamesOf(jl_offsets), LeftAttrs());
+}
+
+std::string IcebergView::ToString() const {
+  std::string out = partition.ToString(*block);
+  out += "\n  Theta: " +
+         (theta.empty() ? std::string("TRUE") : AndAll(theta)->ToString());
+  out += "\n  J_L: " + AttrSetToString(NamesOf(jl_offsets));
+  out += "\n  J_R: " + AttrSetToString(NamesOf(jr_offsets));
+  out += "\n  G_L: " + AttrSetToString(NamesOf(gl_offsets));
+  out += "\n  G_R: " + AttrSetToString(NamesOf(gr_offsets));
+  out += "\n  Phi: " + (block->having == nullptr
+                            ? std::string("<none>")
+                            : block->having->ToString()) +
+         " [" + MonotonicityName(HavingMonotonicity()) + "]";
+  return out;
+}
+
+Result<IcebergView> AnalyzeIceberg(const QueryBlock& block,
+                                   TablePartition partition) {
+  IcebergView view;
+  view.block = &block;
+  view.partition = std::move(partition);
+
+  std::vector<bool> seen(block.tables.size(), false);
+  for (size_t ti : view.partition.left) {
+    if (ti >= block.tables.size() || seen[ti]) {
+      return Status::InvalidArgument("bad partition (left)");
+    }
+    seen[ti] = true;
+  }
+  for (size_t ti : view.partition.right) {
+    if (ti >= block.tables.size() || seen[ti]) {
+      return Status::InvalidArgument("bad partition (right)");
+    }
+    seen[ti] = true;
+  }
+  for (bool s : seen) {
+    if (!s) return Status::InvalidArgument("partition does not cover tables");
+  }
+
+  auto side_of_table = [&](size_t ti) {
+    return std::find(view.partition.left.begin(), view.partition.left.end(),
+                     ti) != view.partition.left.end();
+  };
+
+  for (const ExprPtr& conjunct : block.where_conjuncts) {
+    std::set<size_t> tables = TablesOf(conjunct, block);
+    bool has_left = false, has_right = false;
+    for (size_t ti : tables) {
+      (side_of_table(ti) ? has_left : has_right) = true;
+    }
+    if (has_left && has_right) {
+      view.theta.push_back(conjunct);
+      bool is_eq = conjunct->kind == ExprKind::kBinary &&
+                   conjunct->bop == BinaryOp::kEq;
+      std::vector<const Expr*> refs;
+      CollectColumnRefs(conjunct, &refs);
+      for (const Expr* r : refs) {
+        size_t off = static_cast<size_t>(r->resolved_index);
+        if (side_of_table(block.TableOfOffset(off))) {
+          InsertSorted(&view.jl_offsets, off);
+          if (is_eq) InsertSorted(&view.jl_eq_offsets, off);
+        } else {
+          InsertSorted(&view.jr_offsets, off);
+          if (is_eq) InsertSorted(&view.jr_eq_offsets, off);
+        }
+      }
+    } else if (has_left) {
+      view.left_only.push_back(conjunct);
+    } else {
+      view.right_only.push_back(conjunct);
+    }
+  }
+
+  for (const ExprPtr& g : block.group_by) {
+    size_t off = static_cast<size_t>(g->resolved_index);
+    if (side_of_table(block.TableOfOffset(off))) {
+      InsertSorted(&view.gl_offsets, off);
+    } else {
+      InsertSorted(&view.gr_offsets, off);
+    }
+  }
+
+  // Augment G_L / G_R with equality-equivalent offsets from the other side
+  // (transitive closure over all column=column equality conjuncts).
+  view.gl_aug_offsets = view.gl_offsets;
+  view.gr_aug_offsets = view.gr_offsets;
+  {
+    // Union-find over flat offsets.
+    std::map<size_t, size_t> parent;
+    std::function<size_t(size_t)> find = [&](size_t x) -> size_t {
+      auto it = parent.find(x);
+      if (it == parent.end() || it->second == x) return x;
+      size_t root = find(it->second);
+      parent[x] = root;
+      return root;
+    };
+    for (const ExprPtr& conjunct : block.where_conjuncts) {
+      if (conjunct->kind != ExprKind::kBinary ||
+          conjunct->bop != BinaryOp::kEq) {
+        continue;
+      }
+      const ExprPtr& l = conjunct->children[0];
+      const ExprPtr& r = conjunct->children[1];
+      if (l->kind == ExprKind::kColumnRef &&
+          r->kind == ExprKind::kColumnRef) {
+        size_t a = find(static_cast<size_t>(l->resolved_index));
+        size_t b = find(static_cast<size_t>(r->resolved_index));
+        parent.emplace(a, a);
+        parent.emplace(b, b);
+        if (a != b) parent[a] = b;
+      }
+    }
+    auto augment = [&](const std::vector<size_t>& from,
+                       std::vector<size_t>* to, bool to_left) {
+      for (size_t g : from) {
+        size_t root = find(g);
+        for (const auto& [off, p] : parent) {
+          (void)p;
+          if (find(off) != root) continue;
+          bool is_left = side_of_table(block.TableOfOffset(off));
+          if (is_left == to_left) InsertSorted(to, off);
+        }
+      }
+    };
+    augment(view.gr_offsets, &view.gl_aug_offsets, /*to_left=*/true);
+    augment(view.gl_offsets, &view.gr_aug_offsets, /*to_left=*/false);
+  }
+  return view;
+}
+
+std::vector<TablePartition> CandidatePartitions(const QueryBlock& block) {
+  const size_t n = block.tables.size();
+  std::vector<TablePartition> out;
+  if (n < 2) return out;
+
+  auto complement = [&](const std::vector<size_t>& left) {
+    std::vector<size_t> right;
+    for (size_t i = 0; i < n; ++i) {
+      if (std::find(left.begin(), left.end(), i) == left.end()) {
+        right.push_back(i);
+      }
+    }
+    return right;
+  };
+  std::set<std::vector<size_t>> emitted;
+  auto emit = [&](std::vector<size_t> left) {
+    if (left.empty() || left.size() == n) return;
+    std::sort(left.begin(), left.end());
+    if (!emitted.insert(left).second) return;
+    TablePartition p;
+    p.left = left;
+    p.right = complement(left);
+    out.push_back(std::move(p));
+  };
+
+  // 1) Minimal left side covering all GROUP BY attributes (the paper's
+  //    first candidate for pick_memprune).
+  std::vector<size_t> group_tables;
+  for (const ExprPtr& g : block.group_by) {
+    size_t ti = block.TableOfOffset(static_cast<size_t>(g->resolved_index));
+    if (std::find(group_tables.begin(), group_tables.end(), ti) ==
+        group_tables.end()) {
+      group_tables.push_back(ti);
+    }
+  }
+  if (!group_tables.empty()) emit(group_tables);
+
+  // 2) Singletons.
+  for (size_t i = 0; i < n; ++i) emit({i});
+
+  // 3) Pairs (covers the {S1,T1} / {S2,T2} reducers of Example 13).
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) emit({i, j});
+  }
+
+  // 4) Complements of singletons (left = all but one).
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<size_t> left;
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i) left.push_back(j);
+    }
+    emit(std::move(left));
+  }
+  return out;
+}
+
+Result<ExprPtr> RemapExpr(const ExprPtr& e,
+                          const std::map<size_t, size_t>& offset_map) {
+  ExprPtr clone = CloneExpr(e);
+  std::vector<Expr*> refs;
+  CollectColumnRefs(clone, &refs);
+  for (Expr* r : refs) {
+    auto it = offset_map.find(static_cast<size_t>(r->resolved_index));
+    if (it == offset_map.end()) {
+      return Status::Internal("offset not in remap table: " + r->ToString());
+    }
+    r->resolved_index = static_cast<int>(it->second);
+  }
+  return clone;
+}
+
+Result<QueryBlock> MakeSubBlock(const QueryBlock& block,
+                                const std::vector<size_t>& table_indexes,
+                                const std::vector<ExprPtr>& conjuncts,
+                                std::map<size_t, size_t>* offset_map) {
+  QueryBlock sub;
+  size_t new_offset = 0;
+  for (size_t ti : table_indexes) {
+    ICEBERG_CHECK(ti < block.tables.size());
+    BoundTableRef ref = block.tables[ti];
+    for (size_t c = 0; c < ref.table->schema().num_columns(); ++c) {
+      (*offset_map)[ref.offset + c] = new_offset + c;
+    }
+    ref.offset = new_offset;
+    new_offset += ref.table->schema().num_columns();
+    sub.tables.push_back(std::move(ref));
+  }
+  for (const ExprPtr& conjunct : conjuncts) {
+    ICEBERG_ASSIGN_OR_RETURN(ExprPtr remapped,
+                             RemapExpr(conjunct, *offset_map));
+    sub.where_conjuncts.push_back(std::move(remapped));
+  }
+  return sub;
+}
+
+}  // namespace iceberg

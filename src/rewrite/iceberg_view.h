@@ -1,0 +1,114 @@
+#ifndef SMARTICEBERG_REWRITE_ICEBERG_VIEW_H_
+#define SMARTICEBERG_REWRITE_ICEBERG_VIEW_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/catalog/fd.h"
+#include "src/common/status.h"
+#include "src/plan/query_block.h"
+#include "src/rewrite/monotonicity.h"
+
+namespace iceberg {
+
+/// A partition of a block's FROM tables into the L (outer) and R (inner)
+/// sides of the paper's Listing-5 template.
+struct TablePartition {
+  std::vector<size_t> left;   // indices into QueryBlock::tables
+  std::vector<size_t> right;
+
+  std::string ToString(const QueryBlock& block) const;
+};
+
+/// The analyzed two-sided view of an iceberg block: Theta, J_L/J_R, G_L/G_R
+/// and side-local filters, all in terms of flat column offsets of the
+/// original block.
+struct IcebergView {
+  const QueryBlock* block = nullptr;
+  TablePartition partition;
+
+  std::vector<ExprPtr> theta;       // conjuncts referencing both sides
+  std::vector<ExprPtr> left_only;   // conjuncts local to the L side
+  std::vector<ExprPtr> right_only;  // conjuncts local to the R side
+
+  std::vector<size_t> jl_offsets;   // J_L: L-side offsets referenced by Theta
+  std::vector<size_t> jr_offsets;   // J_R
+  std::vector<size_t> jl_eq_offsets;  // J_L^=: offsets in equality conjuncts
+  std::vector<size_t> jr_eq_offsets;  // J_R^=
+  std::vector<size_t> gl_offsets;   // G_L: GROUP BY offsets on the L side
+  std::vector<size_t> gr_offsets;   // G_R
+
+  /// G_L / G_R augmented through equality-join equivalences (Appendix D's
+  /// Example 13: S1.id in GROUP BY can be replaced by S2.id when
+  /// S1.id = S2.id). Used by the a-priori safety checks and reducer
+  /// construction; the NLJP operator keeps the native sets.
+  std::vector<size_t> gl_aug_offsets;
+  std::vector<size_t> gr_aug_offsets;
+
+  /// True if every offset is on the left (right) side.
+  bool IsLeftOffset(size_t offset) const;
+
+  /// FDs holding on the L-side (resp. R-side) sub-join: per-table FDs plus
+  /// equivalences from side-local equality conjuncts.
+  FdSet LeftFds() const;
+  FdSet RightFds() const;
+
+  AttrSet LeftAttrs() const;
+  AttrSet RightAttrs() const;
+
+  /// Qualified attribute names for a list of offsets.
+  AttrSet NamesOf(const std::vector<size_t>& offsets) const;
+
+  /// True if all aggregate arguments and plain column refs of `e` resolve
+  /// to the given side ("Phi applicable to L/R"; COUNT(*) is always
+  /// applicable).
+  bool ApplicableTo(const ExprPtr& e, bool left_side) const;
+
+  /// Classifies the block's HAVING condition; SUM arguments are treated as
+  /// non-negative when every referenced column's values are non-negative in
+  /// the current instance (a sound instance-level check the engine
+  /// provides in lieu of declared domain constraints).
+  Monotonicity HavingMonotonicity() const;
+
+  /// True if G_L functionally determines all L-side attributes
+  /// (the "G_L -> A_L / G_L is a superkey of L" premise of Theorem 3).
+  bool GroupDeterminesLeft() const;
+
+  /// True if J_L functionally determines all L-side attributes (used to
+  /// skip memoization when bindings are unique; Section 6).
+  bool JoinDeterminesLeft() const;
+
+  std::string ToString() const;
+};
+
+/// Builds the two-sided view. Fails if the partition is not a disjoint
+/// cover of the block's tables.
+Result<IcebergView> AnalyzeIceberg(const QueryBlock& block,
+                                   TablePartition partition);
+
+/// Enumerates interesting partitions in the paper's search order: first the
+/// minimal L covering all GROUP BY attributes, then singleton comple­ments,
+/// then other small subsets. Used by pick_gapriori / pick_memprune.
+std::vector<TablePartition> CandidatePartitions(const QueryBlock& block);
+
+// ----- Expression / block remapping helpers ---------------------------------
+
+/// Rewrites the resolved_index of every column ref through `offset_map`
+/// (old flat offset -> new flat offset). Fails if a referenced offset is
+/// missing from the map. Returns a new expression; the input is untouched.
+Result<ExprPtr> RemapExpr(const ExprPtr& e,
+                          const std::map<size_t, size_t>& offset_map);
+
+/// Builds a sub-block over the given tables of `block` (in `table_indexes`
+/// order): the sub-block's FROM list is those tables re-offset, `where` the
+/// provided conjuncts remapped. Select/group-by/having start empty; callers
+/// fill them (remapped) as needed. Also returns the offset map used.
+Result<QueryBlock> MakeSubBlock(const QueryBlock& block,
+                                const std::vector<size_t>& table_indexes,
+                                const std::vector<ExprPtr>& conjuncts,
+                                std::map<size_t, size_t>* offset_map);
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_REWRITE_ICEBERG_VIEW_H_

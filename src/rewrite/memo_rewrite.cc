@@ -1,0 +1,290 @@
+#include "src/rewrite/memo_rewrite.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "src/common/logging.h"
+#include "src/exec/join_pipeline.h"
+#include "src/expr/aggregate.h"
+#include "src/expr/evaluator.h"
+
+namespace iceberg {
+
+Result<MemoRewriteResult> ExecuteStaticMemoRewrite(const IcebergView& view,
+                                                   bool use_indexes) {
+  const QueryBlock& block = *view.block;
+  if (block.having == nullptr) {
+    return Status::NotSupported("memo rewrite requires a HAVING condition");
+  }
+  if (view.jl_offsets.empty()) {
+    return Status::NotSupported("memo rewrite requires join attributes");
+  }
+  if (!view.ApplicableTo(block.having, /*left_side=*/false)) {
+    return Status::NotSupported("HAVING not applicable to the inner side");
+  }
+
+  // Collect aggregates; verify arguments are on the R side.
+  std::vector<ExprPtr> agg_nodes;
+  CollectAggregates(block.having, &agg_nodes);
+  const size_t num_phi_aggs = agg_nodes.size();
+  for (const BoundSelectItem& item : block.select) {
+    CollectAggregates(item.expr, &agg_nodes);
+  }
+  bool all_algebraic = true;
+  for (const ExprPtr& agg : agg_nodes) {
+    if (!agg->children.empty() &&
+        !view.ApplicableTo(agg->children[0], /*left_side=*/false)) {
+      return Status::NotSupported("aggregate over outer-side attributes: " +
+                                  agg->ToString());
+    }
+    if (!IsAlgebraic(agg->agg)) all_algebraic = false;
+  }
+  const bool key_mode = view.GroupDeterminesLeft();  // G_L -> A_L
+  if (!all_algebraic && !key_mode) {
+    return Status::NotSupported(
+        "holistic aggregate without G_L -> A_L (Listing 8's second variant "
+        "requires algebraic aggregates)");
+  }
+
+  MemoRewriteResult out;
+  out.used_partial_aggregates = !key_mode;
+
+  // ---- L: the outer-side sub-join, materialized ----
+  std::map<size_t, size_t> left_map;
+  ICEBERG_ASSIGN_OR_RETURN(
+      QueryBlock l_block,
+      MakeSubBlock(block, view.partition.left, view.left_only, &left_map));
+  ICEBERG_ASSIGN_OR_RETURN(JoinPipeline l_pipeline,
+                           JoinPipeline::Plan(l_block, use_indexes));
+  std::vector<Row> l_rows;
+  l_pipeline.Run(0, l_pipeline.OuterSize(),
+                 [&](const Row& row) { l_rows.push_back(row); }, nullptr);
+  out.l_rows = l_rows.size();
+
+  std::vector<size_t> binding_positions;
+  for (size_t off : view.jl_offsets) {
+    binding_positions.push_back(left_map.at(off));
+  }
+  auto binding_of = [&](const Row& l_row) {
+    Row b;
+    b.reserve(binding_positions.size());
+    for (size_t pos : binding_positions) b.push_back(l_row[pos]);
+    return b;
+  };
+
+  // ---- LJT: SELECT DISTINCT J_L FROM L ----
+  std::vector<DataType> types_by_offset;
+  for (const BoundTableRef& t : block.tables) {
+    for (const Column& c : t.table->schema().columns()) {
+      types_by_offset.push_back(c.type);
+    }
+  }
+  Schema ljt_schema;
+  for (size_t i = 0; i < view.jl_offsets.size(); ++i) {
+    ICEBERG_RETURN_NOT_OK(ljt_schema.AddColumn(
+        {"b" + std::to_string(i), types_by_offset[view.jl_offsets[i]]}));
+  }
+  auto ljt = std::make_shared<Table>("_ljt", ljt_schema);
+  {
+    std::unordered_map<Row, size_t, RowHash, RowEq> seen;
+    for (const Row& l_row : l_rows) {
+      Row b = binding_of(l_row);
+      if (seen.emplace(b, seen.size()).second) {
+        ljt->AppendUnchecked(std::move(b));
+      }
+    }
+  }
+  out.distinct_bindings = ljt->num_rows();
+
+  // ---- LJR: join LJT with R, group by J_L [+ G_R], aggregate ----
+  QueryBlock ljr_block;
+  BoundTableRef ljt_ref;
+  ljt_ref.alias = "_ljt";
+  ljt_ref.table = ljt;
+  ljt_ref.offset = 0;
+  ljr_block.tables.push_back(ljt_ref);
+  std::map<size_t, size_t> inner_map;
+  for (size_t i = 0; i < view.jl_offsets.size(); ++i) {
+    inner_map[view.jl_offsets[i]] = i;
+  }
+  size_t inner_offset = ljt_schema.num_columns();
+  for (size_t ti : view.partition.right) {
+    BoundTableRef ref = block.tables[ti];
+    for (size_t c = 0; c < ref.table->schema().num_columns(); ++c) {
+      inner_map[ref.offset + c] = inner_offset + c;
+    }
+    ref.offset = inner_offset;
+    inner_offset += ref.table->schema().num_columns();
+    ljr_block.tables.push_back(std::move(ref));
+  }
+  for (const ExprPtr& conjunct : view.theta) {
+    ICEBERG_ASSIGN_OR_RETURN(ExprPtr remapped, RemapExpr(conjunct, inner_map));
+    ljr_block.where_conjuncts.push_back(std::move(remapped));
+  }
+  for (const ExprPtr& conjunct : view.right_only) {
+    ICEBERG_ASSIGN_OR_RETURN(ExprPtr remapped, RemapExpr(conjunct, inner_map));
+    ljr_block.where_conjuncts.push_back(std::move(remapped));
+  }
+  std::vector<ExprPtr> inner_gr_exprs;
+  for (size_t gr : view.gr_offsets) {
+    ExprPtr ref = Col(block.QualifiedNameOfOffset(gr));
+    ref->resolved_index = static_cast<int>(inner_map.at(gr));
+    inner_gr_exprs.push_back(std::move(ref));
+  }
+  ExprPtr inner_phi;
+  ICEBERG_ASSIGN_OR_RETURN(inner_phi, RemapExpr(block.having, inner_map));
+  std::vector<ExprPtr> inner_phi_aggs;
+  CollectAggregates(inner_phi, &inner_phi_aggs);
+  ICEBERG_CHECK(inner_phi_aggs.size() == num_phi_aggs);
+  std::vector<ExprPtr> inner_agg_args;
+  for (const ExprPtr& agg : agg_nodes) {
+    if (agg->children.empty()) {
+      inner_agg_args.push_back(nullptr);
+    } else {
+      ICEBERG_ASSIGN_OR_RETURN(ExprPtr arg,
+                               RemapExpr(agg->children[0], inner_map));
+      inner_agg_args.push_back(std::move(arg));
+    }
+  }
+
+  ICEBERG_ASSIGN_OR_RETURN(JoinPipeline ljr_pipeline,
+                           JoinPipeline::Plan(ljr_block, use_indexes));
+  struct LjrGroup {
+    Row representative;
+    std::vector<Accumulator> accumulators;
+  };
+  // Keyed by binding + G_R values.
+  std::unordered_map<Row, LjrGroup, RowHash, RowEq> ljr;
+  const size_t num_binding_cols = ljt_schema.num_columns();
+  ljr_pipeline.Run(
+      0, ljr_pipeline.OuterSize(),
+      [&](const Row& joined) {
+        Row key(joined.begin(),
+                joined.begin() + static_cast<long>(num_binding_cols));
+        for (const ExprPtr& g : inner_gr_exprs) {
+          key.push_back(Evaluate(*g, joined));
+        }
+        auto it = ljr.find(key);
+        if (it == ljr.end()) {
+          LjrGroup group;
+          group.representative = joined;
+          for (const ExprPtr& agg : agg_nodes) {
+            group.accumulators.emplace_back(agg->agg);
+          }
+          it = ljr.emplace(std::move(key), std::move(group)).first;
+        }
+        LjrGroup& group = it->second;
+        for (size_t i = 0; i < agg_nodes.size(); ++i) {
+          if (inner_agg_args[i] == nullptr) {
+            group.accumulators[i].Add(Value::Null());
+          } else {
+            group.accumulators[i].Add(Evaluate(*inner_agg_args[i], joined));
+          }
+        }
+      },
+      nullptr);
+  out.ljr_groups = ljr.size();
+
+  // In key mode, apply HAVING inside LJR (Listing 8, first variant).
+  if (key_mode) {
+    for (auto it = ljr.begin(); it != ljr.end();) {
+      AggValueMap phi_values;
+      for (size_t i = 0; i < inner_phi_aggs.size(); ++i) {
+        phi_values[inner_phi_aggs[i].get()] =
+            it->second.accumulators[i].Final();
+      }
+      if (!EvaluatePredicate(*inner_phi, it->second.representative,
+                             &phi_values)) {
+        it = ljr.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // ---- Final: L NATURAL JOIN LJR ON J_L, GROUP BY G_L, G_R ----
+  // Re-key LJR by binding, collecting its (G_R, accumulators) payloads.
+  std::unordered_map<Row, std::vector<const LjrGroup*>, RowHash, RowEq>
+      ljr_by_binding;
+  std::unordered_map<const LjrGroup*, Row> gr_of_group;
+  for (const auto& [key, group] : ljr) {
+    Row binding(key.begin(), key.begin() + static_cast<long>(num_binding_cols));
+    Row gr_key(key.begin() + static_cast<long>(num_binding_cols), key.end());
+    ljr_by_binding[std::move(binding)].push_back(&group);
+    gr_of_group[&group] = std::move(gr_key);
+  }
+
+  struct FinalGroup {
+    Row synthetic;
+    std::vector<Accumulator> accumulators;
+    bool filled = false;
+  };
+  std::unordered_map<Row, FinalGroup, RowHash, RowEq> groups;
+  const size_t total_width = block.TotalWidth();
+  for (const Row& l_row : l_rows) {
+    auto hit = ljr_by_binding.find(binding_of(l_row));
+    if (hit == ljr_by_binding.end()) continue;
+    for (const LjrGroup* payload : hit->second) {
+      const Row& gr_key = gr_of_group[payload];
+      Row synthetic(total_width, Value::Null());
+      for (const auto& [orig, pos] : left_map) synthetic[orig] = l_row[pos];
+      for (size_t i = 0; i < view.gr_offsets.size(); ++i) {
+        synthetic[view.gr_offsets[i]] = gr_key[i];
+      }
+      Row group_key;
+      for (const ExprPtr& g : block.group_by) {
+        group_key.push_back(Evaluate(*g, synthetic));
+      }
+      auto it = groups.find(group_key);
+      if (it == groups.end()) {
+        FinalGroup group;
+        group.synthetic = synthetic;
+        it = groups.emplace(std::move(group_key), std::move(group)).first;
+      }
+      FinalGroup& group = it->second;
+      if (key_mode) {
+        // Exactly one contributing binding per group; duplicates of the
+        // same L-tuple carry identical aggregates.
+        if (!group.filled) group.accumulators = payload->accumulators;
+      } else {
+        if (!group.filled) {
+          for (const ExprPtr& agg : agg_nodes) {
+            group.accumulators.emplace_back(agg->agg);
+          }
+        }
+        for (size_t i = 0; i < agg_nodes.size(); ++i) {
+          group.accumulators[i].MergePartial(
+              payload->accumulators[i].PartialState());
+        }
+      }
+      group.filled = true;
+    }
+  }
+
+  auto result = std::make_shared<Table>(block.output_schema);
+  for (const auto& [key, group] : groups) {
+    AggValueMap agg_values;
+    for (size_t i = 0; i < agg_nodes.size(); ++i) {
+      agg_values[agg_nodes[i].get()] = group.accumulators[i].Final();
+    }
+    if (!key_mode &&
+        !EvaluatePredicate(*block.having, group.synthetic, &agg_values)) {
+      continue;
+    }
+    // key_mode already filtered in LJR, but evaluating again is harmless
+    // and guards duplicated L-rows; do it uniformly.
+    if (key_mode &&
+        !EvaluatePredicate(*block.having, group.synthetic, &agg_values)) {
+      continue;
+    }
+    Row out_row;
+    for (const BoundSelectItem& item : block.select) {
+      out_row.push_back(Evaluate(*item.expr, group.synthetic, &agg_values));
+    }
+    result->AppendUnchecked(std::move(out_row));
+  }
+  out.result = std::move(result);
+  return out;
+}
+
+}  // namespace iceberg

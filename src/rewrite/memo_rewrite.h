@@ -1,0 +1,44 @@
+#ifndef SMARTICEBERG_REWRITE_MEMO_REWRITE_H_
+#define SMARTICEBERG_REWRITE_MEMO_REWRITE_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/rewrite/iceberg_view.h"
+#include "src/storage/table.h"
+
+namespace iceberg {
+
+/// Outcome and counters of the static memoization rewrite.
+struct MemoRewriteResult {
+  TablePtr result;
+  size_t l_rows = 0;             // |L| after L-side filters
+  size_t distinct_bindings = 0;  // |LJT|
+  size_t ljr_groups = 0;         // |LJR| (per binding [x G_R] groups)
+  bool used_partial_aggregates = false;  // Listing 8's second variant
+};
+
+/// The *static* memoization rewrite of the paper's Appendix C (Listing 8),
+/// an alternative to NLJP-based memoization that needs no new operator:
+///
+///   WITH LJT AS (SELECT DISTINCT J_L FROM L),
+///        LJR AS (SELECT J_L, G_R, f^i(...) ... FROM LJT, R WHERE Theta
+///                GROUP BY J_L, G_R [HAVING Phi])
+///   SELECT G_L, G_R, Lambda  FROM L JOIN LJR ON J_L
+///   GROUP BY G_L, G_R [HAVING Phi]
+///
+/// When G_L -> A_L, each (J_L, G_R) group is exactly one LR-group, so Phi
+/// is applied inside LJR and aggregates are final. Otherwise the aggregates
+/// must be algebraic: LJR stores f^i partials and the outer query combines
+/// them with f^o before evaluating Phi and Lambda.
+///
+/// Applicability: Phi applicable to R, every aggregate of Phi and the
+/// select list over R attributes (or *), and algebraic aggregates unless
+/// G_L -> A_L — the Section 6 conditions, but WITHOUT requiring G_R to be
+/// empty.
+Result<MemoRewriteResult> ExecuteStaticMemoRewrite(const IcebergView& view,
+                                                   bool use_indexes = true);
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_REWRITE_MEMO_REWRITE_H_

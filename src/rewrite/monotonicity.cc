@@ -1,0 +1,112 @@
+#include "src/rewrite/monotonicity.h"
+
+namespace iceberg {
+
+const char* MonotonicityName(Monotonicity m) {
+  switch (m) {
+    case Monotonicity::kMonotone:
+      return "monotone";
+    case Monotonicity::kAntiMonotone:
+      return "anti-monotone";
+    case Monotonicity::kNeither:
+      return "neither";
+  }
+  return "?";
+}
+
+namespace {
+
+Monotonicity Flip(Monotonicity m) {
+  switch (m) {
+    case Monotonicity::kMonotone:
+      return Monotonicity::kAntiMonotone;
+    case Monotonicity::kAntiMonotone:
+      return Monotonicity::kMonotone;
+    case Monotonicity::kNeither:
+      return Monotonicity::kNeither;
+  }
+  return Monotonicity::kNeither;
+}
+
+Monotonicity Combine(Monotonicity a, Monotonicity b) {
+  if (a == b) return a;
+  return Monotonicity::kNeither;
+}
+
+/// Classifies `agg OP constant` where OP has been normalized so the
+/// aggregate is on the left. `upper` means agg <= c (or <).
+Monotonicity ClassifyAtom(const ExprPtr& agg, bool upper,
+                          const NonNegativeHint& nonnegative) {
+  ExprPtr arg = agg->children.empty() ? nullptr : agg->children[0];
+  switch (agg->agg) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+    case AggFunc::kCountDistinct:
+      // Counts only grow as tuples are added.
+      return upper ? Monotonicity::kAntiMonotone : Monotonicity::kMonotone;
+    case AggFunc::kSum:
+      // Growth direction is only known when the summand is non-negative.
+      if (nonnegative != nullptr && arg != nullptr && nonnegative(arg)) {
+        return upper ? Monotonicity::kAntiMonotone : Monotonicity::kMonotone;
+      }
+      return Monotonicity::kNeither;
+    case AggFunc::kMax:
+      // MAX grows with more tuples.
+      return upper ? Monotonicity::kAntiMonotone : Monotonicity::kMonotone;
+    case AggFunc::kMin:
+      // MIN shrinks with more tuples, so the directions swap.
+      return upper ? Monotonicity::kMonotone : Monotonicity::kAntiMonotone;
+    case AggFunc::kAvg:
+      // AVG can move either way.
+      return Monotonicity::kNeither;
+  }
+  return Monotonicity::kNeither;
+}
+
+}  // namespace
+
+Monotonicity ClassifyHaving(const ExprPtr& having,
+                            const NonNegativeHint& nonnegative) {
+  if (having == nullptr) return Monotonicity::kNeither;
+  switch (having->kind) {
+    case ExprKind::kUnary:
+      if (having->uop == UnaryOp::kNot) {
+        return Flip(ClassifyHaving(having->children[0], nonnegative));
+      }
+      return Monotonicity::kNeither;
+    case ExprKind::kBinary: {
+      if (having->bop == BinaryOp::kAnd || having->bop == BinaryOp::kOr) {
+        return Combine(ClassifyHaving(having->children[0], nonnegative),
+                       ClassifyHaving(having->children[1], nonnegative));
+      }
+      if (!IsComparisonOp(having->bop)) return Monotonicity::kNeither;
+      // Normalize to aggregate-on-the-left.
+      ExprPtr l = having->children[0];
+      ExprPtr r = having->children[1];
+      BinaryOp op = having->bop;
+      if (l->kind != ExprKind::kAggregate &&
+          r->kind == ExprKind::kAggregate) {
+        std::swap(l, r);
+        op = FlipComparison(op);
+      }
+      if (l->kind != ExprKind::kAggregate ||
+          r->kind != ExprKind::kLiteral) {
+        return Monotonicity::kNeither;
+      }
+      switch (op) {
+        case BinaryOp::kLe:
+        case BinaryOp::kLt:
+          return ClassifyAtom(l, /*upper=*/true, nonnegative);
+        case BinaryOp::kGe:
+        case BinaryOp::kGt:
+          return ClassifyAtom(l, /*upper=*/false, nonnegative);
+        default:
+          return Monotonicity::kNeither;  // = and <> are neither
+      }
+    }
+    default:
+      return Monotonicity::kNeither;
+  }
+}
+
+}  // namespace iceberg

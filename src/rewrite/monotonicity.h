@@ -1,0 +1,47 @@
+#ifndef SMARTICEBERG_REWRITE_MONOTONICITY_H_
+#define SMARTICEBERG_REWRITE_MONOTONICITY_H_
+
+#include <functional>
+#include <string>
+
+#include "src/expr/expr.h"
+
+namespace iceberg {
+
+/// Monotonicity classification of a HAVING condition (Definition 1):
+///  - monotone: T subset T'  and Phi(T)  implies Phi(T')
+///  - anti-monotone: T superset T' and Phi(T) implies Phi(T')
+enum class Monotonicity {
+  kMonotone,
+  kAntiMonotone,
+  kNeither,
+};
+
+const char* MonotonicityName(Monotonicity m);
+
+/// Tells the classifier whether a column's domain is known to be
+/// non-negative (required for SUM comparisons per Table 2). The argument is
+/// the aggregate's input expression.
+using NonNegativeHint = std::function<bool(const ExprPtr& agg_arg)>;
+
+/// Classifies a HAVING condition per the paper's Table 2, closed under
+/// AND/OR (two monotone conditions compose monotone, two anti-monotone
+/// compose anti-monotone; mixing yields kNeither) and NOT (which flips the
+/// class). Atomic conditions are comparisons between one aggregate and a
+/// constant:
+///
+///   COUNT(*)/COUNT(A)/COUNT(DISTINCT A) >= c   monotone    (<= c anti)
+///   SUM(A) >= c  when dom(A) is non-negative   monotone    (<= c anti)
+///   MAX(A) >= c                                monotone    (<= c anti)
+///   MIN(A) <= c                                monotone    (>= c anti)
+///
+/// Note on MIN: under Definition 1 adding tuples can only lower a MIN, so
+/// MIN(A) <= c is the monotone direction and MIN(A) >= c the anti-monotone
+/// one (the camera-ready table's MIN row reads transposed; we follow the
+/// definition, which the proofs rely on).
+Monotonicity ClassifyHaving(const ExprPtr& having,
+                            const NonNegativeHint& nonnegative = nullptr);
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_REWRITE_MONOTONICITY_H_

@@ -1,0 +1,83 @@
+#include "src/storage/index.h"
+
+namespace iceberg {
+
+Row OrderedIndex::ExtractKey(const Row& row) const {
+  Row key;
+  key.reserve(key_columns_.size());
+  for (size_t c : key_columns_) key.push_back(row[c]);
+  return key;
+}
+
+void OrderedIndex::Insert(const Row& row, size_t row_id) {
+  entries_.emplace(ExtractKey(row), row_id);
+}
+
+std::vector<size_t> OrderedIndex::Lookup(const Row& key) const {
+  std::vector<size_t> out;
+  auto range = entries_.equal_range(key);
+  for (auto it = range.first; it != range.second; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<size_t> OrderedIndex::RangeLookup(const Row& low,
+                                              const Row& high) const {
+  std::vector<size_t> out;
+  auto it = entries_.lower_bound(low);
+  for (; it != entries_.end(); ++it) {
+    if (CompareRows(it->first, high) > 0) break;
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<size_t> OrderedIndex::LowerBoundScan(const Row& low,
+                                                 bool strict) const {
+  std::vector<size_t> out;
+  auto it = strict ? entries_.upper_bound(low) : entries_.lower_bound(low);
+  for (; it != entries_.end(); ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<size_t> OrderedIndex::UpperBoundScan(const Row& high) const {
+  std::vector<size_t> out;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    // Compare only the first high.size() key columns so a partial bound on
+    // an index prefix includes all rows sharing the boundary prefix.
+    bool within = true;
+    for (size_t i = 0; i < high.size() && i < it->first.size(); ++i) {
+      int c = it->first[i].Compare(high[i]);
+      if (c > 0) {
+        within = false;
+        break;
+      }
+      if (c < 0) break;
+    }
+    if (!within) break;
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+Row HashIndex::ExtractKey(const Row& row) const {
+  Row key;
+  key.reserve(key_columns_.size());
+  for (size_t c : key_columns_) key.push_back(row[c]);
+  return key;
+}
+
+void HashIndex::Insert(const Row& row, size_t row_id) {
+  entries_[ExtractKey(row)].push_back(row_id);
+}
+
+const std::vector<size_t>* HashIndex::Lookup(const Row& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  return &it->second;
+}
+
+}  // namespace iceberg

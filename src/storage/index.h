@@ -1,0 +1,75 @@
+#ifndef SMARTICEBERG_STORAGE_INDEX_H_
+#define SMARTICEBERG_STORAGE_INDEX_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace iceberg {
+
+/// A secondary index over a table, mapping a composite key (projection of a
+/// row onto the indexed columns) to the row ids having that key.
+///
+/// Two physical forms are provided:
+///  - OrderedIndex: a B-tree-like std::map supporting range scans; this is
+///    the analogue of the paper's "BT" secondary B-tree index.
+///  - HashIndex: exact-match lookups only; the analogue of the hash lookup
+///    PostgreSQL would use for equality predicates.
+class OrderedIndex {
+ public:
+  explicit OrderedIndex(std::vector<size_t> key_columns)
+      : key_columns_(std::move(key_columns)) {}
+
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+
+  void Insert(const Row& row, size_t row_id);
+
+  /// Row ids whose key equals `key` exactly.
+  std::vector<size_t> Lookup(const Row& key) const;
+
+  /// Row ids whose key is in [low, high] lexicographically (inclusive on
+  /// both ends). Used by range predicates on a prefix of the key.
+  std::vector<size_t> RangeLookup(const Row& low, const Row& high) const;
+
+  /// Row ids with key >= low (lexicographic). `strict` excludes equality on
+  /// the full key.
+  std::vector<size_t> LowerBoundScan(const Row& low, bool strict) const;
+
+  /// Row ids whose key *prefix* (first high.size() columns) is <= high.
+  std::vector<size_t> UpperBoundScan(const Row& high) const;
+
+  size_t num_entries() const { return entries_.size(); }
+
+ private:
+  Row ExtractKey(const Row& row) const;
+
+  std::vector<size_t> key_columns_;
+  std::multimap<Row, size_t, RowLess> entries_;
+};
+
+class HashIndex {
+ public:
+  explicit HashIndex(std::vector<size_t> key_columns)
+      : key_columns_(std::move(key_columns)) {}
+
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+
+  void Insert(const Row& row, size_t row_id);
+  const std::vector<size_t>* Lookup(const Row& key) const;
+
+  size_t num_keys() const { return entries_.size(); }
+
+ private:
+  Row ExtractKey(const Row& row) const;
+
+  std::vector<size_t> key_columns_;
+  std::unordered_map<Row, std::vector<size_t>, RowHash, RowEq> entries_;
+};
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_STORAGE_INDEX_H_

@@ -1,0 +1,94 @@
+#ifndef SMARTICEBERG_STORAGE_TABLE_H_
+#define SMARTICEBERG_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/catalog/schema.h"
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/storage/index.h"
+
+namespace iceberg {
+
+/// An in-memory row-store relation with optional secondary indexes.
+///
+/// Tables are append-only (sufficient for the analytical workloads the paper
+/// evaluates). Indexes built before loading are maintained on Append;
+/// indexes can also be built after loading with BuildOrderedIndex /
+/// BuildHashIndex.
+class Table {
+ public:
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  void SetName(std::string name) { name_ = std::move(name); }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Appends a row; fails if the arity does not match the schema.
+  Status Append(Row row);
+
+  /// Appends without validation (hot path for generators).
+  void AppendUnchecked(Row row);
+
+  /// Replaces row `i` in place. Secondary indexes are NOT maintained; only
+  /// valid for index-free tables (e.g. the NLJP parameter table).
+  void UpdateRow(size_t i, Row row);
+
+  /// Builds an ordered (B-tree-like) index over the named columns.
+  Result<size_t> BuildOrderedIndex(const std::vector<std::string>& columns);
+
+  /// Builds a hash index over the named columns.
+  Result<size_t> BuildHashIndex(const std::vector<std::string>& columns);
+
+  /// Index builders addressed by column ordinal (used when copying index
+  /// definitions onto derived tables).
+  size_t BuildOrderedIndexByIds(std::vector<size_t> columns);
+  size_t BuildHashIndexByIds(std::vector<size_t> columns);
+
+  size_t num_ordered_indexes() const { return ordered_indexes_.size(); }
+  size_t num_hash_indexes() const { return hash_indexes_.size(); }
+  const OrderedIndex& ordered_index(size_t i) const {
+    return *ordered_indexes_[i];
+  }
+  const HashIndex& hash_index(size_t i) const { return *hash_indexes_[i]; }
+
+  /// Finds an ordered index whose key columns exactly match `columns`
+  /// (in order); nullptr if none.
+  const OrderedIndex* FindOrderedIndex(
+      const std::vector<size_t>& columns) const;
+
+  /// Finds a hash index whose key-column *set* matches `columns` (any
+  /// order); returns nullptr if none. The matching key order is written to
+  /// `key_order` so callers can build probe keys correctly.
+  const HashIndex* FindHashIndex(const std::vector<size_t>& columns,
+                                 std::vector<size_t>* key_order) const;
+
+  /// Drops all secondary indexes (used by the Fig. 4 index-configuration
+  /// experiments).
+  void DropIndexes();
+
+  /// Approximate memory footprint of the stored rows in bytes.
+  size_t ApproxBytes() const;
+
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<std::unique_ptr<OrderedIndex>> ordered_indexes_;
+  std::vector<std::unique_ptr<HashIndex>> hash_indexes_;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_STORAGE_TABLE_H_

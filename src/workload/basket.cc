@@ -1,0 +1,79 @@
+#include "src/workload/basket.h"
+
+#include <cmath>
+#include <random>
+#include <set>
+#include <vector>
+
+namespace iceberg {
+
+TablePtr MakeBaskets(const BasketConfig& config) {
+  Schema schema({{"bid", DataType::kInt64}, {"item", DataType::kInt64}});
+  auto table = std::make_shared<Table>("basket", schema);
+
+  std::mt19937_64 rng(config.seed);
+
+  // Zipf sampling over item ids via inverse-CDF on precomputed weights.
+  std::vector<double> cdf(config.num_items);
+  double total = 0;
+  for (size_t i = 0; i < config.num_items; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), config.zipf_skew);
+    cdf[i] = total;
+  }
+  std::uniform_real_distribution<double> uniform(0.0, total);
+  auto sample_item = [&]() {
+    double u = uniform(rng);
+    size_t lo = 0, hi = config.num_items - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<int64_t>(lo);
+  };
+
+  std::vector<std::set<int64_t>> baskets(config.num_baskets);
+  std::uniform_int_distribution<size_t> size_dist(config.min_basket_size,
+                                                  config.max_basket_size);
+  for (size_t b = 0; b < config.num_baskets; ++b) {
+    size_t size = size_dist(rng);
+    while (baskets[b].size() < size) baskets[b].insert(sample_item());
+  }
+
+  // Plant frequent pairs among rare items so the answer is interesting:
+  // pair p uses items (num_items-1-2p, num_items-2-2p).
+  std::uniform_int_distribution<size_t> basket_pick(0,
+                                                    config.num_baskets - 1);
+  for (size_t p = 0; p < config.planted_pairs; ++p) {
+    int64_t a = static_cast<int64_t>(config.num_items - 1 - 2 * p);
+    int64_t b = static_cast<int64_t>(config.num_items - 2 - 2 * p);
+    if (b < 0) break;
+    for (size_t k = 0; k < config.planted_support; ++k) {
+      size_t target = basket_pick(rng);
+      baskets[target].insert(a);
+      baskets[target].insert(b);
+    }
+  }
+
+  for (size_t b = 0; b < config.num_baskets; ++b) {
+    for (int64_t item : baskets[b]) {
+      table->AppendUnchecked(
+          {Value::Int(static_cast<int64_t>(b)), Value::Int(item)});
+    }
+  }
+  return table;
+}
+
+Status RegisterBaskets(Database* db, const BasketConfig& config) {
+  TablePtr baskets = MakeBaskets(config);
+  ICEBERG_RETURN_NOT_OK(db->RegisterTable(baskets));
+  ICEBERG_RETURN_NOT_OK(db->DeclareKey("basket", {"bid", "item"}));
+  ICEBERG_RETURN_NOT_OK(db->CreateHashIndex("basket", {"bid"}));
+  ICEBERG_RETURN_NOT_OK(db->CreateHashIndex("basket", {"item"}));
+  return Status::OK();
+}
+
+}  // namespace iceberg

@@ -1,0 +1,35 @@
+#ifndef SMARTICEBERG_WORKLOAD_BASKET_H_
+#define SMARTICEBERG_WORKLOAD_BASKET_H_
+
+#include <cstdint>
+
+#include "src/engine/database.h"
+#include "src/storage/table.h"
+
+namespace iceberg {
+
+/// Market-basket generator for the frequent-itemset queries of Listing 1.
+/// Item popularity is Zipf-distributed and a configurable number of item
+/// pairs are "planted" to co-occur frequently, so the iceberg query has a
+/// small, known-to-be-nonempty answer.
+struct BasketConfig {
+  size_t num_baskets = 20000;
+  size_t num_items = 2000;
+  size_t min_basket_size = 2;
+  size_t max_basket_size = 8;
+  size_t planted_pairs = 15;     // pairs forced to co-occur often
+  size_t planted_support = 60;   // co-occurrences per planted pair
+  double zipf_skew = 1.1;
+  uint64_t seed = 7;
+};
+
+/// Builds basket(bid, item) with key (bid, item): one row per item
+/// occurrence; an item appears at most once per basket.
+TablePtr MakeBaskets(const BasketConfig& config);
+
+/// Registers `basket` with its key FD and the indexes the queries use.
+Status RegisterBaskets(Database* db, const BasketConfig& config);
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_WORKLOAD_BASKET_H_

@@ -1,0 +1,33 @@
+#ifndef SMARTICEBERG_WORKLOAD_OBJECT_H_
+#define SMARTICEBERG_WORKLOAD_OBJECT_H_
+
+#include <cstdint>
+
+#include "src/engine/database.h"
+#include "src/storage/table.h"
+
+namespace iceberg {
+
+/// Point distributions standard in the skyline/skyband literature.
+enum class PointDistribution {
+  kIndependent,     // x, y uniform and independent
+  kCorrelated,      // good on one dimension implies good on the other
+  kAnticorrelated,  // dimensions trade off -> broad pareto frontier
+};
+
+struct ObjectConfig {
+  size_t num_objects = 10000;
+  PointDistribution distribution = PointDistribution::kIndependent;
+  int64_t domain = 1000;  // coordinates in [0, domain)
+  uint64_t seed = 11;
+};
+
+/// Builds object(id, x, y) with key (id) — the Listing-2 relation.
+TablePtr MakeObjects(const ObjectConfig& config);
+
+/// Registers `object` with its key FD and a B-tree index on (x, y).
+Status RegisterObjects(Database* db, const ObjectConfig& config);
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_WORKLOAD_OBJECT_H_

@@ -1,0 +1,248 @@
+// Tests for the generalized a-priori technique (Section 4): Theorem 2's
+// schema-based safety checks on the paper's own examples, reducer
+// construction, and end-to-end equivalence of the reduced query.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/engine/database.h"
+#include "src/rewrite/apriori.h"
+#include "src/rewrite/iceberg_view.h"
+
+namespace iceberg {
+namespace {
+
+Result<IcebergView> ViewOf(Database* db, const std::string& sql,
+                           std::vector<size_t> left,
+                           std::vector<size_t> right,
+                           QueryBlock* block_storage) {
+  ICEBERG_ASSIGN_OR_RETURN(*block_storage, db->Prepare(sql));
+  TablePartition part;
+  part.left = std::move(left);
+  part.right = std::move(right);
+  return AnalyzeIceberg(*block_storage, part);
+}
+
+class AprioriTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // basket(bid, item), key (bid, item) — Listings 1 / Example 6.
+    ASSERT_TRUE(db_.CreateTable("basket", Schema({{"bid", DataType::kInt64},
+                                                  {"item", DataType::kInt64}}))
+                    .ok());
+    ASSERT_TRUE(db_.DeclareKey("basket", {"bid", "item"}).ok());
+    // Example 7's tables: basket3(bid, item, did) and discount(did, rate).
+    ASSERT_TRUE(
+        db_.CreateTable("basket3", Schema({{"bid", DataType::kInt64},
+                                           {"item", DataType::kInt64},
+                                           {"did", DataType::kInt64}}))
+            .ok());
+    ASSERT_TRUE(db_.DeclareKey("basket3", {"bid", "item", "did"}).ok());
+    ASSERT_TRUE(
+        db_.CreateTable("discount", Schema({{"did", DataType::kInt64},
+                                            {"rate", DataType::kDouble}}))
+            .ok());
+    ASSERT_TRUE(db_.DeclareKey("discount", {"did"}).ok());
+    // object(id, x, y), key id — Listing 2.
+    ASSERT_TRUE(db_.CreateTable("object", Schema({{"id", DataType::kInt64},
+                                                  {"x", DataType::kInt64},
+                                                  {"y", DataType::kInt64}}))
+                    .ok());
+    ASSERT_TRUE(db_.DeclareKey("object", {"id"}).ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(AprioriTest, Example6MarketBasketMonotoneSafe) {
+  QueryBlock block;
+  auto view = ViewOf(&db_,
+                     "SELECT i1.item, i2.item FROM basket i1, basket i2 "
+                     "WHERE i1.bid = i2.bid GROUP BY i1.item, i2.item "
+                     "HAVING COUNT(*) >= 20",
+                     {0}, {1}, &block);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  auto opp = CheckApriori(*view);
+  ASSERT_TRUE(opp.ok()) << opp.status().ToString();
+  EXPECT_EQ(opp->monotonicity, Monotonicity::kMonotone);
+  // The reducer is exactly Listing 1 pushed to one table.
+  EXPECT_NE(opp->reducer_block.ToString().find("GROUP BY i1.item"),
+            std::string::npos);
+  ASSERT_EQ(opp->applications.size(), 1u);
+  EXPECT_EQ(opp->applications[0].table_index, 0u);
+}
+
+TEST_F(AprioriTest, Example6AntiMonotoneUnsafe) {
+  // Infrequent pairs: COUNT(*) <= 20 requires item -> bid, which fails.
+  QueryBlock block;
+  auto view = ViewOf(&db_,
+                     "SELECT i1.item, i2.item FROM basket i1, basket i2 "
+                     "WHERE i1.bid = i2.bid GROUP BY i1.item, i2.item "
+                     "HAVING COUNT(*) <= 20",
+                     {0}, {1}, &block);
+  ASSERT_TRUE(view.ok());
+  auto opp = CheckApriori(*view);
+  EXPECT_FALSE(opp.ok());
+}
+
+TEST_F(AprioriTest, Example7MonotoneAsymmetry) {
+  const char* sql =
+      "SELECT item, rate FROM basket3 L, discount R WHERE L.did = R.did "
+      "GROUP BY item, rate HAVING COUNT(DISTINCT bid) >= 25";
+  // Safe for L = basket3: G_R + J_R^= = {rate, did} is a superkey of
+  // discount.
+  QueryBlock block1;
+  auto view_l = ViewOf(&db_, sql, {0}, {1}, &block1);
+  ASSERT_TRUE(view_l.ok());
+  EXPECT_TRUE(CheckApriori(*view_l).ok());
+  // NOT safe for R = discount: {item, did} is not a superkey of basket3.
+  QueryBlock block2;
+  auto view_r = ViewOf(&db_, sql, {1}, {0}, &block2);
+  ASSERT_TRUE(view_r.ok());
+  EXPECT_FALSE(CheckApriori(*view_r).ok());
+}
+
+TEST_F(AprioriTest, Example7AntiMonotoneViaGlDeterminesJl) {
+  // With the additional FD item -> did, the anti-monotone variant becomes
+  // safe for L through the OTHER Theorem 2 branch (G_L -> J_L).
+  ASSERT_TRUE(db_.DeclareFd("basket3", {"item"}, {"did"}).ok());
+  const char* sql =
+      "SELECT item, rate FROM basket3 L, discount R WHERE L.did = R.did "
+      "GROUP BY item, rate HAVING COUNT(DISTINCT bid) <= 25";
+  QueryBlock block;
+  auto view = ViewOf(&db_, sql, {0}, {1}, &block);
+  ASSERT_TRUE(view.ok());
+  auto opp = CheckApriori(*view);
+  ASSERT_TRUE(opp.ok()) << opp.status().ToString();
+  EXPECT_EQ(opp->monotonicity, Monotonicity::kAntiMonotone);
+}
+
+TEST_F(AprioriTest, Example7AntiMonotoneWithoutFdUnsafe) {
+  const char* sql =
+      "SELECT item, rate FROM basket3 L, discount R WHERE L.did = R.did "
+      "GROUP BY item, rate HAVING COUNT(DISTINCT bid) <= 25";
+  QueryBlock block;
+  auto view = ViewOf(&db_, sql, {0}, {1}, &block);
+  ASSERT_TRUE(view.ok());
+  EXPECT_FALSE(CheckApriori(*view).ok());
+}
+
+TEST_F(AprioriTest, SkybandReducerRejectedAsUseless) {
+  // Q1-Q3/Q8: safe per Theorem 2 but cannot filter singleton groups.
+  QueryBlock block;
+  auto view = ViewOf(&db_,
+                     "SELECT L.id, COUNT(*) FROM object L, object R "
+                     "WHERE L.x <= R.x AND L.y <= R.y "
+                     "GROUP BY L.id HAVING COUNT(*) <= 50",
+                     {0}, {1}, &block);
+  ASSERT_TRUE(view.ok());
+  auto opp = CheckApriori(*view);
+  EXPECT_FALSE(opp.ok());
+  EXPECT_NE(opp.status().message().find("singleton"), std::string::npos);
+}
+
+TEST_F(AprioriTest, NeitherMonotonicityRejected) {
+  QueryBlock block;
+  auto view = ViewOf(&db_,
+                     "SELECT i1.item, i2.item FROM basket i1, basket i2 "
+                     "WHERE i1.bid = i2.bid GROUP BY i1.item, i2.item "
+                     "HAVING AVG(i1.bid) >= 20",
+                     {0}, {1}, &block);
+  ASSERT_TRUE(view.ok());
+  EXPECT_FALSE(CheckApriori(*view).ok());
+}
+
+TEST_F(AprioriTest, HavingNotApplicableToLeftRejected) {
+  QueryBlock block;
+  auto view = ViewOf(&db_,
+                     "SELECT i1.item, i2.item FROM basket i1, basket i2 "
+                     "WHERE i1.bid = i2.bid GROUP BY i1.item, i2.item "
+                     "HAVING MAX(i2.bid) >= 20",
+                     {0}, {1}, &block);
+  ASSERT_TRUE(view.ok());
+  auto opp = CheckApriori(*view);
+  EXPECT_FALSE(opp.ok());
+  EXPECT_NE(opp.status().message().find("not applicable"),
+            std::string::npos);
+}
+
+TEST_F(AprioriTest, ApplyAprioriFiltersRows) {
+  // Items 1,2 appear 3x together; items 5-9 appear once each.
+  int data[][2] = {{1, 1}, {1, 2}, {1, 9}, {2, 1}, {2, 2},
+                   {3, 1}, {3, 2}, {3, 5}};
+  for (auto& d : data) {
+    ASSERT_TRUE(
+        db_.Insert("basket", {Value::Int(d[0]), Value::Int(d[1])}).ok());
+  }
+  QueryBlock block;
+  auto view = ViewOf(&db_,
+                     "SELECT i1.item, i2.item FROM basket i1, basket i2 "
+                     "WHERE i1.bid = i2.bid GROUP BY i1.item, i2.item "
+                     "HAVING COUNT(*) >= 3",
+                     {0}, {1}, &block);
+  ASSERT_TRUE(view.ok());
+  auto opp = CheckApriori(*view);
+  ASSERT_TRUE(opp.ok()) << opp.status().ToString();
+  Executor executor;
+  size_t reducer_rows = 0;
+  auto replacements = ApplyApriori(*opp, &executor, &reducer_rows);
+  ASSERT_TRUE(replacements.ok()) << replacements.status().ToString();
+  EXPECT_EQ(reducer_rows, 2u);  // items 1 and 2 are frequent
+  ASSERT_EQ(replacements->size(), 1u);
+  TablePtr reduced = (*replacements)[0];
+  EXPECT_EQ(reduced->num_rows(), 6u);  // rows with item in {1, 2}
+  for (const Row& row : reduced->rows()) {
+    EXPECT_LE(row[1].AsInt(), 2);
+  }
+}
+
+/// Property sweep: on random basket instances and varying thresholds, the
+/// reduced query must return exactly the original result (Definition 2).
+class AprioriEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(AprioriEquivalence, ReducedQueryEquivalent) {
+  int threshold = GetParam();
+  Database db;
+  ASSERT_TRUE(db.CreateTable("basket", Schema({{"bid", DataType::kInt64},
+                                               {"item", DataType::kInt64}}))
+                  .ok());
+  ASSERT_TRUE(db.DeclareKey("basket", {"bid", "item"}).ok());
+  // Deterministic pseudo-random content.
+  uint64_t state = 12345 + static_cast<uint64_t>(threshold);
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  std::set<std::pair<int, int>> seen;
+  for (int i = 0; i < 500; ++i) {
+    int bid = static_cast<int>(next() % 60);
+    int item = static_cast<int>(next() % 25);
+    if (seen.emplace(bid, item).second) {
+      ASSERT_TRUE(
+          db.Insert("basket", {Value::Int(bid), Value::Int(item)}).ok());
+    }
+  }
+  std::string sql =
+      "SELECT i1.item, i2.item, COUNT(*) FROM basket i1, basket i2 "
+      "WHERE i1.bid = i2.bid AND i1.item < i2.item "
+      "GROUP BY i1.item, i2.item HAVING COUNT(*) >= " +
+      std::to_string(threshold);
+  auto base = db.Query(sql);
+  ASSERT_TRUE(base.ok());
+  auto smart = db.QueryIceberg(sql, IcebergOptions::Only(true, false, false));
+  ASSERT_TRUE(smart.ok()) << smart.status().ToString();
+  ASSERT_EQ((*base)->num_rows(), (*smart)->num_rows()) << sql;
+  std::vector<Row> a = (*base)->rows(), b = (*smart)->rows();
+  std::sort(a.begin(), a.end(), RowLess());
+  std::sort(b.begin(), b.end(), RowLess());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(CompareRows(a[i], b[i]), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, AprioriEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 20));
+
+}  // namespace
+}  // namespace iceberg

@@ -1,0 +1,128 @@
+// Unit tests for src/catalog: Schema and FD reasoning (closure, superkey,
+// qualification) — the machinery behind Theorems 2 and 3.
+
+#include <gtest/gtest.h>
+
+#include "src/catalog/fd.h"
+#include "src/catalog/schema.h"
+
+namespace iceberg {
+namespace {
+
+TEST(Schema, FindColumnCaseInsensitive) {
+  Schema s({{"Id", DataType::kInt64}, {"Name", DataType::kString}});
+  EXPECT_EQ(*s.FindColumn("id"), 0u);
+  EXPECT_EQ(*s.FindColumn("NAME"), 1u);
+  EXPECT_FALSE(s.FindColumn("missing").has_value());
+}
+
+TEST(Schema, GetColumnIndexError) {
+  Schema s({{"a", DataType::kInt64}});
+  Result<size_t> r = s.GetColumnIndex("b");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST(Schema, AddColumnRejectsDuplicates) {
+  Schema s;
+  EXPECT_TRUE(s.AddColumn({"a", DataType::kInt64}).ok());
+  EXPECT_FALSE(s.AddColumn({"A", DataType::kDouble}).ok());
+}
+
+TEST(Schema, Concat) {
+  Schema l({{"a", DataType::kInt64}});
+  Schema r({{"b", DataType::kString}});
+  Schema c = Schema::Concat(l, r);
+  EXPECT_EQ(c.num_columns(), 2u);
+  EXPECT_EQ(c.column(1).name, "b");
+}
+
+TEST(Fd, ClosureBasic) {
+  FdSet fds;
+  fds.Add({"a"}, {"b"});
+  fds.Add({"b"}, {"c"});
+  AttrSet closure = fds.Closure(MakeAttrSet({"a"}));
+  EXPECT_EQ(closure, MakeAttrSet({"a", "b", "c"}));
+}
+
+TEST(Fd, ClosureRequiresFullLhs) {
+  FdSet fds;
+  fds.Add({"a", "b"}, {"c"});
+  EXPECT_EQ(fds.Closure(MakeAttrSet({"a"})), MakeAttrSet({"a"}));
+  EXPECT_EQ(fds.Closure(MakeAttrSet({"a", "b"})),
+            MakeAttrSet({"a", "b", "c"}));
+}
+
+TEST(Fd, EmptyLhsAlwaysFires) {
+  FdSet fds;
+  fds.Add(FunctionalDependency{{}, MakeAttrSet({"k"})});
+  EXPECT_EQ(fds.Closure({}), MakeAttrSet({"k"}));
+}
+
+TEST(Fd, SuperkeyCheck) {
+  // basket(bid, item) with key (bid, item): the market-basket check of
+  // Example 6 — {item, bid} is a superkey.
+  FdSet fds;
+  fds.Add({"bid", "item"}, {"bid", "item"});
+  AttrSet all = MakeAttrSet({"bid", "item"});
+  EXPECT_TRUE(fds.IsSuperkey(MakeAttrSet({"bid", "item"}), all));
+  EXPECT_FALSE(fds.IsSuperkey(MakeAttrSet({"item"}), all));
+}
+
+TEST(Fd, EquivalencePropagation) {
+  FdSet fds;
+  fds.AddEquivalence("s1.id", "s2.id");
+  fds.Add({"s2.id"}, {"s2.category"});
+  EXPECT_TRUE(fds.Determines(MakeAttrSet({"s1.id"}),
+                             MakeAttrSet({"s2.category"})));
+}
+
+TEST(Fd, WithQualifierPrefixesBothSides) {
+  FdSet fds;
+  fds.Add({"id"}, {"category"});
+  FdSet lifted = fds.WithQualifier("S1");
+  ASSERT_EQ(lifted.size(), 1u);
+  EXPECT_TRUE(lifted.Determines(MakeAttrSet({"s1.id"}),
+                                MakeAttrSet({"s1.category"})));
+  EXPECT_FALSE(
+      lifted.Determines(MakeAttrSet({"id"}), MakeAttrSet({"category"})));
+}
+
+TEST(Fd, CaseFolding) {
+  FdSet fds;
+  fds.Add({"ID"}, {"Category"});
+  EXPECT_TRUE(
+      fds.Determines(MakeAttrSet({"id"}), MakeAttrSet({"category"})));
+}
+
+TEST(Fd, MergeCombines) {
+  FdSet a, b;
+  a.Add({"x"}, {"y"});
+  b.Add({"y"}, {"z"});
+  a.Merge(b);
+  EXPECT_TRUE(a.Determines(MakeAttrSet({"x"}), MakeAttrSet({"z"})));
+}
+
+TEST(Fd, Example7DiscountScenario) {
+  // Basket(bid, item, did) key (bid,item,did)... simplified: check that
+  // G_R + J_R^= = {rate, did} is a superkey of Discount(did, rate) with
+  // key did.
+  FdSet discount;
+  discount.Add({"did"}, {"did", "rate"});
+  EXPECT_TRUE(discount.IsSuperkey(MakeAttrSet({"rate", "did"}),
+                                  MakeAttrSet({"did", "rate"})));
+  // But {item, did} is not a superkey of Basket(bid, item, did).
+  FdSet basket;
+  basket.Add({"bid", "item", "did"}, {"bid", "item", "did"});
+  EXPECT_FALSE(basket.IsSuperkey(MakeAttrSet({"item", "did"}),
+                                 MakeAttrSet({"bid", "item", "did"})));
+}
+
+TEST(Fd, ToStringReadable) {
+  FdSet fds;
+  fds.Add({"a"}, {"b"});
+  EXPECT_EQ(fds.ToString(), "{a} -> {b}");
+}
+
+}  // namespace
+}  // namespace iceberg

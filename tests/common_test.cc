@@ -1,0 +1,161 @@
+// Unit tests for src/common: Status/Result, Value semantics, Row utilities.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/common/status.h"
+#include "src/common/string_util.h"
+#include "src/common/value.h"
+
+namespace iceberg {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(Status, AllConstructorsSetCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::BindError("x").code(), StatusCode::kBindError);
+  EXPECT_EQ(Status::NotSupported("x").code(), StatusCode::kNotSupported);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  ICEBERG_ASSIGN_OR_RETURN(int h, Half(x));
+  ICEBERG_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(Quarter(7).ok());
+}
+
+TEST(Value, NullProperties) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_numeric());
+  EXPECT_EQ(v.type(), DataType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+  EXPECT_FALSE(v.AsBool());
+}
+
+TEST(Value, IntDoubleCoercedComparison) {
+  EXPECT_EQ(Value::Int(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_LT(Value::Int(3).Compare(Value::Double(3.5)), 0);
+  EXPECT_GT(Value::Double(4.0).Compare(Value::Int(3)), 0);
+}
+
+TEST(Value, NullsSortFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(-100)), 0);
+  EXPECT_LT(Value::Null().Compare(Value::Str("")), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(Value, NumericsSortBeforeStrings) {
+  EXPECT_LT(Value::Int(999).Compare(Value::Str("0")), 0);
+}
+
+TEST(Value, StringComparison) {
+  EXPECT_LT(Value::Str("abc").Compare(Value::Str("abd")), 0);
+  EXPECT_EQ(Value::Str("x").Compare(Value::Str("x")), 0);
+}
+
+TEST(Value, BoolRepresentation) {
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_FALSE(Value::Bool(false).AsBool());
+  EXPECT_TRUE(Value::Bool(true).is_int());
+}
+
+TEST(Value, HashConsistentWithEquality) {
+  // 1 and 1.0 compare equal, so they must hash equal.
+  EXPECT_EQ(Value::Int(1).Hash(), Value::Double(1.0).Hash());
+  EXPECT_EQ(Value::Str("hi").Hash(), Value::Str("hi").Hash());
+}
+
+TEST(Value, OperatorsMatchCompare) {
+  EXPECT_TRUE(Value::Int(1) < Value::Int(2));
+  EXPECT_TRUE(Value::Int(2) >= Value::Int(2));
+  EXPECT_TRUE(Value::Int(2) == Value::Double(2.0));
+  EXPECT_TRUE(Value::Int(2) != Value::Int(3));
+}
+
+TEST(Row, CompareRowsLexicographic) {
+  Row a{Value::Int(1), Value::Int(2)};
+  Row b{Value::Int(1), Value::Int(3)};
+  EXPECT_LT(CompareRows(a, b), 0);
+  EXPECT_GT(CompareRows(b, a), 0);
+  EXPECT_EQ(CompareRows(a, a), 0);
+}
+
+TEST(Row, PrefixSortsFirst) {
+  Row a{Value::Int(1)};
+  Row b{Value::Int(1), Value::Int(0)};
+  EXPECT_LT(CompareRows(a, b), 0);
+}
+
+TEST(Row, HashEqWorkInUnorderedSet) {
+  std::unordered_set<Row, RowHash, RowEq> set;
+  set.insert({Value::Int(1), Value::Str("a")});
+  set.insert({Value::Int(1), Value::Str("a")});
+  set.insert({Value::Int(2), Value::Str("a")});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Row, ToStringFormat) {
+  Row r{Value::Int(1), Value::Double(2.5), Value::Str("x")};
+  EXPECT_EQ(RowToString(r), "(1, 2.5, 'x')");
+}
+
+TEST(StringUtil, ToLowerUpper) {
+  EXPECT_EQ(ToLower("AbC_1"), "abc_1");
+  EXPECT_EQ(ToUpper("AbC_1"), "ABC_1");
+}
+
+TEST(StringUtil, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selects"));
+}
+
+TEST(StringUtil, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  std::vector<std::string> parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+}  // namespace
+}  // namespace iceberg

@@ -1,0 +1,137 @@
+// Tests for CSV import/export and table formatting.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/engine/csv.h"
+
+namespace iceberg {
+namespace {
+
+Database MakeDb() {
+  Database db;
+  EXPECT_TRUE(db.CreateTable("t", Schema({{"id", DataType::kInt64},
+                                          {"score", DataType::kDouble},
+                                          {"name", DataType::kString}}))
+                  .ok());
+  return db;
+}
+
+TEST(Csv, LoadWithHeader) {
+  Database db = MakeDb();
+  std::istringstream input("id,score,name\n1,2.5,alice\n2,3,bob\n");
+  ASSERT_TRUE(LoadCsv(&db, "t", input).ok());
+  TablePtr t = *db.GetTable("t");
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->row(0)[0].AsInt(), 1);
+  EXPECT_DOUBLE_EQ(t->row(0)[1].AsDouble(), 2.5);
+  EXPECT_EQ(t->row(1)[2].AsString(), "bob");
+}
+
+TEST(Csv, HeaderPermutesColumns) {
+  Database db = MakeDb();
+  std::istringstream input("name,id,score\ncarol,7,1.5\n");
+  ASSERT_TRUE(LoadCsv(&db, "t", input).ok());
+  TablePtr t = *db.GetTable("t");
+  EXPECT_EQ(t->row(0)[0].AsInt(), 7);
+  EXPECT_EQ(t->row(0)[2].AsString(), "carol");
+}
+
+TEST(Csv, NoHeaderUsesPositions) {
+  Database db = MakeDb();
+  std::istringstream input("3,9.5,dave\n");
+  CsvOptions options;
+  options.header = false;
+  ASSERT_TRUE(LoadCsv(&db, "t", input, options).ok());
+  EXPECT_EQ((*db.GetTable("t"))->row(0)[0].AsInt(), 3);
+}
+
+TEST(Csv, EmptyFieldIsNull) {
+  Database db = MakeDb();
+  std::istringstream input("id,score,name\n1,,x\n");
+  ASSERT_TRUE(LoadCsv(&db, "t", input).ok());
+  EXPECT_TRUE((*db.GetTable("t"))->row(0)[1].is_null());
+}
+
+TEST(Csv, QuotedFieldsWithEscapes) {
+  Database db = MakeDb();
+  std::istringstream input(
+      "id,score,name\n1,2.0,\"comma, inside\"\n2,3.0,\"quote \"\" here\"\n");
+  ASSERT_TRUE(LoadCsv(&db, "t", input).ok());
+  TablePtr t = *db.GetTable("t");
+  EXPECT_EQ(t->row(0)[2].AsString(), "comma, inside");
+  EXPECT_EQ(t->row(1)[2].AsString(), "quote \" here");
+}
+
+TEST(Csv, BadIntegerRejectedWithLocation) {
+  Database db = MakeDb();
+  std::istringstream input("id,score,name\nxyz,1.0,a\n");
+  Status st = LoadCsv(&db, "t", input);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line 2"), std::string::npos);
+}
+
+TEST(Csv, WrongFieldCountRejected) {
+  Database db = MakeDb();
+  std::istringstream input("id,score,name\n1,2.0\n");
+  EXPECT_FALSE(LoadCsv(&db, "t", input).ok());
+}
+
+TEST(Csv, UnknownHeaderColumnRejected) {
+  Database db = MakeDb();
+  std::istringstream input("id,score,nope\n");
+  EXPECT_FALSE(LoadCsv(&db, "t", input).ok());
+}
+
+TEST(Csv, RoundTrip) {
+  Database db = MakeDb();
+  ASSERT_TRUE(
+      db.Insert("t", {Value::Int(1), Value::Double(2.5),
+                      Value::Str("has, comma")})
+          .ok());
+  ASSERT_TRUE(
+      db.Insert("t", {Value::Int(2), Value::Null(), Value::Str("plain")})
+          .ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(**db.GetTable("t"), out).ok());
+
+  Database db2 = MakeDb();
+  std::istringstream in(out.str());
+  ASSERT_TRUE(LoadCsv(&db2, "t", in).ok());
+  TablePtr a = *db.GetTable("t");
+  TablePtr b = *db2.GetTable("t");
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  for (size_t i = 0; i < a->num_rows(); ++i) {
+    EXPECT_EQ(CompareRows(a->row(i), b->row(i)), 0);
+  }
+}
+
+TEST(Csv, LoadMissingFileFails) {
+  Database db = MakeDb();
+  EXPECT_FALSE(LoadCsvFile(&db, "t", "/nonexistent/file.csv").ok());
+}
+
+TEST(FormatTable, AlignedOutput) {
+  Database db = MakeDb();
+  ASSERT_TRUE(
+      db.Insert("t", {Value::Int(10), Value::Double(1.5), Value::Str("ab")})
+          .ok());
+  std::string text = FormatTable(**db.GetTable("t"));
+  EXPECT_NE(text.find("id | score | name"), std::string::npos);
+  EXPECT_NE(text.find("(1 rows)"), std::string::npos);
+}
+
+TEST(FormatTable, TruncatesLongTables) {
+  Database db = MakeDb();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db.Insert("t", {Value::Int(i), Value::Double(0),
+                                Value::Str("r")})
+                    .ok());
+  }
+  std::string text = FormatTable(**db.GetTable("t"), 5);
+  EXPECT_NE(text.find("(95 more rows)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iceberg

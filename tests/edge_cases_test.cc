@@ -1,0 +1,224 @@
+// Edge-case and failure-injection tests across the whole stack: empty
+// relations, NULL-bearing data flowing through joins / aggregates /
+// NLJP, degenerate thresholds, and single-row inputs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/engine/database.h"
+
+namespace iceberg {
+namespace {
+
+void ExpectSame(const TablePtr& a, const TablePtr& b) {
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  std::vector<Row> ra = a->rows(), rb = b->rows();
+  std::sort(ra.begin(), ra.end(), RowLess());
+  std::sort(rb.begin(), rb.end(), RowLess());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    ASSERT_EQ(CompareRows(ra[i], rb[i]), 0);
+  }
+}
+
+Database ObjectDb(const std::vector<std::array<int, 3>>& rows) {
+  Database db;
+  EXPECT_TRUE(db.CreateTable("o", Schema({{"id", DataType::kInt64},
+                                          {"x", DataType::kInt64},
+                                          {"y", DataType::kInt64}}))
+                  .ok());
+  EXPECT_TRUE(db.DeclareKey("o", {"id"}).ok());
+  for (const auto& r : rows) {
+    EXPECT_TRUE(db.Insert("o", {Value::Int(r[0]), Value::Int(r[1]),
+                                Value::Int(r[2])})
+                    .ok());
+  }
+  return db;
+}
+
+constexpr char kSkyband[] =
+    "SELECT L.id, COUNT(*) FROM o L, o R "
+    "WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y) "
+    "GROUP BY L.id HAVING COUNT(*) <= 2";
+
+TEST(EdgeCases, EmptyTable) {
+  Database db = ObjectDb({});
+  auto base = db.Query(kSkyband);
+  auto smart = db.QueryIceberg(kSkyband);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(smart.ok()) << smart.status().ToString();
+  EXPECT_EQ((*base)->num_rows(), 0u);
+  EXPECT_EQ((*smart)->num_rows(), 0u);
+}
+
+TEST(EdgeCases, SingleRowSelfJoin) {
+  Database db = ObjectDb({{1, 5, 5}});
+  auto base = db.Query(kSkyband);
+  auto smart = db.QueryIceberg(kSkyband);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(smart.ok());
+  // A lone object is dominated by nobody: no candidate group, no output.
+  EXPECT_EQ((*base)->num_rows(), 0u);
+  ExpectSame(*base, *smart);
+}
+
+TEST(EdgeCases, AllIdenticalPoints) {
+  // Strict dominance never holds between equal points.
+  Database db = ObjectDb({{1, 3, 3}, {2, 3, 3}, {3, 3, 3}});
+  auto base = db.Query(kSkyband);
+  auto smart = db.QueryIceberg(kSkyband);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(smart.ok());
+  EXPECT_EQ((*base)->num_rows(), 0u);
+  ExpectSame(*base, *smart);
+}
+
+TEST(EdgeCases, ThresholdZeroAntiMonotone) {
+  // COUNT(*) <= 0 can never hold for an existing group: empty everywhere.
+  Database db = ObjectDb({{1, 1, 1}, {2, 2, 2}, {3, 3, 3}});
+  const char* sql =
+      "SELECT L.id, COUNT(*) FROM o L, o R "
+      "WHERE L.x < R.x AND L.y < R.y GROUP BY L.id HAVING COUNT(*) <= 0";
+  auto base = db.Query(sql);
+  auto smart = db.QueryIceberg(sql);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(smart.ok());
+  EXPECT_EQ((*base)->num_rows(), 0u);
+  ExpectSame(*base, *smart);
+}
+
+TEST(EdgeCases, HugeThresholdMonotone) {
+  Database db = ObjectDb({{1, 1, 1}, {2, 2, 2}, {3, 3, 3}});
+  const char* sql =
+      "SELECT L.id, COUNT(*) FROM o L, o R "
+      "WHERE L.x <= R.x GROUP BY L.id HAVING COUNT(*) >= 1000000";
+  auto base = db.Query(sql);
+  auto smart = db.QueryIceberg(sql);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(smart.ok());
+  EXPECT_EQ((*base)->num_rows(), 0u);
+  ExpectSame(*base, *smart);
+}
+
+TEST(EdgeCases, NullsInJoinColumns) {
+  // NULL coordinates never satisfy comparisons: those rows silently drop
+  // out of the join on both engines.
+  Database db;
+  ASSERT_TRUE(db.CreateTable("o", Schema({{"id", DataType::kInt64},
+                                          {"x", DataType::kInt64},
+                                          {"y", DataType::kInt64}}))
+                  .ok());
+  ASSERT_TRUE(db.DeclareKey("o", {"id"}).ok());
+  ASSERT_TRUE(
+      db.Insert("o", {Value::Int(1), Value::Int(1), Value::Int(1)}).ok());
+  ASSERT_TRUE(
+      db.Insert("o", {Value::Int(2), Value::Null(), Value::Int(2)}).ok());
+  ASSERT_TRUE(
+      db.Insert("o", {Value::Int(3), Value::Int(3), Value::Null()}).ok());
+  ASSERT_TRUE(
+      db.Insert("o", {Value::Int(4), Value::Int(4), Value::Int(4)}).ok());
+  const char* sql =
+      "SELECT L.id, COUNT(*) FROM o L, o R "
+      "WHERE L.x < R.x AND L.y < R.y GROUP BY L.id HAVING COUNT(*) >= 1";
+  auto base = db.Query(sql);
+  auto smart = db.QueryIceberg(sql);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(smart.ok()) << smart.status().ToString();
+  ASSERT_EQ((*base)->num_rows(), 1u);  // only id=1 (dominated by 4)
+  ExpectSame(*base, *smart);
+}
+
+TEST(EdgeCases, NullAggregateInputs) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", Schema({{"g", DataType::kInt64},
+                                          {"v", DataType::kInt64}}))
+                  .ok());
+  ASSERT_TRUE(db.Insert("t", {Value::Int(1), Value::Null()}).ok());
+  ASSERT_TRUE(db.Insert("t", {Value::Int(1), Value::Int(5)}).ok());
+  ASSERT_TRUE(db.Insert("t", {Value::Int(2), Value::Null()}).ok());
+  auto r = db.Query(
+      "SELECT g, COUNT(*), COUNT(v), SUM(v), MIN(v) FROM t GROUP BY g");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<Row> rows = (*r)->rows();
+  std::sort(rows.begin(), rows.end(), RowLess());
+  // g=1: COUNT(*)=2, COUNT(v)=1, SUM=5, MIN=5.
+  EXPECT_EQ(rows[0][1].AsInt(), 2);
+  EXPECT_EQ(rows[0][2].AsInt(), 1);
+  EXPECT_EQ(rows[0][3].AsInt(), 5);
+  // g=2: all-NULL group -> SUM/MIN NULL, COUNT(v)=0.
+  EXPECT_EQ(rows[1][2].AsInt(), 0);
+  EXPECT_TRUE(rows[1][3].is_null());
+  EXPECT_TRUE(rows[1][4].is_null());
+}
+
+TEST(EdgeCases, MinHavingWithEmptyJoinsStaysSound) {
+  // Regression for the empty-join pruning witness bug: MIN(R.x) >= c with
+  // objects that join nothing must not poison the prune cache.
+  Database db = ObjectDb({{1, 9, 9}, {2, 1, 1}, {3, 2, 2}, {4, 5, 1}});
+  const char* sql =
+      "SELECT L.id, COUNT(*) FROM o L, o R "
+      "WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y) "
+      "GROUP BY L.id HAVING MIN(R.x) >= 2";
+  auto base = db.Query(sql);
+  auto smart = db.QueryIceberg(sql);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(smart.ok()) << smart.status().ToString();
+  ExpectSame(*base, *smart);
+}
+
+TEST(EdgeCases, DuplicateLRowsCountDouble) {
+  // Without a declared key, duplicate L rows contribute twice — on both
+  // engines (pruning is then off, memoization merges partials).
+  Database db;
+  ASSERT_TRUE(db.CreateTable("o", Schema({{"g", DataType::kInt64},
+                                          {"x", DataType::kInt64}}))
+                  .ok());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(db.Insert("o", {Value::Int(1), Value::Int(1)}).ok());
+  }
+  ASSERT_TRUE(db.Insert("o", {Value::Int(2), Value::Int(2)}).ok());
+  const char* sql =
+      "SELECT L.g, COUNT(*) FROM o L, o R WHERE L.x < R.x "
+      "GROUP BY L.g HAVING COUNT(*) >= 2";
+  auto base = db.Query(sql);
+  auto smart = db.QueryIceberg(sql);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(smart.ok());
+  ASSERT_EQ((*base)->num_rows(), 1u);
+  EXPECT_EQ((*base)->row(0)[1].AsInt(), 2);  // both duplicates counted
+  ExpectSame(*base, *smart);
+}
+
+TEST(EdgeCases, SelfJoinThreeWay) {
+  Database db = ObjectDb({{1, 1, 1}, {2, 2, 2}, {3, 3, 3}, {4, 4, 4}});
+  const char* sql =
+      "SELECT a.id, COUNT(*) FROM o a, o b, o c "
+      "WHERE a.x < b.x AND b.x < c.x GROUP BY a.id HAVING COUNT(*) >= 1";
+  auto base = db.Query(sql);
+  auto smart = db.QueryIceberg(sql);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(smart.ok()) << smart.status().ToString();
+  ExpectSame(*base, *smart);
+}
+
+TEST(EdgeCases, CrossTypeComparisonIntDouble) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", Schema({{"id", DataType::kInt64},
+                                          {"v", DataType::kDouble}}))
+                  .ok());
+  ASSERT_TRUE(db.DeclareKey("t", {"id"}).ok());
+  ASSERT_TRUE(db.Insert("t", {Value::Int(1), Value::Double(1.5)}).ok());
+  ASSERT_TRUE(db.Insert("t", {Value::Int(2), Value::Double(2.0)}).ok());
+  ASSERT_TRUE(db.Insert("t", {Value::Int(3), Value::Double(2.5)}).ok());
+  const char* sql =
+      "SELECT a.id, COUNT(*) FROM t a, t b WHERE a.v < b.v "
+      "GROUP BY a.id HAVING COUNT(*) <= 1";
+  auto base = db.Query(sql);
+  auto smart = db.QueryIceberg(sql);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(smart.ok()) << smart.status().ToString();
+  ExpectSame(*base, *smart);
+}
+
+}  // namespace
+}  // namespace iceberg

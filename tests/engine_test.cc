@@ -1,0 +1,165 @@
+// Tests for the Database facade: catalog operations, SQL entry points,
+// CTE/subquery materialization, derived FDs, and error paths.
+
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+
+namespace iceberg {
+namespace {
+
+TEST(Database, CreateInsertQuery) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", Schema({{"a", DataType::kInt64},
+                                          {"b", DataType::kString}}))
+                  .ok());
+  ASSERT_TRUE(db.Insert("t", {Value::Int(1), Value::Str("x")}).ok());
+  ASSERT_TRUE(db.Insert("t", {Value::Int(2), Value::Str("y")}).ok());
+  auto r = db.Query("SELECT a FROM t WHERE b = 'y'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ((*r)->num_rows(), 1u);
+  EXPECT_EQ((*r)->row(0)[0].AsInt(), 2);
+}
+
+TEST(Database, DuplicateTableRejected) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", Schema({{"a", DataType::kInt64}})).ok());
+  EXPECT_FALSE(db.CreateTable("T", Schema({{"a", DataType::kInt64}})).ok());
+}
+
+TEST(Database, UnknownTableErrors) {
+  Database db;
+  EXPECT_FALSE(db.Insert("nope", {}).ok());
+  EXPECT_FALSE(db.GetTable("nope").ok());
+  EXPECT_FALSE(db.DeclareKey("nope", {"a"}).ok());
+  EXPECT_FALSE(db.Query("SELECT a FROM nope").ok());
+}
+
+TEST(Database, InsertArityChecked) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", Schema({{"a", DataType::kInt64}})).ok());
+  EXPECT_FALSE(db.Insert("t", {Value::Int(1), Value::Int(2)}).ok());
+}
+
+TEST(Database, ParseErrorsSurface) {
+  Database db;
+  auto r = db.Query("SELEKT nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(Database, CteVisibleToMainAndLaterCtes) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", Schema({{"a", DataType::kInt64}})).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db.Insert("t", {Value::Int(i)}).ok());
+  }
+  auto r = db.Query(
+      "WITH small AS (SELECT a FROM t WHERE a < 5), "
+      "     tiny AS (SELECT a FROM small WHERE a < 2) "
+      "SELECT s.a, y.a FROM small s, tiny y WHERE s.a = y.a");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->num_rows(), 2u);
+}
+
+TEST(Database, SubqueryInFromMaterialized) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", Schema({{"a", DataType::kInt64}})).ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(db.Insert("t", {Value::Int(i % 3)}).ok());
+  }
+  auto r = db.Query(
+      "SELECT s.a, s.n FROM "
+      "(SELECT a, COUNT(*) AS n FROM t GROUP BY a) s WHERE s.n >= 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->num_rows(), 3u);
+}
+
+TEST(Database, DerivedFdFromGroupedCteEnablesPruning) {
+  // A CTE grouped by (k) exports k -> all, which the optimizer needs for
+  // Theorem 3's G_L superkey check on the outer block.
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", Schema({{"k", DataType::kInt64},
+                                          {"v", DataType::kInt64}}))
+                  .ok());
+  uint64_t state = 99;
+  for (int i = 0; i < 400; ++i) {
+    state = state * 6364136223846793005ULL + 1;
+    ASSERT_TRUE(db.Insert("t", {Value::Int(i % 80),
+                                Value::Int(static_cast<int64_t>(
+                                    (state >> 33) % 50))})
+                    .ok());
+  }
+  const char* sql =
+      "WITH agg AS (SELECT k, SUM(v) AS s FROM t GROUP BY k "
+      "             HAVING COUNT(*) >= 2) "
+      "SELECT L.k, COUNT(*) FROM agg L, agg R WHERE L.s < R.s "
+      "GROUP BY L.k HAVING COUNT(*) <= 10";
+  IcebergReport report;
+  auto smart = db.QueryIceberg(sql, IcebergOptions::All(), &report);
+  ASSERT_TRUE(smart.ok()) << smart.status().ToString();
+  EXPECT_TRUE(report.used_nljp) << report.ToString();
+  EXPECT_NE(report.nljp_explain.find("Q_C"), std::string::npos)
+      << report.nljp_explain;  // pruning really on
+  auto base = db.Query(sql);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ((*base)->num_rows(), (*smart)->num_rows());
+}
+
+TEST(Database, ExplainBaselineAndIceberg) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", Schema({{"a", DataType::kInt64}})).ok());
+  auto base_plan = db.ExplainBaseline("SELECT a FROM t");
+  ASSERT_TRUE(base_plan.ok());
+  EXPECT_NE(base_plan->find("SeqScan"), std::string::npos);
+  auto smart_plan = db.ExplainIceberg("SELECT a FROM t");
+  ASSERT_TRUE(smart_plan.ok());
+}
+
+TEST(Database, DropIndexesAffectsPlans) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("a", Schema({{"k", DataType::kInt64}})).ok());
+  ASSERT_TRUE(db.CreateTable("b", Schema({{"k", DataType::kInt64}})).ok());
+  ASSERT_TRUE(db.CreateHashIndex("b", {"k"}).ok());
+  const char* sql = "SELECT a.k FROM a, b WHERE a.k = b.k";
+  EXPECT_NE(db.ExplainBaseline(sql)->find("IndexNLJoin(hash)"),
+            std::string::npos);
+  ASSERT_TRUE(db.DropIndexes("b").ok());
+  EXPECT_EQ(db.ExplainBaseline(sql)->find("IndexNLJoin(hash)"),
+            std::string::npos);
+}
+
+TEST(Database, RegisterTableSharesStorage) {
+  Database db;
+  auto table = std::make_shared<Table>(
+      "ext", Schema({{"a", DataType::kInt64}}));
+  table->AppendUnchecked({Value::Int(5)});
+  ASSERT_TRUE(db.RegisterTable(table).ok());
+  auto fetched = db.GetTable("ext");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->get(), table.get());
+}
+
+TEST(Database, QueryIcebergOnPlainAggregate) {
+  // Single-table iceberg query (the Fang et al. original): no join, so the
+  // optimizer must fall back gracefully.
+  Database db;
+  ASSERT_TRUE(db.CreateTable("li", Schema({{"part", DataType::kInt64},
+                                           {"rev", DataType::kInt64}}))
+                  .ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        db.Insert("li", {Value::Int(i % 5), Value::Int(100 * i)}).ok());
+  }
+  const char* sql =
+      "SELECT part, SUM(rev) FROM li GROUP BY part "
+      "HAVING SUM(rev) >= 20000";
+  auto base = db.Query(sql);
+  auto smart = db.QueryIceberg(sql);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(smart.ok()) << smart.status().ToString();
+  EXPECT_EQ((*base)->num_rows(), (*smart)->num_rows());
+}
+
+}  // namespace
+}  // namespace iceberg

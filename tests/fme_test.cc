@@ -1,0 +1,363 @@
+// Tests for src/fme: linear expressions, NNF/DNF transforms,
+// Fourier-Motzkin elimination, and full quantifier elimination, validated
+// against brute-force evaluation over integer grids.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "src/fme/fme.h"
+#include "src/fme/formula.h"
+
+namespace iceberg {
+namespace fme {
+namespace {
+
+TEST(LinearExpr, ArithmeticAndNormalize) {
+  LinearExpr e = LinearExpr::Var(0);
+  e.Add(LinearExpr::Var(1), 2.0);
+  e.AddConstant(3.0);
+  EXPECT_DOUBLE_EQ(e.Coeff(0), 1.0);
+  EXPECT_DOUBLE_EQ(e.Coeff(1), 2.0);
+  EXPECT_DOUBLE_EQ(e.Eval({10.0, 5.0}), 23.0);
+  e.Add(LinearExpr::Var(0), -1.0);  // cancel var 0
+  EXPECT_FALSE(e.HasVar(0));
+}
+
+TEST(LinearExpr, ScaleFlipsSign) {
+  LinearExpr e = LinearExpr::Var(0);
+  e.Scale(-2.0);
+  EXPECT_DOUBLE_EQ(e.Coeff(0), -2.0);
+}
+
+TEST(LinAtom, EvalRespectsStrictness) {
+  LinearExpr zero;  // 0
+  LinAtom le{zero, AtomOp::kLe};
+  LinAtom lt{zero, AtomOp::kLt};
+  LinAtom eq{zero, AtomOp::kEq};
+  EXPECT_TRUE(le.Eval({}));
+  EXPECT_FALSE(lt.Eval({}));
+  EXPECT_TRUE(eq.Eval({}));
+}
+
+TEST(LinAtom, CanonicalKeyScaleInvariant) {
+  LinearExpr a = LinearExpr::Var(0);
+  a.Add(LinearExpr::Var(1), -1.0);
+  LinearExpr b = a;
+  b.Scale(2.0);
+  LinAtom a_le{a, AtomOp::kLe};
+  LinAtom b_le{b, AtomOp::kLe};
+  LinAtom a_lt{a, AtomOp::kLt};
+  EXPECT_EQ(a_le.CanonicalKey(), b_le.CanonicalKey());
+  EXPECT_NE(a_le.CanonicalKey(), a_lt.CanonicalKey());
+}
+
+TEST(Formula, ConstructorsFold) {
+  EXPECT_EQ(MakeAnd({MakeTrue(), MakeTrue()})->kind, FormulaKind::kTrue);
+  EXPECT_EQ(MakeAnd({MakeTrue(), MakeFalse()})->kind, FormulaKind::kFalse);
+  EXPECT_EQ(MakeOr({MakeFalse(), MakeFalse()})->kind, FormulaKind::kFalse);
+  EXPECT_EQ(MakeOr({MakeTrue(), MakeFalse()})->kind, FormulaKind::kTrue);
+  EXPECT_EQ(MakeNot(MakeNot(MakeTrue()))->kind, FormulaKind::kTrue);
+}
+
+TEST(Formula, ConstantAtomFolds) {
+  LinearExpr five(5.0);
+  EXPECT_EQ(MakeAtom(LinAtom{five, AtomOp::kLt})->kind, FormulaKind::kFalse);
+  LinearExpr minus(-1.0);
+  EXPECT_EQ(MakeAtom(LinAtom{minus, AtomOp::kLt})->kind, FormulaKind::kTrue);
+}
+
+TEST(Formula, FreeVarsSkipBound) {
+  FormulaPtr f = MakeExists(0, AtomLe(LinearExpr::Var(0),
+                                      LinearExpr::Var(1)));
+  std::set<int> vars;
+  FreeVars(*f, &vars);
+  EXPECT_EQ(vars, std::set<int>{1});
+}
+
+TEST(ToNnf, PushesNegationThroughConnectives) {
+  FormulaPtr f = MakeNot(MakeAnd({AtomLe(LinearExpr::Var(0), LinearExpr(0.0)),
+                                  AtomLt(LinearExpr::Var(1), LinearExpr(0.0))}));
+  FormulaPtr nnf = ToNnf(f);
+  EXPECT_EQ(nnf->kind, FormulaKind::kOr);
+  // not(x <= 0) == x > 0, not(y < 0) == y >= 0: both atoms, no Nots left.
+  for (const FormulaPtr& c : nnf->children) {
+    EXPECT_EQ(c->kind, FormulaKind::kAtom);
+  }
+}
+
+TEST(ToNnf, NegatedEqualityBecomesDisjunction) {
+  FormulaPtr f = MakeNot(AtomEq(LinearExpr::Var(0), LinearExpr(3.0)));
+  FormulaPtr nnf = ToNnf(f);
+  EXPECT_EQ(nnf->kind, FormulaKind::kOr);
+  EXPECT_EQ(nnf->children.size(), 2u);
+}
+
+TEST(ToDnf, DistributesAndOverOr) {
+  FormulaPtr a = AtomLe(LinearExpr::Var(0), LinearExpr(0.0));
+  FormulaPtr b = AtomLe(LinearExpr::Var(1), LinearExpr(0.0));
+  FormulaPtr c = AtomLe(LinearExpr::Var(2), LinearExpr(0.0));
+  auto dnf = ToDnf(MakeAnd({a, MakeOr({b, c})}));
+  ASSERT_TRUE(dnf.ok());
+  EXPECT_EQ(dnf->size(), 2u);
+  EXPECT_EQ((*dnf)[0].size(), 2u);
+}
+
+TEST(ToDnf, RespectsCap) {
+  // (a0 or b0) and (a1 or b1) ... grows 2^n.
+  std::vector<FormulaPtr> clauses;
+  for (int i = 0; i < 20; ++i) {
+    clauses.push_back(
+        MakeOr({AtomLe(LinearExpr::Var(2 * i), LinearExpr(0.0)),
+                AtomLe(LinearExpr::Var(2 * i + 1), LinearExpr(0.0))}));
+  }
+  EXPECT_FALSE(ToDnf(MakeAnd(std::move(clauses)), /*max_disjuncts=*/1000).ok());
+}
+
+TEST(Fme, EliminatesBoundedVariable) {
+  // x >= y + 500 and x + 10 <= z  (the paper's Eq. 1 fragment)
+  // eliminating x must give y + 510 <= z.
+  Conjunction conj;
+  LinearExpr a = LinearExpr::Var(1);  // y
+  a.AddConstant(500);
+  a.Add(LinearExpr::Var(0), -1.0);  // y + 500 - x <= 0
+  conj.push_back({a, AtomOp::kLe});
+  LinearExpr b = LinearExpr::Var(0);  // x
+  b.AddConstant(10);
+  b.Add(LinearExpr::Var(2), -1.0);  // x + 10 - z <= 0
+  conj.push_back({b, AtomOp::kLe});
+  Conjunction out = EliminateVarFme(conj, 0);
+  ASSERT_EQ(out.size(), 1u);
+  // y + 510 - z <= 0.
+  EXPECT_DOUBLE_EQ(out[0].expr.Coeff(1), 1.0);
+  EXPECT_DOUBLE_EQ(out[0].expr.Coeff(2), -1.0);
+  EXPECT_DOUBLE_EQ(out[0].expr.constant(), 510.0);
+}
+
+TEST(Fme, EqualitySubstitution) {
+  // x = 2y and x <= 10  =>  2y <= 10.
+  Conjunction conj;
+  LinearExpr eq = LinearExpr::Var(0);
+  eq.Add(LinearExpr::Var(1), -2.0);
+  conj.push_back({eq, AtomOp::kEq});
+  LinearExpr le = LinearExpr::Var(0);
+  le.AddConstant(-10.0);
+  conj.push_back({le, AtomOp::kLe});
+  Conjunction out = EliminateVarFme(conj, 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].expr.Coeff(1), 2.0);
+  EXPECT_DOUBLE_EQ(out[0].expr.constant(), -10.0);
+}
+
+TEST(Fme, UnboundedVariableDropsAtoms) {
+  Conjunction conj;
+  LinearExpr lower = LinearExpr(1.0);
+  lower.Add(LinearExpr::Var(0), -1.0);  // 1 - x <= 0, i.e. x >= 1 only
+  conj.push_back({lower, AtomOp::kLe});
+  Conjunction out = EliminateVarFme(conj, 0);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Fme, StrictnessPropagates) {
+  // x > y and x <= z  =>  y < z.
+  Conjunction conj;
+  LinearExpr g = LinearExpr::Var(1);
+  g.Add(LinearExpr::Var(0), -1.0);  // y - x < 0
+  conj.push_back({g, AtomOp::kLt});
+  LinearExpr le = LinearExpr::Var(0);
+  le.Add(LinearExpr::Var(2), -1.0);
+  conj.push_back({le, AtomOp::kLe});
+  Conjunction out = EliminateVarFme(conj, 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].op, AtomOp::kLt);
+}
+
+// ----- Quantifier elimination vs brute force ---------------------------------
+
+/// Evaluates a formula with quantifiers by brute force over the integer
+/// grid [-range, range]^bound for quantified variables.
+bool BruteForce(const Formula& f, std::vector<double>* assignment,
+                int range) {
+  switch (f.kind) {
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      size_t var = static_cast<size_t>(f.var);
+      if (assignment->size() <= var) assignment->resize(var + 1, 0.0);
+      double saved = (*assignment)[var];
+      bool exists = f.kind == FormulaKind::kExists;
+      bool result = !exists;
+      for (int v = -range; v <= range; ++v) {
+        (*assignment)[var] = v;
+        bool sub = BruteForce(*f.children[0], assignment, range);
+        if (exists && sub) {
+          result = true;
+          break;
+        }
+        if (!exists && !sub) {
+          result = false;
+          break;
+        }
+      }
+      (*assignment)[var] = saved;
+      return result;
+    }
+    case FormulaKind::kNot:
+      return !BruteForce(*f.children[0], assignment, range);
+    case FormulaKind::kAnd:
+      for (const FormulaPtr& c : f.children) {
+        if (!BruteForce(*c, assignment, range)) return false;
+      }
+      return true;
+    case FormulaKind::kOr:
+      for (const FormulaPtr& c : f.children) {
+        if (BruteForce(*c, assignment, range)) return true;
+      }
+      return false;
+    default:
+      return EvalFormula(f, *assignment);
+  }
+}
+
+/// Checks QE(f) == f pointwise on the grid for the free variables.
+/// NOTE: brute force ranges over integers while QE reasons over the reals,
+/// so only use formulas whose truth on integer grids matches the reals
+/// within the tested range (all-integer coefficients, range wide enough).
+void ExpectQeMatchesBruteForce(const FormulaPtr& f,
+                               const std::vector<int>& free_vars, int range) {
+  Result<FormulaPtr> eliminated = EliminateQuantifiers(f);
+  ASSERT_TRUE(eliminated.ok()) << eliminated.status().ToString();
+  EXPECT_FALSE(HasQuantifier(**eliminated));
+  int max_var = 0;
+  for (int v : free_vars) max_var = std::max(max_var, v);
+  std::vector<double> assignment(static_cast<size_t>(max_var) + 1, 0.0);
+  std::function<void(size_t)> sweep = [&](size_t i) {
+    if (i == free_vars.size()) {
+      std::vector<double> brute_assignment = assignment;
+      bool expected = BruteForce(*f, &brute_assignment, range);
+      bool actual = EvalFormula(**eliminated, assignment);
+      ASSERT_EQ(expected, actual)
+          << "at " << [&] {
+               std::string s;
+               for (int v : free_vars) {
+                 s += std::to_string(assignment[static_cast<size_t>(v)]) + " ";
+               }
+               return s;
+             }();
+      return;
+    }
+    for (int v = -range; v <= range; ++v) {
+      assignment[static_cast<size_t>(free_vars[i])] = v;
+      sweep(i + 1);
+    }
+  };
+  sweep(0);
+}
+
+TEST(Qe, ExistsBetween) {
+  // exists x: a <= x and x <= b   <=>   a <= b.
+  FormulaPtr f = MakeExists(
+      0, MakeAnd({AtomLe(LinearExpr::Var(1), LinearExpr::Var(0)),
+                  AtomLe(LinearExpr::Var(0), LinearExpr::Var(2))}));
+  ExpectQeMatchesBruteForce(f, {1, 2}, 4);
+}
+
+TEST(Qe, ForallImplication) {
+  // forall x: (x > a) => (x > b)   <=>   b <= a.
+  FormulaPtr theta_a = AtomLt(LinearExpr::Var(1), LinearExpr::Var(0));
+  FormulaPtr theta_b = AtomLt(LinearExpr::Var(2), LinearExpr::Var(0));
+  FormulaPtr f = MakeForall(0, MakeOr({MakeNot(theta_a), theta_b}));
+  ExpectQeMatchesBruteForce(f, {1, 2}, 4);
+}
+
+TEST(Qe, Example11SimplifiedSkyband) {
+  // The paper's Example 11: forall xr, yr:
+  //   (x' < xr and y' < yr) => (x < xr and y < yr)
+  // must reduce to x <= x' and y <= y'.
+  // vars: 0=xr, 1=yr, 2=x, 3=y, 4=x', 5=y'.
+  FormulaPtr theta_prime =
+      MakeAnd({AtomLt(LinearExpr::Var(4), LinearExpr::Var(0)),
+               AtomLt(LinearExpr::Var(5), LinearExpr::Var(1))});
+  FormulaPtr theta =
+      MakeAnd({AtomLt(LinearExpr::Var(2), LinearExpr::Var(0)),
+               AtomLt(LinearExpr::Var(3), LinearExpr::Var(1))});
+  FormulaPtr f = MakeForall(
+      0, MakeForall(1, MakeOr({MakeNot(theta_prime), theta})));
+  Result<FormulaPtr> eliminated = EliminateQuantifiers(f);
+  ASSERT_TRUE(eliminated.ok());
+  // Check pointwise equivalence with x <= x' and y <= y'.
+  for (int x = -2; x <= 2; ++x) {
+    for (int y = -2; y <= 2; ++y) {
+      for (int xp = -2; xp <= 2; ++xp) {
+        for (int yp = -2; yp <= 2; ++yp) {
+          std::vector<double> a = {0, 0, double(x), double(y), double(xp),
+                                   double(yp)};
+          EXPECT_EQ(EvalFormula(**eliminated, a), x <= xp && y <= yp)
+              << x << " " << y << " " << xp << " " << yp;
+        }
+      }
+    }
+  }
+  // And the DNF must be exactly two atoms.
+  EXPECT_EQ((*eliminated)->kind, FormulaKind::kAnd);
+  EXPECT_EQ((*eliminated)->children.size(), 2u);
+}
+
+TEST(Qe, NestedAlternation) {
+  // exists x forall y: y >= x  is false over the reals (y unbounded below);
+  // with free var none, QE must produce FALSE.
+  FormulaPtr f = MakeExists(
+      0, MakeForall(1, AtomLe(LinearExpr::Var(0), LinearExpr::Var(1))));
+  Result<FormulaPtr> eliminated = EliminateQuantifiers(f);
+  ASSERT_TRUE(eliminated.ok());
+  EXPECT_EQ((*eliminated)->kind, FormulaKind::kFalse);
+}
+
+TEST(Qe, ExistsUnconstrainedIsTrue) {
+  FormulaPtr f = MakeExists(0, AtomLe(LinearExpr::Var(1),
+                                      LinearExpr::Var(0)));
+  Result<FormulaPtr> eliminated = EliminateQuantifiers(f);
+  ASSERT_TRUE(eliminated.ok());
+  EXPECT_EQ((*eliminated)->kind, FormulaKind::kTrue);
+}
+
+TEST(Qe, EqualityChains) {
+  // forall z: (z = a) => (z = b)   <=>   a = b.
+  FormulaPtr f = MakeForall(
+      0, MakeOr({MakeNot(AtomEq(LinearExpr::Var(0), LinearExpr::Var(1))),
+                 AtomEq(LinearExpr::Var(0), LinearExpr::Var(2))}));
+  ExpectQeMatchesBruteForce(f, {1, 2}, 3);
+}
+
+TEST(Qe, DisjunctiveTheta) {
+  // forall x: (x > a or x < b) stays true iff a < b... over integers the
+  // grid check validates whatever the real-arithmetic answer is.
+  FormulaPtr f = MakeForall(
+      0, MakeOr({AtomLt(LinearExpr::Var(1), LinearExpr::Var(0)),
+                 AtomLt(LinearExpr::Var(0), LinearExpr::Var(2))}));
+  ExpectQeMatchesBruteForce(f, {1, 2}, 3);
+}
+
+TEST(SimplifyToDnf, AbsorbsRedundantDisjuncts) {
+  FormulaPtr a = AtomLe(LinearExpr::Var(0), LinearExpr::Var(1));
+  FormulaPtr b = AtomLe(LinearExpr::Var(2), LinearExpr::Var(3));
+  // a or (a and b) == a.
+  Result<FormulaPtr> s = SimplifyToDnf(MakeOr({a, MakeAnd({a, b})}));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->kind, FormulaKind::kAtom);
+}
+
+TEST(SimplifyToDnf, DropsContradictoryDisjunct) {
+  LinearExpr one(1.0);
+  FormulaPtr contradiction = MakeAnd(
+      {AtomLe(LinearExpr::Var(0), LinearExpr(0.0)),
+       AtomLe(one, LinearExpr(0.0))});  // 1 <= 0
+  FormulaPtr ok = AtomLe(LinearExpr::Var(1), LinearExpr(0.0));
+  Result<FormulaPtr> s = SimplifyToDnf(MakeOr({contradiction, ok}));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->kind, FormulaKind::kAtom);
+}
+
+}  // namespace
+}  // namespace fme
+}  // namespace iceberg

@@ -1,0 +1,217 @@
+// Tests for the two-sided iceberg analysis (IcebergView): conjunct
+// classification, J/G attribute extraction, equivalence augmentation,
+// side-local FDs, and candidate-partition enumeration.
+
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+#include "src/rewrite/equality_inference.h"
+#include "src/rewrite/iceberg_view.h"
+
+namespace iceberg {
+namespace {
+
+class ViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        db_.CreateTable("product", Schema({{"id", DataType::kInt64},
+                                           {"category", DataType::kInt64},
+                                           {"attr", DataType::kString},
+                                           {"val", DataType::kInt64}}))
+            .ok());
+    ASSERT_TRUE(db_.DeclareKey("product", {"id", "attr"}).ok());
+    ASSERT_TRUE(db_.DeclareFd("product", {"id"}, {"category"}).ok());
+  }
+
+  Result<IcebergView> Analyze(const std::string& sql,
+                              std::vector<size_t> left,
+                              std::vector<size_t> right) {
+    ICEBERG_ASSIGN_OR_RETURN(block_, db_.Prepare(sql));
+    TablePartition part;
+    part.left = std::move(left);
+    part.right = std::move(right);
+    return AnalyzeIceberg(block_, part);
+  }
+
+  Database db_;
+  QueryBlock block_;
+};
+
+constexpr char kComplexSql[] =
+    "SELECT S1.id, S1.attr, S2.attr, COUNT(*) "
+    "FROM product S1, product S2, product T1, product T2 "
+    "WHERE S1.id = S2.id AND T1.id = T2.id "
+    "AND S1.category = T1.category "
+    "AND T1.attr = S1.attr AND T2.attr = S2.attr "
+    "AND T1.val > S1.val AND T2.val > S2.val "
+    "GROUP BY S1.id, S1.attr, S2.attr HAVING COUNT(*) >= 10";
+
+TEST_F(ViewTest, ConjunctClassificationS1T1) {
+  // Partition {S1,T1} | {S2,T2} per Example 13.
+  auto view = Analyze(kComplexSql, {0, 2}, {1, 3});
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  // Intra-left: category eq, attr eq, val ineq. Intra-right: t2/s2 attr eq
+  // and val ineq. Cross: the id equalities.
+  EXPECT_EQ(view->left_only.size(), 3u);
+  EXPECT_EQ(view->right_only.size(), 2u);
+  EXPECT_EQ(view->theta.size(), 2u);
+  // J_L and J_R are the id columns.
+  EXPECT_EQ(view->NamesOf(view->jl_offsets),
+            MakeAttrSet({"s1.id", "t1.id"}));
+  EXPECT_EQ(view->NamesOf(view->jr_offsets),
+            MakeAttrSet({"s2.id", "t2.id"}));
+  EXPECT_EQ(view->jl_eq_offsets, view->jl_offsets);  // all equalities
+}
+
+TEST_F(ViewTest, GroupAttributeSplitAndAugmentation) {
+  auto view = Analyze(kComplexSql, {1, 3}, {0, 2});  // L = {S2, T2}
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->NamesOf(view->gl_offsets), MakeAttrSet({"s2.attr"}));
+  EXPECT_EQ(view->NamesOf(view->gr_offsets),
+            MakeAttrSet({"s1.id", "s1.attr"}));
+  // Augmentation borrows s2.id (== s1.id) and t2.attr (== s2.attr) into
+  // the left side.
+  AttrSet aug = view->NamesOf(view->gl_aug_offsets);
+  EXPECT_TRUE(aug.count("s2.id") > 0) << AttrSetToString(aug);
+  EXPECT_TRUE(aug.count("s2.attr") > 0);
+}
+
+TEST_F(ViewTest, SideFdsIncludeLocalEqualities) {
+  auto view = Analyze(kComplexSql, {0, 2}, {1, 3});
+  ASSERT_TRUE(view.ok());
+  FdSet left = view->LeftFds();
+  // t1.attr = s1.attr is intra-left, so s1.id + s1.attr determine t1.attr.
+  EXPECT_TRUE(left.Determines(MakeAttrSet({"s1.id", "s1.attr"}),
+                              MakeAttrSet({"t1.attr"})));
+  // The cross-side equality s1.id = s2.id must NOT leak into left FDs.
+  EXPECT_FALSE(left.Determines(MakeAttrSet({"s1.id"}),
+                               MakeAttrSet({"s2.id"})));
+}
+
+TEST_F(ViewTest, ApplicableTo) {
+  auto view = Analyze(kComplexSql, {0, 1}, {2, 3});
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->ApplicableTo(block_.having, true));   // COUNT(*)
+  EXPECT_TRUE(view->ApplicableTo(block_.having, false));  // both sides
+  ExprPtr s1_ref = block_.group_by[0];                    // S1.id
+  EXPECT_TRUE(view->ApplicableTo(s1_ref, true));
+  EXPECT_FALSE(view->ApplicableTo(s1_ref, false));
+}
+
+TEST_F(ViewTest, GroupDeterminesLeftViaEqualities) {
+  auto view = Analyze(kComplexSql, {0, 1}, {2, 3});  // L = {S1, S2}
+  ASSERT_TRUE(view.ok());
+  // {s1.id, s1.attr, s2.attr} + s1.id=s2.id determine both tuples.
+  EXPECT_TRUE(view->GroupDeterminesLeft());
+  EXPECT_FALSE(view->JoinDeterminesLeft());  // category/attr/val are not keys
+}
+
+TEST_F(ViewTest, BadPartitionsRejected) {
+  EXPECT_FALSE(Analyze(kComplexSql, {0, 0}, {1, 2}).ok());   // duplicate
+  EXPECT_FALSE(Analyze(kComplexSql, {0, 1}, {2}).ok());      // uncovered
+  EXPECT_FALSE(Analyze(kComplexSql, {0, 1, 9}, {2, 3}).ok());  // bad index
+}
+
+TEST_F(ViewTest, CandidatePartitionsOrderAndCoverage) {
+  block_ = *db_.Prepare(kComplexSql);
+  std::vector<TablePartition> partitions = CandidatePartitions(block_);
+  ASSERT_FALSE(partitions.empty());
+  // First candidate: minimal left covering the GROUP BY tables {S1, S2}.
+  EXPECT_EQ(partitions[0].left, (std::vector<size_t>{0, 1}));
+  // Singletons must be present.
+  size_t singletons = 0;
+  for (const TablePartition& p : partitions) {
+    if (p.left.size() == 1) ++singletons;
+    // Every candidate is a disjoint cover.
+    EXPECT_EQ(p.left.size() + p.right.size(), block_.tables.size());
+  }
+  EXPECT_EQ(singletons, 4u);
+}
+
+TEST_F(ViewTest, TwoTableQueryHasTwoCandidates) {
+  ASSERT_TRUE(db_.CreateTable("o", Schema({{"id", DataType::kInt64},
+                                           {"x", DataType::kInt64}}))
+                  .ok());
+  QueryBlock block = *db_.Prepare(
+      "SELECT a.id, COUNT(*) FROM o a, o b WHERE a.x < b.x GROUP BY a.id "
+      "HAVING COUNT(*) <= 3");
+  std::vector<TablePartition> partitions = CandidatePartitions(block);
+  EXPECT_EQ(partitions.size(), 2u);
+}
+
+TEST_F(ViewTest, HavingMonotonicityInstanceSumCheck) {
+  // SUM over a column that is non-negative in the instance is classified
+  // monotone; after inserting a negative value it must become kNeither.
+  ASSERT_TRUE(db_.CreateTable("m", Schema({{"g", DataType::kInt64},
+                                           {"k", DataType::kInt64},
+                                           {"v", DataType::kInt64}}))
+                  .ok());
+  ASSERT_TRUE(db_.Insert("m", {Value::Int(1), Value::Int(1), Value::Int(5)})
+                  .ok());
+  const char* sql =
+      "SELECT a.g, SUM(a.v) FROM m a, m b WHERE a.k = b.k GROUP BY a.g "
+      "HAVING SUM(a.v) >= 10";
+  {
+    QueryBlock block = *db_.Prepare(sql);
+    TablePartition part{{0}, {1}};
+    IcebergView view = *AnalyzeIceberg(block, part);
+    EXPECT_EQ(view.HavingMonotonicity(), Monotonicity::kMonotone);
+  }
+  ASSERT_TRUE(db_.Insert("m", {Value::Int(1), Value::Int(1), Value::Int(-5)})
+                  .ok());
+  {
+    QueryBlock block = *db_.Prepare(sql);
+    TablePartition part{{0}, {1}};
+    IcebergView view = *AnalyzeIceberg(block, part);
+    EXPECT_EQ(view.HavingMonotonicity(), Monotonicity::kNeither);
+  }
+}
+
+TEST_F(ViewTest, RemapExprRejectsUnmappedOffsets) {
+  block_ = *db_.Prepare(kComplexSql);
+  std::map<size_t, size_t> empty_map;
+  Result<ExprPtr> remapped = RemapExpr(block_.group_by[0], empty_map);
+  EXPECT_FALSE(remapped.ok());
+}
+
+TEST_F(ViewTest, MakeSubBlockReassignsOffsets) {
+  block_ = *db_.Prepare(kComplexSql);
+  std::map<size_t, size_t> offset_map;
+  Result<QueryBlock> sub = MakeSubBlock(block_, {2, 3}, {}, &offset_map);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->tables.size(), 2u);
+  EXPECT_EQ(sub->tables[0].offset, 0u);
+  EXPECT_EQ(sub->tables[1].offset, 4u);
+  // T1's columns (orig offsets 8..11) map to 0..3.
+  EXPECT_EQ(offset_map.at(8), 0u);
+  EXPECT_EQ(offset_map.at(11), 3u);
+}
+
+TEST_F(ViewTest, EqualityInferenceRequiresSameTable) {
+  // Two different tables with an FD of the same column names must not
+  // propagate equalities across each other.
+  ASSERT_TRUE(db_.CreateTable("p2", Schema({{"id", DataType::kInt64},
+                                            {"category", DataType::kInt64}}))
+                  .ok());
+  ASSERT_TRUE(db_.DeclareFd("p2", {"id"}, {"category"}).ok());
+  QueryBlock block = *db_.Prepare(
+      "SELECT a.id, COUNT(*) FROM product a, p2 b WHERE a.id = b.id "
+      "GROUP BY a.id HAVING COUNT(*) >= 1");
+  size_t derived = InferDerivedEqualities(&block);
+  EXPECT_EQ(derived, 0u);
+}
+
+TEST_F(ViewTest, EqualityInferenceFixpointChains) {
+  // a.id = b.id and b.id = c.id must give category equalities across all
+  // three instances (transitive fixpoint).
+  QueryBlock block = *db_.Prepare(
+      "SELECT a.id, COUNT(*) FROM product a, product b, product c "
+      "WHERE a.id = b.id AND b.id = c.id "
+      "GROUP BY a.id HAVING COUNT(*) >= 1");
+  size_t derived = InferDerivedEqualities(&block);
+  EXPECT_EQ(derived, 3u);  // all pairs among {a,b,c}.category
+}
+
+}  // namespace
+}  // namespace iceberg

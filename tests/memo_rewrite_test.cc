@@ -1,0 +1,137 @@
+// Tests for the static memoization rewrite of Appendix C (Listing 8):
+// equivalence with the baseline in both the G_L -> A_L ("key mode") and
+// the algebraic-partials variants, including non-empty G_R, which the
+// NLJP-internal memoization conditions of Section 6 exclude.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/engine/database.h"
+#include "src/rewrite/memo_rewrite.h"
+#include "src/workload/object.h"
+
+namespace iceberg {
+namespace {
+
+void ExpectSame(const TablePtr& a, const TablePtr& b) {
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  std::vector<Row> ra = a->rows(), rb = b->rows();
+  std::sort(ra.begin(), ra.end(), RowLess());
+  std::sort(rb.begin(), rb.end(), RowLess());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    ASSERT_EQ(CompareRows(ra[i], rb[i]), 0)
+        << RowToString(ra[i]) << " vs " << RowToString(rb[i]);
+  }
+}
+
+Result<MemoRewriteResult> RunRewrite(Database* db, const std::string& sql) {
+  ICEBERG_ASSIGN_OR_RETURN(QueryBlock block, db->Prepare(sql));
+  TablePartition part;
+  part.left = {0};
+  part.right = {1};
+  ICEBERG_ASSIGN_OR_RETURN(IcebergView view, AnalyzeIceberg(block, part));
+  return ExecuteStaticMemoRewrite(view);
+}
+
+class MemoRewriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ObjectConfig cfg;
+    cfg.num_objects = 300;
+    cfg.domain = 25;  // duplicates guaranteed
+    ASSERT_TRUE(RegisterObjects(&db_, cfg).ok());
+  }
+  Database db_;
+};
+
+TEST_F(MemoRewriteTest, KeyModeSkyband) {
+  const char* sql =
+      "SELECT L.id, COUNT(*) FROM object L, object R "
+      "WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y) "
+      "GROUP BY L.id HAVING COUNT(*) <= 15";
+  auto base = db_.Query(sql);
+  ASSERT_TRUE(base.ok());
+  auto rewrite = RunRewrite(&db_, sql);
+  ASSERT_TRUE(rewrite.ok()) << rewrite.status().ToString();
+  EXPECT_FALSE(rewrite->used_partial_aggregates);  // G_L = {id} is a key
+  ExpectSame(*base, rewrite->result);
+  EXPECT_LT(rewrite->distinct_bindings, rewrite->l_rows);  // dedup happened
+}
+
+TEST_F(MemoRewriteTest, PartialAggregateModeNonKeyGrouping) {
+  // Group by x: multiple L-tuples per group with different bindings, so
+  // LJR stores f^i partials and the outer combines with f^o.
+  const char* sql =
+      "SELECT L.x, COUNT(*), SUM(R.y) FROM object L, object R "
+      "WHERE L.y <= R.y GROUP BY L.x HAVING COUNT(*) >= 100";
+  auto base = db_.Query(sql);
+  ASSERT_TRUE(base.ok());
+  auto rewrite = RunRewrite(&db_, sql);
+  ASSERT_TRUE(rewrite.ok()) << rewrite.status().ToString();
+  EXPECT_TRUE(rewrite->used_partial_aggregates);
+  ExpectSame(*base, rewrite->result);
+}
+
+TEST_F(MemoRewriteTest, SupportsNonEmptyGr) {
+  // G_R = {R.x}: Section 6's NLJP memo conditions exclude this, but the
+  // static rewrite handles it by grouping LJR on J_L + G_R.
+  const char* sql =
+      "SELECT L.id, R.x, COUNT(*) FROM object L, object R "
+      "WHERE L.y <= R.y GROUP BY L.id, R.x HAVING COUNT(*) >= 5";
+  auto base = db_.Query(sql);
+  ASSERT_TRUE(base.ok());
+  auto rewrite = RunRewrite(&db_, sql);
+  ASSERT_TRUE(rewrite.ok()) << rewrite.status().ToString();
+  ExpectSame(*base, rewrite->result);
+}
+
+TEST_F(MemoRewriteTest, AvgIsAlgebraicInPartialMode) {
+  const char* sql =
+      "SELECT L.x, AVG(R.y), COUNT(*) FROM object L, object R "
+      "WHERE L.y <= R.y GROUP BY L.x HAVING COUNT(*) >= 50";
+  auto base = db_.Query(sql);
+  ASSERT_TRUE(base.ok());
+  auto rewrite = RunRewrite(&db_, sql);
+  ASSERT_TRUE(rewrite.ok()) << rewrite.status().ToString();
+  EXPECT_TRUE(rewrite->used_partial_aggregates);
+  ExpectSame(*base, rewrite->result);
+}
+
+TEST_F(MemoRewriteTest, HolisticAggregateNeedsKeyMode) {
+  const char* keyed =
+      "SELECT L.id, COUNT(DISTINCT R.x) FROM object L, object R "
+      "WHERE L.y <= R.y GROUP BY L.id HAVING COUNT(DISTINCT R.x) <= 10";
+  auto base = db_.Query(keyed);
+  ASSERT_TRUE(base.ok());
+  auto rewrite = RunRewrite(&db_, keyed);
+  ASSERT_TRUE(rewrite.ok()) << rewrite.status().ToString();
+  ExpectSame(*base, rewrite->result);
+
+  const char* unkeyed =
+      "SELECT L.x, COUNT(DISTINCT R.x) FROM object L, object R "
+      "WHERE L.y <= R.y GROUP BY L.x HAVING COUNT(DISTINCT R.x) <= 10";
+  EXPECT_FALSE(RunRewrite(&db_, unkeyed).ok());
+}
+
+TEST_F(MemoRewriteTest, RejectsOuterSideHaving) {
+  const char* sql =
+      "SELECT L.id, COUNT(*) FROM object L, object R "
+      "WHERE L.y <= R.y GROUP BY L.id HAVING MAX(L.x) <= 10";
+  EXPECT_FALSE(RunRewrite(&db_, sql).ok());
+}
+
+TEST_F(MemoRewriteTest, EmptyJoinResult) {
+  const char* sql =
+      "SELECT L.id, COUNT(*) FROM object L, object R "
+      "WHERE L.x + 1000 <= R.x GROUP BY L.id HAVING COUNT(*) >= 1";
+  auto base = db_.Query(sql);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ((*base)->num_rows(), 0u);
+  auto rewrite = RunRewrite(&db_, sql);
+  ASSERT_TRUE(rewrite.ok());
+  EXPECT_EQ(rewrite->result->num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace iceberg

@@ -1,0 +1,413 @@
+// Tests for the NLJP operator (Sections 5-7): applicability conditions,
+// Theorem 3 pruning safety, memoization behaviour, and result equivalence
+// against the baseline executor under every option combination.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/engine/database.h"
+#include "src/nljp/nljp.h"
+#include "src/workload/object.h"
+
+namespace iceberg {
+namespace {
+
+void ExpectSame(const TablePtr& a, const TablePtr& b,
+                const std::string& context = "") {
+  ASSERT_EQ(a->num_rows(), b->num_rows()) << context;
+  std::vector<Row> ra = a->rows(), rb = b->rows();
+  std::sort(ra.begin(), ra.end(), RowLess());
+  std::sort(rb.begin(), rb.end(), RowLess());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    ASSERT_EQ(CompareRows(ra[i], rb[i]), 0)
+        << context << ": " << RowToString(ra[i]) << " vs "
+        << RowToString(rb[i]);
+  }
+}
+
+constexpr char kSkyband[] =
+    "SELECT L.id, COUNT(*) FROM object L, object R "
+    "WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y) "
+    "GROUP BY L.id HAVING COUNT(*) <= 15";
+
+std::unique_ptr<Database> MakeObjectDb(size_t n, int64_t domain,
+                                       PointDistribution dist =
+                                           PointDistribution::kIndependent) {
+  auto db = std::make_unique<Database>();
+  ObjectConfig cfg;
+  cfg.num_objects = n;
+  cfg.domain = domain;
+  cfg.distribution = dist;
+  EXPECT_TRUE(RegisterObjects(db.get(), cfg).ok());
+  return db;
+}
+
+Result<std::unique_ptr<NljpOperator>> MakeSkybandNljp(Database* db,
+                                                      QueryBlock* block,
+                                                      NljpOptions options) {
+  ICEBERG_ASSIGN_OR_RETURN(*block, db->Prepare(kSkyband));
+  TablePartition part;
+  part.left = {0};
+  part.right = {1};
+  ICEBERG_ASSIGN_OR_RETURN(IcebergView view, AnalyzeIceberg(*block, part));
+  return NljpOperator::Create(std::move(view), options);
+}
+
+TEST(Nljp, SkybandAppliesPruneAndMemo) {
+  auto db = MakeObjectDb(300, 40);
+  QueryBlock block;
+  auto op = MakeSkybandNljp(db.get(), &block, NljpOptions());
+  ASSERT_TRUE(op.ok()) << op.status().ToString();
+  EXPECT_TRUE((*op)->prune_enabled());
+  EXPECT_TRUE((*op)->memo_enabled());
+  EXPECT_EQ((*op)->monotonicity(), Monotonicity::kAntiMonotone);
+  // Derived predicate of Example 11/12 (componentwise <=).
+  std::vector<size_t> eq = (*op)->subsumption().EqualityPositions();
+  EXPECT_TRUE(eq.empty());
+}
+
+TEST(Nljp, MatchesBaselineAndCountsWork) {
+  auto db = MakeObjectDb(400, 60);
+  auto base = db->Query(kSkyband);
+  ASSERT_TRUE(base.ok());
+  QueryBlock block;
+  auto op = MakeSkybandNljp(db.get(), &block, NljpOptions());
+  ASSERT_TRUE(op.ok());
+  NljpStats stats;
+  auto result = (*op)->Execute(&stats);
+  ASSERT_TRUE(result.ok());
+  ExpectSame(*base, *result);
+  EXPECT_EQ(stats.bindings_total, 400u);
+  EXPECT_EQ(stats.bindings_total,
+            stats.memo_hits + stats.pruned + stats.inner_evaluations);
+  EXPECT_GT(stats.pruned, 0u);
+  EXPECT_GT(stats.cache_entries, 0u);
+}
+
+TEST(Nljp, PruneOnlyAndMemoOnlyBothCorrect) {
+  auto db = MakeObjectDb(350, 25);  // small domain: many duplicate bindings
+  auto base = db->Query(kSkyband);
+  ASSERT_TRUE(base.ok());
+  {
+    NljpOptions opts;
+    opts.enable_memo = false;
+    QueryBlock block;
+    auto op = MakeSkybandNljp(db.get(), &block, opts);
+    ASSERT_TRUE(op.ok());
+    NljpStats stats;
+    auto result = (*op)->Execute(&stats);
+    ASSERT_TRUE(result.ok());
+    ExpectSame(*base, *result, "prune only");
+    EXPECT_EQ(stats.memo_hits, 0u);
+    EXPECT_GT(stats.pruned, 0u);
+  }
+  {
+    NljpOptions opts;
+    opts.enable_prune = false;
+    QueryBlock block;
+    auto op = MakeSkybandNljp(db.get(), &block, opts);
+    ASSERT_TRUE(op.ok());
+    NljpStats stats;
+    auto result = (*op)->Execute(&stats);
+    ASSERT_TRUE(result.ok());
+    ExpectSame(*base, *result, "memo only");
+    EXPECT_EQ(stats.pruned, 0u);
+    EXPECT_GT(stats.memo_hits, 0u);  // duplicates exist at domain 25
+  }
+}
+
+TEST(Nljp, CacheIndexOffStillCorrect) {
+  auto db = MakeObjectDb(300, 25);
+  auto base = db->Query(kSkyband);
+  ASSERT_TRUE(base.ok());
+  NljpOptions opts;
+  opts.cache_index = false;  // linear-scan memo lookups (Fig. 4 PK+BT)
+  QueryBlock block;
+  auto op = MakeSkybandNljp(db.get(), &block, opts);
+  ASSERT_TRUE(op.ok());
+  auto result = (*op)->Execute(nullptr);
+  ASSERT_TRUE(result.ok());
+  ExpectSame(*base, *result);
+}
+
+TEST(Nljp, BindingOrderDoesNotChangeResults) {
+  auto db = MakeObjectDb(300, 50);
+  auto base = db->Query(kSkyband);
+  ASSERT_TRUE(base.ok());
+  for (BindingOrder order : {BindingOrder::kNatural, BindingOrder::kSortedAsc,
+                             BindingOrder::kSortedDesc}) {
+    NljpOptions opts;
+    opts.binding_order = order;
+    QueryBlock block;
+    auto op = MakeSkybandNljp(db.get(), &block, opts);
+    ASSERT_TRUE(op.ok());
+    NljpStats stats;
+    auto result = (*op)->Execute(&stats);
+    ASSERT_TRUE(result.ok());
+    ExpectSame(*base, *result, "order variant");
+  }
+}
+
+TEST(Nljp, SortedDescBindingOrderPrunesMoreOnAntiMonotone) {
+  // For COUNT(*) <= k with dominance joins, starting from maximal bindings
+  // discovers unpromising regions early: sorted-desc should prune at least
+  // as much as sorted-asc on this workload.
+  auto db = MakeObjectDb(500, 200, PointDistribution::kIndependent);
+  NljpStats asc_stats, desc_stats;
+  {
+    NljpOptions opts;
+    opts.binding_order = BindingOrder::kSortedAsc;
+    QueryBlock block;
+    auto op = MakeSkybandNljp(db.get(), &block, opts);
+    ASSERT_TRUE(op.ok());
+    ASSERT_TRUE((*op)->Execute(&asc_stats).ok());
+  }
+  {
+    NljpOptions opts;
+    opts.binding_order = BindingOrder::kSortedDesc;
+    QueryBlock block;
+    auto op = MakeSkybandNljp(db.get(), &block, opts);
+    ASSERT_TRUE(op.ok());
+    ASSERT_TRUE((*op)->Execute(&desc_stats).ok());
+  }
+  EXPECT_GE(desc_stats.pruned, asc_stats.pruned);
+}
+
+TEST(Nljp, RequiresHavingApplicableToInner) {
+  auto db = MakeObjectDb(50, 10);
+  auto block = db->Prepare(
+      "SELECT L.id, COUNT(*) FROM object L, object R "
+      "WHERE L.x <= R.x GROUP BY L.id HAVING MAX(L.y) <= 5");
+  ASSERT_TRUE(block.ok());
+  TablePartition part;
+  part.left = {0};
+  part.right = {1};
+  auto view = AnalyzeIceberg(*block, part);
+  ASSERT_TRUE(view.ok());
+  auto op = NljpOperator::Create(std::move(*view), NljpOptions());
+  EXPECT_FALSE(op.ok());
+}
+
+TEST(Nljp, RequiresJoinCondition) {
+  auto db = MakeObjectDb(50, 10);
+  auto block = db->Prepare(
+      "SELECT L.id, COUNT(*) FROM object L, object R "
+      "GROUP BY L.id HAVING COUNT(*) <= 5");
+  ASSERT_TRUE(block.ok());
+  TablePartition part;
+  part.left = {0};
+  part.right = {1};
+  auto view = AnalyzeIceberg(*block, part);
+  ASSERT_TRUE(view.ok());
+  EXPECT_FALSE(NljpOperator::Create(std::move(*view), NljpOptions()).ok());
+}
+
+TEST(Nljp, MemoDisabledWhenBindingsUnique) {
+  // J_L = {id, x}: id is a key, so J_L -> A_L and memoization is skipped
+  // as non-beneficial (Section 6) — unless forced.
+  auto db = MakeObjectDb(60, 10);
+  auto block = db->Prepare(
+      "SELECT L.id, COUNT(*) FROM object L, object R "
+      "WHERE L.id <> R.id AND L.x <= R.x GROUP BY L.id "
+      "HAVING COUNT(*) <= 5");
+  ASSERT_TRUE(block.ok());
+  TablePartition part;
+  part.left = {0};
+  part.right = {1};
+  {
+    auto view = AnalyzeIceberg(*block, part);
+    ASSERT_TRUE(view.ok());
+    auto op = NljpOperator::Create(std::move(*view), NljpOptions());
+    ASSERT_TRUE(op.ok()) << op.status().ToString();
+    EXPECT_FALSE((*op)->memo_enabled());
+  }
+  {
+    NljpOptions opts;
+    opts.force_memo = true;
+    auto view = AnalyzeIceberg(*block, part);
+    ASSERT_TRUE(view.ok());
+    auto op = NljpOperator::Create(std::move(*view), opts);
+    ASSERT_TRUE(op.ok());
+    EXPECT_TRUE((*op)->memo_enabled());
+  }
+}
+
+TEST(Nljp, PruneDisabledWhenGlNotSuperkey) {
+  // Group by x (not a key): Theorem 3's premise fails; pruning must be off
+  // but memoization still works and results stay correct.
+  auto db = MakeObjectDb(200, 20);
+  const char* sql =
+      "SELECT L.x, COUNT(*) FROM object L, object R "
+      "WHERE L.x <= R.x AND L.y <= R.y GROUP BY L.x "
+      "HAVING COUNT(*) >= 30";
+  auto block = db->Prepare(sql);
+  ASSERT_TRUE(block.ok());
+  TablePartition part;
+  part.left = {0};
+  part.right = {1};
+  auto view = AnalyzeIceberg(*block, part);
+  ASSERT_TRUE(view.ok());
+  auto op = NljpOperator::Create(std::move(*view), NljpOptions());
+  ASSERT_TRUE(op.ok()) << op.status().ToString();
+  EXPECT_FALSE((*op)->prune_enabled());
+  EXPECT_TRUE((*op)->memo_enabled());
+  auto base = db->Query(sql);
+  ASSERT_TRUE(base.ok());
+  auto result = (*op)->Execute(nullptr);
+  ASSERT_TRUE(result.ok());
+  ExpectSame(*base, *result, "memo with multi-tuple groups");
+}
+
+TEST(Nljp, AntiMonotonePruneNeedsEmptyGr) {
+  // G_R non-empty with anti-monotone HAVING: Theorem 3 forbids pruning.
+  auto db = MakeObjectDb(100, 15);
+  auto block = db->Prepare(
+      "SELECT L.id, R.x, COUNT(*) FROM object L, object R "
+      "WHERE L.x <= R.x GROUP BY L.id, R.x HAVING COUNT(*) <= 5");
+  ASSERT_TRUE(block.ok());
+  TablePartition part;
+  part.left = {0};
+  part.right = {1};
+  auto view = AnalyzeIceberg(*block, part);
+  ASSERT_TRUE(view.ok());
+  auto op = NljpOperator::Create(std::move(*view), NljpOptions());
+  ASSERT_TRUE(op.ok()) << op.status().ToString();
+  EXPECT_FALSE((*op)->prune_enabled());
+}
+
+TEST(Nljp, MonotonePruneAllowsNonEmptyGr) {
+  auto db = MakeObjectDb(150, 15);
+  const char* sql =
+      "SELECT L.id, R.x, COUNT(*) FROM object L, object R "
+      "WHERE L.x <= R.x AND L.y <= R.y GROUP BY L.id, R.x "
+      "HAVING COUNT(*) >= 4";
+  auto block = db->Prepare(sql);
+  ASSERT_TRUE(block.ok());
+  TablePartition part;
+  part.left = {0};
+  part.right = {1};
+  auto view = AnalyzeIceberg(*block, part);
+  ASSERT_TRUE(view.ok());
+  auto op = NljpOperator::Create(std::move(*view), NljpOptions());
+  ASSERT_TRUE(op.ok()) << op.status().ToString();
+  EXPECT_TRUE((*op)->prune_enabled());
+  auto base = db->Query(sql);
+  ASSERT_TRUE(base.ok());
+  auto result = (*op)->Execute(nullptr);
+  ASSERT_TRUE(result.ok());
+  ExpectSame(*base, *result, "monotone prune with G_R");
+}
+
+TEST(Nljp, GroupByRsideOnlyAggregates) {
+  // Aggregates over R attributes (SUM/MIN) exercise the payload machinery
+  // beyond COUNT.
+  auto db = MakeObjectDb(200, 25);
+  const char* sql =
+      "SELECT L.id, SUM(R.x), MIN(R.y), COUNT(*) FROM object L, object R "
+      "WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y) "
+      "GROUP BY L.id HAVING COUNT(*) <= 20";
+  auto base = db->Query(sql);
+  ASSERT_TRUE(base.ok());
+  auto block = db->Prepare(sql);
+  ASSERT_TRUE(block.ok());
+  TablePartition part;
+  part.left = {0};
+  part.right = {1};
+  auto view = AnalyzeIceberg(*block, part);
+  ASSERT_TRUE(view.ok());
+  auto op = NljpOperator::Create(std::move(*view), NljpOptions());
+  ASSERT_TRUE(op.ok()) << op.status().ToString();
+  auto result = (*op)->Execute(nullptr);
+  ASSERT_TRUE(result.ok());
+  ExpectSame(*base, *result, "R-side aggregates");
+}
+
+TEST(Nljp, CountDistinctRequiresKeyGrouping) {
+  // COUNT(DISTINCT R.x) is holistic: allowed when G_L -> A_L...
+  auto db = MakeObjectDb(150, 20);
+  const char* sql =
+      "SELECT L.id, COUNT(DISTINCT R.x) FROM object L, object R "
+      "WHERE L.x <= R.x GROUP BY L.id HAVING COUNT(DISTINCT R.x) <= 8";
+  auto base = db->Query(sql);
+  ASSERT_TRUE(base.ok());
+  auto block = db->Prepare(sql);
+  TablePartition part;
+  part.left = {0};
+  part.right = {1};
+  auto view = AnalyzeIceberg(*block, part);
+  auto op = NljpOperator::Create(std::move(*view), NljpOptions());
+  ASSERT_TRUE(op.ok()) << op.status().ToString();
+  auto result = (*op)->Execute(nullptr);
+  ASSERT_TRUE(result.ok());
+  ExpectSame(*base, *result, "count distinct key mode");
+
+  // ...but rejected when groups can combine multiple bindings.
+  const char* nonkey_sql =
+      "SELECT L.x, COUNT(DISTINCT R.x) FROM object L, object R "
+      "WHERE L.y <= R.y GROUP BY L.x HAVING COUNT(DISTINCT R.x) <= 8";
+  auto nonkey_block = db->Prepare(nonkey_sql);
+  ASSERT_TRUE(nonkey_block.ok());
+  auto nonkey_view = AnalyzeIceberg(*nonkey_block, part);
+  ASSERT_TRUE(nonkey_view.ok());
+  EXPECT_FALSE(
+      NljpOperator::Create(std::move(*nonkey_view), NljpOptions()).ok());
+}
+
+TEST(Nljp, ExplainListsComponentQueries) {
+  auto db = MakeObjectDb(50, 10);
+  QueryBlock block;
+  auto op = MakeSkybandNljp(db.get(), &block, NljpOptions());
+  ASSERT_TRUE(op.ok());
+  std::string explain = (*op)->Explain();
+  EXPECT_NE(explain.find("Q_B"), std::string::npos);
+  EXPECT_NE(explain.find("Q_R(b)"), std::string::npos);
+  EXPECT_NE(explain.find("Q_C(b')"), std::string::npos);
+  EXPECT_NE(explain.find("Q_P"), std::string::npos);
+  EXPECT_NE(explain.find("w.0 - w'.0 <= 0"), std::string::npos) << explain;
+}
+
+/// Property: across distributions, domains, and thresholds, NLJP equals the
+/// baseline (the paper's correctness claim for Theorem 3 + memoization).
+struct SweepCase {
+  PointDistribution dist;
+  int64_t domain;
+  int threshold;
+  bool monotone;  // use COUNT >= threshold instead of <=
+};
+
+class NljpSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(NljpSweep, EquivalentToBaseline) {
+  const SweepCase& c = GetParam();
+  auto db = MakeObjectDb(250, c.domain, c.dist);
+  std::string sql =
+      "SELECT L.id, COUNT(*) FROM object L, object R "
+      "WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y) "
+      "GROUP BY L.id HAVING COUNT(*) " +
+      std::string(c.monotone ? ">= " : "<= ") + std::to_string(c.threshold);
+  auto base = db->Query(sql);
+  ASSERT_TRUE(base.ok());
+  auto smart = db->QueryIceberg(sql);
+  ASSERT_TRUE(smart.ok()) << smart.status().ToString();
+  ExpectSame(*base, *smart, sql);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DistributionsAndThresholds, NljpSweep,
+    ::testing::Values(
+        SweepCase{PointDistribution::kIndependent, 40, 0, false},
+        SweepCase{PointDistribution::kIndependent, 40, 5, false},
+        SweepCase{PointDistribution::kIndependent, 40, 50, false},
+        SweepCase{PointDistribution::kIndependent, 40, 240, false},
+        SweepCase{PointDistribution::kCorrelated, 40, 10, false},
+        SweepCase{PointDistribution::kAnticorrelated, 40, 10, false},
+        SweepCase{PointDistribution::kIndependent, 8, 10, false},
+        SweepCase{PointDistribution::kCorrelated, 8, 10, false},
+        SweepCase{PointDistribution::kIndependent, 40, 10, true},
+        SweepCase{PointDistribution::kAnticorrelated, 40, 40, true},
+        SweepCase{PointDistribution::kIndependent, 8, 100, true},
+        SweepCase{PointDistribution::kCorrelated, 200, 3, true}));
+
+}  // namespace
+}  // namespace iceberg

@@ -1,0 +1,182 @@
+// Unit tests for src/parser: tokenizer and the SQL-subset grammar,
+// including the paper's Listings 1-4 verbatim.
+
+#include <gtest/gtest.h>
+
+#include "src/parser/parser.h"
+#include "src/parser/token.h"
+
+namespace iceberg {
+namespace {
+
+TEST(Tokenizer, KeywordsCaseInsensitive) {
+  auto tokens = Tokenize("select FROM GrOuP");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[2].text, "GROUP");
+}
+
+TEST(Tokenizer, NumbersIntVsDoubleVsQualified) {
+  auto tokens = Tokenize("1 2.5 1e3 t.col");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kDoubleLiteral);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kDoubleLiteral);
+  // "t.col" must lex as ident, dot, ident (not a decimal).
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[4].text, ".");
+}
+
+TEST(Tokenizer, StringsAndComments) {
+  auto tokens = Tokenize("'hi there' -- comment\n 'x'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ((*tokens)[0].text, "hi there");
+  EXPECT_EQ((*tokens)[1].text, "x");
+}
+
+TEST(Tokenizer, MultiCharOperators) {
+  auto tokens = Tokenize("<= >= <> != <");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "<=");
+  EXPECT_EQ((*tokens)[1].text, ">=");
+  EXPECT_EQ((*tokens)[2].text, "<>");
+  EXPECT_EQ((*tokens)[3].text, "<>");  // != normalizes
+  EXPECT_EQ((*tokens)[4].text, "<");
+}
+
+TEST(Tokenizer, ErrorsOnUnterminatedString) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(Tokenizer, ErrorsOnUnknownChar) { EXPECT_FALSE(Tokenize("a @ b").ok()); }
+
+TEST(Parser, MarketBasketListing1) {
+  auto q = ParseSql(
+      "SELECT i1.item, i2.item FROM Basket i1, Basket i2 "
+      "WHERE i1.bid = i2.bid GROUP BY i1.item, i2.item "
+      "HAVING COUNT(*) >= 20;");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const ParsedSelect& s = *q->select;
+  EXPECT_EQ(s.items.size(), 2u);
+  ASSERT_EQ(s.from.size(), 2u);
+  EXPECT_EQ(s.from[0].table_name, "Basket");
+  EXPECT_EQ(s.from[0].alias, "i1");
+  EXPECT_EQ(s.group_by.size(), 2u);
+  ASSERT_NE(s.having, nullptr);
+  EXPECT_EQ(s.having->ToString(), "COUNT(*) >= 20");
+}
+
+TEST(Parser, SkybandListing2) {
+  auto q = ParseSql(
+      "SELECT L.id, COUNT(*) FROM Object L, Object R "
+      "WHERE L.x<=R.x AND L.y<=R.y AND (L.x<R.x OR L.y<R.y) "
+      "GROUP BY L.id HAVING COUNT(*) <= 50;");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  // WHERE parses as (a AND b) AND (c OR d).
+  const ExprPtr& w = q->select->where;
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->bop, BinaryOp::kAnd);
+  EXPECT_EQ(w->children[1]->bop, BinaryOp::kOr);
+}
+
+TEST(Parser, PairsListing4WithCte) {
+  auto q = ParseSql(
+      "WITH pair AS (SELECT s1.pid AS pid1, s2.pid AS pid2, "
+      "AVG(s1.hits) AS hits1 FROM Score s1, Score s2 "
+      "WHERE s1.teamid = s2.teamid AND s1.pid < s2.pid "
+      "GROUP BY s1.pid, s2.pid HAVING COUNT(*) >= 3) "
+      "SELECT L.pid1, COUNT(*) FROM pair L, pair R "
+      "WHERE R.hits1 >= L.hits1 GROUP BY L.pid1 HAVING COUNT(*) <= 20");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->ctes.size(), 1u);
+  EXPECT_EQ(q->ctes[0].first, "pair");
+  EXPECT_EQ(q->ctes[0].second->items[2].alias, "hits1");
+}
+
+TEST(Parser, ComplexListing3) {
+  auto q = ParseSql(
+      "SELECT S1.id, S1.attr, S2.attr, COUNT(*) "
+      "FROM Product S1, Product S2, Product T1, Product T2 "
+      "WHERE S1.id = S2.id AND T1.id = T2.id "
+      "AND S1.category = T1.category "
+      "AND T1.attr = S1.attr AND T2.attr = S2.attr "
+      "AND T1.val > S1.val AND T2.val > S2.val "
+      "GROUP BY S1.id, S1.attr, S2.attr HAVING COUNT(*) >= 10");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->select->from.size(), 4u);
+}
+
+TEST(Parser, SubqueryInFromRequiresAlias) {
+  EXPECT_FALSE(ParseSql("SELECT a FROM (SELECT a FROM t)").ok());
+  auto q = ParseSql("SELECT s.a FROM (SELECT a FROM t) s");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_NE(q->select->from[0].subquery, nullptr);
+  EXPECT_EQ(q->select->from[0].alias, "s");
+}
+
+TEST(Parser, DistinctSelect) {
+  auto q = ParseSql("SELECT DISTINCT x FROM t");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->select->distinct);
+}
+
+TEST(Parser, AggregateVariants) {
+  auto e = ParseExpression("COUNT(DISTINCT bid) >= 25");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->children[0]->agg, AggFunc::kCountDistinct);
+  e = ParseExpression("SUM(numSales * price) >= 1000000");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->children[0]->agg, AggFunc::kSum);
+  e = ParseExpression("COUNT(1) < 50");
+  ASSERT_TRUE(e.ok());
+  // COUNT(1) normalizes to COUNT(*).
+  EXPECT_EQ((*e)->children[0]->agg, AggFunc::kCountStar);
+}
+
+TEST(Parser, OperatorPrecedence) {
+  auto e = ParseExpression("1 + 2 * 3 = 7");
+  ASSERT_TRUE(e.ok());
+  Row empty;
+  // Evaluates as (1 + (2*3)) = 7.
+  EXPECT_EQ((*e)->ToString(), "1 + 2 * 3 = 7");
+}
+
+TEST(Parser, UnaryMinusFoldsLiterals) {
+  auto e = ParseExpression("-5");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, ExprKind::kLiteral);
+  EXPECT_EQ((*e)->literal.AsInt(), -5);
+}
+
+TEST(Parser, NullTrueFalseLiterals) {
+  EXPECT_TRUE((*ParseExpression("NULL"))->literal.is_null());
+  EXPECT_TRUE((*ParseExpression("TRUE"))->literal.AsBool());
+  EXPECT_FALSE((*ParseExpression("FALSE"))->literal.AsBool());
+}
+
+TEST(Parser, ErrorMessages) {
+  EXPECT_FALSE(ParseSql("SELECT").ok());
+  EXPECT_FALSE(ParseSql("SELECT a").ok());            // missing FROM
+  EXPECT_FALSE(ParseSql("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t GROUP a").ok());  // missing BY
+  EXPECT_FALSE(ParseSql("SELECT a FROM t; garbage").ok());
+  EXPECT_FALSE(ParseExpression("1 +").ok());
+  EXPECT_FALSE(ParseExpression("COUNT(").ok());
+}
+
+TEST(Parser, RoundTripToString) {
+  const char* sql =
+      "SELECT t.a AS x FROM t WHERE t.a > 1 GROUP BY t.a HAVING COUNT(*) >= "
+      "2";
+  auto q = ParseSql(sql);
+  ASSERT_TRUE(q.ok());
+  // Reparsing the rendering must succeed and render identically (fixpoint).
+  auto q2 = ParseSql(q->ToString());
+  ASSERT_TRUE(q2.ok()) << q->ToString();
+  EXPECT_EQ(q->ToString(), q2->ToString());
+}
+
+}  // namespace
+}  // namespace iceberg

@@ -1,0 +1,158 @@
+// Randomized cross-engine property tests: on pseudo-random schemas, data,
+// and iceberg queries, every engine configuration (baseline sequential,
+// Vendor A parallel, Smart-Iceberg with each technique subset, the static
+// memoization rewrite when applicable) must return identical results.
+// This is the repository's strongest end-to-end invariant.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "src/engine/database.h"
+#include "src/rewrite/memo_rewrite.h"
+
+namespace iceberg {
+namespace {
+
+/// Deterministic xorshift-style generator (no global RNG state).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed * 2654435761u + 1) {}
+  uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+  int Int(int lo, int hi) {  // inclusive
+    return lo + static_cast<int>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[Next() % items.size()];
+  }
+
+ private:
+  uint64_t state_;
+};
+
+void ExpectSame(const TablePtr& a, const TablePtr& b,
+                const std::string& context) {
+  ASSERT_EQ(a->num_rows(), b->num_rows()) << context;
+  std::vector<Row> ra = a->rows(), rb = b->rows();
+  std::sort(ra.begin(), ra.end(), RowLess());
+  std::sort(rb.begin(), rb.end(), RowLess());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    ASSERT_EQ(CompareRows(ra[i], rb[i]), 0)
+        << context << "\nrow " << i << ": " << RowToString(ra[i]) << " vs "
+        << RowToString(rb[i]);
+  }
+}
+
+/// One random scenario: a table rel(k, g, x, y) with a declared key, a
+/// random self-join iceberg query, compared across every configuration.
+void RunScenario(uint64_t seed) {
+  Rng rng(seed);
+  Database db;
+  ASSERT_TRUE(db.CreateTable("rel", Schema({{"k", DataType::kInt64},
+                                            {"g", DataType::kInt64},
+                                            {"x", DataType::kInt64},
+                                            {"y", DataType::kInt64}}))
+                  .ok());
+  ASSERT_TRUE(db.DeclareKey("rel", {"k"}).ok());
+  const int rows = rng.Int(50, 220);
+  const int domain = rng.Int(4, 40);
+  for (int i = 0; i < rows; ++i) {
+    ASSERT_TRUE(db.Insert("rel", {Value::Int(i),
+                                  Value::Int(rng.Int(0, 7)),
+                                  Value::Int(rng.Int(0, domain)),
+                                  Value::Int(rng.Int(0, domain))})
+                    .ok());
+  }
+  if (rng.Int(0, 1) == 1) {
+    ASSERT_TRUE(db.CreateOrderedIndex("rel", {"x", "y"}).ok());
+    ASSERT_TRUE(db.CreateHashIndex("rel", {"k"}).ok());
+  }
+
+  // Random join condition over (x, y).
+  std::vector<std::string> joins = {
+      "a.x <= b.x AND a.y <= b.y",
+      "a.x <= b.x AND a.y <= b.y AND (a.x < b.x OR a.y < b.y)",
+      "a.x < b.x",
+      "a.x = b.x AND a.y <= b.y",
+      "a.x + a.y <= b.x + b.y",
+      "a.x <= b.x AND a.y >= b.y",
+      "a.g = b.g AND a.x < b.x",
+  };
+  // Random grouping: by the key or by a non-key column.
+  std::vector<std::string> groups = {"a.k", "a.g"};
+  // Random HAVING over inner-side aggregates.
+  std::vector<std::string> havings = {
+      "COUNT(*) <= @", "COUNT(*) >= @", "SUM(b.x) >= @", "MAX(b.y) <= @",
+      "MIN(b.x) >= @", "COUNT(*) >= @ AND MAX(b.x) >= @",
+  };
+  std::string group = rng.Pick(groups);
+  std::string having = rng.Pick(havings);
+  int threshold = rng.Int(1, having.find("SUM") != std::string::npos
+                                 ? domain * 8
+                                 : (having.find("MAX") != std::string::npos ||
+                                    having.find("MIN") != std::string::npos
+                                        ? domain
+                                        : rows / 3 + 2));
+  size_t pos;
+  while ((pos = having.find('@')) != std::string::npos) {
+    having.replace(pos, 1, std::to_string(threshold));
+  }
+  std::string sql = "SELECT " + group + ", COUNT(*), MAX(b.y) FROM rel a, "
+                    "rel b WHERE " + rng.Pick(joins) + " GROUP BY " + group +
+                    " HAVING " + having;
+
+  Result<TablePtr> base = db.Query(sql);
+  ASSERT_TRUE(base.ok()) << base.status().ToString() << "\n" << sql;
+
+  Result<TablePtr> vendor = db.Query(sql, ExecOptions::VendorA());
+  ASSERT_TRUE(vendor.ok());
+  ExpectSame(*base, *vendor, "vendorA: " + sql);
+
+  ExecOptions no_index;
+  no_index.use_indexes = false;
+  Result<TablePtr> unindexed = db.Query(sql, no_index);
+  ASSERT_TRUE(unindexed.ok());
+  ExpectSame(*base, *unindexed, "no-index: " + sql);
+
+  for (int mask = 1; mask < 8; ++mask) {
+    IcebergOptions options =
+        IcebergOptions::Only(mask & 1, mask & 2, mask & 4);
+    options.binding_order = rng.Int(0, 1) == 0 ? BindingOrder::kNatural
+                                               : BindingOrder::kSortedDesc;
+    options.cache_index = rng.Int(0, 1) == 1;
+    Result<TablePtr> smart = db.QueryIceberg(sql, options);
+    ASSERT_TRUE(smart.ok()) << smart.status().ToString() << "\n" << sql;
+    ExpectSame(*base, *smart,
+               "mask=" + std::to_string(mask) + ": " + sql);
+  }
+
+  // Static memo rewrite, when its conditions hold.
+  Result<QueryBlock> block = db.Prepare(sql);
+  ASSERT_TRUE(block.ok());
+  TablePartition part;
+  part.left = {0};
+  part.right = {1};
+  Result<IcebergView> view = AnalyzeIceberg(*block, part);
+  ASSERT_TRUE(view.ok());
+  Result<MemoRewriteResult> rewrite = ExecuteStaticMemoRewrite(*view);
+  if (rewrite.ok()) {
+    ExpectSame(*base, rewrite->result, "static-rewrite: " + sql);
+  }
+}
+
+class RandomizedEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomizedEquivalence, AllEnginesAgree) { RunScenario(GetParam()); }
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedEquivalence,
+                         ::testing::Range<uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace iceberg

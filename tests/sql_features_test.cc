@@ -1,0 +1,122 @@
+// Tests for ORDER BY / LIMIT and their interaction with both engines.
+
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+
+namespace iceberg {
+namespace {
+
+Database MakeDb() {
+  Database db;
+  EXPECT_TRUE(db.CreateTable("t", Schema({{"g", DataType::kInt64},
+                                          {"v", DataType::kInt64}}))
+                  .ok());
+  int data[][2] = {{1, 30}, {2, 10}, {1, 20}, {3, 10}, {2, 40}, {3, 15}};
+  for (auto& d : data) {
+    EXPECT_TRUE(db.Insert("t", {Value::Int(d[0]), Value::Int(d[1])}).ok());
+  }
+  return db;
+}
+
+TEST(OrderBy, AscendingByOutputName) {
+  Database db = MakeDb();
+  auto r = db.Query("SELECT v FROM t ORDER BY v");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ((*r)->num_rows(), 6u);
+  for (size_t i = 1; i < 6; ++i) {
+    EXPECT_LE((*r)->row(i - 1)[0].AsInt(), (*r)->row(i)[0].AsInt());
+  }
+}
+
+TEST(OrderBy, DescendingAndOrdinal) {
+  Database db = MakeDb();
+  auto r = db.Query("SELECT g, v FROM t ORDER BY 2 DESC, g ASC");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->row(0)[1].AsInt(), 40);
+  EXPECT_EQ((*r)->row(5)[1].AsInt(), 10);
+  // Tie at v=10 broken by g ascending: g=2 before g=3.
+  EXPECT_EQ((*r)->row(4)[0].AsInt(), 2);
+  EXPECT_EQ((*r)->row(5)[0].AsInt(), 3);
+}
+
+TEST(OrderBy, AliasResolution) {
+  Database db = MakeDb();
+  auto r = db.Query(
+      "SELECT g, SUM(v) AS total FROM t GROUP BY g ORDER BY total DESC");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ((*r)->num_rows(), 3u);
+  // totals: g=1 -> 50, g=2 -> 50, g=3 -> 25; descending by total.
+  EXPECT_EQ((*r)->row(0)[1].AsInt(), 50);
+  EXPECT_EQ((*r)->row(1)[1].AsInt(), 50);
+  EXPECT_EQ((*r)->row(2)[1].AsInt(), 25);
+}
+
+TEST(OrderBy, Limit) {
+  Database db = MakeDb();
+  auto r = db.Query("SELECT v FROM t ORDER BY v LIMIT 2");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ((*r)->num_rows(), 2u);
+  EXPECT_EQ((*r)->row(0)[0].AsInt(), 10);
+  EXPECT_EQ((*r)->row(1)[0].AsInt(), 10);
+}
+
+TEST(OrderBy, LimitWithoutOrder) {
+  Database db = MakeDb();
+  auto r = db.Query("SELECT v FROM t LIMIT 4");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->num_rows(), 4u);
+}
+
+TEST(OrderBy, LimitLargerThanResult) {
+  Database db = MakeDb();
+  auto r = db.Query("SELECT v FROM t LIMIT 100");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->num_rows(), 6u);
+}
+
+TEST(OrderBy, OrdinalOutOfRangeRejected) {
+  Database db = MakeDb();
+  EXPECT_FALSE(db.Query("SELECT v FROM t ORDER BY 2").ok());
+  EXPECT_FALSE(db.Query("SELECT v FROM t ORDER BY 0").ok());
+}
+
+TEST(OrderBy, UnknownColumnRejected) {
+  Database db = MakeDb();
+  EXPECT_FALSE(db.Query("SELECT v FROM t ORDER BY nope").ok());
+}
+
+TEST(OrderBy, WorksThroughIcebergPath) {
+  Database db = MakeDb();
+  ASSERT_TRUE(db.DeclareKey("t", {"g", "v"}).ok());
+  const char* sql =
+      "SELECT a.g, COUNT(*) AS n FROM t a, t b WHERE a.g = b.g "
+      "GROUP BY a.g HAVING COUNT(*) >= 4 ORDER BY n DESC LIMIT 1";
+  auto base = db.Query(sql);
+  auto smart = db.QueryIceberg(sql);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  ASSERT_TRUE(smart.ok()) << smart.status().ToString();
+  ASSERT_EQ((*base)->num_rows(), (*smart)->num_rows());
+  ASSERT_EQ((*base)->num_rows(), 1u);
+  EXPECT_EQ(CompareRows((*base)->row(0), (*smart)->row(0)), 0);
+}
+
+TEST(OrderBy, StableSortPreservesTies) {
+  Database db = MakeDb();
+  auto r = db.Query("SELECT g, v FROM t ORDER BY g");
+  ASSERT_TRUE(r.ok());
+  // Within g=1, the original insertion order (30 then 20) is preserved.
+  EXPECT_EQ((*r)->row(0)[1].AsInt(), 30);
+  EXPECT_EQ((*r)->row(1)[1].AsInt(), 20);
+}
+
+TEST(OrderBy, ParserRendersOrderAndLimit) {
+  auto parsed = ParseSql("SELECT v FROM t ORDER BY v DESC LIMIT 3");
+  ASSERT_TRUE(parsed.ok());
+  std::string text = parsed->ToString();
+  EXPECT_NE(text.find("ORDER BY v DESC"), std::string::npos);
+  EXPECT_NE(text.find("LIMIT 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iceberg

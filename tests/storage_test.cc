@@ -1,0 +1,141 @@
+// Unit tests for src/storage: table append/update and index behaviour
+// (exact lookup, range scans, bound scans with multi-column prefixes).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/storage/table.h"
+
+namespace iceberg {
+namespace {
+
+Table MakePoints() {
+  Table t("pts", Schema({{"id", DataType::kInt64},
+                         {"x", DataType::kInt64},
+                         {"y", DataType::kInt64}}));
+  int data[][3] = {{0, 1, 5}, {1, 2, 4}, {2, 2, 9}, {3, 3, 1}, {4, 5, 5}};
+  for (auto& d : data) {
+    t.AppendUnchecked({Value::Int(d[0]), Value::Int(d[1]), Value::Int(d[2])});
+  }
+  return t;
+}
+
+TEST(Table, AppendValidatesArity) {
+  Table t("t", Schema({{"a", DataType::kInt64}}));
+  EXPECT_TRUE(t.Append({Value::Int(1)}).ok());
+  EXPECT_FALSE(t.Append({Value::Int(1), Value::Int(2)}).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, UpdateRowInPlace) {
+  Table t("t", Schema({{"a", DataType::kInt64}}));
+  t.AppendUnchecked({Value::Int(1)});
+  t.UpdateRow(0, {Value::Int(9)});
+  EXPECT_EQ(t.row(0)[0].AsInt(), 9);
+}
+
+TEST(Table, BuildIndexUnknownColumnFails) {
+  Table t = MakePoints();
+  EXPECT_FALSE(t.BuildOrderedIndex({"nope"}).ok());
+  EXPECT_FALSE(t.BuildHashIndex({"nope"}).ok());
+}
+
+TEST(OrderedIndex, ExactLookup) {
+  Table t = MakePoints();
+  ASSERT_TRUE(t.BuildOrderedIndex({"x"}).ok());
+  const OrderedIndex& idx = t.ordered_index(0);
+  std::vector<size_t> hits = idx.Lookup({Value::Int(2)});
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<size_t>{1, 2}));
+  EXPECT_TRUE(idx.Lookup({Value::Int(99)}).empty());
+}
+
+TEST(OrderedIndex, LowerBoundScan) {
+  Table t = MakePoints();
+  ASSERT_TRUE(t.BuildOrderedIndex({"x"}).ok());
+  std::vector<size_t> hits =
+      t.ordered_index(0).LowerBoundScan({Value::Int(3)}, /*strict=*/false);
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<size_t>{3, 4}));  // x in {3, 5}
+}
+
+TEST(OrderedIndex, UpperBoundScanPrefixSemantics) {
+  Table t = MakePoints();
+  ASSERT_TRUE(t.BuildOrderedIndex({"x", "y"}).ok());
+  // Prefix bound x <= 2 must include BOTH x=2 rows regardless of y.
+  std::vector<size_t> hits =
+      t.ordered_index(0).UpperBoundScan({Value::Int(2)});
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(OrderedIndex, RangeLookupInclusive) {
+  Table t = MakePoints();
+  ASSERT_TRUE(t.BuildOrderedIndex({"x"}).ok());
+  std::vector<size_t> hits = t.ordered_index(0).RangeLookup(
+      {Value::Int(2)}, {Value::Int(3), Value::Int(1 << 30)});
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<size_t>{1, 2, 3}));
+}
+
+TEST(HashIndex, LookupAndMiss) {
+  Table t = MakePoints();
+  ASSERT_TRUE(t.BuildHashIndex({"x", "y"}).ok());
+  const HashIndex& idx = t.hash_index(0);
+  const std::vector<size_t>* hits = idx.Lookup({Value::Int(2), Value::Int(4)});
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(*hits, (std::vector<size_t>{1}));
+  EXPECT_EQ(idx.Lookup({Value::Int(2), Value::Int(5)}), nullptr);
+}
+
+TEST(Table, IndexMaintainedOnAppend) {
+  Table t("t", Schema({{"a", DataType::kInt64}}));
+  ASSERT_TRUE(t.BuildHashIndex({"a"}).ok());
+  t.AppendUnchecked({Value::Int(7)});
+  const std::vector<size_t>* hits = t.hash_index(0).Lookup({Value::Int(7)});
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(hits->size(), 1u);
+}
+
+TEST(Table, FindHashIndexMatchesAnyOrder) {
+  Table t = MakePoints();
+  ASSERT_TRUE(t.BuildHashIndex({"x", "y"}).ok());
+  std::vector<size_t> key_order;
+  const HashIndex* idx = t.FindHashIndex({2, 1}, &key_order);  // (y, x)
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(key_order, (std::vector<size_t>{1, 2}));  // stored order (x, y)
+  EXPECT_EQ(t.FindHashIndex({0, 1}, &key_order), nullptr);
+}
+
+TEST(Table, FindOrderedIndexExactOrderOnly) {
+  Table t = MakePoints();
+  ASSERT_TRUE(t.BuildOrderedIndex({"x", "y"}).ok());
+  EXPECT_NE(t.FindOrderedIndex({1, 2}), nullptr);
+  EXPECT_EQ(t.FindOrderedIndex({2, 1}), nullptr);
+}
+
+TEST(Table, DropIndexes) {
+  Table t = MakePoints();
+  ASSERT_TRUE(t.BuildOrderedIndex({"x"}).ok());
+  ASSERT_TRUE(t.BuildHashIndex({"x"}).ok());
+  t.DropIndexes();
+  EXPECT_EQ(t.num_ordered_indexes(), 0u);
+  EXPECT_EQ(t.num_hash_indexes(), 0u);
+}
+
+TEST(Table, BuildIndexByIdsAfterLoad) {
+  Table t = MakePoints();
+  t.BuildOrderedIndexByIds({1});
+  EXPECT_EQ(t.ordered_index(0).num_entries(), t.num_rows());
+}
+
+TEST(Table, ApproxBytesGrowsWithRows) {
+  Table t("t", Schema({{"s", DataType::kString}}));
+  size_t empty = t.ApproxBytes();
+  t.AppendUnchecked({Value::Str("hello world")});
+  EXPECT_GT(t.ApproxBytes(), empty);
+}
+
+}  // namespace
+}  // namespace iceberg
