@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_binding_order.dir/ablation_binding_order.cc.o"
+  "CMakeFiles/ablation_binding_order.dir/ablation_binding_order.cc.o.d"
+  "ablation_binding_order"
+  "ablation_binding_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_binding_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_memo_strategies.dir/ablation_memo_strategies.cc.o"
+  "CMakeFiles/ablation_memo_strategies.dir/ablation_memo_strategies.cc.o.d"
+  "ablation_memo_strategies"
+  "ablation_memo_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memo_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_relative_perf.dir/fig1_relative_perf.cc.o"
+  "CMakeFiles/fig1_relative_perf.dir/fig1_relative_perf.cc.o.d"
+  "fig1_relative_perf"
+  "fig1_relative_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_relative_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

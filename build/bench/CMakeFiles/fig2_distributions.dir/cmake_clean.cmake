@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_distributions.dir/fig2_distributions.cc.o"
+  "CMakeFiles/fig2_distributions.dir/fig2_distributions.cc.o.d"
+  "fig2_distributions"
+  "fig2_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

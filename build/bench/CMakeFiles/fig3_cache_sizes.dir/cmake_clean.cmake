@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_cache_sizes.dir/fig3_cache_sizes.cc.o"
+  "CMakeFiles/fig3_cache_sizes.dir/fig3_cache_sizes.cc.o.d"
+  "fig3_cache_sizes"
+  "fig3_cache_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_cache_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_index_configs.dir/fig4_index_configs.cc.o"
+  "CMakeFiles/fig4_index_configs.dir/fig4_index_configs.cc.o.d"
+  "fig4_index_configs"
+  "fig4_index_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_index_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

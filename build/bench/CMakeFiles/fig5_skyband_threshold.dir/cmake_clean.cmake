@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_skyband_threshold.dir/fig5_skyband_threshold.cc.o"
+  "CMakeFiles/fig5_skyband_threshold.dir/fig5_skyband_threshold.cc.o.d"
+  "fig5_skyband_threshold"
+  "fig5_skyband_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_skyband_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

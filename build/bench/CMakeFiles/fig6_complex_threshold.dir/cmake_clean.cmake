@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_complex_threshold.dir/fig6_complex_threshold.cc.o"
+  "CMakeFiles/fig6_complex_threshold.dir/fig6_complex_threshold.cc.o.d"
+  "fig6_complex_threshold"
+  "fig6_complex_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_complex_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

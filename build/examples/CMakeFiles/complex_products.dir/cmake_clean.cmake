@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complex_products.dir/complex_products.cpp.o"
+  "CMakeFiles/complex_products.dir/complex_products.cpp.o.d"
+  "complex_products"
+  "complex_products.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complex_products.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_plans.dir/explain_plans.cpp.o"
+  "CMakeFiles/explain_plans.dir/explain_plans.cpp.o.d"
+  "explain_plans"
+  "explain_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceberg_shell.dir/iceberg_shell.cpp.o"
+  "CMakeFiles/iceberg_shell.dir/iceberg_shell.cpp.o.d"
+  "iceberg_shell"
+  "iceberg_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceberg_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

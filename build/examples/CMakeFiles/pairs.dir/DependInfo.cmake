@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/pairs.cpp" "examples/CMakeFiles/pairs.dir/pairs.cpp.o" "gcc" "examples/CMakeFiles/pairs.dir/pairs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/iceberg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/iceberg_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/iceberg_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/nljp/CMakeFiles/iceberg_nljp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/iceberg_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/fme/CMakeFiles/iceberg_fme.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/iceberg_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/iceberg_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/iceberg_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/iceberg_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/iceberg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/iceberg_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iceberg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairs.dir/pairs.cpp.o"
+  "CMakeFiles/pairs.dir/pairs.cpp.o.d"
+  "pairs"
+  "pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyband.dir/skyband.cpp.o"
+  "CMakeFiles/skyband.dir/skyband.cpp.o.d"
+  "skyband"
+  "skyband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("catalog")
+subdirs("storage")
+subdirs("expr")
+subdirs("parser")
+subdirs("plan")
+subdirs("exec")
+subdirs("fme")
+subdirs("rewrite")
+subdirs("nljp")
+subdirs("optimizer")
+subdirs("workload")
+subdirs("engine")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceberg_catalog.dir/fd.cc.o"
+  "CMakeFiles/iceberg_catalog.dir/fd.cc.o.d"
+  "CMakeFiles/iceberg_catalog.dir/schema.cc.o"
+  "CMakeFiles/iceberg_catalog.dir/schema.cc.o.d"
+  "libiceberg_catalog.a"
+  "libiceberg_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceberg_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

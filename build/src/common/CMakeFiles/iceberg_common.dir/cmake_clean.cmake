@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceberg_common.dir/status.cc.o"
+  "CMakeFiles/iceberg_common.dir/status.cc.o.d"
+  "CMakeFiles/iceberg_common.dir/string_util.cc.o"
+  "CMakeFiles/iceberg_common.dir/string_util.cc.o.d"
+  "CMakeFiles/iceberg_common.dir/value.cc.o"
+  "CMakeFiles/iceberg_common.dir/value.cc.o.d"
+  "libiceberg_common.a"
+  "libiceberg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceberg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

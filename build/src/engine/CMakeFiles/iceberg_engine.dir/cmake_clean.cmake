@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceberg_engine.dir/csv.cc.o"
+  "CMakeFiles/iceberg_engine.dir/csv.cc.o.d"
+  "CMakeFiles/iceberg_engine.dir/database.cc.o"
+  "CMakeFiles/iceberg_engine.dir/database.cc.o.d"
+  "libiceberg_engine.a"
+  "libiceberg_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceberg_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceberg_exec.dir/aggregator.cc.o"
+  "CMakeFiles/iceberg_exec.dir/aggregator.cc.o.d"
+  "CMakeFiles/iceberg_exec.dir/executor.cc.o"
+  "CMakeFiles/iceberg_exec.dir/executor.cc.o.d"
+  "CMakeFiles/iceberg_exec.dir/join_pipeline.cc.o"
+  "CMakeFiles/iceberg_exec.dir/join_pipeline.cc.o.d"
+  "libiceberg_exec.a"
+  "libiceberg_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceberg_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceberg_expr.dir/aggregate.cc.o"
+  "CMakeFiles/iceberg_expr.dir/aggregate.cc.o.d"
+  "CMakeFiles/iceberg_expr.dir/evaluator.cc.o"
+  "CMakeFiles/iceberg_expr.dir/evaluator.cc.o.d"
+  "CMakeFiles/iceberg_expr.dir/expr.cc.o"
+  "CMakeFiles/iceberg_expr.dir/expr.cc.o.d"
+  "libiceberg_expr.a"
+  "libiceberg_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceberg_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

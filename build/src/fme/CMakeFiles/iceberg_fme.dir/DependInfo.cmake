@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fme/fme.cc" "src/fme/CMakeFiles/iceberg_fme.dir/fme.cc.o" "gcc" "src/fme/CMakeFiles/iceberg_fme.dir/fme.cc.o.d"
+  "/root/repo/src/fme/formula.cc" "src/fme/CMakeFiles/iceberg_fme.dir/formula.cc.o" "gcc" "src/fme/CMakeFiles/iceberg_fme.dir/formula.cc.o.d"
+  "/root/repo/src/fme/linear.cc" "src/fme/CMakeFiles/iceberg_fme.dir/linear.cc.o" "gcc" "src/fme/CMakeFiles/iceberg_fme.dir/linear.cc.o.d"
+  "/root/repo/src/fme/subsumption.cc" "src/fme/CMakeFiles/iceberg_fme.dir/subsumption.cc.o" "gcc" "src/fme/CMakeFiles/iceberg_fme.dir/subsumption.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/iceberg_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iceberg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

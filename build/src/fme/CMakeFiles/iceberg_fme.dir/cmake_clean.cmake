@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceberg_fme.dir/fme.cc.o"
+  "CMakeFiles/iceberg_fme.dir/fme.cc.o.d"
+  "CMakeFiles/iceberg_fme.dir/formula.cc.o"
+  "CMakeFiles/iceberg_fme.dir/formula.cc.o.d"
+  "CMakeFiles/iceberg_fme.dir/linear.cc.o"
+  "CMakeFiles/iceberg_fme.dir/linear.cc.o.d"
+  "CMakeFiles/iceberg_fme.dir/subsumption.cc.o"
+  "CMakeFiles/iceberg_fme.dir/subsumption.cc.o.d"
+  "libiceberg_fme.a"
+  "libiceberg_fme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceberg_fme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

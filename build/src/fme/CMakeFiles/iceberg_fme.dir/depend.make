@@ -1,0 +1,2 @@
+# Empty dependencies file for iceberg_fme.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceberg_nljp.dir/nljp.cc.o"
+  "CMakeFiles/iceberg_nljp.dir/nljp.cc.o.d"
+  "libiceberg_nljp.a"
+  "libiceberg_nljp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceberg_nljp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

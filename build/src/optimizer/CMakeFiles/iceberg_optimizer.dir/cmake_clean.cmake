@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceberg_optimizer.dir/iceberg_optimizer.cc.o"
+  "CMakeFiles/iceberg_optimizer.dir/iceberg_optimizer.cc.o.d"
+  "libiceberg_optimizer.a"
+  "libiceberg_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceberg_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceberg_parser.dir/parser.cc.o"
+  "CMakeFiles/iceberg_parser.dir/parser.cc.o.d"
+  "CMakeFiles/iceberg_parser.dir/token.cc.o"
+  "CMakeFiles/iceberg_parser.dir/token.cc.o.d"
+  "libiceberg_parser.a"
+  "libiceberg_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceberg_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/query_block.cc" "src/plan/CMakeFiles/iceberg_plan.dir/query_block.cc.o" "gcc" "src/plan/CMakeFiles/iceberg_plan.dir/query_block.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/iceberg_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iceberg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/iceberg_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/iceberg_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/iceberg_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

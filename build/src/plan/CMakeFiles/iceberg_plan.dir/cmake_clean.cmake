@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceberg_plan.dir/query_block.cc.o"
+  "CMakeFiles/iceberg_plan.dir/query_block.cc.o.d"
+  "libiceberg_plan.a"
+  "libiceberg_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceberg_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewrite/apriori.cc" "src/rewrite/CMakeFiles/iceberg_rewrite.dir/apriori.cc.o" "gcc" "src/rewrite/CMakeFiles/iceberg_rewrite.dir/apriori.cc.o.d"
+  "/root/repo/src/rewrite/equality_inference.cc" "src/rewrite/CMakeFiles/iceberg_rewrite.dir/equality_inference.cc.o" "gcc" "src/rewrite/CMakeFiles/iceberg_rewrite.dir/equality_inference.cc.o.d"
+  "/root/repo/src/rewrite/iceberg_view.cc" "src/rewrite/CMakeFiles/iceberg_rewrite.dir/iceberg_view.cc.o" "gcc" "src/rewrite/CMakeFiles/iceberg_rewrite.dir/iceberg_view.cc.o.d"
+  "/root/repo/src/rewrite/memo_rewrite.cc" "src/rewrite/CMakeFiles/iceberg_rewrite.dir/memo_rewrite.cc.o" "gcc" "src/rewrite/CMakeFiles/iceberg_rewrite.dir/memo_rewrite.cc.o.d"
+  "/root/repo/src/rewrite/monotonicity.cc" "src/rewrite/CMakeFiles/iceberg_rewrite.dir/monotonicity.cc.o" "gcc" "src/rewrite/CMakeFiles/iceberg_rewrite.dir/monotonicity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/iceberg_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/iceberg_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/fme/CMakeFiles/iceberg_fme.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/iceberg_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/iceberg_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iceberg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/iceberg_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/iceberg_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

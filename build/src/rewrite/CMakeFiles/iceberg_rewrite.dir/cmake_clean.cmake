@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceberg_rewrite.dir/apriori.cc.o"
+  "CMakeFiles/iceberg_rewrite.dir/apriori.cc.o.d"
+  "CMakeFiles/iceberg_rewrite.dir/equality_inference.cc.o"
+  "CMakeFiles/iceberg_rewrite.dir/equality_inference.cc.o.d"
+  "CMakeFiles/iceberg_rewrite.dir/iceberg_view.cc.o"
+  "CMakeFiles/iceberg_rewrite.dir/iceberg_view.cc.o.d"
+  "CMakeFiles/iceberg_rewrite.dir/memo_rewrite.cc.o"
+  "CMakeFiles/iceberg_rewrite.dir/memo_rewrite.cc.o.d"
+  "CMakeFiles/iceberg_rewrite.dir/monotonicity.cc.o"
+  "CMakeFiles/iceberg_rewrite.dir/monotonicity.cc.o.d"
+  "libiceberg_rewrite.a"
+  "libiceberg_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceberg_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceberg_storage.dir/index.cc.o"
+  "CMakeFiles/iceberg_storage.dir/index.cc.o.d"
+  "CMakeFiles/iceberg_storage.dir/table.cc.o"
+  "CMakeFiles/iceberg_storage.dir/table.cc.o.d"
+  "libiceberg_storage.a"
+  "libiceberg_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceberg_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

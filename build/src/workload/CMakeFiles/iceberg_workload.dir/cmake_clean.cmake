@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceberg_workload.dir/baseball.cc.o"
+  "CMakeFiles/iceberg_workload.dir/baseball.cc.o.d"
+  "CMakeFiles/iceberg_workload.dir/basket.cc.o"
+  "CMakeFiles/iceberg_workload.dir/basket.cc.o.d"
+  "CMakeFiles/iceberg_workload.dir/object.cc.o"
+  "CMakeFiles/iceberg_workload.dir/object.cc.o.d"
+  "libiceberg_workload.a"
+  "libiceberg_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceberg_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiceberg_workload.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_cache_test.dir/bounded_cache_test.cc.o"
+  "CMakeFiles/bounded_cache_test.dir/bounded_cache_test.cc.o.d"
+  "bounded_cache_test"
+  "bounded_cache_test.pdb"
+  "bounded_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceberg_view_test.dir/iceberg_view_test.cc.o"
+  "CMakeFiles/iceberg_view_test.dir/iceberg_view_test.cc.o.d"
+  "iceberg_view_test"
+  "iceberg_view_test.pdb"
+  "iceberg_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceberg_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

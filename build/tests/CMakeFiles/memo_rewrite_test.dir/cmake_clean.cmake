@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memo_rewrite_test.dir/memo_rewrite_test.cc.o"
+  "CMakeFiles/memo_rewrite_test.dir/memo_rewrite_test.cc.o.d"
+  "memo_rewrite_test"
+  "memo_rewrite_test.pdb"
+  "memo_rewrite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memo_rewrite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

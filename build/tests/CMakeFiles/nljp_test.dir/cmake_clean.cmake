@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nljp_test.dir/nljp_test.cc.o"
+  "CMakeFiles/nljp_test.dir/nljp_test.cc.o.d"
+  "nljp_test"
+  "nljp_test.pdb"
+  "nljp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nljp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
