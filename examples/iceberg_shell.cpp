@@ -2,6 +2,9 @@
 // SQL on stdin. Meta-commands:
 //   \explain <sql>   show the Smart-Iceberg plan (reducers + NLJP parts)
 //   \base <sql>      run on the baseline executor instead
+//   \govern [deadline_ms] [budget_kb]   set per-statement resource limits
+//                    (0 0 clears them); governed statements report
+//                    degradations and trip with Cancelled/ResourceExhausted
 //   \tables          list tables
 //   \load <table> <csv-path>   bulk-load a CSV file
 //   \q               quit
@@ -9,6 +12,8 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 
 #include "src/engine/csv.h"
@@ -21,7 +26,35 @@ namespace {
 
 using namespace iceberg;
 
+// Per-statement resource limits set via \govern (a fresh QueryGovernor is
+// built for every statement; governors are single-use).
+QueryGovernor::Limits g_limits;
+bool g_governed = false;
+
+GovernorPtr MakeGovernor() {
+  return g_governed ? std::make_shared<QueryGovernor>(g_limits) : nullptr;
+}
+
 void RunStatement(Database* db, const std::string& line) {
+  if (line.rfind("\\govern", 0) == 0) {
+    std::istringstream args(line.substr(7));
+    long long deadline_ms = 0;
+    long long budget_kb = 0;
+    args >> deadline_ms >> budget_kb;
+    if (deadline_ms <= 0 && budget_kb <= 0) {
+      g_governed = false;
+      std::printf("governor cleared\n");
+      return;
+    }
+    g_limits = QueryGovernor::Limits();
+    g_limits.deadline_ms = deadline_ms > 0 ? deadline_ms : -1;
+    g_limits.memory_budget_bytes =
+        budget_kb > 0 ? static_cast<size_t>(budget_kb) * 1024 : 0;
+    g_governed = true;
+    std::printf("governing: deadline=%lldms budget=%lldkb\n", deadline_ms,
+                budget_kb);
+    return;
+  }
   if (line.rfind("\\explain ", 0) == 0) {
     Result<std::string> plan = db->ExplainIceberg(line.substr(9));
     std::printf("%s\n", plan.ok() ? plan->c_str()
@@ -29,7 +62,9 @@ void RunStatement(Database* db, const std::string& line) {
     return;
   }
   if (line.rfind("\\base ", 0) == 0) {
-    Result<TablePtr> result = db->Query(line.substr(6));
+    ExecOptions exec;
+    exec.governor = MakeGovernor();
+    Result<TablePtr> result = db->Query(line.substr(6), exec);
     if (!result.ok()) {
       std::printf("%s\n", result.status().ToString().c_str());
       return;
@@ -49,8 +84,9 @@ void RunStatement(Database* db, const std::string& line) {
     return;
   }
   IcebergReport report;
-  Result<TablePtr> result = db->QueryIceberg(line, IcebergOptions::All(),
-                                             &report);
+  IcebergOptions options = IcebergOptions::All();
+  options.governor = MakeGovernor();
+  Result<TablePtr> result = db->QueryIceberg(line, options, &report);
   if (!result.ok()) {
     std::printf("%s\n", result.status().ToString().c_str());
     return;
@@ -63,6 +99,9 @@ void RunStatement(Database* db, const std::string& line) {
       std::printf("%s", report.steps[i].c_str());
     }
     std::printf("\n");
+  }
+  for (const std::string& d : report.degradations) {
+    std::printf("-- degraded: %s\n", d.c_str());
   }
 }
 
@@ -84,8 +123,8 @@ int main() {
   std::printf(
       "Smart-Iceberg shell. Demo tables: object(id,x,y), basket(bid,item), "
       "score(pid,year,round,teamid,hits,hruns,h2,sb).\n"
-      "Commands: \\explain <sql>, \\base <sql>, \\tables, \\load <table> "
-      "<csv>, \\q\n");
+      "Commands: \\explain <sql>, \\base <sql>, \\govern [ms] [kb], "
+      "\\tables, \\load <table> <csv>, \\q\n");
   std::string line;
   while (true) {
     std::printf("iceberg> ");

@@ -1,6 +1,8 @@
 #ifndef SMARTICEBERG_COMMON_STATUS_H_
 #define SMARTICEBERG_COMMON_STATUS_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <utility>
@@ -18,6 +20,8 @@ enum class StatusCode {
   kBindError,
   kNotSupported,
   kInternal,
+  kCancelled,           // deadline exceeded or cancellation requested
+  kResourceExhausted,   // memory budget / intermediate-row limit exceeded
 };
 
 /// A lightweight, exception-free error carrier. Functions that can fail
@@ -55,8 +59,18 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -81,16 +95,35 @@ class Result {
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
-  const T& value() const& { return *value_; }
-  T& value() & { return *value_; }
-  T&& value() && { return *std::move(value_); }
+  const T& value() const& { EnsureHasValue(); return *value_; }
+  T& value() & { EnsureHasValue(); return *value_; }
+  T&& value() && { EnsureHasValue(); return *std::move(value_); }
 
-  const T& operator*() const& { return *value_; }
-  T& operator*() & { return *value_; }
-  const T* operator->() const { return &*value_; }
-  T* operator->() { return &*value_; }
+  /// Returns the value, or `fallback` when this result holds an error.
+  T value_or(T fallback) const& {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+  T value_or(T fallback) && {
+    return value_.has_value() ? *std::move(value_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { EnsureHasValue(); return *value_; }
+  T& operator*() & { EnsureHasValue(); return *value_; }
+  const T* operator->() const { EnsureHasValue(); return &*value_; }
+  T* operator->() { EnsureHasValue(); return &*value_; }
 
  private:
+  /// Accessing the value of an error result is a programming error; abort
+  /// loudly (with the carried status) instead of dereferencing an empty
+  /// optional, which is silent UB.
+  void EnsureHasValue() const {
+    if (!value_.has_value()) {
+      std::fprintf(stderr, "Result::value() called on error result: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
   Status status_;
   std::optional<T> value_;
 };

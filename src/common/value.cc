@@ -101,6 +101,14 @@ int CompareRows(const Row& a, const Row& b) {
   return 0;
 }
 
+size_t RowBytes(const Row& row) {
+  size_t bytes = row.size() * sizeof(Value);
+  for (const Value& v : row) {
+    if (v.is_string()) bytes += v.AsString().size();
+  }
+  return bytes;
+}
+
 std::string RowToString(const Row& row) {
   std::string out = "(";
   for (size_t i = 0; i < row.size(); ++i) {

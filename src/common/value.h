@@ -90,6 +90,10 @@ struct RowEq {
 /// Lexicographic comparison of two rows (shorter prefix sorts first).
 int CompareRows(const Row& a, const Row& b);
 
+/// Approximate heap footprint of a row, used for memory accounting by the
+/// query governor and the NLJP cache.
+size_t RowBytes(const Row& row);
+
 /// Renders "(1, 2.5, 'x')" for diagnostics.
 std::string RowToString(const Row& row);
 

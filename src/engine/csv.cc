@@ -113,19 +113,20 @@ Status LoadCsv(Database* db, const std::string& table, std::istream& input,
     if (line.empty()) continue;
     std::vector<std::string> fields = SplitCsvLine(line, options.delimiter);
     if (fields.size() != column_of_field.size()) {
-      return Status::InvalidArgument(
+      return Status::ParseError(
           "line " + std::to_string(line_number) + ": expected " +
           std::to_string(column_of_field.size()) + " fields, got " +
-          std::to_string(fields.size()));
+          std::to_string(fields.size()) + " in \"" + line + "\"");
     }
     Row row(schema.num_columns(), Value::Null());
     for (size_t f = 0; f < fields.size(); ++f) {
       size_t col = column_of_field[f];
       Result<Value> v = ParseField(fields[f], schema.column(col).type);
       if (!v.ok()) {
-        return Status::InvalidArgument("line " + std::to_string(line_number) +
-                                       ", column " + schema.column(col).name +
-                                       ": " + v.status().message());
+        return Status::ParseError(
+            "line " + std::to_string(line_number) + ", field " +
+            std::to_string(f + 1) + " (column " + schema.column(col).name +
+            "): " + v.status().message());
       }
       row[col] = std::move(*v);
     }

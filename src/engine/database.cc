@@ -218,6 +218,9 @@ TablePtr Database::ApplyOrderAndLimit(const QueryBlock& block,
 
 Result<TablePtr> Database::Query(const std::string& sql, ExecOptions exec,
                                  ExecStats* stats) {
+  // Check before parsing so an expired deadline or pre-tripped token never
+  // starts work.
+  if (exec.governor != nullptr) ICEBERG_RETURN_NOT_OK(exec.governor->Check());
   ICEBERG_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseSql(sql));
   std::map<std::string, CatalogEntry> scope;
   for (const auto& [name, cte] : parsed.ctes) {
@@ -238,6 +241,9 @@ Result<TablePtr> Database::Query(const std::string& sql, ExecOptions exec,
 Result<TablePtr> Database::QueryIceberg(const std::string& sql,
                                         IcebergOptions options,
                                         IcebergReport* report) {
+  if (options.governor != nullptr) {
+    ICEBERG_RETURN_NOT_OK(options.governor->Check());
+  }
   ICEBERG_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseSql(sql));
   std::map<std::string, CatalogEntry> scope;
   for (const auto& [name, cte] : parsed.ctes) {

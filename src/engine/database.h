@@ -56,13 +56,18 @@ class Database {
   // ---- Query execution ----
   /// Parses and runs `sql` on the baseline executor (full join, then
   /// grouping, then HAVING). CTEs and FROM-subqueries are materialized.
+  /// When `exec.governor` is set, the whole statement (including CTEs) runs
+  /// under its deadline/cancellation/budget; trips surface as Cancelled or
+  /// ResourceExhausted, never as a hang or abort.
   Result<TablePtr> Query(const std::string& sql,
                          ExecOptions exec = ExecOptions(),
                          ExecStats* stats = nullptr);
 
   /// Parses and runs `sql` through the Smart-Iceberg optimizer. Each CTE is
   /// optimized independently (the "pairs" query benefits from a-priori in
-  /// its WITH block and pruning in its main block).
+  /// its WITH block and pruning in its main block). When `options.governor`
+  /// is set it governs every stage; graceful degradations (cache shedding,
+  /// fallback) are recorded in `report->degradations`.
   Result<TablePtr> QueryIceberg(const std::string& sql,
                                 IcebergOptions options = IcebergOptions(),
                                 IcebergReport* report = nullptr);

@@ -11,6 +11,12 @@ Aggregator::Aggregator(const QueryBlock& block) : block_(block) {
   }
 }
 
+Aggregator::~Aggregator() {
+  if (governor_ != nullptr && reserved_bytes_ > 0) {
+    governor_->Release(reserved_bytes_);
+  }
+}
+
 bool Aggregator::IsAggregated() const {
   return !block_.group_by.empty() || block_.having != nullptr ||
          !agg_nodes_.empty();
@@ -26,9 +32,22 @@ Row Aggregator::GroupKey(const Row& joined_row) const {
 }
 
 void Aggregator::AddRow(const Row& joined_row) {
+  if (reserve_failed_) return;  // budget overrun already poisoned the query
   Row key = GroupKey(joined_row);
   auto it = groups_.find(key);
   if (it == groups_.end()) {
+    if (governor_ != nullptr) {
+      // Approximate per-group footprint: key + representative row +
+      // accumulator array + hash-map node overhead.
+      size_t bytes = RowBytes(key) + RowBytes(joined_row) +
+                     agg_nodes_.size() * sizeof(Accumulator) + 64;
+      if (!governor_->Reserve(bytes, "hash-aggregation").ok()) {
+        // The governor is poisoned; the executor aborts at its next check.
+        reserve_failed_ = true;
+        return;
+      }
+      reserved_bytes_ += bytes;
+    }
     GroupState state;
     state.representative = joined_row;
     state.accumulators.reserve(agg_nodes_.size());
@@ -49,6 +68,15 @@ void Aggregator::AddRow(const Row& joined_row) {
 }
 
 void Aggregator::MergeFrom(Aggregator&& other) {
+  // Take over the other side's reservation; merged-away duplicates keep the
+  // accounting conservative (an over- rather than under-estimate).
+  reserved_bytes_ += other.reserved_bytes_;
+  other.reserved_bytes_ = 0;
+  if (governor_ == nullptr) {
+    governor_ = other.governor_;
+  } else if (other.governor_ == governor_) {
+    other.governor_ = nullptr;
+  }
   for (auto& [key, other_state] : other.groups_) {
     auto it = groups_.find(key);
     if (it == groups_.end()) {

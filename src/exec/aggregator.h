@@ -22,6 +22,15 @@ class Aggregator {
   /// Collects the aggregate nodes of `block` (HAVING first, then select
   /// items). The block must outlive the aggregator.
   explicit Aggregator(const QueryBlock& block);
+  ~Aggregator();
+  Aggregator(const Aggregator&) = delete;
+  Aggregator& operator=(const Aggregator&) = delete;
+
+  /// Charges group-state growth against `governor`'s memory budget
+  /// (aggregation state is mandatory: an overrun poisons the governor and
+  /// AddRow stops accepting rows). Reserved bytes are released when the
+  /// aggregator is destroyed.
+  void SetGovernor(QueryGovernor* governor) { governor_ = governor; }
 
   /// True if the block needs grouping/aggregation at all.
   bool IsAggregated() const;
@@ -49,6 +58,9 @@ class Aggregator {
   const QueryBlock& block_;
   std::vector<ExprPtr> agg_nodes_;
   std::unordered_map<Row, GroupState, RowHash, RowEq> groups_;
+  QueryGovernor* governor_ = nullptr;
+  size_t reserved_bytes_ = 0;
+  bool reserve_failed_ = false;
 };
 
 }  // namespace iceberg

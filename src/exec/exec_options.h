@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <string>
 
+#include "src/exec/governor.h"
+
 namespace iceberg {
 
 /// Which baseline system the executor emulates.
@@ -30,6 +32,11 @@ struct ExecOptions {
   /// setup ("Vendor A using all 4 cores").
   int num_threads = 1;
 
+  /// Optional per-query resource governor (deadline, cancellation, memory
+  /// budget, intermediate-row limit). Null = ungoverned. Shared so one
+  /// governor can span CTE blocks and parallel workers.
+  GovernorPtr governor;
+
   static ExecOptions Postgres() { return ExecOptions{}; }
   static ExecOptions VendorA() {
     ExecOptions o;
@@ -47,6 +54,8 @@ struct ExecStats {
   size_t groups_created = 0;
   size_t groups_output = 0;        // groups surviving HAVING
   size_t index_probes = 0;
+  size_t cancel_checks = 0;      // governance checks performed
+  size_t budget_bytes_peak = 0;  // peak tracked intermediate-state bytes
 
   void Reset() { *this = ExecStats(); }
   std::string ToString() const;

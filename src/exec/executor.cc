@@ -11,15 +11,35 @@
 namespace iceberg {
 
 std::string ExecStats::ToString() const {
-  return "pairs=" + std::to_string(join_pairs_examined) +
-         " joined=" + std::to_string(rows_joined) +
-         " groups=" + std::to_string(groups_created) +
-         " output=" + std::to_string(groups_output) +
-         " probes=" + std::to_string(index_probes);
+  std::string out = "pairs=" + std::to_string(join_pairs_examined) +
+                    " joined=" + std::to_string(rows_joined) +
+                    " groups=" + std::to_string(groups_created) +
+                    " output=" + std::to_string(groups_output) +
+                    " probes=" + std::to_string(index_probes);
+  if (cancel_checks > 0) {
+    out += " checks=" + std::to_string(cancel_checks);
+  }
+  if (budget_bytes_peak > 0) {
+    out += " peak_kb=" + std::to_string(budget_bytes_peak / 1024);
+  }
+  return out;
 }
+
+namespace {
+
+/// Copies the governor's end-of-query counters into the stats block.
+void FillGovernorStats(const QueryGovernor* governor, ExecStats* stats) {
+  if (governor == nullptr || stats == nullptr) return;
+  stats->cancel_checks = governor->checks_performed();
+  stats->budget_bytes_peak = governor->bytes_peak();
+}
+
+}  // namespace
 
 Result<TablePtr> Executor::Execute(const QueryBlock& block,
                                    ExecStats* stats) {
+  QueryGovernor* governor = options_.governor.get();
+  if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
   ICEBERG_ASSIGN_OR_RETURN(JoinPipeline pipeline,
                            JoinPipeline::Plan(block, options_.use_indexes));
   Aggregator proto(block);
@@ -30,17 +50,23 @@ Result<TablePtr> Executor::Execute(const QueryBlock& block,
   if (proto.IsAggregated()) {
     if (threads == 1) {
       Aggregator agg(block);
-      pipeline.Run(0, outer_size, [&](const Row& row) { agg.AddRow(row); },
-                   stats);
+      agg.SetGovernor(governor);
+      ICEBERG_RETURN_NOT_OK(pipeline.Run(
+          0, outer_size, [&](const Row& row) { agg.AddRow(row); }, stats,
+          governor));
+      if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
+      FillGovernorStats(governor, stats);
       return agg.Finalize(stats);
     }
     // Parallel: per-worker aggregators over outer partitions, merged at the
     // end (Vendor A's Gather/Repartition plan shape).
     std::vector<std::unique_ptr<Aggregator>> partials;
     std::vector<ExecStats> partial_stats(static_cast<size_t>(threads));
+    std::vector<Status> worker_status(static_cast<size_t>(threads));
     partials.reserve(static_cast<size_t>(threads));
     for (int t = 0; t < threads; ++t) {
       partials.push_back(std::make_unique<Aggregator>(block));
+      partials.back()->SetGovernor(governor);
     }
     // Dynamic chunk assignment: per-outer-row costs are highly skewed for
     // inequality joins, so static partitioning would idle workers.
@@ -54,13 +80,22 @@ Result<TablePtr> Executor::Execute(const QueryBlock& block,
         while (true) {
           size_t begin = next.fetch_add(chunk);
           if (begin >= outer_size) break;
-          pipeline.Run(begin, begin + chunk,
-                       [&](const Row& row) { agg->AddRow(row); }, stats_out);
+          Status st = pipeline.Run(
+              begin, begin + chunk,
+              [&](const Row& row) { agg->AddRow(row); }, stats_out, governor);
+          if (!st.ok()) {
+            worker_status[static_cast<size_t>(t)] = std::move(st);
+            break;  // governor state is shared; siblings stop at their checks
+          }
         }
       });
     }
     for (std::thread& w : workers) w.join();
+    for (Status& st : worker_status) {
+      if (!st.ok()) return st;
+    }
     Aggregator merged(block);
+    merged.SetGovernor(governor);
     for (auto& p : partials) merged.MergeFrom(std::move(*p));
     if (stats != nullptr) {
       for (const ExecStats& s : partial_stats) {
@@ -69,6 +104,8 @@ Result<TablePtr> Executor::Execute(const QueryBlock& block,
         stats->index_probes += s.index_probes;
       }
     }
+    if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
+    FillGovernorStats(governor, stats);
     return merged.Finalize(stats);
   }
 
@@ -82,15 +119,22 @@ Result<TablePtr> Executor::Execute(const QueryBlock& block,
       out.push_back(Evaluate(*item.expr, joined));
     }
     if (block.distinct && !distinct_rows.insert(out).second) return;
+    if (governor != nullptr &&
+        !governor->Reserve(RowBytes(out), "join-materialization").ok()) {
+      return;  // poisoned; the pipeline aborts at its next check
+    }
     result->AppendUnchecked(std::move(out));
   };
   if (threads == 1) {
-    pipeline.Run(0, outer_size, emit, stats);
+    ICEBERG_RETURN_NOT_OK(pipeline.Run(0, outer_size, emit, stats, governor));
+    if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
+    FillGovernorStats(governor, stats);
     return result;
   }
   std::mutex mu;
   std::vector<std::thread> workers;
   std::vector<ExecStats> partial_stats(static_cast<size_t>(threads));
+  std::vector<Status> worker_status(static_cast<size_t>(threads));
   const size_t chunk = std::max<size_t>(64, outer_size / 256);
   std::atomic<size_t> next{0};
   for (int t = 0; t < threads; ++t) {
@@ -100,15 +144,23 @@ Result<TablePtr> Executor::Execute(const QueryBlock& block,
       while (true) {
         size_t begin = next.fetch_add(chunk);
         if (begin >= outer_size) break;
-        pipeline.Run(begin, begin + chunk,
-                     [&](const Row& row) { local.push_back(row); },
-                     stats_out);
+        Status st = pipeline.Run(
+            begin, begin + chunk,
+            [&](const Row& row) { local.push_back(row); }, stats_out,
+            governor);
+        if (!st.ok()) {
+          worker_status[static_cast<size_t>(t)] = std::move(st);
+          break;
+        }
       }
       std::lock_guard<std::mutex> lock(mu);
       for (const Row& row : local) emit(row);
     });
   }
   for (std::thread& w : workers) w.join();
+  for (Status& st : worker_status) {
+    if (!st.ok()) return st;
+  }
   if (stats != nullptr) {
     for (const ExecStats& s : partial_stats) {
       stats->join_pairs_examined += s.join_pairs_examined;
@@ -116,6 +168,8 @@ Result<TablePtr> Executor::Execute(const QueryBlock& block,
       stats->index_probes += s.index_probes;
     }
   }
+  if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
+  FillGovernorStats(governor, stats);
   return result;
 }
 
@@ -158,12 +212,17 @@ std::string Executor::Explain(const QueryBlock& block) const {
 
 Result<TablePtr> GroupAndProject(const QueryBlock& block,
                                  const std::vector<Row>& joined_rows,
-                                 ExecStats* stats) {
+                                 ExecStats* stats, QueryGovernor* governor) {
   Aggregator agg(block);
+  agg.SetGovernor(governor);
   if (!agg.IsAggregated()) {
     auto result = std::make_shared<Table>(block.output_schema);
     std::set<Row, RowLess> distinct_rows;
+    size_t processed = 0;
     for (const Row& joined : joined_rows) {
+      if (governor != nullptr && (processed++ & 255) == 0) {
+        ICEBERG_RETURN_NOT_OK(governor->Check());
+      }
       Row out;
       for (const BoundSelectItem& item : block.select) {
         out.push_back(Evaluate(*item.expr, joined));
@@ -173,7 +232,14 @@ Result<TablePtr> GroupAndProject(const QueryBlock& block,
     }
     return result;
   }
-  for (const Row& joined : joined_rows) agg.AddRow(joined);
+  size_t processed = 0;
+  for (const Row& joined : joined_rows) {
+    if (governor != nullptr && (processed++ & 255) == 0) {
+      ICEBERG_RETURN_NOT_OK(governor->Check());
+    }
+    agg.AddRow(joined);
+  }
+  if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
   return agg.Finalize(stats);
 }
 

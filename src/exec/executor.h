@@ -39,10 +39,13 @@ class Executor {
 
 /// Evaluates all aggregates over a set of joined rows grouped by the given
 /// key expressions, applies `having`, and projects `select`. Exposed for
-/// reuse by the NLJP operator's post-processing stage.
+/// reuse by the NLJP operator's post-processing stage. When `governor` is
+/// set, the loop is checked at stride granularity and aggregation state is
+/// charged against the memory budget.
 Result<TablePtr> GroupAndProject(const QueryBlock& block,
                                  const std::vector<Row>& joined_rows,
-                                 ExecStats* stats);
+                                 ExecStats* stats,
+                                 QueryGovernor* governor = nullptr);
 
 }  // namespace iceberg
 

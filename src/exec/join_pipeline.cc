@@ -223,14 +223,19 @@ size_t JoinPipeline::OuterSize() const {
   return block_->tables[0].table->num_rows();
 }
 
-void JoinPipeline::Run(size_t outer_begin, size_t outer_end,
-                       const RowCallback& callback, ExecStats* stats) const {
+Status JoinPipeline::Run(size_t outer_begin, size_t outer_end,
+                         const RowCallback& callback, ExecStats* stats,
+                         QueryGovernor* governor) const {
   const Table& outer = *block_->tables[0].table;
   outer_end = std::min(outer_end, outer.num_rows());
   const JoinLevel& l0 = levels_[0];
   Row partial;
   partial.reserve(block_->TotalWidth());
   for (size_t i = outer_begin; i < outer_end; ++i) {
+    if (governor != nullptr) {
+      ICEBERG_RETURN_NOT_OK(governor->Check());
+      if (stats != nullptr) ++stats->cancel_checks;
+    }
     const Row& row = outer.row(i);
     partial.assign(row.begin(), row.end());
     if (stats != nullptr) ++stats->join_pairs_examined;
@@ -244,20 +249,29 @@ void JoinPipeline::Run(size_t outer_begin, size_t outer_end,
     if (!pass) continue;
     if (levels_.size() == 1) {
       if (stats != nullptr) ++stats->rows_joined;
+      if (governor != nullptr && !governor->CountIntermediateRows(1).ok()) {
+        break;  // row limit tripped; final Check reports it
+      }
       callback(partial);
     } else {
-      RunLevel(1, &partial, callback, stats);
+      RunLevel(1, &partial, callback, stats, governor);
     }
   }
+  // A poisoning recorded inside an inner loop (row limit, memory overrun)
+  // surfaces here even when the outer loop just ended.
+  return governor != nullptr ? governor->Check() : Status::OK();
 }
 
 void JoinPipeline::RunLevel(size_t level, Row* partial,
-                            const RowCallback& callback,
-                            ExecStats* stats) const {
+                            const RowCallback& callback, ExecStats* stats,
+                            QueryGovernor* governor) const {
   const JoinLevel& jl = levels_[level];
   const Table& table = *block_->tables[jl.table_index].table;
 
   auto try_row = [&](const Row& inner_row) {
+    // Fast bail-out once a fatal condition is recorded anywhere; the full
+    // check happens per outer tuple in Run.
+    if (governor != nullptr && governor->poisoned()) return;
     if (stats != nullptr) ++stats->join_pairs_examined;
     size_t base = partial->size();
     partial->insert(partial->end(), inner_row.begin(), inner_row.end());
@@ -271,9 +285,11 @@ void JoinPipeline::RunLevel(size_t level, Row* partial,
     if (pass) {
       if (level + 1 == levels_.size()) {
         if (stats != nullptr) ++stats->rows_joined;
-        callback(*partial);
+        if (governor == nullptr || governor->CountIntermediateRows(1).ok()) {
+          callback(*partial);
+        }
       } else {
-        RunLevel(level + 1, partial, callback, stats);
+        RunLevel(level + 1, partial, callback, stats, governor);
       }
     }
     partial->resize(base);

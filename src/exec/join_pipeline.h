@@ -61,9 +61,13 @@ class JoinPipeline {
   using RowCallback = std::function<void(const Row&)>;
 
   /// Streams every joined row whose level-0 row id is in
-  /// [outer_begin, outer_end) to the callback.
-  void Run(size_t outer_begin, size_t outer_end, const RowCallback& callback,
-           ExecStats* stats) const;
+  /// [outer_begin, outer_end) to the callback. When `governor` is set, a
+  /// full governance check runs per outer tuple, joined rows are counted
+  /// against the intermediate-row limit, and inner loops bail out as soon
+  /// as the governor is poisoned; the tripping status is returned.
+  Status Run(size_t outer_begin, size_t outer_end,
+             const RowCallback& callback, ExecStats* stats,
+             QueryGovernor* governor = nullptr) const;
 
   /// Number of rows of the outer (level-0) table.
   size_t OuterSize() const;
@@ -74,7 +78,7 @@ class JoinPipeline {
   explicit JoinPipeline(const QueryBlock& block) : block_(&block) {}
 
   void RunLevel(size_t level, Row* partial, const RowCallback& callback,
-                ExecStats* stats) const;
+                ExecStats* stats, QueryGovernor* governor) const;
 
   const QueryBlock* block_;
   std::vector<JoinLevel> levels_;

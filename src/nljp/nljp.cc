@@ -1,6 +1,7 @@
 #include "src/nljp/nljp.h"
 
 #include <algorithm>
+#include <deque>
 #include <unordered_map>
 
 #include "src/common/logging.h"
@@ -10,29 +11,27 @@
 
 namespace iceberg {
 
-namespace {
-
-size_t RowBytes(const Row& row) {
-  size_t bytes = row.size() * sizeof(Value);
-  for (const Value& v : row) {
-    if (v.is_string()) bytes += v.AsString().size();
-  }
-  return bytes;
-}
-
-}  // namespace
-
 std::string NljpStats::ToString() const {
-  return "bindings=" + std::to_string(bindings_total) +
-         " memo_hits=" + std::to_string(memo_hits) +
-         " pruned=" + std::to_string(pruned) +
-         " inner_evals=" + std::to_string(inner_evaluations) +
-         " prune_tests=" + std::to_string(prune_tests) +
-         " cache_entries=" + std::to_string(cache_entries) +
-         " cache_kb=" + std::to_string(cache_bytes / 1024) +
-         (cache_evictions > 0
-              ? " evictions=" + std::to_string(cache_evictions)
-              : "");
+  std::string out = "bindings=" + std::to_string(bindings_total) +
+                    " memo_hits=" + std::to_string(memo_hits) +
+                    " pruned=" + std::to_string(pruned) +
+                    " inner_evals=" + std::to_string(inner_evaluations) +
+                    " prune_tests=" + std::to_string(prune_tests) +
+                    " cache_entries=" + std::to_string(cache_entries) +
+                    " cache_kb=" + std::to_string(cache_bytes / 1024);
+  if (cache_evictions > 0) {
+    out += " evictions=" + std::to_string(cache_evictions);
+  }
+  if (cache_shed_entries > 0) {
+    out += " shed=" + std::to_string(cache_shed_entries);
+  }
+  if (cancel_checks > 0) {
+    out += " checks=" + std::to_string(cancel_checks);
+  }
+  if (budget_bytes_peak > 0) {
+    out += " peak_kb=" + std::to_string(budget_bytes_peak / 1024);
+  }
+  return out;
 }
 
 Result<std::unique_ptr<NljpOperator>> NljpOperator::Create(
@@ -227,8 +226,8 @@ Result<std::unique_ptr<NljpOperator>> NljpOperator::Create(
   return op;
 }
 
-NljpOperator::CacheEntry NljpOperator::EvaluateInner(Row binding,
-                                                     NljpStats* stats) {
+Result<NljpOperator::CacheEntry> NljpOperator::EvaluateInner(
+    Row binding, NljpStats* stats) {
   param_table_->UpdateRow(0, binding);
   const JoinPipeline& pipeline = *inner_pipeline_;
 
@@ -239,7 +238,7 @@ NljpOperator::CacheEntry NljpOperator::EvaluateInner(Row binding,
   };
   std::unordered_map<Row, PartitionState, RowHash, RowEq> partitions;
   ExecStats inner_stats;
-  pipeline.Run(
+  Status run_status = pipeline.Run(
       0, 1,
       [&](const Row& joined) {
         Row key;
@@ -265,10 +264,11 @@ NljpOperator::CacheEntry NljpOperator::EvaluateInner(Row binding,
           }
         }
       },
-      &inner_stats);
+      &inner_stats, options_.governor.get());
   if (stats != nullptr) {
     stats->inner_pairs_examined += inner_stats.join_pairs_examined;
   }
+  ICEBERG_RETURN_NOT_OK(run_status);
 
   CacheEntry entry;
   entry.binding = std::move(binding);
@@ -314,15 +314,40 @@ NljpOperator::CacheEntry NljpOperator::EvaluateInner(Row binding,
 
 Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
   const QueryBlock& block = *block_;
+  QueryGovernor* governor = options_.governor.get();
+  if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
+
+  // Hard reservations for transient state (bindings, LR-groups); released
+  // when execution leaves this scope so later blocks of the same query see
+  // an accurate in-use figure.
+  size_t mandatory_bytes = 0;
 
   // ---- Q_B: stream (or sort) the L-side tuples ----
   ICEBERG_ASSIGN_OR_RETURN(
       JoinPipeline binding_pipeline,
       JoinPipeline::Plan(binding_block_, options_.use_indexes));
   std::vector<Row> l_rows;
-  binding_pipeline.Run(0, binding_pipeline.OuterSize(),
-                       [&](const Row& row) { l_rows.push_back(row); },
-                       nullptr);
+  Status binding_status = binding_pipeline.Run(
+      0, binding_pipeline.OuterSize(),
+      [&](const Row& row) {
+        if (governor != nullptr) {
+          size_t bytes = RowBytes(row);
+          // A failure poisons the governor; the pipeline aborts at its
+          // next per-outer-tuple check.
+          if (!governor->Reserve(bytes, "nljp-bindings").ok()) return;
+          mandatory_bytes += bytes;
+        }
+        l_rows.push_back(row);
+      },
+      nullptr, governor);
+  struct MandatoryGuard {
+    QueryGovernor* governor;
+    size_t* bytes;
+    ~MandatoryGuard() {
+      if (governor != nullptr) governor->Release(*bytes);
+    }
+  } mandatory_guard{governor, &mandatory_bytes};
+  ICEBERG_RETURN_NOT_OK(binding_status);
   auto binding_of = [&](const Row& l_row) {
     Row b;
     b.reserve(binding_positions_.size());
@@ -338,7 +363,21 @@ Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
   }
 
   // ---- Cache ----
-  std::vector<CacheEntry> cache;
+  // Slots are stable ids; the FIFO deque orders live slots oldest-first
+  // for both bound-triggered eviction (max_cache_entries) and
+  // memory-pressure shedding. Both are always safe: the cache is advisory
+  // (Section 5/6) — an evicted binding is merely re-evaluated on reuse and
+  // loses its pruning-witness role.
+  struct Slot {
+    CacheEntry entry;
+    size_t bytes = 0;
+    bool live = false;
+  };
+  std::vector<Slot> cache;
+  std::deque<size_t> fifo;
+  std::vector<size_t> free_slots;
+  size_t shed_entries = 0;
+  size_t bound_evictions = 0;
   std::unordered_map<Row, size_t, RowHash, RowEq> cache_by_binding;  // CI
   // Unpromising entries, bucketed by the binding positions on which p>=
   // requires equality (a lossless accelerator for Q_C; see
@@ -351,20 +390,74 @@ Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
     for (size_t pos : prune_eq_positions_) key.push_back(binding[pos]);
     return key;
   };
-  // Bounded-cache bookkeeping (FIFO over slot ids).
-  std::vector<size_t> eviction_order;
-  size_t eviction_cursor = 0;
-  size_t live_entries = 0;
+
+  // Retires the oldest live entry; returns its byte footprint (0 when the
+  // cache is empty).
+  auto evict_oldest = [&]() -> size_t {
+    if (fifo.empty()) return 0;
+    size_t id = fifo.front();
+    fifo.pop_front();
+    Slot& slot = cache[id];
+    if (memo_enabled_) cache_by_binding.erase(slot.entry.binding);
+    if (prune_enabled_ && slot.entry.unpromising) {
+      std::vector<size_t>& bucket =
+          unpromising_buckets[eq_key_of(slot.entry.binding)];
+      bucket.erase(std::remove(bucket.begin(), bucket.end(), id),
+                   bucket.end());
+    }
+    size_t freed = slot.bytes;
+    if (governor != nullptr) governor->Release(freed);
+    slot = Slot();
+    free_slots.push_back(id);
+    return freed;
+  };
+
+  // Under memory pressure, hard reservations (bindings, groups, the
+  // baseline aggregator) shed cache entries before the query is failed.
+  struct ReclaimerGuard {
+    QueryGovernor* governor;
+    ~ReclaimerGuard() {
+      if (governor != nullptr) governor->UnregisterReclaimer();
+    }
+  } reclaimer_guard{governor};
+  if (governor != nullptr) {
+    governor->RegisterReclaimer([&](size_t bytes_needed) -> size_t {
+      size_t freed = 0;
+      size_t count = 0;
+      while (freed < bytes_needed) {
+        size_t f = evict_oldest();
+        if (f == 0) break;
+        freed += f;
+        ++count;
+      }
+      shed_entries += count;
+      governor->AddCacheShed(count);
+      return freed;
+    });
+  }
+  // Return the surviving cache's reservation when execution leaves this
+  // scope (the cache itself is transient operator state).
+  struct CacheGuard {
+    QueryGovernor* governor;
+    std::vector<Slot>* slots;
+    ~CacheGuard() {
+      if (governor == nullptr) return;
+      for (const Slot& slot : *slots) {
+        if (slot.live) governor->Release(slot.bytes);
+      }
+    }
+  } cache_guard{governor, &cache};
 
   auto memo_lookup = [&](const Row& binding) -> const CacheEntry* {
     if (options_.cache_index) {
       auto it = cache_by_binding.find(binding);
-      return it == cache_by_binding.end() ? nullptr : &cache[it->second];
+      return it == cache_by_binding.end() ? nullptr
+                                          : &cache[it->second].entry;
     }
     // No CI: linear scan of the cache table (Fig. 4's PK+BT config).
     RowEq eq;
-    for (const CacheEntry& entry : cache) {
-      if (eq(entry.binding, binding)) return &entry;
+    for (const Slot& slot : cache) {
+      if (slot.live && eq(slot.entry.binding, binding)) return &slot.entry;
     }
     return nullptr;
   };
@@ -374,7 +467,7 @@ Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
     if (bucket == unpromising_buckets.end()) return false;
     for (size_t id : bucket->second) {
       if (stats != nullptr) ++stats->prune_tests;
-      const Row& cached = cache[id].binding;
+      const Row& cached = cache[id].entry.binding;
       bool subsumed = monotonicity_ == Monotonicity::kMonotone
                           ? subsumption_->Subsumes(cached, binding)
                           : subsumption_->Subsumes(binding, cached);
@@ -410,6 +503,15 @@ Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
       }
       auto it = groups.find(group_key);
       if (it == groups.end()) {
+        if (governor != nullptr) {
+          // Group state is mandatory: under pressure the cache sheds first;
+          // a remaining deficit poisons and the main loop aborts at its
+          // next check.
+          size_t group_bytes = RowBytes(group_key) + RowBytes(synthetic) +
+                               slot_funcs_.size() * sizeof(Accumulator) + 64;
+          if (!governor->Reserve(group_bytes, "nljp-groups").ok()) return;
+          mandatory_bytes += group_bytes;
+        }
         GroupState state;
         state.synthetic = synthetic;
         if (algebraic_mode_) {
@@ -434,14 +536,32 @@ Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
     }
   };
 
+  auto entry_bytes = [](const CacheEntry& entry) {
+    size_t bytes = RowBytes(entry.binding) + sizeof(CacheEntry);
+    for (const PartitionPayload& p : entry.partitions) {
+      bytes += RowBytes(p.gr_key);
+      for (const Row& r : p.partials) bytes += RowBytes(r);
+      bytes += p.finals.size() * sizeof(Value);
+    }
+    return bytes;
+  };
+
   for (const Row& l_row : l_rows) {
+    if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
     if (stats != nullptr) ++stats->bindings_total;
     Row binding = binding_of(l_row);
     if (memo_enabled_) {
       const CacheEntry* hit = memo_lookup(binding);
       if (hit != nullptr) {
         if (stats != nullptr) ++stats->memo_hits;
-        contribute(l_row, *hit);
+        if (governor != nullptr) {
+          // contribute()'s hard reservation may shed the slot `hit` points
+          // into; contribute from a copy when governed.
+          CacheEntry copy = *hit;
+          contribute(l_row, copy);
+        } else {
+          contribute(l_row, *hit);
+        }
         continue;
       }
     }
@@ -450,58 +570,75 @@ Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
       continue;
     }
     if (stats != nullptr) ++stats->inner_evaluations;
-    CacheEntry entry = EvaluateInner(binding, stats);
+    ICEBERG_ASSIGN_OR_RETURN(CacheEntry entry, EvaluateInner(binding, stats));
     contribute(l_row, entry);
     // Cache the entry when memoization or pruning can use it.
     bool cache_it = memo_enabled_ || (prune_enabled_ && entry.unpromising);
     if (cache_it) {
-      size_t id;
-      if (options_.max_cache_entries > 0 &&
-          live_entries >= options_.max_cache_entries) {
-        // FIFO replacement (paper Section 7 future work): retire the
-        // oldest entry. Always safe — the cache only accelerates.
-        id = eviction_order[eviction_cursor];
-        eviction_cursor = (eviction_cursor + 1) % eviction_order.size();
-        CacheEntry& victim = cache[id];
-        if (memo_enabled_) cache_by_binding.erase(victim.binding);
-        if (prune_enabled_ && victim.unpromising) {
-          std::vector<size_t>& bucket =
-              unpromising_buckets[eq_key_of(victim.binding)];
-          bucket.erase(std::remove(bucket.begin(), bucket.end(), id),
-                       bucket.end());
+      // FIFO replacement (paper Section 7 future work): retire the oldest
+      // entry once the bound is reached. Always safe — the cache only
+      // accelerates.
+      while (options_.max_cache_entries > 0 &&
+             fifo.size() >= options_.max_cache_entries) {
+        evict_oldest();
+        ++bound_evictions;
+      }
+      size_t bytes = entry_bytes(entry);
+      // Advisory reservation: under pressure the governor's reclaimer sheds
+      // older entries first; if the new entry still does not fit, skip
+      // caching it rather than failing the query.
+      if (governor != nullptr &&
+          !governor->TryReserve(bytes, "nljp-cache")) {
+        cache_it = false;
+        ++shed_entries;
+        governor->AddCacheShed(1);
+      }
+      if (cache_it) {
+        size_t id;
+        if (!free_slots.empty()) {
+          id = free_slots.back();
+          free_slots.pop_back();
+        } else {
+          id = cache.size();
+          cache.emplace_back();
         }
-        cache[id] = std::move(entry);
-        if (stats != nullptr) ++stats->cache_evictions;
-      } else {
-        id = cache.size();
-        cache.push_back(std::move(entry));
-        eviction_order.push_back(id);
-        ++live_entries;
-      }
-      if (memo_enabled_) {
-        cache_by_binding.emplace(cache[id].binding, id);
-      }
-      if (prune_enabled_ && cache[id].unpromising) {
-        unpromising_buckets[eq_key_of(cache[id].binding)].push_back(id);
+        Slot& slot = cache[id];
+        slot.entry = std::move(entry);
+        slot.bytes = bytes;
+        slot.live = true;
+        fifo.push_back(id);
+        if (memo_enabled_) {
+          cache_by_binding.emplace(slot.entry.binding, id);
+        }
+        if (prune_enabled_ && slot.entry.unpromising) {
+          unpromising_buckets[eq_key_of(slot.entry.binding)].push_back(id);
+        }
       }
     }
   }
 
   if (stats != nullptr) {
-    stats->cache_entries = cache.size();
-    for (const CacheEntry& entry : cache) {
-      stats->cache_bytes += RowBytes(entry.binding) + sizeof(CacheEntry);
-      for (const PartitionPayload& p : entry.partitions) {
-        stats->cache_bytes += RowBytes(p.gr_key);
-        for (const Row& r : p.partials) stats->cache_bytes += RowBytes(r);
-        stats->cache_bytes += p.finals.size() * sizeof(Value);
-      }
+    for (const Slot& slot : cache) {
+      if (!slot.live) continue;
+      ++stats->cache_entries;
+      stats->cache_bytes += slot.bytes;
+    }
+    stats->cache_evictions += bound_evictions;
+    stats->cache_shed_entries += shed_entries;
+    if (governor != nullptr) {
+      stats->cancel_checks = governor->checks_performed();
+      stats->budget_bytes_peak = governor->bytes_peak();
     }
   }
 
   // ---- Q_P: final HAVING + projection per LR-group ----
+  if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
   auto result = std::make_shared<Table>(block.output_schema);
+  size_t qp_processed = 0;
   for (const auto& [key, state] : groups) {
+    if (governor != nullptr && (qp_processed++ & 255) == 0) {
+      ICEBERG_RETURN_NOT_OK(governor->Check());
+    }
     AggValueMap agg_values;
     for (size_t i = 0; i < agg_nodes_.size(); ++i) {
       size_t slot = agg_slot_[i];

@@ -43,6 +43,11 @@ struct NljpOptions {
   /// pruning-witness role.
   size_t max_cache_entries = 0;
   BindingOrder binding_order = BindingOrder::kNatural;
+  /// Optional per-query resource governor. Cache growth is charged as
+  /// advisory state: under memory pressure entries are shed (FIFO) before
+  /// the query is failed. Mandatory state (bindings, LR-groups) is charged
+  /// as hard reservations.
+  GovernorPtr governor;
 };
 
 struct NljpStats {
@@ -54,7 +59,10 @@ struct NljpStats {
   size_t inner_pairs_examined = 0;
   size_t cache_entries = 0;
   size_t cache_bytes = 0;
-  size_t cache_evictions = 0;
+  size_t cache_evictions = 0;      // FIFO evictions from max_cache_entries
+  size_t cache_shed_entries = 0;   // entries shed under memory pressure
+  size_t cancel_checks = 0;        // governance checks performed
+  size_t budget_bytes_peak = 0;    // peak tracked bytes (governed runs)
 
   std::string ToString() const;
 };
@@ -93,6 +101,11 @@ class NljpOperator {
 
   bool memo_enabled() const { return memo_enabled_; }
   bool prune_enabled() const { return prune_enabled_; }
+  /// Why pruning was disabled (empty when prune_enabled()); surfaced as a
+  /// degradation in IcebergReport.
+  const std::string& prune_disabled_reason() const {
+    return prune_disabled_reason_;
+  }
   /// The derived pruning predicate (valid only when prune_enabled()).
   const fme::SubsumptionTest& subsumption() const { return *subsumption_; }
   Monotonicity monotonicity() const { return monotonicity_; }
@@ -113,7 +126,8 @@ class NljpOperator {
   };
 
   /// Runs Q_R for the binding currently loaded in the parameter table.
-  CacheEntry EvaluateInner(Row binding, NljpStats* stats);
+  /// Fails when the governor trips mid-evaluation.
+  Result<CacheEntry> EvaluateInner(Row binding, NljpStats* stats);
 
   const QueryBlock* block_ = nullptr;
   IcebergView view_;

@@ -19,6 +19,9 @@ std::string IcebergReport::ToString() const {
     out += nljp_explain;
     out += "  stats: " + nljp_stats.ToString() + "\n";
   }
+  for (const std::string& d : degradations) {
+    out += "- degraded: " + d + "\n";
+  }
   return out;
 }
 
@@ -86,7 +89,9 @@ Result<QueryBlock> IcebergOptimizer::ApplyReducers(
     const std::vector<AprioriOpportunity>& opportunities,
     IcebergReport* report) {
   QueryBlock rewritten = block;
-  Executor executor(options_.base_exec);
+  ExecOptions reducer_exec = options_.base_exec;
+  reducer_exec.governor = options_.governor;
+  Executor executor(reducer_exec);
   for (const AprioriOpportunity& opp : opportunities) {
     ICEBERG_ASSIGN_OR_RETURN(auto replacements,
                              ApplyApriori(opp, &executor));
@@ -113,6 +118,7 @@ Result<std::unique_ptr<NljpOperator>> IcebergOptimizer::PickMemprune(
   nljp_options.use_indexes = options_.use_indexes;
   nljp_options.binding_order = options_.binding_order;
   nljp_options.max_cache_entries = options_.max_cache_entries;
+  nljp_options.governor = options_.governor;
 
   std::string failures;
   for (const TablePartition& partition : CandidatePartitions(block)) {
@@ -143,6 +149,8 @@ Result<std::unique_ptr<NljpOperator>> IcebergOptimizer::PickMemprune(
 
 Result<TablePtr> IcebergOptimizer::Run(const QueryBlock& block,
                                        IcebergReport* report) {
+  QueryGovernor* governor = options_.governor.get();
+  if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
   QueryBlock inferred = block;
   size_t derived = InferDerivedEqualities(&inferred);
   if (derived > 0 && report != nullptr) {
@@ -163,15 +171,32 @@ Result<TablePtr> IcebergOptimizer::Run(const QueryBlock& block,
         report->used_nljp = true;
         report->nljp_explain = (*op)->Explain();
       }
-      return (*op)->Execute(report != nullptr ? &report->nljp_stats
-                                              : nullptr);
+      Result<TablePtr> result =
+          (*op)->Execute(report != nullptr ? &report->nljp_stats : nullptr);
+      if (report != nullptr) {
+        if (options_.enable_prune && !(*op)->prune_enabled()) {
+          report->degradations.push_back("pruning disabled: " +
+                                         (*op)->prune_disabled_reason());
+        }
+        if (report->nljp_stats.cache_shed_entries > 0) {
+          report->degradations.push_back(
+              "shed " +
+              std::to_string(report->nljp_stats.cache_shed_entries) +
+              " cache entries under memory pressure");
+        }
+      }
+      return result;
     }
     if (report != nullptr) {
       report->steps.push_back("fallback to baseline (" +
                               op.status().message() + ")");
+      report->degradations.push_back("fallback to baseline plan: " +
+                                     op.status().message());
     }
   }
-  Executor executor(options_.base_exec);
+  ExecOptions fallback_exec = options_.base_exec;
+  fallback_exec.governor = options_.governor;
+  Executor executor(fallback_exec);
   return executor.Execute(rewritten);
 }
 

@@ -30,6 +30,13 @@ struct IcebergOptions {
   /// Executor used for reducers and the fallback plan.
   ExecOptions base_exec;
 
+  /// Optional per-query resource governor, shared by every stage (reducers,
+  /// NLJP, fallback executor). Deadline/cancellation trips surface as
+  /// Cancelled; mandatory-state overruns as ResourceExhausted. Advisory
+  /// degradations (cache shedding) are recorded in
+  /// IcebergReport::degradations instead of failing the query.
+  GovernorPtr governor;
+
   static IcebergOptions All() { return IcebergOptions{}; }
   static IcebergOptions None() {
     IcebergOptions o;
@@ -59,6 +66,11 @@ struct IcebergReport {
     size_t rows_after = 0;
   };
   std::vector<Reduction> reductions;
+  /// Graceful degradations taken under resource pressure (cache entries
+  /// shed, pruning disabled, fallback to the baseline plan). A query that
+  /// completes with degradations is still exact; this records what was
+  /// given up to get there.
+  std::vector<std::string> degradations;
 
   std::string ToString() const;
 };

@@ -57,8 +57,9 @@ Result<MemoRewriteResult> ExecuteStaticMemoRewrite(const IcebergView& view,
   ICEBERG_ASSIGN_OR_RETURN(JoinPipeline l_pipeline,
                            JoinPipeline::Plan(l_block, use_indexes));
   std::vector<Row> l_rows;
-  l_pipeline.Run(0, l_pipeline.OuterSize(),
-                 [&](const Row& row) { l_rows.push_back(row); }, nullptr);
+  ICEBERG_RETURN_NOT_OK(
+      l_pipeline.Run(0, l_pipeline.OuterSize(),
+                     [&](const Row& row) { l_rows.push_back(row); }, nullptr));
   out.l_rows = l_rows.size();
 
   std::vector<size_t> binding_positions;
@@ -156,7 +157,7 @@ Result<MemoRewriteResult> ExecuteStaticMemoRewrite(const IcebergView& view,
   // Keyed by binding + G_R values.
   std::unordered_map<Row, LjrGroup, RowHash, RowEq> ljr;
   const size_t num_binding_cols = ljt_schema.num_columns();
-  ljr_pipeline.Run(
+  ICEBERG_RETURN_NOT_OK(ljr_pipeline.Run(
       0, ljr_pipeline.OuterSize(),
       [&](const Row& joined) {
         Row key(joined.begin(),
@@ -182,7 +183,7 @@ Result<MemoRewriteResult> ExecuteStaticMemoRewrite(const IcebergView& view,
           }
         }
       },
-      nullptr);
+      nullptr));
   out.ljr_groups = ljr.size();
 
   // In key mode, apply HAVING inside LJR (Listing 8, first variant).

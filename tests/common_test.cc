@@ -32,6 +32,19 @@ TEST(Status, AllConstructorsSetCodes) {
   EXPECT_EQ(Status::BindError("x").code(), StatusCode::kBindError);
   EXPECT_EQ(Status::NotSupported("x").code(), StatusCode::kNotSupported);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(Status, GovernancePredicates) {
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_FALSE(Status::Cancelled("x").IsResourceExhausted());
+  EXPECT_FALSE(Status::OK().IsCancelled());
+  EXPECT_EQ(Status::Cancelled("t").ToString(), "Cancelled: t");
+  EXPECT_EQ(Status::ResourceExhausted("t").ToString(),
+            "ResourceExhausted: t");
 }
 
 TEST(Result, HoldsValue) {
@@ -61,6 +74,25 @@ TEST(Result, AssignOrReturnPropagates) {
   EXPECT_EQ(*Quarter(8), 2);
   EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
   EXPECT_FALSE(Quarter(7).ok());
+}
+
+TEST(Result, ValueOrReturnsValueOrFallback) {
+  Result<int> good = 42;
+  EXPECT_EQ(good.value_or(-1), 42);
+  Result<int> bad = Status::NotFound("gone");
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_EQ(Half(7).value_or(0), 0);  // rvalue overload
+  EXPECT_EQ(Half(8).value_or(0), 4);
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  // Accessing the value of an error result must abort loudly with the
+  // carried status, not silently read an empty optional.
+  Result<int> bad = Status::NotFound("gone");
+  EXPECT_DEATH({ (void)bad.value(); }, "gone");
+  EXPECT_DEATH({ (void)*bad; }, "NotFound");
+  Result<std::string> bad_str = Status::Internal("broken");
+  EXPECT_DEATH({ (void)bad_str->size(); }, "broken");
 }
 
 TEST(Value, NullProperties) {

@@ -69,13 +69,38 @@ TEST(Csv, BadIntegerRejectedWithLocation) {
   std::istringstream input("id,score,name\nxyz,1.0,a\n");
   Status st = LoadCsv(&db, "t", input);
   ASSERT_FALSE(st.ok());
-  EXPECT_NE(st.message().find("line 2"), std::string::npos);
+  EXPECT_EQ(st.code(), StatusCode::kParseError) << st.ToString();
+  // 1-based line number (header is line 1), 1-based field position, and the
+  // offending field text.
+  EXPECT_NE(st.message().find("line 2"), std::string::npos) << st.ToString();
+  EXPECT_NE(st.message().find("field 1"), std::string::npos) << st.ToString();
+  EXPECT_NE(st.message().find("'xyz'"), std::string::npos) << st.ToString();
+}
+
+TEST(Csv, BadFieldLocationWithoutHeader) {
+  Database db = MakeDb();
+  std::istringstream input("1,2.0,ok\n2,oops,x\n");
+  CsvOptions options;
+  options.header = false;
+  Status st = LoadCsv(&db, "t", input, options);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError) << st.ToString();
+  EXPECT_NE(st.message().find("line 2"), std::string::npos) << st.ToString();
+  EXPECT_NE(st.message().find("field 2"), std::string::npos) << st.ToString();
+  EXPECT_NE(st.message().find("score"), std::string::npos) << st.ToString();
+  EXPECT_NE(st.message().find("'oops'"), std::string::npos) << st.ToString();
 }
 
 TEST(Csv, WrongFieldCountRejected) {
   Database db = MakeDb();
   std::istringstream input("id,score,name\n1,2.0\n");
-  EXPECT_FALSE(LoadCsv(&db, "t", input).ok());
+  Status st = LoadCsv(&db, "t", input);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError) << st.ToString();
+  EXPECT_NE(st.message().find("line 2"), std::string::npos) << st.ToString();
+  // The offending record is quoted back to the user.
+  EXPECT_NE(st.message().find("\"1,2.0\""), std::string::npos)
+      << st.ToString();
 }
 
 TEST(Csv, UnknownHeaderColumnRejected) {
