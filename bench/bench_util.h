@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "src/engine/database.h"
@@ -30,6 +31,79 @@ inline double Scale() {
 inline size_t Scaled(size_t n) {
   return static_cast<size_t>(static_cast<double>(n) * Scale());
 }
+
+/// Command-line flags shared by the bench binaries.
+struct BenchFlags {
+  /// --threads=N: worker threads for both engines (0 = auto, 1 = serial).
+  int threads = 0;
+  /// --json=PATH: append one machine-readable JSON line per measurement.
+  std::string json_path;
+};
+
+/// Parses --threads= / --json=; unknown arguments abort with usage (bench
+/// binaries take no other arguments).
+inline BenchFlags ParseBenchFlags(int argc, char** argv) {
+  BenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      flags.threads = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      flags.json_path = arg + 7;
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument: %s\nusage: %s [--threads=N] "
+                   "[--json=PATH]\n",
+                   arg, argv[0]);
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+/// Emits one JSON object per line (JSONL), the machine-readable companion
+/// to the human tables: {"query":...,"threads":N,"ms":...,"speedup":...}.
+/// Disabled (all calls no-ops) when constructed with an empty path.
+class JsonWriter {
+ public:
+  explicit JsonWriter(const std::string& path) {
+    if (!path.empty()) {
+      file_ = std::fopen(path.c_str(), "a");
+      if (file_ == nullptr) {
+        std::fprintf(stderr, "cannot open %s for append\n", path.c_str());
+        std::exit(2);
+      }
+    }
+  }
+  ~JsonWriter() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void Record(const std::string& query, int threads, double ms,
+              double speedup) {
+    if (file_ == nullptr) return;
+    std::fprintf(file_,
+                 "{\"query\":\"%s\",\"threads\":%d,\"ms\":%.3f,"
+                 "\"speedup\":%.3f}\n",
+                 Escaped(query).c_str(), threads, ms, speedup);
+    std::fflush(file_);
+  }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::FILE* file_ = nullptr;
+};
 
 class Timer {
  public:

@@ -5,6 +5,8 @@
 //   \govern [deadline_ms] [budget_kb]   set per-statement resource limits
 //                    (0 0 clears them); governed statements report
 //                    degradations and trip with Cancelled/ResourceExhausted
+//   \threads [N]     worker threads for later statements (0 = auto,
+//                    1 = serial); parallel output is canonically sorted
 //   \tables          list tables
 //   \load <table> <csv-path>   bulk-load a CSV file
 //   \q               quit
@@ -31,11 +33,27 @@ using namespace iceberg;
 QueryGovernor::Limits g_limits;
 bool g_governed = false;
 
+// Worker threads applied to every later statement (0 = auto, 1 = serial);
+// set via \threads.
+int g_threads = 0;
+
 GovernorPtr MakeGovernor() {
   return g_governed ? std::make_shared<QueryGovernor>(g_limits) : nullptr;
 }
 
 void RunStatement(Database* db, const std::string& line) {
+  if (line.rfind("\\threads", 0) == 0) {
+    std::istringstream args(line.substr(8));
+    int n = -1;
+    args >> n;
+    if (n < 0) {
+      std::printf("threads=%d (0 = auto, 1 = serial)\n", g_threads);
+      return;
+    }
+    g_threads = n;
+    std::printf("threads=%d\n", g_threads);
+    return;
+  }
   if (line.rfind("\\govern", 0) == 0) {
     std::istringstream args(line.substr(7));
     long long deadline_ms = 0;
@@ -64,6 +82,7 @@ void RunStatement(Database* db, const std::string& line) {
   if (line.rfind("\\base ", 0) == 0) {
     ExecOptions exec;
     exec.governor = MakeGovernor();
+    exec.num_threads = g_threads;
     Result<TablePtr> result = db->Query(line.substr(6), exec);
     if (!result.ok()) {
       std::printf("%s\n", result.status().ToString().c_str());
@@ -86,6 +105,7 @@ void RunStatement(Database* db, const std::string& line) {
   IcebergReport report;
   IcebergOptions options = IcebergOptions::All();
   options.governor = MakeGovernor();
+  options.base_exec.num_threads = g_threads;
   Result<TablePtr> result = db->QueryIceberg(line, options, &report);
   if (!result.ok()) {
     std::printf("%s\n", result.status().ToString().c_str());
@@ -124,7 +144,7 @@ int main() {
       "Smart-Iceberg shell. Demo tables: object(id,x,y), basket(bid,item), "
       "score(pid,year,round,teamid,hits,hruns,h2,sb).\n"
       "Commands: \\explain <sql>, \\base <sql>, \\govern [ms] [kb], "
-      "\\tables, \\load <table> <csv>, \\q\n");
+      "\\threads [N], \\tables, \\load <table> <csv>, \\q\n");
   std::string line;
   while (true) {
     std::printf("iceberg> ");

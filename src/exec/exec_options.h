@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "src/exec/governor.h"
 
@@ -27,10 +28,14 @@ struct ExecOptions {
   /// "BT" index-configuration axis in Fig. 4).
   bool use_indexes = true;
 
-  /// Worker threads for the join + partial-aggregation pipeline. 1 means
-  /// sequential. The Vendor A profile defaults to 4, matching the paper's
-  /// setup ("Vendor A using all 4 cores").
-  int num_threads = 1;
+  /// Worker threads for the join + partial-aggregation pipeline, morsel-
+  /// driven (src/exec/task_pool.h). 0 = auto (hardware_concurrency());
+  /// 1 = exactly the serial paths (no pool, no canonical reordering). The
+  /// Vendor A profile pins 4, matching the paper's setup ("Vendor A using
+  /// all 4 cores"). When the resolved count exceeds 1, output rows are
+  /// canonically sorted so results are byte-identical across thread
+  /// counts.
+  int num_threads = 0;
 
   /// Optional per-query resource governor (deadline, cancellation, memory
   /// budget, intermediate-row limit). Null = ungoverned. Shared so one
@@ -56,6 +61,10 @@ struct ExecStats {
   size_t index_probes = 0;
   size_t cancel_checks = 0;      // governance checks performed
   size_t budget_bytes_peak = 0;  // peak tracked intermediate-state bytes
+  size_t workers = 1;            // execution contexts used (1 = serial)
+  /// rows_joined produced by each worker (parallel runs only); the spread
+  /// shows how well morsel claiming balanced the skewed outer loop.
+  std::vector<size_t> rows_joined_per_worker;
 
   void Reset() { *this = ExecStats(); }
   std::string ToString() const;

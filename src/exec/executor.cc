@@ -1,12 +1,13 @@
 #include "src/exec/executor.h"
 
 #include <algorithm>
-#include <atomic>
-#include <mutex>
-#include <thread>
+#include <memory>
+#include <set>
+#include <utility>
 
 #include "src/exec/aggregator.h"
 #include "src/exec/join_pipeline.h"
+#include "src/exec/task_pool.h"
 
 namespace iceberg {
 
@@ -22,6 +23,17 @@ std::string ExecStats::ToString() const {
   if (budget_bytes_peak > 0) {
     out += " peak_kb=" + std::to_string(budget_bytes_peak / 1024);
   }
+  if (workers > 1) {
+    out += " workers=" + std::to_string(workers);
+    if (!rows_joined_per_worker.empty()) {
+      out += " joined_per_worker=[";
+      for (size_t i = 0; i < rows_joined_per_worker.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(rows_joined_per_worker[i]);
+      }
+      out += "]";
+    }
+  }
   return out;
 }
 
@@ -34,6 +46,20 @@ void FillGovernorStats(const QueryGovernor* governor, ExecStats* stats) {
   stats->budget_bytes_peak = governor->bytes_peak();
 }
 
+/// Folds per-worker partial stats into the caller's stats block and
+/// records the per-worker distribution.
+void MergeWorkerStats(const std::vector<ExecStats>& partials,
+                      ExecStats* stats) {
+  if (stats == nullptr) return;
+  stats->workers = partials.size();
+  for (const ExecStats& s : partials) {
+    stats->join_pairs_examined += s.join_pairs_examined;
+    stats->rows_joined += s.rows_joined;
+    stats->index_probes += s.index_probes;
+    stats->rows_joined_per_worker.push_back(s.rows_joined);
+  }
+}
+
 }  // namespace
 
 Result<TablePtr> Executor::Execute(const QueryBlock& block,
@@ -44,11 +70,12 @@ Result<TablePtr> Executor::Execute(const QueryBlock& block,
                            JoinPipeline::Plan(block, options_.use_indexes));
   Aggregator proto(block);
   const size_t outer_size = pipeline.OuterSize();
-  const int threads =
-      options_.num_threads > 1 && outer_size > 1024 ? options_.num_threads : 1;
+  const int threads = ResolveThreads(options_.num_threads);
+  const size_t morsel = MorselFor(outer_size, threads);
+  const bool parallel = threads > 1 && outer_size > morsel;
 
   if (proto.IsAggregated()) {
-    if (threads == 1) {
+    if (!parallel) {
       Aggregator agg(block);
       agg.SetGovernor(governor);
       ICEBERG_RETURN_NOT_OK(pipeline.Run(
@@ -58,66 +85,44 @@ Result<TablePtr> Executor::Execute(const QueryBlock& block,
       FillGovernorStats(governor, stats);
       return agg.Finalize(stats);
     }
-    // Parallel: per-worker aggregators over outer partitions, merged at the
-    // end (Vendor A's Gather/Repartition plan shape).
+    // Morsel-driven parallel aggregation: each worker streams joined rows
+    // into a thread-local hash-aggregation state; the algebraic partials
+    // are merged before HAVING/projection (Vendor A's Gather/Repartition
+    // plan shape). JoinPipeline::Run is thread-safe after Plan — all
+    // mutable state lives in the per-call stack.
     std::vector<std::unique_ptr<Aggregator>> partials;
     std::vector<ExecStats> partial_stats(static_cast<size_t>(threads));
-    std::vector<Status> worker_status(static_cast<size_t>(threads));
     partials.reserve(static_cast<size_t>(threads));
     for (int t = 0; t < threads; ++t) {
       partials.push_back(std::make_unique<Aggregator>(block));
       partials.back()->SetGovernor(governor);
     }
-    // Dynamic chunk assignment: per-outer-row costs are highly skewed for
-    // inequality joins, so static partitioning would idle workers.
-    std::vector<std::thread> workers;
-    const size_t chunk = std::max<size_t>(64, outer_size / 256);
-    std::atomic<size_t> next{0};
-    for (int t = 0; t < threads; ++t) {
-      workers.emplace_back([&, t]() {
-        Aggregator* agg = partials[static_cast<size_t>(t)].get();
-        ExecStats* stats_out = &partial_stats[static_cast<size_t>(t)];
-        while (true) {
-          size_t begin = next.fetch_add(chunk);
-          if (begin >= outer_size) break;
-          Status st = pipeline.Run(
-              begin, begin + chunk,
-              [&](const Row& row) { agg->AddRow(row); }, stats_out, governor);
-          if (!st.ok()) {
-            worker_status[static_cast<size_t>(t)] = std::move(st);
-            break;  // governor state is shared; siblings stop at their checks
-          }
-        }
-      });
-    }
-    for (std::thread& w : workers) w.join();
-    for (Status& st : worker_status) {
-      if (!st.ok()) return st;
-    }
+    TaskPool pool(threads);
+    Status status = pool.RunMorsels(
+        outer_size, morsel, [&](int worker, size_t begin, size_t end) {
+          Aggregator* agg = partials[static_cast<size_t>(worker)].get();
+          return pipeline.Run(
+              begin, end, [agg](const Row& row) { agg->AddRow(row); },
+              &partial_stats[static_cast<size_t>(worker)], governor);
+        });
+    ICEBERG_RETURN_NOT_OK(status);
     Aggregator merged(block);
     merged.SetGovernor(governor);
     for (auto& p : partials) merged.MergeFrom(std::move(*p));
-    if (stats != nullptr) {
-      for (const ExecStats& s : partial_stats) {
-        stats->join_pairs_examined += s.join_pairs_examined;
-        stats->rows_joined += s.rows_joined;
-        stats->index_probes += s.index_probes;
-      }
-    }
+    MergeWorkerStats(partial_stats, stats);
     if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
     FillGovernorStats(governor, stats);
-    return merged.Finalize(stats);
+    ICEBERG_ASSIGN_OR_RETURN(TablePtr result, merged.Finalize(stats));
+    // Canonical ordering: group output order would otherwise depend on
+    // which worker saw each group first.
+    result->SortRowsCanonical();
+    return result;
   }
 
   // Non-aggregated: project each joined row directly.
   auto result = std::make_shared<Table>(block.output_schema);
   std::set<Row, RowLess> distinct_rows;
-  auto emit = [&](const Row& joined) {
-    Row out;
-    out.reserve(block.select.size());
-    for (const BoundSelectItem& item : block.select) {
-      out.push_back(Evaluate(*item.expr, joined));
-    }
+  auto emit = [&](Row out) {
     if (block.distinct && !distinct_rows.insert(out).second) return;
     if (governor != nullptr &&
         !governor->Reserve(RowBytes(out), "join-materialization").ok()) {
@@ -125,51 +130,43 @@ Result<TablePtr> Executor::Execute(const QueryBlock& block,
     }
     result->AppendUnchecked(std::move(out));
   };
-  if (threads == 1) {
-    ICEBERG_RETURN_NOT_OK(pipeline.Run(0, outer_size, emit, stats, governor));
+  auto project = [&](const Row& joined) {
+    Row out;
+    out.reserve(block.select.size());
+    for (const BoundSelectItem& item : block.select) {
+      out.push_back(Evaluate(*item.expr, joined));
+    }
+    return out;
+  };
+  if (!parallel) {
+    ICEBERG_RETURN_NOT_OK(pipeline.Run(
+        0, outer_size, [&](const Row& joined) { emit(project(joined)); },
+        stats, governor));
     if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
     FillGovernorStats(governor, stats);
     return result;
   }
-  std::mutex mu;
-  std::vector<std::thread> workers;
+  // Workers project into thread-local buffers; DISTINCT dedup and the
+  // materialization reservation stay single-threaded on the gathered rows.
+  std::vector<std::vector<Row>> buffers(static_cast<size_t>(threads));
   std::vector<ExecStats> partial_stats(static_cast<size_t>(threads));
-  std::vector<Status> worker_status(static_cast<size_t>(threads));
-  const size_t chunk = std::max<size_t>(64, outer_size / 256);
-  std::atomic<size_t> next{0};
-  for (int t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t]() {
-      std::vector<Row> local;
-      ExecStats* stats_out = &partial_stats[static_cast<size_t>(t)];
-      while (true) {
-        size_t begin = next.fetch_add(chunk);
-        if (begin >= outer_size) break;
-        Status st = pipeline.Run(
-            begin, begin + chunk,
-            [&](const Row& row) { local.push_back(row); }, stats_out,
-            governor);
-        if (!st.ok()) {
-          worker_status[static_cast<size_t>(t)] = std::move(st);
-          break;
-        }
-      }
-      std::lock_guard<std::mutex> lock(mu);
-      for (const Row& row : local) emit(row);
-    });
+  TaskPool pool(threads);
+  Status status = pool.RunMorsels(
+      outer_size, morsel, [&](int worker, size_t begin, size_t end) {
+        std::vector<Row>* local = &buffers[static_cast<size_t>(worker)];
+        return pipeline.Run(
+            begin, end,
+            [&, local](const Row& joined) { local->push_back(project(joined)); },
+            &partial_stats[static_cast<size_t>(worker)], governor);
+      });
+  ICEBERG_RETURN_NOT_OK(status);
+  for (std::vector<Row>& buffer : buffers) {
+    for (Row& row : buffer) emit(std::move(row));
   }
-  for (std::thread& w : workers) w.join();
-  for (Status& st : worker_status) {
-    if (!st.ok()) return st;
-  }
-  if (stats != nullptr) {
-    for (const ExecStats& s : partial_stats) {
-      stats->join_pairs_examined += s.join_pairs_examined;
-      stats->rows_joined += s.rows_joined;
-      stats->index_probes += s.index_probes;
-    }
-  }
+  MergeWorkerStats(partial_stats, stats);
   if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
   FillGovernorStats(governor, stats);
+  result->SortRowsCanonical();
   return result;
 }
 
@@ -181,8 +178,9 @@ std::string Executor::Explain(const QueryBlock& block) const {
   Aggregator agg(block);
   std::string out;
   std::string indent;
-  if (options_.num_threads > 1) {
-    out += "Gather (workers=" + std::to_string(options_.num_threads) + ")\n";
+  const int threads = ResolveThreads(options_.num_threads);
+  if (threads > 1) {
+    out += "Gather (workers=" + std::to_string(threads) + ")\n";
     indent = "  ";
   }
   if (agg.IsAggregated()) {
@@ -212,7 +210,8 @@ std::string Executor::Explain(const QueryBlock& block) const {
 
 Result<TablePtr> GroupAndProject(const QueryBlock& block,
                                  const std::vector<Row>& joined_rows,
-                                 ExecStats* stats, QueryGovernor* governor) {
+                                 ExecStats* stats, QueryGovernor* governor,
+                                 int num_threads) {
   Aggregator agg(block);
   agg.SetGovernor(governor);
   if (!agg.IsAggregated()) {
@@ -230,6 +229,33 @@ Result<TablePtr> GroupAndProject(const QueryBlock& block,
       if (block.distinct && !distinct_rows.insert(out).second) continue;
       result->AppendUnchecked(std::move(out));
     }
+    return result;
+  }
+  const int threads = ResolveThreads(num_threads);
+  const size_t morsel = MorselFor(joined_rows.size(), threads);
+  if (threads > 1 && joined_rows.size() > morsel) {
+    // Partial-merge path: thread-local aggregation states over row
+    // morsels, merged before HAVING/projection.
+    std::vector<std::unique_ptr<Aggregator>> partials;
+    partials.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      partials.push_back(std::make_unique<Aggregator>(block));
+      partials.back()->SetGovernor(governor);
+    }
+    TaskPool pool(threads);
+    Status status = pool.RunMorsels(
+        joined_rows.size(), morsel, [&](int worker, size_t begin, size_t end) {
+          Aggregator* local = partials[static_cast<size_t>(worker)].get();
+          if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
+          for (size_t i = begin; i < end; ++i) local->AddRow(joined_rows[i]);
+          return Status::OK();
+        });
+    ICEBERG_RETURN_NOT_OK(status);
+    for (auto& p : partials) agg.MergeFrom(std::move(*p));
+    if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
+    if (stats != nullptr) stats->workers = static_cast<size_t>(threads);
+    ICEBERG_ASSIGN_OR_RETURN(TablePtr result, agg.Finalize(stats));
+    result->SortRowsCanonical();
     return result;
   }
   size_t processed = 0;

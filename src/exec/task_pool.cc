@@ -1,0 +1,93 @@
+#include "src/exec/task_pool.h"
+
+namespace iceberg {
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+size_t MorselFor(size_t total, int threads) {
+  size_t morsel = total / (static_cast<size_t>(threads) * 8);
+  return std::clamp<size_t>(morsel, 64, 1024);
+}
+
+TaskPool::TaskPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  threads_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int w = 1; w < num_threads_; ++w) {
+    threads_.emplace_back([this, w]() { WorkerLoop(w); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void TaskPool::WorkerLoop(int worker) {
+  uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || job_seq_ != seen; });
+      if (shutdown_) return;
+      seen = job_seq_;
+    }
+    Drain(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_running_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void TaskPool::Drain(int worker) {
+  while (!failed_.load(std::memory_order_acquire)) {
+    size_t begin = next_.fetch_add(morsel_, std::memory_order_relaxed);
+    if (begin >= total_) break;
+    size_t end = std::min(begin + morsel_, total_);
+    Status status = (*fn_)(worker, begin, end);
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (first_error_.ok()) first_error_ = std::move(status);
+      failed_.store(true, std::memory_order_release);
+      break;
+    }
+  }
+}
+
+Status TaskPool::RunMorsels(size_t total, size_t morsel_size,
+                            const MorselFn& fn) {
+  if (morsel_size == 0) morsel_size = 1;
+  if (num_threads_ == 1 || total <= morsel_size) {
+    for (size_t begin = 0; begin < total; begin += morsel_size) {
+      ICEBERG_RETURN_NOT_OK(fn(0, begin, std::min(begin + morsel_size, total)));
+    }
+    return Status::OK();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_ = total;
+    morsel_ = morsel_size;
+    fn_ = &fn;
+    next_.store(0, std::memory_order_relaxed);
+    failed_.store(false, std::memory_order_relaxed);
+    first_error_ = Status::OK();
+    workers_running_ = static_cast<int>(threads_.size());
+    ++job_seq_;
+  }
+  work_cv_.notify_all();
+  Drain(0);  // the calling thread participates as worker 0
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return workers_running_ == 0; });
+  fn_ = nullptr;
+  return first_error_;
+}
+
+}  // namespace iceberg

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 #include <unordered_map>
 
 #include "src/common/logging.h"
 #include "src/exec/join_pipeline.h"
+#include "src/exec/task_pool.h"
 #include "src/expr/aggregate.h"
 #include "src/expr/evaluator.h"
 
@@ -30,6 +32,14 @@ std::string NljpStats::ToString() const {
   }
   if (budget_bytes_peak > 0) {
     out += " peak_kb=" + std::to_string(budget_bytes_peak / 1024);
+  }
+  if (workers > 1) {
+    out += " workers=" + std::to_string(workers) + " bindings_per_worker=[";
+    for (size_t i = 0; i < bindings_per_worker.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(bindings_per_worker[i]);
+    }
+    out += "]";
   }
   return out;
 }
@@ -228,8 +238,15 @@ Result<std::unique_ptr<NljpOperator>> NljpOperator::Create(
 
 Result<NljpOperator::CacheEntry> NljpOperator::EvaluateInner(
     Row binding, NljpStats* stats) {
-  param_table_->UpdateRow(0, binding);
-  const JoinPipeline& pipeline = *inner_pipeline_;
+  return EvaluateInnerWith(
+      *inner_pipeline_, param_table_.get(), std::move(binding),
+      stats == nullptr ? nullptr : &stats->inner_pairs_examined);
+}
+
+Result<NljpOperator::CacheEntry> NljpOperator::EvaluateInnerWith(
+    const JoinPipeline& pipeline, Table* param, Row binding,
+    size_t* pairs_examined) const {
+  param->UpdateRow(0, binding);
 
   // Partition joining R-tuples by G_R, accumulating every aggregate.
   struct PartitionState {
@@ -265,8 +282,8 @@ Result<NljpOperator::CacheEntry> NljpOperator::EvaluateInner(
         }
       },
       &inner_stats, options_.governor.get());
-  if (stats != nullptr) {
-    stats->inner_pairs_examined += inner_stats.join_pairs_examined;
+  if (pairs_examined != nullptr) {
+    *pairs_examined += inner_stats.join_pairs_examined;
   }
   ICEBERG_RETURN_NOT_OK(run_status);
 
@@ -312,8 +329,99 @@ Result<NljpOperator::CacheEntry> NljpOperator::EvaluateInner(
   return entry;
 }
 
-Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
+Row NljpOperator::BindingOf(const Row& l_row) const {
+  Row b;
+  b.reserve(binding_positions_.size());
+  for (size_t pos : binding_positions_) b.push_back(l_row[pos]);
+  return b;
+}
+
+void NljpOperator::ContributeTo(GroupMap* groups, const Row& l_row,
+                                const CacheEntry& entry,
+                                QueryGovernor* governor,
+                                size_t* mandatory_bytes) const {
   const QueryBlock& block = *block_;
+  const size_t total_width = block.TotalWidth();
+  for (const PartitionPayload& payload : entry.partitions) {
+    // Build the synthetic full-width row for group-key evaluation.
+    Row synthetic(total_width, Value::Null());
+    for (const auto& [orig, pos] : left_offset_map_) {
+      synthetic[orig] = l_row[pos];
+    }
+    for (size_t i = 0; i < view_.gr_offsets.size(); ++i) {
+      synthetic[view_.gr_offsets[i]] = payload.gr_key[i];
+    }
+    Row group_key;
+    group_key.reserve(block.group_by.size());
+    for (const ExprPtr& g : block.group_by) {
+      group_key.push_back(Evaluate(*g, synthetic));
+    }
+    auto it = groups->find(group_key);
+    if (it == groups->end()) {
+      if (governor != nullptr) {
+        // Group state is mandatory: under pressure the cache sheds first;
+        // a remaining deficit poisons and the main loop aborts at its
+        // next check.
+        size_t group_bytes = RowBytes(group_key) + RowBytes(synthetic) +
+                             slot_funcs_.size() * sizeof(Accumulator) + 64;
+        if (!governor->Reserve(group_bytes, "nljp-groups").ok()) return;
+        *mandatory_bytes += group_bytes;
+      }
+      GroupState state;
+      state.synthetic = synthetic;
+      if (algebraic_mode_) {
+        for (AggFunc func : slot_funcs_) {
+          state.accumulators.emplace_back(func);
+        }
+      }
+      it = groups->emplace(std::move(group_key), std::move(state)).first;
+    }
+    GroupState& state = it->second;
+    if (algebraic_mode_) {
+      for (size_t i = 0; i < slot_funcs_.size(); ++i) {
+        state.accumulators[i].MergePartial(payload.partials[i]);
+      }
+    } else if (!state.has_contribution) {
+      // G_L -> A_L guarantees a single contributing binding; duplicate
+      // L-rows contribute identical values, so keeping the first is
+      // exact for holistic aggregates like COUNT(DISTINCT).
+      state.finals = payload.finals;
+    }
+    state.has_contribution = true;
+  }
+}
+
+Result<TablePtr> NljpOperator::FinalizeGroups(const GroupMap& groups,
+                                              QueryGovernor* governor) const {
+  const QueryBlock& block = *block_;
+  if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
+  auto result = std::make_shared<Table>(block.output_schema);
+  size_t qp_processed = 0;
+  for (const auto& [key, state] : groups) {
+    if (governor != nullptr && (qp_processed++ & 255) == 0) {
+      ICEBERG_RETURN_NOT_OK(governor->Check());
+    }
+    AggValueMap agg_values;
+    for (size_t i = 0; i < agg_nodes_.size(); ++i) {
+      size_t slot = agg_slot_[i];
+      agg_values[agg_nodes_[i].get()] = algebraic_mode_
+                                            ? state.accumulators[slot].Final()
+                                            : state.finals[slot];
+    }
+    if (!EvaluatePredicate(*block.having, state.synthetic, &agg_values)) {
+      continue;
+    }
+    Row out;
+    out.reserve(block.select.size());
+    for (const BoundSelectItem& item : block.select) {
+      out.push_back(Evaluate(*item.expr, state.synthetic, &agg_values));
+    }
+    result->AppendUnchecked(std::move(out));
+  }
+  return result;
+}
+
+Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
   QueryGovernor* governor = options_.governor.get();
   if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
 
@@ -348,18 +456,21 @@ Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
     }
   } mandatory_guard{governor, &mandatory_bytes};
   ICEBERG_RETURN_NOT_OK(binding_status);
-  auto binding_of = [&](const Row& l_row) {
-    Row b;
-    b.reserve(binding_positions_.size());
-    for (size_t pos : binding_positions_) b.push_back(l_row[pos]);
-    return b;
-  };
   if (options_.binding_order != BindingOrder::kNatural) {
     bool asc = options_.binding_order == BindingOrder::kSortedAsc;
     std::sort(l_rows.begin(), l_rows.end(), [&](const Row& a, const Row& b) {
-      int c = CompareRows(binding_of(a), binding_of(b));
+      int c = CompareRows(BindingOf(a), BindingOf(b));
       return asc ? c < 0 : c > 0;
     });
+  }
+
+  // Morsel-driven parallel path. cache_index=false (the linear-scan
+  // ablation of Fig. 4) is a serial-only measurement mode; the shared
+  // cache always hash-indexes.
+  const int threads = ResolveThreads(options_.num_threads);
+  if (threads > 1 && options_.cache_index && l_rows.size() > 1) {
+    return ExecuteParallel(std::move(l_rows), threads, stats, governor,
+                           &mandatory_bytes);
   }
 
   // ---- Cache ----
@@ -477,90 +588,23 @@ Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
   };
 
   // ---- Main loop + post-processing accumulation (Q_P) ----
-  struct GroupState {
-    Row synthetic;  // full-width row with L and G_R columns filled
-    std::vector<Accumulator> accumulators;  // per slot, algebraic mode
-    std::vector<Value> finals;              // per slot, non-algebraic mode
-    bool has_contribution = false;
-  };
-  std::unordered_map<Row, GroupState, RowHash, RowEq> groups;
-
-  const size_t total_width = block.TotalWidth();
-  auto contribute = [&](const Row& l_row, const CacheEntry& entry) {
-    for (const PartitionPayload& payload : entry.partitions) {
-      // Build the synthetic full-width row for group-key evaluation.
-      Row synthetic(total_width, Value::Null());
-      for (const auto& [orig, pos] : left_offset_map_) {
-        synthetic[orig] = l_row[pos];
-      }
-      for (size_t i = 0; i < view_.gr_offsets.size(); ++i) {
-        synthetic[view_.gr_offsets[i]] = payload.gr_key[i];
-      }
-      Row group_key;
-      group_key.reserve(block.group_by.size());
-      for (const ExprPtr& g : block.group_by) {
-        group_key.push_back(Evaluate(*g, synthetic));
-      }
-      auto it = groups.find(group_key);
-      if (it == groups.end()) {
-        if (governor != nullptr) {
-          // Group state is mandatory: under pressure the cache sheds first;
-          // a remaining deficit poisons and the main loop aborts at its
-          // next check.
-          size_t group_bytes = RowBytes(group_key) + RowBytes(synthetic) +
-                               slot_funcs_.size() * sizeof(Accumulator) + 64;
-          if (!governor->Reserve(group_bytes, "nljp-groups").ok()) return;
-          mandatory_bytes += group_bytes;
-        }
-        GroupState state;
-        state.synthetic = synthetic;
-        if (algebraic_mode_) {
-          for (AggFunc func : slot_funcs_) {
-            state.accumulators.emplace_back(func);
-          }
-        }
-        it = groups.emplace(std::move(group_key), std::move(state)).first;
-      }
-      GroupState& state = it->second;
-      if (algebraic_mode_) {
-        for (size_t i = 0; i < slot_funcs_.size(); ++i) {
-          state.accumulators[i].MergePartial(payload.partials[i]);
-        }
-      } else if (!state.has_contribution) {
-        // G_L -> A_L guarantees a single contributing binding; duplicate
-        // L-rows contribute identical values, so keeping the first is
-        // exact for holistic aggregates like COUNT(DISTINCT).
-        state.finals = payload.finals;
-      }
-      state.has_contribution = true;
-    }
-  };
-
-  auto entry_bytes = [](const CacheEntry& entry) {
-    size_t bytes = RowBytes(entry.binding) + sizeof(CacheEntry);
-    for (const PartitionPayload& p : entry.partitions) {
-      bytes += RowBytes(p.gr_key);
-      for (const Row& r : p.partials) bytes += RowBytes(r);
-      bytes += p.finals.size() * sizeof(Value);
-    }
-    return bytes;
-  };
+  GroupMap groups;
 
   for (const Row& l_row : l_rows) {
     if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
     if (stats != nullptr) ++stats->bindings_total;
-    Row binding = binding_of(l_row);
+    Row binding = BindingOf(l_row);
     if (memo_enabled_) {
       const CacheEntry* hit = memo_lookup(binding);
       if (hit != nullptr) {
         if (stats != nullptr) ++stats->memo_hits;
         if (governor != nullptr) {
-          // contribute()'s hard reservation may shed the slot `hit` points
+          // ContributeTo's hard reservation may shed the slot `hit` points
           // into; contribute from a copy when governed.
           CacheEntry copy = *hit;
-          contribute(l_row, copy);
+          ContributeTo(&groups, l_row, copy, governor, &mandatory_bytes);
         } else {
-          contribute(l_row, *hit);
+          ContributeTo(&groups, l_row, *hit, governor, &mandatory_bytes);
         }
         continue;
       }
@@ -571,7 +615,7 @@ Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
     }
     if (stats != nullptr) ++stats->inner_evaluations;
     ICEBERG_ASSIGN_OR_RETURN(CacheEntry entry, EvaluateInner(binding, stats));
-    contribute(l_row, entry);
+    ContributeTo(&groups, l_row, entry, governor, &mandatory_bytes);
     // Cache the entry when memoization or pruning can use it.
     bool cache_it = memo_enabled_ || (prune_enabled_ && entry.unpromising);
     if (cache_it) {
@@ -583,7 +627,7 @@ Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
         evict_oldest();
         ++bound_evictions;
       }
-      size_t bytes = entry_bytes(entry);
+      size_t bytes = NljpCacheEntryBytes(entry);
       // Advisory reservation: under pressure the governor's reclaimer sheds
       // older entries first; if the new entry still does not fit, skip
       // caching it rather than failing the query.
@@ -632,30 +676,174 @@ Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
   }
 
   // ---- Q_P: final HAVING + projection per LR-group ----
-  if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
-  auto result = std::make_shared<Table>(block.output_schema);
-  size_t qp_processed = 0;
-  for (const auto& [key, state] : groups) {
-    if (governor != nullptr && (qp_processed++ & 255) == 0) {
-      ICEBERG_RETURN_NOT_OK(governor->Check());
-    }
-    AggValueMap agg_values;
-    for (size_t i = 0; i < agg_nodes_.size(); ++i) {
-      size_t slot = agg_slot_[i];
-      agg_values[agg_nodes_[i].get()] = algebraic_mode_
-                                            ? state.accumulators[slot].Final()
-                                            : state.finals[slot];
-    }
-    if (!EvaluatePredicate(*block.having, state.synthetic, &agg_values)) {
-      continue;
-    }
-    Row out;
-    out.reserve(block.select.size());
-    for (const BoundSelectItem& item : block.select) {
-      out.push_back(Evaluate(*item.expr, state.synthetic, &agg_values));
-    }
-    result->AppendUnchecked(std::move(out));
+  return FinalizeGroups(groups, governor);
+}
+
+Result<TablePtr> NljpOperator::ExecuteParallel(std::vector<Row> l_rows,
+                                               int threads, NljpStats* stats,
+                                               QueryGovernor* governor,
+                                               size_t* mandatory_bytes) {
+  // One private inner-query context per worker: Q_R's parameter table is
+  // mutated per binding, so each worker gets its own copy of the inner
+  // block (sharing the immutable R tables and expression trees) with a
+  // fresh parameter table, re-planned once up front.
+  struct WorkerCtx {
+    QueryBlock inner_block;
+    TablePtr param;
+    std::optional<JoinPipeline> pipeline;
+    GroupMap groups;
+    NljpStats partial;
+    size_t mandatory = 0;
+  };
+  std::vector<std::unique_ptr<WorkerCtx>> ctxs;
+  ctxs.reserve(threads);
+  for (int w = 0; w < threads; ++w) {
+    auto ctx = std::make_unique<WorkerCtx>();
+    ctx->inner_block = inner_block_;
+    ctx->param =
+        std::make_shared<Table>("_binding", param_table_->schema());
+    ctx->param->AppendUnchecked(
+        Row(ctx->param->schema().num_columns(), Value::Null()));
+    ctx->inner_block.tables[0].table = ctx->param;
+    ICEBERG_ASSIGN_OR_RETURN(
+        JoinPipeline pipeline,
+        JoinPipeline::Plan(ctx->inner_block, options_.use_indexes));
+    ctx->pipeline.emplace(std::move(pipeline));
+    ctxs.push_back(std::move(ctx));
   }
+
+  // The shared memo/prune cache outlives the reclaimer registration (the
+  // guard below unregisters before `cache` is destroyed) and charges the
+  // governor exactly like the serial slots do.
+  SharedNljpCache::Options cache_opts;
+  cache_opts.stripes = std::max<size_t>(8, static_cast<size_t>(threads) * 4);
+  cache_opts.max_entries = options_.max_cache_entries;
+  cache_opts.memo_index = memo_enabled_;
+  cache_opts.witness_index = prune_enabled_;
+  cache_opts.eq_positions = prune_eq_positions_;
+  cache_opts.governor = governor;
+  SharedNljpCache cache(cache_opts);
+
+  struct ReclaimerGuard {
+    QueryGovernor* governor;
+    ~ReclaimerGuard() {
+      if (governor != nullptr) governor->UnregisterReclaimer();
+    }
+  } reclaimer_guard{governor};
+  if (governor != nullptr) {
+    governor->RegisterReclaimer(
+        [&cache](size_t bytes_needed) { return cache.Shed(bytes_needed); });
+  }
+
+  const bool monotone = monotonicity_ == Monotonicity::kMonotone;
+  auto run_one = [&](WorkerCtx& ctx, const Row& l_row) -> Status {
+    if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
+    ++ctx.partial.bindings_total;
+    Row binding = BindingOf(l_row);
+    if (memo_enabled_) {
+      CacheEntry hit;
+      if (cache.Lookup(binding, &hit)) {
+        ++ctx.partial.memo_hits;
+        ContributeTo(&ctx.groups, l_row, hit, governor, &ctx.mandatory);
+        return Status::OK();
+      }
+    }
+    if (prune_enabled_) {
+      size_t tests = 0;
+      bool pruned = cache.AnyWitness(binding, [&](const Row& witness) {
+        ++tests;
+        return monotone ? subsumption_->Subsumes(witness, binding)
+                        : subsumption_->Subsumes(binding, witness);
+      });
+      ctx.partial.prune_tests += tests;
+      if (pruned) {
+        ++ctx.partial.pruned;
+        return Status::OK();
+      }
+    }
+    ++ctx.partial.inner_evaluations;
+    ICEBERG_ASSIGN_OR_RETURN(
+        CacheEntry entry,
+        EvaluateInnerWith(*ctx.pipeline, ctx.param.get(), binding,
+                          &ctx.partial.inner_pairs_examined));
+    ContributeTo(&ctx.groups, l_row, entry, governor, &ctx.mandatory);
+    if (memo_enabled_ || (prune_enabled_ && entry.unpromising)) {
+      cache.Insert(std::move(entry));
+    }
+    return Status::OK();
+  };
+
+  // Bindings vary wildly in cost (pruned in microseconds vs a full inner
+  // join), so morsels are small; the atomic claim counter load-balances.
+  TaskPool pool(threads);
+  const size_t morsel = std::max<size_t>(
+      1, std::min<size_t>(32, l_rows.size() / (threads * 4)));
+  Status pool_status = pool.RunMorsels(
+      l_rows.size(), morsel,
+      [&](int worker, size_t begin, size_t end) -> Status {
+        WorkerCtx& ctx = *ctxs[worker];
+        for (size_t i = begin; i < end; ++i) {
+          ICEBERG_RETURN_NOT_OK(run_one(ctx, l_rows[i]));
+        }
+        return Status::OK();
+      });
+  // Group reservations must reach the caller's release guard even when the
+  // pool failed partway through.
+  for (const auto& ctx : ctxs) *mandatory_bytes += ctx->mandatory;
+  ICEBERG_RETURN_NOT_OK(pool_status);
+
+  // Merge per-worker LR-group maps. MergeFrom combines full accumulators
+  // (partials of partials), which is exactly f^o for algebraic slots; in
+  // non-algebraic mode G_L -> A_L guarantees all contributions to one
+  // group carry identical finals, so first-wins is exact.
+  GroupMap merged = std::move(ctxs[0]->groups);
+  for (int w = 1; w < threads; ++w) {
+    for (auto& [key, state] : ctxs[w]->groups) {
+      auto it = merged.find(key);
+      if (it == merged.end()) {
+        merged.emplace(key, std::move(state));
+        continue;
+      }
+      GroupState& into = it->second;
+      if (algebraic_mode_) {
+        for (size_t i = 0; i < into.accumulators.size(); ++i) {
+          into.accumulators[i].MergeFrom(state.accumulators[i]);
+        }
+      } else if (!into.has_contribution) {
+        into.finals = std::move(state.finals);
+      }
+      into.has_contribution |= state.has_contribution;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->workers = static_cast<size_t>(threads);
+    stats->bindings_per_worker.clear();
+    for (const auto& ctx : ctxs) {
+      const NljpStats& p = ctx->partial;
+      stats->bindings_total += p.bindings_total;
+      stats->memo_hits += p.memo_hits;
+      stats->pruned += p.pruned;
+      stats->inner_evaluations += p.inner_evaluations;
+      stats->prune_tests += p.prune_tests;
+      stats->inner_pairs_examined += p.inner_pairs_examined;
+      stats->bindings_per_worker.push_back(p.bindings_total);
+    }
+    stats->cache_entries += cache.live_entries();
+    stats->cache_bytes += cache.live_bytes();
+    stats->cache_evictions += cache.evictions();
+    stats->cache_shed_entries += cache.shed_entries();
+    if (governor != nullptr) {
+      stats->cancel_checks = governor->checks_performed();
+      stats->budget_bytes_peak = governor->bytes_peak();
+    }
+  }
+
+  ICEBERG_ASSIGN_OR_RETURN(TablePtr result,
+                           FinalizeGroups(merged, governor));
+  // Group-map iteration order is nondeterministic across thread counts;
+  // canonical order makes parallel output reproducible.
+  result->SortRowsCanonical();
   return result;
 }
 

@@ -5,12 +5,15 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/exec/exec_options.h"
 #include "src/exec/join_pipeline.h"
+#include "src/expr/aggregate.h"
 #include "src/fme/subsumption.h"
+#include "src/nljp/shared_cache.h"
 #include "src/rewrite/iceberg_view.h"
 #include "src/storage/table.h"
 
@@ -43,6 +46,15 @@ struct NljpOptions {
   /// pruning-witness role.
   size_t max_cache_entries = 0;
   BindingOrder binding_order = BindingOrder::kNatural;
+  /// Worker threads draining the binding stream (morsel-driven). 1 = the
+  /// serial path, byte-for-byte today's behavior; 0 = auto
+  /// (hardware_concurrency). The optimizer wires
+  /// ExecOptions::num_threads through. Parallel runs share one striped
+  /// memo/prune cache — safe because the cache is advisory (Theorem 3's
+  /// one-sided guarantee: a racy miss costs a redundant inner evaluation,
+  /// never a wrong result) — and canonically sort their output rows.
+  /// cache_index=false (the linear-scan ablation) is a serial-only mode.
+  int num_threads = 1;
   /// Optional per-query resource governor. Cache growth is charged as
   /// advisory state: under memory pressure entries are shed (FIFO) before
   /// the query is failed. Mandatory state (bindings, LR-groups) is charged
@@ -63,6 +75,8 @@ struct NljpStats {
   size_t cache_shed_entries = 0;   // entries shed under memory pressure
   size_t cancel_checks = 0;        // governance checks performed
   size_t budget_bytes_peak = 0;    // peak tracked bytes (governed runs)
+  size_t workers = 1;              // worker threads of the run
+  std::vector<size_t> bindings_per_worker;  // morsel balance (workers > 1)
 
   std::string ToString() const;
 };
@@ -113,21 +127,54 @@ class NljpOperator {
  private:
   NljpOperator() = default;
 
-  struct PartitionPayload {
-    Row gr_key;                  // G_R values (empty when G_R is empty)
-    std::vector<Row> partials;   // per aggregate: algebraic partial state
-    std::vector<Value> finals;   // used instead when not in algebraic mode
-    bool phi_pass = false;       // partition-level HAVING outcome
+  // Cache payload types are shared with SharedNljpCache so serial and
+  // parallel runs charge identical byte footprints to the governor.
+  using PartitionPayload = NljpPartitionPayload;
+  using CacheEntry = NljpCacheEntry;
+
+  /// One LR-group's accumulation state during Q_P.
+  struct GroupState {
+    Row synthetic;  // full-width row with L and G_R columns filled
+    std::vector<Accumulator> accumulators;  // per slot, algebraic mode
+    std::vector<Value> finals;              // per slot, non-algebraic mode
+    bool has_contribution = false;
   };
-  struct CacheEntry {
-    Row binding;
-    std::vector<PartitionPayload> partitions;
-    bool unpromising = false;
-  };
+  using GroupMap = std::unordered_map<Row, GroupState, RowHash, RowEq>;
+
+  /// Projects the binding (J_L values) out of an L-row.
+  Row BindingOf(const Row& l_row) const;
 
   /// Runs Q_R for the binding currently loaded in the parameter table.
   /// Fails when the governor trips mid-evaluation.
   Result<CacheEntry> EvaluateInner(Row binding, NljpStats* stats);
+
+  /// Re-entrant core of EvaluateInner: runs Q_R(binding) through the given
+  /// pipeline/parameter table (each worker owns a private pair, since the
+  /// parameter row is mutated per binding). `pairs_examined` may be null.
+  Result<CacheEntry> EvaluateInnerWith(const JoinPipeline& pipeline,
+                                       Table* param, Row binding,
+                                       size_t* pairs_examined) const;
+
+  /// Folds one binding's cached partitions into the LR-group map. Group
+  /// creation takes a hard governor reservation, accumulated into
+  /// `mandatory_bytes`; a failed reservation poisons the governor and the
+  /// caller aborts at its next check.
+  void ContributeTo(GroupMap* groups, const Row& l_row,
+                    const CacheEntry& entry, QueryGovernor* governor,
+                    size_t* mandatory_bytes) const;
+
+  /// Q_P finalization: HAVING + projection per LR-group.
+  Result<TablePtr> FinalizeGroups(const GroupMap& groups,
+                                  QueryGovernor* governor) const;
+
+  /// Morsel-driven parallel main loop (num_threads > 1): workers drain
+  /// bindings from the shared stream, publishing memo entries and pruning
+  /// witnesses through one SharedNljpCache. Output rows are canonically
+  /// sorted. `mandatory_bytes` accumulates the workers' hard group
+  /// reservations for the caller's release guard.
+  Result<TablePtr> ExecuteParallel(std::vector<Row> l_rows, int threads,
+                                   NljpStats* stats, QueryGovernor* governor,
+                                   size_t* mandatory_bytes);
 
   const QueryBlock* block_ = nullptr;
   IcebergView view_;

@@ -1,0 +1,221 @@
+#include "src/nljp/shared_cache.h"
+
+#include <algorithm>
+
+namespace iceberg {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+size_t NljpCacheEntryBytes(const NljpCacheEntry& entry) {
+  size_t bytes = RowBytes(entry.binding) + sizeof(NljpCacheEntry);
+  for (const NljpPartitionPayload& p : entry.partitions) {
+    bytes += RowBytes(p.gr_key);
+    for (const Row& r : p.partials) bytes += RowBytes(r);
+    bytes += p.finals.size() * sizeof(Value);
+  }
+  return bytes;
+}
+
+SharedNljpCache::SharedNljpCache(Options options)
+    : options_(std::move(options)) {
+  size_t stripes = RoundUpPow2(std::max<size_t>(options_.stripes, 1));
+  stripe_mask_ = stripes - 1;
+  memo_stripes_ = std::vector<MemoStripe>(stripes);
+  if (options_.witness_index) {
+    witness_stripes_ = std::vector<WitnessStripe>(stripes);
+  }
+}
+
+SharedNljpCache::~SharedNljpCache() {
+  if (options_.governor != nullptr) {
+    options_.governor->Release(live_bytes_.load(std::memory_order_relaxed));
+  }
+}
+
+Row SharedNljpCache::EqKeyOf(const Row& binding) const {
+  Row key;
+  key.reserve(options_.eq_positions.size());
+  for (size_t pos : options_.eq_positions) key.push_back(binding[pos]);
+  return key;
+}
+
+size_t SharedNljpCache::MemoStripeOf(const Row& binding) const {
+  return RowHash()(binding) & stripe_mask_;
+}
+
+size_t SharedNljpCache::WitnessStripeOf(const Row& eq_key) const {
+  return RowHash()(eq_key) & stripe_mask_;
+}
+
+bool SharedNljpCache::Lookup(const Row& binding, NljpCacheEntry* out) {
+  MemoStripe& stripe = memo_stripes_[MemoStripeOf(binding)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.by_binding.find(binding);
+  if (it == stripe.by_binding.end()) return false;
+  *out = stripe.slots[it->second].entry;
+  return true;
+}
+
+bool SharedNljpCache::AnyWitness(
+    const Row& binding, const std::function<bool(const Row& witness)>& test) {
+  if (witness_stripes_.empty()) return false;
+  Row eq_key = EqKeyOf(binding);
+  WitnessStripe& stripe = witness_stripes_[WitnessStripeOf(eq_key)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto bucket = stripe.buckets.find(eq_key);
+  if (bucket == stripe.buckets.end()) return false;
+  for (const auto& [id, witness] : bucket->second) {
+    if (test(witness)) return true;
+  }
+  return false;
+}
+
+void SharedNljpCache::RemoveWitness(uint64_t witness_id, const Row& binding) {
+  if (witness_id == 0 || witness_stripes_.empty()) return;
+  Row eq_key = EqKeyOf(binding);
+  WitnessStripe& stripe = witness_stripes_[WitnessStripeOf(eq_key)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto bucket = stripe.buckets.find(eq_key);
+  if (bucket == stripe.buckets.end()) return;
+  auto& list = bucket->second;
+  list.erase(std::remove_if(
+                 list.begin(), list.end(),
+                 [&](const auto& entry) { return entry.first == witness_id; }),
+             list.end());
+  if (list.empty()) stripe.buckets.erase(bucket);
+}
+
+size_t SharedNljpCache::EvictOneGlobal(size_t start_stripe) {
+  const size_t stripes = memo_stripes_.size();
+  for (size_t i = 0; i < stripes; ++i) {
+    MemoStripe& stripe = memo_stripes_[(start_stripe + i) & stripe_mask_];
+    size_t freed = 0;
+    uint64_t witness_id = 0;
+    Row binding;
+    {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      if (stripe.fifo.empty()) continue;
+      size_t id = stripe.fifo.front();
+      stripe.fifo.pop_front();
+      Slot& slot = stripe.slots[id];
+      stripe.by_binding.erase(slot.entry.binding);
+      freed = slot.bytes;
+      witness_id = slot.witness_id;
+      binding = std::move(slot.entry.binding);
+      slot = Slot();
+      stripe.free_slots.push_back(id);
+    }
+    // Witness removal and byte release happen outside the memo stripe
+    // lock; a prune test that still sees the witness in the gap is safe
+    // (the witness was a true witness when cached).
+    RemoveWitness(witness_id, binding);
+    live_entries_.fetch_sub(1, std::memory_order_relaxed);
+    live_bytes_.fetch_sub(freed, std::memory_order_relaxed);
+    if (options_.governor != nullptr) options_.governor->Release(freed);
+    return freed;
+  }
+  return 0;
+}
+
+void SharedNljpCache::Insert(NljpCacheEntry entry) {
+  const size_t bytes = NljpCacheEntryBytes(entry);
+  // Advisory reservation, taken with no stripe lock held: under pressure
+  // the governor's reclaimer sheds older entries first (possibly ours from
+  // a sibling's insert); if the new entry still does not fit, drop it
+  // rather than failing the query.
+  if (options_.governor != nullptr &&
+      !options_.governor->TryReserve(bytes, "nljp-cache")) {
+    shed_entries_.fetch_add(1, std::memory_order_relaxed);
+    options_.governor->AddCacheShed(1);
+    return;
+  }
+  uint64_t witness_id = 0;
+  if (options_.witness_index && entry.unpromising) {
+    witness_id = next_witness_id_.fetch_add(1, std::memory_order_relaxed);
+    Row eq_key = EqKeyOf(entry.binding);
+    WitnessStripe& stripe = witness_stripes_[WitnessStripeOf(eq_key)];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.buckets[std::move(eq_key)].emplace_back(witness_id, entry.binding);
+  }
+  Row binding_copy = entry.binding;  // survives the move below
+  bool duplicate = false;
+  {
+    MemoStripe& stripe = memo_stripes_[MemoStripeOf(entry.binding)];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    if (options_.memo_index &&
+        stripe.by_binding.count(entry.binding) > 0) {
+      // A sibling cached the same binding between our miss and now; keep
+      // the first copy (identical contents) and back out ours below,
+      // outside the lock.
+      duplicate = true;
+    } else {
+      size_t id;
+      if (!stripe.free_slots.empty()) {
+        id = stripe.free_slots.back();
+        stripe.free_slots.pop_back();
+      } else {
+        id = stripe.slots.size();
+        stripe.slots.emplace_back();
+      }
+      Slot& slot = stripe.slots[id];
+      slot.entry = std::move(entry);
+      slot.bytes = bytes;
+      slot.witness_id = witness_id;
+      slot.live = true;
+      stripe.fifo.push_back(id);
+      if (options_.memo_index) {
+        stripe.by_binding.emplace(slot.entry.binding, id);
+      }
+    }
+  }
+  if (duplicate) {
+    RemoveWitness(witness_id, binding_copy);
+    if (options_.governor != nullptr) options_.governor->Release(bytes);
+    return;
+  }
+  live_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  size_t total = live_entries_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // FIFO bound (paper Section 7 future work), per-stripe eviction with an
+  // exact global count: every insert that pushed the total over the bound
+  // retires one oldest entry before returning, so at quiescence
+  // live_entries() <= max_entries. EvictOneGlobal can only come up empty
+  // when a concurrent evictor got there first, in which case the total has
+  // already dropped — re-check rather than spin.
+  while (options_.max_entries > 0) {
+    size_t live = live_entries_.load(std::memory_order_relaxed);
+    if (live <= options_.max_entries) break;
+    if (EvictOneGlobal(next_evict_stripe_.fetch_add(
+            1, std::memory_order_relaxed)) > 0) {
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      break;  // this insert's overage is paid for
+    }
+  }
+  (void)total;
+}
+
+size_t SharedNljpCache::Shed(size_t bytes_needed) {
+  size_t freed = 0;
+  size_t count = 0;
+  while (freed < bytes_needed) {
+    size_t f = EvictOneGlobal(
+        next_evict_stripe_.fetch_add(1, std::memory_order_relaxed));
+    if (f == 0) break;
+    freed += f;
+    ++count;
+  }
+  if (count > 0) {
+    shed_entries_.fetch_add(count, std::memory_order_relaxed);
+    if (options_.governor != nullptr) options_.governor->AddCacheShed(count);
+  }
+  return freed;
+}
+
+}  // namespace iceberg

@@ -1,0 +1,169 @@
+#ifndef SMARTICEBERG_NLJP_SHARED_CACHE_H_
+#define SMARTICEBERG_NLJP_SHARED_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/exec/governor.h"
+
+namespace iceberg {
+
+/// One G_R-partition of a cached inner-query result (Section 6 /
+/// Appendix C): the algebraic partial state per aggregate slot, or the
+/// final values when the operator is not in algebraic mode.
+struct NljpPartitionPayload {
+  Row gr_key;                  // G_R values (empty when G_R is empty)
+  std::vector<Row> partials;   // per aggregate: algebraic partial state
+  std::vector<Value> finals;   // used instead when not in algebraic mode
+  bool phi_pass = false;       // partition-level HAVING outcome
+};
+
+/// One memo/prune cache entry: the full Q_R(b) result for a binding, plus
+/// the "unpromising" verdict that makes it a pruning witness
+/// (Definition 5).
+struct NljpCacheEntry {
+  Row binding;
+  std::vector<NljpPartitionPayload> partitions;
+  bool unpromising = false;
+};
+
+/// Byte footprint charged against the governor's memory budget; shared by
+/// the serial and parallel cache implementations so budgets behave the
+/// same at any thread count.
+size_t NljpCacheEntryBytes(const NljpCacheEntry& entry);
+
+/// A striped concurrent memo/prune cache for the parallel NLJP operator:
+/// entries are sharded by binding hash across stripes, each with its own
+/// mutex and FIFO, so pruning witnesses and memoized partitions found by
+/// one worker publish to all the others.
+///
+/// Safety: the cache is strictly advisory (Theorem 3's one-sided
+/// guarantee — a cached unpromising witness only ever *skips* work whose
+/// answer is already known to be empty, and a memo hit replays an exact
+/// result). A racy miss — a lookup that runs before another worker's
+/// insert lands — therefore costs one redundant inner evaluation and can
+/// never produce a wrong result, which is why lookups take only one
+/// stripe lock and no global coordination.
+///
+/// Concurrency invariants:
+///  - at most one stripe mutex is ever held at a time (memo and witness
+///    stripes are separate lock domains, acquired sequentially);
+///  - the governor's Reserve/TryReserve is never called with a stripe
+///    mutex held (Release is lock-free), so the governor's reclaimer may
+///    call Shed() without deadlock;
+///  - eviction/shed counters and entry/byte totals are atomics, so the
+///    totals reported into NljpStats are exact even under races.
+class SharedNljpCache {
+ public:
+  struct Options {
+    /// Stripe count; rounded up to a power of two, at least 1.
+    size_t stripes = 16;
+    /// Global bound on live entries (0 = unbounded). FIFO order is
+    /// per-stripe; the bound itself is exact at quiescence: every insert
+    /// that pushes the total over the bound retires an oldest entry
+    /// before returning.
+    size_t max_entries = 0;
+    /// Maintain the binding -> entry hash index (memoization).
+    bool memo_index = true;
+    /// Maintain unpromising-witness buckets (pruning).
+    bool witness_index = false;
+    /// Binding positions on which the derived p>= requires equality;
+    /// witnesses are bucketed by these values (lossless accelerator).
+    std::vector<size_t> eq_positions;
+    /// Optional governor: entries are charged as advisory state.
+    QueryGovernor* governor = nullptr;
+  };
+
+  explicit SharedNljpCache(Options options);
+  ~SharedNljpCache();  // releases all remaining governor reservations
+  SharedNljpCache(const SharedNljpCache&) = delete;
+  SharedNljpCache& operator=(const SharedNljpCache&) = delete;
+
+  /// Memo lookup. Copies the entry out under the stripe lock (another
+  /// worker may evict the slot immediately after it is released).
+  bool Lookup(const Row& binding, NljpCacheEntry* out);
+
+  /// Visits the witnesses bucketed with `binding`'s equality key until
+  /// `test` returns true; returns whether any did. `test` runs under the
+  /// witness stripe lock and must not touch the governor or this cache.
+  bool AnyWitness(const Row& binding,
+                  const std::function<bool(const Row& witness)>& test);
+
+  /// Inserts an entry (advisory): under memory pressure the entry may be
+  /// dropped instead (counted as shed), matching the serial operator.
+  void Insert(NljpCacheEntry entry);
+
+  /// Governor reclaimer hook: retires oldest entries (round-robin across
+  /// stripes) until at least `bytes_needed` bytes are freed or the cache
+  /// is empty; returns the bytes actually freed.
+  size_t Shed(size_t bytes_needed);
+
+  // ---- Exact end-of-query counters ----
+  size_t live_entries() const {
+    return live_entries_.load(std::memory_order_relaxed);
+  }
+  size_t live_bytes() const {
+    return live_bytes_.load(std::memory_order_relaxed);
+  }
+  size_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  size_t shed_entries() const {
+    return shed_entries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    NljpCacheEntry entry;
+    size_t bytes = 0;
+    uint64_t witness_id = 0;  // 0 = not registered as a witness
+    bool live = false;
+  };
+  struct MemoStripe {
+    std::mutex mu;
+    std::vector<Slot> slots;
+    std::deque<size_t> fifo;  // live slot ids, oldest first
+    std::vector<size_t> free_slots;
+    std::unordered_map<Row, size_t, RowHash, RowEq> by_binding;
+  };
+  struct WitnessStripe {
+    std::mutex mu;
+    // eq-key -> (witness id, binding). The binding is a copy: witness
+    // lifetime is decoupled from the memo slot so no cross-stripe locks
+    // are ever nested.
+    std::unordered_map<Row, std::vector<std::pair<uint64_t, Row>>, RowHash,
+                       RowEq>
+        buckets;
+  };
+
+  Row EqKeyOf(const Row& binding) const;
+  size_t MemoStripeOf(const Row& binding) const;
+  size_t WitnessStripeOf(const Row& eq_key) const;
+  void RemoveWitness(uint64_t witness_id, const Row& binding);
+  /// Retires the oldest entry of some stripe, starting the scan at
+  /// `start_stripe`; returns the bytes freed (0 when every stripe was
+  /// empty at the time it was inspected).
+  size_t EvictOneGlobal(size_t start_stripe);
+
+  Options options_;
+  size_t stripe_mask_ = 0;
+  std::vector<MemoStripe> memo_stripes_;
+  std::vector<WitnessStripe> witness_stripes_;
+
+  std::atomic<uint64_t> next_witness_id_{1};
+  std::atomic<size_t> next_evict_stripe_{0};
+  std::atomic<size_t> live_entries_{0};
+  std::atomic<size_t> live_bytes_{0};
+  std::atomic<size_t> evictions_{0};
+  std::atomic<size_t> shed_entries_{0};
+};
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_NLJP_SHARED_CACHE_H_

@@ -119,6 +119,7 @@ Result<std::unique_ptr<NljpOperator>> IcebergOptimizer::PickMemprune(
   nljp_options.binding_order = options_.binding_order;
   nljp_options.max_cache_entries = options_.max_cache_entries;
   nljp_options.governor = options_.governor;
+  nljp_options.num_threads = options_.base_exec.num_threads;
 
   std::string failures;
   for (const TablePartition& partition : CandidatePartitions(block)) {

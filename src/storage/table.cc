@@ -55,6 +55,11 @@ void Table::UpdateRow(size_t i, Row row) {
   rows_[i] = std::move(row);
 }
 
+void Table::SortRowsCanonical() {
+  ICEBERG_CHECK(ordered_indexes_.empty() && hash_indexes_.empty());
+  std::sort(rows_.begin(), rows_.end(), RowLess());
+}
+
 size_t Table::BuildOrderedIndexByIds(std::vector<size_t> columns) {
   auto index = std::make_unique<OrderedIndex>(std::move(columns));
   for (size_t i = 0; i < rows_.size(); ++i) index->Insert(rows_[i], i);

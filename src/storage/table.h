@@ -41,6 +41,12 @@ class Table {
   /// valid for index-free tables (e.g. the NLJP parameter table).
   void UpdateRow(size_t i, Row row);
 
+  /// Sorts rows into canonical (lexicographic Value) order — used to make
+  /// parallel execution output deterministic across thread counts.
+  /// Secondary indexes are NOT maintained; only valid for index-free
+  /// tables (query results).
+  void SortRowsCanonical();
+
   /// Builds an ordered (B-tree-like) index over the named columns.
   Result<size_t> BuildOrderedIndex(const std::vector<std::string>& columns);
 

@@ -1,0 +1,312 @@
+// Morsel-driven parallel execution tests: TaskPool scheduling invariants,
+// serial-vs-parallel result equality on the full workload for both
+// engines, shared-cache bounds under concurrency, and governor trips
+// (cancellation / budget exhaustion) injected while several workers run.
+// Labeled `tsan` in tests/CMakeLists.txt: this binary plus governor_test
+// form the ThreadSanitizer job.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench/workload_queries.h"
+#include "src/engine/database.h"
+#include "src/exec/task_pool.h"
+#include "src/workload/object.h"
+
+namespace iceberg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TaskPool scheduling
+// ---------------------------------------------------------------------------
+
+TEST(TaskPoolTest, CoversRangeExactlyOnce) {
+  TaskPool pool(4);
+  constexpr size_t kTotal = 1000;
+  std::vector<std::atomic<int>> hits(kTotal);
+  Status st = pool.RunMorsels(
+      kTotal, 7, [&](int worker, size_t begin, size_t end) -> Status {
+        EXPECT_GE(worker, 0);
+        EXPECT_LT(worker, 4);
+        EXPECT_LT(begin, end);
+        EXPECT_LE(end, kTotal);
+        for (size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+        return Status::OK();
+      });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  for (size_t i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(TaskPoolTest, SingleThreadRunsInlineOnCaller) {
+  TaskPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  size_t covered = 0;
+  Status st = pool.RunMorsels(
+      100, 8, [&](int worker, size_t begin, size_t end) -> Status {
+        EXPECT_EQ(worker, 0);
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        covered += end - begin;
+        return Status::OK();
+      });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(covered, 100u);
+}
+
+TEST(TaskPoolTest, FirstErrorStopsTheJobAndIsReturned) {
+  TaskPool pool(4);
+  Status st = pool.RunMorsels(
+      10000, 16, [&](int, size_t begin, size_t end) -> Status {
+        if (begin <= 123 && 123 < end) {
+          return Status::InvalidArgument("injected failure");
+        }
+        return Status::OK();
+      });
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << st.ToString();
+}
+
+TEST(TaskPoolTest, PoolIsReusableAcrossJobsAndAfterFailure) {
+  TaskPool pool(3);
+  std::atomic<size_t> covered{0};
+  auto count = [&](int, size_t begin, size_t end) -> Status {
+    covered.fetch_add(end - begin);
+    return Status::OK();
+  };
+  ASSERT_TRUE(pool.RunMorsels(500, 13, count).ok());
+  EXPECT_EQ(covered.load(), 500u);
+  ASSERT_FALSE(pool.RunMorsels(500, 13, [](int, size_t, size_t) {
+                     return Status::Internal("boom");
+                   }).ok());
+  covered = 0;
+  ASSERT_TRUE(pool.RunMorsels(700, 13, count).ok());
+  EXPECT_EQ(covered.load(), 700u);
+}
+
+TEST(TaskPoolTest, ResolveAndMorselHelpers) {
+  EXPECT_GE(ResolveThreads(0), 1);  // auto, whatever the host reports
+  EXPECT_EQ(ResolveThreads(1), 1);
+  EXPECT_EQ(ResolveThreads(6), 6);
+  for (int threads : {1, 2, 4, 8}) {
+    for (size_t total : {0ul, 10ul, 480ul, 1000000ul}) {
+      size_t m = MorselFor(total, threads);
+      EXPECT_GE(m, 64u);
+      EXPECT_LE(m, 1024u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serial vs parallel equality, every workload query, both engines
+// ---------------------------------------------------------------------------
+
+void ExpectSameRows(const TablePtr& a, const TablePtr& b) {
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  std::vector<Row> ra = a->rows(), rb = b->rows();
+  std::sort(ra.begin(), ra.end(), RowLess());
+  std::sort(rb.begin(), rb.end(), RowLess());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    ASSERT_EQ(CompareRows(ra[i], rb[i]), 0) << "row " << i;
+  }
+}
+
+class WorkloadEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = bench::MakeScoreDb(480).release();
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static Database* db_;
+};
+
+Database* WorkloadEquivalenceTest::db_ = nullptr;
+
+TEST_F(WorkloadEquivalenceTest, BaselineMatchesSerialAtEveryThreadCount) {
+  for (const bench::NamedQuery& q : bench::Figure1Queries()) {
+    ExecOptions serial;
+    serial.num_threads = 1;
+    Result<TablePtr> base = db_->Query(q.sql, serial);
+    ASSERT_TRUE(base.ok()) << q.name << ": " << base.status().ToString();
+    for (int threads : {2, 4, 8}) {
+      ExecOptions exec;
+      exec.num_threads = threads;
+      Result<TablePtr> parallel = db_->Query(q.sql, exec);
+      ASSERT_TRUE(parallel.ok())
+          << q.name << " t=" << threads << ": "
+          << parallel.status().ToString();
+      ExpectSameRows(*base, *parallel);
+    }
+  }
+}
+
+TEST_F(WorkloadEquivalenceTest, IcebergMatchesSerialAtEveryThreadCount) {
+  for (const bench::NamedQuery& q : bench::Figure1Queries()) {
+    IcebergOptions serial = IcebergOptions::All();
+    serial.base_exec.num_threads = 1;
+    Result<TablePtr> base = db_->QueryIceberg(q.sql, serial);
+    ASSERT_TRUE(base.ok()) << q.name << ": " << base.status().ToString();
+    for (int threads : {2, 4, 8}) {
+      IcebergOptions options = IcebergOptions::All();
+      options.base_exec.num_threads = threads;
+      Result<TablePtr> parallel = db_->QueryIceberg(q.sql, options);
+      ASSERT_TRUE(parallel.ok())
+          << q.name << " t=" << threads << ": "
+          << parallel.status().ToString();
+      ExpectSameRows(*base, *parallel);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel NLJP: shared cache, determinism, worker stats
+// ---------------------------------------------------------------------------
+
+constexpr char kSkyband[] =
+    "SELECT L.id, COUNT(*) FROM object L, object R "
+    "WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y) "
+    "GROUP BY L.id HAVING COUNT(*) <= 12";
+
+class ParallelNljpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ObjectConfig cfg;
+    cfg.num_objects = 400;
+    cfg.domain = 30;  // duplicate-rich: memoization and pruning both apply
+    ASSERT_TRUE(RegisterObjects(&db_, cfg).ok());
+    base_ = *db_.Query(kSkyband);
+  }
+  Database db_;
+  TablePtr base_;
+};
+
+TEST_F(ParallelNljpTest, ParallelOutputIsCanonicallyOrderedAndStable) {
+  IcebergOptions options = IcebergOptions::All();
+  options.base_exec.num_threads = 4;
+  Result<TablePtr> first = db_.QueryIceberg(kSkyband, options);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  Result<TablePtr> second = db_.QueryIceberg(kSkyband, options);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ExpectSameRows(base_, *first);
+  // Byte-identical order across runs, not just as a set: parallel results
+  // are canonically sorted.
+  ASSERT_EQ((*first)->num_rows(), (*second)->num_rows());
+  for (size_t i = 0; i < (*first)->num_rows(); ++i) {
+    ASSERT_EQ(CompareRows((*first)->rows()[i], (*second)->rows()[i]), 0);
+  }
+  for (size_t i = 1; i < (*first)->num_rows(); ++i) {
+    ASSERT_FALSE(RowLess()((*first)->rows()[i], (*first)->rows()[i - 1]));
+  }
+}
+
+TEST_F(ParallelNljpTest, PerWorkerCountersAreSurfaced) {
+  IcebergOptions options = IcebergOptions::All();
+  options.base_exec.num_threads = 4;
+  IcebergReport report;
+  ASSERT_TRUE(db_.QueryIceberg(kSkyband, options, &report).ok());
+  ASSERT_TRUE(report.used_nljp);
+  EXPECT_EQ(report.nljp_stats.workers, 4u);
+  ASSERT_EQ(report.nljp_stats.bindings_per_worker.size(), 4u);
+  size_t sum = 0;
+  for (size_t n : report.nljp_stats.bindings_per_worker) sum += n;
+  EXPECT_EQ(sum, report.nljp_stats.bindings_total);
+  EXPECT_NE(report.nljp_stats.ToString().find("workers=4"),
+            std::string::npos);
+}
+
+TEST_F(ParallelNljpTest, SharedCacheBoundHoldsUnderConcurrency) {
+  IcebergOptions options = IcebergOptions::All();
+  options.base_exec.num_threads = 4;
+  options.max_cache_entries = 8;
+  IcebergReport report;
+  Result<TablePtr> smart = db_.QueryIceberg(kSkyband, options, &report);
+  ASSERT_TRUE(smart.ok()) << smart.status().ToString();
+  ExpectSameRows(base_, *smart);
+  ASSERT_TRUE(report.used_nljp);
+  EXPECT_LE(report.nljp_stats.cache_entries, 8u);
+  EXPECT_GT(report.nljp_stats.cache_evictions, 0u);
+}
+
+TEST_F(ParallelNljpTest, TinySharedCacheBoundsStillCorrect) {
+  for (size_t bound : {1u, 2u, 16u}) {
+    for (int threads : {2, 4, 8}) {
+      IcebergOptions options = IcebergOptions::All();
+      options.base_exec.num_threads = threads;
+      options.max_cache_entries = bound;
+      IcebergReport report;
+      Result<TablePtr> smart = db_.QueryIceberg(kSkyband, options, &report);
+      ASSERT_TRUE(smart.ok())
+          << "bound=" << bound << " t=" << threads << ": "
+          << smart.status().ToString();
+      ExpectSameRows(base_, *smart);
+      EXPECT_LE(report.nljp_stats.cache_entries, bound)
+          << "bound=" << bound << " t=" << threads;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Governor trips while four workers run
+// ---------------------------------------------------------------------------
+
+TEST_F(ParallelNljpTest, InjectedCancellationTripsCleanlyAcrossWorkers) {
+  GovernorProbe probe;
+  probe.on_check = [](size_t ordinal) {
+    return ordinal == 40 ? Status::Cancelled("injected mid-run cancel")
+                         : Status::OK();
+  };
+  auto governor = std::make_shared<QueryGovernor>(QueryGovernor::Limits{},
+                                                  probe);
+  IcebergOptions options = IcebergOptions::All();
+  options.base_exec.num_threads = 4;
+  options.governor = governor;
+  Result<TablePtr> smart = db_.QueryIceberg(kSkyband, options);
+  ASSERT_FALSE(smart.ok());
+  EXPECT_TRUE(smart.status().IsCancelled()) << smart.status().ToString();
+  // No torn accounting: every reservation (bindings, groups, cache) was
+  // released on the error path.
+  EXPECT_EQ(governor->bytes_in_use(), 0u);
+}
+
+TEST_F(ParallelNljpTest, BudgetExhaustionTripsCleanlyAcrossWorkers) {
+  QueryGovernor::Limits limits;
+  limits.memory_budget_bytes = 16 * 1024;  // far below the mandatory state
+  auto governor = std::make_shared<QueryGovernor>(limits);
+  IcebergOptions options = IcebergOptions::All();
+  options.base_exec.num_threads = 4;
+  options.governor = governor;
+  Result<TablePtr> smart = db_.QueryIceberg(kSkyband, options);
+  ASSERT_FALSE(smart.ok());
+  EXPECT_TRUE(smart.status().IsResourceExhausted())
+      << smart.status().ToString();
+  EXPECT_EQ(governor->bytes_in_use(), 0u);
+}
+
+TEST_F(ParallelNljpTest, ExternalCancelDuringParallelBaseline) {
+  GovernorProbe probe;
+  probe.on_check = [](size_t ordinal) {
+    return ordinal == 25 ? Status::Cancelled("client disconnect")
+                         : Status::OK();
+  };
+  auto governor = std::make_shared<QueryGovernor>(QueryGovernor::Limits{},
+                                                  probe);
+  ExecOptions exec;
+  exec.num_threads = 4;
+  exec.governor = governor;
+  Result<TablePtr> result = db_.Query(kSkyband, exec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+  EXPECT_EQ(governor->bytes_in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace iceberg
