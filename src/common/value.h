@@ -48,14 +48,35 @@ class Value {
 
   DataType type() const;
 
+  /// Alternative index as a cheap tag: 0 NULL, 1 int64, 2 double,
+  /// 3 string (the variant's declaration order). Hot paths (the compiled
+  /// expression VM, key codecs) dispatch on this once instead of probing
+  /// holds_alternative per type.
+  uint8_t tag() const { return static_cast<uint8_t>(data_.index()); }
+
+  /// Unchecked accessors for use after dispatching on tag(): get_if with
+  /// the null-check already established, so no throw branch is emitted.
+  int64_t int_unchecked() const { return *std::get_if<int64_t>(&data_); }
+  double double_unchecked() const { return *std::get_if<double>(&data_); }
+  const std::string& string_unchecked() const {
+    return *std::get_if<std::string>(&data_);
+  }
+
   int64_t AsInt() const { return std::get<int64_t>(data_); }
   double AsDouble() const {
     return is_int() ? static_cast<double>(std::get<int64_t>(data_))
                     : std::get<double>(data_);
   }
   const std::string& AsString() const { return std::get<std::string>(data_); }
-  /// Truthiness for predicate results: non-null and non-zero.
-  bool AsBool() const { return !is_null() && AsDouble() != 0.0; }
+  /// Truthiness for predicate results: NULL is false, numerics are
+  /// non-zero, strings are non-empty. (Strings formerly fell into
+  /// AsDouble(), which throws bad_variant_access on the string
+  /// alternative.)
+  bool AsBool() const {
+    if (is_null()) return false;
+    if (is_string()) return !AsString().empty();
+    return AsDouble() != 0.0;
+  }
 
   /// Total order used for grouping and index keys: NULLs sort first, then
   /// numerics (coerced), then strings. Returns <0, 0, >0.

@@ -4,11 +4,36 @@
 
 namespace iceberg {
 
+namespace {
+// Initial bucket count for the group maps: covers the common small-groups
+// case without rehashing, cheap enough for per-worker instances.
+constexpr size_t kInitialBuckets = 256;
+}  // namespace
+
 Aggregator::Aggregator(const QueryBlock& block) : block_(block) {
   CollectAggregates(block.having, &agg_nodes_);
   for (const BoundSelectItem& item : block.select) {
     CollectAggregates(item.expr, &agg_nodes_);
   }
+  if (CompiledExprEnabled()) {
+    group_progs_ = CompileAll(block.group_by);
+    arg_progs_.reserve(agg_nodes_.size());
+    for (const ExprPtr& agg : agg_nodes_) {
+      if (agg->agg == AggFunc::kCountStar) {
+        arg_progs_.emplace_back();  // no argument to evaluate
+      } else {
+        arg_progs_.push_back(CompiledExpr::Compile(*agg->children[0]));
+      }
+    }
+    codec_ = CodecForExprs(block.group_by, BlockColumnTypes(block));
+    packed_ = codec_.usable();
+  }
+  if (packed_) {
+    packed_groups_.reserve(kInitialBuckets);
+  } else {
+    groups_.reserve(kInitialBuckets);
+  }
+  key_scratch_.reserve(block.group_by.size());
 }
 
 Aggregator::~Aggregator() {
@@ -22,49 +47,85 @@ bool Aggregator::IsAggregated() const {
          !agg_nodes_.empty();
 }
 
-Row Aggregator::GroupKey(const Row& joined_row) const {
-  Row key;
-  key.reserve(block_.group_by.size());
-  for (const ExprPtr& g : block_.group_by) {
-    key.push_back(Evaluate(*g, joined_row));
+void Aggregator::EvalKeys(const Row& joined_row) {
+  key_scratch_.clear();
+  const size_t n = block_.group_by.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (i < group_progs_.size() && group_progs_[i].valid()) {
+      key_scratch_.push_back(group_progs_[i].Run(joined_row, &scratch_));
+    } else {
+      key_scratch_.push_back(Evaluate(*block_.group_by[i], joined_row));
+    }
   }
-  return key;
+}
+
+bool Aggregator::ReserveGroup(const Row& joined_row, size_t key_bytes) {
+  if (governor_ == nullptr) return true;
+  // Approximate per-group footprint: key + representative row +
+  // accumulator array + hash-map node overhead.
+  size_t bytes = key_bytes + RowBytes(joined_row) +
+                 agg_nodes_.size() * sizeof(Accumulator) + 64;
+  if (!governor_->Reserve(bytes, "hash-aggregation").ok()) {
+    // The governor is poisoned; the executor aborts at its next check.
+    reserve_failed_ = true;
+    return false;
+  }
+  reserved_bytes_ += bytes;
+  return true;
+}
+
+Aggregator::GroupState Aggregator::MakeState(const Row& joined_row) const {
+  GroupState state;
+  state.representative = joined_row;
+  state.accumulators.reserve(agg_nodes_.size());
+  for (const ExprPtr& agg : agg_nodes_) {
+    state.accumulators.emplace_back(agg->agg);
+  }
+  return state;
+}
+
+void Aggregator::Accumulate(GroupState* state, const Row& joined_row) {
+  for (size_t i = 0; i < agg_nodes_.size(); ++i) {
+    const ExprPtr& agg = agg_nodes_[i];
+    if (agg->agg == AggFunc::kCountStar) {
+      state->accumulators[i].Add(Value::Null());
+    } else if (i < arg_progs_.size() && arg_progs_[i].valid()) {
+      state->accumulators[i].Add(arg_progs_[i].Run(joined_row, &scratch_));
+    } else {
+      state->accumulators[i].Add(Evaluate(*agg->children[0], joined_row));
+    }
+  }
 }
 
 void Aggregator::AddRow(const Row& joined_row) {
   if (reserve_failed_) return;  // budget overrun already poisoned the query
-  Row key = GroupKey(joined_row);
-  auto it = groups_.find(key);
-  if (it == groups_.end()) {
-    if (governor_ != nullptr) {
-      // Approximate per-group footprint: key + representative row +
-      // accumulator array + hash-map node overhead.
-      size_t bytes = RowBytes(key) + RowBytes(joined_row) +
-                     agg_nodes_.size() * sizeof(Accumulator) + 64;
-      if (!governor_->Reserve(bytes, "hash-aggregation").ok()) {
-        // The governor is poisoned; the executor aborts at its next check.
-        reserve_failed_ = true;
+  EvalKeys(joined_row);
+  GroupState* state;
+  if (packed_) {
+    codec_.Encode(key_scratch_.data(), key_scratch_.size(), &packed_scratch_);
+    auto it = packed_groups_.find(packed_scratch_);
+    if (it == packed_groups_.end()) {
+      // A numeric Row key has no out-of-line storage, so RowBytes(key)
+      // is exactly key.size()*sizeof(Value): charge the same bytes the
+      // Row-keyed map would, keeping governor accounting unchanged.
+      if (!ReserveGroup(joined_row, key_scratch_.size() * sizeof(Value))) {
         return;
       }
-      reserved_bytes_ += bytes;
+      it = packed_groups_.emplace(packed_scratch_, MakeState(joined_row))
+               .first;
     }
-    GroupState state;
-    state.representative = joined_row;
-    state.accumulators.reserve(agg_nodes_.size());
-    for (const ExprPtr& agg : agg_nodes_) {
-      state.accumulators.emplace_back(agg->agg);
+    state = &it->second;
+  } else {
+    // key_scratch_ doubles as the lookup key; it is only copied when the
+    // group is new.
+    auto it = groups_.find(key_scratch_);
+    if (it == groups_.end()) {
+      if (!ReserveGroup(joined_row, RowBytes(key_scratch_))) return;
+      it = groups_.emplace(key_scratch_, MakeState(joined_row)).first;
     }
-    it = groups_.emplace(std::move(key), std::move(state)).first;
+    state = &it->second;
   }
-  GroupState& state = it->second;
-  for (size_t i = 0; i < agg_nodes_.size(); ++i) {
-    const ExprPtr& agg = agg_nodes_[i];
-    if (agg->agg == AggFunc::kCountStar) {
-      state.accumulators[i].Add(Value::Null());
-    } else {
-      state.accumulators[i].Add(Evaluate(*agg->children[0], joined_row));
-    }
-  }
+  Accumulate(state, joined_row);
 }
 
 void Aggregator::MergeFrom(Aggregator&& other) {
@@ -88,15 +149,26 @@ void Aggregator::MergeFrom(Aggregator&& other) {
       state.accumulators[i].MergeFrom(other_state.accumulators[i]);
     }
   }
+  for (auto& [key, other_state] : other.packed_groups_) {
+    auto it = packed_groups_.find(key);
+    if (it == packed_groups_.end()) {
+      packed_groups_.emplace(key, std::move(other_state));
+      continue;
+    }
+    GroupState& state = it->second;
+    for (size_t i = 0; i < state.accumulators.size(); ++i) {
+      state.accumulators[i].MergeFrom(other_state.accumulators[i]);
+    }
+  }
 }
 
 Result<TablePtr> Aggregator::Finalize(ExecStats* stats) const {
   auto result = std::make_shared<Table>(block_.output_schema);
-  if (stats != nullptr) stats->groups_created += groups_.size();
+  if (stats != nullptr) stats->groups_created += num_groups();
 
   // SQL scalar-aggregate semantics: with no GROUP BY, an aggregated query
   // over empty input still yields one group.
-  if (groups_.empty() && block_.group_by.empty() && !agg_nodes_.empty()) {
+  if (num_groups() == 0 && block_.group_by.empty() && !agg_nodes_.empty()) {
     AggValueMap agg_values;
     std::vector<Accumulator> empty;
     for (const ExprPtr& agg : agg_nodes_) empty.emplace_back(agg->agg);
@@ -117,7 +189,7 @@ Result<TablePtr> Aggregator::Finalize(ExecStats* stats) const {
   }
 
   std::set<Row, RowLess> distinct_rows;
-  for (const auto& [key, state] : groups_) {
+  auto emit_group = [&](const GroupState& state) {
     AggValueMap agg_values;
     for (size_t i = 0; i < agg_nodes_.size(); ++i) {
       agg_values[agg_nodes_[i].get()] = state.accumulators[i].Final();
@@ -125,7 +197,7 @@ Result<TablePtr> Aggregator::Finalize(ExecStats* stats) const {
     if (block_.having != nullptr &&
         !EvaluatePredicate(*block_.having, state.representative,
                            &agg_values)) {
-      continue;
+      return;
     }
     Row out;
     out.reserve(block_.select.size());
@@ -133,11 +205,13 @@ Result<TablePtr> Aggregator::Finalize(ExecStats* stats) const {
       out.push_back(Evaluate(*item.expr, state.representative, &agg_values));
     }
     if (block_.distinct) {
-      if (!distinct_rows.insert(out).second) continue;
+      if (!distinct_rows.insert(out).second) return;
     }
     result->AppendUnchecked(std::move(out));
     if (stats != nullptr) stats->groups_output += 1;
-  }
+  };
+  for (const auto& [key, state] : groups_) emit_group(state);
+  for (const auto& [key, state] : packed_groups_) emit_group(state);
   return result;
 }
 

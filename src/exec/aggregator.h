@@ -1,12 +1,15 @@
 #ifndef SMARTICEBERG_EXEC_AGGREGATOR_H_
 #define SMARTICEBERG_EXEC_AGGREGATOR_H_
 
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/exec/exec_options.h"
+#include "src/exec/key_codec.h"
 #include "src/expr/aggregate.h"
+#include "src/expr/compiled.h"
 #include "src/expr/evaluator.h"
 #include "src/plan/query_block.h"
 #include "src/storage/table.h"
@@ -17,6 +20,12 @@ namespace iceberg {
 /// post-processing stage: groups joined rows by the block's GROUP BY keys,
 /// maintains one Accumulator per aggregate subexpression of HAVING and the
 /// select list, then applies HAVING and projects.
+///
+/// The hot path (AddRow) evaluates group keys and aggregate arguments
+/// through compiled expression programs and, when every key column is
+/// statically numeric, keys the group map with fixed-width PackedKeys
+/// (memcmp equality, word-mix hash) instead of Rows. String keys keep the
+/// Row-keyed map; the two maps are never populated for the same query.
 class Aggregator {
  public:
   /// Collects the aggregate nodes of `block` (HAVING first, then select
@@ -45,7 +54,10 @@ class Aggregator {
   /// `stats` (optional) receives groups_created / groups_output.
   Result<TablePtr> Finalize(ExecStats* stats) const;
 
-  size_t num_groups() const { return groups_.size(); }
+  size_t num_groups() const { return groups_.size() + packed_groups_.size(); }
+
+  /// EXPLAIN annotation: "packed[2 cols, 18B]" or "row".
+  std::string KeySummary() const { return codec_.Summary(); }
 
  private:
   struct GroupState {
@@ -53,11 +65,36 @@ class Aggregator {
     std::vector<Accumulator> accumulators;
   };
 
-  Row GroupKey(const Row& joined_row) const;
+  /// Evaluates the GROUP BY keys of `joined_row` into key_scratch_.
+  void EvalKeys(const Row& joined_row);
+
+  /// Reserves one group's footprint against the governor. `key_bytes` is
+  /// what RowBytes would charge for the Row-materialized key, so accounting
+  /// is identical whether the map is packed- or Row-keyed.
+  bool ReserveGroup(const Row& joined_row, size_t key_bytes);
+
+  GroupState MakeState(const Row& joined_row) const;
+  void Accumulate(GroupState* state, const Row& joined_row);
 
   const QueryBlock& block_;
   std::vector<ExprPtr> agg_nodes_;
+  // Compiled programs (empty / invalid entries => interpreter fallback).
+  std::vector<CompiledExpr> group_progs_;
+  std::vector<CompiledExpr> arg_progs_;  // parallel to agg_nodes_
+  KeyCodec codec_;
+  bool packed_ = false;
+
+  // Exactly one of the two maps is used per query, decided at construction.
   std::unordered_map<Row, GroupState, RowHash, RowEq> groups_;
+  std::unordered_map<PackedKey, GroupState, PackedKeyHash, PackedKeyEq>
+      packed_groups_;
+
+  // Per-AddRow scratch, reused across calls (Aggregator is single-threaded;
+  // parallel plans run one per worker and MergeFrom).
+  EvalScratch scratch_;
+  Row key_scratch_;
+  PackedKey packed_scratch_;
+
   QueryGovernor* governor_ = nullptr;
   size_t reserved_bytes_ = 0;
   bool reserve_failed_ = false;

@@ -130,18 +130,33 @@ Result<TablePtr> Executor::Execute(const QueryBlock& block,
     }
     result->AppendUnchecked(std::move(out));
   };
-  auto project = [&](const Row& joined) {
+  // Select-list projection compiled once per query; workers evaluate with
+  // thread-local stacks (CompiledExpr::Run is const and thread-safe).
+  std::vector<CompiledExpr> select_progs;
+  if (CompiledExprEnabled()) {
+    select_progs.reserve(block.select.size());
+    for (const BoundSelectItem& item : block.select) {
+      select_progs.push_back(CompiledExpr::Compile(*item.expr));
+    }
+  }
+  auto project = [&](const Row& joined, EvalScratch* scratch) {
     Row out;
     out.reserve(block.select.size());
-    for (const BoundSelectItem& item : block.select) {
-      out.push_back(Evaluate(*item.expr, joined));
+    for (size_t i = 0; i < block.select.size(); ++i) {
+      if (i < select_progs.size() && select_progs[i].valid()) {
+        out.push_back(select_progs[i].Run(joined, scratch));
+      } else {
+        out.push_back(Evaluate(*block.select[i].expr, joined));
+      }
     }
     return out;
   };
   if (!parallel) {
+    EvalScratch scratch;
     ICEBERG_RETURN_NOT_OK(pipeline.Run(
-        0, outer_size, [&](const Row& joined) { emit(project(joined)); },
-        stats, governor));
+        0, outer_size,
+        [&](const Row& joined) { emit(project(joined, &scratch)); }, stats,
+        governor));
     if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
     FillGovernorStats(governor, stats);
     return result;
@@ -149,14 +164,18 @@ Result<TablePtr> Executor::Execute(const QueryBlock& block,
   // Workers project into thread-local buffers; DISTINCT dedup and the
   // materialization reservation stay single-threaded on the gathered rows.
   std::vector<std::vector<Row>> buffers(static_cast<size_t>(threads));
+  std::vector<EvalScratch> scratches(static_cast<size_t>(threads));
   std::vector<ExecStats> partial_stats(static_cast<size_t>(threads));
   TaskPool pool(threads);
   Status status = pool.RunMorsels(
       outer_size, morsel, [&](int worker, size_t begin, size_t end) {
         std::vector<Row>* local = &buffers[static_cast<size_t>(worker)];
+        EvalScratch* scratch = &scratches[static_cast<size_t>(worker)];
         return pipeline.Run(
             begin, end,
-            [&, local](const Row& joined) { local->push_back(project(joined)); },
+            [&, local, scratch](const Row& joined) {
+              local->push_back(project(joined, scratch));
+            },
             &partial_stats[static_cast<size_t>(worker)], governor);
       });
   ICEBERG_RETURN_NOT_OK(status);
@@ -193,6 +212,7 @@ std::string Executor::Explain(const QueryBlock& block) const {
     if (block.having != nullptr) {
       out += " having=(" + block.having->ToString() + ")";
     }
+    out += " key=" + agg.KeySummary();
     out += "\n";
     indent += "  ";
   }
@@ -217,14 +237,27 @@ Result<TablePtr> GroupAndProject(const QueryBlock& block,
   if (!agg.IsAggregated()) {
     auto result = std::make_shared<Table>(block.output_schema);
     std::set<Row, RowLess> distinct_rows;
+    std::vector<CompiledExpr> select_progs;
+    if (CompiledExprEnabled()) {
+      select_progs.reserve(block.select.size());
+      for (const BoundSelectItem& item : block.select) {
+        select_progs.push_back(CompiledExpr::Compile(*item.expr));
+      }
+    }
+    EvalScratch scratch;
     size_t processed = 0;
     for (const Row& joined : joined_rows) {
       if (governor != nullptr && (processed++ & 255) == 0) {
         ICEBERG_RETURN_NOT_OK(governor->Check());
       }
       Row out;
-      for (const BoundSelectItem& item : block.select) {
-        out.push_back(Evaluate(*item.expr, joined));
+      out.reserve(block.select.size());
+      for (size_t i = 0; i < block.select.size(); ++i) {
+        if (i < select_progs.size() && select_progs[i].valid()) {
+          out.push_back(select_progs[i].Run(joined, &scratch));
+        } else {
+          out.push_back(Evaluate(*block.select[i].expr, joined));
+        }
       }
       if (block.distinct && !distinct_rows.insert(out).second) continue;
       result->AppendUnchecked(std::move(out));

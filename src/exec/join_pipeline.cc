@@ -216,6 +216,18 @@ Result<JoinPipeline> JoinPipeline::Plan(const QueryBlock& block,
     jl.method = JoinMethod::kSeqScan;  // block nested loop
     pipeline.levels_.push_back(std::move(jl));
   }
+
+  // Compile the per-level expressions once per query; the interpreter
+  // remains the fallback when the compiled engine is globally disabled.
+  if (CompiledExprEnabled()) {
+    for (JoinLevel& jl : pipeline.levels_) {
+      jl.residual_progs = CompileAll(jl.residual);
+      jl.probe_progs = CompileAll(jl.probe_exprs);
+      if (jl.bound_expr != nullptr) {
+        jl.bound_prog = CompiledExpr::Compile(*jl.bound_expr);
+      }
+    }
+  }
   return pipeline;
 }
 
@@ -229,6 +241,8 @@ Status JoinPipeline::Run(size_t outer_begin, size_t outer_end,
   const Table& outer = *block_->tables[0].table;
   outer_end = std::min(outer_end, outer.num_rows());
   const JoinLevel& l0 = levels_[0];
+  RunScratch scratch;
+  scratch.probe_keys.resize(levels_.size());
   Row partial;
   partial.reserve(block_->TotalWidth());
   for (size_t i = outer_begin; i < outer_end; ++i) {
@@ -240,10 +254,19 @@ Status JoinPipeline::Run(size_t outer_begin, size_t outer_end,
     partial.assign(row.begin(), row.end());
     if (stats != nullptr) ++stats->join_pairs_examined;
     bool pass = true;
-    for (const ExprPtr& p : l0.residual) {
-      if (!EvaluatePredicate(*p, partial)) {
-        pass = false;
-        break;
+    if (!l0.residual_progs.empty()) {
+      for (const CompiledExpr& p : l0.residual_progs) {
+        if (!p.RunPredicate(partial, &scratch.eval)) {
+          pass = false;
+          break;
+        }
+      }
+    } else {
+      for (const ExprPtr& p : l0.residual) {
+        if (!EvaluatePredicate(*p, partial)) {
+          pass = false;
+          break;
+        }
       }
     }
     if (!pass) continue;
@@ -254,7 +277,7 @@ Status JoinPipeline::Run(size_t outer_begin, size_t outer_end,
       }
       callback(partial);
     } else {
-      RunLevel(1, &partial, callback, stats, governor);
+      RunLevel(1, &partial, callback, stats, governor, &scratch);
     }
   }
   // A poisoning recorded inside an inner loop (row limit, memory overrun)
@@ -264,9 +287,11 @@ Status JoinPipeline::Run(size_t outer_begin, size_t outer_end,
 
 void JoinPipeline::RunLevel(size_t level, Row* partial,
                             const RowCallback& callback, ExecStats* stats,
-                            QueryGovernor* governor) const {
+                            QueryGovernor* governor,
+                            RunScratch* scratch) const {
   const JoinLevel& jl = levels_[level];
   const Table& table = *block_->tables[jl.table_index].table;
+  const bool compiled = !jl.residual_progs.empty() || jl.residual.empty();
 
   auto try_row = [&](const Row& inner_row) {
     // Fast bail-out once a fatal condition is recorded anywhere; the full
@@ -276,10 +301,19 @@ void JoinPipeline::RunLevel(size_t level, Row* partial,
     size_t base = partial->size();
     partial->insert(partial->end(), inner_row.begin(), inner_row.end());
     bool pass = true;
-    for (const ExprPtr& p : jl.residual) {
-      if (!EvaluatePredicate(*p, *partial)) {
-        pass = false;
-        break;
+    if (compiled) {
+      for (const CompiledExpr& p : jl.residual_progs) {
+        if (!p.RunPredicate(*partial, &scratch->eval)) {
+          pass = false;
+          break;
+        }
+      }
+    } else {
+      for (const ExprPtr& p : jl.residual) {
+        if (!EvaluatePredicate(*p, *partial)) {
+          pass = false;
+          break;
+        }
       }
     }
     if (pass) {
@@ -289,10 +323,27 @@ void JoinPipeline::RunLevel(size_t level, Row* partial,
           callback(*partial);
         }
       } else {
-        RunLevel(level + 1, partial, callback, stats, governor);
+        RunLevel(level + 1, partial, callback, stats, governor, scratch);
       }
     }
     partial->resize(base);
+  };
+
+  // The probe key row is reused across probes of this level (clear keeps
+  // the capacity), so equality probing allocates nothing per outer row.
+  auto fill_probe_key = [&]() -> Row& {
+    Row& key = scratch->probe_keys[level];
+    key.clear();
+    if (!jl.probe_progs.empty()) {
+      for (const CompiledExpr& e : jl.probe_progs) {
+        key.push_back(e.Run(*partial, &scratch->eval));
+      }
+    } else {
+      for (const ExprPtr& e : jl.probe_exprs) {
+        key.push_back(Evaluate(*e, *partial));
+      }
+    }
+    return key;
   };
 
   switch (jl.method) {
@@ -302,11 +353,7 @@ void JoinPipeline::RunLevel(size_t level, Row* partial,
     }
     case JoinMethod::kHashIndexProbe:
     case JoinMethod::kHashJoin: {
-      Row key;
-      key.reserve(jl.probe_exprs.size());
-      for (const ExprPtr& e : jl.probe_exprs) {
-        key.push_back(Evaluate(*e, *partial));
-      }
+      const Row& key = fill_probe_key();
       const HashIndex* index =
           jl.method == JoinMethod::kHashIndexProbe ? jl.hash_index
                                                    : jl.built_hash.get();
@@ -318,10 +365,7 @@ void JoinPipeline::RunLevel(size_t level, Row* partial,
       break;
     }
     case JoinMethod::kOrderedIndexProbe: {
-      Row key;
-      for (const ExprPtr& e : jl.probe_exprs) {
-        key.push_back(Evaluate(*e, *partial));
-      }
+      const Row& key = fill_probe_key();
       if (stats != nullptr) ++stats->index_probes;
       for (size_t id : jl.ordered_eq_index->Lookup(key)) {
         try_row(table.row(id));
@@ -329,7 +373,11 @@ void JoinPipeline::RunLevel(size_t level, Row* partial,
       break;
     }
     case JoinMethod::kOrderedIndexRange: {
-      Row bound{Evaluate(*jl.bound_expr, *partial)};
+      Row& bound = scratch->probe_keys[level];
+      bound.clear();
+      bound.push_back(jl.bound_prog.valid()
+                          ? jl.bound_prog.Run(*partial, &scratch->eval)
+                          : Evaluate(*jl.bound_expr, *partial));
       if (stats != nullptr) ++stats->index_probes;
       std::vector<size_t> ids =
           jl.is_lower_bound
@@ -368,6 +416,15 @@ std::string JoinPipeline::Explain() const {
     }
     if (!jl.residual.empty()) {
       out += " filter=(" + AndAll(jl.residual)->ToString() + ")";
+    }
+    if (!jl.residual_progs.empty() || !jl.probe_progs.empty()) {
+      size_t ops = 0;
+      size_t fused = 0;
+      for (const CompiledExpr& p : jl.residual_progs) ops += p.num_ops();
+      for (const CompiledExpr& p : jl.probe_progs) ops += p.num_ops();
+      if (jl.bound_prog.valid()) ops += jl.bound_prog.num_ops();
+      (void)fused;
+      out += " [compiled: " + std::to_string(ops) + " ops]";
     }
     out += "\n";
   }

@@ -8,6 +8,7 @@
 
 #include "src/common/status.h"
 #include "src/exec/exec_options.h"
+#include "src/expr/compiled.h"
 #include "src/plan/query_block.h"
 #include "src/storage/table.h"
 
@@ -46,6 +47,12 @@ struct JoinLevel {
 
   // Residual predicates checked after the level's row is appended.
   std::vector<ExprPtr> residual;
+
+  // Compiled programs for the level's expressions (empty when the compiled
+  // engine is disabled; Run then falls back to the reference interpreter).
+  std::vector<CompiledExpr> residual_progs;
+  std::vector<CompiledExpr> probe_progs;
+  CompiledExpr bound_prog;
 };
 
 /// A compiled left-deep join pipeline over the block's FROM list, in FROM
@@ -77,8 +84,17 @@ class JoinPipeline {
  private:
   explicit JoinPipeline(const QueryBlock& block) : block_(&block) {}
 
+  /// Per-Run mutable state (the pipeline itself stays immutable and
+  /// thread-safe): one evaluation stack plus one reusable probe-key row
+  /// per level, so the inner loops never allocate.
+  struct RunScratch {
+    EvalScratch eval;
+    std::vector<Row> probe_keys;  // indexed by level
+  };
+
   void RunLevel(size_t level, Row* partial, const RowCallback& callback,
-                ExecStats* stats, QueryGovernor* governor) const;
+                ExecStats* stats, QueryGovernor* governor,
+                RunScratch* scratch) const;
 
   const QueryBlock* block_;
   std::vector<JoinLevel> levels_;

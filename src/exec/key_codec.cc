@@ -1,0 +1,142 @@
+#include "src/exec/key_codec.h"
+
+#include "src/common/logging.h"
+#include "src/plan/query_block.h"
+
+namespace iceberg {
+
+namespace {
+
+constexpr uint8_t kTagNull = 0;
+constexpr uint8_t kTagInt = 1;
+constexpr uint8_t kTagDouble = 2;
+
+/// splitmix64 finalizer; full-avalanche word mixer.
+inline uint64_t Mix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Doubles representable exactly as int64 are stored with the int tag, so
+/// 1 and 1.0 encode identically (matching RowEq/Value::Hash semantics).
+/// The range guard keeps the cast defined for huge magnitudes.
+inline bool CanonicalInt(double d, int64_t* out) {
+  if (d < -9.2e18 || d > 9.2e18) return false;
+  int64_t i = static_cast<int64_t>(d);
+  if (static_cast<double>(i) != d) return false;
+  *out = i;
+  return true;
+}
+
+inline void EncodeOne(const Value& v, uint8_t* p) {
+  switch (v.tag()) {
+    case 1: {
+      p[0] = kTagInt;
+      int64_t i = v.int_unchecked();
+      std::memcpy(p + 1, &i, 8);
+      return;
+    }
+    case 2: {
+      double d = v.double_unchecked();
+      int64_t i;
+      if (CanonicalInt(d, &i)) {
+        p[0] = kTagInt;
+        std::memcpy(p + 1, &i, 8);
+      } else {
+        p[0] = kTagDouble;
+        std::memcpy(p + 1, &d, 8);
+      }
+      return;
+    }
+    case 0: {
+      p[0] = kTagNull;
+      std::memset(p + 1, 0, 8);
+      return;
+    }
+    default:
+      ICEBERG_CHECK(false);  // strings are gated out at plan time
+  }
+}
+
+}  // namespace
+
+size_t PackedKey::hash() const {
+  uint64_t h = 0x84222325cbf29ce4ULL ^ (static_cast<uint64_t>(len) << 1);
+  size_t i = 0;
+  while (i + 8 <= len) {
+    uint64_t w;
+    std::memcpy(&w, data.data() + i, 8);
+    h = Mix(h ^ w);
+    i += 8;
+  }
+  if (i < len) {
+    uint64_t w = 0;
+    std::memcpy(&w, data.data() + i, len - i);
+    h = Mix(h ^ w);
+  }
+  return static_cast<size_t>(h);
+}
+
+KeyCodec KeyCodec::ForTypes(std::vector<DataType> types) {
+  KeyCodec codec;
+  bool ok = types.size() <= PackedKey::kMaxColumns;
+  for (DataType t : types) {
+    if (t == DataType::kString) ok = false;
+  }
+  codec.types_ = std::move(types);
+  codec.usable_ = ok;
+  return codec;
+}
+
+void KeyCodec::Encode(const Value* vals, size_t n, PackedKey* out) const {
+  ICEBERG_DCHECK(usable_ && n == types_.size());
+  uint8_t* p = out->data.data();
+  for (size_t i = 0; i < n; ++i, p += PackedKey::kBytesPerColumn) {
+    EncodeOne(vals[i], p);
+  }
+  out->len = static_cast<uint8_t>(n * PackedKey::kBytesPerColumn);
+}
+
+void KeyCodec::EncodeAt(const Row& row, const std::vector<size_t>& positions,
+                        PackedKey* out) const {
+  ICEBERG_DCHECK(usable_ && positions.size() == types_.size());
+  uint8_t* p = out->data.data();
+  for (size_t pos : positions) {
+    EncodeOne(row[pos], p);
+    p += PackedKey::kBytesPerColumn;
+  }
+  out->len =
+      static_cast<uint8_t>(positions.size() * PackedKey::kBytesPerColumn);
+}
+
+std::string KeyCodec::Summary() const {
+  if (!usable_) return "row";
+  return "packed[" + std::to_string(types_.size()) + " cols, " +
+         std::to_string(types_.size() * PackedKey::kBytesPerColumn) + "B]";
+}
+
+std::vector<DataType> BlockColumnTypes(const QueryBlock& block) {
+  std::vector<DataType> types;
+  for (const BoundTableRef& t : block.tables) {
+    for (const Column& c : t.table->schema().columns()) {
+      types.push_back(c.type);
+    }
+  }
+  return types;
+}
+
+KeyCodec CodecForExprs(const std::vector<ExprPtr>& exprs,
+                       const std::vector<DataType>& types_by_offset) {
+  std::vector<DataType> types;
+  types.reserve(exprs.size());
+  for (const ExprPtr& e : exprs) {
+    types.push_back(InferType(e, types_by_offset));
+  }
+  return KeyCodec::ForTypes(std::move(types));
+}
+
+}  // namespace iceberg

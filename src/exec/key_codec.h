@@ -1,0 +1,98 @@
+#ifndef SMARTICEBERG_EXEC_KEY_CODEC_H_
+#define SMARTICEBERG_EXEC_KEY_CODEC_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/expr/expr.h"
+
+namespace iceberg {
+
+struct QueryBlock;
+
+/// A group/binding key encoded into a small inline fixed-width buffer:
+/// 1 tag byte + 8 payload bytes per column, no heap allocation. Equality is
+/// a memcmp and hashing a word mix, replacing the per-column variant
+/// dispatch of Row keys on the join->aggregate hot path.
+///
+/// The encoding canonicalizes numerics so byte equality coincides exactly
+/// with SQL row equality (RowEq): integral doubles are stored as int64
+/// (1 and 1.0 collide, like Value::Hash), NULLs carry a distinct tag, and
+/// keys of different column counts never compare equal (length is part of
+/// the key).
+struct PackedKey {
+  static constexpr size_t kMaxColumns = 8;
+  static constexpr size_t kBytesPerColumn = 9;
+  static constexpr size_t kMaxBytes = kMaxColumns * kBytesPerColumn;
+
+  uint8_t len = 0;  // bytes used
+  std::array<uint8_t, kMaxBytes> data;
+
+  bool operator==(const PackedKey& o) const {
+    return len == o.len && std::memcmp(data.data(), o.data.data(), len) == 0;
+  }
+  bool operator!=(const PackedKey& o) const { return !(*this == o); }
+
+  size_t hash() const;
+};
+
+struct PackedKeyHash {
+  size_t operator()(const PackedKey& k) const { return k.hash(); }
+};
+struct PackedKeyEq {
+  bool operator()(const PackedKey& a, const PackedKey& b) const {
+    return a == b;
+  }
+};
+
+/// Plan-time decision + runtime encoder for packed keys. Usable when every
+/// key column is statically numeric (int64/double/null) and the column
+/// count fits the inline buffer — the common case for the baseball, basket
+/// and object workloads. String-typed key columns fall back to Row keys
+/// (the caller keeps its Row-keyed map).
+class KeyCodec {
+ public:
+  KeyCodec() = default;  // unusable; callers fall back to Row keys
+
+  /// Decides usability from the static key-column types.
+  static KeyCodec ForTypes(std::vector<DataType> types);
+
+  bool usable() const { return usable_; }
+  size_t num_columns() const { return types_.size(); }
+
+  /// Encodes `n` evaluated key values. Values must be numeric or NULL
+  /// (guaranteed by the static types; a string aborts).
+  void Encode(const Value* vals, size_t n, PackedKey* out) const;
+
+  void EncodeRow(const Row& row, PackedKey* out) const {
+    Encode(row.data(), row.size(), out);
+  }
+
+  /// Gathers `positions` of `row` and encodes them (NLJP equality keys),
+  /// without materializing the sub-row.
+  void EncodeAt(const Row& row, const std::vector<size_t>& positions,
+                PackedKey* out) const;
+
+  /// EXPLAIN summary, e.g. "packed[3 cols, 27B]".
+  std::string Summary() const;
+
+ private:
+  std::vector<DataType> types_;
+  bool usable_ = false;
+};
+
+/// Static column types of the block's concatenated evaluation row, in flat
+/// offset order (the layout expressions are bound against).
+std::vector<DataType> BlockColumnTypes(const QueryBlock& block);
+
+/// Codec over the inferred output types of the given key expressions.
+KeyCodec CodecForExprs(const std::vector<ExprPtr>& exprs,
+                       const std::vector<DataType>& types_by_offset);
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_EXEC_KEY_CODEC_H_

@@ -1,0 +1,729 @@
+#include "src/expr/compiled.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace iceberg {
+
+namespace {
+
+std::atomic<bool> g_compiled_enabled{true};
+
+// ----- CVal helpers ---------------------------------------------------------
+
+inline CVal NullCV() { return CVal{}; }
+
+inline CVal IntCV(int64_t v) {
+  CVal c;
+  c.tag = CVal::kInt;
+  c.i = v;
+  return c;
+}
+
+inline CVal DoubleCV(double v) {
+  CVal c;
+  c.tag = CVal::kDouble;
+  c.d = v;
+  return c;
+}
+
+inline CVal BoolCV(bool v) { return IntCV(v ? 1 : 0); }
+
+inline CVal FromValue(const Value& v) {
+  // Single dispatch on the variant index; Value's alternative order matches
+  // the CVal tag order (NULL, int, double, string) by construction.
+  CVal c;
+  switch (v.tag()) {
+    case 1:
+      c.tag = CVal::kInt;
+      c.i = v.int_unchecked();
+      break;
+    case 2:
+      c.tag = CVal::kDouble;
+      c.d = v.double_unchecked();
+      break;
+    case 3:
+      c.tag = CVal::kStr;
+      c.s = &v.string_unchecked();
+      break;
+    default:
+      break;  // NULL
+  }
+  return c;
+}
+
+inline Value ToValue(const CVal& c) {
+  switch (c.tag) {
+    case CVal::kNull:
+      return Value::Null();
+    case CVal::kInt:
+      return Value::Int(c.i);
+    case CVal::kDouble:
+      return Value::Double(c.d);
+    case CVal::kStr:
+      return Value::Str(*c.s);
+  }
+  return Value::Null();
+}
+
+inline double AsDoubleCV(const CVal& c) {
+  return c.tag == CVal::kInt ? static_cast<double>(c.i) : c.d;
+}
+
+/// Value::AsBool semantics: NULL false, strings non-empty, numerics
+/// non-zero.
+inline bool Truthy(const CVal& c) {
+  switch (c.tag) {
+    case CVal::kNull:
+      return false;
+    case CVal::kInt:
+      return c.i != 0;
+    case CVal::kDouble:
+      return c.d != 0.0;
+    case CVal::kStr:
+      return !c.s->empty();
+  }
+  return false;
+}
+
+/// Mirrors Value::Compare for non-NULL operands: numerics by value with
+/// int<->double coercion, numerics before strings, strings bytewise.
+inline int CompareCV(const CVal& l, const CVal& r) {
+  const bool ln = l.tag == CVal::kInt || l.tag == CVal::kDouble;
+  const bool rn = r.tag == CVal::kInt || r.tag == CVal::kDouble;
+  if (ln && rn) {
+    if (l.tag == CVal::kInt && r.tag == CVal::kInt) {
+      return l.i < r.i ? -1 : (l.i > r.i ? 1 : 0);
+    }
+    double a = AsDoubleCV(l);
+    double b = AsDoubleCV(r);
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (ln) return -1;
+  if (rn) return 1;
+  int c = l.s->compare(*r.s);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+/// Lowers a comparison operator to its acceptance mask: bit (c+1) is set
+/// when the operator passes for Compare() result c in {-1, 0, 1}.
+inline uint8_t MaskOf(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return 0b010;
+    case BinaryOp::kNe:
+      return 0b101;
+    case BinaryOp::kLt:
+      return 0b001;
+    case BinaryOp::kLe:
+      return 0b011;
+    case BinaryOp::kGt:
+      return 0b100;
+    case BinaryOp::kGe:
+      return 0b110;
+    default:
+      ICEBERG_CHECK(false);
+      return 0;
+  }
+}
+
+inline bool ApplyMask(uint8_t mask, int c) { return (mask >> (c + 1)) & 1; }
+
+/// Three-valued result of a fused column-vs-int64-constant comparison.
+inline CVal CmpColConstIntCV(const ExprInstr& in, const Row& row) {
+  const Value& col = row[static_cast<size_t>(in.a)];
+  switch (col.tag()) {
+    case 1: {
+      int64_t v = col.int_unchecked();
+      int c = (v > in.imm) - (v < in.imm);
+      return BoolCV(ApplyMask(in.cmask, c));
+    }
+    case 2: {
+      double v = col.double_unchecked();
+      double b = static_cast<double>(in.imm);
+      int c = (v > b) - (v < b);
+      return BoolCV(ApplyMask(in.cmask, c));
+    }
+    case 3:
+      // Strings order after numerics (Value::Compare).
+      return BoolCV(ApplyMask(in.cmask, 1));
+    default:
+      return NullCV();
+  }
+}
+
+/// Three-valued result of a fused column-vs-column comparison.
+inline CVal CmpColColCV(const ExprInstr& in, const Row& row) {
+  const Value& lv = row[static_cast<size_t>(in.a)];
+  const Value& rv = row[static_cast<size_t>(in.b)];
+  // Int-int is the dominant residual shape; compare branchlessly.
+  if (lv.tag() == 1 && rv.tag() == 1) {
+    int64_t a = lv.int_unchecked();
+    int64_t b = rv.int_unchecked();
+    return BoolCV(ApplyMask(in.cmask, (a > b) - (a < b)));
+  }
+  const CVal l = FromValue(lv);
+  const CVal r = FromValue(rv);
+  if (l.tag == CVal::kNull || r.tag == CVal::kNull) return NullCV();
+  return BoolCV(ApplyMask(in.cmask, CompareCV(l, r)));
+}
+
+/// Kleene combine of the not-short-circuited AND case: definite false
+/// dominates NULL.
+inline CVal AndCombineCV(const CVal& l, const CVal& r) {
+  if (r.tag != CVal::kNull && !Truthy(r)) return BoolCV(false);
+  if (l.tag == CVal::kNull || r.tag == CVal::kNull) return NullCV();
+  return BoolCV(true);
+}
+
+inline CVal OrCombineCV(const CVal& l, const CVal& r) {
+  if (r.tag != CVal::kNull && Truthy(r)) return BoolCV(true);
+  if (l.tag == CVal::kNull || r.tag == CVal::kNull) return NullCV();
+  return BoolCV(false);
+}
+
+/// Arithmetic with the interpreter's coercions: NULL (or the string
+/// carve-out) yields NULL, int op int stays int, anything else promotes to
+/// double; division is always double and yields NULL on a zero divisor.
+inline CVal ArithCV(BinaryOp op, const CVal& l, const CVal& r) {
+  if (l.tag == CVal::kNull || r.tag == CVal::kNull || l.tag == CVal::kStr ||
+      r.tag == CVal::kStr) {
+    return NullCV();
+  }
+  switch (op) {
+    case BinaryOp::kAdd:
+      if (l.tag == CVal::kInt && r.tag == CVal::kInt) return IntCV(l.i + r.i);
+      return DoubleCV(AsDoubleCV(l) + AsDoubleCV(r));
+    case BinaryOp::kSub:
+      if (l.tag == CVal::kInt && r.tag == CVal::kInt) return IntCV(l.i - r.i);
+      return DoubleCV(AsDoubleCV(l) - AsDoubleCV(r));
+    case BinaryOp::kMul:
+      if (l.tag == CVal::kInt && r.tag == CVal::kInt) return IntCV(l.i * r.i);
+      return DoubleCV(AsDoubleCV(l) * AsDoubleCV(r));
+    case BinaryOp::kDiv: {
+      double d = AsDoubleCV(r);
+      return d == 0.0 ? NullCV() : DoubleCV(AsDoubleCV(l) / d);
+    }
+    default:
+      ICEBERG_CHECK(false);
+      return NullCV();
+  }
+}
+
+// ----- compile-time analysis ------------------------------------------------
+
+bool HasColumnOrAgg(const Expr& e) {
+  if (e.kind == ExprKind::kColumnRef || e.kind == ExprKind::kAggregate) {
+    return true;
+  }
+  for (const ExprPtr& c : e.children) {
+    if (c != nullptr && HasColumnOrAgg(*c)) return true;
+  }
+  return false;
+}
+
+/// True when the subtree can be folded by the reference interpreter without
+/// touching a row: no columns/aggregates, and no arithmetic/negation over a
+/// string literal (which would throw in Evaluate).
+bool SafeToFold(const Expr& e) {
+  if (HasColumnOrAgg(e)) return false;
+  if (e.kind == ExprKind::kBinary && !IsComparisonOp(e.bop) &&
+      e.bop != BinaryOp::kAnd && e.bop != BinaryOp::kOr) {
+    for (const ExprPtr& c : e.children) {
+      if (c->kind == ExprKind::kLiteral && c->literal.is_string()) {
+        return false;
+      }
+    }
+  }
+  if (e.kind == ExprKind::kUnary && e.uop == UnaryOp::kNeg &&
+      e.children[0]->kind == ExprKind::kLiteral &&
+      e.children[0]->literal.is_string()) {
+    return false;
+  }
+  for (const ExprPtr& c : e.children) {
+    if (c != nullptr && !SafeToFold(*c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool CompiledExprEnabled() {
+  return g_compiled_enabled.load(std::memory_order_relaxed);
+}
+
+void SetCompiledExprEnabled(bool enabled) {
+  g_compiled_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ----- compiler -------------------------------------------------------------
+
+namespace {
+
+class Compiler {
+ public:
+  void Emit(const Expr& e) {
+    // Constant folding: literal-only subtrees evaluate once at compile
+    // time (division by zero folds to NULL like the interpreter).
+    if (e.kind != ExprKind::kLiteral && SafeToFold(e)) {
+      Row empty;
+      PushConst(Evaluate(e, empty));
+      return;
+    }
+    switch (e.kind) {
+      case ExprKind::kLiteral:
+        PushConst(e.literal);
+        return;
+      case ExprKind::kColumnRef: {
+        ICEBERG_DCHECK(e.resolved_index >= 0);
+        ExprInstr in;
+        in.op = ExprOp::kPushColumn;
+        in.a = e.resolved_index;
+        Push(in, +1);
+        return;
+      }
+      case ExprKind::kAggregate: {
+        ExprInstr in;
+        in.op = ExprOp::kPushAgg;
+        in.agg = &e;
+        Push(in, +1);
+        return;
+      }
+      case ExprKind::kUnary: {
+        Emit(*e.children[0]);
+        ExprInstr in;
+        in.op = e.uop == UnaryOp::kNot ? ExprOp::kNot : ExprOp::kNeg;
+        Push(in, 0);
+        return;
+      }
+      case ExprKind::kBinary:
+        EmitBinary(e);
+        return;
+    }
+  }
+
+  std::vector<ExprInstr> code;
+  std::vector<Value> consts;
+  size_t max_depth = 0;
+  size_t fused = 0;
+
+ private:
+  void Push(ExprInstr in, int delta) {
+    code.push_back(in);
+    depth_ += delta;
+    if (static_cast<size_t>(depth_) > max_depth) {
+      max_depth = static_cast<size_t>(depth_);
+    }
+  }
+
+  void PushConst(Value v) {
+    // Pool dedup keeps programs with repeated literals small.
+    for (size_t i = 0; i < consts.size(); ++i) {
+      if (consts[i].type() == v.type() &&
+          (consts[i].is_null() || consts[i].Compare(v) == 0)) {
+        ExprInstr in;
+        in.op = ExprOp::kPushConst;
+        in.a = static_cast<int32_t>(i);
+        Push(in, +1);
+        return;
+      }
+    }
+    consts.push_back(std::move(v));
+    ExprInstr in;
+    in.op = ExprOp::kPushConst;
+    in.a = static_cast<int32_t>(consts.size() - 1);
+    Push(in, +1);
+  }
+
+  void EmitBinary(const Expr& e) {
+    const Expr& l = *e.children[0];
+    const Expr& r = *e.children[1];
+    if (e.bop == BinaryOp::kAnd || e.bop == BinaryOp::kOr) {
+      // Short-circuit block: [L] JumpIfDecided [R] Combine. The jump
+      // canonicalizes the decided value (FALSE for AND, TRUE for OR) and
+      // skips the right side, exactly matching the interpreter's order of
+      // evaluation.
+      Emit(l);
+      size_t jump_at = code.size();
+      ExprInstr j;
+      j.op = e.bop == BinaryOp::kAnd ? ExprOp::kAndJump : ExprOp::kOrJump;
+      Push(j, 0);
+      Emit(r);
+      ExprInstr c;
+      c.op = e.bop == BinaryOp::kAnd ? ExprOp::kAndCombine
+                                     : ExprOp::kOrCombine;
+      Push(c, -1);
+      code[jump_at].a = static_cast<int32_t>(code.size());
+      return;
+    }
+    if (IsComparisonOp(e.bop)) {
+      // Fused fast paths for the hot shapes of join residuals: column vs
+      // int64 constant and column vs column.
+      if (l.kind == ExprKind::kColumnRef && r.kind == ExprKind::kLiteral &&
+          r.literal.is_int()) {
+        ExprInstr in;
+        in.op = ExprOp::kCmpColConstInt;
+        in.bop = e.bop;
+        in.cmask = MaskOf(e.bop);
+        in.a = l.resolved_index;
+        in.imm = r.literal.AsInt();
+        Push(in, +1);
+        ++fused;
+        return;
+      }
+      if (r.kind == ExprKind::kColumnRef && l.kind == ExprKind::kLiteral &&
+          l.literal.is_int()) {
+        ExprInstr in;
+        in.op = ExprOp::kCmpColConstInt;
+        in.bop = FlipComparison(e.bop);
+        in.cmask = MaskOf(in.bop);
+        in.a = r.resolved_index;
+        in.imm = l.literal.AsInt();
+        Push(in, +1);
+        ++fused;
+        return;
+      }
+      if (l.kind == ExprKind::kColumnRef && r.kind == ExprKind::kColumnRef) {
+        ExprInstr in;
+        in.op = ExprOp::kCmpColCol;
+        in.bop = e.bop;
+        in.cmask = MaskOf(e.bop);
+        in.a = l.resolved_index;
+        in.b = r.resolved_index;
+        Push(in, +1);
+        ++fused;
+        return;
+      }
+      Emit(l);
+      Emit(r);
+      ExprInstr in;
+      in.op = ExprOp::kCompare;
+      in.bop = e.bop;
+      in.cmask = MaskOf(e.bop);
+      Push(in, -1);
+      return;
+    }
+    Emit(l);
+    Emit(r);
+    ExprInstr in;
+    in.bop = e.bop;  // ArithCV dispatches on this in the merged super-ops
+    switch (e.bop) {
+      case BinaryOp::kAdd:
+        in.op = ExprOp::kAdd;
+        break;
+      case BinaryOp::kSub:
+        in.op = ExprOp::kSub;
+        break;
+      case BinaryOp::kMul:
+        in.op = ExprOp::kMul;
+        break;
+      case BinaryOp::kDiv:
+        in.op = ExprOp::kDiv;
+        break;
+      default:
+        ICEBERG_CHECK(false);
+    }
+    Push(in, -1);
+  }
+
+  int depth_ = 0;
+};
+
+/// Merges adjacent instructions into super-ops: fused comparisons absorb a
+/// following Kleene combine, and pushes feeding arithmetic or a general
+/// comparison collapse into in-place ops. A window is only merged when no
+/// jump lands strictly inside it (jump targets at the window start re-run
+/// the whole merged op, which is the original semantics); targets are then
+/// remapped onto the rewritten stream. One left-to-right pass suffices for
+/// the left-leaning chains the parser produces: a merged op is itself the
+/// "top" producer for the next window.
+void PeepholeOptimize(std::vector<ExprInstr>* code) {
+  auto is_arith = [](const ExprInstr& in) {
+    return in.op == ExprOp::kAdd || in.op == ExprOp::kSub ||
+           in.op == ExprOp::kMul || in.op == ExprOp::kDiv;
+  };
+  auto is_jump = [](const ExprInstr& in) {
+    return in.op == ExprOp::kAndJump || in.op == ExprOp::kOrJump;
+  };
+  const size_t n = code->size();
+  std::vector<char> is_target(n + 1, 0);
+  for (const ExprInstr& in : *code) {
+    if (is_jump(in)) is_target[static_cast<size_t>(in.a)] = 1;
+  }
+  std::vector<ExprInstr> out;
+  out.reserve(n);
+  std::vector<int32_t> remap(n + 1, -1);
+  size_t i = 0;
+  while (i < n) {
+    remap[i] = static_cast<int32_t>(out.size());
+    const ExprInstr& a = (*code)[i];
+    if (i + 2 < n && !is_target[i + 1] && !is_target[i + 2] &&
+        a.op == ExprOp::kPushColumn &&
+        (*code)[i + 1].op == ExprOp::kPushColumn &&
+        is_arith((*code)[i + 2])) {
+      ExprInstr m = (*code)[i + 2];
+      m.op = ExprOp::kArithColCol;
+      m.a = a.a;
+      m.b = (*code)[i + 1].a;
+      out.push_back(m);
+      i += 3;
+      continue;
+    }
+    if (i + 1 < n && !is_target[i + 1]) {
+      const ExprInstr& b = (*code)[i + 1];
+      ExprInstr m;
+      bool merged = true;
+      if (a.op == ExprOp::kPushColumn && is_arith(b)) {
+        m = b;
+        m.op = ExprOp::kArithTopCol;
+        m.a = a.a;
+      } else if (a.op == ExprOp::kPushConst && is_arith(b)) {
+        m = b;
+        m.op = ExprOp::kArithTopConst;
+        m.a = a.a;
+      } else if (a.op == ExprOp::kPushConst && b.op == ExprOp::kCompare) {
+        m = b;
+        m.op = ExprOp::kCmpTopConst;
+        m.a = a.a;
+      } else if (a.op == ExprOp::kPushColumn && b.op == ExprOp::kCompare) {
+        m = b;
+        m.op = ExprOp::kCmpTopCol;
+        m.a = a.a;
+      } else if (a.op == ExprOp::kCmpColConstInt &&
+                 (b.op == ExprOp::kAndCombine ||
+                  b.op == ExprOp::kOrCombine)) {
+        m = a;
+        m.op = b.op == ExprOp::kAndCombine ? ExprOp::kAndCombineCmpCI
+                                           : ExprOp::kOrCombineCmpCI;
+      } else if (a.op == ExprOp::kCmpColCol &&
+                 (b.op == ExprOp::kAndCombine ||
+                  b.op == ExprOp::kOrCombine)) {
+        m = a;
+        m.op = b.op == ExprOp::kAndCombine ? ExprOp::kAndCombineCmpCC
+                                           : ExprOp::kOrCombineCmpCC;
+      } else {
+        merged = false;
+      }
+      if (merged) {
+        out.push_back(m);
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(a);
+    ++i;
+  }
+  remap[n] = static_cast<int32_t>(out.size());
+  for (ExprInstr& in : out) {
+    if (is_jump(in)) in.a = remap[static_cast<size_t>(in.a)];
+  }
+  *code = std::move(out);
+}
+
+}  // namespace
+
+CompiledExpr CompiledExpr::Compile(const Expr& e) {
+  Compiler c;
+  c.Emit(e);
+  PeepholeOptimize(&c.code);
+  CompiledExpr prog;
+  prog.code_ = std::move(c.code);
+  prog.consts_ = std::move(c.consts);
+  prog.max_stack_ = c.max_depth;
+  prog.fused_ops_ = c.fused;
+  prog.const_cvals_.reserve(prog.consts_.size());
+  for (const Value& v : prog.consts_) {
+    prog.const_cvals_.push_back(FromValue(v));  // string ptrs now stable
+  }
+  return prog;
+}
+
+const CVal* CompiledExpr::Execute(const Row& row, EvalScratch* scratch,
+                                  const AggValueMap* agg_values) const {
+  if (scratch->stack.size() < max_stack_) scratch->stack.resize(max_stack_);
+  CVal* stack = scratch->stack.data();
+  size_t sp = 0;  // next free slot
+  const size_t n = code_.size();
+  for (size_t pc = 0; pc < n; ++pc) {
+    const ExprInstr& in = code_[pc];
+    switch (in.op) {
+      case ExprOp::kPushConst:
+        stack[sp++] = const_cvals_[static_cast<size_t>(in.a)];
+        break;
+      case ExprOp::kPushColumn: {
+        ICEBERG_DCHECK(static_cast<size_t>(in.a) < row.size());
+        stack[sp++] = FromValue(row[static_cast<size_t>(in.a)]);
+        break;
+      }
+      case ExprOp::kPushAgg: {
+        ICEBERG_CHECK(agg_values != nullptr);
+        auto it = agg_values->find(in.agg);
+        ICEBERG_CHECK(it != agg_values->end());
+        stack[sp++] = FromValue(it->second);
+        break;
+      }
+      case ExprOp::kCompare: {
+        const CVal r = stack[--sp];
+        CVal& l = stack[sp - 1];
+        if (l.tag == CVal::kNull || r.tag == CVal::kNull) {
+          l = NullCV();
+        } else {
+          l = BoolCV(ApplyMask(in.cmask, CompareCV(l, r)));
+        }
+        break;
+      }
+      case ExprOp::kAdd:
+      case ExprOp::kSub:
+      case ExprOp::kMul:
+      case ExprOp::kDiv: {
+        const CVal r = stack[--sp];
+        CVal& l = stack[sp - 1];
+        l = ArithCV(in.bop, l, r);
+        break;
+      }
+      case ExprOp::kNot: {
+        CVal& v = stack[sp - 1];
+        v = v.tag == CVal::kNull ? NullCV() : BoolCV(!Truthy(v));
+        break;
+      }
+      case ExprOp::kNeg: {
+        CVal& v = stack[sp - 1];
+        if (v.tag == CVal::kInt) {
+          v = IntCV(-v.i);
+        } else if (v.tag == CVal::kDouble) {
+          v = DoubleCV(-v.d);
+        } else {
+          v = NullCV();
+        }
+        break;
+      }
+      case ExprOp::kAndJump: {
+        CVal& l = stack[sp - 1];
+        if (l.tag != CVal::kNull && !Truthy(l)) {
+          l = BoolCV(false);
+          pc = static_cast<size_t>(in.a) - 1;
+        }
+        break;
+      }
+      case ExprOp::kOrJump: {
+        CVal& l = stack[sp - 1];
+        if (l.tag != CVal::kNull && Truthy(l)) {
+          l = BoolCV(true);
+          pc = static_cast<size_t>(in.a) - 1;
+        }
+        break;
+      }
+      case ExprOp::kAndCombine: {
+        const CVal r = stack[--sp];
+        CVal& l = stack[sp - 1];
+        l = AndCombineCV(l, r);
+        break;
+      }
+      case ExprOp::kOrCombine: {
+        const CVal r = stack[--sp];
+        CVal& l = stack[sp - 1];
+        l = OrCombineCV(l, r);
+        break;
+      }
+      case ExprOp::kCmpColConstInt:
+        stack[sp++] = CmpColConstIntCV(in, row);
+        break;
+      case ExprOp::kCmpColCol:
+        stack[sp++] = CmpColColCV(in, row);
+        break;
+      case ExprOp::kArithColCol: {
+        const CVal l = FromValue(row[static_cast<size_t>(in.a)]);
+        const CVal r = FromValue(row[static_cast<size_t>(in.b)]);
+        stack[sp++] = ArithCV(in.bop, l, r);
+        break;
+      }
+      case ExprOp::kArithTopCol: {
+        CVal& l = stack[sp - 1];
+        l = ArithCV(in.bop, l, FromValue(row[static_cast<size_t>(in.a)]));
+        break;
+      }
+      case ExprOp::kArithTopConst: {
+        CVal& l = stack[sp - 1];
+        l = ArithCV(in.bop, l, const_cvals_[static_cast<size_t>(in.a)]);
+        break;
+      }
+      case ExprOp::kCmpTopConst: {
+        CVal& l = stack[sp - 1];
+        const CVal& r = const_cvals_[static_cast<size_t>(in.a)];
+        if (l.tag == CVal::kInt && r.tag == CVal::kInt) {
+          l = BoolCV(ApplyMask(in.cmask, (l.i > r.i) - (l.i < r.i)));
+        } else if (l.tag == CVal::kNull || r.tag == CVal::kNull) {
+          l = NullCV();
+        } else {
+          l = BoolCV(ApplyMask(in.cmask, CompareCV(l, r)));
+        }
+        break;
+      }
+      case ExprOp::kCmpTopCol: {
+        CVal& l = stack[sp - 1];
+        const CVal r = FromValue(row[static_cast<size_t>(in.a)]);
+        if (l.tag == CVal::kNull || r.tag == CVal::kNull) {
+          l = NullCV();
+        } else {
+          l = BoolCV(ApplyMask(in.cmask, CompareCV(l, r)));
+        }
+        break;
+      }
+      case ExprOp::kAndCombineCmpCI: {
+        CVal& l = stack[sp - 1];
+        l = AndCombineCV(l, CmpColConstIntCV(in, row));
+        break;
+      }
+      case ExprOp::kOrCombineCmpCI: {
+        CVal& l = stack[sp - 1];
+        l = OrCombineCV(l, CmpColConstIntCV(in, row));
+        break;
+      }
+      case ExprOp::kAndCombineCmpCC: {
+        CVal& l = stack[sp - 1];
+        l = AndCombineCV(l, CmpColColCV(in, row));
+        break;
+      }
+      case ExprOp::kOrCombineCmpCC: {
+        CVal& l = stack[sp - 1];
+        l = OrCombineCV(l, CmpColColCV(in, row));
+        break;
+      }
+    }
+  }
+  ICEBERG_DCHECK(sp == 1);
+  return &stack[0];
+}
+
+Value CompiledExpr::Run(const Row& row, EvalScratch* scratch,
+                        const AggValueMap* agg_values) const {
+  ICEBERG_DCHECK(valid());
+  return ToValue(*Execute(row, scratch, agg_values));
+}
+
+bool CompiledExpr::RunPredicate(const Row& row, EvalScratch* scratch,
+                                const AggValueMap* agg_values) const {
+  ICEBERG_DCHECK(valid());
+  return Truthy(*Execute(row, scratch, agg_values));
+}
+
+std::string CompiledExpr::Summary() const {
+  std::string out = std::to_string(code_.size()) + " ops";
+  if (fused_ops_ > 0) out += ", " + std::to_string(fused_ops_) + " fused";
+  if (!consts_.empty()) {
+    out += ", " + std::to_string(consts_.size()) + " const";
+  }
+  return out;
+}
+
+std::vector<CompiledExpr> CompileAll(const std::vector<ExprPtr>& exprs) {
+  std::vector<CompiledExpr> progs;
+  if (!CompiledExprEnabled()) return progs;
+  progs.reserve(exprs.size());
+  for (const ExprPtr& e : exprs) progs.push_back(CompiledExpr::Compile(*e));
+  return progs;
+}
+
+}  // namespace iceberg

@@ -1,0 +1,142 @@
+#ifndef SMARTICEBERG_EXPR_COMPILED_H_
+#define SMARTICEBERG_EXPR_COMPILED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/expr/evaluator.h"
+#include "src/expr/expr.h"
+
+namespace iceberg {
+
+/// Process-wide switch for the compiled expression engine and the packed
+/// key codecs built on the same plan-time decision. Default on; the
+/// interpreter fallback (`Evaluate`) stays byte-identical and is used for
+/// A/B measurement (bench/micro_eval) and as the reference in the
+/// differential tests. Checked at plan/compile time, so flips take effect
+/// for subsequently planned queries only.
+bool CompiledExprEnabled();
+void SetCompiledExprEnabled(bool enabled);
+
+/// Opcode of the flat postfix ISA. Programs operate on a stack of CVal
+/// slots (tagged scalars; strings are borrowed pointers, so no opcode ever
+/// allocates). See DESIGN.md section 4e for the full ISA contract.
+enum class ExprOp : uint8_t {
+  kPushConst,   // a = constant-pool index
+  kPushColumn,  // a = flat row slot
+  kPushAgg,     // agg = aggregate node; looked up in the AggValueMap
+  kCompare,     // bop; pops r, l; pushes bool / NULL (three-valued)
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kNot,
+  kNeg,
+  kAndJump,     // a = target; on definite-false canonicalizes to FALSE and jumps
+  kOrJump,      // a = target; on definite-true canonicalizes to TRUE and jumps
+  kAndCombine,  // pops r, l; Kleene AND of the not-short-circuited case
+  kOrCombine,
+  // Fused fast paths (single instruction, no intermediate pushes):
+  kCmpColConstInt,  // cmask; a = slot, imm = int64 constant
+  kCmpColCol,       // cmask; a = left slot, b = right slot
+  // Peephole super-ops (see PeepholeOptimize in compiled.cc). Arithmetic
+  // ops carry the arithmetic BinaryOp in bop:
+  kArithColCol,    // push row[a] (bop) row[b]
+  kArithTopCol,    // top = top (bop) row[a]
+  kArithTopConst,  // top = top (bop) consts[a]
+  kCmpTopConst,    // top = compare(top, consts[a]) under cmask
+  kCmpTopCol,      // top = compare(top, row[a]) under cmask
+  // Fused comparison immediately followed by a Kleene combine with the
+  // value below it on the stack (the short-circuit block's epilogue):
+  kAndCombineCmpCI,  // top = top AND cmp(row[a], imm)
+  kOrCombineCmpCI,
+  kAndCombineCmpCC,  // top = top AND cmp(row[a], row[b])
+  kOrCombineCmpCC,
+};
+
+struct ExprInstr {
+  ExprOp op = ExprOp::kPushConst;
+  BinaryOp bop = BinaryOp::kEq;
+  // Comparison acceptance mask: bit (c+1) set when the instruction's
+  // comparison passes for Compare() result c in {-1, 0, 1}. Precomputed at
+  // compile time so execution never switches on the comparison operator.
+  uint8_t cmask = 0;
+  int32_t a = 0;
+  int32_t b = 0;
+  int64_t imm = 0;
+  const Expr* agg = nullptr;
+};
+
+/// One stack slot of the compiled evaluator: a tagged scalar. Strings are
+/// borrowed (pointers into the evaluated row, the constant pool, or the
+/// aggregate value map), all of which outlive the Run call, so execution
+/// never touches the heap.
+struct CVal {
+  enum Tag : uint8_t { kNull, kInt, kDouble, kStr };
+  Tag tag = kNull;
+  union {
+    int64_t i;
+    double d;
+    const std::string* s;
+  };
+};
+
+/// Reusable evaluation stack. One per execution context (worker thread or
+/// operator instance); Run never allocates once the stack has grown to the
+/// program's max depth.
+struct EvalScratch {
+  std::vector<CVal> stack;
+};
+
+/// A bound expression compiled once per query into a flat postfix program:
+/// typed opcodes over resolved column slots, constants folded at compile
+/// time, AND/OR lowered to short-circuit jump blocks, and int64-vs-constant
+/// comparisons fused into single instructions. Run() is const and
+/// thread-safe: all mutable state lives in the caller's EvalScratch.
+///
+/// Semantics are bit-identical to the reference interpreter `Evaluate`
+/// (enforced by tests/compiled_expr_test.cc) with one carve-out: arithmetic
+/// or negation over string operands, where the interpreter throws
+/// bad_variant_access, yields NULL here. Well-typed queries never hit it.
+class CompiledExpr {
+ public:
+  CompiledExpr() = default;  // invalid; valid() is false
+
+  /// Compiles a bound expression (column refs must carry resolved_index).
+  static CompiledExpr Compile(const Expr& e);
+
+  bool valid() const { return !code_.empty(); }
+  size_t num_ops() const { return code_.size(); }
+
+  /// Evaluates against a row; exact Evaluate() semantics.
+  Value Run(const Row& row, EvalScratch* scratch,
+            const AggValueMap* agg_values = nullptr) const;
+
+  /// Predicate fast path: truthiness of the result (NULL is false) without
+  /// materializing a Value.
+  bool RunPredicate(const Row& row, EvalScratch* scratch,
+                    const AggValueMap* agg_values = nullptr) const;
+
+  /// EXPLAIN summary, e.g. "5 ops, 2 fused, 1 const".
+  std::string Summary() const;
+
+ private:
+  const CVal* Execute(const Row& row, EvalScratch* scratch,
+                      const AggValueMap* agg_values) const;
+
+  std::vector<ExprInstr> code_;
+  std::vector<Value> consts_;
+  std::vector<CVal> const_cvals_;  // consts_ pre-lowered to stack slots
+  size_t max_stack_ = 0;
+  size_t fused_ops_ = 0;
+};
+
+/// Compiles every expression of `exprs`; returns an empty vector when the
+/// compiled engine is disabled (callers then fall back to Evaluate).
+std::vector<CompiledExpr> CompileAll(const std::vector<ExprPtr>& exprs);
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_EXPR_COMPILED_H_

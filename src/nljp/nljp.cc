@@ -233,6 +233,43 @@ Result<std::unique_ptr<NljpOperator>> NljpOperator::Create(
       op->prune_eq_positions_ = op->subsumption_->EqualityPositions();
     }
   }
+
+  // ---- Compiled programs + packed key codecs (per-binding hot path) ----
+  if (CompiledExprEnabled()) {
+    op->gr_progs_ = CompileAll(op->inner_gr_exprs_);
+    op->slot_arg_progs_.reserve(op->slot_args_.size());
+    for (const ExprPtr& arg : op->slot_args_) {
+      if (arg == nullptr) {
+        op->slot_arg_progs_.emplace_back();  // COUNT(*)
+      } else {
+        op->slot_arg_progs_.push_back(CompiledExpr::Compile(*arg));
+      }
+    }
+    op->phi_prog_ = CompiledExpr::Compile(*op->inner_phi_);
+    op->group_progs_ = CompileAll(block.group_by);
+
+    std::vector<DataType> binding_types;
+    binding_types.reserve(op->view_.jl_offsets.size());
+    for (size_t off : op->view_.jl_offsets) {
+      binding_types.push_back(types_by_offset[off]);
+    }
+    op->binding_codec_ = KeyCodec::ForTypes(binding_types);
+    if (op->prune_enabled_) {
+      std::vector<DataType> eq_types;
+      eq_types.reserve(op->prune_eq_positions_.size());
+      for (size_t pos : op->prune_eq_positions_) {
+        eq_types.push_back(binding_types[pos]);
+      }
+      op->eq_codec_ = KeyCodec::ForTypes(std::move(eq_types));
+    }
+    std::vector<DataType> inner_types;
+    for (const BoundTableRef& t : op->inner_block_.tables) {
+      for (const Column& c : t.table->schema().columns()) {
+        inner_types.push_back(c.type);
+      }
+    }
+    op->gr_codec_ = CodecForExprs(op->inner_gr_exprs_, inner_types);
+  }
   return op;
 }
 
@@ -248,36 +285,73 @@ Result<NljpOperator::CacheEntry> NljpOperator::EvaluateInnerWith(
     size_t* pairs_examined) const {
   param->UpdateRow(0, binding);
 
-  // Partition joining R-tuples by G_R, accumulating every aggregate.
+  // Partition joining R-tuples by G_R, accumulating every aggregate. With
+  // all-numeric G_R the map is keyed by fixed-width PackedKeys (memcmp
+  // equality, word-mix hash); the materialized Row key moves into the state
+  // because the cache payload needs it.
   struct PartitionState {
+    Row gr_key;
     Row representative;
     std::vector<Accumulator> accumulators;  // one per slot
   };
   std::unordered_map<Row, PartitionState, RowHash, RowEq> partitions;
+  std::unordered_map<PackedKey, PartitionState, PackedKeyHash, PackedKeyEq>
+      packed_partitions;
+  const bool packed = gr_codec_.usable();
+  // Per-call scratch: EvaluateInnerWith runs concurrently (one call per
+  // worker), so the evaluation stack and reusable key row live here.
+  EvalScratch eval;
+  Row key_scratch;
+  key_scratch.reserve(inner_gr_exprs_.size());
+  PackedKey packed_scratch;
   ExecStats inner_stats;
+  auto make_state = [&](const Row& joined) {
+    PartitionState state;
+    state.gr_key = key_scratch;
+    state.representative = joined;
+    state.accumulators.reserve(slot_funcs_.size());
+    for (AggFunc func : slot_funcs_) {
+      state.accumulators.emplace_back(func);
+    }
+    return state;
+  };
   Status run_status = pipeline.Run(
       0, 1,
       [&](const Row& joined) {
-        Row key;
-        key.reserve(inner_gr_exprs_.size());
-        for (const ExprPtr& g : inner_gr_exprs_) {
-          key.push_back(Evaluate(*g, joined));
-        }
-        auto it = partitions.find(key);
-        if (it == partitions.end()) {
-          PartitionState state;
-          state.representative = joined;
-          for (AggFunc func : slot_funcs_) {
-            state.accumulators.emplace_back(func);
+        key_scratch.clear();
+        for (size_t i = 0; i < inner_gr_exprs_.size(); ++i) {
+          if (i < gr_progs_.size() && gr_progs_[i].valid()) {
+            key_scratch.push_back(gr_progs_[i].Run(joined, &eval));
+          } else {
+            key_scratch.push_back(Evaluate(*inner_gr_exprs_[i], joined));
           }
-          it = partitions.emplace(std::move(key), std::move(state)).first;
         }
-        PartitionState& state = it->second;
+        PartitionState* state;
+        if (packed) {
+          gr_codec_.Encode(key_scratch.data(), key_scratch.size(),
+                           &packed_scratch);
+          auto it = packed_partitions.find(packed_scratch);
+          if (it == packed_partitions.end()) {
+            it = packed_partitions.emplace(packed_scratch, make_state(joined))
+                     .first;
+          }
+          state = &it->second;
+        } else {
+          auto it = partitions.find(key_scratch);
+          if (it == partitions.end()) {
+            it = partitions.emplace(key_scratch, make_state(joined)).first;
+          }
+          state = &it->second;
+        }
         for (size_t i = 0; i < slot_funcs_.size(); ++i) {
           if (slot_args_[i] == nullptr) {
-            state.accumulators[i].Add(Value::Null());  // COUNT(*)
+            state->accumulators[i].Add(Value::Null());  // COUNT(*)
+          } else if (i < slot_arg_progs_.size() &&
+                     slot_arg_progs_[i].valid()) {
+            state->accumulators[i].Add(
+                slot_arg_progs_[i].Run(joined, &eval));
           } else {
-            state.accumulators[i].Add(Evaluate(*slot_args_[i], joined));
+            state->accumulators[i].Add(Evaluate(*slot_args_[i], joined));
           }
         }
       },
@@ -290,7 +364,7 @@ Result<NljpOperator::CacheEntry> NljpOperator::EvaluateInnerWith(
   CacheEntry entry;
   entry.binding = std::move(binding);
   entry.unpromising = true;
-  if (partitions.empty()) {
+  if (partitions.empty() && packed_partitions.empty()) {
     // No joining R-tuple: the binding contributes no candidate LR-group.
     // Whether it may serve as a PRUNING witness depends on the direction:
     //  - monotone Phi: any binding subsumed by this one (R|x<l subset of
@@ -304,16 +378,19 @@ Result<NljpOperator::CacheEntry> NljpOperator::EvaluateInnerWith(
     entry.unpromising = monotonicity_ == Monotonicity::kMonotone;
     return entry;
   }
-  for (auto& [key, state] : partitions) {
+  auto flush = [&](PartitionState& state) {
     PartitionPayload payload;
-    payload.gr_key = key;
+    payload.gr_key = std::move(state.gr_key);
     AggValueMap phi_values;
     for (size_t i = 0; i < inner_phi_aggs_.size(); ++i) {
       phi_values[inner_phi_aggs_[i].get()] =
           state.accumulators[agg_slot_[i]].Final();
     }
     payload.phi_pass =
-        EvaluatePredicate(*inner_phi_, state.representative, &phi_values);
+        phi_prog_.valid()
+            ? phi_prog_.RunPredicate(state.representative, &eval, &phi_values)
+            : EvaluatePredicate(*inner_phi_, state.representative,
+                                &phi_values);
     if (payload.phi_pass) entry.unpromising = false;
     if (algebraic_mode_) {
       for (const Accumulator& acc : state.accumulators) {
@@ -325,7 +402,9 @@ Result<NljpOperator::CacheEntry> NljpOperator::EvaluateInnerWith(
       }
     }
     entry.partitions.push_back(std::move(payload));
-  }
+  };
+  for (auto& [key, state] : partitions) flush(state);
+  for (auto& [key, state] : packed_partitions) flush(state);
   return entry;
 }
 
@@ -339,7 +418,8 @@ Row NljpOperator::BindingOf(const Row& l_row) const {
 void NljpOperator::ContributeTo(GroupMap* groups, const Row& l_row,
                                 const CacheEntry& entry,
                                 QueryGovernor* governor,
-                                size_t* mandatory_bytes) const {
+                                size_t* mandatory_bytes,
+                                EvalScratch* scratch) const {
   const QueryBlock& block = *block_;
   const size_t total_width = block.TotalWidth();
   for (const PartitionPayload& payload : entry.partitions) {
@@ -353,8 +433,12 @@ void NljpOperator::ContributeTo(GroupMap* groups, const Row& l_row,
     }
     Row group_key;
     group_key.reserve(block.group_by.size());
-    for (const ExprPtr& g : block.group_by) {
-      group_key.push_back(Evaluate(*g, synthetic));
+    for (size_t i = 0; i < block.group_by.size(); ++i) {
+      if (i < group_progs_.size() && group_progs_[i].valid()) {
+        group_key.push_back(group_progs_[i].Run(synthetic, scratch));
+      } else {
+        group_key.push_back(Evaluate(*block.group_by[i], synthetic));
+      }
     }
     auto it = groups->find(group_key);
     if (it == groups->end()) {
@@ -489,16 +573,32 @@ Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
   std::vector<size_t> free_slots;
   size_t shed_entries = 0;
   size_t bound_evictions = 0;
+  // The memo index (CI) and the unpromising-witness buckets are keyed by
+  // PackedKeys when the binding / equality columns are all numeric; the
+  // Row-keyed maps are the string fallback. Slot payloads always keep the
+  // Row binding (subsumption tests and witnesses need the Values).
+  const bool packed_binding = binding_codec_.usable();
+  const bool packed_eq = eq_codec_.usable();
   std::unordered_map<Row, size_t, RowHash, RowEq> cache_by_binding;  // CI
+  std::unordered_map<PackedKey, size_t, PackedKeyHash, PackedKeyEq>
+      cache_by_binding_packed;
   // Unpromising entries, bucketed by the binding positions on which p>=
   // requires equality (a lossless accelerator for Q_C; see
   // SubsumptionTest::EqualityPositions).
   std::unordered_map<Row, std::vector<size_t>, RowHash, RowEq>
       unpromising_buckets;
+  std::unordered_map<PackedKey, std::vector<size_t>, PackedKeyHash,
+                     PackedKeyEq>
+      unpromising_buckets_packed;
   auto eq_key_of = [&](const Row& binding) {
     Row key;
     key.reserve(prune_eq_positions_.size());
     for (size_t pos : prune_eq_positions_) key.push_back(binding[pos]);
+    return key;
+  };
+  auto packed_eq_key_of = [&](const Row& binding) {
+    PackedKey key;
+    eq_codec_.EncodeAt(binding, prune_eq_positions_, &key);
     return key;
   };
 
@@ -509,10 +609,21 @@ Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
     size_t id = fifo.front();
     fifo.pop_front();
     Slot& slot = cache[id];
-    if (memo_enabled_) cache_by_binding.erase(slot.entry.binding);
+    if (memo_enabled_) {
+      if (packed_binding) {
+        PackedKey key;
+        binding_codec_.EncodeRow(slot.entry.binding, &key);
+        cache_by_binding_packed.erase(key);
+      } else {
+        cache_by_binding.erase(slot.entry.binding);
+      }
+    }
     if (prune_enabled_ && slot.entry.unpromising) {
       std::vector<size_t>& bucket =
-          unpromising_buckets[eq_key_of(slot.entry.binding)];
+          packed_eq
+              ? unpromising_buckets_packed[packed_eq_key_of(
+                    slot.entry.binding)]
+              : unpromising_buckets[eq_key_of(slot.entry.binding)];
       bucket.erase(std::remove(bucket.begin(), bucket.end(), id),
                    bucket.end());
     }
@@ -561,6 +672,13 @@ Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
 
   auto memo_lookup = [&](const Row& binding) -> const CacheEntry* {
     if (options_.cache_index) {
+      if (packed_binding) {
+        PackedKey key;
+        binding_codec_.EncodeRow(binding, &key);
+        auto it = cache_by_binding_packed.find(key);
+        return it == cache_by_binding_packed.end() ? nullptr
+                                                   : &cache[it->second].entry;
+      }
       auto it = cache_by_binding.find(binding);
       return it == cache_by_binding.end() ? nullptr
                                           : &cache[it->second].entry;
@@ -574,9 +692,17 @@ Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
   };
 
   auto prune_check = [&](const Row& binding) -> bool {
-    auto bucket = unpromising_buckets.find(eq_key_of(binding));
-    if (bucket == unpromising_buckets.end()) return false;
-    for (size_t id : bucket->second) {
+    const std::vector<size_t>* ids = nullptr;
+    if (packed_eq) {
+      auto bucket = unpromising_buckets_packed.find(packed_eq_key_of(binding));
+      if (bucket == unpromising_buckets_packed.end()) return false;
+      ids = &bucket->second;
+    } else {
+      auto bucket = unpromising_buckets.find(eq_key_of(binding));
+      if (bucket == unpromising_buckets.end()) return false;
+      ids = &bucket->second;
+    }
+    for (size_t id : *ids) {
       if (stats != nullptr) ++stats->prune_tests;
       const Row& cached = cache[id].entry.binding;
       bool subsumed = monotonicity_ == Monotonicity::kMonotone
@@ -589,6 +715,7 @@ Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
 
   // ---- Main loop + post-processing accumulation (Q_P) ----
   GroupMap groups;
+  EvalScratch contribute_scratch;
 
   for (const Row& l_row : l_rows) {
     if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
@@ -602,9 +729,11 @@ Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
           // ContributeTo's hard reservation may shed the slot `hit` points
           // into; contribute from a copy when governed.
           CacheEntry copy = *hit;
-          ContributeTo(&groups, l_row, copy, governor, &mandatory_bytes);
+          ContributeTo(&groups, l_row, copy, governor, &mandatory_bytes,
+                       &contribute_scratch);
         } else {
-          ContributeTo(&groups, l_row, *hit, governor, &mandatory_bytes);
+          ContributeTo(&groups, l_row, *hit, governor, &mandatory_bytes,
+                       &contribute_scratch);
         }
         continue;
       }
@@ -615,7 +744,8 @@ Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
     }
     if (stats != nullptr) ++stats->inner_evaluations;
     ICEBERG_ASSIGN_OR_RETURN(CacheEntry entry, EvaluateInner(binding, stats));
-    ContributeTo(&groups, l_row, entry, governor, &mandatory_bytes);
+    ContributeTo(&groups, l_row, entry, governor, &mandatory_bytes,
+                 &contribute_scratch);
     // Cache the entry when memoization or pruning can use it.
     bool cache_it = memo_enabled_ || (prune_enabled_ && entry.unpromising);
     if (cache_it) {
@@ -652,10 +782,21 @@ Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
         slot.live = true;
         fifo.push_back(id);
         if (memo_enabled_) {
-          cache_by_binding.emplace(slot.entry.binding, id);
+          if (packed_binding) {
+            PackedKey key;
+            binding_codec_.EncodeRow(slot.entry.binding, &key);
+            cache_by_binding_packed.emplace(key, id);
+          } else {
+            cache_by_binding.emplace(slot.entry.binding, id);
+          }
         }
         if (prune_enabled_ && slot.entry.unpromising) {
-          unpromising_buckets[eq_key_of(slot.entry.binding)].push_back(id);
+          if (packed_eq) {
+            unpromising_buckets_packed[packed_eq_key_of(slot.entry.binding)]
+                .push_back(id);
+          } else {
+            unpromising_buckets[eq_key_of(slot.entry.binding)].push_back(id);
+          }
         }
       }
     }
@@ -693,6 +834,7 @@ Result<TablePtr> NljpOperator::ExecuteParallel(std::vector<Row> l_rows,
     std::optional<JoinPipeline> pipeline;
     GroupMap groups;
     NljpStats partial;
+    EvalScratch eval;  // compiled-program stack for ContributeTo
     size_t mandatory = 0;
   };
   std::vector<std::unique_ptr<WorkerCtx>> ctxs;
@@ -721,6 +863,8 @@ Result<TablePtr> NljpOperator::ExecuteParallel(std::vector<Row> l_rows,
   cache_opts.memo_index = memo_enabled_;
   cache_opts.witness_index = prune_enabled_;
   cache_opts.eq_positions = prune_eq_positions_;
+  cache_opts.binding_codec = binding_codec_;
+  cache_opts.eq_codec = eq_codec_;
   cache_opts.governor = governor;
   SharedNljpCache cache(cache_opts);
 
@@ -744,7 +888,8 @@ Result<TablePtr> NljpOperator::ExecuteParallel(std::vector<Row> l_rows,
       CacheEntry hit;
       if (cache.Lookup(binding, &hit)) {
         ++ctx.partial.memo_hits;
-        ContributeTo(&ctx.groups, l_row, hit, governor, &ctx.mandatory);
+        ContributeTo(&ctx.groups, l_row, hit, governor, &ctx.mandatory,
+                     &ctx.eval);
         return Status::OK();
       }
     }
@@ -766,7 +911,8 @@ Result<TablePtr> NljpOperator::ExecuteParallel(std::vector<Row> l_rows,
         CacheEntry entry,
         EvaluateInnerWith(*ctx.pipeline, ctx.param.get(), binding,
                           &ctx.partial.inner_pairs_examined));
-    ContributeTo(&ctx.groups, l_row, entry, governor, &ctx.mandatory);
+    ContributeTo(&ctx.groups, l_row, entry, governor, &ctx.mandatory,
+                 &ctx.eval);
     if (memo_enabled_ || (prune_enabled_ && entry.unpromising)) {
       cache.Insert(std::move(entry));
     }
@@ -880,6 +1026,12 @@ std::string NljpOperator::Explain() const {
          "\n";
   out += "  Q_P (post-processing): GROUP BY <G_L, G_R> HAVING " +
          block_->having->ToString() + "\n";
+  out += "  keys: binding=" + binding_codec_.Summary() +
+         " gr=" + gr_codec_.Summary();
+  if (phi_prog_.valid()) {
+    out += "; phi compiled (" + phi_prog_.Summary() + ")";
+  }
+  out += "\n";
   return out;
 }
 

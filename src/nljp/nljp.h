@@ -11,7 +11,9 @@
 #include "src/common/status.h"
 #include "src/exec/exec_options.h"
 #include "src/exec/join_pipeline.h"
+#include "src/exec/key_codec.h"
 #include "src/expr/aggregate.h"
+#include "src/expr/compiled.h"
 #include "src/fme/subsumption.h"
 #include "src/nljp/shared_cache.h"
 #include "src/rewrite/iceberg_view.h"
@@ -161,7 +163,7 @@ class NljpOperator {
   /// caller aborts at its next check.
   void ContributeTo(GroupMap* groups, const Row& l_row,
                     const CacheEntry& entry, QueryGovernor* governor,
-                    size_t* mandatory_bytes) const;
+                    size_t* mandatory_bytes, EvalScratch* scratch) const;
 
   /// Q_P finalization: HAVING + projection per LR-group.
   Result<TablePtr> FinalizeGroups(const GroupMap& groups,
@@ -211,6 +213,19 @@ class NljpOperator {
   // Pruning accelerator: positions of the binding on which p>= requires
   // equality; unpromising entries are bucketed by these values.
   std::vector<size_t> prune_eq_positions_;
+
+  // Compiled programs for the per-binding hot path (invalid / empty when
+  // the compiled engine is disabled; call sites fall back to Evaluate).
+  std::vector<CompiledExpr> gr_progs_;        // inner_gr_exprs_
+  std::vector<CompiledExpr> slot_arg_progs_;  // slot_args_ (invalid = COUNT(*))
+  CompiledExpr phi_prog_;                     // inner_phi_
+  std::vector<CompiledExpr> group_progs_;     // block.group_by over synthetic
+
+  // Packed-key codecs for the memo / prune / partition hash tables; each
+  // falls back to Row keys independently when a key column is a string.
+  KeyCodec binding_codec_;  // J_L binding keys (memo table)
+  KeyCodec eq_codec_;       // prune_eq_positions_ of the binding (witnesses)
+  KeyCodec gr_codec_;       // G_R partition keys inside Q_R(b)
 
   // Q_C: derived subsumption predicate.
   std::optional<fme::SubsumptionTest> subsumption_;

@@ -56,6 +56,16 @@ size_t SharedNljpCache::WitnessStripeOf(const Row& eq_key) const {
 }
 
 bool SharedNljpCache::Lookup(const Row& binding, NljpCacheEntry* out) {
+  if (options_.binding_codec.usable()) {
+    PackedKey key;
+    options_.binding_codec.EncodeRow(binding, &key);
+    MemoStripe& stripe = memo_stripes_[key.hash() & stripe_mask_];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.by_binding_packed.find(key);
+    if (it == stripe.by_binding_packed.end()) return false;
+    *out = stripe.slots[it->second].entry;
+    return true;
+  }
   MemoStripe& stripe = memo_stripes_[MemoStripeOf(binding)];
   std::lock_guard<std::mutex> lock(stripe.mu);
   auto it = stripe.by_binding.find(binding);
@@ -67,6 +77,18 @@ bool SharedNljpCache::Lookup(const Row& binding, NljpCacheEntry* out) {
 bool SharedNljpCache::AnyWitness(
     const Row& binding, const std::function<bool(const Row& witness)>& test) {
   if (witness_stripes_.empty()) return false;
+  if (options_.eq_codec.usable()) {
+    PackedKey key;
+    options_.eq_codec.EncodeAt(binding, options_.eq_positions, &key);
+    WitnessStripe& stripe = witness_stripes_[key.hash() & stripe_mask_];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto bucket = stripe.buckets_packed.find(key);
+    if (bucket == stripe.buckets_packed.end()) return false;
+    for (const auto& [id, witness] : bucket->second) {
+      if (test(witness)) return true;
+    }
+    return false;
+  }
   Row eq_key = EqKeyOf(binding);
   WitnessStripe& stripe = witness_stripes_[WitnessStripeOf(eq_key)];
   std::lock_guard<std::mutex> lock(stripe.mu);
@@ -80,17 +102,33 @@ bool SharedNljpCache::AnyWitness(
 
 void SharedNljpCache::RemoveWitness(uint64_t witness_id, const Row& binding) {
   if (witness_id == 0 || witness_stripes_.empty()) return;
+  auto scrub = [witness_id](auto& bucket_map, auto bucket_it) {
+    auto& list = bucket_it->second;
+    list.erase(
+        std::remove_if(
+            list.begin(), list.end(),
+            [&](const auto& entry) { return entry.first == witness_id; }),
+        list.end());
+    if (list.empty()) bucket_map.erase(bucket_it);
+  };
+  if (options_.eq_codec.usable()) {
+    PackedKey key;
+    options_.eq_codec.EncodeAt(binding, options_.eq_positions, &key);
+    WitnessStripe& stripe = witness_stripes_[key.hash() & stripe_mask_];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto bucket = stripe.buckets_packed.find(key);
+    if (bucket != stripe.buckets_packed.end()) {
+      scrub(stripe.buckets_packed, bucket);
+    }
+    return;
+  }
   Row eq_key = EqKeyOf(binding);
   WitnessStripe& stripe = witness_stripes_[WitnessStripeOf(eq_key)];
   std::lock_guard<std::mutex> lock(stripe.mu);
   auto bucket = stripe.buckets.find(eq_key);
-  if (bucket == stripe.buckets.end()) return;
-  auto& list = bucket->second;
-  list.erase(std::remove_if(
-                 list.begin(), list.end(),
-                 [&](const auto& entry) { return entry.first == witness_id; }),
-             list.end());
-  if (list.empty()) stripe.buckets.erase(bucket);
+  if (bucket != stripe.buckets.end()) {
+    scrub(stripe.buckets, bucket);
+  }
 }
 
 size_t SharedNljpCache::EvictOneGlobal(size_t start_stripe) {
@@ -106,7 +144,13 @@ size_t SharedNljpCache::EvictOneGlobal(size_t start_stripe) {
       size_t id = stripe.fifo.front();
       stripe.fifo.pop_front();
       Slot& slot = stripe.slots[id];
-      stripe.by_binding.erase(slot.entry.binding);
+      if (options_.binding_codec.usable()) {
+        PackedKey key;
+        options_.binding_codec.EncodeRow(slot.entry.binding, &key);
+        stripe.by_binding_packed.erase(key);
+      } else {
+        stripe.by_binding.erase(slot.entry.binding);
+      }
       freed = slot.bytes;
       witness_id = slot.witness_id;
       binding = std::move(slot.entry.binding);
@@ -140,18 +184,37 @@ void SharedNljpCache::Insert(NljpCacheEntry entry) {
   uint64_t witness_id = 0;
   if (options_.witness_index && entry.unpromising) {
     witness_id = next_witness_id_.fetch_add(1, std::memory_order_relaxed);
-    Row eq_key = EqKeyOf(entry.binding);
-    WitnessStripe& stripe = witness_stripes_[WitnessStripeOf(eq_key)];
-    std::lock_guard<std::mutex> lock(stripe.mu);
-    stripe.buckets[std::move(eq_key)].emplace_back(witness_id, entry.binding);
+    if (options_.eq_codec.usable()) {
+      PackedKey key;
+      options_.eq_codec.EncodeAt(entry.binding, options_.eq_positions, &key);
+      WitnessStripe& stripe = witness_stripes_[key.hash() & stripe_mask_];
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      stripe.buckets_packed[key].emplace_back(witness_id, entry.binding);
+    } else {
+      Row eq_key = EqKeyOf(entry.binding);
+      WitnessStripe& stripe = witness_stripes_[WitnessStripeOf(eq_key)];
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      stripe.buckets[std::move(eq_key)].emplace_back(witness_id,
+                                                     entry.binding);
+    }
   }
   Row binding_copy = entry.binding;  // survives the move below
+  const bool packed = options_.binding_codec.usable();
+  PackedKey packed_key;
+  size_t stripe_idx;
+  if (packed) {
+    options_.binding_codec.EncodeRow(entry.binding, &packed_key);
+    stripe_idx = packed_key.hash() & stripe_mask_;
+  } else {
+    stripe_idx = MemoStripeOf(entry.binding);
+  }
   bool duplicate = false;
   {
-    MemoStripe& stripe = memo_stripes_[MemoStripeOf(entry.binding)];
+    MemoStripe& stripe = memo_stripes_[stripe_idx];
     std::lock_guard<std::mutex> lock(stripe.mu);
     if (options_.memo_index &&
-        stripe.by_binding.count(entry.binding) > 0) {
+        (packed ? stripe.by_binding_packed.count(packed_key) > 0
+                : stripe.by_binding.count(entry.binding) > 0)) {
       // A sibling cached the same binding between our miss and now; keep
       // the first copy (identical contents) and back out ours below,
       // outside the lock.
@@ -172,7 +235,11 @@ void SharedNljpCache::Insert(NljpCacheEntry entry) {
       slot.live = true;
       stripe.fifo.push_back(id);
       if (options_.memo_index) {
-        stripe.by_binding.emplace(slot.entry.binding, id);
+        if (packed) {
+          stripe.by_binding_packed.emplace(packed_key, id);
+        } else {
+          stripe.by_binding.emplace(slot.entry.binding, id);
+        }
       }
     }
   }

@@ -11,6 +11,7 @@
 
 #include "src/common/value.h"
 #include "src/exec/governor.h"
+#include "src/exec/key_codec.h"
 
 namespace iceberg {
 
@@ -76,6 +77,12 @@ class SharedNljpCache {
     /// Binding positions on which the derived p>= requires equality;
     /// witnesses are bucketed by these values (lossless accelerator).
     std::vector<size_t> eq_positions;
+    /// Packed-key codecs (all-numeric keys): when usable, the memo index
+    /// and witness buckets are keyed by fixed-width PackedKeys instead of
+    /// Rows. Purely an index representation change — slot payloads, FIFO
+    /// order, and the exact global entry bound are untouched.
+    KeyCodec binding_codec;
+    KeyCodec eq_codec;
     /// Optional governor: entries are charged as advisory state.
     QueryGovernor* governor = nullptr;
   };
@@ -130,16 +137,23 @@ class SharedNljpCache {
     std::vector<Slot> slots;
     std::deque<size_t> fifo;  // live slot ids, oldest first
     std::vector<size_t> free_slots;
+    // Exactly one index map is populated, per Options::binding_codec.
     std::unordered_map<Row, size_t, RowHash, RowEq> by_binding;
+    std::unordered_map<PackedKey, size_t, PackedKeyHash, PackedKeyEq>
+        by_binding_packed;
   };
   struct WitnessStripe {
     std::mutex mu;
     // eq-key -> (witness id, binding). The binding is a copy: witness
     // lifetime is decoupled from the memo slot so no cross-stripe locks
-    // are ever nested.
+    // are ever nested. Exactly one bucket map is populated, per
+    // Options::eq_codec.
     std::unordered_map<Row, std::vector<std::pair<uint64_t, Row>>, RowHash,
                        RowEq>
         buckets;
+    std::unordered_map<PackedKey, std::vector<std::pair<uint64_t, Row>>,
+                       PackedKeyHash, PackedKeyEq>
+        buckets_packed;
   };
 
   Row EqKeyOf(const Row& binding) const;

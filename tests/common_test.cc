@@ -131,6 +131,18 @@ TEST(Value, BoolRepresentation) {
   EXPECT_TRUE(Value::Bool(true).is_int());
 }
 
+TEST(Value, StringTruthiness) {
+  // Regression: AsBool() on a string used to fall through to AsDouble(),
+  // which throws bad_variant_access on the string alternative. Strings are
+  // truthy when non-empty.
+  EXPECT_TRUE(Value::Str("x").AsBool());
+  EXPECT_TRUE(Value::Str("0").AsBool());  // non-empty, even if it reads 0
+  EXPECT_FALSE(Value::Str("").AsBool());
+  EXPECT_FALSE(Value::Null().AsBool());
+  EXPECT_TRUE(Value::Double(0.5).AsBool());
+  EXPECT_FALSE(Value::Double(0.0).AsBool());
+}
+
 TEST(Value, HashConsistentWithEquality) {
   // 1 and 1.0 compare equal, so they must hash equal.
   EXPECT_EQ(Value::Int(1).Hash(), Value::Double(1.0).Hash());
