@@ -16,6 +16,8 @@
 #include <string>
 
 #include "src/engine/database.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace iceberg {
 namespace bench {
@@ -38,10 +40,14 @@ struct BenchFlags {
   int threads = 0;
   /// --json=PATH: append one machine-readable JSON line per measurement.
   std::string json_path;
+  /// --trace=PATH: enable tracing and dump Chrome trace_event JSON here
+  /// when the bench exits (load in Perfetto / chrome://tracing).
+  std::string trace_path;
 };
 
-/// Parses --threads= / --json=; unknown arguments abort with usage (bench
-/// binaries take no other arguments).
+/// Parses --threads= / --json= / --trace=; unknown arguments abort with
+/// usage (bench binaries take no other arguments). A --trace= flag turns
+/// tracing on for the whole run.
 inline BenchFlags ParseBenchFlags(int argc, char** argv) {
   BenchFlags flags;
   for (int i = 1; i < argc; ++i) {
@@ -50,15 +56,30 @@ inline BenchFlags ParseBenchFlags(int argc, char** argv) {
       flags.threads = std::atoi(arg + 10);
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       flags.json_path = arg + 7;
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      flags.trace_path = arg + 8;
+      SetTraceEnabled(true);
     } else {
       std::fprintf(stderr,
                    "unknown argument: %s\nusage: %s [--threads=N] "
-                   "[--json=PATH]\n",
+                   "[--json=PATH] [--trace=PATH]\n",
                    arg, argv[0]);
       std::exit(2);
     }
   }
   return flags;
+}
+
+/// Writes the collected trace if --trace= was given; call once before the
+/// bench main returns.
+inline void FinishBenchTrace(const BenchFlags& flags) {
+  if (flags.trace_path.empty()) return;
+  if (DumpTrace(flags.trace_path)) {
+    std::fprintf(stderr, "trace: wrote %zu spans to %s\n",
+                 SnapshotTrace().size(), flags.trace_path.c_str());
+  } else {
+    std::fprintf(stderr, "trace: cannot open %s\n", flags.trace_path.c_str());
+  }
 }
 
 /// Emits one JSON object per line (JSONL), the machine-readable companion
@@ -88,6 +109,26 @@ class JsonWriter {
                  "{\"query\":\"%s\",\"threads\":%d,\"ms\":%.3f,"
                  "\"speedup\":%.3f}\n",
                  Escaped(query).c_str(), threads, ms, speedup);
+    std::fflush(file_);
+  }
+
+  /// Appends one line with the metrics-registry delta since `since` (or the
+  /// full registry state when `since` is empty), tagged for correlation
+  /// with the measurement lines: {"metrics_tag":...,"metrics":{...}}.
+  void RecordMetrics(const std::string& tag,
+                     const MetricsSnapshot* since = nullptr) {
+    if (file_ == nullptr) return;
+    MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+    if (since != nullptr) snap = snap.DiffSince(*since);
+    std::fprintf(file_, "{\"metrics_tag\":\"%s\",\"metrics\":%s}\n",
+                 Escaped(tag).c_str(), snap.ToJson().c_str());
+    std::fflush(file_);
+  }
+
+  /// Appends an arbitrary pre-rendered JSON line (obs_overhead's summary).
+  void RecordRaw(const std::string& json_line) {
+    if (file_ == nullptr) return;
+    std::fprintf(file_, "%s\n", json_line.c_str());
     std::fflush(file_);
   }
 

@@ -233,6 +233,8 @@ int Main(int argc, char** argv) {
   BenchAggKeys(&json, rows, reps);
   BenchEndToEnd(&json, threads);
   SetCompiledExprEnabled(true);
+  json.RecordMetrics("micro_eval end-of-run");
+  FinishBenchTrace(flags);
   return 0;
 }
 

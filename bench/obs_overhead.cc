@@ -1,0 +1,144 @@
+// Observability overhead micro-benchmark (PR4 acceptance gate).
+//
+// Measures the cost of the instrumentation that is now compiled into every
+// hot path:
+//   - a disabled TraceSpan (one relaxed atomic load + branch),
+//   - an enabled TraceSpan (clock read + per-thread buffer append),
+//   - a Counter increment and a Histogram record (relaxed fetch_adds),
+// and then runs the pruning+memoization workload query end-to-end with
+// tracing off and on. The gate: the estimated cost of the *disabled*
+// instrumentation must stay under 2% of query runtime — the price of
+// leaving tracing compiled in but switched off.
+//
+// --json=PATH appends the per-measurement lines plus one summary line:
+//   {"bench":"obs_overhead","disabled_span_ns":...,"counter_add_ns":...,
+//    "histogram_record_ns":...,"workload_ms_trace_off":...,
+//    "workload_ms_trace_on":...,"spans_per_run":...,
+//    "disabled_overhead_pct":...,"enabled_overhead_pct":...}
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "bench/workload_queries.h"
+
+namespace {
+
+using namespace iceberg;
+using namespace iceberg::bench;
+
+/// Nanoseconds per iteration of `body`, measured over `iters` runs.
+template <typename Fn>
+double NsPerOp(size_t iters, Fn body) {
+  Timer timer;
+  for (size_t i = 0; i < iters; ++i) body(i);
+  return timer.Seconds() * 1e9 / static_cast<double>(iters);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  JsonWriter json(flags.json_path);
+  const int threads = flags.threads <= 0 ? 1 : flags.threads;
+  const size_t kOps = 20'000'000;
+  const int kTrials = 5;
+
+  std::printf("=== Observability overhead ===\n\n");
+
+  // Primitive costs. The disabled-span loop is the number the tentpole
+  // promises: tracing off must cost one branch on a cached atomic flag.
+  SetTraceEnabled(false);
+  double disabled_span_ns =
+      NsPerOp(kOps, [](size_t) { TraceSpan span("bench.noop", "bench"); });
+
+  SetTraceEnabled(true);
+  ClearTrace();
+  // Fewer iterations: each enabled span appends to the thread buffer.
+  double enabled_span_ns =
+      NsPerOp(kOps / 100, [](size_t) { TraceSpan span("bench.noop", "bench"); });
+  ClearTrace();
+  SetTraceEnabled(false);
+
+  Counter* counter = ICEBERG_COUNTER("bench.obs_overhead_ops");
+  double counter_add_ns = NsPerOp(kOps, [&](size_t) { counter->Increment(); });
+
+  Histogram* hist = ICEBERG_HISTOGRAM("bench.obs_overhead_us");
+  double histogram_record_ns =
+      NsPerOp(kOps, [&](size_t i) { hist->Record(static_cast<int64_t>(i & 1023)); });
+
+  std::printf("disabled TraceSpan   %8.2f ns/op\n", disabled_span_ns);
+  std::printf("enabled TraceSpan    %8.2f ns/op\n", enabled_span_ns);
+  std::printf("Counter::Increment   %8.2f ns/op\n", counter_add_ns);
+  std::printf("Histogram::Record    %8.2f ns/op\n", histogram_record_ns);
+
+  // End-to-end: the pruning+memoization iceberg query, best of kTrials,
+  // tracing off vs on.
+  const size_t rows = Scaled(8000);
+  auto db = MakeScoreDb(rows);
+  const NamedQuery q = Figure1Queries().front();
+  IcebergOptions options = IcebergOptions::All();
+  options.base_exec.num_threads = threads;
+
+  double off_s = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    double s = TimeIceberg(db.get(), q.sql, options);
+    if (t == 0 || s < off_s) off_s = s;
+  }
+
+  SetTraceEnabled(true);
+  ClearTrace();
+  double on_s = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    double s = TimeIceberg(db.get(), q.sql, options);
+    if (t == 0 || s < on_s) on_s = s;
+  }
+  size_t spans_per_run = SnapshotTrace().size() / kTrials;
+  if (!flags.trace_path.empty()) FinishBenchTrace(flags);
+  ClearTrace();
+  SetTraceEnabled(false);
+
+  // With tracing off the per-query instrumentation cost is the disabled
+  // spans: estimate it against the measured run time. Enabled overhead is
+  // measured directly.
+  double disabled_overhead_pct =
+      off_s > 0 ? (disabled_span_ns * 1e-9 * static_cast<double>(spans_per_run)) /
+                      off_s * 100.0
+                : 0.0;
+  double enabled_overhead_pct = off_s > 0 ? (on_s - off_s) / off_s * 100.0 : 0.0;
+
+  std::printf("\nworkload: %s  (%zu rows, threads=%d)\n", q.name.c_str(), rows,
+              threads);
+  std::printf("trace off   %8.1f ms\n", off_s * 1e3);
+  std::printf("trace on    %8.1f ms   (%zu spans/run)\n", on_s * 1e3,
+              spans_per_run);
+  std::printf("disabled instrumentation overhead  %6.3f%%  (gate: < 2%%)\n",
+              disabled_overhead_pct);
+  std::printf("enabled tracing overhead           %6.3f%%\n",
+              enabled_overhead_pct);
+
+  json.Record("obs disabled span ns", threads, disabled_span_ns * 1e-6, 1.0);
+  json.Record(q.name + " trace=off", threads, off_s * 1e3, 1.0);
+  json.Record(q.name + " trace=on", threads, on_s * 1e3,
+              on_s > 0 ? off_s / on_s : 1.0);
+  char summary[512];
+  std::snprintf(
+      summary, sizeof(summary),
+      "{\"bench\":\"obs_overhead\",\"disabled_span_ns\":%.2f,"
+      "\"enabled_span_ns\":%.2f,\"counter_add_ns\":%.2f,"
+      "\"histogram_record_ns\":%.2f,\"workload_ms_trace_off\":%.3f,"
+      "\"workload_ms_trace_on\":%.3f,\"spans_per_run\":%zu,"
+      "\"disabled_overhead_pct\":%.4f,\"enabled_overhead_pct\":%.3f}",
+      disabled_span_ns, enabled_span_ns, counter_add_ns, histogram_record_ns,
+      off_s * 1e3, on_s * 1e3, spans_per_run, disabled_overhead_pct,
+      enabled_overhead_pct);
+  json.RecordRaw(summary);
+  json.RecordMetrics("obs_overhead end-of-run");
+
+  if (disabled_overhead_pct >= 2.0) {
+    std::fprintf(stderr, "FAIL: disabled instrumentation overhead %.3f%% >= 2%%\n",
+                 disabled_overhead_pct);
+    return 1;
+  }
+  return 0;
+}

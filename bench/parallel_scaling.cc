@@ -77,5 +77,7 @@ int main(int argc, char** argv) {
   std::printf(
       "speedups are relative to the 1-thread run of the same engine; "
       "row counts are verified identical at every thread count\n");
+  json.RecordMetrics("parallel_scaling end-of-run");
+  FinishBenchTrace(flags);
   return 0;
 }

@@ -9,8 +9,16 @@
 //                    1 = serial); parallel output is canonically sorted
 //   \tables          list tables
 //   \load <table> <csv-path>   bulk-load a CSV file
+//   \metrics [json|reset]   dump the global metrics registry (counters,
+//                    gauges, latency histograms); `reset` zeroes it
+//   \trace on|off    enable/disable query tracing (spans also honour the
+//                    ICEBERG_TRACE env var at startup)
+//   \trace dump <file>   write collected spans as Chrome trace_event JSON
+//                    (load in Perfetto / chrome://tracing)
 //   \q               quit
-// Anything else is executed through the Smart-Iceberg optimizer.
+// Anything else is executed through the Smart-Iceberg optimizer; statements
+// starting with EXPLAIN ANALYZE return the annotated plan tree instead of
+// the result rows.
 
 #include <cstdio>
 #include <iostream>
@@ -20,6 +28,8 @@
 
 #include "src/engine/csv.h"
 #include "src/engine/database.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/workload/baseball.h"
 #include "src/workload/basket.h"
 #include "src/workload/object.h"
@@ -71,6 +81,46 @@ void RunStatement(Database* db, const std::string& line) {
     g_governed = true;
     std::printf("governing: deadline=%lldms budget=%lldkb\n", deadline_ms,
                 budget_kb);
+    return;
+  }
+  if (line.rfind("\\metrics", 0) == 0) {
+    std::string arg;
+    std::istringstream(line.substr(8)) >> arg;
+    if (arg == "reset") {
+      MetricsRegistry::Global().ResetAll();
+      std::printf("metrics reset\n");
+    } else if (arg == "json") {
+      std::printf("%s\n", MetricsRegistry::Global().RenderJson().c_str());
+    } else {
+      std::printf("%s", MetricsRegistry::Global().RenderText().c_str());
+    }
+    return;
+  }
+  if (line.rfind("\\trace", 0) == 0) {
+    std::string arg, path;
+    std::istringstream args(line.substr(6));
+    args >> arg >> path;
+    if (arg == "on") {
+      SetTraceEnabled(true);
+      std::printf("tracing on\n");
+    } else if (arg == "off") {
+      SetTraceEnabled(false);
+      std::printf("tracing off\n");
+    } else if (arg == "dump" && !path.empty()) {
+      if (DumpTrace(path)) {
+        std::printf("wrote %zu spans to %s\n", SnapshotTrace().size(),
+                    path.c_str());
+      } else {
+        std::printf("cannot open %s\n", path.c_str());
+      }
+    } else if (arg == "clear") {
+      ClearTrace();
+      std::printf("trace buffer cleared\n");
+    } else {
+      std::printf("usage: \\trace on|off|clear|dump <file>  (currently %s, "
+                  "%zu spans buffered)\n",
+                  TraceEnabled() ? "on" : "off", SnapshotTrace().size());
+    }
     return;
   }
   if (line.rfind("\\explain ", 0) == 0) {
@@ -144,7 +194,9 @@ int main() {
       "Smart-Iceberg shell. Demo tables: object(id,x,y), basket(bid,item), "
       "score(pid,year,round,teamid,hits,hruns,h2,sb).\n"
       "Commands: \\explain <sql>, \\base <sql>, \\govern [ms] [kb], "
-      "\\threads [N], \\tables, \\load <table> <csv>, \\q\n");
+      "\\threads [N], \\tables, \\load <table> <csv>, \\metrics [json|reset], "
+      "\\trace on|off|clear|dump <file>, \\q\n"
+      "EXPLAIN ANALYZE <sql> prints the annotated plan tree.\n");
   std::string line;
   while (true) {
     std::printf("iceberg> ");

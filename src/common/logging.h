@@ -1,8 +1,11 @@
 #ifndef SMARTICEBERG_COMMON_LOGGING_H_
 #define SMARTICEBERG_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <sstream>
 
 /// Internal invariant check. Unlike Status-based error handling (used for
 /// all user-reachable failures), a failed check indicates a library bug and
@@ -17,5 +20,110 @@
   } while (0)
 
 #define ICEBERG_DCHECK(cond) ICEBERG_CHECK(cond)
+
+namespace iceberg {
+
+/// Severity levels for diagnostic logging. Unlike ICEBERG_CHECK (library
+/// bugs, aborts) and Status (user-reachable failures, returned), log lines
+/// are advisory: degradations taken, inputs skipped, limits approached.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+namespace logging_internal {
+
+inline LogLevel LevelFromEnv() {
+  const char* env = std::getenv("ICEBERG_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+inline std::atomic<int>& MinLevelFlag() {
+  static std::atomic<int> level{static_cast<int>(LevelFromEnv())};
+  return level;
+}
+
+}  // namespace logging_internal
+
+/// Messages below this level are compiled to a branch and nothing else.
+/// Default kWarn; overridable with ICEBERG_LOG_LEVEL=debug|info|warn|error|off
+/// or at runtime (tests) with SetMinLogLevel.
+inline LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(
+      logging_internal::MinLevelFlag().load(std::memory_order_relaxed));
+}
+
+inline void SetMinLogLevel(LogLevel level) {
+  logging_internal::MinLevelFlag().store(static_cast<int>(level),
+                                         std::memory_order_relaxed);
+}
+
+inline bool LogEnabled(LogLevel level) { return level >= MinLogLevel(); }
+
+namespace logging_internal {
+
+/// Collects one log line and writes it to stderr atomically (single
+/// fprintf) on destruction, so concurrent workers never interleave
+/// mid-line.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    const char* base = std::strrchr(file, '/');
+    stream_ << "[" << Name(level) << "] " << (base ? base + 1 : file) << ":"
+            << line << ": ";
+  }
+  ~LogMessage() {
+    stream_ << "\n";
+    std::fputs(stream_.str().c_str(), stderr);
+  }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  static const char* Name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Shouty aliases so call sites read ICEBERG_LOG(WARN), not ICEBERG_LOG(Warn).
+inline constexpr LogLevel kDEBUG = LogLevel::kDebug;
+inline constexpr LogLevel kINFO = LogLevel::kInfo;
+inline constexpr LogLevel kWARN = LogLevel::kWarn;
+inline constexpr LogLevel kERROR = LogLevel::kError;
+
+}  // namespace logging_internal
+}  // namespace iceberg
+
+/// Leveled diagnostic logging: ICEBERG_LOG(WARN) << "shed " << n;
+/// A disabled level costs one relaxed atomic load and a branch; the stream
+/// expression is never evaluated.
+#define ICEBERG_LOG(severity)                                                 \
+  if (!::iceberg::LogEnabled(::iceberg::logging_internal::k##severity))       \
+    ;                                                                         \
+  else                                                                        \
+    ::iceberg::logging_internal::LogMessage(                                  \
+        ::iceberg::logging_internal::k##severity, __FILE__, __LINE__)         \
+        .stream()
 
 #endif  // SMARTICEBERG_COMMON_LOGGING_H_

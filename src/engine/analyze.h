@@ -1,0 +1,37 @@
+#ifndef SMARTICEBERG_ENGINE_ANALYZE_H_
+#define SMARTICEBERG_ENGINE_ANALYZE_H_
+
+#include <string>
+
+#include "src/exec/exec_options.h"
+#include "src/obs/metrics.h"
+#include "src/optimizer/iceberg_optimizer.h"
+#include "src/storage/table.h"
+
+namespace iceberg {
+
+/// Rendering of EXPLAIN ANALYZE output (PostgreSQL-style: the annotated
+/// plan is returned as rows of a one-column "QUERY PLAN" table).
+///
+/// The numbers in the tree come from the same run-local stats blocks that
+/// Executor / NljpOperator publish into the global metrics registry, and
+/// `delta` is the registry diff across exactly this statement — so the tree
+/// and the trailing `metrics:` line always reconcile, at any thread count.
+
+/// Wraps multi-line text as a one-column "QUERY PLAN" table.
+TablePtr AnalyzeTextTable(const std::string& text);
+
+/// Annotated tree for an iceberg-optimized run.
+std::string RenderAnalyzeIceberg(const IcebergReport& report,
+                                 const MetricsSnapshot& delta,
+                                 size_t output_rows, int64_t total_us);
+
+/// Annotated tree for a baseline run; `plan` is Executor::Explain's output.
+std::string RenderAnalyzeBaseline(const ExecStats& stats,
+                                  const std::string& plan,
+                                  const MetricsSnapshot& delta,
+                                  size_t output_rows, int64_t total_us);
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_ENGINE_ANALYZE_H_

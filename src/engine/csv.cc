@@ -7,6 +7,7 @@
 #include <sstream>
 #include <vector>
 
+#include "src/common/logging.h"
 #include "src/common/string_util.h"
 
 namespace iceberg {
@@ -113,6 +114,10 @@ Status LoadCsv(Database* db, const std::string& table, std::istream& input,
     if (line.empty()) continue;
     std::vector<std::string> fields = SplitCsvLine(line, options.delimiter);
     if (fields.size() != column_of_field.size()) {
+      ICEBERG_LOG(WARN) << "csv load into '" << table << "' aborted at line "
+                        << line_number << ": expected "
+                        << column_of_field.size() << " fields, got "
+                        << fields.size();
       return Status::ParseError(
           "line " + std::to_string(line_number) + ": expected " +
           std::to_string(column_of_field.size()) + " fields, got " +
@@ -123,6 +128,10 @@ Status LoadCsv(Database* db, const std::string& table, std::istream& input,
       size_t col = column_of_field[f];
       Result<Value> v = ParseField(fields[f], schema.column(col).type);
       if (!v.ok()) {
+        ICEBERG_LOG(WARN) << "csv load into '" << table << "' aborted at line "
+                          << line_number << ", column "
+                          << schema.column(col).name << ": "
+                          << v.status().message();
         return Status::ParseError(
             "line " + std::to_string(line_number) + ", field " +
             std::to_string(f + 1) + " (column " + schema.column(col).name +

@@ -1,9 +1,13 @@
 #include "src/engine/database.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
+#include "src/engine/analyze.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace iceberg {
 
@@ -221,7 +225,15 @@ Result<TablePtr> Database::Query(const std::string& sql, ExecOptions exec,
   // Check before parsing so an expired deadline or pre-tripped token never
   // starts work.
   if (exec.governor != nullptr) ICEBERG_RETURN_NOT_OK(exec.governor->Check());
+  TraceSpan span("query.baseline", "query");
   ICEBERG_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseSql(sql));
+  if (parsed.explain) {
+    // ToString() renders the statement without its EXPLAIN prefix.
+    std::string inner = parsed.ToString();
+    if (parsed.analyze) return ExplainAnalyzeBaseline(inner, exec);
+    ICEBERG_ASSIGN_OR_RETURN(std::string plan, ExplainBaseline(inner, exec));
+    return AnalyzeTextTable(plan);
+  }
   std::map<std::string, CatalogEntry> scope;
   for (const auto& [name, cte] : parsed.ctes) {
     ICEBERG_ASSIGN_OR_RETURN(
@@ -244,7 +256,15 @@ Result<TablePtr> Database::QueryIceberg(const std::string& sql,
   if (options.governor != nullptr) {
     ICEBERG_RETURN_NOT_OK(options.governor->Check());
   }
+  TraceSpan span("query.iceberg", "query");
   ICEBERG_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseSql(sql));
+  if (parsed.explain) {
+    std::string inner = parsed.ToString();
+    if (parsed.analyze) return ExplainAnalyzeIceberg(inner, options);
+    ICEBERG_ASSIGN_OR_RETURN(std::string plan,
+                             ExplainIceberg(inner, options));
+    return AnalyzeTextTable(plan);
+  }
   std::map<std::string, CatalogEntry> scope;
   for (const auto& [name, cte] : parsed.ctes) {
     ICEBERG_ASSIGN_OR_RETURN(
@@ -259,6 +279,44 @@ Result<TablePtr> Database::QueryIceberg(const std::string& sql,
       Materialize(*parsed.select, scope, /*use_iceberg=*/true, options,
                   options.base_exec, nullptr, report));
   return entry.table;
+}
+
+Result<TablePtr> Database::ExplainAnalyzeBaseline(const std::string& sql,
+                                                  ExecOptions exec) {
+  ICEBERG_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseSql(sql));
+  std::string inner = parsed.ToString();  // strips any EXPLAIN prefix
+  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  auto start = std::chrono::steady_clock::now();
+  ExecStats stats;
+  ICEBERG_ASSIGN_OR_RETURN(TablePtr result, Query(inner, exec, &stats));
+  int64_t total_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  MetricsSnapshot delta =
+      MetricsRegistry::Global().Snapshot().DiffSince(before);
+  ICEBERG_ASSIGN_OR_RETURN(std::string plan, ExplainBaseline(inner, exec));
+  return AnalyzeTextTable(RenderAnalyzeBaseline(stats, plan, delta,
+                                                result->num_rows(),
+                                                total_us));
+}
+
+Result<TablePtr> Database::ExplainAnalyzeIceberg(const std::string& sql,
+                                                 IcebergOptions options) {
+  ICEBERG_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseSql(sql));
+  std::string inner = parsed.ToString();
+  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  auto start = std::chrono::steady_clock::now();
+  IcebergReport report;
+  ICEBERG_ASSIGN_OR_RETURN(TablePtr result,
+                           QueryIceberg(inner, options, &report));
+  int64_t total_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  MetricsSnapshot delta =
+      MetricsRegistry::Global().Snapshot().DiffSince(before);
+  return AnalyzeTextTable(RenderAnalyzeIceberg(report, delta,
+                                               result->num_rows(),
+                                               total_us));
 }
 
 Result<std::string> Database::ExplainBaseline(const std::string& sql,

@@ -78,6 +78,17 @@ class Database {
   Result<std::string> ExplainIceberg(const std::string& sql,
                                      IcebergOptions options = IcebergOptions());
 
+  /// EXPLAIN ANALYZE: executes the statement, then returns the plan tree
+  /// annotated with measured wall times, row counts, cache effectiveness,
+  /// and the exact metrics-registry delta of the run, as rows of a
+  /// one-column "QUERY PLAN" table. `sql` may carry the EXPLAIN ANALYZE
+  /// prefix or be a bare statement. Query()/QueryIceberg() route here
+  /// automatically when the statement starts with EXPLAIN ANALYZE.
+  Result<TablePtr> ExplainAnalyzeBaseline(const std::string& sql,
+                                          ExecOptions exec = ExecOptions());
+  Result<TablePtr> ExplainAnalyzeIceberg(
+      const std::string& sql, IcebergOptions options = IcebergOptions());
+
   /// Parses and binds `sql` into a QueryBlock against the catalog
   /// (materializing CTEs/subqueries with the baseline executor). Exposed
   /// for tests and tooling.

@@ -1,6 +1,10 @@
 #include "src/exec/aggregator.h"
 
+#include <chrono>
 #include <set>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace iceberg {
 
@@ -163,6 +167,18 @@ void Aggregator::MergeFrom(Aggregator&& other) {
 }
 
 Result<TablePtr> Aggregator::Finalize(ExecStats* stats) const {
+  TraceSpan span("agg.finalize");
+  auto start = std::chrono::steady_clock::now();
+  Result<TablePtr> result = FinalizeInternal(stats);
+  int64_t took_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  if (stats != nullptr) stats->finalize_us += took_us;
+  ICEBERG_HISTOGRAM("agg.finalize_us")->Record(static_cast<uint64_t>(took_us));
+  return result;
+}
+
+Result<TablePtr> Aggregator::FinalizeInternal(ExecStats* stats) const {
   auto result = std::make_shared<Table>(block_.output_schema);
   if (stats != nullptr) stats->groups_created += num_groups();
 

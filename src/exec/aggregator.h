@@ -52,6 +52,9 @@ class Aggregator {
 
   /// Applies HAVING, projects the select list, returns the result table.
   /// `stats` (optional) receives groups_created / groups_output.
+  /// Emits the grouped result (HAVING + projection). Wall time is recorded
+  /// into stats->finalize_us and the agg.finalize_us histogram — HAVING-
+  /// after-full-join is exactly the cost the iceberg optimizer avoids.
   Result<TablePtr> Finalize(ExecStats* stats) const;
 
   size_t num_groups() const { return groups_.size() + packed_groups_.size(); }
@@ -60,6 +63,8 @@ class Aggregator {
   std::string KeySummary() const { return codec_.Summary(); }
 
  private:
+  Result<TablePtr> FinalizeInternal(ExecStats* stats) const;
+
   struct GroupState {
     Row representative;  // any row of the group (group keys are constant)
     std::vector<Accumulator> accumulators;

@@ -65,6 +65,31 @@ struct ExecStats {
   /// rows_joined produced by each worker (parallel runs only); the spread
   /// shows how well morsel claiming balanced the skewed outer loop.
   std::vector<size_t> rows_joined_per_worker;
+  /// Microseconds each worker spent inside morsels (parallel runs only);
+  /// busy/wall is per-worker utilization, the spread is scheduling skew.
+  std::vector<int64_t> busy_us_per_worker;
+  int64_t execute_us = 0;   // wall time of the whole Execute call
+  int64_t finalize_us = 0;  // wall time of aggregate finalization (HAVING)
+
+  /// Folds one run's counters into an accumulating stats block (benches
+  /// reuse one ExecStats across repetitions). Additive counters add;
+  /// per-run shape (workers, the per-worker vectors, governor cumulative
+  /// values, timings) is replaced, so a reused block never keeps stale
+  /// per-worker entries when the thread count changes between runs.
+  void Accumulate(const ExecStats& run) {
+    join_pairs_examined += run.join_pairs_examined;
+    rows_joined += run.rows_joined;
+    groups_created += run.groups_created;
+    groups_output += run.groups_output;
+    index_probes += run.index_probes;
+    cancel_checks = run.cancel_checks;
+    budget_bytes_peak = run.budget_bytes_peak;
+    workers = run.workers;
+    rows_joined_per_worker = run.rows_joined_per_worker;
+    busy_us_per_worker = run.busy_us_per_worker;
+    execute_us += run.execute_us;
+    finalize_us += run.finalize_us;
+  }
 
   void Reset() { *this = ExecStats(); }
   std::string ToString() const;

@@ -1,6 +1,7 @@
 #include "src/exec/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <set>
 #include <utility>
@@ -8,6 +9,8 @@
 #include "src/exec/aggregator.h"
 #include "src/exec/join_pipeline.h"
 #include "src/exec/task_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace iceberg {
 
@@ -16,28 +19,37 @@ std::string ExecStats::ToString() const {
                     " joined=" + std::to_string(rows_joined) +
                     " groups=" + std::to_string(groups_created) +
                     " output=" + std::to_string(groups_output) +
-                    " probes=" + std::to_string(index_probes);
-  if (cancel_checks > 0) {
-    out += " checks=" + std::to_string(cancel_checks);
-  }
-  if (budget_bytes_peak > 0) {
-    out += " peak_kb=" + std::to_string(budget_bytes_peak / 1024);
-  }
-  if (workers > 1) {
-    out += " workers=" + std::to_string(workers);
-    if (!rows_joined_per_worker.empty()) {
-      out += " joined_per_worker=[";
-      for (size_t i = 0; i < rows_joined_per_worker.size(); ++i) {
-        if (i > 0) out += ",";
-        out += std::to_string(rows_joined_per_worker[i]);
-      }
-      out += "]";
+                    " probes=" + std::to_string(index_probes) +
+                    " checks=" + std::to_string(cancel_checks) +
+                    " peak_kb=" + std::to_string(budget_bytes_peak / 1024) +
+                    " workers=" + std::to_string(workers);
+  if (!rows_joined_per_worker.empty()) {
+    out += " joined_per_worker=[";
+    for (size_t i = 0; i < rows_joined_per_worker.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(rows_joined_per_worker[i]);
     }
+    out += "]";
   }
+  if (!busy_us_per_worker.empty()) {
+    out += " busy_us_per_worker=[";
+    for (size_t i = 0; i < busy_us_per_worker.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(busy_us_per_worker[i]);
+    }
+    out += "]";
+  }
+  if (execute_us > 0) out += " execute_us=" + std::to_string(execute_us);
   return out;
 }
 
 namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Copies the governor's end-of-query counters into the stats block.
 void FillGovernorStats(const QueryGovernor* governor, ExecStats* stats) {
@@ -47,23 +59,55 @@ void FillGovernorStats(const QueryGovernor* governor, ExecStats* stats) {
 }
 
 /// Folds per-worker partial stats into the caller's stats block and
-/// records the per-worker distribution.
+/// records the per-worker distribution. Replaces (never appends to) the
+/// per-worker vectors so a reused stats block stays consistent when the
+/// thread count changes between runs.
 void MergeWorkerStats(const std::vector<ExecStats>& partials,
-                      ExecStats* stats) {
+                      const TaskPool& pool, ExecStats* stats) {
   if (stats == nullptr) return;
   stats->workers = partials.size();
+  stats->rows_joined_per_worker.clear();
   for (const ExecStats& s : partials) {
     stats->join_pairs_examined += s.join_pairs_examined;
     stats->rows_joined += s.rows_joined;
     stats->index_probes += s.index_probes;
     stats->rows_joined_per_worker.push_back(s.rows_joined);
   }
+  stats->busy_us_per_worker = pool.last_busy_micros();
+}
+
+/// End-of-run publication into the process-wide metrics registry; the same
+/// run-local totals also feed the caller's (optional) accumulating block,
+/// so EXPLAIN ANALYZE, \metrics, and ExecStats always reconcile exactly.
+void PublishExecMetrics(const ExecStats& run) {
+  ICEBERG_COUNTER("exec.queries")->Increment();
+  ICEBERG_COUNTER("exec.pairs_examined")->Add(run.join_pairs_examined);
+  ICEBERG_COUNTER("exec.rows_joined")->Add(run.rows_joined);
+  ICEBERG_COUNTER("exec.groups_created")->Add(run.groups_created);
+  ICEBERG_COUNTER("exec.groups_output")->Add(run.groups_output);
+  ICEBERG_COUNTER("exec.index_probes")->Add(run.index_probes);
+  ICEBERG_HISTOGRAM("exec.query_us")
+      ->Record(static_cast<uint64_t>(run.execute_us));
 }
 
 }  // namespace
 
 Result<TablePtr> Executor::Execute(const QueryBlock& block,
                                    ExecStats* stats) {
+  TraceSpan span("exec.execute");
+  int64_t started_us = NowMicros();
+  ExecStats run;
+  Result<TablePtr> result = ExecuteInternal(block, &run);
+  run.execute_us = NowMicros() - started_us;
+  if (result.ok()) {
+    PublishExecMetrics(run);
+    if (stats != nullptr) stats->Accumulate(run);
+  }
+  return result;
+}
+
+Result<TablePtr> Executor::ExecuteInternal(const QueryBlock& block,
+                                           ExecStats* stats) {
   QueryGovernor* governor = options_.governor.get();
   if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
   ICEBERG_ASSIGN_OR_RETURN(JoinPipeline pipeline,
@@ -109,7 +153,7 @@ Result<TablePtr> Executor::Execute(const QueryBlock& block,
     Aggregator merged(block);
     merged.SetGovernor(governor);
     for (auto& p : partials) merged.MergeFrom(std::move(*p));
-    MergeWorkerStats(partial_stats, stats);
+    MergeWorkerStats(partial_stats, pool, stats);
     if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
     FillGovernorStats(governor, stats);
     ICEBERG_ASSIGN_OR_RETURN(TablePtr result, merged.Finalize(stats));
@@ -182,7 +226,7 @@ Result<TablePtr> Executor::Execute(const QueryBlock& block,
   for (std::vector<Row>& buffer : buffers) {
     for (Row& row : buffer) emit(std::move(row));
   }
-  MergeWorkerStats(partial_stats, stats);
+  MergeWorkerStats(partial_stats, pool, stats);
   if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
   FillGovernorStats(governor, stats);
   result->SortRowsCanonical();
@@ -232,6 +276,7 @@ Result<TablePtr> GroupAndProject(const QueryBlock& block,
                                  const std::vector<Row>& joined_rows,
                                  ExecStats* stats, QueryGovernor* governor,
                                  int num_threads) {
+  TraceSpan span("exec.group_and_project");
   Aggregator agg(block);
   agg.SetGovernor(governor);
   if (!agg.IsAggregated()) {
@@ -286,7 +331,10 @@ Result<TablePtr> GroupAndProject(const QueryBlock& block,
     ICEBERG_RETURN_NOT_OK(status);
     for (auto& p : partials) agg.MergeFrom(std::move(*p));
     if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
-    if (stats != nullptr) stats->workers = static_cast<size_t>(threads);
+    if (stats != nullptr) {
+      stats->workers = static_cast<size_t>(threads);
+      stats->busy_us_per_worker = pool.last_busy_micros();
+    }
     ICEBERG_ASSIGN_OR_RETURN(TablePtr result, agg.Finalize(stats));
     result->SortRowsCanonical();
     return result;

@@ -25,7 +25,10 @@ class Executor {
 
   const ExecOptions& options() const { return options_; }
 
-  /// Runs the block and materializes the result.
+  /// Runs the block and materializes the result. Per-run totals are
+  /// accumulated into `stats` (when given) and published as exec.* metrics
+  /// in the global registry; both see the same run-local numbers, so
+  /// EXPLAIN ANALYZE and \metrics reconcile exactly.
   Result<TablePtr> Execute(const QueryBlock& block,
                            ExecStats* stats = nullptr);
 
@@ -34,6 +37,8 @@ class Executor {
   std::string Explain(const QueryBlock& block) const;
 
  private:
+  Result<TablePtr> ExecuteInternal(const QueryBlock& block, ExecStats* stats);
+
   ExecOptions options_;
 };
 

@@ -1,5 +1,8 @@
 #include "src/exec/governor.h"
 
+#include "src/common/logging.h"
+#include "src/obs/metrics.h"
+
 namespace iceberg {
 
 QueryGovernor::QueryGovernor(Limits limits, GovernorProbe probe)
@@ -9,6 +12,30 @@ QueryGovernor::QueryGovernor(Limits limits, GovernorProbe probe)
     deadline_ = std::chrono::steady_clock::now() +
                 std::chrono::milliseconds(limits_.deadline_ms);
   }
+}
+
+QueryGovernor::~QueryGovernor() {
+  // Governors are per-query and single-use, so destruction is the exact
+  // end-of-query publication point for governance metrics.
+  ICEBERG_COUNTER("governor.queries")->Increment();
+  ICEBERG_COUNTER("governor.checks")->Add(checks_performed());
+  ICEBERG_COUNTER("governor.cache_shed_entries")->Add(cache_shed_entries());
+  ICEBERG_GAUGE("governor.budget_peak_bytes")
+      ->SetMax(static_cast<int64_t>(bytes_peak()));
+  if (has_deadline_) {
+    ICEBERG_GAUGE("governor.deadline_headroom_ms")
+        ->Set(deadline_headroom_ms());
+  }
+  if (poisoned_.load(std::memory_order_acquire)) {
+    ICEBERG_COUNTER("governor.poisoned_queries")->Increment();
+  }
+}
+
+int64_t QueryGovernor::deadline_headroom_ms() const {
+  if (!has_deadline_) return -1;
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             deadline_ - std::chrono::steady_clock::now())
+      .count();
 }
 
 void QueryGovernor::Poison(Status status) {
@@ -58,6 +85,11 @@ Status QueryGovernor::ReserveInternal(size_t bytes, const char* tag,
     while (in_use + bytes > limits_.memory_budget_bytes) {
       size_t deficit = in_use + bytes - limits_.memory_budget_bytes;
       size_t freed = reclaimer_ ? reclaimer_(deficit) : 0;
+      if (freed > 0) {
+        ICEBERG_LOG(INFO) << "budget pressure: shed " << freed
+                          << " advisory bytes reserving " << bytes
+                          << " for " << tag;
+      }
       in_use = in_use_.load(std::memory_order_relaxed);
       if (freed == 0) {
         Status st = Status::ResourceExhausted(
@@ -66,7 +98,13 @@ Status QueryGovernor::ReserveInternal(size_t bytes, const char* tag,
             " bytes exceeded reserving " + std::to_string(bytes) +
             " bytes for " + tag);
         lock.unlock();
-        if (hard) Poison(st);
+        if (hard) {
+          ICEBERG_LOG(WARN) << "memory budget exhausted: "
+                            << limits_.memory_budget_bytes
+                            << " bytes, hard reservation of " << bytes
+                            << " bytes for " << tag << " failed";
+          Poison(st);
+        }
         return st;
       }
     }
@@ -115,6 +153,9 @@ Status QueryGovernor::CountIntermediateRows(size_t rows) {
     Status st = Status::ResourceExhausted(
         "intermediate-row limit of " +
         std::to_string(limits_.max_intermediate_rows) + " rows exceeded");
+    ICEBERG_LOG(WARN) << "intermediate-row limit tripped at " << total
+                      << " rows (limit " << limits_.max_intermediate_rows
+                      << ")";
     Poison(st);
     return st;
   }

@@ -59,6 +59,10 @@ class QueryGovernor {
 
   QueryGovernor() : QueryGovernor(Limits{}) {}
   explicit QueryGovernor(Limits limits, GovernorProbe probe = GovernorProbe());
+  /// Governors are single-use (one per query); destruction publishes the
+  /// query's governance footprint (checks, shed entries, budget high-water
+  /// mark, remaining deadline headroom) into the global metrics registry.
+  ~QueryGovernor();
 
   // ---- Cooperative cancellation ----
   /// May be called from any thread (e.g. a client disconnect handler).
@@ -120,6 +124,10 @@ class QueryGovernor {
   size_t cache_shed_entries() const {
     return shed_.load(std::memory_order_relaxed);
   }
+  /// Milliseconds left until the deadline (negative once overrun); -1 when
+  /// the query has no deadline. The headroom at query end says how close a
+  /// governed workload is running to its SLO.
+  int64_t deadline_headroom_ms() const;
 
  private:
   Status ReserveInternal(size_t bytes, const char* tag, bool hard);

@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/expr/evaluator.h"
+#include "src/obs/trace.h"
 
 namespace iceberg {
 
@@ -238,6 +239,9 @@ size_t JoinPipeline::OuterSize() const {
 Status JoinPipeline::Run(size_t outer_begin, size_t outer_end,
                          const RowCallback& callback, ExecStats* stats,
                          QueryGovernor* governor) const {
+  // One span per Run call = one span per morsel under the parallel
+  // executors, so the trace shows each worker's morsel timeline.
+  TraceSpan span("join.run", "join");
   const Table& outer = *block_->tables[0].table;
   outer_end = std::min(outer_end, outer.num_rows());
   const JoinLevel& l0 = levels_[0];

@@ -1,5 +1,9 @@
 #include "src/exec/task_pool.h"
 
+#include <chrono>
+
+#include "src/obs/metrics.h"
+
 namespace iceberg {
 
 int ResolveThreads(int requested) {
@@ -15,6 +19,7 @@ size_t MorselFor(size_t total, int threads) {
 
 TaskPool::TaskPool(int num_threads)
     : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  busy_us_.assign(static_cast<size_t>(num_threads_), 0);
   threads_.reserve(static_cast<size_t>(num_threads_ - 1));
   for (int w = 1; w < num_threads_; ++w) {
     threads_.emplace_back([this, w]() { WorkerLoop(w); });
@@ -48,11 +53,34 @@ void TaskPool::WorkerLoop(int worker) {
 }
 
 void TaskPool::Drain(int worker) {
+  using Clock = std::chrono::steady_clock;
+  Histogram* morsel_us = ICEBERG_HISTOGRAM("taskpool.morsel_us");
+  Histogram* claim_ns = ICEBERG_HISTOGRAM("taskpool.claim_ns");
+  Counter* morsels = ICEBERG_COUNTER("taskpool.morsels");
+  int64_t busy = 0;
+  size_t claimed = 0;
+  Clock::time_point idle_since = Clock::now();
   while (!failed_.load(std::memory_order_acquire)) {
     size_t begin = next_.fetch_add(morsel_, std::memory_order_relaxed);
     if (begin >= total_) break;
     size_t end = std::min(begin + morsel_, total_);
+    Clock::time_point start = Clock::now();
+    // Claim latency: the gap between finishing the previous morsel (or
+    // entering the drain loop) and starting this one — contention on the
+    // claim counter and wake-up latency both land here.
+    claim_ns->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(start -
+                                                             idle_since)
+            .count()));
     Status status = (*fn_)(worker, begin, end);
+    Clock::time_point finish = Clock::now();
+    int64_t took_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(finish - start)
+            .count();
+    busy += took_us;
+    ++claimed;
+    morsel_us->Record(static_cast<uint64_t>(took_us));
+    idle_since = finish;
     if (!status.ok()) {
       std::lock_guard<std::mutex> lock(mu_);
       if (first_error_.ok()) first_error_ = std::move(status);
@@ -60,16 +88,28 @@ void TaskPool::Drain(int worker) {
       break;
     }
   }
+  morsels->Add(claimed);
+  busy_us_[static_cast<size_t>(worker)] = busy;
 }
 
 Status TaskPool::RunMorsels(size_t total, size_t morsel_size,
                             const MorselFn& fn) {
   if (morsel_size == 0) morsel_size = 1;
+  ICEBERG_COUNTER("taskpool.jobs")->Increment();
   if (num_threads_ == 1 || total <= morsel_size) {
-    for (size_t begin = 0; begin < total; begin += morsel_size) {
-      ICEBERG_RETURN_NOT_OK(fn(0, begin, std::min(begin + morsel_size, total)));
-    }
-    return Status::OK();
+    // Serial path: no threads are woken; Drain on the calling thread
+    // claims every morsel in ascending order, exactly the prior inline
+    // loop (the atomic counter is uncontended).
+    total_ = total;
+    morsel_ = morsel_size;
+    fn_ = &fn;
+    next_.store(0, std::memory_order_relaxed);
+    failed_.store(false, std::memory_order_relaxed);
+    first_error_ = Status::OK();
+    std::fill(busy_us_.begin(), busy_us_.end(), 0);
+    Drain(0);
+    fn_ = nullptr;
+    return first_error_;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -79,6 +119,7 @@ Status TaskPool::RunMorsels(size_t total, size_t morsel_size,
     next_.store(0, std::memory_order_relaxed);
     failed_.store(false, std::memory_order_relaxed);
     first_error_ = Status::OK();
+    std::fill(busy_us_.begin(), busy_us_.end(), 0);
     workers_running_ = static_cast<int>(threads_.size());
     ++job_seq_;
   }

@@ -57,6 +57,12 @@ class TaskPool {
   /// called repeatedly (but not concurrently from several threads).
   Status RunMorsels(size_t total, size_t morsel_size, const MorselFn& fn);
 
+  /// Microseconds each worker spent inside morsel callbacks during the
+  /// most recent RunMorsels call (index = worker id). busy/wall is the
+  /// worker's utilization; the spread across workers is scheduling skew.
+  /// Valid until the next RunMorsels call.
+  const std::vector<int64_t>& last_busy_micros() const { return busy_us_; }
+
  private:
   void WorkerLoop(int worker);
   /// Claims and runs morsels until the range is drained or the job failed.
@@ -80,6 +86,11 @@ class TaskPool {
   const MorselFn* fn_ = nullptr;
   std::atomic<size_t> next_{0};
   std::atomic<bool> failed_{false};
+
+  /// Per-worker busy time of the current/last job. Each slot is written
+  /// only by its owning worker during Drain and read by the caller after
+  /// the job barrier, so no per-slot synchronization is needed.
+  std::vector<int64_t> busy_us_;
 };
 
 }  // namespace iceberg

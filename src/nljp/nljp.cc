@@ -1,6 +1,7 @@
 #include "src/nljp/nljp.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <memory>
 #include <unordered_map>
@@ -10,8 +11,29 @@
 #include "src/exec/task_pool.h"
 #include "src/expr/aggregate.h"
 #include "src/expr/evaluator.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace iceberg {
+
+void NljpStats::Accumulate(const NljpStats& run) {
+  bindings_total += run.bindings_total;
+  memo_hits += run.memo_hits;
+  pruned += run.pruned;
+  inner_evaluations += run.inner_evaluations;
+  prune_tests += run.prune_tests;
+  inner_pairs_examined += run.inner_pairs_examined;
+  cache_entries += run.cache_entries;
+  cache_bytes += run.cache_bytes;
+  cache_evictions += run.cache_evictions;
+  cache_shed_entries += run.cache_shed_entries;
+  cancel_checks = run.cancel_checks;
+  budget_bytes_peak = run.budget_bytes_peak;
+  workers = run.workers;
+  bindings_per_worker = run.bindings_per_worker;
+  busy_us_per_worker = run.busy_us_per_worker;
+  execute_us += run.execute_us;
+}
 
 std::string NljpStats::ToString() const {
   std::string out = "bindings=" + std::to_string(bindings_total) +
@@ -40,7 +62,16 @@ std::string NljpStats::ToString() const {
       out += std::to_string(bindings_per_worker[i]);
     }
     out += "]";
+    if (!busy_us_per_worker.empty()) {
+      out += " busy_us_per_worker=[";
+      for (size_t i = 0; i < busy_us_per_worker.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(busy_us_per_worker[i]);
+      }
+      out += "]";
+    }
   }
+  if (execute_us > 0) out += " execute_us=" + std::to_string(execute_us);
   return out;
 }
 
@@ -283,6 +314,20 @@ Result<NljpOperator::CacheEntry> NljpOperator::EvaluateInner(
 Result<NljpOperator::CacheEntry> NljpOperator::EvaluateInnerWith(
     const JoinPipeline& pipeline, Table* param, Row binding,
     size_t* pairs_examined) const {
+  // Per-binding inner-join cost: the distribution (not just the total) is
+  // what shows whether memo/prune removed the expensive evaluations.
+  TraceSpan span("nljp.inner_eval", "nljp");
+  struct EvalTimer {
+    std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
+    ~EvalTimer() {
+      ICEBERG_HISTOGRAM("nljp.inner_eval_us")
+          ->Record(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count()));
+    }
+  } eval_timer;
   param->UpdateRow(0, binding);
 
   // Partition joining R-tuples by G_R, accumulating every aggregate. With
@@ -477,6 +522,7 @@ void NljpOperator::ContributeTo(GroupMap* groups, const Row& l_row,
 
 Result<TablePtr> NljpOperator::FinalizeGroups(const GroupMap& groups,
                                               QueryGovernor* governor) const {
+  TraceSpan span("nljp.q_p", "nljp");
   const QueryBlock& block = *block_;
   if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
   auto result = std::make_shared<Table>(block.output_schema);
@@ -505,7 +551,48 @@ Result<TablePtr> NljpOperator::FinalizeGroups(const GroupMap& groups,
   return result;
 }
 
+namespace {
+
+int64_t NljpNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void PublishNljpMetrics(const NljpStats& run) {
+  ICEBERG_COUNTER("nljp.executions")->Increment();
+  ICEBERG_COUNTER("nljp.bindings")->Add(run.bindings_total);
+  ICEBERG_COUNTER("nljp.memo_hits")->Add(run.memo_hits);
+  ICEBERG_COUNTER("nljp.pruned")->Add(run.pruned);
+  ICEBERG_COUNTER("nljp.inner_evaluations")->Add(run.inner_evaluations);
+  ICEBERG_COUNTER("nljp.prune_tests")->Add(run.prune_tests);
+  ICEBERG_COUNTER("nljp.inner_pairs_examined")->Add(run.inner_pairs_examined);
+  ICEBERG_COUNTER("nljp.cache_evictions")->Add(run.cache_evictions);
+  ICEBERG_COUNTER("nljp.cache_shed_entries")->Add(run.cache_shed_entries);
+  ICEBERG_GAUGE("nljp.cache_entries")
+      ->Set(static_cast<int64_t>(run.cache_entries));
+  ICEBERG_GAUGE("nljp.cache_bytes")
+      ->Set(static_cast<int64_t>(run.cache_bytes));
+  ICEBERG_HISTOGRAM("nljp.execute_us")
+      ->Record(static_cast<uint64_t>(run.execute_us));
+}
+
+}  // namespace
+
 Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
+  TraceSpan span("nljp.execute", "nljp");
+  int64_t started_us = NljpNowMicros();
+  NljpStats run;
+  Result<TablePtr> result = ExecuteImpl(&run);
+  run.execute_us = NljpNowMicros() - started_us;
+  if (result.ok()) {
+    PublishNljpMetrics(run);
+    if (stats != nullptr) stats->Accumulate(run);
+  }
+  return result;
+}
+
+Result<TablePtr> NljpOperator::ExecuteImpl(NljpStats* stats) {
   QueryGovernor* governor = options_.governor.get();
   if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
 
@@ -515,6 +602,7 @@ Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
   size_t mandatory_bytes = 0;
 
   // ---- Q_B: stream (or sort) the L-side tuples ----
+  TraceSpan qb_span("nljp.q_b", "nljp");
   ICEBERG_ASSIGN_OR_RETURN(
       JoinPipeline binding_pipeline,
       JoinPipeline::Plan(binding_block_, options_.use_indexes));
@@ -547,6 +635,7 @@ Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
       return asc ? c < 0 : c > 0;
     });
   }
+  qb_span.End();
 
   // Morsel-driven parallel path. cache_index=false (the linear-scan
   // ablation of Fig. 4) is a serial-only measurement mode; the shared
@@ -714,6 +803,7 @@ Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
   };
 
   // ---- Main loop + post-processing accumulation (Q_P) ----
+  TraceSpan loop_span("nljp.main_loop", "nljp");
   GroupMap groups;
   EvalScratch contribute_scratch;
 
@@ -815,6 +905,8 @@ Result<TablePtr> NljpOperator::Execute(NljpStats* stats) {
       stats->budget_bytes_peak = governor->bytes_peak();
     }
   }
+
+  loop_span.End();
 
   // ---- Q_P: final HAVING + projection per LR-group ----
   return FinalizeGroups(groups, governor);
@@ -921,6 +1013,7 @@ Result<TablePtr> NljpOperator::ExecuteParallel(std::vector<Row> l_rows,
 
   // Bindings vary wildly in cost (pruned in microseconds vs a full inner
   // join), so morsels are small; the atomic claim counter load-balances.
+  TraceSpan loop_span("nljp.main_loop", "nljp");
   TaskPool pool(threads);
   const size_t morsel = std::max<size_t>(
       1, std::min<size_t>(32, l_rows.size() / (threads * 4)));
@@ -933,6 +1026,7 @@ Result<TablePtr> NljpOperator::ExecuteParallel(std::vector<Row> l_rows,
         }
         return Status::OK();
       });
+  loop_span.End();
   // Group reservations must reach the caller's release guard even when the
   // pool failed partway through.
   for (const auto& ctx : ctxs) *mandatory_bytes += ctx->mandatory;
@@ -964,6 +1058,7 @@ Result<TablePtr> NljpOperator::ExecuteParallel(std::vector<Row> l_rows,
 
   if (stats != nullptr) {
     stats->workers = static_cast<size_t>(threads);
+    stats->busy_us_per_worker = pool.last_busy_micros();
     stats->bindings_per_worker.clear();
     for (const auto& ctx : ctxs) {
       const NljpStats& p = ctx->partial;

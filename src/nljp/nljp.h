@@ -79,6 +79,14 @@ struct NljpStats {
   size_t budget_bytes_peak = 0;    // peak tracked bytes (governed runs)
   size_t workers = 1;              // worker threads of the run
   std::vector<size_t> bindings_per_worker;  // morsel balance (workers > 1)
+  std::vector<int64_t> busy_us_per_worker;  // time inside morsel callbacks
+  int64_t execute_us = 0;          // wall time of the whole Execute call
+
+  /// Folds one run's stats into an accumulating block: counters add up,
+  /// per-run shape (workers, per-worker vectors, governance readings) is
+  /// replaced, so a reused block stays consistent when the thread count
+  /// changes between runs.
+  void Accumulate(const NljpStats& run);
 
   std::string ToString() const;
 };
@@ -109,6 +117,9 @@ class NljpOperator {
   static Result<std::unique_ptr<NljpOperator>> Create(IcebergView view,
                                                       NljpOptions options);
 
+  /// Runs the operator. Per-run totals are accumulated into `stats` (when
+  /// given) and published as nljp.* metrics in the global registry, so
+  /// EXPLAIN ANALYZE and \metrics reconcile exactly.
   Result<TablePtr> Execute(NljpStats* stats = nullptr);
 
   /// Renders the component queries Q_B, Q_R(b), Q_C(b'), Q_P in the style
@@ -128,6 +139,9 @@ class NljpOperator {
 
  private:
   NljpOperator() = default;
+
+  /// Body of Execute; `stats` is always the caller's run-local block.
+  Result<TablePtr> ExecuteImpl(NljpStats* stats);
 
   // Cache payload types are shared with SharedNljpCache so serial and
   // parallel runs charge identical byte footprints to the governor.

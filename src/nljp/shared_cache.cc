@@ -32,6 +32,21 @@ SharedNljpCache::SharedNljpCache(Options options)
   if (options_.witness_index) {
     witness_stripes_ = std::vector<WitnessStripe>(stripes);
   }
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  lookups_ = registry.GetCounter("nljp.cache.lookups");
+  hits_ = registry.GetCounter("nljp.cache.hits");
+  witness_tests_ = registry.GetCounter("nljp.cache.witness_tests");
+  inserts_ = registry.GetCounter("nljp.cache.inserts");
+  contention_ = registry.GetCounter("nljp.cache.contention");
+}
+
+std::unique_lock<std::mutex> SharedNljpCache::LockStripe(std::mutex& mu) {
+  std::unique_lock<std::mutex> lock(mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    contention_->Increment();
+    lock.lock();
+  }
+  return lock;
 }
 
 SharedNljpCache::~SharedNljpCache() {
@@ -56,21 +71,24 @@ size_t SharedNljpCache::WitnessStripeOf(const Row& eq_key) const {
 }
 
 bool SharedNljpCache::Lookup(const Row& binding, NljpCacheEntry* out) {
+  lookups_->Increment();
   if (options_.binding_codec.usable()) {
     PackedKey key;
     options_.binding_codec.EncodeRow(binding, &key);
     MemoStripe& stripe = memo_stripes_[key.hash() & stripe_mask_];
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto lock = LockStripe(stripe.mu);
     auto it = stripe.by_binding_packed.find(key);
     if (it == stripe.by_binding_packed.end()) return false;
     *out = stripe.slots[it->second].entry;
+    hits_->Increment();
     return true;
   }
   MemoStripe& stripe = memo_stripes_[MemoStripeOf(binding)];
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto lock = LockStripe(stripe.mu);
   auto it = stripe.by_binding.find(binding);
   if (it == stripe.by_binding.end()) return false;
   *out = stripe.slots[it->second].entry;
+  hits_->Increment();
   return true;
 }
 
@@ -81,20 +99,22 @@ bool SharedNljpCache::AnyWitness(
     PackedKey key;
     options_.eq_codec.EncodeAt(binding, options_.eq_positions, &key);
     WitnessStripe& stripe = witness_stripes_[key.hash() & stripe_mask_];
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto lock = LockStripe(stripe.mu);
     auto bucket = stripe.buckets_packed.find(key);
     if (bucket == stripe.buckets_packed.end()) return false;
     for (const auto& [id, witness] : bucket->second) {
+      witness_tests_->Increment();
       if (test(witness)) return true;
     }
     return false;
   }
   Row eq_key = EqKeyOf(binding);
   WitnessStripe& stripe = witness_stripes_[WitnessStripeOf(eq_key)];
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto lock = LockStripe(stripe.mu);
   auto bucket = stripe.buckets.find(eq_key);
   if (bucket == stripe.buckets.end()) return false;
   for (const auto& [id, witness] : bucket->second) {
+    witness_tests_->Increment();
     if (test(witness)) return true;
   }
   return false;
@@ -170,6 +190,7 @@ size_t SharedNljpCache::EvictOneGlobal(size_t start_stripe) {
 }
 
 void SharedNljpCache::Insert(NljpCacheEntry entry) {
+  inserts_->Increment();
   const size_t bytes = NljpCacheEntryBytes(entry);
   // Advisory reservation, taken with no stripe lock held: under pressure
   // the governor's reclaimer sheds older entries first (possibly ours from
@@ -188,12 +209,12 @@ void SharedNljpCache::Insert(NljpCacheEntry entry) {
       PackedKey key;
       options_.eq_codec.EncodeAt(entry.binding, options_.eq_positions, &key);
       WitnessStripe& stripe = witness_stripes_[key.hash() & stripe_mask_];
-      std::lock_guard<std::mutex> lock(stripe.mu);
+      auto lock = LockStripe(stripe.mu);
       stripe.buckets_packed[key].emplace_back(witness_id, entry.binding);
     } else {
       Row eq_key = EqKeyOf(entry.binding);
       WitnessStripe& stripe = witness_stripes_[WitnessStripeOf(eq_key)];
-      std::lock_guard<std::mutex> lock(stripe.mu);
+      auto lock = LockStripe(stripe.mu);
       stripe.buckets[std::move(eq_key)].emplace_back(witness_id,
                                                      entry.binding);
     }
@@ -211,7 +232,7 @@ void SharedNljpCache::Insert(NljpCacheEntry entry) {
   bool duplicate = false;
   {
     MemoStripe& stripe = memo_stripes_[stripe_idx];
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto lock = LockStripe(stripe.mu);
     if (options_.memo_index &&
         (packed ? stripe.by_binding_packed.count(packed_key) > 0
                 : stripe.by_binding.count(entry.binding) > 0)) {

@@ -12,6 +12,7 @@
 #include "src/common/value.h"
 #include "src/exec/governor.h"
 #include "src/exec/key_codec.h"
+#include "src/obs/metrics.h"
 
 namespace iceberg {
 
@@ -156,6 +157,11 @@ class SharedNljpCache {
         buckets_packed;
   };
 
+  /// Stripe-lock acquisition that counts contention: a failed try_lock
+  /// (another worker holds this stripe) bumps nljp.cache.contention before
+  /// blocking, making hot stripes visible in \metrics.
+  std::unique_lock<std::mutex> LockStripe(std::mutex& mu);
+
   Row EqKeyOf(const Row& binding) const;
   size_t MemoStripeOf(const Row& binding) const;
   size_t WitnessStripeOf(const Row& eq_key) const;
@@ -169,6 +175,14 @@ class SharedNljpCache {
   size_t stripe_mask_ = 0;
   std::vector<MemoStripe> memo_stripes_;
   std::vector<WitnessStripe> witness_stripes_;
+
+  // Registry handles cached at construction (registration takes a mutex;
+  // the handles themselves are lock-free on the hot path).
+  Counter* lookups_ = nullptr;
+  Counter* hits_ = nullptr;
+  Counter* witness_tests_ = nullptr;
+  Counter* inserts_ = nullptr;
+  Counter* contention_ = nullptr;
 
   std::atomic<uint64_t> next_witness_id_{1};
   std::atomic<size_t> next_evict_stripe_{0};

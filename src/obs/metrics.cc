@@ -1,0 +1,181 @@
+#include "src/obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace iceberg {
+
+uint64_t HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Rank of the target observation (1-based, ceil), then walk buckets.
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Bucket i covers [2^(i-1), 2^i); report the inclusive upper bound.
+      return i == 0 ? 0 : (i >= 64 ? UINT64_MAX : (uint64_t{1} << i) - 1);
+    }
+  }
+  return UINT64_MAX;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+MetricsSnapshot MetricsSnapshot::DiffSince(const MetricsSnapshot& base) const {
+  MetricsSnapshot diff;
+  for (const auto& [name, value] : counters) {
+    auto it = base.counters.find(name);
+    uint64_t prev = it == base.counters.end() ? 0 : it->second;
+    diff.counters[name] = value >= prev ? value - prev : value;
+  }
+  diff.gauges = gauges;  // gauges are instantaneous, not cumulative
+  for (const auto& [name, hist] : histograms) {
+    auto it = base.histograms.find(name);
+    if (it == base.histograms.end()) {
+      diff.histograms[name] = hist;
+      continue;
+    }
+    const HistogramSnapshot& prev = it->second;
+    HistogramSnapshot d;
+    d.count = hist.count >= prev.count ? hist.count - prev.count : hist.count;
+    d.sum = hist.sum >= prev.sum ? hist.sum - prev.sum : hist.sum;
+    for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      d.buckets[i] = hist.buckets[i] >= prev.buckets[i]
+                         ? hist.buckets[i] - prev.buckets[i]
+                         : hist.buckets[i];
+    }
+    diff.histograms[name] = d;
+  }
+  return diff;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : counters) {
+    std::snprintf(line, sizeof(line), "counter %-40s %" PRIu64 "\n",
+                  name.c_str(), value);
+    out += line;
+  }
+  for (const auto& [name, value] : gauges) {
+    std::snprintf(line, sizeof(line), "gauge   %-40s %" PRId64 "\n",
+                  name.c_str(), value);
+    out += line;
+  }
+  for (const auto& [name, hist] : histograms) {
+    std::snprintf(line, sizeof(line),
+                  "hist    %-40s count=%" PRIu64 " sum=%" PRIu64
+                  " mean=%.1f p50<=%" PRIu64 " p95<=%" PRIu64 " p99<=%" PRIu64
+                  "\n",
+                  name.c_str(), hist.count, hist.sum, hist.Mean(),
+                  hist.Percentile(50), hist.Percentile(95),
+                  hist.Percentile(99));
+    out += line;
+  }
+  return out;
+}
+
+namespace {
+
+void AppendJsonKey(std::string* out, const std::string& name, bool* first) {
+  if (!*first) *out += ",";
+  *first = false;
+  *out += "\"" + name + "\":";
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    AppendJsonKey(&out, name, &first);
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    AppendJsonKey(&out, name, &first);
+    out += std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    AppendJsonKey(&out, name, &first);
+    out += "{\"count\":" + std::to_string(hist.count) +
+           ",\"sum\":" + std::to_string(hist.sum) +
+           ",\"p50\":" + std::to_string(hist.Percentile(50)) +
+           ",\"p95\":" + std::to_string(hist.Percentile(95)) +
+           ",\"p99\":" + std::to_string(hist.Percentile(99)) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms[name] = hist->Snapshot();
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace iceberg

@@ -1,0 +1,164 @@
+#ifndef SMARTICEBERG_OBS_METRICS_H_
+#define SMARTICEBERG_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace iceberg {
+
+/// A monotonically increasing named count. Increments are relaxed atomics:
+/// no ordering is implied between counters, but every increment is counted
+/// exactly once, so totals read at quiescence (end of query) are exact at
+/// any thread count.
+class Counter {
+ public:
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A named instantaneous value (peak bytes, headroom). Set/SetMax race
+/// benignly: the final value is one of the concurrently written values
+/// (SetMax converges to the true maximum).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if it is larger (lock-free running maximum).
+  void SetMax(int64_t v) {
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time copy of one histogram; percentiles are estimated from the
+/// log-scale bucket boundaries (each bucket spans one power of two, so the
+/// estimate is within 2x of the true value — ample for latency triage).
+struct HistogramSnapshot {
+  static constexpr size_t kBuckets = 64;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::array<uint64_t, kBuckets> buckets{};
+
+  /// Upper bound of the bucket containing the p-th percentile observation
+  /// (p in [0, 100]); 0 when empty.
+  uint64_t Percentile(double p) const;
+  double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) /
+                                                      static_cast<double>(count); }
+};
+
+/// A log-scale histogram of non-negative values (latencies, sizes): value v
+/// lands in bucket bit_width(v), i.e. bucket i covers [2^(i-1), 2^i).
+/// Recording is three relaxed fetch_adds — safe and exact under any number
+/// of concurrent writers. The unit is the call site's choice; by convention
+/// the metric name carries a unit suffix (_us, _ns, _bytes).
+class Histogram {
+ public:
+  void Record(uint64_t value) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  }
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  static size_t BucketOf(uint64_t v) {
+    size_t b = 0;
+    while (v != 0) {
+      v >>= 1;
+      ++b;
+    }
+    return b < HistogramSnapshot::kBuckets ? b
+                                           : HistogramSnapshot::kBuckets - 1;
+  }
+
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::array<std::atomic<uint64_t>, HistogramSnapshot::kBuckets> buckets_{};
+};
+
+/// Point-in-time copy of the whole registry. DiffSince subtracts a baseline
+/// snapshot (counters and histogram buckets; gauges keep their current
+/// value), which is how per-query deltas are reported: snapshot before,
+/// run, snapshot after, diff.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  MetricsSnapshot DiffSince(const MetricsSnapshot& base) const;
+  std::string ToText() const;
+  std::string ToJson() const;
+};
+
+/// The process-wide registry of named metrics. Registration (GetCounter /
+/// GetGauge / GetHistogram) takes a mutex and returns a stable pointer that
+/// lives for the process lifetime; hot paths register once (static local or
+/// constructor-cached member) and then touch only the lock-free handle.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+  /// Zeroes every registered metric (handles stay valid). Callers must be
+  /// quiesced: a Reset concurrent with increments keeps the registry
+  /// consistent but the zero point is undefined.
+  void ResetAll();
+
+  std::string RenderText() const { return Snapshot().ToText(); }
+  std::string RenderJson() const { return Snapshot().ToJson(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace iceberg
+
+/// Registers once (thread-safe static local), then compiles to one relaxed
+/// fetch_add. Usage: ICEBERG_COUNTER("nljp.memo_hits")->Add(n);
+#define ICEBERG_COUNTER(name)                                       \
+  ([]() -> ::iceberg::Counter* {                                    \
+    static ::iceberg::Counter* c =                                  \
+        ::iceberg::MetricsRegistry::Global().GetCounter(name);      \
+    return c;                                                       \
+  }())
+
+#define ICEBERG_GAUGE(name)                                         \
+  ([]() -> ::iceberg::Gauge* {                                      \
+    static ::iceberg::Gauge* g =                                    \
+        ::iceberg::MetricsRegistry::Global().GetGauge(name);        \
+    return g;                                                       \
+  }())
+
+#define ICEBERG_HISTOGRAM(name)                                     \
+  ([]() -> ::iceberg::Histogram* {                                  \
+    static ::iceberg::Histogram* h =                                \
+        ::iceberg::MetricsRegistry::Global().GetHistogram(name);    \
+    return h;                                                       \
+  }())
+
+#endif  // SMARTICEBERG_OBS_METRICS_H_

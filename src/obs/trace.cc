@@ -1,0 +1,138 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+namespace iceberg {
+
+namespace {
+
+bool TraceEnvDefault() {
+  const char* env = std::getenv("ICEBERG_TRACE");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{TraceEnvDefault()};
+  return enabled;
+}
+
+/// Events recorded by one thread. The owning thread appends under the
+/// buffer mutex (uncontended in steady state); SnapshotTrace/ClearTrace
+/// take the same mutex from the draining thread, which is what makes the
+/// hand-off tsan-clean even while workers are still recording.
+struct TraceBuffer {
+  std::mutex mu;
+  uint32_t tid = 0;
+  std::vector<TraceEvent> events;
+};
+
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers;
+};
+
+BufferRegistry& Registry() {
+  static BufferRegistry* registry = new BufferRegistry();
+  return *registry;
+}
+
+TraceBuffer* ThisThreadBuffer() {
+  thread_local TraceBuffer* buffer = [] {
+    auto owned = std::make_unique<TraceBuffer>();
+    TraceBuffer* raw = owned.get();
+    BufferRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    raw->tid = static_cast<uint32_t>(registry.buffers.size());
+    registry.buffers.push_back(std::move(owned));
+    return raw;
+  }();
+  return buffer;
+}
+
+}  // namespace
+
+bool TraceEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetTraceEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+int64_t TraceNowMicros() {
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - origin)
+      .count();
+}
+
+void TraceSpan::End() {
+  if (start_us_ < 0) return;
+  int64_t end_us = TraceNowMicros();
+  TraceBuffer* buffer = ThisThreadBuffer();
+  TraceEvent event{name_, cat_, start_us_, end_us - start_us_, buffer->tid};
+  {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.push_back(event);
+  }
+  start_us_ = -1;
+}
+
+std::vector<TraceEvent> SnapshotTrace() {
+  std::vector<TraceEvent> all;
+  BufferRegistry& registry = Registry();
+  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_us < b.start_us;
+            });
+  return all;
+}
+
+void ClearTrace() {
+  BufferRegistry& registry = Registry();
+  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+std::string TraceToChromeJson(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[256];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,"
+                  "\"tid\":%u,\"ts\":%lld,\"dur\":%lld}",
+                  i == 0 ? "" : ",", e.name, e.cat, e.tid,
+                  static_cast<long long>(e.start_us),
+                  static_cast<long long>(e.dur_us));
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+bool DumpTrace(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::string json = TraceToChromeJson(SnapshotTrace());
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace iceberg

@@ -1,0 +1,74 @@
+#ifndef SMARTICEBERG_OBS_TRACE_H_
+#define SMARTICEBERG_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iceberg {
+
+/// One completed span, in the vocabulary of the Chrome trace_event format
+/// ("X" complete events): a name, a category, a start timestamp and a
+/// duration (both in microseconds since process start), and the recording
+/// thread's stable trace id.
+///
+/// `name` and `cat` must be string literals (or otherwise outlive the
+/// trace): spans store the pointer, never a copy, so a disabled span costs
+/// nothing and an enabled one never allocates on the hot path.
+struct TraceEvent {
+  const char* name;
+  const char* cat;
+  int64_t start_us;
+  int64_t dur_us;
+  uint32_t tid;
+};
+
+/// Global tracing switch. Reading is one relaxed atomic load; flipping it
+/// is safe at any time (spans that started enabled still record on
+/// destruction). Initialized from the ICEBERG_TRACE environment variable
+/// (any non-empty value other than "0" enables tracing at startup).
+bool TraceEnabled();
+void SetTraceEnabled(bool enabled);
+
+/// Microseconds since process start on the steady clock (the span
+/// timebase; exposed for tests and for correlating with external logs).
+int64_t TraceNowMicros();
+
+/// A scoped phase timing. Construction when tracing is disabled is a
+/// single branch on the cached atomic flag; when enabled, destruction
+/// appends one TraceEvent to the calling thread's buffer (per-thread, so
+/// workers never contend with each other).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* cat = "exec")
+      : name_(name), cat_(cat), start_us_(TraceEnabled() ? TraceNowMicros() : -1) {}
+  ~TraceSpan() { End(); }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Ends the span early (idempotent; the destructor becomes a no-op).
+  void End();
+
+ private:
+  const char* name_;
+  const char* cat_;
+  int64_t start_us_;  // -1 = disabled at construction / already ended
+};
+
+/// Copies every thread's recorded events, ordered by start time. The
+/// buffers are left intact (dump-then-keep); ClearTrace() empties them.
+std::vector<TraceEvent> SnapshotTrace();
+void ClearTrace();
+
+/// Renders events as a chrome://tracing / Perfetto-loadable JSON document
+/// (trace_event "X" complete events, one pid, per-thread tids).
+std::string TraceToChromeJson(const std::vector<TraceEvent>& events);
+
+/// SnapshotTrace() rendered with TraceToChromeJson and written to `path`;
+/// returns false when the file cannot be opened.
+bool DumpTrace(const std::string& path);
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_OBS_TRACE_H_

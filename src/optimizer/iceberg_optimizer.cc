@@ -1,12 +1,35 @@
 #include "src/optimizer/iceberg_optimizer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/rewrite/equality_inference.h"
 
 namespace iceberg {
+
+namespace {
+
+/// Accumulates elapsed microseconds into a Timing field on destruction.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(int64_t* slot)
+      : slot_(slot), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    *slot_ += std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+  }
+
+ private:
+  int64_t* slot_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
 
 std::string IcebergReport::ToString() const {
   std::string out;
@@ -150,55 +173,75 @@ Result<std::unique_ptr<NljpOperator>> IcebergOptimizer::PickMemprune(
 
 Result<TablePtr> IcebergOptimizer::Run(const QueryBlock& block,
                                        IcebergReport* report) {
+  // Local report when the caller passed none: phase timings and rewrite
+  // decisions still feed the metrics registry either way.
+  IcebergReport local_report;
+  if (report == nullptr) report = &local_report;
+  ICEBERG_COUNTER("optimizer.queries")->Increment();
   QueryGovernor* governor = options_.governor.get();
   if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
   QueryBlock inferred = block;
-  size_t derived = InferDerivedEqualities(&inferred);
-  if (derived > 0 && report != nullptr) {
-    report->steps.push_back("inferred " + std::to_string(derived) +
-                            " equality predicate(s) from FDs");
+  {
+    TraceSpan span("optimize.infer_fds", "optimize");
+    PhaseTimer timer(&report->timing.infer_us);
+    size_t derived = InferDerivedEqualities(&inferred);
+    if (derived > 0) {
+      ICEBERG_COUNTER("optimizer.fd_equalities")->Add(derived);
+      report->steps.push_back("inferred " + std::to_string(derived) +
+                              " equality predicate(s) from FDs");
+    }
   }
-  std::vector<AprioriOpportunity> reducers = PickApriori(inferred, report);
+  std::vector<AprioriOpportunity> reducers;
+  {
+    TraceSpan span("optimize.apriori_pick", "optimize");
+    PhaseTimer timer(&report->timing.apriori_pick_us);
+    reducers = PickApriori(inferred, report);
+  }
   QueryBlock rewritten = inferred;
   if (!reducers.empty()) {
+    TraceSpan span("optimize.apriori_apply", "optimize");
+    PhaseTimer timer(&report->timing.apriori_apply_us);
+    ICEBERG_COUNTER("optimizer.apriori_applied")->Add(reducers.size());
     ICEBERG_ASSIGN_OR_RETURN(rewritten,
                              ApplyReducers(inferred, reducers, report));
   }
   if (options_.enable_memo || options_.enable_prune) {
-    Result<std::unique_ptr<NljpOperator>> op =
-        PickMemprune(rewritten, report);
+    Result<std::unique_ptr<NljpOperator>> op = [&] {
+      TraceSpan span("optimize.pick_memprune", "optimize");
+      PhaseTimer timer(&report->timing.pick_nljp_us);
+      return PickMemprune(rewritten, report);
+    }();
     if (op.ok()) {
-      if (report != nullptr) {
-        report->used_nljp = true;
-        report->nljp_explain = (*op)->Explain();
+      ICEBERG_COUNTER("optimizer.nljp_chosen")->Increment();
+      report->used_nljp = true;
+      report->nljp_explain = (*op)->Explain();
+      PhaseTimer timer(&report->timing.execute_us);
+      Result<TablePtr> result = (*op)->Execute(&report->nljp_stats);
+      if (options_.enable_prune && !(*op)->prune_enabled()) {
+        report->degradations.push_back("pruning disabled: " +
+                                       (*op)->prune_disabled_reason());
       }
-      Result<TablePtr> result =
-          (*op)->Execute(report != nullptr ? &report->nljp_stats : nullptr);
-      if (report != nullptr) {
-        if (options_.enable_prune && !(*op)->prune_enabled()) {
-          report->degradations.push_back("pruning disabled: " +
-                                         (*op)->prune_disabled_reason());
-        }
-        if (report->nljp_stats.cache_shed_entries > 0) {
-          report->degradations.push_back(
-              "shed " +
-              std::to_string(report->nljp_stats.cache_shed_entries) +
-              " cache entries under memory pressure");
-        }
+      if (report->nljp_stats.cache_shed_entries > 0) {
+        report->degradations.push_back(
+            "shed " +
+            std::to_string(report->nljp_stats.cache_shed_entries) +
+            " cache entries under memory pressure");
       }
       return result;
     }
-    if (report != nullptr) {
-      report->steps.push_back("fallback to baseline (" +
-                              op.status().message() + ")");
-      report->degradations.push_back("fallback to baseline plan: " +
-                                     op.status().message());
-    }
+    ICEBERG_COUNTER("optimizer.fallbacks")->Increment();
+    ICEBERG_LOG(INFO) << "iceberg plan fell back to baseline: "
+                      << op.status().message();
+    report->steps.push_back("fallback to baseline (" +
+                            op.status().message() + ")");
+    report->degradations.push_back("fallback to baseline plan: " +
+                                   op.status().message());
   }
   ExecOptions fallback_exec = options_.base_exec;
   fallback_exec.governor = options_.governor;
   Executor executor(fallback_exec);
-  return executor.Execute(rewritten);
+  PhaseTimer timer(&report->timing.execute_us);
+  return executor.Execute(rewritten, &report->exec_stats);
 }
 
 Result<std::string> IcebergOptimizer::Explain(const QueryBlock& block) {

@@ -59,6 +59,19 @@ struct IcebergReport {
   bool used_nljp = false;
   std::string nljp_explain;
   NljpStats nljp_stats;
+  /// Stats of the baseline executor when the plan fell back (or when all
+  /// techniques were disabled); empty otherwise.
+  ExecStats exec_stats;
+  /// Wall time per optimization/execution phase, microseconds. The same
+  /// phases are emitted as trace spans when tracing is enabled.
+  struct Timing {
+    int64_t infer_us = 0;          // FD-based equality inference
+    int64_t apriori_pick_us = 0;   // reducer search (Listing 9 phase 1)
+    int64_t apriori_apply_us = 0;  // reducer evaluation + table rewrite
+    int64_t pick_nljp_us = 0;      // NLJP partition search + Create
+    int64_t execute_us = 0;        // main plan execution (NLJP or fallback)
+  };
+  Timing timing;
   /// (table alias, rows before, rows after) per a-priori reduction.
   struct Reduction {
     std::string alias;

@@ -45,11 +45,19 @@ struct ParsedSelect {
   std::string ToString() const;
 };
 
-/// A full statement: optional WITH clauses followed by a main SELECT.
+/// A full statement: optional WITH clauses followed by a main SELECT,
+/// optionally prefixed by EXPLAIN / EXPLAIN ANALYZE.
 struct ParsedQuery {
   std::vector<std::pair<std::string, ParsedSelectPtr>> ctes;
   ParsedSelectPtr select;
+  /// EXPLAIN <query>: render the plan instead of executing.
+  bool explain = false;
+  /// EXPLAIN ANALYZE <query>: execute, then render the plan annotated
+  /// with measured wall times / row counts / cache effectiveness.
+  bool analyze = false;
 
+  /// Renders the query itself; the EXPLAIN/ANALYZE prefix is NOT included,
+  /// so the rendering round-trips as a plain executable statement.
   std::string ToString() const;
 };
 

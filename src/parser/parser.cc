@@ -17,6 +17,14 @@ class Parser {
 
   Result<ParsedQuery> ParseQuery() {
     ParsedQuery query;
+    if (PeekKeyword("EXPLAIN")) {
+      Advance();
+      query.explain = true;
+      if (PeekKeyword("ANALYZE")) {
+        Advance();
+        query.analyze = true;
+      }
+    }
     if (PeekKeyword("WITH")) {
       Advance();
       while (true) {

@@ -14,6 +14,7 @@ bool IsKeyword(const std::string& upper_word) {
           "WITH",   "AS",    "AND",    "OR",     "NOT",   "IN",
           "COUNT",  "SUM",   "MIN",    "MAX",    "AVG",   "DISTINCT",
           "ORDER",  "ASC",   "DESC",   "LIMIT",  "NULL",  "TRUE",   "FALSE",
+          "EXPLAIN", "ANALYZE",
       });
   return kKeywords->count(upper_word) > 0;
 }

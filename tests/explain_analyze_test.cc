@@ -1,0 +1,161 @@
+// EXPLAIN ANALYZE golden tests: the annotated operator tree must match the
+// optimizer's chosen plan for a pruning+memoization query, and every number
+// in the tree must reconcile exactly with the metrics-registry delta
+// reported on the trailing `metrics:` line — at 1 thread and at 8 threads.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+#include "src/obs/metrics.h"
+#include "src/workload/object.h"
+
+namespace iceberg {
+namespace {
+
+// The paper's skyband query: pruning (dominated bindings are skipped via
+// cached witnesses) and memoization (duplicate (x, y) bindings) both fire.
+constexpr char kSkybandSql[] =
+    "SELECT L.id, COUNT(*) FROM object L, object R "
+    "WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y) "
+    "GROUP BY L.id HAVING COUNT(*) <= 50";
+
+std::unique_ptr<Database> MakeObjectDb(size_t objects) {
+  auto db = std::make_unique<Database>();
+  ObjectConfig config;
+  config.num_objects = objects;
+  EXPECT_TRUE(RegisterObjects(db.get(), config).ok());
+  return db;
+}
+
+/// Flattens the one-column "QUERY PLAN" result into one newline-joined
+/// string.
+std::string PlanText(const TablePtr& table) {
+  EXPECT_EQ(table->schema().num_columns(), 1u);
+  EXPECT_EQ(table->schema().column(0).name, "QUERY PLAN");
+  std::string out;
+  for (const Row& row : table->rows()) {
+    out += row[0].AsString();
+    out += "\n";
+  }
+  return out;
+}
+
+/// Extracts the unsigned integer directly after `prefix` in `text`; fails
+/// the test when the prefix is absent.
+uint64_t NumberAfter(const std::string& text, const std::string& prefix) {
+  size_t pos = text.find(prefix);
+  EXPECT_NE(pos, std::string::npos) << "missing '" << prefix << "' in:\n"
+                                    << text;
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(text.c_str() + pos + prefix.size(), nullptr, 10);
+}
+
+TEST(ExplainAnalyze, TreeMatchesChosenPlan) {
+  auto db = MakeObjectDb(600);
+  // What did the optimizer actually choose?
+  IcebergReport report;
+  ASSERT_TRUE(
+      db->QueryIceberg(kSkybandSql, IcebergOptions::All(), &report).ok());
+  ASSERT_TRUE(report.used_nljp);
+
+  auto analyzed = db->QueryIceberg(std::string("EXPLAIN ANALYZE ") +
+                                   kSkybandSql);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  std::string text = PlanText(*analyzed);
+
+  // The tree mirrors the chosen plan: an NLJP operator with the same
+  // decision steps the report records, plus memo/prune/cache annotations.
+  EXPECT_NE(text.find("Iceberg Query"), std::string::npos) << text;
+  EXPECT_NE(text.find("-> NLJP"), std::string::npos) << text;
+  for (const std::string& step : report.steps) {
+    EXPECT_NE(text.find("decision: " + step), std::string::npos) << text;
+  }
+  EXPECT_NE(text.find("memo: hits="), std::string::npos) << text;
+  EXPECT_NE(text.find("prune: skipped="), std::string::npos) << text;
+  EXPECT_NE(text.find("inner Q_R: evaluations="), std::string::npos) << text;
+  EXPECT_NE(text.find("Q_B (binding query)"), std::string::npos) << text;
+  EXPECT_NE(text.find("metrics: {"), std::string::npos) << text;
+}
+
+TEST(ExplainAnalyze, WithoutAnalyzeReturnsPlainPlan) {
+  auto db = MakeObjectDb(200);
+  auto plan = db->QueryIceberg(std::string("EXPLAIN ") + kSkybandSql);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  std::string text = PlanText(*plan);
+  EXPECT_NE(text.find("NLJP"), std::string::npos) << text;
+  // No execution: no measured times, no metrics line.
+  EXPECT_EQ(text.find("actual time"), std::string::npos) << text;
+  EXPECT_EQ(text.find("metrics:"), std::string::npos) << text;
+}
+
+/// The tree's numbers and the `metrics:` registry delta must agree exactly:
+/// both are published from the same run-local stats block.
+void CheckReconciliation(int threads) {
+  auto db = MakeObjectDb(600);
+  IcebergOptions options = IcebergOptions::All();
+  options.base_exec.num_threads = threads;
+  auto analyzed = db->QueryIceberg(
+      std::string("EXPLAIN ANALYZE ") + kSkybandSql, options);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  std::string text = PlanText(*analyzed);
+
+  uint64_t tree_bindings = NumberAfter(text, "bindings=");
+  uint64_t tree_memo_hits = NumberAfter(text, "memo: hits=");
+  uint64_t tree_pruned = NumberAfter(text, "prune: skipped=");
+  uint64_t tree_inner = NumberAfter(text, "inner Q_R: evaluations=");
+  uint64_t tree_tests = NumberAfter(text, "subsumption_tests=");
+
+  std::string metrics = text.substr(text.find("metrics: "));
+  EXPECT_EQ(NumberAfter(metrics, "\"nljp.bindings\":"), tree_bindings);
+  EXPECT_EQ(NumberAfter(metrics, "\"nljp.memo_hits\":"), tree_memo_hits);
+  EXPECT_EQ(NumberAfter(metrics, "\"nljp.pruned\":"), tree_pruned);
+  EXPECT_EQ(NumberAfter(metrics, "\"nljp.inner_evaluations\":"), tree_inner);
+  EXPECT_EQ(NumberAfter(metrics, "\"nljp.prune_tests\":"), tree_tests);
+  EXPECT_EQ(NumberAfter(metrics, "\"nljp.executions\":"), 1u);
+
+  // Sanity: the run did real work, and every binding is accounted for.
+  EXPECT_GT(tree_bindings, 0u);
+  EXPECT_GE(tree_bindings, tree_memo_hits + tree_pruned + tree_inner);
+}
+
+TEST(ExplainAnalyze, ReconcilesWithMetricsSerial) { CheckReconciliation(1); }
+
+TEST(ExplainAnalyze, ReconcilesWithMetricsEightThreads) {
+  CheckReconciliation(8);
+}
+
+TEST(ExplainAnalyze, BaselineTreeReconciles) {
+  auto db = MakeObjectDb(300);
+  ExecStats direct;
+  ASSERT_TRUE(db->Query(kSkybandSql, ExecOptions(), &direct).ok());
+
+  auto analyzed = db->Query(std::string("EXPLAIN ANALYZE ") + kSkybandSql);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  std::string text = PlanText(*analyzed);
+
+  EXPECT_NE(text.find("Baseline Query"), std::string::npos) << text;
+  // Same statement, deterministic engine: the analyzed run's counts equal a
+  // direct run's ExecStats, and the metrics delta matches the tree.
+  EXPECT_EQ(NumberAfter(text, "pairs_examined="), direct.join_pairs_examined);
+  std::string metrics = text.substr(text.find("metrics: "));
+  EXPECT_EQ(NumberAfter(metrics, "\"exec.pairs_examined\":"),
+            direct.join_pairs_examined);
+  EXPECT_EQ(NumberAfter(metrics, "\"exec.rows_joined\":"),
+            direct.rows_joined);
+  EXPECT_EQ(NumberAfter(metrics, "\"exec.groups_output\":"),
+            direct.groups_output);
+}
+
+TEST(ExplainAnalyze, ExplicitEntryPointAcceptsBareSql) {
+  auto db = MakeObjectDb(200);
+  auto analyzed = db->ExplainAnalyzeIceberg(kSkybandSql);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  EXPECT_NE(PlanText(*analyzed).find("Iceberg Query"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iceberg

@@ -1,0 +1,219 @@
+// Tests for the observability layer: the metrics registry (counters,
+// gauges, log-scale histograms, snapshot/diff/reset) and the tracing
+// subsystem (span recording, Chrome trace_event export, the disabled-path
+// contract). The concurrency tests run under the tsan preset.
+
+#include "src/obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/trace.h"
+
+namespace iceberg {
+namespace {
+
+TEST(CounterTest, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetMaxConvergesToMaximum) {
+  Gauge g;
+  g.Set(10);
+  g.SetMax(5);
+  EXPECT_EQ(g.value(), 10);
+  g.SetMax(99);
+  EXPECT_EQ(g.value(), 99);
+}
+
+TEST(HistogramTest, LogBucketsAndPercentiles) {
+  Histogram h;
+  // 100 observations of 10 (bucket [8,16), upper bound 15) and one of 1000.
+  for (int i = 0; i < 100; ++i) h.Record(10);
+  h.Record(1000);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 101u);
+  EXPECT_EQ(s.sum, 100u * 10 + 1000);
+  EXPECT_NEAR(s.Mean(), static_cast<double>(s.sum) / 101.0, 1e-9);
+  // p50 lands in the bucket of 10: bit_width(10)=4, bucket covers [8,16).
+  EXPECT_EQ(s.Percentile(50), 15u);
+  // p100 lands in the bucket of 1000: [512, 1024).
+  EXPECT_EQ(s.Percentile(100), 1023u);
+  h.Reset();
+  EXPECT_EQ(h.Snapshot().count, 0u);
+}
+
+TEST(HistogramTest, ZeroGoesToFirstBucket) {
+  Histogram h;
+  h.Record(0);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.buckets[0], 1u);
+}
+
+TEST(RegistryTest, StablePointersAndSnapshot) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* c1 = reg.GetCounter("test.registry.counter");
+  Counter* c2 = reg.GetCounter("test.registry.counter");
+  EXPECT_EQ(c1, c2);  // same name -> same handle
+  c1->Reset();
+  c1->Add(7);
+  reg.GetGauge("test.registry.gauge")->Set(-3);
+  reg.GetHistogram("test.registry.hist")->Record(100);
+
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("test.registry.counter"), 7u);
+  EXPECT_EQ(snap.gauges.at("test.registry.gauge"), -3);
+  EXPECT_GE(snap.histograms.at("test.registry.hist").count, 1u);
+}
+
+TEST(RegistryTest, DiffSinceIsolatesARun) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* c = reg.GetCounter("test.diff.counter");
+  Histogram* h = reg.GetHistogram("test.diff.hist");
+  c->Add(100);
+  h->Record(50);
+
+  MetricsSnapshot before = reg.Snapshot();
+  c->Add(23);
+  h->Record(50);
+  h->Record(50);
+  reg.GetGauge("test.diff.gauge")->Set(11);
+  MetricsSnapshot delta = reg.Snapshot().DiffSince(before);
+
+  EXPECT_EQ(delta.counters.at("test.diff.counter"), 23u);
+  EXPECT_EQ(delta.histograms.at("test.diff.hist").count, 2u);
+  EXPECT_EQ(delta.histograms.at("test.diff.hist").sum, 100u);
+  // Gauges are instantaneous: the diff keeps the current value.
+  EXPECT_EQ(delta.gauges.at("test.diff.gauge"), 11);
+}
+
+TEST(RegistryTest, MacroCachesHandle) {
+  Counter* a = ICEBERG_COUNTER("test.macro.counter");
+  Counter* b = ICEBERG_COUNTER("test.macro.counter");
+  EXPECT_EQ(a, b);
+  a->Reset();
+  a->Increment();
+  EXPECT_EQ(b->value(), 1u);
+}
+
+TEST(RegistryTest, RenderTextAndJson) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.render.counter")->Add(5);
+  std::string text = reg.RenderText();
+  EXPECT_NE(text.find("test.render.counter"), std::string::npos);
+  std::string json = reg.RenderJson();
+  EXPECT_NE(json.find("\"test.render.counter\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(RegistryTest, ConcurrentIncrementsAreExactAtEightThreads) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* c = reg.GetCounter("test.concurrent.counter");
+  Histogram* h = reg.GetHistogram("test.concurrent.hist");
+  Gauge* g = reg.GetGauge("test.concurrent.gauge");
+  c->Reset();
+  h->Reset();
+  g->Reset();
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 50000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        c->Increment();
+        h->Record(static_cast<uint64_t>(i & 255));
+        g->SetMax(t * kOpsPerThread + i);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  // Counts are exact at quiescence, at any thread count.
+  EXPECT_EQ(c->value(), static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  HistogramSnapshot s = h->Snapshot();
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, s.count);
+  EXPECT_EQ(g->value(), (kThreads - 1) * kOpsPerThread + kOpsPerThread - 1);
+}
+
+TEST(TraceTest, DisabledSpanRecordsNothing) {
+  SetTraceEnabled(false);
+  ClearTrace();
+  { TraceSpan span("test.disabled", "test"); }
+  EXPECT_TRUE(SnapshotTrace().empty());
+}
+
+TEST(TraceTest, EnabledSpanRecordsOneEvent) {
+  SetTraceEnabled(true);
+  ClearTrace();
+  { TraceSpan span("test.enabled", "test"); }
+  std::vector<TraceEvent> events = SnapshotTrace();
+  SetTraceEnabled(false);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test.enabled");
+  EXPECT_STREQ(events[0].cat, "test");
+  EXPECT_GE(events[0].dur_us, 0);
+  ClearTrace();
+}
+
+TEST(TraceTest, EndIsIdempotent) {
+  SetTraceEnabled(true);
+  ClearTrace();
+  {
+    TraceSpan span("test.end", "test");
+    span.End();
+    span.End();  // second End and the destructor must both be no-ops
+  }
+  EXPECT_EQ(SnapshotTrace().size(), 1u);
+  SetTraceEnabled(false);
+  ClearTrace();
+}
+
+TEST(TraceTest, ChromeJsonIsWellFormed) {
+  SetTraceEnabled(true);
+  ClearTrace();
+  { TraceSpan span("test.json", "test"); }
+  std::string json = TraceToChromeJson(SnapshotTrace());
+  SetTraceEnabled(false);
+  ClearTrace();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.json\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(TraceTest, ConcurrentSpansAllRecorded) {
+  SetTraceEnabled(true);
+  ClearTrace();
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 1000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([]() {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span("test.concurrent", "test");
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  std::vector<TraceEvent> events = SnapshotTrace();
+  SetTraceEnabled(false);
+  ClearTrace();
+  EXPECT_EQ(events.size(),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+}
+
+}  // namespace
+}  // namespace iceberg
