@@ -1,0 +1,212 @@
+// PR 5 microbenchmarks: vectorized columnar scans vs the row-at-a-time
+// reference. The micro section measures scan+filter throughput — a compiled
+// predicate run row-by-row (RunPredicate) against the same predicate run in
+// batch mode over column chunks (FilterBatch), with and without zone-map
+// skipping in play. The end-to-end section A/B-flips the process-wide
+// vectorize chicken bit around workload queries on the baseline executor.
+// Emits JSONL via --json= (BENCH_PR5.json in EXPERIMENTS.md); "speedup" is
+// row-time / batch-time (micro) and off-time / on-time (end-to-end). Any
+// row-count disagreement between the two paths aborts the run.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/workload_queries.h"
+#include "src/expr/compiled.h"
+#include "src/expr/expr.h"
+#include "src/storage/column_chunk.h"
+#include "src/storage/table.h"
+
+namespace iceberg {
+namespace bench {
+namespace {
+
+ExprPtr ColIx(int index) {
+  ExprPtr c = Col("c" + std::to_string(index));
+  c->resolved_index = index;
+  return c;
+}
+
+// Columns: c0 uniform [0,64), c1 uniform [0,64), c2 uniform [0,1024),
+// c3 = row index (sorted — the zone-skipping target).
+Table MakeScanTable(size_t n) {
+  Table table(Schema({{"c0", DataType::kInt64},
+                      {"c1", DataType::kInt64},
+                      {"c2", DataType::kInt64},
+                      {"c3", DataType::kInt64}}));
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    table.AppendUnchecked({Value::Int(static_cast<int64_t>(next() % 64)),
+                           Value::Int(static_cast<int64_t>(next() % 64)),
+                           Value::Int(static_cast<int64_t>(next() % 1024)),
+                           Value::Int(static_cast<int64_t>(i))});
+  }
+  return table;
+}
+
+void BenchScanFilter(JsonWriter* json, const char* name, const ExprPtr& expr,
+                     const Table& table, int reps) {
+  CompiledExpr prog = CompiledExpr::Compile(*expr);
+  if (!prog.valid() || !prog.batchable()) {
+    std::fprintf(stderr, "%s: predicate did not compile batchable\n", name);
+    std::exit(1);
+  }
+  ColumnChunkSetPtr chunks = table.GetOrBuildChunks();
+
+  constexpr int kTrials = 3;
+  size_t hits_row = 0;
+  double row_s = 0;
+  EvalScratch eval;
+  for (int t = 0; t < kTrials; ++t) {
+    hits_row = 0;
+    Timer timer;
+    for (int r = 0; r < reps; ++r) {
+      for (size_t i = 0; i < table.num_rows(); ++i) {
+        if (prog.RunPredicate(table.row(i), &eval)) ++hits_row;
+      }
+    }
+    double s = timer.Seconds();
+    if (t == 0 || s < row_s) row_s = s;
+  }
+
+  size_t hits_batch = 0;
+  size_t skipped = 0;
+  double batch_s = 0;
+  BatchScratch batch;
+  std::vector<uint32_t> sel(ColumnChunkSet::kChunkRows);
+  for (int t = 0; t < kTrials; ++t) {
+    hits_batch = 0;
+    skipped = 0;
+    Timer timer;
+    for (int r = 0; r < reps; ++r) {
+      for (const ColumnChunk& chunk : chunks->chunks()) {
+        if (prog.has_zone_checks() && prog.ZoneRefutes(chunk, 0, nullptr)) {
+          ++skipped;
+          continue;
+        }
+        for (size_t k = 0; k < chunk.rows; ++k) {
+          sel[k] = static_cast<uint32_t>(k);
+        }
+        hits_batch += prog.FilterBatch(chunk, 0, nullptr, sel.data(),
+                                       chunk.rows, sel.data(), &batch);
+      }
+    }
+    double s = timer.Seconds();
+    if (t == 0 || s < batch_s) batch_s = s;
+  }
+
+  if (hits_row != hits_batch) {
+    std::fprintf(stderr, "MISMATCH in %s: row %zu vs batch %zu hits\n", name,
+                 hits_row, hits_batch);
+    std::exit(1);
+  }
+  double speedup = batch_s > 0 ? row_s / batch_s : 0.0;
+  std::printf("%-28s row %8.2f ms   batch %8.2f ms   %5.2fx  "
+              "(%zu hits, %zu chunks skipped)\n",
+              name, row_s * 1e3, batch_s * 1e3, speedup, hits_batch / reps,
+              skipped / static_cast<size_t>(reps));
+  json->Record(std::string("micro ") + name + " row", 1, row_s * 1e3, 1.0);
+  json->Record(std::string("micro ") + name + " batch", 1, batch_s * 1e3,
+               speedup);
+}
+
+void BenchEndToEnd(JsonWriter* json, const char* label, ExecOptions exec,
+                   const std::vector<NamedQuery>& queries, Database* db) {
+  std::printf("\nend-to-end %s (baseline executor, %d thread%s):\n", label,
+              exec.num_threads, exec.num_threads == 1 ? "" : "s");
+  constexpr int kTrials = 3;
+  for (const NamedQuery& q : queries) {
+    size_t rows_off = 0, rows_on = 0;
+    double off_s = 0, on_s = 0;
+    SetVectorizedExecEnabled(false);
+    for (int t = 0; t < kTrials; ++t) {
+      double s = TimeBaseline(db, q.sql, exec, &rows_off);
+      if (t == 0 || s < off_s) off_s = s;
+    }
+    SetVectorizedExecEnabled(true);
+    for (int t = 0; t < kTrials; ++t) {
+      double s = TimeBaseline(db, q.sql, exec, &rows_on);
+      if (t == 0 || s < on_s) on_s = s;
+    }
+    if (rows_off != rows_on) {
+      std::fprintf(stderr, "MISMATCH in %s: %zu vs %zu rows\n",
+                   q.name.c_str(), rows_off, rows_on);
+      std::exit(1);
+    }
+    double speedup = on_s > 0 ? off_s / on_s : 0.0;
+    std::printf("  %-28s off %8.1f ms   on %8.1f ms   %5.2fx\n",
+                q.name.c_str(), off_s * 1e3, on_s * 1e3, speedup);
+    json->Record(q.name + " " + label + " vectorize=off", exec.num_threads,
+                 off_s * 1e3, 1.0);
+    json->Record(q.name + " " + label + " vectorize=on", exec.num_threads,
+                 on_s * 1e3, speedup);
+  }
+}
+
+int Main(int argc, char** argv) {
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  JsonWriter json(flags.json_path);
+  const int threads = flags.threads <= 0 ? 1 : flags.threads;
+
+  Table table = MakeScanTable(Scaled(262144));
+  const int reps = static_cast<int>(Scaled(40));
+  std::printf("scan+filter (%zu rows x %d reps):\n", table.num_rows(), reps);
+  // Fused single compare over the dense int lanes — the dominant residual.
+  BenchScanFilter(&json, "scan fused-cmp",
+                  Bin(BinaryOp::kLt, ColIx(0), LitInt(8)), table, reps);
+  // Conjunction of compares: full batch VM with a selection-vector chain.
+  BenchScanFilter(
+      &json, "scan conjunction",
+      AndAll({Bin(BinaryOp::kLt, ColIx(0), LitInt(32)),
+              Bin(BinaryOp::kGe, ColIx(1), LitInt(16)),
+              Bin(BinaryOp::kLt, Bin(BinaryOp::kAdd, ColIx(0), ColIx(1)),
+                  ColIx(2))}),
+      table, reps);
+  // Range on the sorted column: zone maps refute ~97% of the chunks.
+  BenchScanFilter(
+      &json, "scan zone-skip",
+      AndAll({Bin(BinaryOp::kGe, ColIx(3),
+                  LitInt(static_cast<int64_t>(table.num_rows() / 64))),
+              Bin(BinaryOp::kLt, ColIx(3),
+                  LitInt(static_cast<int64_t>(table.num_rows() / 32))),
+              Bin(BinaryOp::kLt, ColIx(0), LitInt(48))}),
+      table, reps);
+
+  std::unique_ptr<Database> db = MakeScoreDb(Scaled(3000));
+  const std::vector<NamedQuery> queries = {
+      {"Q1 skyband(hits,hruns) k=50", SkybandSql("hits", "hruns", 50), false},
+      {"Q2 skyband(h2,sb) k=50", SkybandSql("h2", "sb", 50), false},
+      {"Q4 pairs c=6 k=20 AVG", PairsSql(6, 20, "AVG"), true},
+      {"Q8 player-avg skyband k=30", PlayerAvgSkybandSql(30), false},
+  };
+  // Seq-scan plans: where the vectorized path carries the join work.
+  ExecOptions scan_exec;
+  scan_exec.num_threads = threads;
+  scan_exec.use_indexes = false;
+  BenchEndToEnd(&json, "seqscan", scan_exec, queries, db.get());
+  // Default plans (ordered-index range scans win the inner levels): the
+  // chicken bit must be a no-op here, not a regression.
+  ExecOptions default_exec;
+  default_exec.num_threads = threads;
+  BenchEndToEnd(&json, "default", default_exec, queries, db.get());
+
+  SetVectorizedExecEnabled(true);
+  json.RecordMetrics("vectorized_scan end-of-run");
+  FinishBenchTrace(flags);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace iceberg
+
+int main(int argc, char** argv) { return iceberg::bench::Main(argc, argv); }

@@ -15,6 +15,8 @@
 //                    ICEBERG_TRACE env var at startup)
 //   \trace dump <file>   write collected spans as Chrome trace_event JSON
 //                    (load in Perfetto / chrome://tracing)
+//   \vectorize on|off   toggle the vectorized (columnar batch) scan path;
+//                    also honours the ICEBERG_VECTORIZE env var at startup
 //   \q               quit
 // Anything else is executed through the Smart-Iceberg optimizer; statements
 // starting with EXPLAIN ANALYZE return the annotated plan tree instead of
@@ -93,6 +95,21 @@ void RunStatement(Database* db, const std::string& line) {
       std::printf("%s\n", MetricsRegistry::Global().RenderJson().c_str());
     } else {
       std::printf("%s", MetricsRegistry::Global().RenderText().c_str());
+    }
+    return;
+  }
+  if (line.rfind("\\vectorize", 0) == 0) {
+    std::string arg;
+    std::istringstream(line.substr(10)) >> arg;
+    if (arg == "on") {
+      SetVectorizedExecEnabled(true);
+      std::printf("vectorized execution on\n");
+    } else if (arg == "off") {
+      SetVectorizedExecEnabled(false);
+      std::printf("vectorized execution off\n");
+    } else {
+      std::printf("usage: \\vectorize on|off  (currently %s)\n",
+                  VectorizedExecEnabled() ? "on" : "off");
     }
     return;
   }
@@ -195,7 +212,7 @@ int main() {
       "score(pid,year,round,teamid,hits,hruns,h2,sb).\n"
       "Commands: \\explain <sql>, \\base <sql>, \\govern [ms] [kb], "
       "\\threads [N], \\tables, \\load <table> <csv>, \\metrics [json|reset], "
-      "\\trace on|off|clear|dump <file>, \\q\n"
+      "\\trace on|off|clear|dump <file>, \\vectorize on|off, \\q\n"
       "EXPLAIN ANALYZE <sql> prints the annotated plan tree.\n");
   std::string line;
   while (true) {

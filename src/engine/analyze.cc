@@ -120,6 +120,12 @@ std::string RenderAnalyzeIceberg(const IcebergReport& report,
       out += ", pairs_examined=" + std::to_string(n.inner_pairs_examined);
     }
     out += "\n";
+    if (n.inner_batch_rows > 0 || n.inner_chunks_skipped > 0) {
+      out += "     vectorized: batch_rows=" +
+             std::to_string(n.inner_batch_rows) +
+             ", chunks_skipped=" + std::to_string(n.inner_chunks_skipped) +
+             "\n";
+    }
     out += "     cache: entries=" + std::to_string(n.cache_entries) +
            ", bytes=" + std::to_string(n.cache_bytes) +
            ", evictions=" + std::to_string(n.cache_evictions) +
@@ -146,6 +152,15 @@ std::string RenderAnalyzeIceberg(const IcebergReport& report,
            ", rows_joined=" + std::to_string(e.rows_joined) +
            ", groups=" + std::to_string(e.groups_created) + " -> " +
            std::to_string(e.groups_output) + " after HAVING)\n";
+    if (e.batch_rows > 0 || e.chunks_skipped > 0) {
+      out += "     vectorized: batch_rows=" + std::to_string(e.batch_rows) +
+             ", chunks_skipped=" + std::to_string(e.chunks_skipped) + "\n";
+    }
+    if (e.bloom_probes > 0) {
+      out += "     bloom: hits=" + std::to_string(e.bloom_hits) + "/" +
+             std::to_string(e.bloom_probes) +
+             " (build=" + Ms(e.bloom_build_ns / 1000) + ")\n";
+    }
     if (e.workers > 1) {
       out += "     workers=" + std::to_string(e.workers) +
              " utilization=" + Utilization(e.busy_us_per_worker) + "\n";
@@ -169,6 +184,15 @@ std::string RenderAnalyzeBaseline(const ExecStats& stats,
   out += "  join: pairs_examined=" + std::to_string(stats.join_pairs_examined) +
          ", rows_joined=" + std::to_string(stats.rows_joined) +
          ", index_probes=" + std::to_string(stats.index_probes) + "\n";
+  if (stats.batch_rows > 0 || stats.chunks_skipped > 0) {
+    out += "  vectorized: batch_rows=" + std::to_string(stats.batch_rows) +
+           ", chunks_skipped=" + std::to_string(stats.chunks_skipped) + "\n";
+  }
+  if (stats.bloom_probes > 0) {
+    out += "  bloom: hits=" + std::to_string(stats.bloom_hits) + "/" +
+           std::to_string(stats.bloom_probes) +
+           " (build=" + Ms(stats.bloom_build_ns / 1000) + ")\n";
+  }
   out += "  aggregate: groups=" + std::to_string(stats.groups_created) +
          " -> " + std::to_string(stats.groups_output) +
          " after HAVING  (finalize time=" + Ms(stats.finalize_us) + ")\n";

@@ -1,0 +1,27 @@
+#include "src/exec/exec_options.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace iceberg {
+
+namespace {
+
+bool InitialVectorizeEnabled() {
+  const char* env = std::getenv("ICEBERG_VECTORIZE");
+  return env == nullptr || env[0] != '0';
+}
+
+std::atomic<bool> g_vectorize_enabled{InitialVectorizeEnabled()};
+
+}  // namespace
+
+bool VectorizedExecEnabled() {
+  return g_vectorize_enabled.load(std::memory_order_relaxed);
+}
+
+void SetVectorizedExecEnabled(bool enabled) {
+  g_vectorize_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace iceberg

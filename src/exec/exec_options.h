@@ -21,6 +21,13 @@ enum class ExecProfile {
   kVendorA,
 };
 
+/// Process-wide chicken bit for the vectorized (batch-at-a-time) scan
+/// paths, mirroring SetCompiledExprEnabled. Default on; seeded once from
+/// the ICEBERG_VECTORIZE environment variable (set to "0..." to disable).
+/// Checked at plan time, so flips affect subsequently planned queries.
+bool VectorizedExecEnabled();
+void SetVectorizedExecEnabled(bool enabled);
+
 struct ExecOptions {
   ExecProfile profile = ExecProfile::kPostgres;
 
@@ -42,6 +49,13 @@ struct ExecOptions {
   /// governor can span CTE blocks and parallel workers.
   GovernorPtr governor;
 
+  /// Per-query switch for the vectorized scan paths (column chunks, batch
+  /// predicate evaluation, zone-map skipping, Bloom pre-filtering).
+  /// Effective only when both this and the process-wide
+  /// VectorizedExecEnabled() chicken bit are on. Results are byte-identical
+  /// either way; the row-at-a-time path remains the differential reference.
+  bool vectorize = true;
+
   static ExecOptions Postgres() { return ExecOptions{}; }
   static ExecOptions VendorA() {
     ExecOptions o;
@@ -62,6 +76,12 @@ struct ExecStats {
   size_t cancel_checks = 0;      // governance checks performed
   size_t budget_bytes_peak = 0;  // peak tracked intermediate-state bytes
   size_t workers = 1;            // execution contexts used (1 = serial)
+  // Vectorized-scan counters (zero when the row-at-a-time path ran):
+  size_t chunks_skipped = 0;   // column chunks refuted by zone maps
+  size_t batch_rows = 0;       // rows evaluated through FilterBatch
+  size_t bloom_probes = 0;     // join keys tested against a Bloom filter
+  size_t bloom_hits = 0;       // probes that passed (maybe-present)
+  int64_t bloom_build_ns = 0;  // plan-time cost of building Bloom filters
   /// rows_joined produced by each worker (parallel runs only); the spread
   /// shows how well morsel claiming balanced the skewed outer loop.
   std::vector<size_t> rows_joined_per_worker;
@@ -82,6 +102,11 @@ struct ExecStats {
     groups_created += run.groups_created;
     groups_output += run.groups_output;
     index_probes += run.index_probes;
+    chunks_skipped += run.chunks_skipped;
+    batch_rows += run.batch_rows;
+    bloom_probes += run.bloom_probes;
+    bloom_hits += run.bloom_hits;
+    bloom_build_ns += run.bloom_build_ns;
     cancel_checks = run.cancel_checks;
     budget_bytes_peak = run.budget_bytes_peak;
     workers = run.workers;

@@ -23,6 +23,14 @@ std::string ExecStats::ToString() const {
                     " checks=" + std::to_string(cancel_checks) +
                     " peak_kb=" + std::to_string(budget_bytes_peak / 1024) +
                     " workers=" + std::to_string(workers);
+  if (batch_rows > 0 || chunks_skipped > 0) {
+    out += " batch_rows=" + std::to_string(batch_rows) +
+           " chunks_skipped=" + std::to_string(chunks_skipped);
+  }
+  if (bloom_probes > 0) {
+    out += " bloom=" + std::to_string(bloom_hits) + "/" +
+           std::to_string(bloom_probes);
+  }
   if (!rows_joined_per_worker.empty()) {
     out += " joined_per_worker=[";
     for (size_t i = 0; i < rows_joined_per_worker.size(); ++i) {
@@ -71,6 +79,10 @@ void MergeWorkerStats(const std::vector<ExecStats>& partials,
     stats->join_pairs_examined += s.join_pairs_examined;
     stats->rows_joined += s.rows_joined;
     stats->index_probes += s.index_probes;
+    stats->chunks_skipped += s.chunks_skipped;
+    stats->batch_rows += s.batch_rows;
+    stats->bloom_probes += s.bloom_probes;
+    stats->bloom_hits += s.bloom_hits;
     stats->rows_joined_per_worker.push_back(s.rows_joined);
   }
   stats->busy_us_per_worker = pool.last_busy_micros();
@@ -86,6 +98,12 @@ void PublishExecMetrics(const ExecStats& run) {
   ICEBERG_COUNTER("exec.groups_created")->Add(run.groups_created);
   ICEBERG_COUNTER("exec.groups_output")->Add(run.groups_output);
   ICEBERG_COUNTER("exec.index_probes")->Add(run.index_probes);
+  ICEBERG_COUNTER("scan.chunks_skipped")->Add(run.chunks_skipped);
+  ICEBERG_COUNTER("scan.batch_rows")->Add(run.batch_rows);
+  ICEBERG_COUNTER("bloom.probes")->Add(run.bloom_probes);
+  ICEBERG_COUNTER("bloom.hits")->Add(run.bloom_hits);
+  ICEBERG_COUNTER("bloom.build_ns")
+      ->Add(static_cast<uint64_t>(run.bloom_build_ns));
   ICEBERG_HISTOGRAM("exec.query_us")
       ->Record(static_cast<uint64_t>(run.execute_us));
 }
@@ -110,8 +128,17 @@ Result<TablePtr> Executor::ExecuteInternal(const QueryBlock& block,
                                            ExecStats* stats) {
   QueryGovernor* governor = options_.governor.get();
   if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
-  ICEBERG_ASSIGN_OR_RETURN(JoinPipeline pipeline,
-                           JoinPipeline::Plan(block, options_.use_indexes));
+  ICEBERG_ASSIGN_OR_RETURN(
+      JoinPipeline pipeline,
+      JoinPipeline::Plan(block, options_.use_indexes, options_.vectorize,
+                         governor));
+  // Plan-time Bloom work is charged to the run once here; Run-time probe
+  // counters accumulate through the per-morsel stats blocks.
+  if (stats != nullptr) {
+    stats->bloom_build_ns += pipeline.bloom_build_ns();
+    stats->bloom_probes += pipeline.plan_bloom_probes();
+    stats->bloom_hits += pipeline.plan_bloom_hits();
+  }
   Aggregator proto(block);
   const size_t outer_size = pipeline.OuterSize();
   const int threads = ResolveThreads(options_.num_threads);
@@ -234,8 +261,9 @@ Result<TablePtr> Executor::ExecuteInternal(const QueryBlock& block,
 }
 
 std::string Executor::Explain(const QueryBlock& block) const {
+  // No governor here: EXPLAIN must not charge the query's budget.
   Result<JoinPipeline> pipeline =
-      JoinPipeline::Plan(block, options_.use_indexes);
+      JoinPipeline::Plan(block, options_.use_indexes, options_.vectorize);
   if (!pipeline.ok()) return "<plan error: " + pipeline.status().ToString() + ">";
 
   Aggregator agg(block);

@@ -1,6 +1,7 @@
 #include "src/exec/join_pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/common/logging.h"
 #include "src/expr/evaluator.h"
@@ -55,11 +56,39 @@ bool RefsOnlyWithin(const ExprPtr& e, size_t begin, size_t end) {
   return lo >= static_cast<int>(begin) && hi < static_cast<int>(end);
 }
 
+/// Tables below this size run row-at-a-time: chunk bookkeeping would cost
+/// more than the batch loops save.
+constexpr size_t kMinVectorRows = 64;
+
+/// Bloom pre-filters only pay off with a clear size skew between the two
+/// sides of the first join: the filtered side must be at least this many
+/// times larger than the side the filter is built from, and large enough
+/// in absolute terms that the build is amortized.
+constexpr size_t kBloomSkewFactor = 4;
+constexpr size_t kBloomMinFilteredRows = 1024;
+
+int64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Codec over the inner-side equality key columns (table-local ids).
+KeyCodec InnerKeyCodec(const Table& table, const std::vector<size_t>& cols) {
+  std::vector<DataType> types;
+  types.reserve(cols.size());
+  for (size_t c : cols) types.push_back(table.schema().column(c).type);
+  return KeyCodec::ForTypes(std::move(types));
+}
+
 }  // namespace
 
 Result<JoinPipeline> JoinPipeline::Plan(const QueryBlock& block,
-                                        bool use_indexes) {
+                                        bool use_indexes, bool vectorize,
+                                        QueryGovernor* governor) {
   JoinPipeline pipeline(block);
+  const bool vec =
+      vectorize && VectorizedExecEnabled() && CompiledExprEnabled();
   const size_t num_tables = block.tables.size();
   ICEBERG_CHECK(num_tables >= 1);
 
@@ -151,10 +180,54 @@ Result<JoinPipeline> JoinPipeline::Plan(const QueryBlock& block,
           continue;
         }
       }
-      // Build a hash table over the equality keys.
+      // Build a hash table over the equality keys. When the inner side
+      // dwarfs the outer (first join only, so probe keys are a pure
+      // function of the outer table), transfer the outer key set across
+      // the join as a Bloom filter and drop inner rows whose key cannot
+      // match any probe before they ever enter the hash table.
       jl.method = JoinMethod::kHashJoin;
+      std::shared_ptr<BloomFilter> prefilter;
+      KeyCodec inner_codec;
+      if (vec && level == 1) {
+        const Table& outer_t = *block.tables[0].table;
+        const size_t outer_n = outer_t.num_rows();
+        const size_t inner_n = tref.table->num_rows();
+        if (outer_n >= 16 && inner_n >= kBloomMinFilteredRows &&
+            inner_n >= kBloomSkewFactor * outer_n) {
+          inner_codec = InnerKeyCodec(*tref.table, jl.inner_eq_columns);
+          const KeyCodec probe_codec =
+              CodecForExprs(jl.probe_exprs, BlockColumnTypes(block));
+          if (inner_codec.usable() && probe_codec.usable()) {
+            auto bloom = std::make_shared<BloomFilter>(outer_n);
+            if (governor == nullptr ||
+                governor->TryReserve(bloom->ApproxBytes(), "bloom-filter")) {
+              const auto t0 = std::chrono::steady_clock::now();
+              Row vals;
+              PackedKey pk;
+              for (size_t i = 0; i < outer_n; ++i) {
+                vals.clear();
+                for (const ExprPtr& e : jl.probe_exprs) {
+                  vals.push_back(Evaluate(*e, outer_t.row(i)));
+                }
+                probe_codec.Encode(vals.data(), vals.size(), &pk);
+                bloom->Insert(pk.hash());
+              }
+              pipeline.bloom_build_ns_ += ElapsedNs(t0);
+              pipeline.build_bloom_used_ = true;
+              prefilter = std::move(bloom);
+            }
+          }
+        }
+      }
       auto built = std::make_shared<HashIndex>(jl.inner_eq_columns);
+      PackedKey pk;
       for (size_t i = 0; i < tref.table->num_rows(); ++i) {
+        if (prefilter != nullptr) {
+          inner_codec.EncodeAt(tref.table->row(i), jl.inner_eq_columns, &pk);
+          ++pipeline.plan_bloom_probes_;
+          if (!prefilter->MayContain(pk.hash())) continue;
+          ++pipeline.plan_bloom_hits_;
+        }
         built->Insert(tref.table->row(i), i);
       }
       jl.built_hash = std::move(built);
@@ -229,6 +302,67 @@ Result<JoinPipeline> JoinPipeline::Plan(const QueryBlock& block,
       }
     }
   }
+
+  if (vec) {
+    // Attach columnar projections to kSeqScan levels whose filters can all
+    // run in batch mode. Chunk bytes are charged to the governor as an
+    // advisory reservation; under pressure the level stays row-at-a-time.
+    for (JoinLevel& jl : pipeline.levels_) {
+      if (jl.method != JoinMethod::kSeqScan) continue;
+      if (jl.residual.empty()) continue;
+      if (jl.residual_progs.size() != jl.residual.size()) continue;
+      bool batchable = true;
+      for (const CompiledExpr& p : jl.residual_progs) {
+        if (!p.valid() || !p.batchable()) batchable = false;
+      }
+      if (!batchable) continue;
+      const Table& table = *block.tables[jl.table_index].table;
+      if (table.num_rows() < kMinVectorRows) continue;
+      ColumnChunkSetPtr chunks = table.GetOrBuildChunks();
+      if (governor != nullptr &&
+          !governor->TryReserve(chunks->approx_bytes(), "column-chunks")) {
+        continue;
+      }
+      jl.chunks = std::move(chunks);
+    }
+
+    // Scan-side predicate transfer: when the outer table dwarfs the first
+    // join's inner side, build a Bloom filter over the inner key set and
+    // probe it during the outer scan, so doomed outer rows die before any
+    // join work. The inner table version is snapshotted; Run disables the
+    // filter if the table has changed (e.g. NLJP parameter rebinding).
+    if (pipeline.levels_.size() >= 2) {
+      JoinLevel& l1 = pipeline.levels_[1];
+      const Table& inner_t = *block.tables[1].table;
+      const Table& outer_t = *block.tables[0].table;
+      const size_t inner_n = inner_t.num_rows();
+      const size_t outer_n = outer_t.num_rows();
+      if (!l1.inner_eq_columns.empty() && outer_n >= kBloomMinFilteredRows &&
+          outer_n >= kBloomSkewFactor * std::max<size_t>(inner_n, 1)) {
+        const KeyCodec inner_codec =
+            InnerKeyCodec(inner_t, l1.inner_eq_columns);
+        KeyCodec probe_codec =
+            CodecForExprs(l1.probe_exprs, BlockColumnTypes(block));
+        if (inner_codec.usable() && probe_codec.usable()) {
+          auto bloom = std::make_shared<BloomFilter>(inner_n);
+          if (governor == nullptr ||
+              governor->TryReserve(bloom->ApproxBytes(), "bloom-filter")) {
+            const auto t0 = std::chrono::steady_clock::now();
+            PackedKey pk;
+            for (size_t i = 0; i < inner_n; ++i) {
+              inner_codec.EncodeAt(inner_t.row(i), l1.inner_eq_columns, &pk);
+              bloom->Insert(pk.hash());
+            }
+            pipeline.bloom_build_ns_ += ElapsedNs(t0);
+            pipeline.scan_bloom_.filter = std::move(bloom);
+            pipeline.scan_bloom_.probe_codec = std::move(probe_codec);
+            pipeline.scan_bloom_.inner_table = &inner_t;
+            pipeline.scan_bloom_.inner_version = inner_t.version();
+          }
+        }
+      }
+    }
+  }
   return pipeline;
 }
 
@@ -247,45 +381,137 @@ Status JoinPipeline::Run(size_t outer_begin, size_t outer_end,
   const JoinLevel& l0 = levels_[0];
   RunScratch scratch;
   scratch.probe_keys.resize(levels_.size());
+  scratch.sel.resize(levels_.size());
   Row partial;
   partial.reserve(block_->TotalWidth());
-  for (size_t i = outer_begin; i < outer_end; ++i) {
-    if (governor != nullptr) {
-      ICEBERG_RETURN_NOT_OK(governor->Check());
-      if (stats != nullptr) ++stats->cancel_checks;
-    }
-    const Row& row = outer.row(i);
-    partial.assign(row.begin(), row.end());
-    if (stats != nullptr) ++stats->join_pairs_examined;
-    bool pass = true;
-    if (!l0.residual_progs.empty()) {
-      for (const CompiledExpr& p : l0.residual_progs) {
-        if (!p.RunPredicate(partial, &scratch.eval)) {
-          pass = false;
-          break;
-        }
+
+  // Scan-side Bloom probing, disabled when the inner table changed after
+  // planning (the snapshot would be stale). Returns false when the
+  // partial row's join key provably has no level-1 match.
+  const bool bloom_on =
+      scan_bloom_.filter != nullptr &&
+      scan_bloom_.inner_table->version() == scan_bloom_.inner_version;
+  auto passes_bloom = [&]() {
+    const JoinLevel& l1 = levels_[1];
+    Row& key = scratch.probe_keys[0];  // level 0 never probes an index
+    key.clear();
+    if (!l1.probe_progs.empty()) {
+      for (const CompiledExpr& e : l1.probe_progs) {
+        key.push_back(e.Run(partial, &scratch.eval));
       }
     } else {
-      for (const ExprPtr& p : l0.residual) {
-        if (!EvaluatePredicate(*p, partial)) {
-          pass = false;
-          break;
-        }
+      for (const ExprPtr& e : l1.probe_exprs) {
+        key.push_back(Evaluate(*e, partial));
       }
     }
-    if (!pass) continue;
+    PackedKey pk;
+    scan_bloom_.probe_codec.Encode(key.data(), key.size(), &pk);
+    if (stats != nullptr) ++stats->bloom_probes;
+    if (!scan_bloom_.filter->MayContain(pk.hash())) return false;
+    if (stats != nullptr) ++stats->bloom_hits;
+    return true;
+  };
+
+  // Emits the partial row that survived the level-0 filter (and Bloom):
+  // the tail of the per-outer-row loop, shared by both scan shapes.
+  // Returns false when the intermediate-row limit tripped and the scan
+  // must stop.
+  auto emit_outer = [&]() {
     if (levels_.size() == 1) {
       if (stats != nullptr) ++stats->rows_joined;
       if (governor != nullptr && !governor->CountIntermediateRows(1).ok()) {
-        break;  // row limit tripped; final Check reports it
+        return false;  // row limit tripped; final Check reports it
       }
       callback(partial);
     } else {
       RunLevel(1, &partial, callback, stats, governor, &scratch);
     }
+    return true;
+  };
+
+  const bool vec0 =
+      l0.chunks != nullptr && l0.chunks->version() == outer.version();
+  if (!vec0) {
+    for (size_t i = outer_begin; i < outer_end; ++i) {
+      if (governor != nullptr) {
+        ICEBERG_RETURN_NOT_OK(governor->Check());
+        if (stats != nullptr) ++stats->cancel_checks;
+      }
+      const Row& row = outer.row(i);
+      partial.assign(row.begin(), row.end());
+      if (stats != nullptr) ++stats->join_pairs_examined;
+      bool pass = true;
+      if (!l0.residual_progs.empty()) {
+        for (const CompiledExpr& p : l0.residual_progs) {
+          if (!p.RunPredicate(partial, &scratch.eval)) {
+            pass = false;
+            break;
+          }
+        }
+      } else {
+        for (const ExprPtr& p : l0.residual) {
+          if (!EvaluatePredicate(*p, partial)) {
+            pass = false;
+            break;
+          }
+        }
+      }
+      if (!pass) continue;
+      if (bloom_on && !passes_bloom()) continue;
+      if (!emit_outer()) break;
+    }
+    // A poisoning recorded inside an inner loop (row limit, memory
+    // overrun) surfaces here even when the outer loop just ended.
+    return governor != nullptr ? governor->Check() : Status::OK();
   }
-  // A poisoning recorded inside an inner loop (row limit, memory overrun)
-  // surfaces here even when the outer loop just ended.
+
+  // Vectorized outer scan: per chunk, run the governance/accounting loop
+  // first (same cadence as the row path), try to refute the whole chunk
+  // against its zone maps, then batch-filter the survivors.
+  std::vector<uint32_t>& sel = scratch.sel[0];
+  for (const ColumnChunk& chunk : l0.chunks->chunks()) {
+    const size_t lo = std::max(chunk.begin, outer_begin);
+    const size_t hi = std::min(chunk.begin + chunk.rows, outer_end);
+    if (lo >= hi) continue;
+    for (size_t i = lo; i < hi; ++i) {
+      if (governor != nullptr) {
+        ICEBERG_RETURN_NOT_OK(governor->Check());
+        if (stats != nullptr) ++stats->cancel_checks;
+      }
+      if (stats != nullptr) ++stats->join_pairs_examined;
+    }
+    bool refuted = false;
+    for (const CompiledExpr& p : l0.residual_progs) {
+      if (p.has_zone_checks() && p.ZoneRefutes(chunk, 0, nullptr)) {
+        refuted = true;
+        break;
+      }
+    }
+    if (refuted) {
+      if (stats != nullptr) ++stats->chunks_skipped;
+      continue;
+    }
+    if (stats != nullptr) stats->batch_rows += hi - lo;
+    sel.resize(chunk.rows);
+    size_t n = 0;
+    for (size_t i = lo; i < hi; ++i) {
+      sel[n++] = static_cast<uint32_t>(i - chunk.begin);
+    }
+    for (const CompiledExpr& p : l0.residual_progs) {
+      if (n == 0) break;
+      n = p.FilterBatch(chunk, 0, nullptr, sel.data(), n, sel.data(),
+                        &scratch.batch);
+    }
+    bool tripped = false;
+    for (size_t k = 0; k < n && !tripped; ++k) {
+      if (governor != nullptr && governor->poisoned()) break;
+      const Row& row = outer.row(chunk.begin + sel[k]);
+      partial.assign(row.begin(), row.end());
+      if (bloom_on && !passes_bloom()) continue;
+      tripped = !emit_outer();
+    }
+    if (tripped) break;
+  }
   return governor != nullptr ? governor->Check() : Status::OK();
 }
 
@@ -352,7 +578,55 @@ void JoinPipeline::RunLevel(size_t level, Row* partial,
 
   switch (jl.method) {
     case JoinMethod::kSeqScan: {
-      for (size_t i = 0; i < table.num_rows(); ++i) try_row(table.row(i));
+      if (jl.chunks == nullptr || jl.chunks->version() != table.version()) {
+        for (size_t i = 0; i < table.num_rows(); ++i) try_row(table.row(i));
+        break;
+      }
+      // Vectorized block nested loop: zone maps are checked against the
+      // current outer prefix too (`partial`), so a chunk whose bounds
+      // cannot satisfy an outer-vs-inner comparison is skipped for this
+      // outer row only — dynamic, per-binding skipping.
+      const size_t base = partial->size();
+      std::vector<uint32_t>& sel = scratch->sel[level];
+      for (const ColumnChunk& chunk : jl.chunks->chunks()) {
+        if (governor != nullptr && governor->poisoned()) break;
+        if (stats != nullptr) stats->join_pairs_examined += chunk.rows;
+        bool refuted = false;
+        for (const CompiledExpr& p : jl.residual_progs) {
+          if (p.has_zone_checks() && p.ZoneRefutes(chunk, base, partial)) {
+            refuted = true;
+            break;
+          }
+        }
+        if (refuted) {
+          if (stats != nullptr) ++stats->chunks_skipped;
+          continue;
+        }
+        if (stats != nullptr) stats->batch_rows += chunk.rows;
+        sel.resize(chunk.rows);
+        size_t n = chunk.rows;
+        for (size_t k = 0; k < n; ++k) sel[k] = static_cast<uint32_t>(k);
+        for (const CompiledExpr& p : jl.residual_progs) {
+          if (n == 0) break;
+          n = p.FilterBatch(chunk, base, partial, sel.data(), n, sel.data(),
+                            &scratch->batch);
+        }
+        for (size_t k = 0; k < n; ++k) {
+          if (governor != nullptr && governor->poisoned()) break;
+          const Row& inner_row = table.row(chunk.begin + sel[k]);
+          partial->insert(partial->end(), inner_row.begin(), inner_row.end());
+          if (level + 1 == levels_.size()) {
+            if (stats != nullptr) ++stats->rows_joined;
+            if (governor == nullptr ||
+                governor->CountIntermediateRows(1).ok()) {
+              callback(*partial);
+            }
+          } else {
+            RunLevel(level + 1, partial, callback, stats, governor, scratch);
+          }
+          partial->resize(base);
+        }
+      }
       break;
     }
     case JoinMethod::kHashIndexProbe:
@@ -429,6 +703,19 @@ std::string JoinPipeline::Explain() const {
       if (jl.bound_prog.valid()) ops += jl.bound_prog.num_ops();
       (void)fused;
       out += " [compiled: " + std::to_string(ops) + " ops]";
+    }
+    if (jl.chunks != nullptr) {
+      out += " [vectorized: " + std::to_string(jl.chunks->chunks().size()) +
+             " chunks]";
+    }
+    if (i == 0 && scan_bloom_.filter != nullptr) {
+      out += " [bloom prefilter: " +
+             std::to_string(scan_bloom_.filter->num_words() * 8) + "B]";
+    }
+    if (i == 1 && build_bloom_used_) {
+      out += " [bloom build-filter: " +
+             std::to_string(plan_bloom_hits_) + "/" +
+             std::to_string(plan_bloom_probes_) + " kept]";
     }
     out += "\n";
   }

@@ -7,9 +7,12 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/exec/bloom.h"
 #include "src/exec/exec_options.h"
+#include "src/exec/key_codec.h"
 #include "src/expr/compiled.h"
 #include "src/plan/query_block.h"
+#include "src/storage/column_chunk.h"
 #include "src/storage/table.h"
 
 namespace iceberg {
@@ -53,6 +56,12 @@ struct JoinLevel {
   std::vector<CompiledExpr> residual_progs;
   std::vector<CompiledExpr> probe_progs;
   CompiledExpr bound_prog;
+
+  // Columnar projection of the level's table for vectorized kSeqScan
+  // levels (null = row-at-a-time). Set only when every residual program is
+  // batchable; Run revalidates the snapshot version against the table and
+  // falls back to rows on mismatch.
+  ColumnChunkSetPtr chunks;
 };
 
 /// A compiled left-deep join pipeline over the block's FROM list, in FROM
@@ -62,8 +71,15 @@ class JoinPipeline {
  public:
   /// Chooses a physical join method per level. When `use_indexes` is false
   /// only kSeqScan/kHashJoin are considered (the paper's "PK only"
-  /// configuration in Fig. 4).
-  static Result<JoinPipeline> Plan(const QueryBlock& block, bool use_indexes);
+  /// configuration in Fig. 4). `vectorize` (ANDed with the process-wide
+  /// chicken bits) enables the columnar scan paths: column-chunk
+  /// projections for batchable kSeqScan filters, and Bloom pre-filters
+  /// transferred across the first join when one side dwarfs the other.
+  /// `governor`, when given, is charged (advisory) for chunk and Bloom
+  /// bytes; under pressure the plan quietly degrades to the row path.
+  static Result<JoinPipeline> Plan(const QueryBlock& block, bool use_indexes,
+                                   bool vectorize = true,
+                                   QueryGovernor* governor = nullptr);
 
   using RowCallback = std::function<void(const Row&)>;
 
@@ -79,6 +95,14 @@ class JoinPipeline {
   /// Number of rows of the outer (level-0) table.
   size_t OuterSize() const;
 
+  /// Plan-time Bloom cost/effect, folded into the run's ExecStats once per
+  /// Execute (the pipeline may Run many morsels).
+  int64_t bloom_build_ns() const { return bloom_build_ns_; }
+  size_t plan_bloom_probes() const { return plan_bloom_probes_; }
+  size_t plan_bloom_hits() const { return plan_bloom_hits_; }
+  bool has_scan_bloom() const { return scan_bloom_.filter != nullptr; }
+  bool has_build_bloom() const { return build_bloom_used_; }
+
   std::string Explain() const;
 
  private:
@@ -86,10 +110,25 @@ class JoinPipeline {
 
   /// Per-Run mutable state (the pipeline itself stays immutable and
   /// thread-safe): one evaluation stack plus one reusable probe-key row
-  /// per level, so the inner loops never allocate.
+  /// per level, so the inner loops never allocate. `sel` is one selection
+  /// vector per level (a level iterates its survivors while deeper levels
+  /// run their own batches); `batch` is shared, as FilterBatch never
+  /// overlaps a recursive call.
   struct RunScratch {
     EvalScratch eval;
-    std::vector<Row> probe_keys;  // indexed by level
+    std::vector<Row> probe_keys;             // indexed by level
+    std::vector<std::vector<uint32_t>> sel;  // indexed by level
+    BatchScratch batch;
+  };
+
+  /// Bloom filter built at plan time from the level-1 inner join keys and
+  /// probed during the outer scan ("predicate transfer"): outer rows whose
+  /// key cannot exist on the inner side never reach the join.
+  struct ScanBloom {
+    std::shared_ptr<BloomFilter> filter;  // null = not planned
+    KeyCodec probe_codec;
+    const Table* inner_table = nullptr;
+    uint64_t inner_version = 0;  // probing disabled on version mismatch
   };
 
   void RunLevel(size_t level, Row* partial, const RowCallback& callback,
@@ -98,6 +137,11 @@ class JoinPipeline {
 
   const QueryBlock* block_;
   std::vector<JoinLevel> levels_;
+  ScanBloom scan_bloom_;
+  bool build_bloom_used_ = false;  // hash build pre-filtered by outer keys
+  int64_t bloom_build_ns_ = 0;
+  size_t plan_bloom_probes_ = 0;
+  size_t plan_bloom_hits_ = 0;
 };
 
 }  // namespace iceberg

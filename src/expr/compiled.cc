@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <functional>
 
 #include "src/common/logging.h"
 
@@ -182,6 +183,77 @@ inline CVal OrCombineCV(const CVal& l, const CVal& r) {
   if (r.tag != CVal::kNull && Truthy(r)) return BoolCV(true);
   if (l.tag == CVal::kNull || r.tag == CVal::kNull) return NullCV();
   return BoolCV(false);
+}
+
+/// Symmetric Kleene combines for linear (batch) execution. The scalar
+/// AndCombineCV/OrCombineCV above assume the left value was canonicalized
+/// by the preceding short-circuit jump; in batch mode the jumps are no-ops,
+/// so the left value can be a non-canonical definite-false (AND) or
+/// definite-true (OR) and both operands must be inspected. Equivalent to
+/// short-circuit evaluation because programs are pure.
+inline CVal AndCombineSymCV(const CVal& l, const CVal& r) {
+  const bool lf = l.tag != CVal::kNull && !Truthy(l);
+  const bool rf = r.tag != CVal::kNull && !Truthy(r);
+  if (lf || rf) return BoolCV(false);
+  if (l.tag == CVal::kNull || r.tag == CVal::kNull) return NullCV();
+  return BoolCV(true);
+}
+
+inline CVal OrCombineSymCV(const CVal& l, const CVal& r) {
+  const bool lt = l.tag != CVal::kNull && Truthy(l);
+  const bool rt = r.tag != CVal::kNull && Truthy(r);
+  if (lt || rt) return BoolCV(true);
+  if (l.tag == CVal::kNull || r.tag == CVal::kNull) return NullCV();
+  return BoolCV(false);
+}
+
+/// Lifts a columnar cell to a stack value. ColCell's tag order matches
+/// CVal's by construction (both mirror Value's alternative order).
+inline CVal CellCV(const ColCell& c) {
+  CVal v;
+  v.tag = static_cast<CVal::Tag>(c.tag);
+  switch (c.tag) {
+    case 1:
+      v.i = c.i;
+      break;
+    case 2:
+      v.d = c.d;
+      break;
+    case 3:
+      v.s = c.s;
+      break;
+    default:
+      break;
+  }
+  return v;
+}
+
+/// CmpColConstIntCV over an already-lifted operand (batch lanes).
+inline CVal CmpConstIntLaneCV(const ExprInstr& in, const CVal& col) {
+  switch (col.tag) {
+    case CVal::kInt: {
+      const int c = (col.i > in.imm) - (col.i < in.imm);
+      return BoolCV(ApplyMask(in.cmask, c));
+    }
+    case CVal::kDouble: {
+      const double b = static_cast<double>(in.imm);
+      const int c = (col.d > b) - (col.d < b);
+      return BoolCV(ApplyMask(in.cmask, c));
+    }
+    case CVal::kStr:
+      return BoolCV(ApplyMask(in.cmask, 1));
+    default:
+      return NullCV();
+  }
+}
+
+/// General masked comparison over lifted operands (batch lanes).
+inline CVal CmpLaneCV(uint8_t cmask, const CVal& l, const CVal& r) {
+  if (l.tag == CVal::kNull || r.tag == CVal::kNull) return NullCV();
+  if (l.tag == CVal::kInt && r.tag == CVal::kInt) {
+    return BoolCV(ApplyMask(cmask, (l.i > r.i) - (l.i < r.i)));
+  }
+  return BoolCV(ApplyMask(cmask, CompareCV(l, r)));
 }
 
 /// Arithmetic with the interpreter's coercions: NULL (or the string
@@ -537,7 +609,471 @@ CompiledExpr CompiledExpr::Compile(const Expr& e) {
   for (const Value& v : prog.consts_) {
     prog.const_cvals_.push_back(FromValue(v));  // string ptrs now stable
   }
+  prog.batchable_ = true;
+  for (const ExprInstr& in : prog.code_) {
+    if (in.op == ExprOp::kPushAgg) prog.batchable_ = false;
+  }
+  // Zone checks come from the expression *tree*, not the instruction
+  // stream: only top-level AND conjuncts may refute a whole chunk (a
+  // comparison under an OR or NOT says nothing about the conjunction).
+  std::function<void(const Expr&)> collect = [&](const Expr& node) {
+    if (node.kind == ExprKind::kBinary && node.bop == BinaryOp::kAnd) {
+      collect(*node.children[0]);
+      collect(*node.children[1]);
+      return;
+    }
+    if (node.kind != ExprKind::kBinary || !IsComparisonOp(node.bop)) return;
+    const Expr& l = *node.children[0];
+    const Expr& r = *node.children[1];
+    auto numeric_literal = [](const Expr& x) {
+      return x.kind == ExprKind::kLiteral &&
+             (x.literal.is_int() || x.literal.is_double());
+    };
+    ZoneCheck zc;
+    if (l.kind == ExprKind::kColumnRef && r.kind == ExprKind::kColumnRef) {
+      zc.col_col = true;
+      zc.a = l.resolved_index;
+      zc.b = r.resolved_index;
+      zc.cmask = MaskOf(node.bop);
+      prog.zone_checks_.push_back(zc);
+      return;
+    }
+    const Expr* col = nullptr;
+    const Expr* lit = nullptr;
+    BinaryOp bop = node.bop;
+    if (l.kind == ExprKind::kColumnRef && numeric_literal(r)) {
+      col = &l;
+      lit = &r;
+    } else if (r.kind == ExprKind::kColumnRef && numeric_literal(l)) {
+      col = &r;
+      lit = &l;
+      bop = FlipComparison(bop);  // normalize to col CMP literal
+    } else {
+      return;
+    }
+    zc.a = col->resolved_index;
+    zc.cmask = MaskOf(bop);
+    if (lit->literal.is_int()) {
+      zc.imm_i = lit->literal.AsInt();
+      zc.imm_d = static_cast<double>(zc.imm_i);
+    } else {
+      zc.imm_is_double = true;
+      zc.imm_d = lit->literal.AsDouble();
+    }
+    if (std::isnan(zc.imm_d)) return;  // NaN never refutes anything
+    prog.zone_checks_.push_back(zc);
+  };
+  collect(e);
   return prog;
+}
+
+namespace {
+
+/// One side of a zone check, lowered to a (possibly degenerate) numeric
+/// interval, a NULL, or a string. `known` is false when the side carries
+/// no usable zone information.
+struct ZoneSide {
+  bool known = false;
+  bool is_null = false;   // scalar NULL, or an all-NULL chunk column
+  bool is_str = false;    // string scalar (chunk string columns are unknown)
+  bool int_only = false;  // the int64 bounds are exact
+  int64_t lo_i = 0, hi_i = 0;
+  double lo_d = 0.0, hi_d = 0.0;
+};
+
+ZoneSide ZoneOfSlot(int32_t slot, size_t base, const Row* partial,
+                    const ColumnChunk& chunk) {
+  ZoneSide z;
+  if (static_cast<size_t>(slot) < base) {
+    if (partial == nullptr) return z;
+    const Value& v = (*partial)[static_cast<size_t>(slot)];
+    switch (v.tag()) {
+      case 1:
+        z.known = true;
+        z.int_only = true;
+        z.lo_i = z.hi_i = v.int_unchecked();
+        z.lo_d = z.hi_d = static_cast<double>(z.lo_i);
+        break;
+      case 2: {
+        const double d = v.double_unchecked();
+        if (std::isnan(d)) return z;
+        z.known = true;
+        z.lo_d = z.hi_d = d;
+        break;
+      }
+      case 3:
+        z.known = true;
+        z.is_str = true;
+        break;
+      default:
+        z.known = true;
+        z.is_null = true;
+        break;
+    }
+    return z;
+  }
+  const ChunkColumn& col = chunk.cols[static_cast<size_t>(slot) - base];
+  if (col.kind == ChunkColumn::kAllNull) {
+    z.known = true;
+    z.is_null = true;
+    return z;
+  }
+  if (!col.zone_valid) return z;
+  z.known = true;
+  z.int_only = col.zone_int;
+  z.lo_i = col.min_i;
+  z.hi_i = col.max_i;
+  z.lo_d = col.min_d;
+  z.hi_d = col.max_d;
+  return z;
+}
+
+/// Possible Compare() outcomes {-1, 0, +1} between values drawn from the
+/// two intervals, as an acceptance-mask-compatible bitset.
+uint8_t PossibleOutcomes(const ZoneSide& l, const ZoneSide& r) {
+  if (l.is_str && r.is_str) return 0b111;  // no string zones: anything
+  if (l.is_str) return 0b100;              // strings order after numerics
+  if (r.is_str) return 0b001;
+  bool lt, eq, gt;
+  if (l.int_only && r.int_only) {
+    lt = l.lo_i < r.hi_i;
+    eq = l.lo_i <= r.hi_i && r.lo_i <= l.hi_i;
+    gt = l.hi_i > r.lo_i;
+  } else {
+    lt = l.lo_d < r.hi_d;
+    eq = l.lo_d <= r.hi_d && r.lo_d <= l.hi_d;
+    gt = l.hi_d > r.lo_d;
+  }
+  return static_cast<uint8_t>((lt ? 0b001 : 0) | (eq ? 0b010 : 0) |
+                              (gt ? 0b100 : 0));
+}
+
+}  // namespace
+
+bool CompiledExpr::ZoneRefutes(const ColumnChunk& chunk, size_t base,
+                               const Row* partial) const {
+  for (const ZoneCheck& zc : zone_checks_) {
+    ZoneSide l = ZoneOfSlot(zc.a, base, partial, chunk);
+    if (!l.known) continue;
+    ZoneSide r;
+    if (zc.col_col) {
+      r = ZoneOfSlot(zc.b, base, partial, chunk);
+      if (!r.known) continue;
+    } else {
+      r.known = true;
+      r.int_only = !zc.imm_is_double;
+      r.lo_i = r.hi_i = zc.imm_i;
+      r.lo_d = r.hi_d = zc.imm_d;
+    }
+    // A NULL side makes the conjunct NULL for every row, which a predicate
+    // rejects — the whole chunk is refuted.
+    if (l.is_null || r.is_null) return true;
+    if ((PossibleOutcomes(l, r) & zc.cmask) == 0) return true;
+  }
+  return false;
+}
+
+size_t CompiledExpr::FilterBatch(const ColumnChunk& chunk, size_t base,
+                                 const Row* partial, const uint32_t* sel,
+                                 size_t n, uint32_t* out,
+                                 BatchScratch* scratch) const {
+  ICEBERG_DCHECK(valid() && batchable_);
+  if (n == 0) return 0;
+
+  // Whole-program fast paths: the dominant residual shapes (one fused
+  // comparison) run as tight loops over the dense typed lanes, writing the
+  // selection vector directly with no per-lane tag dispatch.
+  if (code_.size() == 1) {
+    const ExprInstr& in = code_[0];
+    if (in.op == ExprOp::kCmpColConstInt &&
+        static_cast<size_t>(in.a) >= base) {
+      const ChunkColumn& col = chunk.cols[static_cast<size_t>(in.a) - base];
+      const uint8_t cmask = in.cmask;
+      if (!col.ints.empty()) {
+        const int64_t* lanes = col.ints.data();
+        const int64_t imm = in.imm;
+        size_t m = 0;
+        for (size_t k = 0; k < n; ++k) {
+          const uint32_t lane = sel[k];
+          const int64_t v = lanes[lane];
+          out[m] = lane;
+          m += (cmask >> ((v > imm) - (v < imm) + 1)) & 1u;
+        }
+        return m;
+      }
+      if (!col.dbls.empty()) {
+        const double* lanes = col.dbls.data();
+        const double imm = static_cast<double>(in.imm);
+        size_t m = 0;
+        for (size_t k = 0; k < n; ++k) {
+          const uint32_t lane = sel[k];
+          const double v = lanes[lane];
+          out[m] = lane;
+          m += (cmask >> ((v > imm) - (v < imm) + 1)) & 1u;
+        }
+        return m;
+      }
+    }
+    if (in.op == ExprOp::kCmpColCol) {
+      const uint8_t cmask = in.cmask;
+      auto int_lanes = [&](int32_t slot) -> const int64_t* {
+        if (static_cast<size_t>(slot) < base) return nullptr;
+        const ChunkColumn& c = chunk.cols[static_cast<size_t>(slot) - base];
+        return c.ints.empty() ? nullptr : c.ints.data();
+      };
+      const int64_t* la = int_lanes(in.a);
+      const int64_t* lb = int_lanes(in.b);
+      if (la != nullptr && lb != nullptr) {
+        size_t m = 0;
+        for (size_t k = 0; k < n; ++k) {
+          const uint32_t lane = sel[k];
+          const int64_t a = la[lane];
+          const int64_t b = lb[lane];
+          out[m] = lane;
+          m += (cmask >> ((a > b) - (a < b) + 1)) & 1u;
+        }
+        return m;
+      }
+      // One side is an outer scalar: the block-NLJ Theta-join shape
+      // (outer value vs every inner lane).
+      auto outer_int = [&](int32_t slot, int64_t* v) {
+        if (static_cast<size_t>(slot) >= base || partial == nullptr) {
+          return false;
+        }
+        const Value& val = (*partial)[static_cast<size_t>(slot)];
+        if (val.tag() != 1) return false;
+        *v = val.int_unchecked();
+        return true;
+      };
+      int64_t scalar = 0;
+      if (lb != nullptr && outer_int(in.a, &scalar)) {
+        size_t m = 0;
+        for (size_t k = 0; k < n; ++k) {
+          const uint32_t lane = sel[k];
+          const int64_t b = lb[lane];
+          out[m] = lane;
+          m += (cmask >> ((scalar > b) - (scalar < b) + 1)) & 1u;
+        }
+        return m;
+      }
+      if (la != nullptr && outer_int(in.b, &scalar)) {
+        size_t m = 0;
+        for (size_t k = 0; k < n; ++k) {
+          const uint32_t lane = sel[k];
+          const int64_t a = la[lane];
+          out[m] = lane;
+          m += (cmask >> ((a > scalar) - (a < scalar) + 1)) & 1u;
+        }
+        return m;
+      }
+    }
+  }
+
+  // General path: instruction-major linear execution over a slot-major
+  // lane matrix. Jumps are no-ops and combines are symmetric (see the
+  // header contract); each opcode runs one tight loop over the selected
+  // lanes.
+  if (scratch->slots.size() < max_stack_ * n) {
+    scratch->slots.resize(max_stack_ * n);
+  }
+  CVal* slots = scratch->slots.data();
+  auto slot = [&](size_t s) { return slots + s * n; };
+
+  struct Src {
+    const ColCell* cells = nullptr;  // per-lane when non-null
+    CVal scalar;                     // broadcast otherwise
+  };
+  auto resolve = [&](int32_t a) {
+    Src s;
+    if (static_cast<size_t>(a) < base) {
+      ICEBERG_DCHECK(partial != nullptr);
+      s.scalar = FromValue((*partial)[static_cast<size_t>(a)]);
+    } else {
+      s.cells = chunk.cols[static_cast<size_t>(a) - base].cells.data();
+    }
+    return s;
+  };
+  auto at = [&](const Src& s, uint32_t lane) {
+    return s.cells == nullptr ? s.scalar : CellCV(s.cells[lane]);
+  };
+
+  size_t sp = 0;  // next free slot
+  for (const ExprInstr& in : code_) {
+    switch (in.op) {
+      case ExprOp::kPushConst: {
+        CVal* d = slot(sp++);
+        const CVal c = const_cvals_[static_cast<size_t>(in.a)];
+        for (size_t k = 0; k < n; ++k) d[k] = c;
+        break;
+      }
+      case ExprOp::kPushColumn: {
+        CVal* d = slot(sp++);
+        const Src s = resolve(in.a);
+        if (s.cells == nullptr) {
+          for (size_t k = 0; k < n; ++k) d[k] = s.scalar;
+        } else {
+          for (size_t k = 0; k < n; ++k) d[k] = CellCV(s.cells[sel[k]]);
+        }
+        break;
+      }
+      case ExprOp::kPushAgg:
+        ICEBERG_CHECK(false);  // excluded by batchable()
+        break;
+      case ExprOp::kCompare: {
+        const CVal* r = slot(--sp);
+        CVal* l = slot(sp - 1);
+        for (size_t k = 0; k < n; ++k) l[k] = CmpLaneCV(in.cmask, l[k], r[k]);
+        break;
+      }
+      case ExprOp::kAdd:
+      case ExprOp::kSub:
+      case ExprOp::kMul:
+      case ExprOp::kDiv: {
+        const CVal* r = slot(--sp);
+        CVal* l = slot(sp - 1);
+        for (size_t k = 0; k < n; ++k) l[k] = ArithCV(in.bop, l[k], r[k]);
+        break;
+      }
+      case ExprOp::kNot: {
+        CVal* v = slot(sp - 1);
+        for (size_t k = 0; k < n; ++k) {
+          v[k] = v[k].tag == CVal::kNull ? NullCV() : BoolCV(!Truthy(v[k]));
+        }
+        break;
+      }
+      case ExprOp::kNeg: {
+        CVal* v = slot(sp - 1);
+        for (size_t k = 0; k < n; ++k) {
+          if (v[k].tag == CVal::kInt) {
+            v[k] = IntCV(-v[k].i);
+          } else if (v[k].tag == CVal::kDouble) {
+            v[k] = DoubleCV(-v[k].d);
+          } else {
+            v[k] = NullCV();
+          }
+        }
+        break;
+      }
+      case ExprOp::kAndJump:
+      case ExprOp::kOrJump:
+        break;  // linear execution; the symmetric combines subsume them
+      case ExprOp::kAndCombine: {
+        const CVal* r = slot(--sp);
+        CVal* l = slot(sp - 1);
+        for (size_t k = 0; k < n; ++k) l[k] = AndCombineSymCV(l[k], r[k]);
+        break;
+      }
+      case ExprOp::kOrCombine: {
+        const CVal* r = slot(--sp);
+        CVal* l = slot(sp - 1);
+        for (size_t k = 0; k < n; ++k) l[k] = OrCombineSymCV(l[k], r[k]);
+        break;
+      }
+      case ExprOp::kCmpColConstInt: {
+        CVal* d = slot(sp++);
+        const Src s = resolve(in.a);
+        if (s.cells == nullptr) {
+          const CVal c = CmpConstIntLaneCV(in, s.scalar);
+          for (size_t k = 0; k < n; ++k) d[k] = c;
+        } else {
+          for (size_t k = 0; k < n; ++k) {
+            d[k] = CmpConstIntLaneCV(in, CellCV(s.cells[sel[k]]));
+          }
+        }
+        break;
+      }
+      case ExprOp::kCmpColCol: {
+        CVal* d = slot(sp++);
+        const Src a = resolve(in.a);
+        const Src b = resolve(in.b);
+        for (size_t k = 0; k < n; ++k) {
+          d[k] = CmpLaneCV(in.cmask, at(a, sel[k]), at(b, sel[k]));
+        }
+        break;
+      }
+      case ExprOp::kArithColCol: {
+        CVal* d = slot(sp++);
+        const Src a = resolve(in.a);
+        const Src b = resolve(in.b);
+        for (size_t k = 0; k < n; ++k) {
+          d[k] = ArithCV(in.bop, at(a, sel[k]), at(b, sel[k]));
+        }
+        break;
+      }
+      case ExprOp::kArithTopCol: {
+        CVal* l = slot(sp - 1);
+        const Src a = resolve(in.a);
+        for (size_t k = 0; k < n; ++k) {
+          l[k] = ArithCV(in.bop, l[k], at(a, sel[k]));
+        }
+        break;
+      }
+      case ExprOp::kArithTopConst: {
+        CVal* l = slot(sp - 1);
+        const CVal c = const_cvals_[static_cast<size_t>(in.a)];
+        for (size_t k = 0; k < n; ++k) l[k] = ArithCV(in.bop, l[k], c);
+        break;
+      }
+      case ExprOp::kCmpTopConst: {
+        CVal* l = slot(sp - 1);
+        const CVal c = const_cvals_[static_cast<size_t>(in.a)];
+        for (size_t k = 0; k < n; ++k) l[k] = CmpLaneCV(in.cmask, l[k], c);
+        break;
+      }
+      case ExprOp::kCmpTopCol: {
+        CVal* l = slot(sp - 1);
+        const Src a = resolve(in.a);
+        for (size_t k = 0; k < n; ++k) {
+          l[k] = CmpLaneCV(in.cmask, l[k], at(a, sel[k]));
+        }
+        break;
+      }
+      case ExprOp::kAndCombineCmpCI: {
+        CVal* l = slot(sp - 1);
+        const Src a = resolve(in.a);
+        for (size_t k = 0; k < n; ++k) {
+          l[k] = AndCombineSymCV(l[k],
+                                 CmpConstIntLaneCV(in, at(a, sel[k])));
+        }
+        break;
+      }
+      case ExprOp::kOrCombineCmpCI: {
+        CVal* l = slot(sp - 1);
+        const Src a = resolve(in.a);
+        for (size_t k = 0; k < n; ++k) {
+          l[k] = OrCombineSymCV(l[k], CmpConstIntLaneCV(in, at(a, sel[k])));
+        }
+        break;
+      }
+      case ExprOp::kAndCombineCmpCC: {
+        CVal* l = slot(sp - 1);
+        const Src a = resolve(in.a);
+        const Src b = resolve(in.b);
+        for (size_t k = 0; k < n; ++k) {
+          l[k] = AndCombineSymCV(
+              l[k], CmpLaneCV(in.cmask, at(a, sel[k]), at(b, sel[k])));
+        }
+        break;
+      }
+      case ExprOp::kOrCombineCmpCC: {
+        CVal* l = slot(sp - 1);
+        const Src a = resolve(in.a);
+        const Src b = resolve(in.b);
+        for (size_t k = 0; k < n; ++k) {
+          l[k] = OrCombineSymCV(
+              l[k], CmpLaneCV(in.cmask, at(a, sel[k]), at(b, sel[k])));
+        }
+        break;
+      }
+    }
+  }
+  ICEBERG_DCHECK(sp == 1);
+  const CVal* top = slot(0);
+  size_t m = 0;
+  for (size_t k = 0; k < n; ++k) {
+    if (Truthy(top[k])) out[m++] = sel[k];
+  }
+  return m;
 }
 
 const CVal* CompiledExpr::Execute(const Row& row, EvalScratch* scratch,

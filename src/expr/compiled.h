@@ -8,6 +8,7 @@
 #include "src/common/value.h"
 #include "src/expr/evaluator.h"
 #include "src/expr/expr.h"
+#include "src/storage/column_chunk.h"
 
 namespace iceberg {
 
@@ -90,6 +91,15 @@ struct EvalScratch {
   std::vector<CVal> stack;
 };
 
+/// Reusable state for batch evaluation (FilterBatch). `slots` is a
+/// slot-major matrix of lane values (slots[s * n + k] is stack slot s of
+/// the k-th selected lane); `sel` is spare selection-vector storage for
+/// callers chaining several programs over one chunk.
+struct BatchScratch {
+  std::vector<CVal> slots;
+  std::vector<uint32_t> sel;
+};
+
 /// A bound expression compiled once per query into a flat postfix program:
 /// typed opcodes over resolved column slots, constants folded at compile
 /// time, AND/OR lowered to short-circuit jump blocks, and int64-vs-constant
@@ -119,18 +129,65 @@ class CompiledExpr {
   bool RunPredicate(const Row& row, EvalScratch* scratch,
                     const AggValueMap* agg_values = nullptr) const;
 
+  /// True when the program can run in batch mode: no aggregate references
+  /// (every other opcode has a lane form).
+  bool batchable() const { return batchable_; }
+
+  /// True when Compile extracted at least one min/max zone check (a
+  /// top-level AND conjunct comparing a column with a numeric literal or
+  /// another column).
+  bool has_zone_checks() const { return !zone_checks_.empty(); }
+
+  /// Zone-map refutation: true when the chunk's per-column min/max zones
+  /// prove no row of `chunk` can make the predicate true, given the outer
+  /// prefix `partial` (whose slots are < `base`; may be null when the
+  /// program references no outer columns). `base` is the flat offset of
+  /// the chunk's table in the joined row. Conservative: false means
+  /// "cannot refute", never "will pass".
+  bool ZoneRefutes(const ColumnChunk& chunk, size_t base,
+                   const Row* partial) const;
+
+  /// Batch predicate evaluation: runs the program over the `n` lanes listed
+  /// in `sel` (row indexes local to `chunk`), writes the lanes whose result
+  /// is truthy to `out` (may alias `sel`) in order, and returns their
+  /// count. Column slots >= `base` read the chunk's columns; slots < base
+  /// broadcast from `partial`. Executes the postfix stream linearly (the
+  /// short-circuit jumps become no-ops; combines use the symmetric Kleene
+  /// forms), which is equivalent because programs are pure — results are
+  /// byte-identical to RunPredicate over the materialized row. Requires
+  /// batchable().
+  size_t FilterBatch(const ColumnChunk& chunk, size_t base,
+                     const Row* partial, const uint32_t* sel, size_t n,
+                     uint32_t* out, BatchScratch* scratch) const;
+
   /// EXPLAIN summary, e.g. "5 ops, 2 fused, 1 const".
   std::string Summary() const;
 
  private:
+  /// One refutation test extracted from a top-level AND conjunct:
+  /// slot(a) CMP imm, or slot(a) CMP slot(b). The acceptance mask is the
+  /// comparison's cmask; refutation succeeds when no achievable Compare()
+  /// outcome is accepted.
+  struct ZoneCheck {
+    bool col_col = false;
+    int32_t a = 0;
+    int32_t b = 0;
+    uint8_t cmask = 0;
+    bool imm_is_double = false;
+    int64_t imm_i = 0;
+    double imm_d = 0.0;
+  };
+
   const CVal* Execute(const Row& row, EvalScratch* scratch,
                       const AggValueMap* agg_values) const;
 
   std::vector<ExprInstr> code_;
   std::vector<Value> consts_;
   std::vector<CVal> const_cvals_;  // consts_ pre-lowered to stack slots
+  std::vector<ZoneCheck> zone_checks_;
   size_t max_stack_ = 0;
   size_t fused_ops_ = 0;
+  bool batchable_ = false;
 };
 
 /// Compiles every expression of `exprs`; returns an empty vector when the

@@ -23,6 +23,8 @@ void NljpStats::Accumulate(const NljpStats& run) {
   inner_evaluations += run.inner_evaluations;
   prune_tests += run.prune_tests;
   inner_pairs_examined += run.inner_pairs_examined;
+  inner_chunks_skipped += run.inner_chunks_skipped;
+  inner_batch_rows += run.inner_batch_rows;
   cache_entries += run.cache_entries;
   cache_bytes += run.cache_bytes;
   cache_evictions += run.cache_evictions;
@@ -43,6 +45,10 @@ std::string NljpStats::ToString() const {
                     " prune_tests=" + std::to_string(prune_tests) +
                     " cache_entries=" + std::to_string(cache_entries) +
                     " cache_kb=" + std::to_string(cache_bytes / 1024);
+  if (inner_batch_rows > 0 || inner_chunks_skipped > 0) {
+    out += " inner_batch_rows=" + std::to_string(inner_batch_rows) +
+           " inner_chunks_skipped=" + std::to_string(inner_chunks_skipped);
+  }
   if (cache_evictions > 0) {
     out += " evictions=" + std::to_string(cache_evictions);
   }
@@ -203,10 +209,13 @@ Result<std::unique_ptr<NljpOperator>> NljpOperator::Create(
     op->agg_slot_.push_back(it->second);
   }
 
-  // Plan Q_R once; only the parameter row changes across bindings.
+  // Plan Q_R once; only the parameter row changes across bindings. The
+  // one-row parameter table stays below every vectorization threshold, so
+  // chunks/Blooms attach only to the static R-side levels.
   {
     Result<JoinPipeline> inner_pipeline =
-        JoinPipeline::Plan(op->inner_block_, options.use_indexes);
+        JoinPipeline::Plan(op->inner_block_, options.use_indexes,
+                           /*vectorize=*/true, options.governor.get());
     if (!inner_pipeline.ok()) return inner_pipeline.status();
     op->inner_pipeline_.emplace(std::move(*inner_pipeline));
   }
@@ -306,14 +315,13 @@ Result<std::unique_ptr<NljpOperator>> NljpOperator::Create(
 
 Result<NljpOperator::CacheEntry> NljpOperator::EvaluateInner(
     Row binding, NljpStats* stats) {
-  return EvaluateInnerWith(
-      *inner_pipeline_, param_table_.get(), std::move(binding),
-      stats == nullptr ? nullptr : &stats->inner_pairs_examined);
+  return EvaluateInnerWith(*inner_pipeline_, param_table_.get(),
+                           std::move(binding), stats);
 }
 
 Result<NljpOperator::CacheEntry> NljpOperator::EvaluateInnerWith(
     const JoinPipeline& pipeline, Table* param, Row binding,
-    size_t* pairs_examined) const {
+    NljpStats* stats) const {
   // Per-binding inner-join cost: the distribution (not just the total) is
   // what shows whether memo/prune removed the expensive evaluations.
   TraceSpan span("nljp.inner_eval", "nljp");
@@ -401,8 +409,10 @@ Result<NljpOperator::CacheEntry> NljpOperator::EvaluateInnerWith(
         }
       },
       &inner_stats, options_.governor.get());
-  if (pairs_examined != nullptr) {
-    *pairs_examined += inner_stats.join_pairs_examined;
+  if (stats != nullptr) {
+    stats->inner_pairs_examined += inner_stats.join_pairs_examined;
+    stats->inner_chunks_skipped += inner_stats.chunks_skipped;
+    stats->inner_batch_rows += inner_stats.batch_rows;
   }
   ICEBERG_RETURN_NOT_OK(run_status);
 
@@ -567,6 +577,8 @@ void PublishNljpMetrics(const NljpStats& run) {
   ICEBERG_COUNTER("nljp.inner_evaluations")->Add(run.inner_evaluations);
   ICEBERG_COUNTER("nljp.prune_tests")->Add(run.prune_tests);
   ICEBERG_COUNTER("nljp.inner_pairs_examined")->Add(run.inner_pairs_examined);
+  ICEBERG_COUNTER("nljp.inner_chunks_skipped")->Add(run.inner_chunks_skipped);
+  ICEBERG_COUNTER("nljp.inner_batch_rows")->Add(run.inner_batch_rows);
   ICEBERG_COUNTER("nljp.cache_evictions")->Add(run.cache_evictions);
   ICEBERG_COUNTER("nljp.cache_shed_entries")->Add(run.cache_shed_entries);
   ICEBERG_GAUGE("nljp.cache_entries")
@@ -605,7 +617,8 @@ Result<TablePtr> NljpOperator::ExecuteImpl(NljpStats* stats) {
   TraceSpan qb_span("nljp.q_b", "nljp");
   ICEBERG_ASSIGN_OR_RETURN(
       JoinPipeline binding_pipeline,
-      JoinPipeline::Plan(binding_block_, options_.use_indexes));
+      JoinPipeline::Plan(binding_block_, options_.use_indexes,
+                         /*vectorize=*/true, governor));
   std::vector<Row> l_rows;
   Status binding_status = binding_pipeline.Run(
       0, binding_pipeline.OuterSize(),
@@ -941,7 +954,8 @@ Result<TablePtr> NljpOperator::ExecuteParallel(std::vector<Row> l_rows,
     ctx->inner_block.tables[0].table = ctx->param;
     ICEBERG_ASSIGN_OR_RETURN(
         JoinPipeline pipeline,
-        JoinPipeline::Plan(ctx->inner_block, options_.use_indexes));
+        JoinPipeline::Plan(ctx->inner_block, options_.use_indexes,
+                           /*vectorize=*/true, governor));
     ctx->pipeline.emplace(std::move(pipeline));
     ctxs.push_back(std::move(ctx));
   }
@@ -1002,7 +1016,7 @@ Result<TablePtr> NljpOperator::ExecuteParallel(std::vector<Row> l_rows,
     ICEBERG_ASSIGN_OR_RETURN(
         CacheEntry entry,
         EvaluateInnerWith(*ctx.pipeline, ctx.param.get(), binding,
-                          &ctx.partial.inner_pairs_examined));
+                          &ctx.partial));
     ContributeTo(&ctx.groups, l_row, entry, governor, &ctx.mandatory,
                  &ctx.eval);
     if (memo_enabled_ || (prune_enabled_ && entry.unpromising)) {
@@ -1068,6 +1082,8 @@ Result<TablePtr> NljpOperator::ExecuteParallel(std::vector<Row> l_rows,
       stats->inner_evaluations += p.inner_evaluations;
       stats->prune_tests += p.prune_tests;
       stats->inner_pairs_examined += p.inner_pairs_examined;
+      stats->inner_chunks_skipped += p.inner_chunks_skipped;
+      stats->inner_batch_rows += p.inner_batch_rows;
       stats->bindings_per_worker.push_back(p.bindings_total);
     }
     stats->cache_entries += cache.live_entries();

@@ -71,6 +71,11 @@ struct NljpStats {
   size_t inner_evaluations = 0;  // Q_R(b) executions
   size_t prune_tests = 0;        // subsumption comparisons
   size_t inner_pairs_examined = 0;
+  // Vectorized-scan counters of the inner Q_R(b) pipelines (zero when the
+  // row-at-a-time path ran). Chunk skips here are dynamic: a chunk is
+  // refuted against the *current binding's* values, per binding.
+  size_t inner_chunks_skipped = 0;
+  size_t inner_batch_rows = 0;
   size_t cache_entries = 0;
   size_t cache_bytes = 0;
   size_t cache_evictions = 0;      // FIFO evictions from max_cache_entries
@@ -166,10 +171,11 @@ class NljpOperator {
 
   /// Re-entrant core of EvaluateInner: runs Q_R(binding) through the given
   /// pipeline/parameter table (each worker owns a private pair, since the
-  /// parameter row is mutated per binding). `pairs_examined` may be null.
+  /// parameter row is mutated per binding). Inner-scan counters (pairs,
+  /// chunk skips, batch rows) accumulate into `stats` (may be null).
   Result<CacheEntry> EvaluateInnerWith(const JoinPipeline& pipeline,
                                        Table* param, Row binding,
-                                       size_t* pairs_examined) const;
+                                       NljpStats* stats) const;
 
   /// Folds one binding's cached partitions into the LR-group map. Group
   /// creation takes a hard governor reservation, accumulated into

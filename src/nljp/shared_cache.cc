@@ -92,34 +92,6 @@ bool SharedNljpCache::Lookup(const Row& binding, NljpCacheEntry* out) {
   return true;
 }
 
-bool SharedNljpCache::AnyWitness(
-    const Row& binding, const std::function<bool(const Row& witness)>& test) {
-  if (witness_stripes_.empty()) return false;
-  if (options_.eq_codec.usable()) {
-    PackedKey key;
-    options_.eq_codec.EncodeAt(binding, options_.eq_positions, &key);
-    WitnessStripe& stripe = witness_stripes_[key.hash() & stripe_mask_];
-    auto lock = LockStripe(stripe.mu);
-    auto bucket = stripe.buckets_packed.find(key);
-    if (bucket == stripe.buckets_packed.end()) return false;
-    for (const auto& [id, witness] : bucket->second) {
-      witness_tests_->Increment();
-      if (test(witness)) return true;
-    }
-    return false;
-  }
-  Row eq_key = EqKeyOf(binding);
-  WitnessStripe& stripe = witness_stripes_[WitnessStripeOf(eq_key)];
-  auto lock = LockStripe(stripe.mu);
-  auto bucket = stripe.buckets.find(eq_key);
-  if (bucket == stripe.buckets.end()) return false;
-  for (const auto& [id, witness] : bucket->second) {
-    witness_tests_->Increment();
-    if (test(witness)) return true;
-  }
-  return false;
-}
-
 void SharedNljpCache::RemoveWitness(uint64_t witness_id, const Row& binding) {
   if (witness_id == 0 || witness_stripes_.empty()) return;
   auto scrub = [witness_id](auto& bucket_map, auto bucket_it) {

@@ -100,8 +100,35 @@ class SharedNljpCache {
   /// Visits the witnesses bucketed with `binding`'s equality key until
   /// `test` returns true; returns whether any did. `test` runs under the
   /// witness stripe lock and must not touch the governor or this cache.
-  bool AnyWitness(const Row& binding,
-                  const std::function<bool(const Row& witness)>& test);
+  /// A member template so the subsumption test is invoked directly (the
+  /// per-witness std::function dispatch used to dominate the prune path).
+  template <typename TestFn>
+  bool AnyWitness(const Row& binding, TestFn&& test) {
+    if (witness_stripes_.empty()) return false;
+    if (options_.eq_codec.usable()) {
+      PackedKey key;
+      options_.eq_codec.EncodeAt(binding, options_.eq_positions, &key);
+      WitnessStripe& stripe = witness_stripes_[key.hash() & stripe_mask_];
+      auto lock = LockStripe(stripe.mu);
+      auto bucket = stripe.buckets_packed.find(key);
+      if (bucket == stripe.buckets_packed.end()) return false;
+      for (const auto& [id, witness] : bucket->second) {
+        witness_tests_->Increment();
+        if (test(witness)) return true;
+      }
+      return false;
+    }
+    Row eq_key = EqKeyOf(binding);
+    WitnessStripe& stripe = witness_stripes_[WitnessStripeOf(eq_key)];
+    auto lock = LockStripe(stripe.mu);
+    auto bucket = stripe.buckets.find(eq_key);
+    if (bucket == stripe.buckets.end()) return false;
+    for (const auto& [id, witness] : bucket->second) {
+      witness_tests_->Increment();
+      if (test(witness)) return true;
+    }
+    return false;
+  }
 
   /// Inserts an entry (advisory): under memory pressure the entry may be
   /// dropped instead (counted as shed), matching the serial operator.

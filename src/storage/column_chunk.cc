@@ -1,0 +1,118 @@
+#include "src/storage/column_chunk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/storage/table.h"
+
+namespace iceberg {
+
+namespace {
+
+/// Largest int64 magnitude exactly representable as a double. Zone bounds
+/// are compared through double coercion (mirroring Value::Compare), so a
+/// chunk containing ints beyond this range cannot carry a trustworthy
+/// double zone; such chunks simply opt out of skipping.
+constexpr int64_t kMaxExactInt = int64_t{1} << 53;
+
+}  // namespace
+
+std::shared_ptr<const ColumnChunkSet> ColumnChunkSet::Build(
+    const Table& table, uint64_t version) {
+  auto set = std::shared_ptr<ColumnChunkSet>(new ColumnChunkSet());
+  set->version_ = version;
+  const size_t n = table.num_rows();
+  set->num_rows_ = n;
+  const size_t ncols = table.schema().num_columns();
+  size_t bytes = sizeof(ColumnChunkSet);
+  for (size_t begin = 0; begin < n; begin += kChunkRows) {
+    const size_t rows = std::min(kChunkRows, n - begin);
+    ColumnChunk chunk;
+    chunk.begin = begin;
+    chunk.rows = rows;
+    chunk.cols.resize(ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      ChunkColumn& col = chunk.cols[c];
+      col.cells.resize(rows);
+      bool saw_int = false, saw_dbl = false, saw_str = false;
+      bool saw_nan = false, saw_big = false, have_zone = false;
+      for (size_t k = 0; k < rows; ++k) {
+        const Value& v = table.row(begin + k)[c];
+        ColCell& cell = col.cells[k];
+        cell.tag = static_cast<uint8_t>(v.tag());
+        switch (v.tag()) {
+          case 1: {
+            const int64_t x = v.int_unchecked();
+            cell.i = x;
+            saw_int = true;
+            if (x > kMaxExactInt || x < -kMaxExactInt) saw_big = true;
+            const double xd = static_cast<double>(x);
+            if (!have_zone) {
+              col.min_i = col.max_i = x;
+              col.min_d = col.max_d = xd;
+              have_zone = true;
+            } else {
+              col.min_i = std::min(col.min_i, x);
+              col.max_i = std::max(col.max_i, x);
+              col.min_d = std::min(col.min_d, xd);
+              col.max_d = std::max(col.max_d, xd);
+            }
+            break;
+          }
+          case 2: {
+            const double x = v.double_unchecked();
+            cell.d = x;
+            saw_dbl = true;
+            if (std::isnan(x)) {
+              saw_nan = true;
+              break;
+            }
+            if (!have_zone) {
+              col.min_d = col.max_d = x;
+              have_zone = true;
+            } else {
+              col.min_d = std::min(col.min_d, x);
+              col.max_d = std::max(col.max_d, x);
+            }
+            break;
+          }
+          case 3:
+            cell.s = &v.string_unchecked();
+            saw_str = true;
+            break;
+          default:
+            col.has_nulls = true;
+            break;
+        }
+      }
+      if (!saw_int && !saw_dbl && !saw_str) {
+        col.kind = ChunkColumn::kAllNull;
+      } else if (saw_str) {
+        col.kind = (saw_int || saw_dbl) ? ChunkColumn::kMixed
+                                        : ChunkColumn::kString;
+      } else if (saw_int && saw_dbl) {
+        col.kind = ChunkColumn::kMixed;
+      } else {
+        col.kind = saw_int ? ChunkColumn::kInt : ChunkColumn::kDouble;
+      }
+      col.zone_valid = have_zone && !saw_str && !saw_nan && !saw_big;
+      col.zone_int = col.zone_valid && !saw_dbl;
+      if (!col.has_nulls && col.kind == ChunkColumn::kInt) {
+        col.ints.resize(rows);
+        for (size_t k = 0; k < rows; ++k) col.ints[k] = col.cells[k].i;
+      } else if (!col.has_nulls && col.kind == ChunkColumn::kDouble) {
+        col.dbls.resize(rows);
+        for (size_t k = 0; k < rows; ++k) col.dbls[k] = col.cells[k].d;
+      }
+      bytes += sizeof(ChunkColumn) + col.cells.capacity() * sizeof(ColCell) +
+               col.ints.capacity() * sizeof(int64_t) +
+               col.dbls.capacity() * sizeof(double);
+    }
+    bytes += sizeof(ColumnChunk);
+    set->chunks_.push_back(std::move(chunk));
+  }
+  set->approx_bytes_ = bytes;
+  return set;
+}
+
+}  // namespace iceberg

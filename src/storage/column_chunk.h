@@ -1,0 +1,99 @@
+#ifndef SMARTICEBERG_STORAGE_COLUMN_CHUNK_H_
+#define SMARTICEBERG_STORAGE_COLUMN_CHUNK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace iceberg {
+
+class Table;
+
+/// One lane of a columnar chunk: a tagged scalar whose tag order matches
+/// Value's alternative order (NULL, int, double, string) and the compiled
+/// engine's CVal tags, so the batch VM lowers cells with a tag copy and no
+/// re-dispatch. Strings are borrowed pointers into the owning table's rows;
+/// they stay valid exactly as long as the chunk set's version matches the
+/// table's (see Table::GetOrBuildChunks).
+struct ColCell {
+  uint8_t tag = 0;  // 0 = NULL, 1 = int, 2 = double, 3 = string
+  union {
+    int64_t i;
+    double d;
+    const std::string* s;
+  };
+};
+
+/// One column of one chunk: lane-ready cells for every row, optional dense
+/// typed lanes for pure numeric populations, and a min/max zone over the
+/// non-NULL values.
+struct ChunkColumn {
+  /// Shape of the chunk's population for this column. kInt/kDouble/kString
+  /// mean every non-NULL value has that type; kMixed means types vary.
+  enum Kind : uint8_t { kAllNull, kInt, kDouble, kString, kMixed };
+  Kind kind = kAllNull;
+  bool has_nulls = false;
+
+  /// Tagged cells for every row of the chunk (always populated).
+  std::vector<ColCell> cells;
+
+  /// Dense typed lanes, present only when the population is purely int64
+  /// (ints) or purely double (dbls) with no NULLs — the tight-loop layout.
+  std::vector<int64_t> ints;
+  std::vector<double> dbls;
+
+  /// Zone map: [min, max] over the non-NULL population. Valid only when
+  /// every non-NULL value is numeric and no NaN was seen. zone_int means
+  /// every value is an int64, so the int fields are exact (the double
+  /// fields are always filled for coerced comparisons).
+  bool zone_valid = false;
+  bool zone_int = false;
+  int64_t min_i = 0, max_i = 0;
+  double min_d = 0.0, max_d = 0.0;
+};
+
+/// A ~1024-row horizontal slice of a table, decomposed into columns.
+struct ColumnChunk {
+  size_t begin = 0;  // first covered table row id
+  size_t rows = 0;
+  std::vector<ChunkColumn> cols;
+};
+
+/// An immutable columnar projection of a Table at one version: fixed-size
+/// chunks of tagged cells plus typed lanes and zone maps. Built lazily per
+/// table (Table::GetOrBuildChunks) and discarded when the table mutates —
+/// the stored string pointers borrow from the table's rows, so a chunk set
+/// must never outlive the version it was built from.
+class ColumnChunkSet {
+ public:
+  static constexpr size_t kChunkRows = 1024;
+
+  /// Decomposes `table` (stamped with `version`, the table's version at
+  /// build time).
+  static std::shared_ptr<const ColumnChunkSet> Build(const Table& table,
+                                                     uint64_t version);
+
+  uint64_t version() const { return version_; }
+  size_t num_rows() const { return num_rows_; }
+  const std::vector<ColumnChunk>& chunks() const { return chunks_; }
+
+  /// Approximate heap footprint of the decomposition (cells + typed lanes);
+  /// charged to governor budgets and Table::ApproxBytes.
+  size_t approx_bytes() const { return approx_bytes_; }
+
+ private:
+  ColumnChunkSet() = default;
+
+  uint64_t version_ = 0;
+  size_t num_rows_ = 0;
+  std::vector<ColumnChunk> chunks_;
+  size_t approx_bytes_ = 0;
+};
+
+using ColumnChunkSetPtr = std::shared_ptr<const ColumnChunkSet>;
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_STORAGE_COLUMN_CHUNK_H_

@@ -2,6 +2,24 @@
 
 namespace iceberg {
 
+namespace {
+
+/// Payload bytes of a materialized key row (header + values + string heap).
+size_t RowFootprint(const Row& row) {
+  size_t bytes = sizeof(Row) + row.capacity() * sizeof(Value);
+  for (const Value& v : row) {
+    if (v.is_string()) bytes += v.AsString().capacity();
+  }
+  return bytes;
+}
+
+/// Rough per-node bookkeeping overhead of the standard containers
+/// (rb-tree node pointers/color, or hash-node next pointer + cached hash).
+constexpr size_t kTreeNodeOverhead = 40;
+constexpr size_t kHashNodeOverhead = 16;
+
+}  // namespace
+
 Row OrderedIndex::ExtractKey(const Row& row) const {
   Row key;
   key.reserve(key_columns_.size());
@@ -61,6 +79,24 @@ std::vector<size_t> OrderedIndex::UpperBoundScan(const Row& high) const {
     out.push_back(it->second);
   }
   return out;
+}
+
+size_t OrderedIndex::ApproxBytes() const {
+  size_t bytes = sizeof(*this) + key_columns_.capacity() * sizeof(size_t);
+  for (const auto& entry : entries_) {
+    bytes += kTreeNodeOverhead + sizeof(entry) + RowFootprint(entry.first);
+  }
+  return bytes;
+}
+
+size_t HashIndex::ApproxBytes() const {
+  size_t bytes = sizeof(*this) + key_columns_.capacity() * sizeof(size_t) +
+                 entries_.bucket_count() * sizeof(void*);
+  for (const auto& entry : entries_) {
+    bytes += kHashNodeOverhead + sizeof(entry) + RowFootprint(entry.first) +
+             entry.second.capacity() * sizeof(size_t);
+  }
+  return bytes;
 }
 
 Row HashIndex::ExtractKey(const Row& row) const {

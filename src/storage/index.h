@@ -44,6 +44,10 @@ class OrderedIndex {
 
   size_t num_entries() const { return entries_.size(); }
 
+  /// Approximate heap footprint: per-entry tree-node overhead plus the
+  /// materialized key rows (counted into Table::ApproxBytes).
+  size_t ApproxBytes() const;
+
  private:
   Row ExtractKey(const Row& row) const;
 
@@ -62,6 +66,10 @@ class HashIndex {
   const std::vector<size_t>* Lookup(const Row& key) const;
 
   size_t num_keys() const { return entries_.size(); }
+
+  /// Approximate heap footprint: buckets, per-key node overhead, key rows,
+  /// and the row-id postings vectors.
+  size_t ApproxBytes() const;
 
  private:
   Row ExtractKey(const Row& row) const;

@@ -22,6 +22,7 @@ void Table::AppendUnchecked(Row row) {
   for (auto& idx : ordered_indexes_) idx->Insert(row, row_id);
   for (auto& idx : hash_indexes_) idx->Insert(row, row_id);
   rows_.push_back(std::move(row));
+  BumpVersion();
 }
 
 Result<size_t> Table::BuildOrderedIndex(
@@ -53,11 +54,13 @@ void Table::UpdateRow(size_t i, Row row) {
   ICEBERG_CHECK(ordered_indexes_.empty() && hash_indexes_.empty());
   ICEBERG_CHECK(i < rows_.size());
   rows_[i] = std::move(row);
+  BumpVersion();
 }
 
 void Table::SortRowsCanonical() {
   ICEBERG_CHECK(ordered_indexes_.empty() && hash_indexes_.empty());
   std::sort(rows_.begin(), rows_.end(), RowLess());
+  BumpVersion();
 }
 
 size_t Table::BuildOrderedIndexByIds(std::vector<size_t> columns) {
@@ -112,7 +115,22 @@ size_t Table::ApproxBytes() const {
       if (v.is_string()) bytes += v.AsString().capacity();
     }
   }
+  for (const auto& idx : ordered_indexes_) bytes += idx->ApproxBytes();
+  for (const auto& idx : hash_indexes_) bytes += idx->ApproxBytes();
+  {
+    std::lock_guard<std::mutex> lock(chunks_mutex_);
+    if (chunks_cache_ != nullptr) bytes += chunks_cache_->approx_bytes();
+  }
   return bytes;
+}
+
+ColumnChunkSetPtr Table::GetOrBuildChunks() const {
+  const uint64_t v = version();
+  std::lock_guard<std::mutex> lock(chunks_mutex_);
+  if (chunks_cache_ == nullptr || chunks_cache_->version() != v) {
+    chunks_cache_ = ColumnChunkSet::Build(*this, v);
+  }
+  return chunks_cache_;
 }
 
 std::string Table::ToString(size_t max_rows) const {

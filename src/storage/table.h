@@ -1,13 +1,16 @@
 #ifndef SMARTICEBERG_STORAGE_TABLE_H_
 #define SMARTICEBERG_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/catalog/schema.h"
 #include "src/common/status.h"
 #include "src/common/value.h"
+#include "src/storage/column_chunk.h"
 #include "src/storage/index.h"
 
 namespace iceberg {
@@ -23,6 +26,23 @@ class Table {
   explicit Table(Schema schema) : schema_(std::move(schema)) {}
   Table(std::string name, Schema schema)
       : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  // Movable but not copyable (the chunk cache and version counter are
+  // identity state). A moved-from table keeps no cached chunks; the rows'
+  // heap buffer moves wholesale, so borrowed string pointers in the moved
+  // cache would actually survive, but dropping it keeps the invariant
+  // simple: cache lifetime == (table identity, version).
+  Table(Table&& other) noexcept
+      : name_(std::move(other.name_)),
+        schema_(std::move(other.schema_)),
+        rows_(std::move(other.rows_)),
+        ordered_indexes_(std::move(other.ordered_indexes_)),
+        hash_indexes_(std::move(other.hash_indexes_)) {
+    version_.store(other.version_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  }
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
 
   const std::string& name() const { return name_; }
   void SetName(std::string name) { name_ = std::move(name); }
@@ -80,17 +100,40 @@ class Table {
   /// experiments).
   void DropIndexes();
 
-  /// Approximate memory footprint of the stored rows in bytes.
+  /// Approximate memory footprint in bytes: stored rows plus secondary
+  /// indexes (ordered + hash) plus any cached columnar chunk set, so
+  /// governor budgets see the whole physical footprint.
   size_t ApproxBytes() const;
+
+  /// Monotonic mutation counter. Every row mutation (append, in-place
+  /// update, canonical sort) bumps it; columnar chunk sets are stamped with
+  /// the version they were built from and discarded on mismatch.
+  uint64_t version() const {
+    return version_.load(std::memory_order_relaxed);
+  }
+
+  /// Returns the columnar decomposition of the current version, building
+  /// (and caching) it on first use. Thread-safe; concurrent planners share
+  /// one build. The returned set is immutable and borrows the rows'
+  /// strings, so callers must re-check `set->version() == version()`
+  /// before using it after any point the table could have mutated.
+  ColumnChunkSetPtr GetOrBuildChunks() const;
 
   std::string ToString(size_t max_rows = 20) const;
 
  private:
+  void BumpVersion() {
+    version_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   std::string name_;
   Schema schema_;
   std::vector<Row> rows_;
   std::vector<std::unique_ptr<OrderedIndex>> ordered_indexes_;
   std::vector<std::unique_ptr<HashIndex>> hash_indexes_;
+  std::atomic<uint64_t> version_{1};
+  mutable std::mutex chunks_mutex_;
+  mutable ColumnChunkSetPtr chunks_cache_;
 };
 
 using TablePtr = std::shared_ptr<Table>;

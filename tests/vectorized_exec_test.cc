@@ -1,0 +1,528 @@
+// Differential tests for the vectorized columnar execution path: batch
+// predicate evaluation (FilterBatch) must agree lane-for-lane with the
+// scalar reference (RunPredicate) on generated predicates over mixed
+// int/double/string/NULL data; zone-map refutation must be sound at chunk
+// boundaries; and flipping the vectorize chicken bit must not change any
+// workload query result on either engine, at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench/workload_queries.h"
+#include "src/engine/database.h"
+#include "src/exec/exec_options.h"
+#include "src/exec/governor.h"
+#include "src/expr/compiled.h"
+#include "src/expr/evaluator.h"
+#include "src/expr/expr.h"
+#include "src/storage/column_chunk.h"
+#include "src/storage/table.h"
+
+namespace iceberg {
+namespace {
+
+// Restores the process-wide vectorize flag when a test that flips it
+// exits, including via an assertion failure. Tests that assert vectorized
+// counters pin the flag on first, so the suite also passes when launched
+// with ICEBERG_VECTORIZE=0 (the CI chicken-bit sweep).
+struct VectorizeFlagGuard {
+  bool saved = VectorizedExecEnabled();
+  ~VectorizeFlagGuard() { SetVectorizedExecEnabled(saved); }
+};
+
+ExprPtr ColAt(int index) {
+  ExprPtr c = Col("c" + std::to_string(index));
+  c->resolved_index = index;
+  return c;
+}
+
+// Row layout of the generator: c0..c2 int64, c3..c4 double, c5 string.
+constexpr int kNumIntCols = 3;
+constexpr int kNumDoubleCols = 2;
+constexpr int kStringCol = 5;
+constexpr int kNumCols = 6;
+
+class PredGen {
+ public:
+  explicit PredGen(uint32_t seed) : rng_(seed) {}
+
+  // Arithmetic operands are generated string-free, matching the compiled
+  // engine's documented carve-out (see compiled_expr_test.cc).
+  ExprPtr Make(int depth, bool allow_string) {
+    if (depth <= 0 || Pick(4) == 0) return Leaf(allow_string);
+    switch (Pick(6)) {
+      case 0: {
+        static const BinaryOp kCmp[] = {BinaryOp::kEq, BinaryOp::kNe,
+                                        BinaryOp::kLt, BinaryOp::kLe,
+                                        BinaryOp::kGt, BinaryOp::kGe};
+        return Bin(kCmp[Pick(6)], Make(depth - 1, true),
+                   Make(depth - 1, true));
+      }
+      case 1: {
+        static const BinaryOp kArith[] = {BinaryOp::kAdd, BinaryOp::kSub,
+                                          BinaryOp::kMul, BinaryOp::kDiv};
+        return Bin(kArith[Pick(4)], Make(depth - 1, false),
+                   Make(depth - 1, false));
+      }
+      case 2:
+        return Bin(BinaryOp::kAnd, Make(depth - 1, true),
+                   Make(depth - 1, true));
+      case 3:
+        return Bin(BinaryOp::kOr, Make(depth - 1, true),
+                   Make(depth - 1, true));
+      case 4:
+        return Not(Make(depth - 1, true));
+      default:
+        return Neg(Make(depth - 1, false));
+    }
+  }
+
+  Row MakeRow() {
+    Row row;
+    row.reserve(kNumCols);
+    for (int i = 0; i < kNumIntCols; ++i) {
+      row.push_back(Pick(6) == 0 ? Value::Null() : Value::Int(Pick(9) - 4));
+    }
+    for (int i = 0; i < kNumDoubleCols; ++i) {
+      row.push_back(Pick(6) == 0 ? Value::Null()
+                                 : Value::Double((Pick(9) - 4) * 0.5));
+    }
+    switch (Pick(4)) {
+      case 0: row.push_back(Value::Null()); break;
+      case 1: row.push_back(Value::Str("")); break;
+      case 2: row.push_back(Value::Str("abc")); break;
+      default: row.push_back(Value::Str("zz")); break;
+    }
+    return row;
+  }
+
+ private:
+  int Pick(int n) { return static_cast<int>(rng_() % n); }
+
+  ExprPtr Leaf(bool allow_string) {
+    switch (Pick(allow_string ? 6 : 5)) {
+      case 0: return LitInt(Pick(9) - 4);
+      case 1: return LitDouble((Pick(9) - 4) * 0.5);
+      case 2: return Lit(Value::Null());
+      case 3: return ColAt(Pick(kNumIntCols));
+      case 4: return ColAt(kNumIntCols + Pick(kNumDoubleCols));
+      default: return ColAt(kStringCol);
+    }
+  }
+
+  std::mt19937 rng_;
+};
+
+Schema GenSchema() {
+  return Schema({{"c0", DataType::kInt64},
+                 {"c1", DataType::kInt64},
+                 {"c2", DataType::kInt64},
+                 {"c3", DataType::kDouble},
+                 {"c4", DataType::kDouble},
+                 {"c5", DataType::kString}});
+}
+
+// ---------------------------------------------------------------------------
+// FilterBatch vs RunPredicate, lane for lane
+// ---------------------------------------------------------------------------
+
+TEST(VectorizedBatchTest, GeneratedPredicatesMatchScalarPath) {
+  PredGen gen(20260807);
+  Table table(GenSchema());
+  // Spans several chunks, with a deliberately degenerate tail chunk.
+  const size_t kRows = 2 * ColumnChunkSet::kChunkRows + 123;
+  for (size_t i = 0; i < kRows; ++i) table.AppendUnchecked(gen.MakeRow());
+  ColumnChunkSetPtr chunks = table.GetOrBuildChunks();
+  ASSERT_EQ(chunks->num_rows(), kRows);
+  ASSERT_EQ(chunks->chunks().size(), 3u);
+
+  EvalScratch eval;
+  BatchScratch batch;
+  std::vector<uint32_t> sel(ColumnChunkSet::kChunkRows);
+  for (int p = 0; p < 300; ++p) {
+    ExprPtr e = gen.Make(4, true);
+    CompiledExpr prog = CompiledExpr::Compile(*e);
+    ASSERT_TRUE(prog.valid()) << e->ToString();
+    ASSERT_TRUE(prog.batchable()) << e->ToString();
+    for (const ColumnChunk& chunk : chunks->chunks()) {
+      const bool refuted =
+          prog.has_zone_checks() && prog.ZoneRefutes(chunk, 0, nullptr);
+      for (size_t k = 0; k < chunk.rows; ++k) {
+        sel[k] = static_cast<uint32_t>(k);
+      }
+      size_t n = prog.FilterBatch(chunk, 0, nullptr, sel.data(), chunk.rows,
+                                  sel.data(), &batch);
+      // Reference: scalar evaluation over the materialized rows.
+      size_t expect = 0;
+      for (size_t k = 0; k < chunk.rows; ++k) {
+        const Row& row = table.row(chunk.begin + k);
+        if (prog.RunPredicate(row, &eval)) {
+          ASSERT_LT(expect, n) << e->ToString() << " lane " << k;
+          ASSERT_EQ(sel[expect], k) << e->ToString();
+          ++expect;
+          // Zone refutation must never disagree with a passing row.
+          ASSERT_FALSE(refuted) << e->ToString() << " row " << k;
+        }
+      }
+      ASSERT_EQ(expect, n) << e->ToString();
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(VectorizedBatchTest, OuterPrefixBroadcastMatchesScalarPath) {
+  // Slots < base broadcast from the outer prefix (the joined partial row):
+  // predicates mix outer slots (0..5) with chunk slots (6..11).
+  PredGen gen(7);
+  Table table(GenSchema());
+  const size_t kRows = ColumnChunkSet::kChunkRows + 77;
+  for (size_t i = 0; i < kRows; ++i) table.AppendUnchecked(gen.MakeRow());
+  ColumnChunkSetPtr chunks = table.GetOrBuildChunks();
+  const size_t base = kNumCols;
+
+  auto shift = [&](const ExprPtr& e, auto&& self) -> void {
+    if (e->kind == ExprKind::kColumnRef && e->resolved_index >= 0 &&
+        (e->children.empty())) {
+      // Move half of the refs into the chunk's slot range.
+      if (e->resolved_index % 2 == 0) e->resolved_index += base;
+    }
+    for (const ExprPtr& c : e->children) self(c, self);
+  };
+
+  EvalScratch eval;
+  BatchScratch batch;
+  std::vector<uint32_t> sel(ColumnChunkSet::kChunkRows);
+  for (int p = 0; p < 150; ++p) {
+    ExprPtr e = gen.Make(3, true);
+    shift(e, shift);
+    CompiledExpr prog = CompiledExpr::Compile(*e);
+    ASSERT_TRUE(prog.valid());
+    Row partial = gen.MakeRow();  // the outer prefix
+    for (const ColumnChunk& chunk : chunks->chunks()) {
+      const bool refuted =
+          prog.has_zone_checks() && prog.ZoneRefutes(chunk, base, &partial);
+      for (size_t k = 0; k < chunk.rows; ++k) {
+        sel[k] = static_cast<uint32_t>(k);
+      }
+      size_t n = prog.FilterBatch(chunk, base, &partial, sel.data(),
+                                  chunk.rows, sel.data(), &batch);
+      size_t expect = 0;
+      Row joined = partial;
+      for (size_t k = 0; k < chunk.rows; ++k) {
+        const Row& inner = table.row(chunk.begin + k);
+        joined.resize(base);
+        joined.insert(joined.end(), inner.begin(), inner.end());
+        if (prog.RunPredicate(joined, &eval)) {
+          ASSERT_LT(expect, n) << e->ToString() << " lane " << k;
+          ASSERT_EQ(sel[expect], k) << e->ToString();
+          ++expect;
+          ASSERT_FALSE(refuted) << e->ToString() << " row " << k;
+        }
+      }
+      ASSERT_EQ(expect, n) << e->ToString();
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Zone maps: boundary values, NULL columns, soundness
+// ---------------------------------------------------------------------------
+
+TEST(VectorizedZoneTest, BoundaryValuesRefuteExactly) {
+  // c0 = row index, sorted, so chunk z has zone [z*1024, z*1024+1023].
+  Table table(Schema({{"c0", DataType::kInt64}}));
+  const int64_t kRows = 3 * static_cast<int64_t>(ColumnChunkSet::kChunkRows);
+  for (int64_t i = 0; i < kRows; ++i) {
+    table.AppendUnchecked({Value::Int(i)});
+  }
+  ColumnChunkSetPtr chunks = table.GetOrBuildChunks();
+  ASSERT_EQ(chunks->chunks().size(), 3u);
+  const ColumnChunk& mid = chunks->chunks()[1];  // zone [1024, 2047]
+
+  struct Case {
+    BinaryOp op;
+    int64_t lit;
+    bool refuted;
+  };
+  const Case cases[] = {
+      {BinaryOp::kLe, 1023, true},   {BinaryOp::kLe, 1024, false},
+      {BinaryOp::kLt, 1024, true},   {BinaryOp::kLt, 1025, false},
+      {BinaryOp::kGe, 2048, true},   {BinaryOp::kGe, 2047, false},
+      {BinaryOp::kGt, 2047, true},   {BinaryOp::kGt, 2046, false},
+      {BinaryOp::kEq, 1500, false},  {BinaryOp::kEq, 2048, true},
+      {BinaryOp::kEq, 1023, true},   {BinaryOp::kNe, 1500, false},
+  };
+  for (const Case& c : cases) {
+    CompiledExpr prog =
+        CompiledExpr::Compile(*Bin(c.op, ColAt(0), LitInt(c.lit)));
+    ASSERT_TRUE(prog.has_zone_checks());
+    EXPECT_EQ(prog.ZoneRefutes(mid, 0, nullptr), c.refuted)
+        << "op=" << static_cast<int>(c.op) << " lit=" << c.lit;
+  }
+
+  // Double literals against the int zone, including fractional boundaries.
+  CompiledExpr lt = CompiledExpr::Compile(*Bin(BinaryOp::kLt, ColAt(0),
+                                               LitDouble(1024.5)));
+  EXPECT_FALSE(lt.ZoneRefutes(mid, 0, nullptr));
+  CompiledExpr lt2 = CompiledExpr::Compile(*Bin(BinaryOp::kLt, ColAt(0),
+                                                LitDouble(1023.5)));
+  EXPECT_TRUE(lt2.ZoneRefutes(mid, 0, nullptr));
+}
+
+TEST(VectorizedZoneTest, NullAndStringColumnsNeverMisfire) {
+  Table table(Schema({{"c0", DataType::kInt64}, {"c1", DataType::kString}}));
+  for (size_t i = 0; i < ColumnChunkSet::kChunkRows; ++i) {
+    table.AppendUnchecked({Value::Null(), Value::Str("s")});
+  }
+  ColumnChunkSetPtr chunks = table.GetOrBuildChunks();
+  const ColumnChunk& chunk = chunks->chunks()[0];
+  // All-NULL column: any comparison against it is NULL on every row, so
+  // refutation is sound (and expected).
+  CompiledExpr p0 = CompiledExpr::Compile(*Bin(BinaryOp::kGe, ColAt(0),
+                                               LitInt(0)));
+  EXPECT_TRUE(p0.ZoneRefutes(chunk, 0, nullptr));
+  // String column: no numeric zone; never refuted.
+  ExprPtr c1 = Col("c1");
+  c1->resolved_index = 1;
+  CompiledExpr p1 = CompiledExpr::Compile(
+      *Bin(BinaryOp::kEq, std::move(c1), Lit(Value::Str("s"))));
+  EXPECT_FALSE(p1.ZoneRefutes(chunk, 0, nullptr));
+}
+
+TEST(VectorizedZoneTest, DisjunctionsAreNotExtractedAsZoneChecks) {
+  // (c0 < 0 OR c0 > 5): neither disjunct alone may refute a chunk.
+  ExprPtr e = Bin(BinaryOp::kOr, Bin(BinaryOp::kLt, ColAt(0), LitInt(0)),
+                  Bin(BinaryOp::kGt, ColAt(0), LitInt(5)));
+  CompiledExpr prog = CompiledExpr::Compile(*e);
+  EXPECT_FALSE(prog.has_zone_checks());
+  // But conjuncts on both sides of a top-level AND are.
+  ExprPtr a = Bin(BinaryOp::kAnd, Bin(BinaryOp::kGe, ColAt(0), LitInt(0)),
+                  Bin(BinaryOp::kLe, ColAt(1), LitInt(9)));
+  EXPECT_TRUE(CompiledExpr::Compile(*a).has_zone_checks());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: chicken bit on/off, both engines, 1 and 8 threads
+// ---------------------------------------------------------------------------
+
+void ExpectSameRows(const TablePtr& a, const TablePtr& b,
+                    const std::string& ctx) {
+  ASSERT_EQ(a->num_rows(), b->num_rows()) << ctx;
+  std::vector<Row> ra = a->rows(), rb = b->rows();
+  std::sort(ra.begin(), ra.end(), RowLess());
+  std::sort(rb.begin(), rb.end(), RowLess());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    ASSERT_EQ(CompareRows(ra[i], rb[i]), 0) << ctx << " row " << i;
+  }
+}
+
+TEST(VectorizedWorkloadTest, OnOffIdenticalResults) {
+  VectorizeFlagGuard guard;
+  // Large enough that the score table spans multiple column chunks.
+  std::unique_ptr<Database> db = bench::MakeScoreDb(1500);
+  for (const bench::NamedQuery& q : bench::Figure1Queries()) {
+    for (int threads : {1, 8}) {
+      ExecOptions exec;
+      exec.num_threads = threads;
+      SetVectorizedExecEnabled(true);
+      Result<TablePtr> on = db->Query(q.sql, exec);
+      SetVectorizedExecEnabled(false);
+      Result<TablePtr> off = db->Query(q.sql, exec);
+      SetVectorizedExecEnabled(true);
+      ASSERT_TRUE(on.ok()) << q.name << ": " << on.status().ToString();
+      ASSERT_TRUE(off.ok()) << q.name << ": " << off.status().ToString();
+      ExpectSameRows(*on, *off,
+                     q.name + " baseline t=" + std::to_string(threads));
+      if (::testing::Test::HasFatalFailure()) return;
+
+      IcebergOptions iceberg;
+      iceberg.base_exec.num_threads = threads;
+      SetVectorizedExecEnabled(true);
+      Result<TablePtr> ion = db->QueryIceberg(q.sql, iceberg);
+      SetVectorizedExecEnabled(false);
+      Result<TablePtr> ioff = db->QueryIceberg(q.sql, iceberg);
+      SetVectorizedExecEnabled(true);
+      ASSERT_TRUE(ion.ok()) << q.name << ": " << ion.status().ToString();
+      ASSERT_TRUE(ioff.ok()) << q.name << ": " << ioff.status().ToString();
+      ExpectSameRows(*ion, *ioff,
+                     q.name + " nljp t=" + std::to_string(threads));
+      ExpectSameRows(*on, *ion, q.name + " engines");
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(VectorizedWorkloadTest, PerQueryOptionDisablesVectorization) {
+  VectorizeFlagGuard guard;
+  SetVectorizedExecEnabled(true);
+  std::unique_ptr<Database> db = bench::MakeScoreDb(1500);
+  const std::string sql = bench::SkybandSql("hits", "hruns", 50);
+  // Force the block-nested-loop plan: the ordered-index range scan would
+  // otherwise win the inner level and nothing would vectorize.
+  ExecOptions on;
+  on.use_indexes = false;
+  ExecStats on_stats;
+  Result<TablePtr> with = db->Query(sql, on, &on_stats);
+  ASSERT_TRUE(with.ok()) << with.status().ToString();
+  EXPECT_GT(on_stats.batch_rows, 0u);
+
+  ExecOptions off;
+  off.use_indexes = false;
+  off.vectorize = false;
+  ExecStats off_stats;
+  Result<TablePtr> without = db->Query(sql, off, &off_stats);
+  ASSERT_TRUE(without.ok()) << without.status().ToString();
+  EXPECT_EQ(off_stats.batch_rows, 0u);
+  EXPECT_EQ(off_stats.bloom_probes, 0u);
+  ExpectSameRows(*with, *without, "per-query vectorize option");
+  // Counter identity across the paths: the row-at-a-time reference and the
+  // vectorized path must examine the same pairs and join the same rows.
+  EXPECT_EQ(on_stats.join_pairs_examined, off_stats.join_pairs_examined);
+  EXPECT_EQ(on_stats.rows_joined, off_stats.rows_joined);
+}
+
+// ---------------------------------------------------------------------------
+// Bloom pre-filtering: both transfer directions
+// ---------------------------------------------------------------------------
+
+class BloomJoinTest : public ::testing::Test {
+ protected:
+  // big: 4096 rows (id in [0, 512) so some ids exist in small, val = i).
+  // small: 32 rows (id in [0, 64) stepped by 2, w = id * 10).
+  void SetUp() override {
+    SetVectorizedExecEnabled(true);
+    ASSERT_TRUE(db_.CreateTable("big", Schema({{"id", DataType::kInt64},
+                                               {"val", DataType::kInt64}}))
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable("small", Schema({{"id", DataType::kInt64},
+                                                 {"w", DataType::kInt64}}))
+                    .ok());
+    for (int64_t i = 0; i < 4096; ++i) {
+      ASSERT_TRUE(db_.Insert("big", {Value::Int(i % 512), Value::Int(i)})
+                      .ok());
+    }
+    for (int64_t i = 0; i < 64; i += 2) {
+      ASSERT_TRUE(db_.Insert("small", {Value::Int(i), Value::Int(i * 10)})
+                      .ok());
+    }
+  }
+
+  VectorizeFlagGuard guard_;
+  Database db_;
+};
+
+TEST_F(BloomJoinTest, ScanSideBloomIdenticalResults) {
+  // Outer (big) >> inner (small): a Bloom over the inner key set filters
+  // the outer scan.
+  const std::string sql =
+      "SELECT L.id, L.val, R.w FROM big L, small R "
+      "WHERE L.id = R.id AND L.val >= 0";
+  ExecOptions on;
+  ExecStats on_stats;
+  Result<TablePtr> with = db_.Query(sql, on, &on_stats);
+  ASSERT_TRUE(with.ok()) << with.status().ToString();
+  EXPECT_GT(on_stats.bloom_probes, 0u);
+  EXPECT_GE(on_stats.bloom_probes, on_stats.bloom_hits);
+
+  ExecOptions off;
+  off.vectorize = false;
+  Result<TablePtr> without = db_.Query(sql, off);
+  ASSERT_TRUE(without.ok()) << without.status().ToString();
+  ExpectSameRows(*with, *without, "scan-side bloom");
+  EXPECT_GT((*with)->num_rows(), 0u);
+}
+
+TEST_F(BloomJoinTest, BuildSideBloomIdenticalResults) {
+  // Outer (small) << inner (big): the outer key set filters the kHashJoin
+  // hash build over the inner table.
+  const std::string sql =
+      "SELECT L.id, L.w, R.val FROM small L, big R WHERE R.id = L.id";
+  ExecOptions on;
+  ExecStats on_stats;
+  Result<TablePtr> with = db_.Query(sql, on, &on_stats);
+  ASSERT_TRUE(with.ok()) << with.status().ToString();
+  // Every inner row was probed against the outer-key Bloom at build time.
+  EXPECT_EQ(on_stats.bloom_probes, 4096u);
+  EXPECT_GT(on_stats.bloom_hits, 0u);
+
+  ExecOptions off;
+  off.vectorize = false;
+  ExecStats off_stats;
+  Result<TablePtr> without = db_.Query(sql, off, &off_stats);
+  ASSERT_TRUE(without.ok()) << without.status().ToString();
+  EXPECT_EQ(off_stats.bloom_probes, 0u);
+  ExpectSameRows(*with, *without, "build-side bloom");
+  EXPECT_GT((*with)->num_rows(), 0u);
+  EXPECT_EQ(on_stats.rows_joined, off_stats.rows_joined);
+}
+
+// ---------------------------------------------------------------------------
+// Governor: budget pressure degrades to the row path, never to an error
+// ---------------------------------------------------------------------------
+
+TEST(VectorizedGovernorTest, BudgetPressureFallsBackToRowPath) {
+  VectorizeFlagGuard guard;
+  SetVectorizedExecEnabled(true);
+  std::unique_ptr<Database> db = bench::MakeScoreDb(1500);
+  const std::string sql = bench::SkybandSql("hits", "hruns", 50);
+
+  ExecOptions plain;
+  plain.use_indexes = false;  // seq-scan plan, so chunks are in play
+  ExecStats plain_stats;
+  Result<TablePtr> expected = db->Query(sql, plain, &plain_stats);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_GT(plain_stats.batch_rows, 0u);
+
+  // Deterministic pressure: every advisory chunk/Bloom reservation is
+  // refused; mandatory reservations proceed.
+  GovernorProbe probe;
+  probe.on_reserve = [](size_t, size_t, const char* tag) {
+    const std::string t(tag);
+    if (t == "column-chunks" || t == "bloom-filter") {
+      return Status::ResourceExhausted("injected pressure");
+    }
+    return Status::OK();
+  };
+  ExecOptions governed;
+  governed.use_indexes = false;
+  governed.governor = std::make_shared<QueryGovernor>(
+      QueryGovernor::Limits{}, std::move(probe));
+  ExecStats governed_stats;
+  Result<TablePtr> degraded = db->Query(sql, governed, &governed_stats);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_EQ(governed_stats.batch_rows, 0u);
+  EXPECT_EQ(governed_stats.chunks_skipped, 0u);
+  ExpectSameRows(*expected, *degraded, "governed degradation");
+}
+
+// ---------------------------------------------------------------------------
+// Chunk cache invalidation on table mutation
+// ---------------------------------------------------------------------------
+
+TEST(ColumnChunkTest, MutationInvalidatesCachedChunks) {
+  Table table(GenSchema());
+  PredGen gen(3);
+  for (int i = 0; i < 100; ++i) table.AppendUnchecked(gen.MakeRow());
+  ColumnChunkSetPtr first = table.GetOrBuildChunks();
+  EXPECT_EQ(first->num_rows(), 100u);
+  EXPECT_EQ(first->version(), table.version());
+  // Cached: same snapshot back while the table is unchanged.
+  EXPECT_EQ(table.GetOrBuildChunks().get(), first.get());
+
+  table.AppendUnchecked(gen.MakeRow());
+  EXPECT_NE(first->version(), table.version());
+  ColumnChunkSetPtr second = table.GetOrBuildChunks();
+  EXPECT_EQ(second->num_rows(), 101u);
+  EXPECT_EQ(second->version(), table.version());
+  // The old snapshot stays valid for readers that still hold it.
+  EXPECT_EQ(first->num_rows(), 100u);
+}
+
+}  // namespace
+}  // namespace iceberg
