@@ -7,6 +7,15 @@
 //                    degradations and trip with Cancelled/ResourceExhausted
 //   \threads [N]     worker threads for later statements (0 = auto,
 //                    1 = serial); parallel output is canonically sorted
+//   \sessions [N]    fan every later statement out across N concurrent
+//                    serving sessions (thread-per-session, admission
+//                    control, retries) and verify the results are
+//                    byte-identical; N=1 (default) serves on one session
+//   \retry [N]       total attempts per statement for retryable failures
+//                    (admission sheds, snapshot conflicts, chaos faults)
+//   \chaos seed N [cancel alloc shed delay]   enable the deterministic
+//                    fault-injection schedule (rates are 1-in-K per site,
+//                    defaults from the soak profile); \chaos off disables
 //   \tables          list tables
 //   \load <table> <csv-path>   bulk-load a CSV file
 //   \metrics [json|reset]   dump the global metrics registry (counters,
@@ -18,20 +27,28 @@
 //   \vectorize on|off   toggle the vectorized (columnar batch) scan path;
 //                    also honours the ICEBERG_VECTORIZE env var at startup
 //   \q               quit
-// Anything else is executed through the Smart-Iceberg optimizer; statements
-// starting with EXPLAIN ANALYZE return the annotated plan tree instead of
-// the result rows.
+// Anything else is executed through the serving layer (session + admission
+// + retry) with the Smart-Iceberg optimizer; statements starting with
+// EXPLAIN ANALYZE return the annotated plan tree instead of the result
+// rows. \govern-ed statements run directly (one governor, no retry), so
+// trips surface verbatim.
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "src/engine/csv.h"
 #include "src/engine/database.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/server/chaos.h"
+#include "src/server/session.h"
 #include "src/workload/baseball.h"
 #include "src/workload/basket.h"
 #include "src/workload/object.h"
@@ -49,8 +66,109 @@ bool g_governed = false;
 // set via \threads.
 int g_threads = 0;
 
+// Serving settings (\sessions, \retry). The server is rebuilt lazily when
+// any of them change; the database itself persists.
+int g_sessions = 1;
+int g_retry_attempts = 4;
+std::unique_ptr<IcebergServer> g_server;
+
 GovernorPtr MakeGovernor() {
   return g_governed ? std::make_shared<QueryGovernor>(g_limits) : nullptr;
+}
+
+IcebergServer* GetServer(Database* db) {
+  if (g_server == nullptr) {
+    ServerConfig config;
+    config.admission.max_concurrent = static_cast<size_t>(
+        std::max(1, g_sessions));
+    config.admission.max_queue_depth = 16;
+    config.admission.queue_timeout_ms = 10000;
+    config.retry.max_attempts = g_retry_attempts;
+    config.default_threads = g_threads;
+    g_server = std::make_unique<IcebergServer>(db, config);
+  }
+  return g_server.get();
+}
+
+std::string CanonicalRender(const TablePtr& table) {
+  std::vector<Row> rows = table->rows();
+  std::sort(rows.begin(), rows.end(), RowLess{});
+  std::string out;
+  for (const Row& row : rows) {
+    out += RowToString(row);
+    out += '\n';
+  }
+  return out;
+}
+
+/// Serves one statement on g_sessions concurrent sessions and prints the
+/// first session's result plus a fan-out summary (identical-or-retryable
+/// is the serving layer's chaos invariant; the shell checks it live).
+void ServeStatement(Database* db, const std::string& sql) {
+  IcebergServer* server = GetServer(db);
+  const int n = std::max(1, g_sessions);
+  std::vector<QueryOutcome> outcomes(static_cast<size_t>(n));
+  if (n == 1) {
+    auto session = server->OpenSession();
+    outcomes[0] = session->Execute(sql);
+  } else {
+    std::vector<std::thread> threads;
+    for (int i = 0; i < n; ++i) {
+      threads.emplace_back([server, &outcomes, &sql, i] {
+        auto session = server->OpenSession();
+        outcomes[static_cast<size_t>(i)] = session->Execute(sql);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  const QueryOutcome* shown = nullptr;
+  int ok = 0, shed = 0, failed = 0, max_attempts = 0;
+  bool identical = true;
+  std::string reference;
+  for (const QueryOutcome& outcome : outcomes) {
+    max_attempts = std::max(max_attempts, outcome.attempts);
+    if (outcome.status.ok()) {
+      ++ok;
+      std::string render = CanonicalRender(outcome.table);
+      if (reference.empty()) {
+        reference = render;
+        shown = &outcome;
+      } else if (render != reference) {
+        identical = false;
+      }
+    } else if (outcome.status.IsRetryable()) {
+      ++shed;
+    } else {
+      ++failed;
+      if (shown == nullptr) shown = &outcome;
+    }
+  }
+
+  if (shown == nullptr) shown = &outcomes[0];
+  if (shown->status.ok()) {
+    std::printf("%s", FormatTable(*shown->table).c_str());
+    const IcebergReport& report = shown->report;
+    if (!report.steps.empty() || report.used_nljp) {
+      std::printf("-- optimizer: ");
+      for (size_t i = 0; i < report.steps.size(); ++i) {
+        if (i > 0) std::printf("; ");
+        std::printf("%s", report.steps[i].c_str());
+      }
+      std::printf("\n");
+    }
+    for (const std::string& d : report.degradations) {
+      std::printf("-- degraded: %s\n", d.c_str());
+    }
+  } else {
+    std::printf("%s\n", shown->status.ToString().c_str());
+  }
+  if (n > 1 || max_attempts > 1 || shed > 0) {
+    std::printf("-- serving: sessions=%d ok=%d shed=%d failed=%d "
+                "max_attempts=%d identical=%s\n",
+                n, ok, shed, failed, max_attempts,
+                identical ? "yes" : "NO (BUG)");
+  }
 }
 
 void RunStatement(Database* db, const std::string& line) {
@@ -63,7 +181,80 @@ void RunStatement(Database* db, const std::string& line) {
       return;
     }
     g_threads = n;
+    g_server.reset();  // rebuild with the new per-query thread setting
     std::printf("threads=%d\n", g_threads);
+    return;
+  }
+  if (line.rfind("\\sessions", 0) == 0) {
+    std::istringstream args(line.substr(9));
+    int n = -1;
+    args >> n;
+    if (n < 1) {
+      std::printf("sessions=%d (statements fan out across N concurrent "
+                  "serving sessions)\n",
+                  g_sessions);
+      return;
+    }
+    g_sessions = n;
+    g_server.reset();
+    std::printf("sessions=%d\n", g_sessions);
+    return;
+  }
+  if (line.rfind("\\retry", 0) == 0) {
+    std::istringstream args(line.substr(6));
+    int n = -1;
+    args >> n;
+    if (n < 1) {
+      std::printf("retry attempts=%d (retryable failures back off "
+                  "exponentially with deterministic jitter)\n",
+                  g_retry_attempts);
+      return;
+    }
+    g_retry_attempts = n;
+    g_server.reset();
+    std::printf("retry attempts=%d\n", g_retry_attempts);
+    return;
+  }
+  if (line.rfind("\\chaos", 0) == 0) {
+    std::istringstream args(line.substr(6));
+    std::string arg;
+    args >> arg;
+    if (arg == "off") {
+      ChaosSchedule::SetGlobal(ChaosConfig{});
+      std::printf("chaos off\n");
+    } else if (arg == "seed") {
+      unsigned long long seed = 0;
+      args >> seed;
+      if (seed == 0) {
+        std::printf("usage: \\chaos seed N [cancel alloc shed delay]\n");
+        return;
+      }
+      ChaosConfig config = ChaosConfig::Soak(seed);
+      unsigned cancel = 0, alloc = 0, shed = 0, delay = 0;
+      if (args >> cancel >> alloc >> shed >> delay) {
+        config.cancel_every = cancel;
+        config.alloc_fail_every = alloc;
+        config.shed_storm_every = shed;
+        config.delay_every = delay;
+      }
+      ChaosSchedule::SetGlobal(config);
+      std::printf("chaos on: seed=%llu cancel=1/%u alloc=1/%u shed=1/%u "
+                  "delay=1/%u (deterministic; replay with the same seed)\n",
+                  seed, config.cancel_every, config.alloc_fail_every,
+                  config.shed_storm_every, config.delay_every);
+    } else {
+      ChaosConfig config = ChaosSchedule::Global();
+      if (config.enabled()) {
+        std::printf("chaos on: seed=%llu cancel=1/%u alloc=1/%u shed=1/%u "
+                    "delay=1/%u\n",
+                    static_cast<unsigned long long>(config.seed),
+                    config.cancel_every, config.alloc_fail_every,
+                    config.shed_storm_every, config.delay_every);
+      } else {
+        std::printf("chaos off  (usage: \\chaos seed N [cancel alloc shed "
+                    "delay] | \\chaos off)\n");
+      }
+    }
     return;
   }
   if (line.rfind("\\govern", 0) == 0) {
@@ -169,27 +360,25 @@ void RunStatement(Database* db, const std::string& line) {
     std::printf("%s\n", st.ok() ? "loaded" : st.ToString().c_str());
     return;
   }
-  IcebergReport report;
-  IcebergOptions options = IcebergOptions::All();
-  options.governor = MakeGovernor();
-  options.base_exec.num_threads = g_threads;
-  Result<TablePtr> result = db->QueryIceberg(line, options, &report);
-  if (!result.ok()) {
-    std::printf("%s\n", result.status().ToString().c_str());
+  if (g_governed) {
+    // \govern-ed statements run directly (one explicit governor, no
+    // retries) so limit trips surface verbatim.
+    IcebergReport report;
+    IcebergOptions options = IcebergOptions::All();
+    options.governor = MakeGovernor();
+    options.base_exec.num_threads = g_threads;
+    Result<TablePtr> result = db->QueryIceberg(line, options, &report);
+    if (!result.ok()) {
+      std::printf("%s\n", result.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", FormatTable(**result).c_str());
+    for (const std::string& d : report.degradations) {
+      std::printf("-- degraded: %s\n", d.c_str());
+    }
     return;
   }
-  std::printf("%s", FormatTable(**result).c_str());
-  if (!report.steps.empty() || report.used_nljp) {
-    std::printf("-- optimizer: ");
-    for (size_t i = 0; i < report.steps.size(); ++i) {
-      if (i > 0) std::printf("; ");
-      std::printf("%s", report.steps[i].c_str());
-    }
-    std::printf("\n");
-  }
-  for (const std::string& d : report.degradations) {
-    std::printf("-- degraded: %s\n", d.c_str());
-  }
+  ServeStatement(db, line);
 }
 
 }  // namespace
@@ -211,7 +400,8 @@ int main() {
       "Smart-Iceberg shell. Demo tables: object(id,x,y), basket(bid,item), "
       "score(pid,year,round,teamid,hits,hruns,h2,sb).\n"
       "Commands: \\explain <sql>, \\base <sql>, \\govern [ms] [kb], "
-      "\\threads [N], \\tables, \\load <table> <csv>, \\metrics [json|reset], "
+      "\\threads [N], \\sessions [N], \\retry [N], \\chaos seed N|off, "
+      "\\tables, \\load <table> <csv>, \\metrics [json|reset], "
       "\\trace on|off|clear|dump <file>, \\vectorize on|off, \\q\n"
       "EXPLAIN ANALYZE <sql> prints the annotated plan tree.\n");
   std::string line;

@@ -26,6 +26,8 @@ const char* CodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }
@@ -39,6 +41,7 @@ std::string Status::ToString() const {
     out += ": ";
     out += message_;
   }
+  if (IsRetryable()) out += " (retryable)";
   return out;
 }
 

@@ -22,6 +22,7 @@ enum class StatusCode {
   kInternal,
   kCancelled,           // deadline exceeded or cancellation requested
   kResourceExhausted,   // memory budget / intermediate-row limit exceeded
+  kOverloaded,          // admission shed / queue timeout / snapshot conflict
 };
 
 /// A lightweight, exception-free error carrier. Functions that can fail
@@ -65,12 +66,42 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  /// The serving layer could not take the query right now (admission queue
+  /// full, queued past its deadline, snapshot invalidated by a concurrent
+  /// mutation). Always retryable: backing off and resubmitting is expected
+  /// to succeed once load subsides.
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
+
+  /// Whether resubmitting the same statement may succeed. Overloaded is
+  /// retryable by definition. Cancelled and ResourceExhausted are retryable
+  /// only when explicitly marked so by their emitter: a deadline trip or a
+  /// user cancel repeats deterministically (not retryable), while a chaos-
+  /// injected spurious cancel or a failed reservation against a *shared*
+  /// (admission-apportioned) budget is transient (marked retryable).
+  bool IsRetryable() const {
+    return code_ == StatusCode::kOverloaded || retryable_;
+  }
+
+  /// Tags a transient failure as retryable; used by emitters whose error
+  /// cause is shared load rather than a property of the query itself.
+  Status&& MarkRetryable() && {
+    if (!ok()) retryable_ = true;
+    return std::move(*this);
+  }
+  Status& MarkRetryable() & {
+    if (!ok()) retryable_ = true;
+    return *this;
+  }
+
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -80,6 +111,9 @@ class Status {
  private:
   StatusCode code_;
   std::string message_;
+  /// Emitter-declared transience; see IsRetryable(). Copies preserve it,
+  /// so the flag survives governor poisoning and Result<T> propagation.
+  bool retryable_ = false;
 };
 
 /// Either a value of type `T` or an error `Status`. Analogous to

@@ -89,6 +89,37 @@ Result<CatalogEntry> Database::GetEntry(const std::string& name) const {
   return it->second;
 }
 
+std::vector<std::pair<std::string, TableSnapshot>> Database::SnapshotTables()
+    const {
+  std::vector<std::pair<std::string, TableSnapshot>> pins;
+  pins.reserve(tables_.size());
+  for (const auto& [name, entry] : tables_) {
+    pins.emplace_back(name, entry.table->Snapshot());
+  }
+  return pins;
+}
+
+uint64_t Database::CatalogVersionHash() const {
+  // FNV-1a over (name, version, rows); map iteration is name-ordered so
+  // the hash is deterministic for a given catalog state.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& [name, entry] : tables_) {
+    for (char c : name) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    mix(entry.table->version());
+    mix(entry.table->num_rows());
+  }
+  return h;
+}
+
 Status Database::DropIndexes(const std::string& table) {
   auto it = tables_.find(ToLower(table));
   if (it == tables_.end()) return Status::NotFound("no table: " + table);

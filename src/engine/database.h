@@ -53,6 +53,18 @@ class Database {
   /// Drops all secondary indexes of a table (Fig. 4 experiments).
   Status DropIndexes(const std::string& table);
 
+  /// Pins a snapshot of every registered table: (lower-cased name,
+  /// snapshot). The serving layer calls this under its catalog read lock
+  /// when a query is submitted, and re-validates the pins when execution
+  /// starts, so mutations that landed while the query was queued surface
+  /// as a clean retryable conflict.
+  std::vector<std::pair<std::string, TableSnapshot>> SnapshotTables() const;
+
+  /// Order-independent fingerprint of all table versions; changes whenever
+  /// any registered table mutates. Used (with the query fingerprint) to
+  /// key cross-query caches so they invalidate lazily on mutation.
+  uint64_t CatalogVersionHash() const;
+
   // ---- Query execution ----
   /// Parses and runs `sql` on the baseline executor (full join, then
   /// grouping, then HAVING). CTEs and FROM-subqueries are materialized.

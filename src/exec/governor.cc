@@ -19,6 +19,8 @@ QueryGovernor::~QueryGovernor() {
   // end-of-query publication point for governance metrics.
   ICEBERG_COUNTER("governor.queries")->Increment();
   ICEBERG_COUNTER("governor.checks")->Add(checks_performed());
+  ICEBERG_COUNTER("governor.reserves")
+      ->Add(reserves_.load(std::memory_order_relaxed));
   ICEBERG_COUNTER("governor.cache_shed_entries")->Add(cache_shed_entries());
   ICEBERG_GAUGE("governor.budget_peak_bytes")
       ->SetMax(static_cast<int64_t>(bytes_peak()));
@@ -97,6 +99,9 @@ Status QueryGovernor::ReserveInternal(size_t bytes, const char* tag,
             std::to_string(limits_.memory_budget_bytes) +
             " bytes exceeded reserving " + std::to_string(bytes) +
             " bytes for " + tag);
+        // An admission-apportioned share may be larger on resubmission;
+        // the query's own budget repeats deterministically.
+        if (limits_.shared_budget) st.MarkRetryable();
         lock.unlock();
         if (hard) {
           ICEBERG_LOG(WARN) << "memory budget exhausted: "
@@ -144,6 +149,12 @@ void QueryGovernor::RegisterReclaimer(Reclaimer fn) {
 void QueryGovernor::UnregisterReclaimer() {
   std::lock_guard<std::mutex> lock(reserve_mu_);
   reclaimer_ = nullptr;
+}
+
+size_t QueryGovernor::ShedAdvisory(size_t bytes_needed) {
+  std::lock_guard<std::mutex> lock(reserve_mu_);
+  if (!reclaimer_) return 0;
+  return reclaimer_(bytes_needed);
 }
 
 Status QueryGovernor::CountIntermediateRows(size_t rows) {

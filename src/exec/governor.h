@@ -55,6 +55,12 @@ class QueryGovernor {
     /// Joined (intermediate) rows produced before aggregation.
     /// 0 = unlimited.
     size_t max_intermediate_rows = 0;
+    /// The memory budget is an admission-controller grant (a share of a
+    /// global pool) rather than a property of the query itself. Budget
+    /// overruns are then *transient* — another grant may be larger once
+    /// load subsides — so the resulting ResourceExhausted is marked
+    /// retryable (Status::IsRetryable()).
+    bool shared_budget = false;
   };
 
   QueryGovernor() : QueryGovernor(Limits{}) {}
@@ -100,6 +106,13 @@ class QueryGovernor {
   using Reclaimer = std::function<size_t(size_t bytes_needed)>;
   void RegisterReclaimer(Reclaimer fn);
   void UnregisterReclaimer();
+
+  /// Forces the registered reclaimer to shed up to `bytes_needed` bytes of
+  /// advisory state right now, regardless of budget headroom. Returns the
+  /// bytes actually freed (0 when no reclaimer is registered). Used by the
+  /// chaos harness to provoke cache-shed storms at governor check sites;
+  /// always safe because advisory state only accelerates.
+  size_t ShedAdvisory(size_t bytes_needed);
 
   /// Counts joined rows flowing out of a join pipeline; poisons with
   /// ResourceExhausted when the limit is crossed.

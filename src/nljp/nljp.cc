@@ -652,11 +652,16 @@ Result<TablePtr> NljpOperator::ExecuteImpl(NljpStats* stats) {
 
   // Morsel-driven parallel path. cache_index=false (the linear-scan
   // ablation of Fig. 4) is a serial-only measurement mode; the shared
-  // cache always hash-indexes.
+  // cache always hash-indexes. A cross-query cache registry also routes
+  // here (even at one thread): only the SharedNljpCache representation is
+  // safe to share across queries and sessions.
+  const bool cross_query =
+      options_.cache_registry != nullptr && options_.cache_key != 0;
   const int threads = ResolveThreads(options_.num_threads);
-  if (threads > 1 && options_.cache_index && l_rows.size() > 1) {
-    return ExecuteParallel(std::move(l_rows), threads, stats, governor,
-                           &mandatory_bytes);
+  if ((threads > 1 || cross_query) && options_.cache_index &&
+      l_rows.size() > 1) {
+    return ExecuteParallel(std::move(l_rows), std::max(threads, 1), stats,
+                           governor, &mandatory_bytes);
   }
 
   // ---- Cache ----
@@ -960,27 +965,45 @@ Result<TablePtr> NljpOperator::ExecuteParallel(std::vector<Row> l_rows,
     ctxs.push_back(std::move(ctx));
   }
 
-  // The shared memo/prune cache outlives the reclaimer registration (the
-  // guard below unregisters before `cache` is destroyed) and charges the
-  // governor exactly like the serial slots do.
-  SharedNljpCache::Options cache_opts;
-  cache_opts.stripes = std::max<size_t>(8, static_cast<size_t>(threads) * 4);
-  cache_opts.max_entries = options_.max_cache_entries;
-  cache_opts.memo_index = memo_enabled_;
-  cache_opts.witness_index = prune_enabled_;
-  cache_opts.eq_positions = prune_eq_positions_;
-  cache_opts.binding_codec = binding_codec_;
-  cache_opts.eq_codec = eq_codec_;
-  cache_opts.governor = governor;
-  SharedNljpCache cache(cache_opts);
+  // The memo/prune cache: per-query by default (charged to the governor
+  // exactly like the serial slots, reclaimer-shed under pressure), or
+  // fetched from the cross-query registry so repeated statements reuse
+  // memo entries and pruning witnesses across sessions. Registry caches
+  // are entry-bounded, never governor-charged, and invalidate lazily — a
+  // table mutation rotates the key, so a stale cache is simply never
+  // fetched again.
+  const bool cross_query =
+      options_.cache_registry != nullptr && options_.cache_key != 0;
+  auto build_cache_opts = [&]() {
+    SharedNljpCache::Options cache_opts;
+    cache_opts.stripes =
+        std::max<size_t>(8, static_cast<size_t>(threads) * 4);
+    cache_opts.max_entries = options_.max_cache_entries;
+    cache_opts.memo_index = memo_enabled_;
+    cache_opts.witness_index = prune_enabled_;
+    cache_opts.eq_positions = prune_eq_positions_;
+    cache_opts.binding_codec = binding_codec_;
+    cache_opts.eq_codec = eq_codec_;
+    cache_opts.governor = governor;
+    return cache_opts;
+  };
+  SharedNljpCachePtr cache_holder =
+      cross_query ? options_.cache_registry->GetOrCreate(options_.cache_key,
+                                                         build_cache_opts)
+                  : std::make_shared<SharedNljpCache>(build_cache_opts());
+  SharedNljpCache& cache = *cache_holder;
 
+  // Reclaimer wiring only makes sense for the per-query cache: its entries
+  // are charged to this governor, so shedding them repays the budget. A
+  // registry cache's entries are not charged here; shedding them could not
+  // settle a deficit (chaos storms hit it via NljpCacheRegistry::ShedAll).
   struct ReclaimerGuard {
     QueryGovernor* governor;
     ~ReclaimerGuard() {
       if (governor != nullptr) governor->UnregisterReclaimer();
     }
-  } reclaimer_guard{governor};
-  if (governor != nullptr) {
+  } reclaimer_guard{cross_query ? nullptr : governor};
+  if (governor != nullptr && !cross_query) {
     governor->RegisterReclaimer(
         [&cache](size_t bytes_needed) { return cache.Shed(bytes_needed); });
   }

@@ -62,6 +62,17 @@ struct NljpOptions {
   /// the query is failed. Mandatory state (bindings, LR-groups) is charged
   /// as hard reservations.
   GovernorPtr governor;
+  /// Cross-query cache promotion: when `cache_registry` is non-null and
+  /// `cache_key` nonzero, the memo/prune cache is fetched from the
+  /// registry (the serving layer keys it by statement fingerprint +
+  /// catalog version) instead of being built per query, so repeated
+  /// iceberg queries from any session reuse memo entries and pruning
+  /// witnesses. Forces the shared-cache execution path even at one worker
+  /// thread; output is canonically sorted on that path. Registry caches
+  /// are entry-bounded and never governor-charged (they outlive the
+  /// query's governor).
+  NljpCacheRegistry* cache_registry = nullptr;
+  uint64_t cache_key = 0;
 };
 
 struct NljpStats {

@@ -1,6 +1,7 @@
 #include "src/nljp/shared_cache.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace iceberg {
 
@@ -276,6 +277,66 @@ size_t SharedNljpCache::Shed(size_t bytes_needed) {
     if (options_.governor != nullptr) options_.governor->AddCacheShed(count);
   }
   return freed;
+}
+
+SharedNljpCachePtr NljpCacheRegistry::GetOrCreate(
+    uint64_t key, const std::function<SharedNljpCache::Options()>& make) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = caches_.begin(); it != caches_.end(); ++it) {
+    if (it->first == key) {
+      caches_.splice(caches_.begin(), caches_, it);  // MRU to front
+      ICEBERG_COUNTER("nljp.registry.hits")->Increment();
+      return caches_.front().second;
+    }
+  }
+  SharedNljpCache::Options opts = make();
+  // Cross-query caches outlive any single query: never charge a per-query
+  // governor, and always keep a hard entry bound.
+  opts.governor = nullptr;
+  if (opts.max_entries == 0 || opts.max_entries > max_entries_per_cache_) {
+    opts.max_entries = max_entries_per_cache_;
+  }
+  auto cache = std::make_shared<SharedNljpCache>(std::move(opts));
+  caches_.emplace_front(key, cache);
+  ICEBERG_COUNTER("nljp.registry.misses")->Increment();
+  while (caches_.size() > max_caches_) {
+    caches_.pop_back();
+    ICEBERG_COUNTER("nljp.registry.evicted_caches")->Increment();
+  }
+  return cache;
+}
+
+size_t NljpCacheRegistry::ShedAll() {
+  std::vector<SharedNljpCachePtr> caches;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    caches.reserve(caches_.size());
+    for (const auto& [key, cache] : caches_) caches.push_back(cache);
+  }
+  // Shed outside the registry lock: Shed takes stripe locks and may run
+  // concurrently with queries inserting into the same caches.
+  size_t freed = 0;
+  for (const SharedNljpCachePtr& cache : caches) {
+    freed += cache->Shed(std::numeric_limits<size_t>::max());
+  }
+  return freed;
+}
+
+void NljpCacheRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  caches_.clear();
+}
+
+size_t NljpCacheRegistry::num_caches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return caches_.size();
+}
+
+size_t NljpCacheRegistry::total_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [key, cache] : caches_) total += cache->live_entries();
+  return total;
 }
 
 }  // namespace iceberg

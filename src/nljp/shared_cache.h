@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -217,6 +219,60 @@ class SharedNljpCache {
   std::atomic<size_t> live_bytes_{0};
   std::atomic<size_t> evictions_{0};
   std::atomic<size_t> shed_entries_{0};
+};
+
+using SharedNljpCachePtr = std::shared_ptr<SharedNljpCache>;
+
+/// Promotes the memo/prune cache from per-query to cross-query: a bounded
+/// registry of SharedNljpCache instances keyed by (query fingerprint,
+/// catalog version) so repeated iceberg queries — from any session — reuse
+/// each other's memo entries and pruning witnesses.
+///
+/// Soundness: a cache key covers the full normalized statement text
+/// (literals included, so entries are exact results of *this* inner query)
+/// and the versions of every table, so any mutation rotates the key and the
+/// stale cache is simply never fetched again (lazy invalidation). In-flight
+/// queries holding the old shared_ptr finish against the snapshot they
+/// pinned; the registry drops its reference on eviction.
+///
+/// Cross-query caches are never charged to a per-query governor (the
+/// governor is single-use and dies with its query); they are bounded by
+/// entry count instead, and the chaos harness can force storms via
+/// ShedAll().
+class NljpCacheRegistry {
+ public:
+  /// `max_caches` bounds distinct (statement, catalog-version) cache
+  /// instances; least-recently-used instances are dropped beyond it.
+  explicit NljpCacheRegistry(size_t max_caches = 8,
+                             size_t max_entries_per_cache = 4096)
+      : max_caches_(max_caches),
+        max_entries_per_cache_(max_entries_per_cache) {}
+
+  /// Returns the cache registered under `key`, creating it via `make` on
+  /// first use. The returned cache is shared: concurrent queries with the
+  /// same key use one instance (SharedNljpCache is fully thread-safe).
+  /// `make`'s governor is overridden to null and its entry bound clamped
+  /// to the registry's per-cache limit.
+  SharedNljpCachePtr GetOrCreate(
+      uint64_t key, const std::function<SharedNljpCache::Options()>& make);
+
+  /// Sheds every entry of every registered cache (chaos storm / memory
+  /// pressure). Returns total bytes freed. Always safe: the caches are
+  /// advisory.
+  size_t ShedAll();
+
+  /// Drops all registered caches (in-flight holders keep theirs alive).
+  void Clear();
+
+  size_t num_caches() const;
+  size_t total_entries() const;
+
+ private:
+  mutable std::mutex mu_;
+  size_t max_caches_;
+  size_t max_entries_per_cache_;
+  /// MRU-front list of (key, cache); small N, so linear scan beats a map.
+  std::list<std::pair<uint64_t, SharedNljpCachePtr>> caches_;
 };
 
 }  // namespace iceberg

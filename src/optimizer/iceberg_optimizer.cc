@@ -143,6 +143,8 @@ Result<std::unique_ptr<NljpOperator>> IcebergOptimizer::PickMemprune(
   nljp_options.max_cache_entries = options_.max_cache_entries;
   nljp_options.governor = options_.governor;
   nljp_options.num_threads = options_.base_exec.num_threads;
+  nljp_options.cache_registry = options_.cache_registry;
+  nljp_options.cache_key = options_.cache_key;
 
   std::string failures;
   for (const TablePartition& partition : CandidatePartitions(block)) {

@@ -37,6 +37,14 @@ struct IcebergOptions {
   /// IcebergReport::degradations instead of failing the query.
   GovernorPtr governor;
 
+  /// Cross-query NLJP cache promotion (set by the serving layer): when
+  /// both are set, the NLJP operator fetches its memo/prune cache from the
+  /// registry under `cache_key` (statement fingerprint + catalog version)
+  /// so repeated iceberg statements reuse pruning witnesses across
+  /// sessions. See NljpOptions::cache_registry.
+  NljpCacheRegistry* cache_registry = nullptr;
+  uint64_t cache_key = 0;
+
   static IcebergOptions All() { return IcebergOptions{}; }
   static IcebergOptions None() {
     IcebergOptions o;

@@ -1,0 +1,109 @@
+#include "src/server/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/obs/metrics.h"
+
+namespace iceberg {
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config) {
+  if (config_.max_concurrent == 0) config_.max_concurrent = 1;
+}
+
+Result<AdmissionController::Ticket> AdmissionController::Admit() {
+  auto start = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(mu_);
+
+  if (in_flight_ >= config_.max_concurrent &&
+      waiters_.size() >= config_.max_queue_depth) {
+    ++shed_queue_full_;
+    ICEBERG_COUNTER("admission.shed_queue_full")->Increment();
+    return Status::Overloaded("admission queue full (" +
+                              std::to_string(waiters_.size()) +
+                              " queued); retry with backoff");
+  }
+
+  const uint64_t my_id = next_waiter_++;
+  waiters_.push_back(my_id);
+  auto runnable = [&] {
+    return in_flight_ < config_.max_concurrent && !waiters_.empty() &&
+           waiters_.front() == my_id;
+  };
+
+  bool admitted;
+  if (config_.queue_timeout_ms > 0) {
+    admitted = cv_.wait_for(
+        lock, std::chrono::milliseconds(config_.queue_timeout_ms), runnable);
+  } else {
+    cv_.wait(lock, runnable);
+    admitted = true;
+  }
+  if (!admitted) {
+    waiters_.erase(std::find(waiters_.begin(), waiters_.end(), my_id));
+    ++shed_timeout_;
+    ICEBERG_COUNTER("admission.shed_queue_timeout")->Increment();
+    // Our departure may make the new front waiter runnable.
+    cv_.notify_all();
+    return Status::Overloaded("admission queue timeout after " +
+                              std::to_string(config_.queue_timeout_ms) +
+                              "ms; retry with backoff");
+  }
+
+  waiters_.pop_front();
+  ++in_flight_;
+  ++admitted_;
+
+  Ticket ticket;
+  ticket.admitted = true;
+  ticket.memory_grant_bytes = MemoryGrant(config_);
+  ticket.thread_grant = ThreadGrant(config_);
+  ticket.queue_wait_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  ICEBERG_COUNTER("admission.admitted")->Increment();
+  ICEBERG_HISTOGRAM("admission.queue_wait_us")
+      ->Record(static_cast<uint64_t>(ticket.queue_wait_us));
+  ICEBERG_GAUGE("admission.in_flight")->Set(static_cast<int64_t>(in_flight_));
+  return ticket;
+}
+
+void AdmissionController::Release(const Ticket& ticket) {
+  if (!ticket.admitted) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (in_flight_ > 0) --in_flight_;
+    ICEBERG_GAUGE("admission.in_flight")
+        ->Set(static_cast<int64_t>(in_flight_));
+  }
+  // All waiters recheck; only the FIFO front proceeds.
+  cv_.notify_all();
+}
+
+size_t AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiters_.size();
+}
+
+uint64_t AdmissionController::admitted_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+uint64_t AdmissionController::shed_queue_full_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_queue_full_;
+}
+
+uint64_t AdmissionController::shed_timeout_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_timeout_;
+}
+
+}  // namespace iceberg

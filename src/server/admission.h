@@ -1,0 +1,112 @@
+#ifndef SMARTICEBERG_SERVER_ADMISSION_H_
+#define SMARTICEBERG_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "src/common/status.h"
+
+namespace iceberg {
+
+/// Apportions global memory and thread budgets across in-flight queries,
+/// with bounded FIFO queueing and load shedding. Layered *above* the
+/// per-query QueryGovernor: admission decides whether a query may run and
+/// how much of the global pool it gets; the governor then enforces that
+/// grant (as a shared budget, so overruns are retryable) while the query
+/// executes.
+///
+/// Degradation ladder, never a crash:
+///  1. free slot            -> run immediately with an equal share;
+///  2. slots busy           -> queue FIFO, bounded by `max_queue_depth`;
+///  3. queue full           -> shed the *incoming* query (newest-first
+///                             shed order keeps queued work's progress);
+///  4. queued too long      -> shed with Overloaded; the wait bound makes
+///                             every queued query complete or shed within
+///                             its deadline (no starvation: FIFO order is
+///                             strict).
+/// All sheds return Status::Overloaded — retryable by definition.
+struct AdmissionConfig {
+  /// Concurrently running queries (slots). At least 1.
+  size_t max_concurrent = 4;
+  /// Queries allowed to wait for a slot before the controller sheds
+  /// incoming load.
+  size_t max_queue_depth = 16;
+  /// Longest a query may sit queued before it is shed (0 = wait forever).
+  int64_t queue_timeout_ms = 2000;
+  /// Global memory pool apportioned equally across slots (0 = ungoverned).
+  /// Each admitted query is granted memory_budget_bytes / max_concurrent.
+  size_t memory_budget_bytes = 0;
+  /// Global worker-thread pool apportioned equally across slots
+  /// (0 = leave the session's own thread setting untouched). Each admitted
+  /// query is granted max(1, thread_budget / max_concurrent) workers.
+  int thread_budget = 0;
+};
+
+class AdmissionController {
+ public:
+  /// What an admitted query was granted. Release the slot by passing the
+  /// ticket back to Release() (the session layer wraps this in RAII).
+  struct Ticket {
+    bool admitted = false;
+    /// Memory share for this query's governor (0 = ungoverned pool).
+    size_t memory_grant_bytes = 0;
+    /// Worker-thread share (0 = no thread governance configured).
+    int thread_grant = 0;
+    /// Microseconds spent queued before admission.
+    int64_t queue_wait_us = 0;
+  };
+
+  explicit AdmissionController(AdmissionConfig config);
+
+  /// Blocks until a slot is granted, the queue bound sheds the query, or
+  /// the queue timeout expires. Returns Overloaded (always retryable) on
+  /// either shed.
+  Result<Ticket> Admit();
+
+  /// Returns the ticket's slot to the pool and wakes the longest-waiting
+  /// queued query.
+  void Release(const Ticket& ticket);
+
+  // ---- The apportionment arithmetic (pure; unit-tested directly) ----
+  static size_t MemoryGrant(const AdmissionConfig& config) {
+    if (config.memory_budget_bytes == 0) return 0;
+    size_t slots = config.max_concurrent > 0 ? config.max_concurrent : 1;
+    return config.memory_budget_bytes / slots;
+  }
+  static int ThreadGrant(const AdmissionConfig& config) {
+    if (config.thread_budget <= 0) return 0;
+    size_t slots = config.max_concurrent > 0 ? config.max_concurrent : 1;
+    int grant = static_cast<int>(
+        static_cast<size_t>(config.thread_budget) / slots);
+    return grant > 0 ? grant : 1;
+  }
+
+  // ---- Introspection ----
+  const AdmissionConfig& config() const { return config_; }
+  size_t in_flight() const;
+  size_t queued() const;
+  uint64_t admitted_total() const;
+  uint64_t shed_queue_full_total() const;
+  uint64_t shed_timeout_total() const;
+
+ private:
+  AdmissionConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t in_flight_ = 0;
+  /// FIFO of waiter ids; the front waiter owns the next free slot, which
+  /// makes admission order strict and starvation impossible.
+  std::deque<uint64_t> waiters_;
+  uint64_t next_waiter_ = 1;
+  uint64_t admitted_ = 0;
+  uint64_t shed_queue_full_ = 0;
+  uint64_t shed_timeout_ = 0;
+};
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_SERVER_ADMISSION_H_

@@ -1,0 +1,141 @@
+#include "src/server/chaos.h"
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "src/obs/metrics.h"
+
+namespace iceberg {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic 1-in-N decision for (stream, site, ordinal).
+bool Hit(uint64_t stream, uint64_t site, uint64_t ordinal, uint32_t every) {
+  if (every == 0) return false;
+  return SplitMix64(stream ^ (site * 0xd1342543de82ef95ull) ^ ordinal) %
+             every ==
+         0;
+}
+
+// The global config behind a mutex-guarded copy; reads are frequent only
+// at query setup (MakeProbe), never per check, so a mutex is fine and
+// keeps the struct copyable without atomics.
+std::mutex g_chaos_mu;
+ChaosConfig g_chaos;
+
+constexpr uint64_t kSiteCancel = 1;
+constexpr uint64_t kSiteAllocFail = 2;
+constexpr uint64_t kSiteShedStorm = 3;
+constexpr uint64_t kSiteDelay = 4;
+
+}  // namespace
+
+ChaosConfig ChaosConfig::Soak(uint64_t seed) {
+  // Per-site rates are per *governor call*, so the per-attempt failure
+  // probability scales with query size. These rates are calibrated for
+  // serving-scale queries (the shell's demo statements run ~2-5*10^4
+  // checks and ~10^4 reservations per attempt): roughly 10% of attempts
+  // draw a cancel, ~15% an allocation failure, so most statements finish
+  // inside a default retry budget — visibly recovering, not always dying.
+  // Tests that drive tiny tables want much hotter rates; they build their
+  // own ChaosConfig instead.
+  ChaosConfig c;
+  c.seed = seed;
+  c.cancel_every = 249989;   // primes: sites decorrelate across ordinals
+  c.alloc_fail_every = 49999;
+  c.shed_storm_every = 4999;
+  c.delay_every = 997;
+  c.delay_us = 20;
+  return c;
+}
+
+void ChaosSchedule::SetGlobal(ChaosConfig config) {
+  std::lock_guard<std::mutex> lock(g_chaos_mu);
+  g_chaos = config;
+}
+
+ChaosConfig ChaosSchedule::Global() {
+  std::lock_guard<std::mutex> lock(g_chaos_mu);
+  return g_chaos;
+}
+
+uint64_t ChaosSchedule::StreamId(uint64_t session_id,
+                                 uint64_t statement_ordinal,
+                                 uint64_t attempt) {
+  return SplitMix64(SplitMix64(session_id) ^
+                    SplitMix64(statement_ordinal * 0x2545f4914f6cdd1dull) ^
+                    attempt);
+}
+
+struct ChaosSchedule::BoundProbe::State {
+  ChaosConfig config;
+  uint64_t stream = 0;
+  std::atomic<QueryGovernor*> governor{nullptr};
+};
+
+void ChaosSchedule::BoundProbe::Bind(QueryGovernor* governor) {
+  if (state_ != nullptr) {
+    state_->governor.store(governor, std::memory_order_release);
+  }
+}
+
+ChaosSchedule::BoundProbe ChaosSchedule::MakeProbe(uint64_t stream_id) {
+  BoundProbe bound;
+  ChaosConfig config = Global();
+  if (!config.enabled()) return bound;  // empty probe: zero overhead
+
+  auto state = std::make_shared<BoundProbe::State>();
+  state->config = config;
+  state->stream = SplitMix64(config.seed ^ stream_id);
+  bound.state_ = state;
+
+  bound.probe.on_check = [state](size_t ordinal) -> Status {
+    const ChaosConfig& c = state->config;
+    if (Hit(state->stream, kSiteDelay, ordinal, c.delay_every)) {
+      ICEBERG_COUNTER("chaos.injected_delays")->Increment();
+      std::this_thread::sleep_for(std::chrono::microseconds(c.delay_us));
+    }
+    if (Hit(state->stream, kSiteShedStorm, ordinal, c.shed_storm_every)) {
+      QueryGovernor* governor =
+          state->governor.load(std::memory_order_acquire);
+      if (governor != nullptr) {
+        ICEBERG_COUNTER("chaos.injected_shed_storms")->Increment();
+        governor->ShedAdvisory(std::numeric_limits<size_t>::max());
+      }
+    }
+    if (Hit(state->stream, kSiteCancel, ordinal, c.cancel_every)) {
+      ICEBERG_COUNTER("chaos.injected_cancels")->Increment();
+      return Status::Cancelled("chaos: injected spurious cancellation")
+          .MarkRetryable();
+    }
+    return Status::OK();
+  };
+  bound.probe.on_reserve = [state](size_t ordinal, size_t bytes,
+                                   const char* tag) -> Status {
+    (void)bytes;
+    (void)tag;
+    const ChaosConfig& c = state->config;
+    if (Hit(state->stream, kSiteAllocFail, ordinal, c.alloc_fail_every)) {
+      ICEBERG_COUNTER("chaos.injected_alloc_failures")->Increment();
+      // Soft (TryReserve) call sites degrade — shed/skip the entry — and
+      // the query completes exactly; hard sites fail the attempt with a
+      // clean retryable status.
+      return Status::ResourceExhausted("chaos: injected allocation failure")
+          .MarkRetryable();
+    }
+    return Status::OK();
+  };
+  return bound;
+}
+
+}  // namespace iceberg

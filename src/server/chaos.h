@@ -1,0 +1,98 @@
+#ifndef SMARTICEBERG_SERVER_CHAOS_H_
+#define SMARTICEBERG_SERVER_CHAOS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/exec/governor.h"
+
+namespace iceberg {
+
+/// A seeded, process-wide fault-injection schedule, layered on the
+/// GovernorProbe hooks so faults land exactly at governor check/reserve
+/// sites — the places real pressure surfaces. Every injection decision is
+/// a pure function of (seed, query stream id, site, ordinal); thread
+/// interleaving, wall clock, and global RNG state play no part, so any
+/// failure a chaos run produces is replayable from its seed and the
+/// per-session statement script alone.
+///
+/// Faults injected (each gated by its own ~1/N rate; 0 disables the site):
+///  - spurious cancellation: Check() fails with a *retryable* Cancelled
+///    (modeling a dropped client connection);
+///  - allocation failure: Reserve() fails with a *retryable*
+///    ResourceExhausted (modeling transient global memory pressure). Soft
+///    (advisory) reservations degrade — caches shed/skip — and the query
+///    still completes exactly; hard reservations fail the attempt cleanly;
+///  - cache-shed storm: the governor's reclaimer is forced to drop all
+///    advisory state at a check site (always safe — advisory state only
+///    accelerates);
+///  - slow morsel: a short busy delay at a check site, widening race
+///    windows so tsan and the soak test see more interleavings.
+struct ChaosConfig {
+  uint64_t seed = 0;  // 0 = chaos disabled everywhere
+  /// Inject a retryable cancel at ~1/N governor checks (0 = off).
+  uint32_t cancel_every = 0;
+  /// Fail ~1/N reservations with retryable ResourceExhausted (0 = off).
+  uint32_t alloc_fail_every = 0;
+  /// Force a full advisory shed at ~1/N governor checks (0 = off).
+  uint32_t shed_storm_every = 0;
+  /// Sleep `delay_us` at ~1/N governor checks (0 = off).
+  uint32_t delay_every = 0;
+  uint32_t delay_us = 50;
+
+  bool enabled() const {
+    return seed != 0 && (cancel_every | alloc_fail_every | shed_storm_every |
+                         delay_every) != 0;
+  }
+
+  /// A moderately hostile default profile for serving-scale queries
+  /// (~10^4-10^5 governor calls per attempt — the shell's \chaos uses
+  /// this): every fault class active, tuned so most attempts complete
+  /// and retries absorb most of the rest. Per-call rates scale with
+  /// query size, so tests over tiny tables set much hotter rates
+  /// directly instead of using this profile.
+  static ChaosConfig Soak(uint64_t seed);
+};
+
+/// Process-wide chaos control. The serving layer asks for a probe per
+/// query attempt; direct Database calls (no probe installed) are never
+/// chaos-injected.
+class ChaosSchedule {
+ public:
+  /// Atomically replaces the global schedule ({} disables chaos).
+  static void SetGlobal(ChaosConfig config);
+  static ChaosConfig Global();
+
+  /// Builds the fault-injection probe for one query attempt.
+  /// `stream_id` must identify the attempt deterministically — the session
+  /// layer uses hash(session id, statement ordinal, attempt) — so the
+  /// injection pattern is independent of scheduling. The returned probe is
+  /// self-contained and cheap when chaos is disabled.
+  ///
+  /// Shed storms need the governor the probe ends up installed in; because
+  /// the probe must exist *before* the governor is constructed, the caller
+  /// binds it afterwards: MakeProbe(...) -> construct governor with
+  /// .probe -> Bind(governor).
+  struct BoundProbe {
+    GovernorProbe probe;
+    /// Enables shed-storm injection by pointing the probe at its owner.
+    /// The governor must outlive all probe invocations (it owns the
+    /// probe, so it trivially does).
+    void Bind(QueryGovernor* governor);
+
+   private:
+    friend class ChaosSchedule;
+    struct State;
+    std::shared_ptr<State> state_;
+  };
+  static BoundProbe MakeProbe(uint64_t stream_id);
+
+  /// Convenience for deriving stream ids.
+  static uint64_t StreamId(uint64_t session_id, uint64_t statement_ordinal,
+                           uint64_t attempt);
+};
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_SERVER_CHAOS_H_

@@ -1,0 +1,30 @@
+#include "src/server/retry.h"
+
+namespace iceberg {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+int64_t RetryPolicy::BackoffMs(int attempt) const {
+  if (attempt <= 0) return 0;
+  int64_t base = initial_backoff_ms > 0 ? initial_backoff_ms : 1;
+  // Exponential growth with overflow-safe capping.
+  for (int k = 1; k < attempt && base < max_backoff_ms; ++k) base *= 2;
+  if (max_backoff_ms > 0 && base > max_backoff_ms) base = max_backoff_ms;
+  if (base <= 1) return base;
+  // Deterministic jitter: uniformly in [ceil(base/2), base], derived only
+  // from (seed, attempt) so replays produce the identical schedule.
+  uint64_t r = SplitMix64(jitter_seed ^ static_cast<uint64_t>(attempt));
+  int64_t half = (base + 1) / 2;
+  return half + static_cast<int64_t>(r % static_cast<uint64_t>(base - half + 1));
+}
+
+}  // namespace iceberg

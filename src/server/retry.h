@@ -1,0 +1,51 @@
+#ifndef SMARTICEBERG_SERVER_RETRY_H_
+#define SMARTICEBERG_SERVER_RETRY_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace iceberg {
+
+/// Bounded exponential backoff with deterministic jitter, applied only to
+/// retryable statuses (Status::IsRetryable()): admission sheds, queue
+/// timeouts, snapshot conflicts, shared-budget exhaustion, and
+/// chaos-injected transients. Non-retryable failures (parse errors, user
+/// cancels, intrinsic per-query limits) are never retried — re-running
+/// them repeats the same outcome deterministically.
+///
+/// Jitter is a pure function of (seed, attempt), not of wall clock or a
+/// global RNG, so a chaos run replayed from its seed backs off through the
+/// identical schedule.
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retries, 0 = disabled —
+  /// treated as 1).
+  int max_attempts = 4;
+  int64_t initial_backoff_ms = 1;
+  int64_t max_backoff_ms = 64;
+  /// Backoff base: attempt k (0-based retry index) waits
+  /// initial * 2^k, capped at max, then jittered to [1/2, 1] of that.
+  uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+
+  /// Whether `status` warrants another attempt after `attempt` completed
+  /// attempts (attempt >= 1).
+  bool ShouldRetry(const Status& status, int attempt) const {
+    if (status.ok() || !status.IsRetryable()) return false;
+    return attempt < (max_attempts <= 0 ? 1 : max_attempts);
+  }
+
+  /// Backoff before retry number `attempt` (1-based: the wait after the
+  /// first failed attempt is BackoffMs(1)). Deterministic.
+  int64_t BackoffMs(int attempt) const;
+
+  /// A policy that never retries (sessions that want raw failures).
+  static RetryPolicy None() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+};
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_SERVER_RETRY_H_

@@ -1,0 +1,193 @@
+#include "src/server/session.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "src/obs/metrics.h"
+#include "src/server/chaos.h"
+
+namespace iceberg {
+
+IcebergServer::IcebergServer(Database* db, ServerConfig config)
+    : db_(db),
+      config_(config),
+      admission_(config.admission),
+      cache_registry_(config.cache_registry_max_caches,
+                      config.cache_registry_max_entries) {}
+
+std::unique_ptr<Session> IcebergServer::OpenSession() {
+  uint64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  RetryPolicy retry = config_.retry;
+  // Desynchronize backoff across sessions deterministically.
+  retry.jitter_seed ^= id * 0x9e3779b97f4a7c15ull;
+  ICEBERG_COUNTER("server.sessions_opened")->Increment();
+  return std::unique_ptr<Session>(new Session(this, id, retry));
+}
+
+Status IcebergServer::Insert(const std::string& table, Row row) {
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  return db_->Insert(table, std::move(row));
+}
+
+Status IcebergServer::Mutate(const std::function<Status(Database&)>& fn) {
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  return fn(*db_);
+}
+
+namespace {
+
+/// RAII slot return for an admission ticket.
+struct TicketGuard {
+  AdmissionController* controller;
+  AdmissionController::Ticket ticket;
+  ~TicketGuard() { controller->Release(ticket); }
+};
+
+bool PinsStillValid(
+    const std::vector<std::pair<std::string, TableSnapshot>>& pins,
+    const std::vector<std::pair<std::string, TableSnapshot>>& now) {
+  if (pins.size() != now.size()) return false;
+  for (size_t i = 0; i < pins.size(); ++i) {
+    if (pins[i].first != now[i].first ||
+        pins[i].second.version != now[i].second.version) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+QueryOutcome Session::Run(const std::string& sql, bool use_iceberg) {
+  const uint64_t ordinal = ++statement_ordinal_;
+  const ServerConfig& config = server_->config();
+
+  QueryOutcome outcome;
+  QueryShape shape = ComputeQueryShape(sql);
+  outcome.fingerprint = shape.fingerprint;
+  outcome.shape_hash = shape.shape_hash;
+
+  const int max_attempts = retry_.max_attempts <= 0 ? 1 : retry_.max_attempts;
+  for (int attempt = 1;; ++attempt) {
+    outcome.attempts = attempt;
+    ICEBERG_COUNTER("server.attempts")->Increment();
+
+    // --- Submit: pin every table's snapshot under the shared lock. ---
+    std::vector<std::pair<std::string, TableSnapshot>> pins;
+    uint64_t catalog_hash = 0;
+    {
+      std::shared_lock<std::shared_mutex> lock(server_->catalog_mu_);
+      pins = server_->db_->SnapshotTables();
+      catalog_hash = server_->db_->CatalogVersionHash();
+    }
+
+    // --- Admission: blocks, queues bounded, or sheds (retryable). ---
+    Status st;
+    Result<AdmissionController::Ticket> admitted =
+        server_->admission_.Admit();
+    if (admitted.ok()) {
+      TicketGuard guard{&server_->admission_, *admitted};
+      outcome.queue_wait_us = guard.ticket.queue_wait_us;
+
+      // --- Fresh per-attempt state (satellite: governors are single-use
+      // and reports/stats append, so reuse across attempts would double
+      // count in EXPLAIN ANALYZE reconciliation). ---
+      ChaosSchedule::BoundProbe chaos = ChaosSchedule::MakeProbe(
+          ChaosSchedule::StreamId(id_, ordinal, attempt));
+      QueryGovernor::Limits limits;
+      limits.memory_budget_bytes = guard.ticket.memory_grant_bytes;
+      limits.shared_budget = guard.ticket.memory_grant_bytes > 0;
+      auto governor =
+          std::make_shared<QueryGovernor>(limits, chaos.probe);
+      chaos.Bind(governor.get());
+      const int threads = guard.ticket.thread_grant > 0
+                              ? guard.ticket.thread_grant
+                              : config.default_threads;
+      IcebergReport report;
+      ExecStats stats;
+
+      // --- Execute under the shared lock: mutations cannot race us;
+      // mutations that landed while we were queued invalidate the pins
+      // and surface as a clean retryable conflict instead. ---
+      Result<TablePtr> result = Status::Internal("not executed");
+      {
+        std::shared_lock<std::shared_mutex> lock(server_->catalog_mu_);
+        if (!PinsStillValid(pins, server_->db_->SnapshotTables())) {
+          ++outcome.snapshot_conflicts;
+          ICEBERG_COUNTER("server.snapshot_conflicts")->Increment();
+          result = Status::Overloaded(
+              "snapshot conflict: catalog mutated while queued");
+        } else if (use_iceberg) {
+          IcebergOptions options = config.iceberg;
+          options.governor = governor;
+          options.base_exec.governor = governor;
+          options.base_exec.num_threads = threads;
+          options.cache_registry = &server_->cache_registry_;
+          uint64_t key = shape.fingerprint ^ catalog_hash;
+          options.cache_key = key != 0 ? key : 1;
+          result = server_->db_->QueryIceberg(sql, options, &report);
+          stats = report.exec_stats;
+        } else {
+          ExecOptions exec = config.iceberg.base_exec;
+          exec.governor = governor;
+          exec.num_threads = threads;
+          result = server_->db_->Query(sql, exec, &stats);
+        }
+      }
+
+      if (result.ok()) {
+        outcome.status = Status::OK();
+        outcome.table = std::move(result).value();
+        outcome.report = std::move(report);
+        outcome.exec_stats = stats;
+        ICEBERG_COUNTER("server.queries_ok")->Increment();
+        return outcome;
+      }
+      st = result.status();
+      outcome.report = std::move(report);
+      outcome.exec_stats = stats;
+    } else {
+      st = admitted.status();
+    }
+
+    if (retry_.ShouldRetry(st, attempt) && attempt < max_attempts) {
+      int64_t backoff = retry_.BackoffMs(attempt);
+      outcome.backoff_total_ms += backoff;
+      ICEBERG_COUNTER("server.retries")->Increment();
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      }
+      continue;
+    }
+    outcome.status = st;
+    if (st.IsRetryable()) {
+      ICEBERG_COUNTER("server.queries_shed")->Increment();
+    } else {
+      ICEBERG_COUNTER("server.queries_failed")->Increment();
+    }
+    return outcome;
+  }
+}
+
+QueryOutcome Session::Execute(const std::string& sql) {
+  return Run(sql, /*use_iceberg=*/true);
+}
+
+QueryOutcome Session::ExecuteBaseline(const std::string& sql) {
+  return Run(sql, /*use_iceberg=*/false);
+}
+
+std::vector<QueryOutcome> Session::ExecuteAll(
+    const std::vector<std::string>& sqls) {
+  std::vector<QueryOutcome> outcomes;
+  outcomes.reserve(sqls.size());
+  for (const auto& sql : sqls) outcomes.push_back(Execute(sql));
+  return outcomes;
+}
+
+Status Session::Insert(const std::string& table, Row row) {
+  return server_->Insert(table, std::move(row));
+}
+
+}  // namespace iceberg

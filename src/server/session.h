@@ -1,0 +1,164 @@
+#ifndef SMARTICEBERG_SERVER_SESSION_H_
+#define SMARTICEBERG_SERVER_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/engine/database.h"
+#include "src/nljp/shared_cache.h"
+#include "src/server/admission.h"
+#include "src/server/retry.h"
+#include "src/server/shape.h"
+
+namespace iceberg {
+
+/// Serving-layer configuration: admission apportionment, retry semantics,
+/// and cross-query cache sizing.
+struct ServerConfig {
+  AdmissionConfig admission;
+  RetryPolicy retry;
+  /// Worker threads per query when the admission controller has no thread
+  /// budget configured (thread_budget == 0). 1 keeps per-query execution
+  /// serial so concurrency comes from sessions, the bench's QPS model.
+  int default_threads = 1;
+  /// Cross-query NLJP cache registry bounds (distinct statement shapes
+  /// kept, entry cap per shape).
+  size_t cache_registry_max_caches = 8;
+  size_t cache_registry_max_entries = 4096;
+  /// Engine options template for iceberg-path statements. Per-attempt
+  /// fields (governor, cache key/registry, thread count) are overwritten
+  /// by the session; everything else (technique toggles, vectorize,
+  /// profile) is taken from here.
+  IcebergOptions iceberg;
+};
+
+/// Everything one statement submission produced, across all retry
+/// attempts. Per-attempt state (governor, ExecStats, IcebergReport) is
+/// constructed fresh for every attempt — governors are single-use and
+/// reports append — so `report`/`stats` describe exactly the final
+/// attempt, and EXPLAIN ANALYZE metric reconciliation stays exact under
+/// retries (`attempts` says how many governor lifecycles ran).
+struct QueryOutcome {
+  Status status;
+  TablePtr table;  // null on failure
+  /// Attempts executed (>= 1); attempts - 1 were retried transients.
+  int attempts = 0;
+  /// Total deterministic backoff slept between attempts, milliseconds.
+  int64_t backoff_total_ms = 0;
+  /// Snapshot-conflict invalidations among the retried attempts.
+  int snapshot_conflicts = 0;
+  /// Final attempt's optimizer report (iceberg path) and baseline stats.
+  IcebergReport report;
+  ExecStats exec_stats;
+  /// Statement identity: literal-preserving fingerprint (the cross-query
+  /// cache key component) and literal-abstracted shape hash
+  /// (observability).
+  uint64_t fingerprint = 0;
+  uint64_t shape_hash = 0;
+  /// Queue wait of the final (successful or last-failed) admission, us.
+  int64_t queue_wait_us = 0;
+};
+
+class Session;
+
+/// Multi-session serving facade over one Database: a catalog-wide
+/// reader/writer lock gives queries a stable snapshot while they run,
+/// an AdmissionController apportions global memory/thread budgets, a
+/// NljpCacheRegistry promotes NLJP memo/pruning caches across queries and
+/// sessions, and the per-session retry loop turns every transient
+/// (admission shed, queue timeout, snapshot conflict, shared-budget
+/// exhaustion, chaos injection) into bounded deterministic backoff.
+///
+/// Concurrency contract:
+///  - statements execute under the shared (read) catalog lock; DDL and
+///    DML go through the server's exclusive write path, so a mutation
+///    never races a running reader;
+///  - a statement pins every table's snapshot at submit; if a mutation
+///    lands while it is queued, validation at execution start fails with
+///    a retryable snapshot conflict rather than reading torn state;
+///  - version-keyed derived state (column-chunk caches, cross-query NLJP
+///    caches) invalidates lazily — the version in the key rotates.
+class IcebergServer {
+ public:
+  explicit IcebergServer(Database* db, ServerConfig config = ServerConfig());
+
+  /// Opens a session with a fresh id. The session borrows the server (the
+  /// server must outlive it) and is single-threaded by itself; open one
+  /// per client thread.
+  std::unique_ptr<Session> OpenSession();
+
+  // ---- Exclusive write path ----
+  Status Insert(const std::string& table, Row row);
+  /// Runs `fn` on the database under the exclusive catalog lock (DDL,
+  /// bulk loads). Blocks until running readers drain.
+  Status Mutate(const std::function<Status(Database&)>& fn);
+
+  Database* database() { return db_; }
+  const ServerConfig& config() const { return config_; }
+  AdmissionController& admission() { return admission_; }
+  NljpCacheRegistry& cache_registry() { return cache_registry_; }
+
+ private:
+  friend class Session;
+
+  Database* db_;
+  ServerConfig config_;
+  AdmissionController admission_;
+  NljpCacheRegistry cache_registry_;
+  /// Catalog-wide reader/writer lock: statements shared, mutations
+  /// exclusive.
+  std::shared_mutex catalog_mu_;
+  std::atomic<uint64_t> next_session_id_{1};
+};
+
+/// One client's statement stream. Not thread-safe by itself — use one
+/// session per thread; sessions of the same server run concurrently.
+class Session {
+ public:
+  /// Runs `sql` through the Smart-Iceberg path with admission control,
+  /// snapshot pinning, chaos probes, and the retry policy. Never throws;
+  /// the outcome's status is OK, or a non-retryable failure, or the last
+  /// retryable failure after the policy's attempts were exhausted.
+  QueryOutcome Execute(const std::string& sql);
+
+  /// Same serving hardening, baseline executor (differential reference).
+  QueryOutcome ExecuteBaseline(const std::string& sql);
+
+  /// Convenience: Execute each statement in order.
+  std::vector<QueryOutcome> ExecuteAll(const std::vector<std::string>& sqls);
+
+  /// Routes to the server's exclusive write path.
+  Status Insert(const std::string& table, Row row);
+
+  uint64_t id() const { return id_; }
+  /// Statements submitted so far (the chaos stream ordinal source).
+  uint64_t statements_submitted() const { return statement_ordinal_; }
+
+  /// Per-session retry override (defaults to the server policy; the
+  /// jitter seed is mixed with the session id at OpenSession so sessions
+  /// desynchronize their backoff).
+  RetryPolicy& retry_policy() { return retry_; }
+
+ private:
+  friend class IcebergServer;
+  Session(IcebergServer* server, uint64_t id, RetryPolicy retry)
+      : server_(server), id_(id), retry_(retry) {}
+
+  /// The shared retry/admission/chaos harness around one engine call.
+  QueryOutcome Run(const std::string& sql, bool use_iceberg);
+
+  IcebergServer* server_;
+  uint64_t id_;
+  RetryPolicy retry_;
+  uint64_t statement_ordinal_ = 0;
+};
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_SERVER_SESSION_H_

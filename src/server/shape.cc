@@ -1,0 +1,93 @@
+#include "src/server/shape.h"
+
+#include <cctype>
+
+namespace iceberg {
+
+namespace {
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+QueryShape ComputeQueryShape(const std::string& sql) {
+  QueryShape out;
+  std::string& norm = out.normalized;
+  std::string& shape = out.shape;
+  norm.reserve(sql.size());
+  shape.reserve(sql.size());
+
+  size_t i = 0;
+  const size_t n = sql.size();
+  bool pending_space = false;
+  auto emit = [&](char c, bool literal) {
+    // Collapse runs of whitespace to one space, and trim the ends lazily.
+    if (pending_space && !norm.empty()) {
+      norm.push_back(' ');
+      shape.push_back(' ');
+    }
+    pending_space = false;
+    norm.push_back(c);
+    if (!literal) shape.push_back(c);
+  };
+
+  while (i < n) {
+    char c = sql[i];
+    if (c == '\'') {
+      // String literal: copied verbatim into the fingerprint form,
+      // abstracted to '?' in the shape form.
+      size_t start = i++;
+      while (i < n && sql[i] != '\'') ++i;
+      if (i < n) ++i;  // closing quote
+      if (pending_space && !norm.empty()) {
+        norm.push_back(' ');
+        shape.push_back(' ');
+      }
+      pending_space = false;
+      norm.append(sql, start, i - start);
+      shape.push_back('?');
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = true;
+      ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) &&
+        (norm.empty() || !(std::isalnum(static_cast<unsigned char>(
+                               norm.back())) ||
+                           norm.back() == '_'))) {
+      // Numeric literal (not an identifier suffix like "t1"): keep the
+      // digits in the fingerprint, abstract to '?' in the shape.
+      size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        ++i;
+      }
+      if (pending_space && !norm.empty()) {
+        norm.push_back(' ');
+        shape.push_back(' ');
+      }
+      pending_space = false;
+      norm.append(sql, start, i - start);
+      shape.push_back('?');
+      continue;
+    }
+    emit(static_cast<char>(std::tolower(static_cast<unsigned char>(c))),
+         /*literal=*/false);
+    ++i;
+  }
+
+  out.fingerprint = Fnv1a(norm);
+  out.shape_hash = Fnv1a(shape);
+  return out;
+}
+
+}  // namespace iceberg

@@ -1,0 +1,35 @@
+#ifndef SMARTICEBERG_SERVER_SHAPE_H_
+#define SMARTICEBERG_SERVER_SHAPE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace iceberg {
+
+/// Normalized identity of a SQL statement, in two strengths:
+///
+///  - `fingerprint` hashes the statement with case and whitespace
+///    normalized but *literals kept*. Two statements with equal
+///    fingerprints compute the same result over the same table versions,
+///    which is what makes it a sound cross-query cache key (the NLJP memo
+///    stores concrete inner-query results — they depend on the literals).
+///  - `shape_hash` additionally abstracts numeric and string literals to a
+///    placeholder (mongo's queryShapeHash idea), grouping "the same query
+///    with different constants". Used for observability (per-shape
+///    metrics), never for result caching.
+struct QueryShape {
+  uint64_t fingerprint = 0;
+  uint64_t shape_hash = 0;
+  std::string normalized;  // lower-cased, whitespace-collapsed statement
+  std::string shape;       // normalized with literals replaced by '?'
+};
+
+/// Computes both normal forms in one pass. Case is lowered and whitespace
+/// collapsed only *outside* single-quoted string literals; quotes escape
+/// nothing in this SQL subset. Purely lexical — no parse is needed, so it
+/// is cheap enough to run on every statement a session submits.
+QueryShape ComputeQueryShape(const std::string& sql);
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_SERVER_SHAPE_H_

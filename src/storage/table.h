@@ -15,6 +15,19 @@
 
 namespace iceberg {
 
+/// A pinned read point of one table: the mutation-counter version and the
+/// row count it implied. Queries pin a snapshot per referenced table when
+/// they are submitted; the serving layer validates the pins when execution
+/// actually starts (admission may have queued the query across a
+/// mutation), so a stale read surfaces as a clean retryable conflict
+/// instead of racing with the writer. Derived state (columnar chunk sets,
+/// cross-query NLJP caches) is keyed by the same version and therefore
+/// invalidates lazily: stale entries are simply never looked up again.
+struct TableSnapshot {
+  uint64_t version = 0;
+  size_t num_rows = 0;
+};
+
 /// An in-memory row-store relation with optional secondary indexes.
 ///
 /// Tables are append-only (sufficient for the analytical workloads the paper
@@ -110,6 +123,19 @@ class Table {
   /// the version they were built from and discarded on mismatch.
   uint64_t version() const {
     return version_.load(std::memory_order_relaxed);
+  }
+
+  /// Pins the current read point. Callers must hold whatever lock makes
+  /// the (version, num_rows) pair coherent (the serving layer's catalog
+  /// read lock); the table itself only guarantees the individual loads.
+  TableSnapshot Snapshot() const {
+    return TableSnapshot{version(), num_rows()};
+  }
+
+  /// Whether a pinned snapshot still describes the live table (no
+  /// mutation since the pin).
+  bool SnapshotValid(const TableSnapshot& snap) const {
+    return snap.version == version() && snap.num_rows == num_rows();
   }
 
   /// Returns the columnar decomposition of the current version, building

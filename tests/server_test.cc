@@ -1,0 +1,471 @@
+// Serving-layer units: admission control (queue bound, shed order, budget
+// apportionment), retry policy determinism, statement shapes, snapshot
+// pinning, cross-query cache promotion, and the per-attempt governor
+// lifecycle (no double counting under retries).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+#include "src/nljp/shared_cache.h"
+#include "src/obs/metrics.h"
+#include "src/server/admission.h"
+#include "src/server/chaos.h"
+#include "src/server/retry.h"
+#include "src/server/session.h"
+#include "src/server/shape.h"
+
+namespace iceberg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status retryability
+// ---------------------------------------------------------------------------
+
+TEST(StatusRetryable, OverloadedIsAlwaysRetryable) {
+  Status st = Status::Overloaded("queue full");
+  EXPECT_TRUE(st.IsOverloaded());
+  EXPECT_TRUE(st.IsRetryable());
+}
+
+TEST(StatusRetryable, MarkRetryableTagsTransients) {
+  EXPECT_FALSE(Status::Cancelled("deadline exceeded").IsRetryable());
+  EXPECT_FALSE(Status::ResourceExhausted("row limit").IsRetryable());
+  EXPECT_TRUE(Status::Cancelled("chaos").MarkRetryable().IsRetryable());
+  EXPECT_TRUE(
+      Status::ResourceExhausted("shared").MarkRetryable().IsRetryable());
+  // OK can never be marked retryable.
+  EXPECT_FALSE(Status::OK().MarkRetryable().IsRetryable());
+}
+
+TEST(StatusRetryable, FlagSurvivesCopies) {
+  Status st = Status::Cancelled("chaos").MarkRetryable();
+  Status copy = st;
+  EXPECT_TRUE(copy.IsRetryable());
+  EXPECT_NE(copy.ToString().find("retryable"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Query shapes
+// ---------------------------------------------------------------------------
+
+TEST(QueryShapeTest, FingerprintNormalizesCaseAndWhitespace) {
+  QueryShape a = ComputeQueryShape("SELECT  x FROM t1   WHERE x > 5");
+  QueryShape b = ComputeQueryShape("select x\nfrom t1 where x > 5");
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.normalized, "select x from t1 where x > 5");
+}
+
+TEST(QueryShapeTest, FingerprintKeepsLiterals) {
+  // Different constants => different results => different cache keys.
+  QueryShape a = ComputeQueryShape("SELECT x FROM t WHERE x > 5");
+  QueryShape b = ComputeQueryShape("SELECT x FROM t WHERE x > 6");
+  EXPECT_NE(a.fingerprint, b.fingerprint);
+  // ... but the same shape for per-shape observability.
+  EXPECT_EQ(a.shape_hash, b.shape_hash);
+  EXPECT_EQ(a.shape, "select x from t where x > ?");
+}
+
+TEST(QueryShapeTest, StringLiteralsPreservedInNormalizedForm) {
+  QueryShape a = ComputeQueryShape("SELECT x FROM t WHERE s = 'ABC def'");
+  // Case inside the literal is untouched; outside it is lowered.
+  EXPECT_EQ(a.normalized, "select x from t where s = 'ABC def'");
+  EXPECT_EQ(a.shape, "select x from t where s = ?");
+  QueryShape b = ComputeQueryShape("SELECT x FROM t WHERE s = 'other'");
+  EXPECT_NE(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.shape_hash, b.shape_hash);
+}
+
+TEST(QueryShapeTest, DigitsInsideIdentifiersAreNotLiterals) {
+  QueryShape a = ComputeQueryShape("SELECT c1 FROM t1");
+  EXPECT_EQ(a.shape, "select c1 from t1");
+  EXPECT_EQ(a.fingerprint, a.shape_hash);  // no literals => same hash input
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy
+// ---------------------------------------------------------------------------
+
+TEST(RetryPolicyTest, OnlyRetryableStatusesRetry) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  EXPECT_TRUE(policy.ShouldRetry(Status::Overloaded("shed"), 1));
+  EXPECT_TRUE(policy.ShouldRetry(
+      Status::Cancelled("chaos").MarkRetryable(), 2));
+  EXPECT_FALSE(policy.ShouldRetry(Status::Overloaded("shed"), 3));  // budget
+  EXPECT_FALSE(policy.ShouldRetry(Status::Cancelled("user"), 1));
+  EXPECT_FALSE(policy.ShouldRetry(Status::ParseError("syntax"), 1));
+  EXPECT_FALSE(policy.ShouldRetry(Status::OK(), 1));
+}
+
+TEST(RetryPolicyTest, BackoffIsDeterministicAndBounded) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 4;
+  policy.max_backoff_ms = 32;
+  policy.jitter_seed = 42;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    int64_t b1 = policy.BackoffMs(attempt);
+    int64_t b2 = policy.BackoffMs(attempt);
+    EXPECT_EQ(b1, b2) << "jitter must be a pure function of (seed, attempt)";
+    int64_t base = std::min<int64_t>(4LL << (attempt - 1), 32);
+    EXPECT_GE(b1, (base + 1) / 2);
+    EXPECT_LE(b1, base);
+  }
+}
+
+TEST(RetryPolicyTest, DifferentSeedsDesynchronize) {
+  RetryPolicy a, b;
+  a.initial_backoff_ms = b.initial_backoff_ms = 64;
+  a.max_backoff_ms = b.max_backoff_ms = 4096;
+  a.jitter_seed = 1;
+  b.jitter_seed = 2;
+  bool differ = false;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    differ |= a.BackoffMs(attempt) != b.BackoffMs(attempt);
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(RetryPolicyTest, NonePolicyNeverRetries) {
+  RetryPolicy none = RetryPolicy::None();
+  EXPECT_FALSE(none.ShouldRetry(Status::Overloaded("shed"), 1));
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionTest, BudgetApportionmentArithmetic) {
+  AdmissionConfig config;
+  config.max_concurrent = 4;
+  config.memory_budget_bytes = 1 << 20;
+  config.thread_budget = 8;
+  EXPECT_EQ(AdmissionController::MemoryGrant(config), (1u << 20) / 4);
+  EXPECT_EQ(AdmissionController::ThreadGrant(config), 2);
+
+  config.thread_budget = 2;  // fewer threads than slots: floor at 1
+  EXPECT_EQ(AdmissionController::ThreadGrant(config), 1);
+
+  config.memory_budget_bytes = 0;  // ungoverned pool
+  EXPECT_EQ(AdmissionController::MemoryGrant(config), 0u);
+  config.thread_budget = 0;
+  EXPECT_EQ(AdmissionController::ThreadGrant(config), 0);
+
+  config.max_concurrent = 0;  // degenerate config clamps to one slot
+  config.memory_budget_bytes = 512;
+  EXPECT_EQ(AdmissionController::MemoryGrant(config), 512u);
+}
+
+TEST(AdmissionTest, GrantsFlowIntoTickets) {
+  AdmissionConfig config;
+  config.max_concurrent = 2;
+  config.memory_budget_bytes = 1024;
+  config.thread_budget = 4;
+  AdmissionController admission(config);
+  auto ticket = admission.Admit();
+  ASSERT_TRUE(ticket.ok());
+  EXPECT_EQ(ticket->memory_grant_bytes, 512u);
+  EXPECT_EQ(ticket->thread_grant, 2);
+  EXPECT_EQ(admission.in_flight(), 1u);
+  admission.Release(*ticket);
+  EXPECT_EQ(admission.in_flight(), 0u);
+}
+
+TEST(AdmissionTest, QueueFullShedsImmediatelyWithRetryableOverload) {
+  AdmissionConfig config;
+  config.max_concurrent = 1;
+  config.max_queue_depth = 0;  // no waiting room at all
+  AdmissionController admission(config);
+  auto first = admission.Admit();
+  ASSERT_TRUE(first.ok());
+  auto second = admission.Admit();  // slot busy, queue full -> immediate shed
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsOverloaded());
+  EXPECT_TRUE(second.status().IsRetryable());
+  EXPECT_EQ(admission.shed_queue_full_total(), 1u);
+  admission.Release(*first);
+  // Slot free again: next admit succeeds.
+  auto third = admission.Admit();
+  ASSERT_TRUE(third.ok());
+  admission.Release(*third);
+}
+
+TEST(AdmissionTest, QueueTimeoutShedsWithRetryableOverload) {
+  AdmissionConfig config;
+  config.max_concurrent = 1;
+  config.max_queue_depth = 4;
+  config.queue_timeout_ms = 30;
+  AdmissionController admission(config);
+  auto first = admission.Admit();
+  ASSERT_TRUE(first.ok());
+  auto start = std::chrono::steady_clock::now();
+  auto second = admission.Admit();  // queues, then times out
+  auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsOverloaded());
+  EXPECT_GE(waited, 25);
+  EXPECT_EQ(admission.shed_timeout_total(), 1u);
+  EXPECT_EQ(admission.queued(), 0u) << "timed-out waiter must leave queue";
+  admission.Release(*first);
+}
+
+TEST(AdmissionTest, FifoOrderNoStarvation) {
+  AdmissionConfig config;
+  config.max_concurrent = 1;
+  config.max_queue_depth = 8;
+  config.queue_timeout_ms = 0;  // wait forever: order must guarantee progress
+  AdmissionController admission(config);
+  auto gate = admission.Admit();
+  ASSERT_TRUE(gate.ok());
+
+  std::mutex mu;
+  std::vector<int> admitted_order;
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&, i] {
+      auto ticket = admission.Admit();
+      ASSERT_TRUE(ticket.ok());
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        admitted_order.push_back(i);
+      }
+      admission.Release(*ticket);
+    });
+    // Serialize arrival so FIFO order is well-defined.
+    while (admission.queued() < static_cast<size_t>(i + 1)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  admission.Release(*gate);  // open the floodgate
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(admitted_order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(admission.admitted_total(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot pinning
+// ---------------------------------------------------------------------------
+
+Database MakeTinyDb() {
+  Database db;
+  EXPECT_TRUE(db.CreateTable("obj", Schema({{"id", DataType::kInt64},
+                                            {"x", DataType::kInt64},
+                                            {"y", DataType::kInt64}}))
+                  .ok());
+  EXPECT_TRUE(db.DeclareKey("obj", {"id"}).ok());
+  for (int64_t i = 0; i < 16; ++i) {
+    EXPECT_TRUE(db.Insert("obj", {Value::Int(i), Value::Int(i % 5),
+                                  Value::Int((i * 7) % 11)})
+                    .ok());
+  }
+  return db;
+}
+
+TEST(SnapshotTest, MutationInvalidatesPins) {
+  Database db = MakeTinyDb();
+  auto pins = db.SnapshotTables();
+  ASSERT_EQ(pins.size(), 1u);
+  auto table = db.GetTable("obj");
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE((*table)->SnapshotValid(pins[0].second));
+
+  uint64_t hash_before = db.CatalogVersionHash();
+  ASSERT_TRUE(db.Insert("obj", {Value::Int(99), Value::Int(1), Value::Int(2)})
+                  .ok());
+  EXPECT_FALSE((*table)->SnapshotValid(pins[0].second));
+  EXPECT_NE(db.CatalogVersionHash(), hash_before)
+      << "catalog hash must rotate on any table mutation";
+}
+
+// ---------------------------------------------------------------------------
+// Cross-query NLJP cache registry
+// ---------------------------------------------------------------------------
+
+TEST(CacheRegistryTest, ReusesByKeyAndEvictsLru) {
+  NljpCacheRegistry registry(/*max_caches=*/2, /*max_entries_per_cache=*/64);
+  auto make = [] {
+    SharedNljpCache::Options opts;
+    opts.stripes = 4;
+    return opts;
+  };
+  auto a = registry.GetOrCreate(1, make);
+  auto a_again = registry.GetOrCreate(1, make);
+  EXPECT_EQ(a.get(), a_again.get()) << "same key must reuse the same cache";
+  auto b = registry.GetOrCreate(2, make);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(registry.num_caches(), 2u);
+  // Touch key 1 so key 2 is the LRU, then force an eviction.
+  registry.GetOrCreate(1, make);
+  registry.GetOrCreate(3, make);
+  EXPECT_EQ(registry.num_caches(), 2u);
+  auto b_again = registry.GetOrCreate(2, make);
+  EXPECT_NE(b.get(), b_again.get()) << "key 2 was evicted as LRU";
+}
+
+TEST(CacheRegistryTest, ServerPromotesCachesAcrossStatements) {
+  Database db = MakeTinyDb();
+  ServerConfig config;
+  config.retry = RetryPolicy::None();
+  IcebergServer server(&db, config);
+  auto session = server.OpenSession();
+
+  const std::string sql =
+      "SELECT L.id, COUNT(*) FROM obj L, obj R "
+      "WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y) "
+      "GROUP BY L.id HAVING COUNT(*) <= 50";
+  QueryOutcome first = session->Execute(sql);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  size_t caches_after_first = server.cache_registry().num_caches();
+  EXPECT_GE(caches_after_first, 1u)
+      << "iceberg statement must promote its NLJP cache into the registry";
+
+  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  QueryOutcome second = session->Execute(sql);
+  ASSERT_TRUE(second.status.ok());
+  MetricsSnapshot delta =
+      MetricsRegistry::Global().Snapshot().DiffSince(before);
+  EXPECT_GE(delta.counters["nljp.registry.hits"], 1u)
+      << "identical statement must hit the promoted cache";
+  EXPECT_EQ(server.cache_registry().num_caches(), caches_after_first);
+
+  // Results are identical across the cold and warm runs.
+  ASSERT_TRUE(first.table != nullptr && second.table != nullptr);
+  EXPECT_EQ(first.table->num_rows(), second.table->num_rows());
+
+  // A mutation rotates the catalog hash, so the same statement now keys a
+  // *new* cache (the stale one ages out of the MRU list).
+  ASSERT_TRUE(server.Insert("obj", {Value::Int(100), Value::Int(2),
+                                    Value::Int(3)})
+                  .ok());
+  QueryOutcome third = session->Execute(sql);
+  ASSERT_TRUE(third.status.ok());
+  EXPECT_GT(server.cache_registry().num_caches(), caches_after_first)
+      << "mutation must rotate the cross-query cache key";
+}
+
+// ---------------------------------------------------------------------------
+// Session execution, retries, and the per-attempt governor lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(SessionTest, ExecutesAndMatchesDirectResult) {
+  Database db = MakeTinyDb();
+  IcebergServer server(&db);
+  auto session = server.OpenSession();
+  QueryOutcome outcome =
+      session->Execute("SELECT id FROM obj WHERE x > 2");
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_EQ(outcome.attempts, 1);
+  ASSERT_NE(outcome.table, nullptr);
+
+  auto direct = db.QueryIceberg("SELECT id FROM obj WHERE x > 2");
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(outcome.table->num_rows(), (*direct)->num_rows());
+}
+
+TEST(SessionTest, BaselinePathServedToo) {
+  Database db = MakeTinyDb();
+  IcebergServer server(&db);
+  auto session = server.OpenSession();
+  QueryOutcome outcome =
+      session->ExecuteBaseline("SELECT id FROM obj WHERE x > 2");
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_GT(outcome.exec_stats.join_pairs_examined +
+                outcome.table->num_rows(),
+            0u);
+}
+
+TEST(SessionTest, NonRetryableFailureReturnsWithoutRetry) {
+  Database db = MakeTinyDb();
+  ServerConfig config;
+  config.retry.max_attempts = 5;
+  IcebergServer server(&db, config);
+  auto session = server.OpenSession();
+  QueryOutcome outcome = session->Execute("SELECT FROM nonsense !!");
+  ASSERT_FALSE(outcome.status.ok());
+  EXPECT_FALSE(outcome.status.IsRetryable());
+  EXPECT_EQ(outcome.attempts, 1) << "parse errors must not burn retries";
+}
+
+// Satellite: every retry attempt gets a *fresh* governor (they are
+// single-use) and fresh stats/report, so governor metrics reconcile
+// exactly: governor.queries delta == attempts, no double counting.
+TEST(SessionTest, RetryAttemptsUseFreshGovernors) {
+  Database db = MakeTinyDb();
+  ServerConfig config;
+  config.retry.max_attempts = 3;
+  config.retry.initial_backoff_ms = 1;
+  config.retry.max_backoff_ms = 2;
+  // A shared (admission-granted) budget far too small for the join: every
+  // attempt exhausts it retryably, so the retry loop runs to its bound.
+  config.admission.max_concurrent = 1;
+  config.admission.memory_budget_bytes = 64;
+  IcebergServer server(&db, config);
+  auto session = server.OpenSession();
+
+  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  QueryOutcome outcome = session->Execute(
+      "SELECT L.id, COUNT(*) FROM obj L, obj R "
+      "WHERE L.x <= R.x GROUP BY L.id HAVING COUNT(*) <= 50");
+  MetricsSnapshot delta =
+      MetricsRegistry::Global().Snapshot().DiffSince(before);
+
+  ASSERT_FALSE(outcome.status.ok());
+  EXPECT_TRUE(outcome.status.IsRetryable())
+      << "shared-budget exhaustion must surface retryably: "
+      << outcome.status.ToString();
+  EXPECT_EQ(outcome.attempts, 3);
+  EXPECT_EQ(delta.counters["governor.queries"],
+            static_cast<uint64_t>(outcome.attempts))
+      << "each attempt must run under its own single-use governor";
+  EXPECT_EQ(delta.counters["server.retries"], 2u);
+  EXPECT_GT(outcome.backoff_total_ms, 0);
+}
+
+TEST(SessionTest, SharedBudgetLargeEnoughSucceedsFirstTry) {
+  Database db = MakeTinyDb();
+  ServerConfig config;
+  config.admission.max_concurrent = 2;
+  config.admission.memory_budget_bytes = 64u << 20;
+  IcebergServer server(&db, config);
+  auto session = server.OpenSession();
+  QueryOutcome outcome = session->Execute(
+      "SELECT L.id, COUNT(*) FROM obj L, obj R "
+      "WHERE L.x <= R.x GROUP BY L.id HAVING COUNT(*) <= 50");
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_EQ(outcome.attempts, 1);
+}
+
+TEST(SessionTest, ConcurrentSessionsAllServed) {
+  Database db = MakeTinyDb();
+  ServerConfig config;
+  config.admission.max_concurrent = 2;
+  config.admission.max_queue_depth = 16;
+  config.admission.queue_timeout_ms = 5000;
+  IcebergServer server(&db, config);
+
+  constexpr int kSessions = 6;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&server, &ok] {
+      auto session = server.OpenSession();
+      QueryOutcome outcome =
+          session->Execute("SELECT id FROM obj WHERE x > 1");
+      if (outcome.status.ok()) ok.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kSessions)
+      << "bounded queue + FIFO admission must serve a modest burst fully";
+}
+
+}  // namespace
+}  // namespace iceberg
