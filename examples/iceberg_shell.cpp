@@ -26,6 +26,9 @@
 //                    (load in Perfetto / chrome://tracing)
 //   \vectorize on|off   toggle the vectorized (columnar batch) scan path;
 //                    also honours the ICEBERG_VECTORIZE env var at startup
+//   \plancache on|off|status   toggle the shape-keyed plan/program cache
+//                    (off also clears it); also honours ICEBERG_PLAN_CACHE
+//                    at startup; status prints entry/hit/miss counters
 //   \q               quit
 // Anything else is executed through the serving layer (session + admission
 // + retry) with the Smart-Iceberg optimizer; statements starting with
@@ -45,6 +48,7 @@
 
 #include "src/engine/csv.h"
 #include "src/engine/database.h"
+#include "src/expr/compiled.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/server/chaos.h"
@@ -304,6 +308,40 @@ void RunStatement(Database* db, const std::string& line) {
     }
     return;
   }
+  if (line.rfind("\\plancache", 0) == 0) {
+    std::string arg;
+    std::istringstream(line.substr(10)) >> arg;
+    if (arg == "on") {
+      SetPlanCacheEnabled(true);
+      std::printf("plan cache on\n");
+    } else if (arg == "off") {
+      SetPlanCacheEnabled(false);
+      // Drop resident traces and program templates so a later \plancache
+      // on starts cold (deterministic A/B from the shell).
+      if (g_server != nullptr) g_server->plan_cache().Clear();
+      ClearProgramTemplateCache();
+      std::printf("plan cache off (cleared)\n");
+    } else if (arg == "status" || arg.empty()) {
+      size_t entries = g_server != nullptr ? g_server->plan_cache().size() : 0;
+      std::printf(
+          "plan cache %s: entries=%zu hits=%llu misses=%llu rebinds=%llu "
+          "invalidations=%llu evictions=%llu fallbacks=%llu\n",
+          PlanCacheEnabled() ? "on" : "off", entries,
+          (unsigned long long)ICEBERG_COUNTER("plan_cache.hits")->value(),
+          (unsigned long long)ICEBERG_COUNTER("plan_cache.misses")->value(),
+          (unsigned long long)ICEBERG_COUNTER("plan_cache.rebinds")->value(),
+          (unsigned long long)
+              ICEBERG_COUNTER("plan_cache.invalidations")->value(),
+          (unsigned long long)
+              ICEBERG_COUNTER("plan_cache.evictions")->value(),
+          (unsigned long long)
+              ICEBERG_COUNTER("plan_cache.replay_fallbacks")->value());
+    } else {
+      std::printf("usage: \\plancache on|off|status  (currently %s)\n",
+                  PlanCacheEnabled() ? "on" : "off");
+    }
+    return;
+  }
   if (line.rfind("\\trace", 0) == 0) {
     std::string arg, path;
     std::istringstream args(line.substr(6));
@@ -402,7 +440,8 @@ int main() {
       "Commands: \\explain <sql>, \\base <sql>, \\govern [ms] [kb], "
       "\\threads [N], \\sessions [N], \\retry [N], \\chaos seed N|off, "
       "\\tables, \\load <table> <csv>, \\metrics [json|reset], "
-      "\\trace on|off|clear|dump <file>, \\vectorize on|off, \\q\n"
+      "\\trace on|off|clear|dump <file>, \\vectorize on|off, "
+      "\\plancache on|off|status, \\q\n"
       "EXPLAIN ANALYZE <sql> prints the annotated plan tree.\n");
   std::string line;
   while (true) {

@@ -94,7 +94,11 @@ std::string RenderAnalyzeIceberg(const IcebergReport& report,
   out += "  Optimize: infer_fds=" + Ms(report.timing.infer_us) +
          ", apriori_pick=" + Ms(report.timing.apriori_pick_us) +
          ", apriori_apply=" + Ms(report.timing.apriori_apply_us) +
-         ", pick_nljp=" + Ms(report.timing.pick_nljp_us) + "\n";
+         ", pick_nljp=" + Ms(report.timing.pick_nljp_us);
+  if (!report.plan_provenance.empty()) {
+    out += "  [plan_cache=" + report.plan_provenance + "]";
+  }
+  out += "\n";
   for (const std::string& step : report.steps) {
     out += "  decision: " + step + "\n";
   }

@@ -296,6 +296,22 @@ Result<TablePtr> Database::QueryIceberg(const std::string& sql,
                              ExplainIceberg(inner, options));
     return AnalyzeTextTable(plan);
   }
+  // Plan-cache eligibility: a trace captures/replays the decisions of
+  // exactly one optimized block. Statements with CTEs or FROM-subqueries
+  // optimize several blocks against intermediate tables, so the cache is
+  // bypassed for them (they still run, just always fully optimized).
+  if (options.capture != nullptr || options.replay != nullptr) {
+    bool multi_block = !parsed.ctes.empty();
+    for (const ParsedTableRef& ref : parsed.select->from) {
+      if (ref.subquery != nullptr) multi_block = true;
+    }
+    if (multi_block) {
+      options.capture = nullptr;
+      options.replay = nullptr;
+      ICEBERG_COUNTER("plan_cache.bypasses")->Increment();
+      if (report != nullptr) report->plan_provenance = "bypass";
+    }
+  }
   std::map<std::string, CatalogEntry> scope;
   for (const auto& [name, cte] : parsed.ctes) {
     ICEBERG_ASSIGN_OR_RETURN(

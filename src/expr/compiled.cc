@@ -2,15 +2,27 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 
 namespace iceberg {
 
 namespace {
 
 std::atomic<bool> g_compiled_enabled{true};
+
+bool InitialPlanCacheEnabled() {
+  const char* env = std::getenv("ICEBERG_PLAN_CACHE");
+  return env == nullptr || env[0] != '0';
+}
+
+std::atomic<bool> g_plan_cache_enabled{InitialPlanCacheEnabled()};
 
 // ----- CVal helpers ---------------------------------------------------------
 
@@ -330,24 +342,46 @@ void SetCompiledExprEnabled(bool enabled) {
   g_compiled_enabled.store(enabled, std::memory_order_relaxed);
 }
 
+bool PlanCacheEnabled() {
+  return g_plan_cache_enabled.load(std::memory_order_relaxed);
+}
+
+void SetPlanCacheEnabled(bool enabled) {
+  g_plan_cache_enabled.store(enabled, std::memory_order_relaxed);
+}
+
 // ----- compiler -------------------------------------------------------------
 
 namespace {
 
 class Compiler {
  public:
+  /// `params` maps parameter literal nodes to their slot; non-null enables
+  /// parameterized mode (program templates for the plan cache).
+  explicit Compiler(const std::unordered_map<const Expr*, int>* params)
+      : params_(params) {}
+
   void Emit(const Expr& e) {
     // Constant folding: literal-only subtrees evaluate once at compile
-    // time (division by zero folds to NULL like the interpreter).
-    if (e.kind != ExprKind::kLiteral && SafeToFold(e)) {
+    // time (division by zero folds to NULL like the interpreter). In
+    // parameterized mode folding is suppressed wholesale: a foldable
+    // subtree is literal-only, so folding would bake parameter values
+    // into the program where Rebind could no longer reach them.
+    if (params_ == nullptr && e.kind != ExprKind::kLiteral && SafeToFold(e)) {
       Row empty;
       PushConst(Evaluate(e, empty));
       return;
     }
     switch (e.kind) {
-      case ExprKind::kLiteral:
-        PushConst(e.literal);
+      case ExprKind::kLiteral: {
+        const int slot = ParamSlotOf(e);
+        if (slot >= 0) {
+          PushParamConst(e.literal, slot);
+        } else {
+          PushConst(e.literal);
+        }
         return;
+      }
       case ExprKind::kColumnRef: {
         ICEBERG_DCHECK(e.resolved_index >= 0);
         ExprInstr in;
@@ -376,8 +410,16 @@ class Compiler {
     }
   }
 
+  /// Parameter slot of a literal node, -1 when it is not a parameter.
+  int ParamSlotOf(const Expr& e) const {
+    if (params_ == nullptr || e.kind != ExprKind::kLiteral) return -1;
+    auto it = params_->find(&e);
+    return it == params_->end() ? -1 : it->second;
+  }
+
   std::vector<ExprInstr> code;
   std::vector<Value> consts;
+  std::vector<std::pair<int32_t, int32_t>> const_slots;  // pool idx → slot
   size_t max_depth = 0;
   size_t fused = 0;
 
@@ -391,8 +433,11 @@ class Compiler {
   }
 
   void PushConst(Value v) {
-    // Pool dedup keeps programs with repeated literals small.
+    // Pool dedup keeps programs with repeated literals small. Parameter
+    // pool entries are excluded: patching one must never alias another
+    // use of the same value.
     for (size_t i = 0; i < consts.size(); ++i) {
+      if (i < is_param_const_.size() && is_param_const_[i]) continue;
       if (consts[i].type() == v.type() &&
           (consts[i].is_null() || consts[i].Compare(v) == 0)) {
         ExprInstr in;
@@ -403,9 +448,23 @@ class Compiler {
       }
     }
     consts.push_back(std::move(v));
+    is_param_const_.push_back(0);
     ExprInstr in;
     in.op = ExprOp::kPushConst;
     in.a = static_cast<int32_t>(consts.size() - 1);
+    Push(in, +1);
+  }
+
+  /// A parameter literal always gets a private pool entry plus a bind-site
+  /// record so Rebind can patch it in place.
+  void PushParamConst(const Value& v, int slot) {
+    consts.push_back(v);
+    is_param_const_.push_back(1);
+    const int32_t pool = static_cast<int32_t>(consts.size() - 1);
+    const_slots.emplace_back(pool, slot);
+    ExprInstr in;
+    in.op = ExprOp::kPushConst;
+    in.a = pool;
     Push(in, +1);
   }
 
@@ -441,6 +500,7 @@ class Compiler {
         in.cmask = MaskOf(e.bop);
         in.a = l.resolved_index;
         in.imm = r.literal.AsInt();
+        in.imm_slot = ParamSlotOf(r);
         Push(in, +1);
         ++fused;
         return;
@@ -453,6 +513,7 @@ class Compiler {
         in.cmask = MaskOf(in.bop);
         in.a = r.resolved_index;
         in.imm = l.literal.AsInt();
+        in.imm_slot = ParamSlotOf(l);
         Push(in, +1);
         ++fused;
         return;
@@ -500,6 +561,8 @@ class Compiler {
     Push(in, -1);
   }
 
+  const std::unordered_map<const Expr*, int>* params_ = nullptr;
+  std::vector<char> is_param_const_;
   int depth_ = 0;
 };
 
@@ -596,13 +659,15 @@ void PeepholeOptimize(std::vector<ExprInstr>* code) {
 
 }  // namespace
 
-CompiledExpr CompiledExpr::Compile(const Expr& e) {
-  Compiler c;
+CompiledExpr CompiledExpr::BuildProgram(
+    const Expr& e, const std::unordered_map<const Expr*, int>* params) {
+  Compiler c(params);
   c.Emit(e);
   PeepholeOptimize(&c.code);
   CompiledExpr prog;
   prog.code_ = std::move(c.code);
   prog.consts_ = std::move(c.consts);
+  prog.const_slots_ = std::move(c.const_slots);
   prog.max_stack_ = c.max_depth;
   prog.fused_ops_ = c.fused;
   prog.const_cvals_.reserve(prog.consts_.size());
@@ -653,6 +718,10 @@ CompiledExpr CompiledExpr::Compile(const Expr& e) {
     }
     zc.a = col->resolved_index;
     zc.cmask = MaskOf(bop);
+    if (params != nullptr) {
+      auto it = params->find(lit);
+      if (it != params->end()) zc.imm_slot = it->second;
+    }
     if (lit->literal.is_int()) {
       zc.imm_i = lit->literal.AsInt();
       zc.imm_d = static_cast<double>(zc.imm_i);
@@ -664,6 +733,220 @@ CompiledExpr CompiledExpr::Compile(const Expr& e) {
     prog.zone_checks_.push_back(zc);
   };
   collect(e);
+  return prog;
+}
+
+// ----- program template cache -----------------------------------------------
+
+namespace {
+
+/// Process-wide MRU-bounded cache of parameterized program templates keyed
+/// by ParamShapeSignature. Templates are immutable once published (held by
+/// shared_ptr<const>; per-entry recency stamps are atomics bumped under the
+/// shared lock), so lookups run concurrently and Rebind never touches
+/// shared state. The key is a pure function of the bound expression's
+/// structure — no catalog state — so entries never need invalidation.
+class TemplateCache {
+ public:
+  static constexpr size_t kMaxEntries = 256;
+
+  std::shared_ptr<const CompiledExpr> Lookup(const std::string& sig) {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = map_.find(sig);
+    if (it == map_.end()) return nullptr;
+    it->second->stamp.store(NextStamp(), std::memory_order_relaxed);
+    return it->second->tmpl;
+  }
+
+  void Insert(const std::string& sig,
+              std::shared_ptr<const CompiledExpr> tmpl) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (map_.count(sig) > 0) return;  // lost a race; keep the incumbent
+    if (map_.size() >= kMaxEntries) {
+      auto victim = map_.begin();
+      uint64_t oldest = UINT64_MAX;
+      for (auto it = map_.begin(); it != map_.end(); ++it) {
+        const uint64_t s = it->second->stamp.load(std::memory_order_relaxed);
+        if (s < oldest) {
+          oldest = s;
+          victim = it;
+        }
+      }
+      map_.erase(victim);
+      ICEBERG_COUNTER("plan_cache.program_evictions")->Increment();
+    }
+    auto entry = std::make_shared<Entry>();
+    entry->tmpl = std::move(tmpl);
+    entry->stamp.store(NextStamp(), std::memory_order_relaxed);
+    map_.emplace(sig, std::move(entry));
+  }
+
+  void Clear() {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    map_.clear();
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CompiledExpr> tmpl;
+    std::atomic<uint64_t> stamp{0};
+  };
+
+  uint64_t NextStamp() {
+    return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  std::shared_mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> map_;
+  std::atomic<uint64_t> clock_{0};
+};
+
+TemplateCache& GlobalTemplateCache() {
+  static TemplateCache* cache = new TemplateCache;  // leaked: process-wide
+  return *cache;
+}
+
+}  // namespace
+
+void ClearProgramTemplateCache() { GlobalTemplateCache().Clear(); }
+
+CompiledExpr CompiledExpr::CompileTemplate(
+    const Expr& e, const std::vector<const Expr*>& literals,
+    const std::vector<const Expr*>& aggregates) {
+  std::unordered_map<const Expr*, int> params;
+  params.reserve(literals.size());
+  for (size_t i = 0; i < literals.size(); ++i) {
+    params.emplace(literals[i], static_cast<int>(i));
+  }
+  CompiledExpr prog = BuildProgram(e, &params);
+  prog.param_count_ = literals.size();
+  prog.agg_count_ = aggregates.size();
+  // Aggregate slot table, built against the *final* instruction stream so
+  // it is immune to any emission or peephole reordering: the k-th
+  // aggregate-bearing instruction (in code order) reads parameter slot
+  // agg_slots_[k].
+  std::unordered_map<const Expr*, int> agg_of;
+  agg_of.reserve(aggregates.size());
+  for (size_t i = 0; i < aggregates.size(); ++i) {
+    agg_of.emplace(aggregates[i], static_cast<int>(i));
+  }
+  for (const ExprInstr& in : prog.code_) {
+    if (in.agg == nullptr) continue;
+    auto it = agg_of.find(in.agg);
+    ICEBERG_CHECK(it != agg_of.end());
+    prog.agg_slots_.push_back(it->second);
+  }
+  return prog;
+}
+
+CompiledExpr CompiledExpr::Rebind(
+    const std::vector<const Expr*>& literals,
+    const std::vector<const Expr*>& aggregates) const {
+  if (literals.size() != param_count_ || aggregates.size() != agg_count_) {
+    return CompiledExpr();  // invalid; caller falls back to a fresh compile
+  }
+  CompiledExpr out;
+  out.code_ = code_;
+  out.consts_ = consts_;
+  out.max_stack_ = max_stack_;
+  out.fused_ops_ = fused_ops_;
+  out.batchable_ = batchable_;
+  out.const_slots_ = const_slots_;
+  out.agg_slots_ = agg_slots_;
+  out.param_count_ = param_count_;
+  out.agg_count_ = agg_count_;
+  for (const auto& [pool, slot] : const_slots_) {
+    out.consts_[static_cast<size_t>(pool)] =
+        literals[static_cast<size_t>(slot)]->literal;
+  }
+  // const_cvals_ must borrow from *this program's* pool, never the
+  // template's (the template may be evicted while this program runs).
+  out.const_cvals_.reserve(out.consts_.size());
+  for (const Value& v : out.consts_) out.const_cvals_.push_back(FromValue(v));
+  size_t agg_k = 0;
+  for (ExprInstr& in : out.code_) {
+    if (in.agg != nullptr) {
+      if (agg_k >= agg_slots_.size()) return CompiledExpr();
+      in.agg = aggregates[static_cast<size_t>(agg_slots_[agg_k++])];
+    }
+    if (in.imm_slot >= 0) {
+      const Value& v = literals[static_cast<size_t>(in.imm_slot)]->literal;
+      if (!v.is_int()) return CompiledExpr();  // signature mismatch
+      in.imm = v.AsInt();
+    }
+  }
+  std::vector<ZoneCheck> checks;
+  checks.reserve(zone_checks_.size());
+  for (ZoneCheck zc : zone_checks_) {
+    if (zc.imm_slot >= 0) {
+      const Value& v = literals[static_cast<size_t>(zc.imm_slot)]->literal;
+      if (v.is_int()) {
+        zc.imm_is_double = false;
+        zc.imm_i = v.AsInt();
+        zc.imm_d = static_cast<double>(zc.imm_i);
+      } else if (v.is_double()) {
+        zc.imm_is_double = true;
+        zc.imm_d = v.AsDouble();
+      } else {
+        return CompiledExpr();  // signature mismatch
+      }
+      if (std::isnan(zc.imm_d)) continue;  // NaN must never refute
+    }
+    checks.push_back(zc);
+  }
+  out.zone_checks_ = std::move(checks);
+  return out;
+}
+
+namespace {
+
+/// True when the expression reads any row or group input (a column ref or
+/// an aggregate) — i.e. it is not a pure constant.
+bool ReferencesData(const Expr& e) {
+  if (e.kind == ExprKind::kColumnRef || e.kind == ExprKind::kAggregate) {
+    return true;
+  }
+  for (const ExprPtr& c : e.children) {
+    if (c != nullptr && ReferencesData(*c)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CompiledExpr CompiledExpr::Compile(const Expr& e) {
+  if (!PlanCacheEnabled()) return BuildProgram(e, nullptr);
+  std::vector<const Expr*> literals;
+  std::vector<const Expr*> aggregates;
+  CollectParamNodes(e, &literals, &aggregates);
+  // Nothing to re-bind: template and program would coincide, so the cache
+  // buys nothing over a plain compile.
+  if (literals.empty()) return BuildProgram(e, nullptr);
+  // A pure-constant expression (no column or aggregate input) folds to a
+  // single push; parameterizing it would trade that for an interpreted
+  // arithmetic chain. Let folding have it.
+  if (!ReferencesData(e)) return BuildProgram(e, nullptr);
+  const std::string sig = ParamShapeSignature(e);
+  std::shared_ptr<const CompiledExpr> tmpl = GlobalTemplateCache().Lookup(sig);
+  if (tmpl != nullptr) {
+    CompiledExpr prog = tmpl->Rebind(literals, aggregates);
+    if (prog.valid()) {
+      ICEBERG_COUNTER("plan_cache.program_hits")->Increment();
+      ICEBERG_COUNTER("plan_cache.rebinds")->Increment();
+      return prog;
+    }
+    // Structural mismatch despite an equal signature cannot happen, but
+    // fall back to a fresh compile rather than trust a wrong template.
+  }
+  ICEBERG_COUNTER("plan_cache.program_misses")->Increment();
+  auto built =
+      std::make_shared<CompiledExpr>(CompileTemplate(e, literals, aggregates));
+  // The hit and miss paths must produce the *same* program (template shape,
+  // not the folded plain shape), so even the first execution of a shape
+  // returns the rebound instantiation.
+  CompiledExpr prog = built->Rebind(literals, aggregates);
+  ICEBERG_DCHECK(prog.valid());
+  GlobalTemplateCache().Insert(sig, std::move(built));
   return prog;
 }
 

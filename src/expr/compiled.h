@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/value.h"
@@ -20,6 +22,21 @@ namespace iceberg {
 /// for subsequently planned queries only.
 bool CompiledExprEnabled();
 void SetCompiledExprEnabled(bool enabled);
+
+/// Process-wide switch for the shape-keyed plan & program cache (PR 7).
+/// Seeded from the ICEBERG_PLAN_CACHE environment variable ("0" disables),
+/// mirroring ICEBERG_VECTORIZE. Checked at compile/plan time: when on,
+/// Compile() consults a bounded process-wide cache of parameterized
+/// program templates keyed by ParamShapeSignature and re-binds literal
+/// values into a cached template instead of recompiling, and the serving
+/// layer consults its PlanCache of optimizer decisions. Flips take effect
+/// for subsequently planned statements only.
+bool PlanCacheEnabled();
+void SetPlanCacheEnabled(bool enabled);
+
+/// Drops every cached program template (tests/benchmarks; e.g. to measure
+/// cold-compile cost or to isolate counter deltas).
+void ClearProgramTemplateCache();
 
 /// Opcode of the flat postfix ISA. Programs operate on a stack of CVal
 /// slots (tagged scalars; strings are borrowed pointers, so no opcode ever
@@ -67,6 +84,11 @@ struct ExprInstr {
   int32_t a = 0;
   int32_t b = 0;
   int64_t imm = 0;
+  // Parameter slot the fused immediate `imm` was taken from (-1 = not a
+  // parameter). Set only on program templates compiled in parameterized
+  // mode; Rebind patches `imm` from the slot. Lives in the instruction so
+  // it survives PeepholeOptimize's wholesale instruction copies.
+  int32_t imm_slot = -1;
   const Expr* agg = nullptr;
 };
 
@@ -176,10 +198,36 @@ class CompiledExpr {
     bool imm_is_double = false;
     int64_t imm_i = 0;
     double imm_d = 0.0;
+    int32_t imm_slot = -1;  // parameter slot of the literal (templates only)
   };
 
   const CVal* Execute(const Row& row, EvalScratch* scratch,
                       const AggValueMap* agg_values) const;
+
+  /// Shared compile pipeline. `params` maps parameter literal nodes to
+  /// their slot (nullptr = plain mode with constant folding).
+  static CompiledExpr BuildProgram(
+      const Expr& e, const std::unordered_map<const Expr*, int>* params);
+
+  /// Compiles `e` as a parameterized template: constant folding across
+  /// parameter literals is suppressed (each records a bind site instead),
+  /// parameter constants get private pool entries, and fused immediates /
+  /// zone checks remember their parameter slot. `literals`/`aggregates`
+  /// are the canonical CollectParamNodes enumeration of `e`.
+  static CompiledExpr CompileTemplate(
+      const Expr& e, const std::vector<const Expr*>& literals,
+      const std::vector<const Expr*>& aggregates);
+
+  /// Instantiates this template against a structurally identical
+  /// expression's parameter nodes (same ParamShapeSignature): copies the
+  /// program, patches parameter constants / fused immediates / zone checks
+  /// with the new literal values, and re-points aggregate references at
+  /// the new tree's aggregate nodes. Returns an invalid program when the
+  /// slot counts do not match (caller falls back to a fresh compile). A
+  /// zone check whose re-bound double is NaN is dropped (NaN never
+  /// refutes).
+  CompiledExpr Rebind(const std::vector<const Expr*>& literals,
+                      const std::vector<const Expr*>& aggregates) const;
 
   std::vector<ExprInstr> code_;
   std::vector<Value> consts_;
@@ -188,6 +236,14 @@ class CompiledExpr {
   size_t max_stack_ = 0;
   size_t fused_ops_ = 0;
   bool batchable_ = false;
+  // Template metadata (parameterized mode only; empty otherwise):
+  // (constant-pool index, parameter slot) bind sites, the parameter slot of
+  // each aggregate-bearing instruction in code order, and the slot counts
+  // Rebind validates against.
+  std::vector<std::pair<int32_t, int32_t>> const_slots_;
+  std::vector<int32_t> agg_slots_;
+  size_t param_count_ = 0;
+  size_t agg_count_ = 0;
 };
 
 /// Compiles every expression of `exprs`; returns an empty vector when the

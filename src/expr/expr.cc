@@ -269,6 +269,56 @@ std::string ExprSignature(const Expr& e) {
   return out;
 }
 
+std::string ParamShapeSignature(const Expr& e) {
+  std::string out;
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      if (e.literal.is_null()) {
+        out = "LN";
+      } else if (e.literal.is_int()) {
+        out = "?i";
+      } else if (e.literal.is_double()) {
+        out = "?d";
+      } else {
+        out = "?s";
+      }
+      break;
+    case ExprKind::kColumnRef:
+      out = "C" + std::to_string(e.resolved_index);
+      break;
+    case ExprKind::kBinary:
+      out = std::string("B") + BinaryOpName(e.bop);
+      break;
+    case ExprKind::kUnary:
+      out = e.uop == UnaryOp::kNot ? "!" : "-";
+      break;
+    case ExprKind::kAggregate:
+      // Aggregate arguments are value-exact (see header).
+      return ExprSignature(e);
+  }
+  for (const ExprPtr& c : e.children) {
+    out += "(" + ParamShapeSignature(*c) + ")";
+  }
+  return out;
+}
+
+void CollectParamNodes(const Expr& e, std::vector<const Expr*>* literals,
+                       std::vector<const Expr*>* aggregates) {
+  if (e.kind == ExprKind::kAggregate) {
+    // Stop here: literals inside aggregate arguments are not parameters
+    // (ParamShapeSignature keeps them verbatim).
+    if (aggregates != nullptr) aggregates->push_back(&e);
+    return;
+  }
+  if (e.kind == ExprKind::kLiteral) {
+    if (!e.literal.is_null() && literals != nullptr) literals->push_back(&e);
+    return;
+  }
+  for (const ExprPtr& c : e.children) {
+    if (c != nullptr) CollectParamNodes(*c, literals, aggregates);
+  }
+}
+
 bool ContainsAggregate(const ExprPtr& e) {
   if (e == nullptr) return false;
   if (e->kind == ExprKind::kAggregate) return true;

@@ -132,6 +132,23 @@ bool ContainsAggregate(const ExprPtr& e);
 /// expressions with equal signatures evaluate identically on every row.
 std::string ExprSignature(const Expr& e);
 
+/// Literal-abstracted structural signature for the plan/program cache:
+/// like ExprSignature, but non-NULL literals become type tags (?i ?d ?s)
+/// so two bound expressions differing only in literal values share one
+/// signature. Inside aggregate arguments literals stay verbatim (aggregate
+/// values arrive pre-computed through the AggValueMap, so they are never
+/// re-bound; keeping them exact keeps SUM(x+5) and SUM(x+7) distinct).
+std::string ParamShapeSignature(const Expr& e);
+
+/// Collects the parameterizable literal nodes (non-NULL literals outside
+/// aggregate arguments) and the aggregate nodes of `e`, in canonical
+/// pre-order. This order defines parameter-slot identity: two expressions
+/// with equal ParamShapeSignature enumerate corresponding slots in the
+/// same sequence, which is what makes literal re-binding of a cached
+/// program template sound. Either output vector may be null.
+void CollectParamNodes(const Expr& e, std::vector<const Expr*>* literals,
+                       std::vector<const Expr*>* aggregates);
+
 }  // namespace iceberg
 
 #endif  // SMARTICEBERG_EXPR_EXPR_H_

@@ -99,7 +99,10 @@ Result<std::unique_ptr<NljpOperator>> NljpOperator::Create(
   op->view_ = std::move(view);
   op->block_ = op->view_.block;
   op->options_ = options;
-  op->monotonicity_ = op->view_.HavingMonotonicity();
+  const NljpPlanArtifacts* replay = options.replay_artifacts;
+  op->monotonicity_ = (replay != nullptr && replay->monotonicity_valid)
+                          ? replay->monotonicity
+                          : op->view_.HavingMonotonicity();
   op->group_determines_left_ = op->view_.GroupDeterminesLeft();
 
   // Collect aggregates (HAVING first, then select items) and verify their
@@ -229,8 +232,23 @@ Result<std::unique_ptr<NljpOperator>> NljpOperator::Create(
   }
 
   // ---- Pruning applicability (Theorem 3) ----
-  op->prune_enabled_ = options.enable_prune;
-  if (op->prune_enabled_) {
+  // Plan-cache replay: when the capture side recorded a full pruning
+  // decision (gating outcome + derived p>=), inject it and skip both the
+  // gating scan and the Fourier–Motzkin derivation below.
+  const bool prune_injected =
+      replay != nullptr && replay->have_prune_decision &&
+      (!replay->prune_enabled || replay->subsumption.has_value());
+  if (prune_injected) {
+    op->prune_enabled_ = options.enable_prune && replay->prune_enabled;
+    op->prune_disabled_reason_ = replay->prune_disabled_reason;
+    if (op->prune_enabled_) {
+      op->subsumption_ = replay->subsumption;
+      op->prune_eq_positions_ = op->subsumption_->EqualityPositions();
+    }
+  } else {
+    op->prune_enabled_ = options.enable_prune;
+  }
+  if (!prune_injected && op->prune_enabled_) {
     if (op->monotonicity_ == Monotonicity::kMonotone) {
       if (!op->group_determines_left_) {
         op->prune_enabled_ = false;
@@ -251,7 +269,7 @@ Result<std::unique_ptr<NljpOperator>> NljpOperator::Create(
                                    "anti-monotone";
     }
   }
-  if (op->prune_enabled_) {
+  if (!prune_injected && op->prune_enabled_) {
     fme::SubsumptionSpec spec;
     spec.theta = op->view_.theta;
     spec.binding_offsets = op->view_.jl_offsets;

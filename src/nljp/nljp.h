@@ -29,6 +29,24 @@ enum class BindingOrder {
   kSortedDesc,
 };
 
+/// Derivation results of a prior NljpOperator::Create for the same query
+/// shape, injected on plan-cache replay so Create can skip the monotonicity
+/// scan and the Fourier–Motzkin subsumption derivation. The capture side
+/// (IcebergOptimizer) only marks a field valid when its inputs were
+/// literal-value-independent and catalog-pinned (see PlanTrace); invalid
+/// fields are simply re-derived, so injection is a pure optimization.
+struct NljpPlanArtifacts {
+  bool monotonicity_valid = false;
+  Monotonicity monotonicity = Monotonicity::kNeither;
+  /// When true the whole pruning decision is injected: the Theorem-3
+  /// gating outcome plus the derived p>= (absent when pruning was
+  /// disabled, with the reason preserved).
+  bool have_prune_decision = false;
+  bool prune_enabled = false;
+  std::string prune_disabled_reason;
+  std::optional<fme::SubsumptionTest> subsumption;
+};
+
 struct NljpOptions {
   bool enable_memo = true;
   bool enable_prune = true;
@@ -73,6 +91,9 @@ struct NljpOptions {
   /// query's governor).
   NljpCacheRegistry* cache_registry = nullptr;
   uint64_t cache_key = 0;
+  /// Plan-cache replay: inject previously derived artifacts instead of
+  /// re-deriving them (borrowed; must outlive Create). Null = derive.
+  const NljpPlanArtifacts* replay_artifacts = nullptr;
 };
 
 struct NljpStats {

@@ -29,7 +29,57 @@ class PhaseTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
+uint64_t GuardFnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// True when the expression holds a non-NULL literal outside of any
+/// aggregate subtree — i.e. a value that shape normalization would have
+/// parameterized, so it varies across statements of the same shape.
+bool HasParamLiteral(const Expr& e) {
+  std::vector<const Expr*> literals;
+  std::vector<const Expr*> aggregates;
+  CollectParamNodes(e, &literals, &aggregates);
+  return !literals.empty();
+}
+
 }  // namespace
+
+uint64_t BlockShapeGuard(const QueryBlock& block) {
+  std::string desc;
+  desc.reserve(256);
+  for (const BoundTableRef& t : block.tables) {
+    desc += "T";
+    desc += t.alias;
+    desc += ":";
+    if (t.table != nullptr) desc += t.table->name();
+    desc += ";";
+  }
+  for (const ExprPtr& e : block.where_conjuncts) {
+    desc += "W" + ParamShapeSignature(*e) + ";";
+  }
+  for (const ExprPtr& e : block.group_by) {
+    desc += "G" + ParamShapeSignature(*e) + ";";
+  }
+  if (block.having != nullptr) {
+    desc += "H" + ParamShapeSignature(*block.having) + ";";
+  }
+  for (const BoundSelectItem& s : block.select) {
+    desc += "S" + s.alias + "=" + ParamShapeSignature(*s.expr) + ";";
+  }
+  if (block.distinct) desc += "D;";
+  for (const QueryBlock::OrderSpec& o : block.order_by) {
+    desc += "O" + std::to_string(o.output_column) + (o.ascending ? "a" : "d") +
+            ";";
+  }
+  desc += "L" + std::to_string(block.limit);
+  return GuardFnv1a(desc);
+}
 
 std::string IcebergReport::ToString() const {
   std::string out;
@@ -133,7 +183,9 @@ Result<QueryBlock> IcebergOptimizer::ApplyReducers(
 }
 
 Result<std::unique_ptr<NljpOperator>> IcebergOptimizer::PickMemprune(
-    const QueryBlock& block, IcebergReport* report) {
+    const QueryBlock& block, IcebergReport* report,
+    const NljpPlanArtifacts* replay_artifacts,
+    bool capture_artifacts_injectable) {
   NljpOptions nljp_options;
   nljp_options.enable_memo = options_.enable_memo;
   nljp_options.enable_prune = options_.enable_prune;
@@ -145,6 +197,7 @@ Result<std::unique_ptr<NljpOperator>> IcebergOptimizer::PickMemprune(
   nljp_options.num_threads = options_.base_exec.num_threads;
   nljp_options.cache_registry = options_.cache_registry;
   nljp_options.cache_key = options_.cache_key;
+  nljp_options.replay_artifacts = replay_artifacts;
 
   std::string failures;
   for (const TablePartition& partition : CandidatePartitions(block)) {
@@ -152,6 +205,18 @@ Result<std::unique_ptr<NljpOperator>> IcebergOptimizer::PickMemprune(
     // attributes first — the paper's preferred starting point.
     Result<IcebergView> view = AnalyzeIceberg(block, partition);
     if (!view.ok()) continue;
+    // The pruning decision embeds θ's literal values in the derived p>=
+    // predicate, so it transfers across literal re-bindings only when θ
+    // carries none. Checked before `view` is consumed by Create.
+    bool theta_literal_free = true;
+    if (options_.capture != nullptr && capture_artifacts_injectable) {
+      for (const ExprPtr& t : view->theta) {
+        if (HasParamLiteral(*t)) {
+          theta_literal_free = false;
+          break;
+        }
+      }
+    }
     Result<std::unique_ptr<NljpOperator>> op =
         NljpOperator::Create(std::move(*view), nljp_options);
     if (op.ok()) {
@@ -164,6 +229,28 @@ Result<std::unique_ptr<NljpOperator>> IcebergOptimizer::PickMemprune(
       }
       if (report != nullptr) {
         report->steps.push_back("NLJP on " + partition.ToString(block));
+      }
+      if (options_.capture != nullptr) {
+        PlanTrace* cap = options_.capture;
+        cap->used_nljp = true;
+        cap->nljp_partition = partition;
+        if (capture_artifacts_injectable) {
+          NljpPlanArtifacts& art = cap->nljp_artifacts;
+          // Monotonicity classification reads predicate structure, the
+          // comparison direction and base-table data (pinned by the
+          // catalog hash in the cache key) — never the threshold literal —
+          // so it is injectable whenever no reducer rewrote the tables.
+          art.monotonicity_valid = true;
+          art.monotonicity = (*op)->monotonicity();
+          if (theta_literal_free) {
+            art.have_prune_decision = true;
+            art.prune_enabled = (*op)->prune_enabled();
+            art.prune_disabled_reason = (*op)->prune_disabled_reason();
+            if ((*op)->prune_enabled()) {
+              art.subsumption = (*op)->subsumption();
+            }
+          }
+        }
       }
       return op;
     }
@@ -182,6 +269,36 @@ Result<TablePtr> IcebergOptimizer::Run(const QueryBlock& block,
   ICEBERG_COUNTER("optimizer.queries")->Increment();
   QueryGovernor* governor = options_.governor.get();
   if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
+  if (options_.replay != nullptr && options_.replay->captured) {
+    // Replay into a scratch report so a non-transferring trace leaves no
+    // half-recorded steps or timings behind.
+    IcebergReport replay_report;
+    Result<TablePtr> replayed =
+        RunReplay(block, *options_.replay, &replay_report);
+    if (replayed.ok() ||
+        replayed.status().code() != StatusCode::kNotSupported) {
+      // Success, or the query's real outcome (governor trips stay
+      // retryable) — either way the replayed plan stands.
+      replay_report.plan_provenance = "hit";
+      *report = std::move(replay_report);
+      return replayed;
+    }
+    ICEBERG_COUNTER("plan_cache.replay_fallbacks")->Increment();
+    ICEBERG_LOG(INFO) << "plan trace did not transfer, re-optimizing: "
+                      << replayed.status().message();
+    report->plan_provenance = "hit-fallback";
+    report->steps.push_back("plan trace did not transfer (" +
+                            replayed.status().message() + ")");
+  } else if (options_.capture != nullptr) {
+    report->plan_provenance = "miss";
+  }
+  return RunFull(block, report);
+}
+
+Result<TablePtr> IcebergOptimizer::RunFull(const QueryBlock& block,
+                                           IcebergReport* report) {
+  PlanTrace* cap = options_.capture;
+  if (cap != nullptr) cap->block_guard = BlockShapeGuard(block);
   QueryBlock inferred = block;
   {
     TraceSpan span("optimize.infer_fds", "optimize");
@@ -191,6 +308,13 @@ Result<TablePtr> IcebergOptimizer::Run(const QueryBlock& block,
       ICEBERG_COUNTER("optimizer.fd_equalities")->Add(derived);
       report->steps.push_back("inferred " + std::to_string(derived) +
                               " equality predicate(s) from FDs");
+      if (cap != nullptr) {
+        for (size_t i = block.where_conjuncts.size();
+             i < inferred.where_conjuncts.size(); ++i) {
+          cap->derived_equalities.push_back(
+              CloneExpr(inferred.where_conjuncts[i]));
+        }
+      }
     }
   }
   std::vector<AprioriOpportunity> reducers;
@@ -198,6 +322,11 @@ Result<TablePtr> IcebergOptimizer::Run(const QueryBlock& block,
     TraceSpan span("optimize.apriori_pick", "optimize");
     PhaseTimer timer(&report->timing.apriori_pick_us);
     reducers = PickApriori(inferred, report);
+  }
+  if (cap != nullptr) {
+    for (const AprioriOpportunity& opp : reducers) {
+      cap->apriori_partitions.push_back(opp.partition);
+    }
   }
   QueryBlock rewritten = inferred;
   if (!reducers.empty()) {
@@ -211,9 +340,11 @@ Result<TablePtr> IcebergOptimizer::Run(const QueryBlock& block,
     Result<std::unique_ptr<NljpOperator>> op = [&] {
       TraceSpan span("optimize.pick_memprune", "optimize");
       PhaseTimer timer(&report->timing.pick_nljp_us);
-      return PickMemprune(rewritten, report);
+      return PickMemprune(rewritten, report, /*replay_artifacts=*/nullptr,
+                          /*capture_artifacts_injectable=*/reducers.empty());
     }();
     if (op.ok()) {
+      if (cap != nullptr) cap->captured = true;
       ICEBERG_COUNTER("optimizer.nljp_chosen")->Increment();
       report->used_nljp = true;
       report->nljp_explain = (*op)->Explain();
@@ -238,6 +369,150 @@ Result<TablePtr> IcebergOptimizer::Run(const QueryBlock& block,
                             op.status().message() + ")");
     report->degradations.push_back("fallback to baseline plan: " +
                                    op.status().message());
+  }
+  if (cap != nullptr) {
+    // The no-NLJP decision is replayable only when no reducer rewrote the
+    // tables: NLJP applicability reads the reduced tables' FDs, which vary
+    // with literal values. (With the techniques disabled outright the
+    // decision is trivially stable.)
+    cap->captured =
+        reducers.empty() || !(options_.enable_memo || options_.enable_prune);
+  }
+  ExecOptions fallback_exec = options_.base_exec;
+  fallback_exec.governor = options_.governor;
+  Executor executor(fallback_exec);
+  PhaseTimer timer(&report->timing.execute_us);
+  return executor.Execute(rewritten, &report->exec_stats);
+}
+
+Result<TablePtr> IcebergOptimizer::RunReplay(const QueryBlock& block,
+                                             const PlanTrace& trace,
+                                             IcebergReport* report) {
+  if (BlockShapeGuard(block) != trace.block_guard) {
+    return Status::NotSupported("block shape guard mismatch");
+  }
+  QueryBlock inferred = block;
+  {
+    TraceSpan span("optimize.infer_fds", "optimize");
+    PhaseTimer timer(&report->timing.infer_us);
+    if (!trace.derived_equalities.empty()) {
+      // Clone per replay: the trace's bound trees are shared by every
+      // session holding the cache entry and must not be aliased into a
+      // live plan.
+      for (const ExprPtr& e : trace.derived_equalities) {
+        inferred.where_conjuncts.push_back(CloneExpr(e));
+      }
+      ICEBERG_COUNTER("optimizer.fd_equalities")
+          ->Add(trace.derived_equalities.size());
+      report->steps.push_back(
+          "replayed " + std::to_string(trace.derived_equalities.size()) +
+          " inferred equality predicate(s)");
+    }
+  }
+  // Re-verify each recorded reducer partition (safety depends only on
+  // structure + FDs, but re-checking keeps replay trust-free), skipping
+  // the scored candidate search.
+  std::vector<AprioriOpportunity> reducers;
+  {
+    TraceSpan span("optimize.apriori_pick", "optimize");
+    PhaseTimer timer(&report->timing.apriori_pick_us);
+    for (const TablePartition& partition : trace.apriori_partitions) {
+      Result<IcebergView> view = AnalyzeIceberg(inferred, partition);
+      if (!view.ok()) {
+        return Status::NotSupported("recorded reducer partition " +
+                                    partition.ToString(inferred) +
+                                    " no longer analyzable: " +
+                                    view.status().message());
+      }
+      Result<AprioriOpportunity> opp = CheckApriori(*view);
+      if (!opp.ok()) {
+        return Status::NotSupported("recorded reducer partition " +
+                                    partition.ToString(inferred) +
+                                    " no longer safe: " +
+                                    opp.status().message());
+      }
+      report->steps.push_back("a-priori on " + partition.ToString(inferred) +
+                              ": " + opp->safety_reason + " (replayed)");
+      reducers.push_back(std::move(*opp));
+    }
+  }
+  // Reducer evaluation is literal-dependent and always re-runs.
+  QueryBlock rewritten = inferred;
+  if (!reducers.empty()) {
+    TraceSpan span("optimize.apriori_apply", "optimize");
+    PhaseTimer timer(&report->timing.apriori_apply_us);
+    ICEBERG_COUNTER("optimizer.apriori_applied")->Add(reducers.size());
+    ICEBERG_ASSIGN_OR_RETURN(rewritten,
+                             ApplyReducers(inferred, reducers, report));
+  }
+  if (trace.used_nljp) {
+    if (!options_.enable_memo && !options_.enable_prune) {
+      return Status::NotSupported("trace used NLJP but both techniques are "
+                                  "disabled");
+    }
+    Result<std::unique_ptr<NljpOperator>> op =
+        [&]() -> Result<std::unique_ptr<NljpOperator>> {
+      TraceSpan span("optimize.pick_memprune", "optimize");
+      PhaseTimer timer(&report->timing.pick_nljp_us);
+      Result<IcebergView> view =
+          AnalyzeIceberg(rewritten, trace.nljp_partition);
+      if (!view.ok()) {
+        return Status::NotSupported(
+            "recorded NLJP partition no longer analyzable: " +
+            view.status().message());
+      }
+      NljpOptions nljp_options;
+      nljp_options.enable_memo = options_.enable_memo;
+      nljp_options.enable_prune = options_.enable_prune;
+      nljp_options.cache_index = options_.cache_index;
+      nljp_options.use_indexes = options_.use_indexes;
+      nljp_options.binding_order = options_.binding_order;
+      nljp_options.max_cache_entries = options_.max_cache_entries;
+      nljp_options.governor = options_.governor;
+      nljp_options.num_threads = options_.base_exec.num_threads;
+      nljp_options.cache_registry = options_.cache_registry;
+      nljp_options.cache_key = options_.cache_key;
+      nljp_options.replay_artifacts = &trace.nljp_artifacts;
+      Result<std::unique_ptr<NljpOperator>> created =
+          NljpOperator::Create(std::move(*view), nljp_options);
+      if (!created.ok()) {
+        return Status::NotSupported(
+            "recorded NLJP partition no longer applicable: " +
+            created.status().message());
+      }
+      if (!(*created)->memo_enabled() && !(*created)->prune_enabled()) {
+        return Status::NotSupported(
+            "recorded NLJP partition: neither memoization nor pruning "
+            "applicable");
+      }
+      return created;
+    }();
+    if (!op.ok()) return op.status();
+    report->steps.push_back(
+        "NLJP on " + trace.nljp_partition.ToString(rewritten) + " (replayed)");
+    ICEBERG_COUNTER("optimizer.nljp_chosen")->Increment();
+    report->used_nljp = true;
+    report->nljp_explain = (*op)->Explain();
+    PhaseTimer timer(&report->timing.execute_us);
+    Result<TablePtr> result = (*op)->Execute(&report->nljp_stats);
+    if (options_.enable_prune && !(*op)->prune_enabled()) {
+      report->degradations.push_back("pruning disabled: " +
+                                     (*op)->prune_disabled_reason());
+    }
+    if (report->nljp_stats.cache_shed_entries > 0) {
+      report->degradations.push_back(
+          "shed " + std::to_string(report->nljp_stats.cache_shed_entries) +
+          " cache entries under memory pressure");
+    }
+    return result;
+  }
+  // The captured plan used the baseline executor; replay that decision
+  // without re-running the NLJP partition search.
+  if (options_.enable_memo || options_.enable_prune) {
+    ICEBERG_COUNTER("optimizer.fallbacks")->Increment();
+    report->steps.push_back("fallback to baseline (replayed decision)");
+    report->degradations.push_back(
+        "fallback to baseline plan (replayed decision)");
   }
   ExecOptions fallback_exec = options_.base_exec;
   fallback_exec.governor = options_.governor;

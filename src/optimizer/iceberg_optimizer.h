@@ -12,6 +12,46 @@
 
 namespace iceberg {
 
+/// The optimizer decisions captured for one statement shape, stored in the
+/// serving layer's PlanCache and replayed for later statements with the
+/// same shape over the same catalog version. A trace never stores
+/// literal-dependent *data* (reduced tables, memo entries) — those are
+/// recomputed per statement — only the *decisions* whose search is the
+/// expensive part of planning:
+///
+///  - which table partitions got a-priori reducers (replay re-checks each
+///    recorded partition, skipping the scored candidate search),
+///  - whether NLJP was chosen and on which partition,
+///  - NLJP derivation artifacts (monotonicity class, pruning decision and
+///    derived p>=) when they were literal-value-independent at capture.
+///
+/// Soundness: the cache key pins the catalog version (mutation rotates
+/// the hash, so a stale trace misses), and `block_guard` pins the bound
+/// block's parameter-insensitive structure, catching the rare lexical
+/// shape collision (sign absorption, IN-list collapse). A guard mismatch
+/// replays nothing — the optimizer falls back to a full plan.
+struct PlanTrace {
+  uint64_t block_guard = 0;
+  /// FD-derived equality conjuncts (literal-free, bound to the block's
+  /// flat offsets). Replay appends clones instead of re-running the
+  /// fixpoint inference.
+  std::vector<ExprPtr> derived_equalities;
+  std::vector<TablePartition> apriori_partitions;
+  bool used_nljp = false;
+  TablePartition nljp_partition;
+  NljpPlanArtifacts nljp_artifacts;
+  /// Set once the capture side has fully populated the trace (only
+  /// successful plans are inserted into the cache).
+  bool captured = false;
+};
+
+/// Parameter-insensitive structural hash of a bound block: tables
+/// (aliases, in order), conjunct/group/having/select shapes via
+/// ParamShapeSignature, distinct/order/limit. Two statements with equal
+/// guards make the optimizer walk the same decision tree wherever its
+/// choices do not depend on literal values.
+uint64_t BlockShapeGuard(const QueryBlock& block);
+
 /// Toggles for the three Smart-Iceberg techniques plus physical knobs.
 /// Disabling all three reduces Run() to the baseline executor.
 struct IcebergOptions {
@@ -44,6 +84,15 @@ struct IcebergOptions {
   /// sessions. See NljpOptions::cache_registry.
   NljpCacheRegistry* cache_registry = nullptr;
   uint64_t cache_key = 0;
+
+  /// Plan-cache integration (set by the serving layer; both borrowed and
+  /// must outlive Run). `capture` non-null records the decisions of a full
+  /// optimization into the trace. `replay` non-null short-circuits the
+  /// decision searches with a previously captured trace; when the trace
+  /// does not transfer (guard mismatch, a re-check fails), Run falls back
+  /// to a full optimization of the same statement. At most one is set.
+  PlanTrace* capture = nullptr;
+  const PlanTrace* replay = nullptr;
 
   static IcebergOptions All() { return IcebergOptions{}; }
   static IcebergOptions None() {
@@ -93,6 +142,12 @@ struct IcebergReport {
   /// given up to get there.
   std::vector<std::string> degradations;
 
+  /// Plan-cache provenance of this execution: "" (cache not consulted),
+  /// "bypass" (statement not cacheable: CTEs/subqueries), "miss",
+  /// "hit" (trace replayed), or "hit-fallback" (trace did not transfer;
+  /// full optimization ran). Rendered by EXPLAIN ANALYZE.
+  std::string plan_provenance;
+
   std::string ToString() const;
 };
 
@@ -127,8 +182,29 @@ class IcebergOptimizer {
       IcebergReport* report);
 
   /// Phase 2: try to attach an NLJP operator (memo and/or pruning).
-  Result<std::unique_ptr<NljpOperator>> PickMemprune(const QueryBlock& block,
-                                                     IcebergReport* report);
+  /// `replay_artifacts` (may be null) injects captured NLJP derivations.
+  /// When `options_.capture` is set, a successful pick records the chosen
+  /// partition; `capture_artifacts_injectable` additionally allows the
+  /// derivation artifacts to be recorded (true only when no reducer
+  /// rewrote the tables, since monotonicity/pruning derivations read the
+  /// reduced tables' FDs).
+  Result<std::unique_ptr<NljpOperator>> PickMemprune(
+      const QueryBlock& block, IcebergReport* report,
+      const NljpPlanArtifacts* replay_artifacts = nullptr,
+      bool capture_artifacts_injectable = false);
+
+  /// Replays a captured trace against `block`: verifies the block guard,
+  /// re-checks the recorded reducer partitions, re-applies reducers
+  /// (literal-dependent), and rebuilds the NLJP operator on the recorded
+  /// partition with injected artifacts — skipping every decision search.
+  /// NotSupported means "trace does not transfer; run a full plan";
+  /// any other error is the query's real outcome (governor trips stay
+  /// retryable).
+  Result<TablePtr> RunReplay(const QueryBlock& block, const PlanTrace& trace,
+                             IcebergReport* report);
+
+  /// Full optimization pipeline (capture-aware); body of Run.
+  Result<TablePtr> RunFull(const QueryBlock& block, IcebergReport* report);
 
   IcebergOptions options_;
 };

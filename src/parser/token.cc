@@ -84,15 +84,26 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
     if (c == '\'') {
       ++i;
       std::string text;
-      while (i < n && sql[i] != '\'') {
+      bool terminated = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          // A doubled quote inside a string literal is an escaped quote.
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          terminated = true;
+          ++i;  // closing quote
+          break;
+        }
         text += sql[i];
         ++i;
       }
-      if (i >= n) {
+      if (!terminated) {
         return Status::ParseError("unterminated string literal at offset " +
                                   std::to_string(start));
       }
-      ++i;  // closing quote
       tokens.push_back({TokenKind::kStringLiteral, text, start});
       continue;
     }

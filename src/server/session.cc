@@ -4,6 +4,7 @@
 #include <mutex>
 #include <thread>
 
+#include "src/expr/compiled.h"
 #include "src/obs/metrics.h"
 #include "src/server/chaos.h"
 
@@ -14,7 +15,8 @@ IcebergServer::IcebergServer(Database* db, ServerConfig config)
       config_(config),
       admission_(config.admission),
       cache_registry_(config.cache_registry_max_caches,
-                      config.cache_registry_max_entries) {}
+                      config.cache_registry_max_entries),
+      plan_cache_(config.plan_cache_max_entries) {}
 
 std::unique_ptr<Session> IcebergServer::OpenSession() {
   uint64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
@@ -126,7 +128,30 @@ QueryOutcome Session::Run(const std::string& sql, bool use_iceberg) {
           options.cache_registry = &server_->cache_registry_;
           uint64_t key = shape.fingerprint ^ catalog_hash;
           options.cache_key = key != 0 ? key : 1;
+          // Plan cache: replay the decision trace captured for this shape
+          // over this catalog version, or capture one on this (post-
+          // admission, snapshot-validated) attempt. The key pins shape,
+          // catalog version and planning options; the engine re-verifies
+          // the trace and falls back to a full plan when it does not
+          // transfer.
+          PlanTrace capture_buf;
+          std::shared_ptr<const PlanTrace> replay_trace;
+          PlanCache::Key pkey{shape.shape_hash, catalog_hash,
+                              PlanOptionsFingerprint(config.iceberg)};
+          if (PlanCacheEnabled()) {
+            replay_trace = server_->plan_cache_.Lookup(pkey, shape.shape);
+            if (replay_trace != nullptr) {
+              options.replay = replay_trace.get();
+            } else {
+              options.capture = &capture_buf;
+            }
+          }
           result = server_->db_->QueryIceberg(sql, options, &report);
+          if (result.ok() && capture_buf.captured) {
+            server_->plan_cache_.Insert(
+                pkey, shape.shape,
+                std::make_shared<const PlanTrace>(std::move(capture_buf)));
+          }
           stats = report.exec_stats;
         } else {
           ExecOptions exec = config.iceberg.base_exec;

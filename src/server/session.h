@@ -13,6 +13,7 @@
 #include "src/engine/database.h"
 #include "src/nljp/shared_cache.h"
 #include "src/server/admission.h"
+#include "src/server/plan_cache.h"
 #include "src/server/retry.h"
 #include "src/server/shape.h"
 
@@ -31,6 +32,10 @@ struct ServerConfig {
   /// kept, entry cap per shape).
   size_t cache_registry_max_caches = 8;
   size_t cache_registry_max_entries = 4096;
+  /// Bound on cached plan traces (distinct statement shapes × catalog
+  /// versions × option sets); LRU past it. The cache itself can be turned
+  /// off process-wide with SetPlanCacheEnabled / ICEBERG_PLAN_CACHE=0.
+  size_t plan_cache_max_entries = 64;
   /// Engine options template for iceberg-path statements. Per-attempt
   /// fields (governor, cache key/registry, thread count) are overwritten
   /// by the session; everything else (technique toggles, vectorize,
@@ -103,6 +108,7 @@ class IcebergServer {
   const ServerConfig& config() const { return config_; }
   AdmissionController& admission() { return admission_; }
   NljpCacheRegistry& cache_registry() { return cache_registry_; }
+  PlanCache& plan_cache() { return plan_cache_; }
 
  private:
   friend class Session;
@@ -111,6 +117,7 @@ class IcebergServer {
   ServerConfig config_;
   AdmissionController admission_;
   NljpCacheRegistry cache_registry_;
+  PlanCache plan_cache_;
   /// Catalog-wide reader/writer lock: statements shared, mutations
   /// exclusive.
   std::shared_mutex catalog_mu_;

@@ -15,6 +15,60 @@ uint64_t Fnv1a(const std::string& s) {
   return h;
 }
 
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)); }
+
+/// Scans a numeric literal starting at `i` (first digit or leading dot),
+/// including a decimal part and an exponent (1e-3, 2.5E+7). Returns
+/// one-past-the-end and whether the spelling is a double.
+size_t ScanNumber(const std::string& sql, size_t i, bool* is_double) {
+  const size_t n = sql.size();
+  *is_double = false;
+  while (i < n && (IsDigit(sql[i]) || sql[i] == '.')) {
+    if (sql[i] == '.') *is_double = true;
+    ++i;
+  }
+  if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+    size_t j = i + 1;
+    if (j < n && (sql[j] == '+' || sql[j] == '-')) ++j;
+    if (j < n && IsDigit(sql[j])) {
+      *is_double = true;
+      i = j;
+      while (i < n && IsDigit(sql[i])) ++i;
+    }
+  }
+  return i;
+}
+
+/// Scans a string literal whose opening quote is at `i`, honoring doubled
+/// quotes ('') as escapes. Returns one past the closing quote, or n when
+/// the literal is unterminated (the parser rejects it later; the shape is
+/// still deterministic).
+size_t ScanString(const std::string& sql, size_t i) {
+  const size_t n = sql.size();
+  ++i;  // opening quote
+  while (i < n) {
+    if (sql[i] == '\'') {
+      if (i + 1 < n && sql[i + 1] == '\'') {
+        i += 2;
+        continue;
+      }
+      return i + 1;
+    }
+    ++i;
+  }
+  return n;
+}
+
+/// True when a numeric literal could start at `i`: a digit, or a dot
+/// directly followed by a digit.
+bool StartsNumber(const std::string& sql, size_t i) {
+  if (i >= sql.size()) return false;
+  if (IsDigit(sql[i])) return true;
+  return sql[i] == '.' && i + 1 < sql.size() && IsDigit(sql[i + 1]);
+}
+
 }  // namespace
 
 QueryShape ComputeQueryShape(const std::string& sql) {
@@ -27,61 +81,103 @@ QueryShape ComputeQueryShape(const std::string& sql) {
   size_t i = 0;
   const size_t n = sql.size();
   bool pending_space = false;
-  auto emit = [&](char c, bool literal) {
-    // Collapse runs of whitespace to one space, and trim the ends lazily.
+  // Collapse runs of whitespace to one space, and trim the ends lazily.
+  auto flush_space = [&] {
     if (pending_space && !norm.empty()) {
       norm.push_back(' ');
       shape.push_back(' ');
     }
     pending_space = false;
-    norm.push_back(c);
-    if (!literal) shape.push_back(c);
+  };
+
+  // A '-' absorbs into a following numeric literal only after an operator
+  // or list opener; after an identifier or another literal it is binary
+  // minus. norm's last character is the previous significant character
+  // (pending whitespace is not yet emitted).
+  auto sign_position = [&] {
+    if (norm.empty()) return true;
+    const char p = norm.back();
+    return p == '(' || p == '<' || p == '>' || p == '=' || p == ',' ||
+           p == '+' || p == '-' || p == '*' || p == '/' || p == '%';
+  };
+
+  // Scans one literal at `j` (string, number, or signed number when
+  // `allow_sign`); fills end offset and kind.
+  auto scan_literal = [&](size_t j, bool allow_sign, size_t* end,
+                          ShapeLiteral::Kind* kind) {
+    if (j >= n) return false;
+    if (sql[j] == '\'') {
+      *end = ScanString(sql, j);
+      *kind = ShapeLiteral::kString;
+      return true;
+    }
+    size_t k = j;
+    if (allow_sign && sql[k] == '-' && StartsNumber(sql, k + 1)) ++k;
+    if (!StartsNumber(sql, k)) return false;
+    bool is_double = false;
+    *end = ScanNumber(sql, k, &is_double);
+    *kind = is_double ? ShapeLiteral::kDouble : ShapeLiteral::kInt;
+    return true;
   };
 
   while (i < n) {
-    char c = sql[i];
-    if (c == '\'') {
-      // String literal: copied verbatim into the fingerprint form,
-      // abstracted to '?' in the shape form.
-      size_t start = i++;
-      while (i < n && sql[i] != '\'') ++i;
-      if (i < n) ++i;  // closing quote
-      if (pending_space && !norm.empty()) {
-        norm.push_back(' ');
-        shape.push_back(' ');
-      }
-      pending_space = false;
-      norm.append(sql, start, i - start);
-      shape.push_back('?');
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
+    const char c = sql[i];
+    if (IsSpace(c)) {
       pending_space = true;
       ++i;
       continue;
     }
-    if (std::isdigit(static_cast<unsigned char>(c)) &&
-        (norm.empty() || !(std::isalnum(static_cast<unsigned char>(
-                               norm.back())) ||
-                           norm.back() == '_'))) {
-      // Numeric literal (not an identifier suffix like "t1"): keep the
-      // digits in the fingerprint, abstract to '?' in the shape.
-      size_t start = i;
-      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
-                       sql[i] == '.')) {
-        ++i;
-      }
-      if (pending_space && !norm.empty()) {
-        norm.push_back(' ');
-        shape.push_back(' ');
-      }
-      pending_space = false;
-      norm.append(sql, start, i - start);
+
+    // Numeric literals must not start inside an identifier ("t1"); a
+    // pending space means the digit starts a fresh token ("LIMIT 10").
+    const bool ident_prev =
+        !pending_space && !norm.empty() &&
+        (std::isalnum(static_cast<unsigned char>(norm.back())) ||
+         norm.back() == '_');
+
+    size_t end = 0;
+    ShapeLiteral::Kind kind = ShapeLiteral::kInt;
+    bool is_literal = false;
+    if (c == '\'') {
+      is_literal = scan_literal(i, /*allow_sign=*/false, &end, &kind);
+    } else if (IsDigit(c) && !ident_prev) {
+      is_literal = scan_literal(i, /*allow_sign=*/false, &end, &kind);
+    } else if (c == '-' && sign_position() && StartsNumber(sql, i + 1)) {
+      is_literal = scan_literal(i, /*allow_sign=*/true, &end, &kind);
+    }
+
+    if (is_literal) {
+      flush_space();
+      norm.append(sql, i, end - i);
       shape.push_back('?');
+      out.literals.push_back({kind, sql.substr(i, end - i)});
+      i = end;
+      // IN-list collapse: a comma-separated run of further literals joins
+      // this '?' slot, so IN (1,2,3) and IN (4,5) share a shape. The run
+      // stays value-exact in the normalized (fingerprint) form.
+      for (;;) {
+        size_t j = i;
+        while (j < n && IsSpace(sql[j])) ++j;
+        if (j >= n || sql[j] != ',') break;
+        size_t k = j + 1;
+        while (k < n && IsSpace(sql[k])) ++k;
+        size_t lit_end = 0;
+        ShapeLiteral::Kind lit_kind = ShapeLiteral::kInt;
+        if (!scan_literal(k, /*allow_sign=*/true, &lit_end, &lit_kind)) break;
+        norm.push_back(',');
+        norm.append(sql, k, lit_end - k);
+        out.literals.push_back({lit_kind, sql.substr(k, lit_end - k)});
+        i = lit_end;
+        pending_space = false;
+      }
       continue;
     }
-    emit(static_cast<char>(std::tolower(static_cast<unsigned char>(c))),
-         /*literal=*/false);
+
+    flush_space();
+    const char lc =
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    norm.push_back(lc);
+    shape.push_back(lc);
     ++i;
   }
 

@@ -3,8 +3,19 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace iceberg {
+
+/// One literal extracted during shape normalization, in source order with
+/// its verbatim spelling (string literals keep their quotes). Captured at
+/// fingerprint time so plan-cache consumers can see the parameter vector
+/// of a statement without re-scanning it.
+struct ShapeLiteral {
+  enum Kind { kInt, kDouble, kString };
+  Kind kind = kInt;
+  std::string text;
+};
 
 /// Normalized identity of a SQL statement, in two strengths:
 ///
@@ -13,21 +24,27 @@ namespace iceberg {
 ///    fingerprints compute the same result over the same table versions,
 ///    which is what makes it a sound cross-query cache key (the NLJP memo
 ///    stores concrete inner-query results — they depend on the literals).
-///  - `shape_hash` additionally abstracts numeric and string literals to a
-///    placeholder (mongo's queryShapeHash idea), grouping "the same query
-///    with different constants". Used for observability (per-shape
-///    metrics), never for result caching.
+///  - `shape_hash` additionally abstracts literals to a placeholder
+///    (mongo's queryShapeHash idea), grouping "the same query with
+///    different constants". Keys the plan cache (together with the catalog
+///    version hash) and per-shape observability.
 struct QueryShape {
   uint64_t fingerprint = 0;
   uint64_t shape_hash = 0;
   std::string normalized;  // lower-cased, whitespace-collapsed statement
   std::string shape;       // normalized with literals replaced by '?'
+  std::vector<ShapeLiteral> literals;  // source-order literal vector
 };
 
 /// Computes both normal forms in one pass. Case is lowered and whitespace
-/// collapsed only *outside* single-quoted string literals; quotes escape
-/// nothing in this SQL subset. Purely lexical — no parse is needed, so it
-/// is cheap enough to run on every statement a session submits.
+/// collapsed only *outside* single-quoted string literals. Literal
+/// scanning understands exponent floats (1e-3), a sign absorbed into the
+/// literal when it follows an operator or list opener, doubled-quote
+/// escapes inside strings (''), and collapses a comma-separated run of
+/// literals (an IN list) into a single '?' slot of the shape form — the
+/// run's literals all still appear in `normalized` and `literals`, so the
+/// fingerprint stays value-exact. Purely lexical — no parse is needed, so
+/// it is cheap enough to run on every statement a session submits.
 QueryShape ComputeQueryShape(const std::string& sql);
 
 }  // namespace iceberg

@@ -1,0 +1,527 @@
+// Shape-keyed plan & program cache: shape-hardening differentials,
+// PlanCache unit behavior (verification, LRU, invalidation), session-level
+// hit/miss/replay provenance, byte-identical cached-vs-uncached results
+// across literal re-bindings, thread counts and both execution engines,
+// and a chaos soak with the cache enabled (tsan-labelled binary).
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+#include "src/exec/exec_options.h"
+#include "src/expr/compiled.h"
+#include "src/obs/metrics.h"
+#include "src/optimizer/iceberg_optimizer.h"
+#include "src/server/chaos.h"
+#include "src/server/plan_cache.h"
+#include "src/server/session.h"
+#include "src/server/shape.h"
+
+namespace iceberg {
+namespace {
+
+/// Installs a chaos schedule for one test and clears it on exit.
+struct ChaosGuard {
+  explicit ChaosGuard(ChaosConfig config) {
+    ChaosSchedule::SetGlobal(config);
+  }
+  ~ChaosGuard() { ChaosSchedule::SetGlobal(ChaosConfig{}); }
+};
+
+/// Forces the plan cache on/off for one test and restores the previous
+/// state (plus cold program templates) on exit.
+struct ScopedPlanCache {
+  explicit ScopedPlanCache(bool enabled) : prev(PlanCacheEnabled()) {
+    SetPlanCacheEnabled(enabled);
+    ClearProgramTemplateCache();
+  }
+  ~ScopedPlanCache() {
+    SetPlanCacheEnabled(prev);
+    ClearProgramTemplateCache();
+  }
+  bool prev;
+};
+
+std::string CanonicalRender(const TablePtr& table) {
+  std::vector<Row> rows = table->rows();
+  std::sort(rows.begin(), rows.end(), RowLess{});
+  std::string out;
+  for (const Row& row : rows) {
+    out += RowToString(row);
+    out += '\n';
+  }
+  return out;
+}
+
+Database MakeDb() {
+  Database db;
+  EXPECT_TRUE(db.CreateTable("obj", Schema({{"id", DataType::kInt64},
+                                            {"x", DataType::kInt64},
+                                            {"y", DataType::kInt64}}))
+                  .ok());
+  EXPECT_TRUE(db.DeclareKey("obj", {"id"}).ok());
+  for (int64_t i = 0; i < 24; ++i) {
+    EXPECT_TRUE(db.Insert("obj", {Value::Int(i), Value::Int((i * 13) % 7),
+                                  Value::Int((i * 5) % 11)})
+                    .ok());
+  }
+  return db;
+}
+
+const char kSkyline[] =
+    "SELECT L.id, COUNT(*) FROM obj L, obj R "
+    "WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y) "
+    "GROUP BY L.id HAVING COUNT(*) <= 50";
+const char kSkylineRebound[] =
+    "SELECT L.id, COUNT(*) FROM obj L, obj R "
+    "WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y) "
+    "GROUP BY L.id HAVING COUNT(*) <= 12";
+
+// ---------------------------------------------------------------------------
+// Shape hardening differentials
+// ---------------------------------------------------------------------------
+
+TEST(ShapeHardeningTest, ExponentFloatsAreOneLiteral) {
+  QueryShape a = ComputeQueryShape("SELECT x FROM t WHERE x > 1e-3");
+  QueryShape b = ComputeQueryShape("SELECT x FROM t WHERE x > 2.5E+7");
+  EXPECT_EQ(a.shape, "select x from t where x > ?");
+  EXPECT_EQ(a.shape_hash, b.shape_hash);
+  EXPECT_NE(a.fingerprint, b.fingerprint);
+  ASSERT_EQ(a.literals.size(), 1u);
+  EXPECT_EQ(a.literals[0].text, "1e-3");
+  EXPECT_EQ(a.literals[0].kind, ShapeLiteral::kDouble);
+}
+
+TEST(ShapeHardeningTest, NegativeLiteralAfterOperatorAbsorbsSign) {
+  QueryShape a = ComputeQueryShape("SELECT x FROM t WHERE x > -5");
+  QueryShape b = ComputeQueryShape("SELECT x FROM t WHERE x > -71");
+  EXPECT_EQ(a.shape, "select x from t where x > ?");
+  EXPECT_EQ(a.shape_hash, b.shape_hash);
+  ASSERT_EQ(a.literals.size(), 1u);
+  EXPECT_EQ(a.literals[0].text, "-5");
+}
+
+TEST(ShapeHardeningTest, BinaryMinusIsNotASign) {
+  // After an identifier or literal, '-' is subtraction: two literal slots.
+  QueryShape a = ComputeQueryShape("SELECT 3 - 4 FROM t");
+  EXPECT_EQ(a.shape, "select ? - ? from t");
+  ASSERT_EQ(a.literals.size(), 2u);
+  EXPECT_EQ(a.literals[0].text, "3");
+  EXPECT_EQ(a.literals[1].text, "4");
+  QueryShape b = ComputeQueryShape("SELECT x FROM t WHERE x - 5 > 0");
+  EXPECT_EQ(b.shape, "select x from t where x - ? > ?");
+}
+
+TEST(ShapeHardeningTest, EscapedQuotesStayInsideOneStringLiteral) {
+  QueryShape a = ComputeQueryShape("SELECT x FROM t WHERE s = 'it''s'");
+  QueryShape b = ComputeQueryShape("SELECT x FROM t WHERE s = 'plain'");
+  EXPECT_EQ(a.shape, "select x from t where s = ?");
+  EXPECT_EQ(a.shape_hash, b.shape_hash);
+  ASSERT_EQ(a.literals.size(), 1u);
+  EXPECT_EQ(a.literals[0].text, "'it''s'");
+  EXPECT_EQ(a.literals[0].kind, ShapeLiteral::kString);
+  // The quote must not leak: a trailing predicate is still normalized.
+  QueryShape c = ComputeQueryShape("SELECT x FROM t WHERE s = 'a''b' AND X>1");
+  EXPECT_EQ(c.shape, "select x from t where s = ? and x>?");
+}
+
+TEST(ShapeHardeningTest, InListRunsCollapseToOneSlot) {
+  QueryShape a = ComputeQueryShape("SELECT x FROM t WHERE x IN (1, 2, 3)");
+  QueryShape b = ComputeQueryShape("SELECT x FROM t WHERE x IN (4,5)");
+  EXPECT_EQ(a.shape, "select x from t where x in (?)");
+  EXPECT_EQ(a.shape_hash, b.shape_hash);
+  EXPECT_NE(a.fingerprint, b.fingerprint);
+  ASSERT_EQ(a.literals.size(), 3u);
+  EXPECT_EQ(a.literals[1].text, "2");
+  ASSERT_EQ(b.literals.size(), 2u);
+  // Mixed-sign runs collapse too.
+  QueryShape c = ComputeQueryShape("SELECT x FROM t WHERE x IN (-1, 2)");
+  EXPECT_EQ(c.shape, "select x from t where x in (?)");
+  ASSERT_EQ(c.literals.size(), 2u);
+  EXPECT_EQ(c.literals[0].text, "-1");
+}
+
+// ---------------------------------------------------------------------------
+// Block shape guard
+// ---------------------------------------------------------------------------
+
+TEST(BlockShapeGuardTest, StableAcrossLiteralsDistinctAcrossStructure) {
+  Database db = MakeDb();
+  Result<QueryBlock> a = db.Prepare(kSkyline);
+  Result<QueryBlock> b = db.Prepare(kSkylineRebound);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(BlockShapeGuard(*a), BlockShapeGuard(*b))
+      << "guard must not depend on literal values";
+  Result<QueryBlock> c = db.Prepare("SELECT id FROM obj WHERE x > 2");
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(BlockShapeGuard(*a), BlockShapeGuard(*c));
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache unit behavior
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const PlanTrace> MakeTrace(uint64_t guard) {
+  auto t = std::make_shared<PlanTrace>();
+  t->block_guard = guard;
+  t->captured = true;
+  return t;
+}
+
+TEST(PlanCacheTest, LookupVerifiesShapeText) {
+  PlanCache cache(4);
+  PlanCache::Key key{1, 2, 3};
+  EXPECT_EQ(cache.Lookup(key, "select ?"), nullptr);
+  cache.Insert(key, "select ?", MakeTrace(7));
+  ASSERT_NE(cache.Lookup(key, "select ?"), nullptr);
+  EXPECT_EQ(cache.Lookup(key, "select ? + ?"), nullptr)
+      << "a shape-hash collision must degrade to a miss, not a wrong trace";
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCacheTest, UncapturedTracesAreRejected) {
+  PlanCache cache(4);
+  auto t = std::make_shared<PlanTrace>();  // captured == false
+  cache.Insert(PlanCache::Key{1, 2, 3}, "s", t);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsed) {
+  PlanCache cache(2);
+  PlanCache::Key k1{1, 0, 0}, k2{2, 0, 0}, k3{3, 0, 0};
+  cache.Insert(k1, "s1", MakeTrace(1));
+  cache.Insert(k2, "s2", MakeTrace(2));
+  // Touch k1 so k2 becomes the LRU victim.
+  ASSERT_NE(cache.Lookup(k1, "s1"), nullptr);
+  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  cache.Insert(k3, "s3", MakeTrace(3));
+  MetricsSnapshot delta =
+      MetricsRegistry::Global().Snapshot().DiffSince(before);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(delta.counters["plan_cache.evictions"], 1u);
+  EXPECT_NE(cache.Lookup(k1, "s1"), nullptr);
+  EXPECT_EQ(cache.Lookup(k2, "s2"), nullptr) << "k2 was the LRU";
+  EXPECT_NE(cache.Lookup(k3, "s3"), nullptr);
+}
+
+TEST(PlanCacheTest, CatalogRotationInvalidatesShape) {
+  PlanCache cache(8);
+  PlanCache::Key v1{42, /*catalog=*/100, 7};
+  cache.Insert(v1, "s", MakeTrace(1));
+  ASSERT_NE(cache.Lookup(v1, "s"), nullptr);
+  // Same shape + options under a new catalog version: inserting drops the
+  // stale generation and counts an invalidation.
+  PlanCache::Key v2{42, /*catalog=*/200, 7};
+  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  cache.Insert(v2, "s", MakeTrace(1));
+  MetricsSnapshot delta =
+      MetricsRegistry::Global().Snapshot().DiffSince(before);
+  EXPECT_EQ(delta.counters["plan_cache.invalidations"], 1u);
+  EXPECT_EQ(cache.Lookup(v1, "s"), nullptr) << "stale generation dropped";
+  EXPECT_NE(cache.Lookup(v2, "s"), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCacheTest, OptionsFingerprintSeparatesConfigurations) {
+  IcebergOptions all = IcebergOptions::All();
+  IcebergOptions none = IcebergOptions::None();
+  EXPECT_NE(PlanOptionsFingerprint(all), PlanOptionsFingerprint(none));
+  IcebergOptions no_prune = IcebergOptions::All();
+  no_prune.enable_prune = false;
+  EXPECT_NE(PlanOptionsFingerprint(all), PlanOptionsFingerprint(no_prune));
+  // Per-attempt knobs must not affect the key.
+  IcebergOptions threaded = IcebergOptions::All();
+  threaded.base_exec.num_threads = 8;
+  EXPECT_EQ(PlanOptionsFingerprint(all), PlanOptionsFingerprint(threaded));
+}
+
+// ---------------------------------------------------------------------------
+// Session-level hit/miss/invalidation and provenance
+// ---------------------------------------------------------------------------
+
+TEST(SessionPlanCacheTest, MissThenHitThenInvalidation) {
+  ScopedPlanCache cache_on(true);
+  Database db = MakeDb();
+  ServerConfig config;
+  config.retry = RetryPolicy::None();
+  IcebergServer server(&db, config);
+  auto session = server.OpenSession();
+
+  MetricsSnapshot s0 = MetricsRegistry::Global().Snapshot();
+  QueryOutcome first = session->Execute(kSkyline);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  EXPECT_EQ(first.report.plan_provenance, "miss");
+  EXPECT_EQ(server.plan_cache().size(), 1u);
+
+  QueryOutcome second = session->Execute(kSkyline);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_EQ(second.report.plan_provenance, "hit");
+  MetricsSnapshot d1 = MetricsRegistry::Global().Snapshot().DiffSince(s0);
+  EXPECT_GE(d1.counters["plan_cache.hits"], 1u);
+  EXPECT_GE(d1.counters["plan_cache.misses"], 1u);
+  EXPECT_EQ(CanonicalRender(first.table), CanonicalRender(second.table));
+
+  // A hit must skip the optimizer searches: the pick phases collapse.
+  EXPECT_LE(second.report.timing.apriori_pick_us,
+            std::max<int64_t>(first.report.timing.apriori_pick_us, 1));
+
+  // Mutation rotates the catalog hash: next run misses, and its insert
+  // retires the stale generation.
+  ASSERT_TRUE(
+      server.Insert("obj", {Value::Int(100), Value::Int(2), Value::Int(3)})
+          .ok());
+  MetricsSnapshot s1 = MetricsRegistry::Global().Snapshot();
+  QueryOutcome third = session->Execute(kSkyline);
+  ASSERT_TRUE(third.status.ok());
+  EXPECT_EQ(third.report.plan_provenance, "miss");
+  MetricsSnapshot d2 = MetricsRegistry::Global().Snapshot().DiffSince(s1);
+  EXPECT_GE(d2.counters["plan_cache.invalidations"], 1u);
+}
+
+TEST(SessionPlanCacheTest, LiteralReboundHitMatchesUncached) {
+  // Capture on one literal binding, replay on another; the replayed plan
+  // must compute exactly what an uncached run computes.
+  std::string expected_rebound;
+  {
+    ScopedPlanCache cache_off(false);
+    Database db = MakeDb();
+    IcebergServer server(&db);
+    auto session = server.OpenSession();
+    QueryOutcome reference = session->Execute(kSkylineRebound);
+    ASSERT_TRUE(reference.status.ok());
+    EXPECT_TRUE(reference.report.plan_provenance.empty())
+        << "disabled cache must not be consulted";
+    expected_rebound = CanonicalRender(reference.table);
+  }
+  ScopedPlanCache cache_on(true);
+  Database db = MakeDb();
+  IcebergServer server(&db);
+  auto session = server.OpenSession();
+  QueryOutcome warmup = session->Execute(kSkyline);
+  ASSERT_TRUE(warmup.status.ok());
+  EXPECT_EQ(warmup.report.plan_provenance, "miss");
+  QueryOutcome rebound = session->Execute(kSkylineRebound);
+  ASSERT_TRUE(rebound.status.ok());
+  EXPECT_EQ(rebound.report.plan_provenance, "hit")
+      << "same shape, different literals must replay the trace";
+  EXPECT_EQ(CanonicalRender(rebound.table), expected_rebound);
+}
+
+TEST(SessionPlanCacheTest, CteStatementsBypassTheCache) {
+  ScopedPlanCache cache_on(true);
+  Database db = MakeDb();
+  IcebergServer server(&db);
+  auto session = server.OpenSession();
+  QueryOutcome outcome = session->Execute(
+      "WITH w AS (SELECT id, x, y FROM obj) SELECT id FROM w WHERE x > 1");
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_EQ(outcome.report.plan_provenance, "bypass");
+  EXPECT_EQ(server.plan_cache().size(), 0u);
+}
+
+TEST(SessionPlanCacheTest, WrongTraceFallsBackToFullPlan) {
+  ScopedPlanCache cache_on(true);
+  Database db = MakeDb();
+  // Replay a trace whose guard cannot match: the optimizer must fall back
+  // to a full plan (provenance "hit-fallback") and still be correct.
+  PlanTrace bogus;
+  bogus.block_guard = 0xdeadbeef;
+  bogus.captured = true;
+  IcebergOptions options = IcebergOptions::All();
+  options.replay = &bogus;
+  IcebergReport report;
+  Result<TablePtr> replayed = db.QueryIceberg(kSkyline, options, &report);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_EQ(report.plan_provenance, "hit-fallback");
+  Result<TablePtr> reference = db.QueryIceberg(kSkyline);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(CanonicalRender(*replayed), CanonicalRender(*reference));
+}
+
+TEST(SessionPlanCacheTest, ExplainAnalyzeRendersProvenance) {
+  ScopedPlanCache cache_on(true);
+  Database db = MakeDb();
+  IcebergServer server(&db);
+  auto session = server.OpenSession();
+  const std::string sql = std::string("EXPLAIN ANALYZE ") + kSkyline;
+  QueryOutcome cold = session->Execute(sql);
+  ASSERT_TRUE(cold.status.ok()) << cold.status.ToString();
+  QueryOutcome warm = session->Execute(sql);
+  ASSERT_TRUE(warm.status.ok());
+  auto render = [](const TablePtr& t) {
+    std::string out;
+    for (const Row& row : t->rows()) out += RowToString(row) + "\n";
+    return out;
+  };
+  EXPECT_NE(render(cold.table).find("plan_cache=miss"), std::string::npos)
+      << render(cold.table);
+  EXPECT_NE(render(warm.table).find("plan_cache=hit"), std::string::npos)
+      << render(warm.table);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: cached vs uncached, across threads and engines
+// ---------------------------------------------------------------------------
+
+TEST(PlanCacheDifferentialTest, ByteIdenticalAcrossThreadsAndEngines) {
+  const std::vector<std::string> statements = {
+      kSkyline, kSkylineRebound, "SELECT id FROM obj WHERE x > 2",
+      "SELECT L.id, COUNT(*) FROM obj L, obj R "
+      "WHERE L.x <= R.x GROUP BY L.id HAVING COUNT(*) <= 12"};
+
+  // Uncached reference, serial, scalar engine.
+  std::map<std::string, std::string> expected;
+  {
+    ScopedPlanCache cache_off(false);
+    Database db = MakeDb();
+    IcebergServer server(&db);
+    auto session = server.OpenSession();
+    for (const std::string& sql : statements) {
+      QueryOutcome outcome = session->Execute(sql);
+      ASSERT_TRUE(outcome.status.ok()) << sql;
+      expected[sql] = CanonicalRender(outcome.table);
+    }
+  }
+
+  const bool vectorize_prev = VectorizedExecEnabled();
+  for (bool vectorize : {false, true}) {
+    SetVectorizedExecEnabled(vectorize);
+    for (int threads : {1, 8}) {
+      ScopedPlanCache cache_on(true);
+      Database db = MakeDb();
+      ServerConfig config;
+      config.default_threads = threads;
+      IcebergServer server(&db, config);
+      auto session = server.OpenSession();
+      for (int round = 0; round < 2; ++round) {  // cold then replayed
+        for (const std::string& sql : statements) {
+          QueryOutcome outcome = session->Execute(sql);
+          ASSERT_TRUE(outcome.status.ok())
+              << sql << " vectorize=" << vectorize << " threads=" << threads;
+          EXPECT_EQ(CanonicalRender(outcome.table), expected[sql])
+              << sql << " vectorize=" << vectorize << " threads=" << threads
+              << " round=" << round;
+        }
+      }
+    }
+  }
+  SetVectorizedExecEnabled(vectorize_prev);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: hot-shape storm and chaos soak with the cache enabled
+// ---------------------------------------------------------------------------
+
+TEST(PlanCacheConcurrencyTest, ConcurrentSessionsShareOneTrace) {
+  ScopedPlanCache cache_on(true);
+  Database db = MakeDb();
+  ServerConfig config;
+  config.admission.max_concurrent = 4;
+  config.admission.max_queue_depth = 64;
+  config.admission.queue_timeout_ms = 10000;
+  IcebergServer server(&db, config);
+
+  std::string expected;
+  {
+    auto session = server.OpenSession();
+    QueryOutcome seed = session->Execute(kSkyline);
+    ASSERT_TRUE(seed.status.ok());
+    expected = CanonicalRender(seed.table);
+  }
+
+  constexpr int kSessions = 8;
+  constexpr int kRounds = 4;
+  std::mutex mu;
+  std::vector<std::string> violations;
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kSessions; ++s) {
+    threads.emplace_back([&] {
+      auto session = server.OpenSession();
+      for (int r = 0; r < kRounds; ++r) {
+        QueryOutcome outcome = session->Execute(kSkyline);
+        if (!outcome.status.ok() ||
+            CanonicalRender(outcome.table) != expected) {
+          std::lock_guard<std::mutex> lock(mu);
+          violations.push_back(outcome.status.ToString());
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(violations.empty()) << violations.size() << " violations";
+  EXPECT_EQ(server.plan_cache().size(), 1u)
+      << "one hot shape must occupy exactly one entry";
+}
+
+TEST(PlanCacheConcurrencyTest, ChaosSoakWithCacheKeepsResultsExact) {
+  ScopedPlanCache cache_on(true);
+  const std::vector<std::string> script = {kSkyline, kSkylineRebound,
+                                           "SELECT id FROM obj WHERE x > 2"};
+  std::map<std::string, std::string> expected;
+  {
+    Database db = MakeDb();
+    IcebergServer server(&db);
+    auto session = server.OpenSession();
+    for (const std::string& sql : script) {
+      QueryOutcome outcome = session->Execute(sql);
+      ASSERT_TRUE(outcome.status.ok());
+      expected[sql] = CanonicalRender(outcome.table);
+    }
+  }
+
+  Database db = MakeDb();
+  ServerConfig config;
+  config.admission.max_concurrent = 2;
+  config.admission.max_queue_depth = 32;
+  config.admission.queue_timeout_ms = 10000;
+  config.retry.max_attempts = 6;
+  config.retry.initial_backoff_ms = 1;
+  config.retry.max_backoff_ms = 4;
+  IcebergServer server(&db, config);
+  ChaosConfig chaos_config;
+  chaos_config.seed = 2024;
+  chaos_config.cancel_every = 2000;
+  chaos_config.alloc_fail_every = 40;
+  chaos_config.shed_storm_every = 300;
+  chaos_config.delay_every = 200;
+  chaos_config.delay_us = 5;
+  ChaosGuard chaos(chaos_config);
+
+  constexpr int kSessions = 4;
+  std::mutex mu;
+  std::vector<std::string> violations;
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kSessions; ++s) {
+    threads.emplace_back([&] {
+      auto session = server.OpenSession();
+      for (int round = 0; round < 3; ++round) {
+        for (const std::string& sql : script) {
+          QueryOutcome outcome = session->Execute(sql);
+          if (outcome.status.ok()) {
+            if (CanonicalRender(outcome.table) != expected[sql]) {
+              std::lock_guard<std::mutex> lock(mu);
+              violations.push_back("wrong result under chaos: " + sql);
+            }
+          } else if (!outcome.status.IsRetryable()) {
+            std::lock_guard<std::mutex> lock(mu);
+            violations.push_back(outcome.status.ToString());
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violations, first: "
+      << (violations.empty() ? "" : violations[0]);
+}
+
+}  // namespace
+}  // namespace iceberg
