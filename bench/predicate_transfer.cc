@@ -1,0 +1,170 @@
+// PR 8 predicate-transfer A/B: the fixpoint Bloom-propagation graph
+// (src/exec/transfer_graph.h) flipped off and on around the baseline
+// executor.
+//
+// Two regimes, reported separately and honestly:
+//
+//  - The stock Fig. 1 queries (Q1-Q8) are self-joins over identical key
+//    columns with no per-side filters; the graph proves those edges
+//    no-ops and stands down, so this leg measures *overhead* (the
+//    no-regression claim; rows_eliminated must be 0 and the ratio ~1.0).
+//  - The selective variants (Q5w-Q7w window the pairs CTE to recent
+//    seasons, Q8w restricts the skyband to one team's roster) give the
+//    graph real asymmetry to exploit; this leg is the win artifact
+//    (rows_eliminated > 0, speedup is the claim under test).
+//
+// Any row disagreement between the two states aborts the run. Emits JSONL
+// via --json= (BENCH_PR8.json in EXPERIMENTS.md):
+//   {"query":...,"threads":N,"ms_off":...,"ms_on":...,"speedup":...,
+//    "rows_eliminated":...,"transfer_passes":...}
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/workload_queries.h"
+#include "src/common/value.h"
+#include "src/engine/database.h"
+#include "src/exec/exec_options.h"
+
+namespace iceberg {
+namespace bench {
+namespace {
+
+constexpr int kTrials = 3;
+
+struct Measurement {
+  double ms = 0;
+  TablePtr rows;
+  ExecStats stats;
+};
+
+Measurement RunBest(Database* db, const std::string& sql, int threads,
+                    bool transfer) {
+  Measurement best;
+  for (int t = 0; t < kTrials; ++t) {
+    ExecOptions exec;
+    exec.num_threads = threads;
+    exec.predicate_transfer = transfer;
+    ExecStats stats;
+    Timer timer;
+    Result<TablePtr> result = db->Query(sql, exec, &stats);
+    const double ms = timer.Seconds() * 1e3;
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed (transfer=%d): %s\n%s\n",
+                   transfer ? 1 : 0, result.status().ToString().c_str(),
+                   sql.c_str());
+      std::exit(1);
+    }
+    if (t == 0 || ms < best.ms) {
+      best.ms = ms;
+      best.rows = *result;
+      best.stats = stats;
+    }
+  }
+  return best;
+}
+
+void ExpectIdentical(const std::string& name, const TablePtr& off,
+                     const TablePtr& on) {
+  bool same = off->num_rows() == on->num_rows();
+  if (same) {
+    std::vector<Row> a = off->rows(), b = on->rows();
+    std::sort(a.begin(), a.end(), RowLess());
+    std::sort(b.begin(), b.end(), RowLess());
+    for (size_t i = 0; same && i < a.size(); ++i) {
+      same = CompareRows(a[i], b[i]) == 0;
+    }
+  }
+  if (!same) {
+    std::fprintf(stderr,
+                 "%s: transfer on/off results disagree (%zu vs %zu rows)\n",
+                 name.c_str(), off->num_rows(), on->num_rows());
+    std::exit(1);
+  }
+}
+
+void RunAB(Database* db, JsonWriter* json, const std::string& name,
+           const std::string& sql, int threads) {
+  Measurement off = RunBest(db, sql, threads, false);
+  Measurement on = RunBest(db, sql, threads, true);
+  ExpectIdentical(name, off.rows, on.rows);
+  const double speedup = on.ms > 0 ? off.ms / on.ms : 0.0;
+  std::printf("  %-38s t=%d  off %8.2f ms  on %8.2f ms  %5.2fx  "
+              "eliminated %zu (passes %zu)\n",
+              name.c_str(), threads, off.ms, on.ms, speedup,
+              on.stats.transfer_rows_eliminated, on.stats.transfer_passes);
+  std::fflush(stdout);
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "{\"query\":\"%s\",\"threads\":%d,\"ms_off\":%.3f,"
+                "\"ms_on\":%.3f,\"speedup\":%.3f,\"rows_eliminated\":%zu,"
+                "\"transfer_passes\":%zu}",
+                name.c_str(), threads, off.ms, on.ms, speedup,
+                on.stats.transfer_rows_eliminated, on.stats.transfer_passes);
+  json->RecordRaw(line);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace iceberg
+
+int main(int argc, char** argv) {
+  using namespace iceberg;
+  using namespace iceberg::bench;
+
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  JsonWriter json(flags.json_path);
+
+  const size_t rows = Scaled(3000);
+  std::unique_ptr<Database> db = MakeScoreDb(rows);
+  // The generator sweeps all players once per season: 12 rows/player and
+  // 2 rounds mean 6 seasons, 1985..1990. The windows below keep the last
+  // two; the roster variant picks a mid-range season.
+  constexpr int kWindowYear = 1989;
+  constexpr int kRosterTeam = 5;
+  constexpr int kRosterYear = 1987;
+
+  const std::vector<int> thread_counts = flags.threads > 0
+                                             ? std::vector<int>{flags.threads}
+                                             : std::vector<int>{1, 8};
+
+  std::printf("predicate-transfer A/B over score(%zu rows)\n\n", rows);
+  std::printf("stock Fig. 1 queries (self-join edges are provable no-ops; "
+              "this leg measures overhead):\n");
+  for (int threads : thread_counts) {
+    for (const NamedQuery& q : Figure1Queries()) {
+      RunAB(db.get(), &json, q.name, q.sql, threads);
+    }
+  }
+
+  std::printf("\nselective variants (live transfer edges; this leg measures "
+              "the win):\n");
+  struct Variant {
+    std::string name;
+    std::string sql;
+  };
+  const std::vector<Variant> variants = {
+      {"Q5w roster pairs c=4 k=50 SUM team=" + std::to_string(kRosterTeam),
+       RosterPairsSql(4, 50, "SUM", kRosterTeam, kRosterYear)},
+      {"Q6w pairs c=2 k=10 AVG year>=" + std::to_string(kWindowYear),
+       WindowedPairsSql(2, 10, "AVG", kWindowYear)},
+      {"Q7w roster pairs c=4 k=100 SUM team=12",
+       RosterPairsSql(4, 100, "SUM", 12, 1988)},
+      {"Q8w roster skyband k=30 team=" + std::to_string(kRosterTeam) +
+           " year=" + std::to_string(kRosterYear),
+       RosterSkybandSql(30, kRosterTeam, kRosterYear)},
+  };
+  for (int threads : thread_counts) {
+    for (const Variant& v : variants) {
+      RunAB(db.get(), &json, v.name, v.sql, threads);
+    }
+  }
+
+  json.RecordMetrics("predicate_transfer end-of-run");
+  FinishBenchTrace(flags);
+  return 0;
+}

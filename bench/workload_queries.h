@@ -82,6 +82,85 @@ inline std::string PairsSql(int c, int k, const std::string& agg) {
          std::to_string(k);
 }
 
+/// Selective pairs variant (the Q5-Q7 template windowed to recent
+/// seasons). The stock pairs CTE self-joins score on identical
+/// (teamid, year, round) columns with no per-side filter, so predicate
+/// transfer proves it a no-op and stands down. Restricting s2 to a season
+/// window makes the edge live: s2's local predicate seeds its selection,
+/// the (teamid, year, round) Bloom transfers back to s1, and every s1 row
+/// outside the window dies before the CTE join (soundly — the join
+/// equality on year implies s1.year >= min_year).
+inline std::string WindowedPairsSql(int c, int k, const std::string& agg,
+                                    int min_year) {
+  return "WITH pair AS "
+         " (SELECT s1.pid AS pid1, s2.pid AS pid2, " +
+         agg + "(s1.hits) AS hits1, " + agg + "(s1.hruns) AS hruns1, " +
+         agg + "(s2.hits) AS hits2, " + agg +
+         "(s2.hruns) AS hruns2 "
+         "  FROM score s1, score s2 "
+         "  WHERE s1.teamid = s2.teamid AND s1.year = s2.year "
+         "    AND s1.round = s2.round AND s1.pid < s2.pid "
+         "    AND s2.year >= " +
+         std::to_string(min_year) +
+         "  GROUP BY s1.pid, s2.pid HAVING COUNT(*) >= " +
+         std::to_string(c) +
+         ") "
+         "SELECT L.pid1, L.pid2, COUNT(*) FROM pair L, pair R "
+         "WHERE R.hits1 >= L.hits1 AND R.hruns1 >= L.hruns1 "
+         "  AND R.hits2 >= L.hits2 AND R.hruns2 >= L.hruns2 "
+         "  AND (R.hits1 > L.hits1 OR R.hruns1 > L.hruns1 "
+         "    OR R.hits2 > L.hits2 OR R.hruns2 > L.hruns2) "
+         "GROUP BY L.pid1, L.pid2 HAVING COUNT(*) <= " +
+         std::to_string(k);
+}
+
+/// Selective pairs variant with the cost concentrated where transfer can
+/// reach it: the pair-vs-pair dominance BNL (level 1) runs for every L
+/// pair, but only pairs whose first player sits on one team's roster in
+/// one season (relation `s`, level 2) can reach the output. Without
+/// transfer every doomed L pair still pays the full dominance scan of R;
+/// with it, s's surviving pids transfer to L before the BNL starts.
+inline std::string RosterPairsSql(int c, int k, const std::string& agg,
+                                  int teamid, int year) {
+  return "WITH pair AS "
+         " (SELECT s1.pid AS pid1, s2.pid AS pid2, " +
+         agg + "(s1.hits) AS hits1, " + agg + "(s1.hruns) AS hruns1, " +
+         agg + "(s2.hits) AS hits2, " + agg +
+         "(s2.hruns) AS hruns2 "
+         "  FROM score s1, score s2 "
+         "  WHERE s1.teamid = s2.teamid AND s1.year = s2.year "
+         "    AND s1.round = s2.round AND s1.pid < s2.pid "
+         "  GROUP BY s1.pid, s2.pid HAVING COUNT(*) >= " +
+         std::to_string(c) +
+         ") "
+         "SELECT L.pid1, L.pid2, COUNT(*) FROM pair L, pair R, score s "
+         "WHERE L.pid1 = s.pid AND s.teamid = " +
+         std::to_string(teamid) + " AND s.year = " + std::to_string(year) +
+         " AND R.hits1 >= L.hits1 AND R.hruns1 >= L.hruns1 "
+         "  AND R.hits2 >= L.hits2 AND R.hruns2 >= L.hruns2 "
+         "  AND (R.hits1 > L.hits1 OR R.hruns1 > L.hruns1 "
+         "    OR R.hits2 > L.hits2 OR R.hruns2 > L.hruns2) "
+         "GROUP BY L.pid1, L.pid2 HAVING COUNT(*) <= " +
+         std::to_string(k);
+}
+
+/// Selective Q8 variant: the player-average skyband restricted to one
+/// team's roster in one season. The roster relation `s` carries local
+/// predicates, its surviving pids transfer to L (level 0), and the
+/// dominance BNL against R at level 1 — the query's dominant cost — runs
+/// only for roster players instead of every player.
+inline std::string RosterSkybandSql(int k, int teamid, int year) {
+  return "WITH player AS "
+         " (SELECT pid, AVG(hits) AS h, AVG(hruns) AS hr FROM score s "
+         "  GROUP BY pid HAVING COUNT(*) >= 1) "
+         "SELECT L.pid, COUNT(*) FROM player L, player R, score s "
+         "WHERE L.pid = s.pid AND s.teamid = " +
+         std::to_string(teamid) + " AND s.year = " + std::to_string(year) +
+         " AND L.h < R.h AND L.hr < R.hr "
+         "GROUP BY L.pid HAVING COUNT(*) <= " +
+         std::to_string(k);
+}
+
 /// Q8: averages statistics per player first (objects of interest are
 /// players), then a skyband with the simpler join condition.
 inline std::string PlayerAvgSkybandSql(int k) {

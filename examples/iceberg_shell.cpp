@@ -26,6 +26,9 @@
 //                    (load in Perfetto / chrome://tracing)
 //   \vectorize on|off   toggle the vectorized (columnar batch) scan path;
 //                    also honours the ICEBERG_VECTORIZE env var at startup
+//   \transfer on|off   toggle the predicate-transfer graph (fixpoint Bloom
+//                    propagation across join edges); also honours the
+//                    ICEBERG_PREDICATE_TRANSFER env var at startup
 //   \plancache on|off|status   toggle the shape-keyed plan/program cache
 //                    (off also clears it); also honours ICEBERG_PLAN_CACHE
 //                    at startup; status prints entry/hit/miss counters
@@ -308,6 +311,21 @@ void RunStatement(Database* db, const std::string& line) {
     }
     return;
   }
+  if (line.rfind("\\transfer", 0) == 0) {
+    std::string arg;
+    std::istringstream(line.substr(9)) >> arg;
+    if (arg == "on") {
+      SetPredicateTransferEnabled(true);
+      std::printf("predicate transfer on\n");
+    } else if (arg == "off") {
+      SetPredicateTransferEnabled(false);
+      std::printf("predicate transfer off\n");
+    } else {
+      std::printf("usage: \\transfer on|off  (currently %s)\n",
+                  PredicateTransferEnabled() ? "on" : "off");
+    }
+    return;
+  }
   if (line.rfind("\\plancache", 0) == 0) {
     std::string arg;
     std::istringstream(line.substr(10)) >> arg;
@@ -441,7 +459,7 @@ int main() {
       "\\threads [N], \\sessions [N], \\retry [N], \\chaos seed N|off, "
       "\\tables, \\load <table> <csv>, \\metrics [json|reset], "
       "\\trace on|off|clear|dump <file>, \\vectorize on|off, "
-      "\\plancache on|off|status, \\q\n"
+      "\\transfer on|off, \\plancache on|off|status, \\q\n"
       "EXPLAIN ANALYZE <sql> prints the annotated plan tree.\n");
   std::string line;
   while (true) {

@@ -130,6 +130,15 @@ std::string RenderAnalyzeIceberg(const IcebergReport& report,
              ", chunks_skipped=" + std::to_string(n.inner_chunks_skipped) +
              "\n";
     }
+    if (n.transfer_probes > 0 || n.transfer_passes > 0) {
+      out += "     transfer (Q_B): passes=" +
+             std::to_string(n.transfer_passes) +
+             ", filters=" + std::to_string(n.transfer_filters_built) +
+             ", hits=" + std::to_string(n.transfer_hits) + "/" +
+             std::to_string(n.transfer_probes) +
+             ", eliminated=" + std::to_string(n.transfer_rows_eliminated) +
+             " (build=" + Ms(n.transfer_build_ns / 1000) + ")\n";
+    }
     out += "     cache: entries=" + std::to_string(n.cache_entries) +
            ", bytes=" + std::to_string(n.cache_bytes) +
            ", evictions=" + std::to_string(n.cache_evictions) +
@@ -160,10 +169,15 @@ std::string RenderAnalyzeIceberg(const IcebergReport& report,
       out += "     vectorized: batch_rows=" + std::to_string(e.batch_rows) +
              ", chunks_skipped=" + std::to_string(e.chunks_skipped) + "\n";
     }
-    if (e.bloom_probes > 0) {
-      out += "     bloom: hits=" + std::to_string(e.bloom_hits) + "/" +
-             std::to_string(e.bloom_probes) +
-             " (build=" + Ms(e.bloom_build_ns / 1000) + ")\n";
+    if (e.transfer_probes > 0 || e.transfer_passes > 0) {
+      out += "     transfer: passes=" + std::to_string(e.transfer_passes) +
+             ", filters=" + std::to_string(e.transfer_filters_built) +
+             ", hits=" + std::to_string(e.transfer_hits) + "/" +
+             std::to_string(e.transfer_probes) +
+             ", eliminated=" + std::to_string(e.transfer_rows_eliminated) +
+             ", chunks_refuted=" +
+             std::to_string(e.transfer_chunks_refuted) +
+             " (build=" + Ms(e.transfer_build_ns / 1000) + ")\n";
     }
     if (e.workers > 1) {
       out += "     workers=" + std::to_string(e.workers) +
@@ -192,10 +206,14 @@ std::string RenderAnalyzeBaseline(const ExecStats& stats,
     out += "  vectorized: batch_rows=" + std::to_string(stats.batch_rows) +
            ", chunks_skipped=" + std::to_string(stats.chunks_skipped) + "\n";
   }
-  if (stats.bloom_probes > 0) {
-    out += "  bloom: hits=" + std::to_string(stats.bloom_hits) + "/" +
-           std::to_string(stats.bloom_probes) +
-           " (build=" + Ms(stats.bloom_build_ns / 1000) + ")\n";
+  if (stats.transfer_probes > 0 || stats.transfer_passes > 0) {
+    out += "  transfer: passes=" + std::to_string(stats.transfer_passes) +
+           ", filters=" + std::to_string(stats.transfer_filters_built) +
+           ", hits=" + std::to_string(stats.transfer_hits) + "/" +
+           std::to_string(stats.transfer_probes) +
+           ", eliminated=" + std::to_string(stats.transfer_rows_eliminated) +
+           ", chunks_refuted=" + std::to_string(stats.transfer_chunks_refuted) +
+           " (build=" + Ms(stats.transfer_build_ns / 1000) + ")\n";
   }
   out += "  aggregate: groups=" + std::to_string(stats.groups_created) +
          " -> " + std::to_string(stats.groups_output) +

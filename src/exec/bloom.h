@@ -17,21 +17,45 @@ namespace iceberg {
 /// join would have done anyway.
 class BloomFilter {
  public:
+  /// Hard cap on the word count (64 MiB of filter): past it the per-word
+  /// key load rises and the FPR degrades gracefully instead of the
+  /// allocation exploding on a miscardinality.
+  static constexpr size_t kMaxWords = size_t{1} << 23;
+
   explicit BloomFilter(size_t expected_keys) {
     size_t words = 1;
-    while (words * 4 < expected_keys) words <<= 1;  // ~4 keys/word
+    while (words * 4 < expected_keys && words < kMaxWords) {
+      words <<= 1;  // ~4 keys/word = ~16 bits/key
+    }
     words_.assign(words, 0);
     word_mask_ = words - 1;
   }
 
-  void Insert(uint64_t hash) { words_[WordIndex(hash)] |= BitMask(hash); }
+  void Insert(uint64_t hash) {
+    words_[WordIndex(hash)] |= BitMask(hash);
+    ++count_;
+  }
 
   bool MayContain(uint64_t hash) const {
+    // Empty-filter fast path: nothing was inserted, so nothing may be
+    // contained — and an all-zero word array would answer the same, this
+    // just documents that BloomFilter(0) is a valid "reject everything"
+    // filter rather than relying on the mask arithmetic.
+    if (count_ == 0) return false;
     const uint64_t mask = BitMask(hash);
     return (words_[WordIndex(hash)] & mask) == mask;
   }
 
+  /// ORs another filter of the same word count into this one (morsel-wise
+  /// parallel builds merge per-worker partial filters).
+  void MergeFrom(const BloomFilter& other) {
+    if (other.words_.size() != words_.size()) return;  // caller bug; no-op
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    count_ += other.count_;
+  }
+
   size_t num_words() const { return words_.size(); }
+  size_t num_inserted() const { return count_; }
 
   size_t ApproxBytes() const {
     return sizeof(*this) + words_.capacity() * sizeof(uint64_t);
@@ -51,6 +75,7 @@ class BloomFilter {
 
   std::vector<uint64_t> words_;
   uint64_t word_mask_ = 0;
+  size_t count_ = 0;  // keys inserted (not deduplicated)
 };
 
 }  // namespace iceberg

@@ -14,6 +14,14 @@ bool InitialVectorizeEnabled() {
 
 std::atomic<bool> g_vectorize_enabled{InitialVectorizeEnabled()};
 
+bool InitialPredicateTransferEnabled() {
+  const char* env = std::getenv("ICEBERG_PREDICATE_TRANSFER");
+  return env == nullptr || env[0] != '0';
+}
+
+std::atomic<bool> g_predicate_transfer_enabled{
+    InitialPredicateTransferEnabled()};
+
 }  // namespace
 
 bool VectorizedExecEnabled() {
@@ -22,6 +30,14 @@ bool VectorizedExecEnabled() {
 
 void SetVectorizedExecEnabled(bool enabled) {
   g_vectorize_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool PredicateTransferEnabled() {
+  return g_predicate_transfer_enabled.load(std::memory_order_relaxed);
+}
+
+void SetPredicateTransferEnabled(bool enabled) {
+  g_predicate_transfer_enabled.store(enabled, std::memory_order_relaxed);
 }
 
 }  // namespace iceberg

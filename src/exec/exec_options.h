@@ -28,6 +28,15 @@ enum class ExecProfile {
 bool VectorizedExecEnabled();
 void SetVectorizedExecEnabled(bool enabled);
 
+/// Process-wide chicken bit for the predicate-transfer graph (fixpoint
+/// Bloom propagation across join edges; src/exec/transfer_graph.h).
+/// Default on; seeded once from the ICEBERG_PREDICATE_TRANSFER environment
+/// variable (set to "0..." to disable). Checked at plan time.
+bool PredicateTransferEnabled();
+void SetPredicateTransferEnabled(bool enabled);
+
+struct TransferSchedule;  // src/exec/transfer_graph.h
+
 struct ExecOptions {
   ExecProfile profile = ExecProfile::kPostgres;
 
@@ -50,11 +59,27 @@ struct ExecOptions {
   GovernorPtr governor;
 
   /// Per-query switch for the vectorized scan paths (column chunks, batch
-  /// predicate evaluation, zone-map skipping, Bloom pre-filtering).
-  /// Effective only when both this and the process-wide
-  /// VectorizedExecEnabled() chicken bit are on. Results are byte-identical
-  /// either way; the row-at-a-time path remains the differential reference.
+  /// predicate evaluation, zone-map skipping). Effective only when both
+  /// this and the process-wide VectorizedExecEnabled() chicken bit are on.
+  /// Results are byte-identical either way; the row-at-a-time path remains
+  /// the differential reference.
   bool vectorize = true;
+
+  /// Per-query switch for predicate transfer: build the block's join graph
+  /// at plan time and propagate Bloom filters across every equi-join edge
+  /// to a fixpoint, pre-shrinking each relation to rows that can possibly
+  /// contribute. ANDed with the process-wide PredicateTransferEnabled()
+  /// chicken bit. Results are byte-identical either way (Bloom errors are
+  /// one-sided; real join predicates still run).
+  bool predicate_transfer = true;
+
+  /// Plan-cache integration (both borrowed, may be null): `capture` is
+  /// filled with the transfer-graph shape the build discovered so it can
+  /// be recorded in a PlanTrace; `replay` supplies a previously captured
+  /// shape, skipping the order/pass exploration (filters are always
+  /// rebuilt — they depend on table data).
+  TransferSchedule* transfer_capture = nullptr;
+  const TransferSchedule* transfer_replay = nullptr;
 
   static ExecOptions Postgres() { return ExecOptions{}; }
   static ExecOptions VendorA() {
@@ -79,9 +104,15 @@ struct ExecStats {
   // Vectorized-scan counters (zero when the row-at-a-time path ran):
   size_t chunks_skipped = 0;   // column chunks refuted by zone maps
   size_t batch_rows = 0;       // rows evaluated through FilterBatch
-  size_t bloom_probes = 0;     // join keys tested against a Bloom filter
-  size_t bloom_hits = 0;       // probes that passed (maybe-present)
-  int64_t bloom_build_ns = 0;  // plan-time cost of building Bloom filters
+  // Predicate-transfer counters (zero when transfer was off or the block
+  // had no usable join edges); see TransferStats in transfer_graph.h.
+  size_t transfer_passes = 0;
+  size_t transfer_filters_built = 0;
+  size_t transfer_probes = 0;
+  size_t transfer_hits = 0;
+  size_t transfer_rows_eliminated = 0;
+  size_t transfer_chunks_refuted = 0;
+  int64_t transfer_build_ns = 0;
   /// rows_joined produced by each worker (parallel runs only); the spread
   /// shows how well morsel claiming balanced the skewed outer loop.
   std::vector<size_t> rows_joined_per_worker;
@@ -104,9 +135,13 @@ struct ExecStats {
     index_probes += run.index_probes;
     chunks_skipped += run.chunks_skipped;
     batch_rows += run.batch_rows;
-    bloom_probes += run.bloom_probes;
-    bloom_hits += run.bloom_hits;
-    bloom_build_ns += run.bloom_build_ns;
+    transfer_passes += run.transfer_passes;
+    transfer_filters_built += run.transfer_filters_built;
+    transfer_probes += run.transfer_probes;
+    transfer_hits += run.transfer_hits;
+    transfer_rows_eliminated += run.transfer_rows_eliminated;
+    transfer_chunks_refuted += run.transfer_chunks_refuted;
+    transfer_build_ns += run.transfer_build_ns;
     cancel_checks = run.cancel_checks;
     budget_bytes_peak = run.budget_bytes_peak;
     workers = run.workers;

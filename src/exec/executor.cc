@@ -27,9 +27,15 @@ std::string ExecStats::ToString() const {
     out += " batch_rows=" + std::to_string(batch_rows) +
            " chunks_skipped=" + std::to_string(chunks_skipped);
   }
-  if (bloom_probes > 0) {
-    out += " bloom=" + std::to_string(bloom_hits) + "/" +
-           std::to_string(bloom_probes);
+  if (transfer_probes > 0 || transfer_passes > 0) {
+    out += " transfer_passes=" + std::to_string(transfer_passes) +
+           " transfer=" + std::to_string(transfer_hits) + "/" +
+           std::to_string(transfer_probes) +
+           " transfer_eliminated=" + std::to_string(transfer_rows_eliminated);
+    if (transfer_chunks_refuted > 0) {
+      out += " transfer_chunks_refuted=" +
+             std::to_string(transfer_chunks_refuted);
+    }
   }
   if (!rows_joined_per_worker.empty()) {
     out += " joined_per_worker=[";
@@ -81,8 +87,6 @@ void MergeWorkerStats(const std::vector<ExecStats>& partials,
     stats->index_probes += s.index_probes;
     stats->chunks_skipped += s.chunks_skipped;
     stats->batch_rows += s.batch_rows;
-    stats->bloom_probes += s.bloom_probes;
-    stats->bloom_hits += s.bloom_hits;
     stats->rows_joined_per_worker.push_back(s.rows_joined);
   }
   stats->busy_us_per_worker = pool.last_busy_micros();
@@ -100,10 +104,16 @@ void PublishExecMetrics(const ExecStats& run) {
   ICEBERG_COUNTER("exec.index_probes")->Add(run.index_probes);
   ICEBERG_COUNTER("scan.chunks_skipped")->Add(run.chunks_skipped);
   ICEBERG_COUNTER("scan.batch_rows")->Add(run.batch_rows);
-  ICEBERG_COUNTER("bloom.probes")->Add(run.bloom_probes);
-  ICEBERG_COUNTER("bloom.hits")->Add(run.bloom_hits);
-  ICEBERG_COUNTER("bloom.build_ns")
-      ->Add(static_cast<uint64_t>(run.bloom_build_ns));
+  ICEBERG_COUNTER("transfer.passes")->Add(run.transfer_passes);
+  ICEBERG_COUNTER("transfer.filters_built")->Add(run.transfer_filters_built);
+  ICEBERG_COUNTER("transfer.probes")->Add(run.transfer_probes);
+  ICEBERG_COUNTER("transfer.hits")->Add(run.transfer_hits);
+  ICEBERG_COUNTER("transfer.rows_eliminated")
+      ->Add(run.transfer_rows_eliminated);
+  ICEBERG_COUNTER("transfer.chunks_refuted")
+      ->Add(run.transfer_chunks_refuted);
+  ICEBERG_COUNTER("transfer.build_ns")
+      ->Add(static_cast<uint64_t>(run.transfer_build_ns));
   ICEBERG_HISTOGRAM("exec.query_us")
       ->Record(static_cast<uint64_t>(run.execute_us));
 }
@@ -128,20 +138,30 @@ Result<TablePtr> Executor::ExecuteInternal(const QueryBlock& block,
                                            ExecStats* stats) {
   QueryGovernor* governor = options_.governor.get();
   if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
+  const int threads = ResolveThreads(options_.num_threads);
+  TransferPlanOptions topts;
+  topts.enabled = options_.predicate_transfer;
+  topts.num_threads = threads;
+  topts.capture = options_.transfer_capture;
+  topts.replay = options_.transfer_replay;
   ICEBERG_ASSIGN_OR_RETURN(
       JoinPipeline pipeline,
       JoinPipeline::Plan(block, options_.use_indexes, options_.vectorize,
-                         governor));
-  // Plan-time Bloom work is charged to the run once here; Run-time probe
-  // counters accumulate through the per-morsel stats blocks.
-  if (stats != nullptr) {
-    stats->bloom_build_ns += pipeline.bloom_build_ns();
-    stats->bloom_probes += pipeline.plan_bloom_probes();
-    stats->bloom_hits += pipeline.plan_bloom_hits();
+                         governor, topts));
+  // Predicate transfer happens once at plan time; its counters are charged
+  // to the run here (Run-time counters accumulate per morsel).
+  if (stats != nullptr && pipeline.transfer() != nullptr) {
+    const TransferStats& ts = pipeline.transfer()->stats();
+    stats->transfer_passes += ts.passes;
+    stats->transfer_filters_built += ts.filters_built;
+    stats->transfer_probes += ts.probes;
+    stats->transfer_hits += ts.hits;
+    stats->transfer_rows_eliminated += ts.rows_eliminated;
+    stats->transfer_chunks_refuted += ts.chunks_refuted;
+    stats->transfer_build_ns += ts.build_ns;
   }
   Aggregator proto(block);
   const size_t outer_size = pipeline.OuterSize();
-  const int threads = ResolveThreads(options_.num_threads);
   const size_t morsel = MorselFor(outer_size, threads);
   const bool parallel = threads > 1 && outer_size > morsel;
 
@@ -262,8 +282,12 @@ Result<TablePtr> Executor::ExecuteInternal(const QueryBlock& block,
 
 std::string Executor::Explain(const QueryBlock& block) const {
   // No governor here: EXPLAIN must not charge the query's budget.
+  TransferPlanOptions topts;
+  topts.enabled = options_.predicate_transfer;
+  topts.num_threads = ResolveThreads(options_.num_threads);
   Result<JoinPipeline> pipeline =
-      JoinPipeline::Plan(block, options_.use_indexes, options_.vectorize);
+      JoinPipeline::Plan(block, options_.use_indexes, options_.vectorize,
+                         /*governor=*/nullptr, topts);
   if (!pipeline.ok()) return "<plan error: " + pipeline.status().ToString() + ">";
 
   Aggregator agg(block);

@@ -1,7 +1,6 @@
 #include "src/exec/join_pipeline.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "src/common/logging.h"
 #include "src/expr/evaluator.h"
@@ -60,32 +59,12 @@ bool RefsOnlyWithin(const ExprPtr& e, size_t begin, size_t end) {
 /// more than the batch loops save.
 constexpr size_t kMinVectorRows = 64;
 
-/// Bloom pre-filters only pay off with a clear size skew between the two
-/// sides of the first join: the filtered side must be at least this many
-/// times larger than the side the filter is built from, and large enough
-/// in absolute terms that the build is amortized.
-constexpr size_t kBloomSkewFactor = 4;
-constexpr size_t kBloomMinFilteredRows = 1024;
-
-int64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now() - start)
-      .count();
-}
-
-/// Codec over the inner-side equality key columns (table-local ids).
-KeyCodec InnerKeyCodec(const Table& table, const std::vector<size_t>& cols) {
-  std::vector<DataType> types;
-  types.reserve(cols.size());
-  for (size_t c : cols) types.push_back(table.schema().column(c).type);
-  return KeyCodec::ForTypes(std::move(types));
-}
-
 }  // namespace
 
 Result<JoinPipeline> JoinPipeline::Plan(const QueryBlock& block,
                                         bool use_indexes, bool vectorize,
-                                        QueryGovernor* governor) {
+                                        QueryGovernor* governor,
+                                        const TransferPlanOptions& transfer) {
   JoinPipeline pipeline(block);
   const bool vec =
       vectorize && VectorizedExecEnabled() && CompiledExprEnabled();
@@ -180,57 +159,10 @@ Result<JoinPipeline> JoinPipeline::Plan(const QueryBlock& block,
           continue;
         }
       }
-      // Build a hash table over the equality keys. When the inner side
-      // dwarfs the outer (first join only, so probe keys are a pure
-      // function of the outer table), transfer the outer key set across
-      // the join as a Bloom filter and drop inner rows whose key cannot
-      // match any probe before they ever enter the hash table.
+      // Build a hash table over the equality keys. The build itself is
+      // deferred until after predicate transfer runs, so rows the
+      // transferred filters eliminate never enter the table.
       jl.method = JoinMethod::kHashJoin;
-      std::shared_ptr<BloomFilter> prefilter;
-      KeyCodec inner_codec;
-      if (vec && level == 1) {
-        const Table& outer_t = *block.tables[0].table;
-        const size_t outer_n = outer_t.num_rows();
-        const size_t inner_n = tref.table->num_rows();
-        if (outer_n >= 16 && inner_n >= kBloomMinFilteredRows &&
-            inner_n >= kBloomSkewFactor * outer_n) {
-          inner_codec = InnerKeyCodec(*tref.table, jl.inner_eq_columns);
-          const KeyCodec probe_codec =
-              CodecForExprs(jl.probe_exprs, BlockColumnTypes(block));
-          if (inner_codec.usable() && probe_codec.usable()) {
-            auto bloom = std::make_shared<BloomFilter>(outer_n);
-            if (governor == nullptr ||
-                governor->TryReserve(bloom->ApproxBytes(), "bloom-filter")) {
-              const auto t0 = std::chrono::steady_clock::now();
-              Row vals;
-              PackedKey pk;
-              for (size_t i = 0; i < outer_n; ++i) {
-                vals.clear();
-                for (const ExprPtr& e : jl.probe_exprs) {
-                  vals.push_back(Evaluate(*e, outer_t.row(i)));
-                }
-                probe_codec.Encode(vals.data(), vals.size(), &pk);
-                bloom->Insert(pk.hash());
-              }
-              pipeline.bloom_build_ns_ += ElapsedNs(t0);
-              pipeline.build_bloom_used_ = true;
-              prefilter = std::move(bloom);
-            }
-          }
-        }
-      }
-      auto built = std::make_shared<HashIndex>(jl.inner_eq_columns);
-      PackedKey pk;
-      for (size_t i = 0; i < tref.table->num_rows(); ++i) {
-        if (prefilter != nullptr) {
-          inner_codec.EncodeAt(tref.table->row(i), jl.inner_eq_columns, &pk);
-          ++pipeline.plan_bloom_probes_;
-          if (!prefilter->MayContain(pk.hash())) continue;
-          ++pipeline.plan_bloom_hits_;
-        }
-        built->Insert(tref.table->row(i), i);
-      }
-      jl.built_hash = std::move(built);
       pipeline.levels_.push_back(std::move(jl));
       continue;
     }
@@ -325,42 +257,38 @@ Result<JoinPipeline> JoinPipeline::Plan(const QueryBlock& block,
       }
       jl.chunks = std::move(chunks);
     }
+  }
 
-    // Scan-side predicate transfer: when the outer table dwarfs the first
-    // join's inner side, build a Bloom filter over the inner key set and
-    // probe it during the outer scan, so doomed outer rows die before any
-    // join work. The inner table version is snapshotted; Run disables the
-    // filter if the table has changed (e.g. NLJP parameter rebinding).
-    if (pipeline.levels_.size() >= 2) {
-      JoinLevel& l1 = pipeline.levels_[1];
-      const Table& inner_t = *block.tables[1].table;
-      const Table& outer_t = *block.tables[0].table;
-      const size_t inner_n = inner_t.num_rows();
-      const size_t outer_n = outer_t.num_rows();
-      if (!l1.inner_eq_columns.empty() && outer_n >= kBloomMinFilteredRows &&
-          outer_n >= kBloomSkewFactor * std::max<size_t>(inner_n, 1)) {
-        const KeyCodec inner_codec =
-            InnerKeyCodec(inner_t, l1.inner_eq_columns);
-        KeyCodec probe_codec =
-            CodecForExprs(l1.probe_exprs, BlockColumnTypes(block));
-        if (inner_codec.usable() && probe_codec.usable()) {
-          auto bloom = std::make_shared<BloomFilter>(inner_n);
-          if (governor == nullptr ||
-              governor->TryReserve(bloom->ApproxBytes(), "bloom-filter")) {
-            const auto t0 = std::chrono::steady_clock::now();
-            PackedKey pk;
-            for (size_t i = 0; i < inner_n; ++i) {
-              inner_codec.EncodeAt(inner_t.row(i), l1.inner_eq_columns, &pk);
-              bloom->Insert(pk.hash());
-            }
-            pipeline.bloom_build_ns_ += ElapsedNs(t0);
-            pipeline.scan_bloom_.filter = std::move(bloom);
-            pipeline.scan_bloom_.probe_codec = std::move(probe_codec);
-            pipeline.scan_bloom_.inner_table = &inner_t;
-            pipeline.scan_bloom_.inner_version = inner_t.version();
-          }
-        }
+  // Predicate transfer: build the block's join graph and propagate Bloom
+  // filters across every equi-join edge to a fixpoint (transfer_graph.h).
+  // The per-relation selections it produces shrink every scan, index
+  // probe, and hash build below — this subsumes the old one-shot
+  // first-join Bloom pre-filters, without their size-skew heuristics.
+  if (transfer.enabled && PredicateTransferEnabled() && num_tables >= 2) {
+    TransferPlanOptions topts = transfer;
+    topts.governor = governor;
+    // Zone-map refutation needs column chunks; don't build them just for
+    // transfer when the vectorized paths are off.
+    topts.use_zone_maps = topts.use_zone_maps && vec;
+    pipeline.transfer_ = BuildTransferGraph(block, topts);
+  }
+
+  // Deferred kHashJoin builds: rows the transfer selections dropped never
+  // enter the hash table (a transfer miss means the key provably has no
+  // partner somewhere in the block, so no probe can ever want the row).
+  {
+    const TransferResult* xfer = pipeline.transfer_.get();
+    for (JoinLevel& jl : pipeline.levels_) {
+      if (jl.method != JoinMethod::kHashJoin) continue;
+      const Table& t = *block.tables[jl.table_index].table;
+      const size_t lvl = jl.table_index;
+      const bool drop = xfer != nullptr && xfer->HasSelection(lvl);
+      auto built = std::make_shared<HashIndex>(jl.inner_eq_columns);
+      for (size_t i = 0; i < t.num_rows(); ++i) {
+        if (drop && !xfer->Keep(lvl, i)) continue;
+        built->Insert(t.row(i), i);
       }
+      jl.built_hash = std::move(built);
     }
   }
   return pipeline;
@@ -382,40 +310,21 @@ Status JoinPipeline::Run(size_t outer_begin, size_t outer_end,
   RunScratch scratch;
   scratch.probe_keys.resize(levels_.size());
   scratch.sel.resize(levels_.size());
+  // Transfer selections stand down wholesale if any participating table
+  // mutated after planning (e.g. NLJP parameter rebinding): the bitmaps
+  // were baked against a cross-relation version snapshot.
+  if (transfer_ != nullptr && transfer_->AnySelection() && transfer_->Live()) {
+    scratch.transfer = transfer_.get();
+  }
+  const bool xfer0 =
+      scratch.transfer != nullptr && scratch.transfer->HasSelection(0);
   Row partial;
   partial.reserve(block_->TotalWidth());
 
-  // Scan-side Bloom probing, disabled when the inner table changed after
-  // planning (the snapshot would be stale). Returns false when the
-  // partial row's join key provably has no level-1 match.
-  const bool bloom_on =
-      scan_bloom_.filter != nullptr &&
-      scan_bloom_.inner_table->version() == scan_bloom_.inner_version;
-  auto passes_bloom = [&]() {
-    const JoinLevel& l1 = levels_[1];
-    Row& key = scratch.probe_keys[0];  // level 0 never probes an index
-    key.clear();
-    if (!l1.probe_progs.empty()) {
-      for (const CompiledExpr& e : l1.probe_progs) {
-        key.push_back(e.Run(partial, &scratch.eval));
-      }
-    } else {
-      for (const ExprPtr& e : l1.probe_exprs) {
-        key.push_back(Evaluate(*e, partial));
-      }
-    }
-    PackedKey pk;
-    scan_bloom_.probe_codec.Encode(key.data(), key.size(), &pk);
-    if (stats != nullptr) ++stats->bloom_probes;
-    if (!scan_bloom_.filter->MayContain(pk.hash())) return false;
-    if (stats != nullptr) ++stats->bloom_hits;
-    return true;
-  };
-
-  // Emits the partial row that survived the level-0 filter (and Bloom):
-  // the tail of the per-outer-row loop, shared by both scan shapes.
-  // Returns false when the intermediate-row limit tripped and the scan
-  // must stop.
+  // Emits the partial row that survived the level-0 filter (and transfer
+  // selection): the tail of the per-outer-row loop, shared by both scan
+  // shapes. Returns false when the intermediate-row limit tripped and the
+  // scan must stop.
   auto emit_outer = [&]() {
     if (levels_.size() == 1) {
       if (stats != nullptr) ++stats->rows_joined;
@@ -437,9 +346,10 @@ Status JoinPipeline::Run(size_t outer_begin, size_t outer_end,
         ICEBERG_RETURN_NOT_OK(governor->Check());
         if (stats != nullptr) ++stats->cancel_checks;
       }
+      if (stats != nullptr) ++stats->join_pairs_examined;
+      if (xfer0 && !scratch.transfer->Keep(0, i)) continue;
       const Row& row = outer.row(i);
       partial.assign(row.begin(), row.end());
-      if (stats != nullptr) ++stats->join_pairs_examined;
       bool pass = true;
       if (!l0.residual_progs.empty()) {
         for (const CompiledExpr& p : l0.residual_progs) {
@@ -457,7 +367,6 @@ Status JoinPipeline::Run(size_t outer_begin, size_t outer_end,
         }
       }
       if (!pass) continue;
-      if (bloom_on && !passes_bloom()) continue;
       if (!emit_outer()) break;
     }
     // A poisoning recorded inside an inner loop (row limit, memory
@@ -491,12 +400,15 @@ Status JoinPipeline::Run(size_t outer_begin, size_t outer_end,
       if (stats != nullptr) ++stats->chunks_skipped;
       continue;
     }
-    if (stats != nullptr) stats->batch_rows += hi - lo;
+    // Seed the selection vector with transfer survivors only, so the
+    // batch filters never touch eliminated rows.
     sel.resize(chunk.rows);
     size_t n = 0;
     for (size_t i = lo; i < hi; ++i) {
+      if (xfer0 && !scratch.transfer->Keep(0, i)) continue;
       sel[n++] = static_cast<uint32_t>(i - chunk.begin);
     }
+    if (stats != nullptr) stats->batch_rows += n;
     for (const CompiledExpr& p : l0.residual_progs) {
       if (n == 0) break;
       n = p.FilterBatch(chunk, 0, nullptr, sel.data(), n, sel.data(),
@@ -507,7 +419,6 @@ Status JoinPipeline::Run(size_t outer_begin, size_t outer_end,
       if (governor != nullptr && governor->poisoned()) break;
       const Row& row = outer.row(chunk.begin + sel[k]);
       partial.assign(row.begin(), row.end());
-      if (bloom_on && !passes_bloom()) continue;
       tripped = !emit_outer();
     }
     if (tripped) break;
@@ -522,6 +433,14 @@ void JoinPipeline::RunLevel(size_t level, Row* partial,
   const JoinLevel& jl = levels_[level];
   const Table& table = *block_->tables[jl.table_index].table;
   const bool compiled = !jl.residual_progs.empty() || jl.residual.empty();
+
+  // Transfer selection for this level's relation: rows it dropped provably
+  // join with nothing, so every access method skips them up front.
+  const bool has_xfer = scratch->transfer != nullptr &&
+                        scratch->transfer->HasSelection(jl.table_index);
+  auto dropped = [&](size_t row_id) {
+    return has_xfer && !scratch->transfer->Keep(jl.table_index, row_id);
+  };
 
   auto try_row = [&](const Row& inner_row) {
     // Fast bail-out once a fatal condition is recorded anywhere; the full
@@ -579,7 +498,15 @@ void JoinPipeline::RunLevel(size_t level, Row* partial,
   switch (jl.method) {
     case JoinMethod::kSeqScan: {
       if (jl.chunks == nullptr || jl.chunks->version() != table.version()) {
-        for (size_t i = 0; i < table.num_rows(); ++i) try_row(table.row(i));
+        for (size_t i = 0; i < table.num_rows(); ++i) {
+          if (dropped(i)) {
+            // Count the pair anyway: the vectorized loop below charges
+            // whole chunks, so the counter stays identical across paths.
+            if (stats != nullptr) ++stats->join_pairs_examined;
+            continue;
+          }
+          try_row(table.row(i));
+        }
         break;
       }
       // Vectorized block nested loop: zone maps are checked against the
@@ -602,10 +529,13 @@ void JoinPipeline::RunLevel(size_t level, Row* partial,
           if (stats != nullptr) ++stats->chunks_skipped;
           continue;
         }
-        if (stats != nullptr) stats->batch_rows += chunk.rows;
         sel.resize(chunk.rows);
-        size_t n = chunk.rows;
-        for (size_t k = 0; k < n; ++k) sel[k] = static_cast<uint32_t>(k);
+        size_t n = 0;
+        for (size_t k = 0; k < chunk.rows; ++k) {
+          if (dropped(chunk.begin + k)) continue;
+          sel[n++] = static_cast<uint32_t>(k);
+        }
+        if (stats != nullptr) stats->batch_rows += n;
         for (const CompiledExpr& p : jl.residual_progs) {
           if (n == 0) break;
           n = p.FilterBatch(chunk, base, partial, sel.data(), n, sel.data(),
@@ -638,7 +568,13 @@ void JoinPipeline::RunLevel(size_t level, Row* partial,
       if (stats != nullptr) ++stats->index_probes;
       const std::vector<size_t>* ids = index->Lookup(key);
       if (ids != nullptr) {
-        for (size_t id : *ids) try_row(table.row(id));
+        // kHashJoin tables are already built over transfer survivors;
+        // pre-existing indexes still contain every row, so check here.
+        const bool check = jl.method == JoinMethod::kHashIndexProbe;
+        for (size_t id : *ids) {
+          if (check && dropped(id)) continue;
+          try_row(table.row(id));
+        }
       }
       break;
     }
@@ -646,6 +582,7 @@ void JoinPipeline::RunLevel(size_t level, Row* partial,
       const Row& key = fill_probe_key();
       if (stats != nullptr) ++stats->index_probes;
       for (size_t id : jl.ordered_eq_index->Lookup(key)) {
+        if (dropped(id)) continue;
         try_row(table.row(id));
       }
       break;
@@ -661,7 +598,10 @@ void JoinPipeline::RunLevel(size_t level, Row* partial,
           jl.is_lower_bound
               ? jl.range_index->LowerBoundScan(bound, /*strict=*/false)
               : jl.range_index->UpperBoundScan(bound);
-      for (size_t id : ids) try_row(table.row(id));
+      for (size_t id : ids) {
+        if (dropped(id)) continue;
+        try_row(table.row(id));
+      }
       break;
     }
   }
@@ -708,14 +648,8 @@ std::string JoinPipeline::Explain() const {
       out += " [vectorized: " + std::to_string(jl.chunks->chunks().size()) +
              " chunks]";
     }
-    if (i == 0 && scan_bloom_.filter != nullptr) {
-      out += " [bloom prefilter: " +
-             std::to_string(scan_bloom_.filter->num_words() * 8) + "B]";
-    }
-    if (i == 1 && build_bloom_used_) {
-      out += " [bloom build-filter: " +
-             std::to_string(plan_bloom_hits_) + "/" +
-             std::to_string(plan_bloom_probes_) + " kept]";
+    if (i == 0 && transfer_ != nullptr) {
+      out += " [transfer: " + transfer_->Summary() + "]";
     }
     out += "\n";
   }

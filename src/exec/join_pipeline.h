@@ -7,9 +7,9 @@
 #include <vector>
 
 #include "src/common/status.h"
-#include "src/exec/bloom.h"
 #include "src/exec/exec_options.h"
 #include "src/exec/key_codec.h"
+#include "src/exec/transfer_graph.h"
 #include "src/expr/compiled.h"
 #include "src/plan/query_block.h"
 #include "src/storage/column_chunk.h"
@@ -73,13 +73,17 @@ class JoinPipeline {
   /// only kSeqScan/kHashJoin are considered (the paper's "PK only"
   /// configuration in Fig. 4). `vectorize` (ANDed with the process-wide
   /// chicken bits) enables the columnar scan paths: column-chunk
-  /// projections for batchable kSeqScan filters, and Bloom pre-filters
-  /// transferred across the first join when one side dwarfs the other.
-  /// `governor`, when given, is charged (advisory) for chunk and Bloom
-  /// bytes; under pressure the plan quietly degrades to the row path.
+  /// projections for batchable kSeqScan filters. `transfer` configures the
+  /// predicate-transfer graph (fixpoint Bloom propagation across every
+  /// equi-join edge; see transfer_graph.h) whose per-relation selections
+  /// the planned pipeline executes over — ANDed with the process-wide
+  /// PredicateTransferEnabled() chicken bit. `governor`, when given, is
+  /// charged (advisory) for chunk and filter bytes; under pressure the
+  /// plan quietly degrades (row path, fewer transfer passes).
   static Result<JoinPipeline> Plan(const QueryBlock& block, bool use_indexes,
                                    bool vectorize = true,
-                                   QueryGovernor* governor = nullptr);
+                                   QueryGovernor* governor = nullptr,
+                                   const TransferPlanOptions& transfer = {});
 
   using RowCallback = std::function<void(const Row&)>;
 
@@ -95,13 +99,11 @@ class JoinPipeline {
   /// Number of rows of the outer (level-0) table.
   size_t OuterSize() const;
 
-  /// Plan-time Bloom cost/effect, folded into the run's ExecStats once per
-  /// Execute (the pipeline may Run many morsels).
-  int64_t bloom_build_ns() const { return bloom_build_ns_; }
-  size_t plan_bloom_probes() const { return plan_bloom_probes_; }
-  size_t plan_bloom_hits() const { return plan_bloom_hits_; }
-  bool has_scan_bloom() const { return scan_bloom_.filter != nullptr; }
-  bool has_build_bloom() const { return build_bloom_used_; }
+  /// The predicate-transfer outcome of Plan (null when transfer was off or
+  /// structurally inapplicable). Its plan-time stats are folded into the
+  /// run's ExecStats once per Execute (the pipeline may Run many morsels);
+  /// Run consults its selections only while Live() holds.
+  const TransferResultPtr& transfer() const { return transfer_; }
 
   std::string Explain() const;
 
@@ -119,16 +121,10 @@ class JoinPipeline {
     std::vector<Row> probe_keys;             // indexed by level
     std::vector<std::vector<uint32_t>> sel;  // indexed by level
     BatchScratch batch;
-  };
-
-  /// Bloom filter built at plan time from the level-1 inner join keys and
-  /// probed during the outer scan ("predicate transfer"): outer rows whose
-  /// key cannot exist on the inner side never reach the join.
-  struct ScanBloom {
-    std::shared_ptr<BloomFilter> filter;  // null = not planned
-    KeyCodec probe_codec;
-    const Table* inner_table = nullptr;
-    uint64_t inner_version = 0;  // probing disabled on version mismatch
+    /// Transfer selections for this Run, resolved once per call: null when
+    /// transfer is off, eliminated nothing, or a participating table
+    /// mutated after planning (Live() failed — all selections stand down).
+    const TransferResult* transfer = nullptr;
   };
 
   void RunLevel(size_t level, Row* partial, const RowCallback& callback,
@@ -137,11 +133,7 @@ class JoinPipeline {
 
   const QueryBlock* block_;
   std::vector<JoinLevel> levels_;
-  ScanBloom scan_bloom_;
-  bool build_bloom_used_ = false;  // hash build pre-filtered by outer keys
-  int64_t bloom_build_ns_ = 0;
-  size_t plan_bloom_probes_ = 0;
-  size_t plan_bloom_hits_ = 0;
+  TransferResultPtr transfer_;
 };
 
 }  // namespace iceberg

@@ -25,6 +25,12 @@ void NljpStats::Accumulate(const NljpStats& run) {
   inner_pairs_examined += run.inner_pairs_examined;
   inner_chunks_skipped += run.inner_chunks_skipped;
   inner_batch_rows += run.inner_batch_rows;
+  transfer_passes += run.transfer_passes;
+  transfer_filters_built += run.transfer_filters_built;
+  transfer_probes += run.transfer_probes;
+  transfer_hits += run.transfer_hits;
+  transfer_rows_eliminated += run.transfer_rows_eliminated;
+  transfer_build_ns += run.transfer_build_ns;
   cache_entries += run.cache_entries;
   cache_bytes += run.cache_bytes;
   cache_evictions += run.cache_evictions;
@@ -48,6 +54,12 @@ std::string NljpStats::ToString() const {
   if (inner_batch_rows > 0 || inner_chunks_skipped > 0) {
     out += " inner_batch_rows=" + std::to_string(inner_batch_rows) +
            " inner_chunks_skipped=" + std::to_string(inner_chunks_skipped);
+  }
+  if (transfer_probes > 0 || transfer_passes > 0) {
+    out += " transfer_passes=" + std::to_string(transfer_passes) +
+           " transfer=" + std::to_string(transfer_hits) + "/" +
+           std::to_string(transfer_probes) +
+           " transfer_eliminated=" + std::to_string(transfer_rows_eliminated);
   }
   if (cache_evictions > 0) {
     out += " evictions=" + std::to_string(cache_evictions);
@@ -214,11 +226,16 @@ Result<std::unique_ptr<NljpOperator>> NljpOperator::Create(
 
   // Plan Q_R once; only the parameter row changes across bindings. The
   // one-row parameter table stays below every vectorization threshold, so
-  // chunks/Blooms attach only to the static R-side levels.
+  // chunks attach only to the static R-side levels. Predicate transfer is
+  // off here: the parameter table is rebound (mutated) per binding, so any
+  // plan-time selection would be invalidated before the first Run.
   {
+    TransferPlanOptions no_transfer;
+    no_transfer.enabled = false;
     Result<JoinPipeline> inner_pipeline =
         JoinPipeline::Plan(op->inner_block_, options.use_indexes,
-                           /*vectorize=*/true, options.governor.get());
+                           /*vectorize=*/true, options.governor.get(),
+                           no_transfer);
     if (!inner_pipeline.ok()) return inner_pipeline.status();
     op->inner_pipeline_.emplace(std::move(*inner_pipeline));
   }
@@ -597,6 +614,11 @@ void PublishNljpMetrics(const NljpStats& run) {
   ICEBERG_COUNTER("nljp.inner_pairs_examined")->Add(run.inner_pairs_examined);
   ICEBERG_COUNTER("nljp.inner_chunks_skipped")->Add(run.inner_chunks_skipped);
   ICEBERG_COUNTER("nljp.inner_batch_rows")->Add(run.inner_batch_rows);
+  ICEBERG_COUNTER("nljp.transfer_passes")->Add(run.transfer_passes);
+  ICEBERG_COUNTER("nljp.transfer_probes")->Add(run.transfer_probes);
+  ICEBERG_COUNTER("nljp.transfer_hits")->Add(run.transfer_hits);
+  ICEBERG_COUNTER("nljp.transfer_rows_eliminated")
+      ->Add(run.transfer_rows_eliminated);
   ICEBERG_COUNTER("nljp.cache_evictions")->Add(run.cache_evictions);
   ICEBERG_COUNTER("nljp.cache_shed_entries")->Add(run.cache_shed_entries);
   ICEBERG_GAUGE("nljp.cache_entries")
@@ -632,11 +654,26 @@ Result<TablePtr> NljpOperator::ExecuteImpl(NljpStats* stats) {
   size_t mandatory_bytes = 0;
 
   // ---- Q_B: stream (or sort) the L-side tuples ----
+  // Predicate transfer shrinks the binding stream before memoization or
+  // pruning ever sees an L-tuple: bindings whose join keys provably match
+  // nothing die at the scan instead of costing an inner evaluation.
   TraceSpan qb_span("nljp.q_b", "nljp");
+  TransferPlanOptions qb_transfer;
+  qb_transfer.enabled = options_.predicate_transfer;
+  qb_transfer.num_threads = ResolveThreads(options_.num_threads);
   ICEBERG_ASSIGN_OR_RETURN(
       JoinPipeline binding_pipeline,
       JoinPipeline::Plan(binding_block_, options_.use_indexes,
-                         /*vectorize=*/true, governor));
+                         /*vectorize=*/true, governor, qb_transfer));
+  if (stats != nullptr && binding_pipeline.transfer() != nullptr) {
+    const TransferStats& ts = binding_pipeline.transfer()->stats();
+    stats->transfer_passes += ts.passes;
+    stats->transfer_filters_built += ts.filters_built;
+    stats->transfer_probes += ts.probes;
+    stats->transfer_hits += ts.hits;
+    stats->transfer_rows_eliminated += ts.rows_eliminated;
+    stats->transfer_build_ns += ts.build_ns;
+  }
   std::vector<Row> l_rows;
   Status binding_status = binding_pipeline.Run(
       0, binding_pipeline.OuterSize(),
@@ -975,10 +1012,12 @@ Result<TablePtr> NljpOperator::ExecuteParallel(std::vector<Row> l_rows,
     ctx->param->AppendUnchecked(
         Row(ctx->param->schema().num_columns(), Value::Null()));
     ctx->inner_block.tables[0].table = ctx->param;
+    TransferPlanOptions no_transfer;
+    no_transfer.enabled = false;  // param table rebinds per binding
     ICEBERG_ASSIGN_OR_RETURN(
         JoinPipeline pipeline,
         JoinPipeline::Plan(ctx->inner_block, options_.use_indexes,
-                           /*vectorize=*/true, governor));
+                           /*vectorize=*/true, governor, no_transfer));
     ctx->pipeline.emplace(std::move(pipeline));
     ctxs.push_back(std::move(ctx));
   }

@@ -55,6 +55,12 @@ struct NljpOptions {
   bool cache_index = true;
   /// Use secondary indexes inside the inner query Q_R(b).
   bool use_indexes = true;
+  /// Predicate transfer over the *binding* query Q_B: the transferred
+  /// reduction shrinks the L-tuple stream before memoization/pruning ever
+  /// sees a binding. The per-binding inner pipelines always run with
+  /// transfer off — their parameter table mutates on every rebinding, so
+  /// any plan-time selection would stand down immediately.
+  bool predicate_transfer = true;
   /// Apply memoization even when J_L -> A_L makes bindings unique
   /// (normally skipped as non-beneficial; Section 6).
   bool force_memo = false;
@@ -108,6 +114,14 @@ struct NljpStats {
   // refuted against the *current binding's* values, per binding.
   size_t inner_chunks_skipped = 0;
   size_t inner_batch_rows = 0;
+  // Predicate-transfer counters of the binding pipeline Q_B (zero when
+  // transfer was off or Q_B had no usable join edges).
+  size_t transfer_passes = 0;
+  size_t transfer_filters_built = 0;
+  size_t transfer_probes = 0;
+  size_t transfer_hits = 0;
+  size_t transfer_rows_eliminated = 0;
+  int64_t transfer_build_ns = 0;
   size_t cache_entries = 0;
   size_t cache_bytes = 0;
   size_t cache_evictions = 0;      // FIFO evictions from max_cache_entries

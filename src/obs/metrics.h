@@ -33,6 +33,11 @@ class Counter {
 class Gauge {
  public:
   void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  /// Atomic delta for live-resource gauges (bytes held by in-flight
+  /// structures); pass a negative delta on release.
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
   /// Raises the gauge to `v` if it is larger (lock-free running maximum).
   void SetMax(int64_t v) {
     int64_t cur = value_.load(std::memory_order_relaxed);

@@ -191,6 +191,7 @@ Result<std::unique_ptr<NljpOperator>> IcebergOptimizer::PickMemprune(
   nljp_options.enable_prune = options_.enable_prune;
   nljp_options.cache_index = options_.cache_index;
   nljp_options.use_indexes = options_.use_indexes;
+  nljp_options.predicate_transfer = options_.base_exec.predicate_transfer;
   nljp_options.binding_order = options_.binding_order;
   nljp_options.max_cache_entries = options_.max_cache_entries;
   nljp_options.governor = options_.governor;
@@ -380,6 +381,9 @@ Result<TablePtr> IcebergOptimizer::RunFull(const QueryBlock& block,
   }
   ExecOptions fallback_exec = options_.base_exec;
   fallback_exec.governor = options_.governor;
+  if (cap != nullptr) {
+    fallback_exec.transfer_capture = &cap->transfer_schedule;
+  }
   Executor executor(fallback_exec);
   PhaseTimer timer(&report->timing.execute_us);
   return executor.Execute(rewritten, &report->exec_stats);
@@ -466,6 +470,7 @@ Result<TablePtr> IcebergOptimizer::RunReplay(const QueryBlock& block,
       nljp_options.enable_prune = options_.enable_prune;
       nljp_options.cache_index = options_.cache_index;
       nljp_options.use_indexes = options_.use_indexes;
+      nljp_options.predicate_transfer = options_.base_exec.predicate_transfer;
       nljp_options.binding_order = options_.binding_order;
       nljp_options.max_cache_entries = options_.max_cache_entries;
       nljp_options.governor = options_.governor;
@@ -516,6 +521,9 @@ Result<TablePtr> IcebergOptimizer::RunReplay(const QueryBlock& block,
   }
   ExecOptions fallback_exec = options_.base_exec;
   fallback_exec.governor = options_.governor;
+  if (trace.transfer_schedule.valid) {
+    fallback_exec.transfer_replay = &trace.transfer_schedule;
+  }
   Executor executor(fallback_exec);
   PhaseTimer timer(&report->timing.execute_us);
   return executor.Execute(rewritten, &report->exec_stats);

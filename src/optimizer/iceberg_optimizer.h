@@ -7,6 +7,7 @@
 
 #include "src/common/status.h"
 #include "src/exec/executor.h"
+#include "src/exec/transfer_graph.h"
 #include "src/nljp/nljp.h"
 #include "src/rewrite/apriori.h"
 
@@ -40,6 +41,13 @@ struct PlanTrace {
   bool used_nljp = false;
   TablePartition nljp_partition;
   NljpPlanArtifacts nljp_artifacts;
+  /// Predicate-transfer graph shape of the fallback-executor plan (edge
+  /// set, node order, observed fixpoint passes). Replay hands it to the
+  /// executor so a plan-cache hit skips the order/pass exploration; the
+  /// Bloom filters themselves are data-dependent and always rebuilt.
+  /// (NLJP plans re-derive the Q_B graph instead — it is per-binding-block
+  /// and cheap relative to the operator's own setup.)
+  TransferSchedule transfer_schedule;
   /// Set once the capture side has fully populated the trace (only
   /// successful plans are inserted into the cache).
   bool captured = false;

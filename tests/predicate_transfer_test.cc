@@ -1,0 +1,312 @@
+// Differential suite for the predicate-transfer graph (fixpoint Bloom
+// propagation across every equi-join edge, src/exec/transfer_graph.h):
+//
+//  - transfer on vs off must be byte-identical on every workload query,
+//    across both engines, 1 and 8 threads, and both vectorize states
+//    (Bloom false positives only admit rows the real join predicates then
+//    reject — soundness is one-sided);
+//  - cyclic join graphs must reach a fixpoint under the pass cap;
+//  - governor pressure must degrade to fewer passes, never to an error or
+//    a wrong answer;
+//  - a plan-cache hit must replay the captured graph shape and still
+//    eliminate the same rows (filters are data-dependent and rebuilt).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/workload_queries.h"
+#include "src/engine/database.h"
+#include "src/exec/exec_options.h"
+#include "src/exec/governor.h"
+#include "src/optimizer/iceberg_optimizer.h"
+#include "src/storage/table.h"
+
+namespace iceberg {
+namespace {
+
+// Restores the process-wide chicken bits on exit (including via assertion
+// failures) so this suite composes with the CI env-var sweeps.
+struct FlagGuard {
+  bool vec = VectorizedExecEnabled();
+  bool transfer = PredicateTransferEnabled();
+  ~FlagGuard() {
+    SetVectorizedExecEnabled(vec);
+    SetPredicateTransferEnabled(transfer);
+  }
+};
+
+void ExpectSameRows(const TablePtr& a, const TablePtr& b,
+                    const std::string& ctx) {
+  ASSERT_EQ(a->num_rows(), b->num_rows()) << ctx;
+  std::vector<Row> ra = a->rows(), rb = b->rows();
+  std::sort(ra.begin(), ra.end(), RowLess());
+  std::sort(rb.begin(), rb.end(), RowLess());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    ASSERT_EQ(CompareRows(ra[i], rb[i]), 0) << ctx << " row " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workload differential: every query, both engines, both vectorize
+// states, 1 and 8 threads
+// ---------------------------------------------------------------------------
+
+TEST(PredicateTransferWorkloadTest, OnOffIdenticalResults) {
+  FlagGuard guard;
+  SetPredicateTransferEnabled(true);
+  std::unique_ptr<Database> db = bench::MakeScoreDb(1500);
+  for (const bench::NamedQuery& q : bench::Figure1Queries()) {
+    for (int threads : {1, 8}) {
+      for (bool vec : {true, false}) {
+        SetVectorizedExecEnabled(vec);
+        const std::string ctx = q.name + " t=" + std::to_string(threads) +
+                                (vec ? " vec" : " row");
+
+        ExecOptions on;
+        on.num_threads = threads;
+        Result<TablePtr> base_on = db->Query(q.sql, on);
+        ExecOptions off = on;
+        off.predicate_transfer = false;
+        Result<TablePtr> base_off = db->Query(q.sql, off);
+        ASSERT_TRUE(base_on.ok()) << ctx << ": " << base_on.status().ToString();
+        ASSERT_TRUE(base_off.ok())
+            << ctx << ": " << base_off.status().ToString();
+        ExpectSameRows(*base_on, *base_off, ctx + " baseline");
+        if (::testing::Test::HasFatalFailure()) return;
+
+        IcebergOptions ion;
+        ion.base_exec.num_threads = threads;
+        Result<TablePtr> ice_on = db->QueryIceberg(q.sql, ion);
+        IcebergOptions ioff = ion;
+        ioff.base_exec.predicate_transfer = false;
+        Result<TablePtr> ice_off = db->QueryIceberg(q.sql, ioff);
+        ASSERT_TRUE(ice_on.ok()) << ctx << ": " << ice_on.status().ToString();
+        ASSERT_TRUE(ice_off.ok()) << ctx << ": " << ice_off.status().ToString();
+        ExpectSameRows(*ice_on, *ice_off, ctx + " iceberg");
+        ExpectSameRows(*base_on, *ice_on, ctx + " engines");
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+  SetVectorizedExecEnabled(true);
+}
+
+TEST(PredicateTransferWorkloadTest, ChickenBitDisablesTransfer) {
+  FlagGuard guard;
+  std::unique_ptr<Database> db = bench::MakeScoreDb(500);
+  const std::string sql = bench::SkybandSql("hits", "hruns", 50);
+
+  SetPredicateTransferEnabled(false);
+  ExecOptions exec;  // per-query option stays on; the global bit wins
+  ExecStats stats;
+  Result<TablePtr> disabled = db->Query(sql, exec, &stats);
+  ASSERT_TRUE(disabled.ok()) << disabled.status().ToString();
+  EXPECT_EQ(stats.transfer_passes, 0u);
+  EXPECT_EQ(stats.transfer_probes, 0u);
+  EXPECT_EQ(stats.transfer_filters_built, 0u);
+
+  SetPredicateTransferEnabled(true);
+  Result<TablePtr> enabled = db->Query(sql, exec);
+  ASSERT_TRUE(enabled.ok()) << enabled.status().ToString();
+  ExpectSameRows(*disabled, *enabled, "chicken bit");
+}
+
+// ---------------------------------------------------------------------------
+// Cross-table elimination and cyclic graphs
+// ---------------------------------------------------------------------------
+
+class TransferGraphTest : public ::testing::Test {
+ protected:
+  // Three relations forming a join *cycle*:
+  //   a(x, y) -- a.x = b.x -- b(x, z) -- b.z = c.z -- c(z, y) -- c.y = a.y
+  // Key populations are staggered so elimination cascades around the
+  // cycle: b covers only x < 50, c covers only even z.
+  void SetUp() override {
+    SetPredicateTransferEnabled(true);
+    ASSERT_TRUE(db_.CreateTable("a", Schema({{"x", DataType::kInt64},
+                                             {"y", DataType::kInt64}}))
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable("b", Schema({{"x", DataType::kInt64},
+                                             {"z", DataType::kInt64}}))
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable("c", Schema({{"z", DataType::kInt64},
+                                             {"y", DataType::kInt64}}))
+                    .ok());
+    for (int64_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE(db_.Insert("a", {Value::Int(i), Value::Int(i)}).ok());
+    }
+    for (int64_t i = 0; i < 50; ++i) {
+      ASSERT_TRUE(db_.Insert("b", {Value::Int(i), Value::Int(i)}).ok());
+    }
+    for (int64_t i = 0; i < 100; i += 2) {
+      ASSERT_TRUE(db_.Insert("c", {Value::Int(i), Value::Int(i)}).ok());
+    }
+  }
+
+  FlagGuard guard_;
+  Database db_;
+};
+
+TEST_F(TransferGraphTest, CyclicGraphReachesFixpointAndEliminates) {
+  const std::string sql =
+      "SELECT a.x, b.z, c.y FROM a, b, c "
+      "WHERE a.x = b.x AND b.z = c.z AND c.y = a.y";
+  ExecOptions on;
+  ExecStats on_stats;
+  Result<TablePtr> with = db_.Query(sql, on, &on_stats);
+  ASSERT_TRUE(with.ok()) << with.status().ToString();
+  // Terminated under the pass cap (the build alternates forward/backward
+  // sweeps until no node shrinks).
+  EXPECT_GE(on_stats.transfer_passes, 1u);
+  EXPECT_LE(on_stats.transfer_passes, 6u);
+  // The cycle admits only even x < 50: a loses 75 rows, b loses 25.
+  EXPECT_GT(on_stats.transfer_rows_eliminated, 0u);
+
+  ExecOptions off;
+  off.predicate_transfer = false;
+  ExecStats off_stats;
+  Result<TablePtr> without = db_.Query(sql, off, &off_stats);
+  ASSERT_TRUE(without.ok()) << without.status().ToString();
+  ExpectSameRows(*with, *without, "cyclic graph");
+  EXPECT_EQ((*with)->num_rows(), 25u);
+  EXPECT_EQ(on_stats.rows_joined, off_stats.rows_joined);
+}
+
+TEST_F(TransferGraphTest, ThreadedAndRowPathsAgree) {
+  const std::string sql =
+      "SELECT a.x, b.z, c.y FROM a, b, c "
+      "WHERE a.x = b.x AND b.z = c.z AND c.y = a.y";
+  ExecOptions ref;
+  ref.predicate_transfer = false;
+  Result<TablePtr> expected = db_.Query(sql, ref);
+  ASSERT_TRUE(expected.ok());
+  for (int threads : {1, 8}) {
+    for (bool vec : {true, false}) {
+      SetVectorizedExecEnabled(vec);
+      ExecOptions exec;
+      exec.num_threads = threads;
+      Result<TablePtr> got = db_.Query(sql, exec);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ExpectSameRows(*expected, *got,
+                     "t=" + std::to_string(threads) + (vec ? " vec" : " row"));
+    }
+  }
+  SetVectorizedExecEnabled(true);
+}
+
+// Past 8192 rows the builder goes morsel-parallel over the TaskPool:
+// local-predicate seeding, per-worker partial Bloom builds merged with
+// MergeFrom, and the probe passes all run concurrently. This is the tsan
+// target for those paths (the workload tables above are too small to
+// trigger them).
+TEST(PredicateTransferParallelTest, MorselParallelBuildAndProbeIdentical) {
+  FlagGuard guard;
+  SetPredicateTransferEnabled(true);
+  Database db;
+  ASSERT_TRUE(db.CreateTable("fact", Schema({{"k", DataType::kInt64},
+                                             {"v", DataType::kInt64}}))
+                  .ok());
+  ASSERT_TRUE(db.CreateTable("dim", Schema({{"k", DataType::kInt64},
+                                            {"f", DataType::kInt64}}))
+                  .ok());
+  for (int64_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(
+        db.Insert("fact", {Value::Int(i % 4096), Value::Int(i)}).ok());
+    ASSERT_TRUE(db.Insert("dim", {Value::Int(i), Value::Int(i % 100)}).ok());
+  }
+  // dim's local predicate seeds its selection (parallel), its surviving
+  // keys bloom (parallel partial builds), and fact is probed (parallel).
+  const std::string sql =
+      "SELECT fact.v, dim.f FROM fact, dim "
+      "WHERE fact.k = dim.k AND dim.f < 10";
+
+  ExecOptions off;
+  off.predicate_transfer = false;
+  off.num_threads = 8;
+  Result<TablePtr> expected = db.Query(sql, off);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  ExecOptions on;
+  on.num_threads = 8;
+  ExecStats stats;
+  Result<TablePtr> got = db.Query(sql, on, &stats);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_GT(stats.transfer_rows_eliminated, 0u);
+  ExpectSameRows(*expected, *got, "parallel build/probe");
+}
+
+// ---------------------------------------------------------------------------
+// Governor pressure: degrade passes, never the answer
+// ---------------------------------------------------------------------------
+
+TEST_F(TransferGraphTest, GovernorPressureDegradesGracefully) {
+  const std::string sql =
+      "SELECT a.x, b.z, c.y FROM a, b, c "
+      "WHERE a.x = b.x AND b.z = c.z AND c.y = a.y";
+  ExecOptions ref;
+  ref.predicate_transfer = false;
+  Result<TablePtr> expected = db_.Query(sql, ref);
+  ASSERT_TRUE(expected.ok());
+
+  // Refuse every transfer-filter reservation: the build stops sweeping
+  // before its first filter, keeping only the (sound) local-predicate
+  // seeding; execution proceeds and the answer is unchanged.
+  GovernorProbe probe;
+  probe.on_reserve = [](size_t, size_t, const char* tag) {
+    if (std::string(tag) == "transfer-filter") {
+      return Status::ResourceExhausted("injected pressure");
+    }
+    return Status::OK();
+  };
+  ExecOptions governed;
+  governed.governor = std::make_shared<QueryGovernor>(
+      QueryGovernor::Limits{}, std::move(probe));
+  ExecStats stats;
+  Result<TablePtr> degraded = db_.Query(sql, governed, &stats);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_EQ(stats.transfer_filters_built, 0u);
+  EXPECT_EQ(stats.transfer_rows_eliminated, 0u);
+  ExpectSameRows(*expected, *degraded, "governed transfer");
+}
+
+// ---------------------------------------------------------------------------
+// Plan-cache schedule capture and replay
+// ---------------------------------------------------------------------------
+
+TEST_F(TransferGraphTest, PlanTraceCapturesAndReplaysSchedule) {
+  const std::string sql =
+      "SELECT a.x, b.z, c.y FROM a, b, c "
+      "WHERE a.x = b.x AND b.z = c.z AND c.y = a.y";
+  // IcebergOptions::None routes through the baseline-fallback executor,
+  // the path whose transfer schedule is recorded in the PlanTrace.
+  PlanTrace trace;
+  IcebergOptions capture = IcebergOptions::None();
+  capture.capture = &trace;
+  IcebergReport cap_report;
+  Result<TablePtr> captured = db_.QueryIceberg(sql, capture, &cap_report);
+  ASSERT_TRUE(captured.ok()) << captured.status().ToString();
+  ASSERT_TRUE(trace.captured);
+  ASSERT_TRUE(trace.transfer_schedule.valid);
+  EXPECT_EQ(trace.transfer_schedule.edges.size(), 3u);
+  EXPECT_EQ(trace.transfer_schedule.order.size(), 3u);
+  EXPECT_GE(trace.transfer_schedule.passes, 1u);
+
+  IcebergOptions replay = IcebergOptions::None();
+  replay.replay = &trace;
+  IcebergReport rep_report;
+  Result<TablePtr> replayed = db_.QueryIceberg(sql, replay, &rep_report);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  ExpectSameRows(*captured, *replayed, "schedule replay");
+  // Filters are rebuilt from data on the replay path, so the replayed run
+  // eliminates exactly the same rows.
+  EXPECT_EQ(rep_report.exec_stats.transfer_rows_eliminated,
+            cap_report.exec_stats.transfer_rows_eliminated);
+  EXPECT_GT(rep_report.exec_stats.transfer_rows_eliminated, 0u);
+}
+
+}  // namespace
+}  // namespace iceberg

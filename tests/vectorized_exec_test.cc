@@ -35,6 +35,14 @@ struct VectorizeFlagGuard {
   ~VectorizeFlagGuard() { SetVectorizedExecEnabled(saved); }
 };
 
+// Same contract for the predicate-transfer bit: tests that assert
+// transfer counters pin it on first, so the suite also passes under the
+// ICEBERG_PREDICATE_TRANSFER=0 CI sweep.
+struct TransferFlagGuard {
+  bool saved = PredicateTransferEnabled();
+  ~TransferFlagGuard() { SetPredicateTransferEnabled(saved); }
+};
+
 ExprPtr ColAt(int index) {
   ExprPtr c = Col("c" + std::to_string(index));
   c->resolved_index = index;
@@ -379,7 +387,6 @@ TEST(VectorizedWorkloadTest, PerQueryOptionDisablesVectorization) {
   Result<TablePtr> without = db->Query(sql, off, &off_stats);
   ASSERT_TRUE(without.ok()) << without.status().ToString();
   EXPECT_EQ(off_stats.batch_rows, 0u);
-  EXPECT_EQ(off_stats.bloom_probes, 0u);
   ExpectSameRows(*with, *without, "per-query vectorize option");
   // Counter identity across the paths: the row-at-a-time reference and the
   // vectorized path must examine the same pairs and join the same rows.
@@ -388,15 +395,16 @@ TEST(VectorizedWorkloadTest, PerQueryOptionDisablesVectorization) {
 }
 
 // ---------------------------------------------------------------------------
-// Bloom pre-filtering: both transfer directions
+// Predicate transfer over a skewed two-table join (both directions)
 // ---------------------------------------------------------------------------
 
-class BloomJoinTest : public ::testing::Test {
+class TransferJoinTest : public ::testing::Test {
  protected:
   // big: 4096 rows (id in [0, 512) so some ids exist in small, val = i).
   // small: 32 rows (id in [0, 64) stepped by 2, w = id * 10).
   void SetUp() override {
     SetVectorizedExecEnabled(true);
+    SetPredicateTransferEnabled(true);
     ASSERT_TRUE(db_.CreateTable("big", Schema({{"id", DataType::kInt64},
                                                {"val", DataType::kInt64}}))
                     .ok());
@@ -414,12 +422,14 @@ class BloomJoinTest : public ::testing::Test {
   }
 
   VectorizeFlagGuard guard_;
+  TransferFlagGuard transfer_guard_;
   Database db_;
 };
 
-TEST_F(BloomJoinTest, ScanSideBloomIdenticalResults) {
-  // Outer (big) >> inner (small): a Bloom over the inner key set filters
-  // the outer scan.
+TEST_F(TransferJoinTest, OuterShrunkByTransferIdenticalResults) {
+  // Outer (big) >> inner (small): the small side's key set transfers to
+  // the big scan, so big rows whose id has no small partner (odd ids, ids
+  // >= 64) die before any join work.
   const std::string sql =
       "SELECT L.id, L.val, R.w FROM big L, small R "
       "WHERE L.id = R.id AND L.val >= 0";
@@ -427,37 +437,49 @@ TEST_F(BloomJoinTest, ScanSideBloomIdenticalResults) {
   ExecStats on_stats;
   Result<TablePtr> with = db_.Query(sql, on, &on_stats);
   ASSERT_TRUE(with.ok()) << with.status().ToString();
-  EXPECT_GT(on_stats.bloom_probes, 0u);
-  EXPECT_GE(on_stats.bloom_probes, on_stats.bloom_hits);
+  EXPECT_GT(on_stats.transfer_probes, 0u);
+  EXPECT_GE(on_stats.transfer_probes, on_stats.transfer_hits);
+  EXPECT_GT(on_stats.transfer_rows_eliminated, 0u);
 
   ExecOptions off;
-  off.vectorize = false;
-  Result<TablePtr> without = db_.Query(sql, off);
+  off.predicate_transfer = false;
+  ExecStats off_stats;
+  Result<TablePtr> without = db_.Query(sql, off, &off_stats);
   ASSERT_TRUE(without.ok()) << without.status().ToString();
-  ExpectSameRows(*with, *without, "scan-side bloom");
+  EXPECT_EQ(off_stats.transfer_probes, 0u);
+  EXPECT_EQ(off_stats.transfer_passes, 0u);
+  ExpectSameRows(*with, *without, "transfer vs no-transfer");
   EXPECT_GT((*with)->num_rows(), 0u);
+  EXPECT_EQ(on_stats.rows_joined, off_stats.rows_joined);
+
+  // Row-at-a-time path with transfer on: same answer again.
+  ExecOptions row_on;
+  row_on.vectorize = false;
+  Result<TablePtr> row = db_.Query(sql, row_on);
+  ASSERT_TRUE(row.ok()) << row.status().ToString();
+  ExpectSameRows(*with, *row, "transfer row path");
 }
 
-TEST_F(BloomJoinTest, BuildSideBloomIdenticalResults) {
-  // Outer (small) << inner (big): the outer key set filters the kHashJoin
-  // hash build over the inner table.
+TEST_F(TransferJoinTest, HashBuildShrunkByTransferIdenticalResults) {
+  // Outer (small) << inner (big): the transferred outer key set keeps
+  // non-matching big rows out of the kHashJoin hash build.
   const std::string sql =
       "SELECT L.id, L.w, R.val FROM small L, big R WHERE R.id = L.id";
   ExecOptions on;
   ExecStats on_stats;
   Result<TablePtr> with = db_.Query(sql, on, &on_stats);
   ASSERT_TRUE(with.ok()) << with.status().ToString();
-  // Every inner row was probed against the outer-key Bloom at build time.
-  EXPECT_EQ(on_stats.bloom_probes, 4096u);
-  EXPECT_GT(on_stats.bloom_hits, 0u);
+  EXPECT_GT(on_stats.transfer_probes, 0u);
+  EXPECT_GT(on_stats.transfer_rows_eliminated, 0u);
 
   ExecOptions off;
+  off.predicate_transfer = false;
   off.vectorize = false;
   ExecStats off_stats;
   Result<TablePtr> without = db_.Query(sql, off, &off_stats);
   ASSERT_TRUE(without.ok()) << without.status().ToString();
-  EXPECT_EQ(off_stats.bloom_probes, 0u);
-  ExpectSameRows(*with, *without, "build-side bloom");
+  EXPECT_EQ(off_stats.transfer_probes, 0u);
+  ExpectSameRows(*with, *without, "hash-build transfer");
   EXPECT_GT((*with)->num_rows(), 0u);
   EXPECT_EQ(on_stats.rows_joined, off_stats.rows_joined);
 }
@@ -479,12 +501,12 @@ TEST(VectorizedGovernorTest, BudgetPressureFallsBackToRowPath) {
   ASSERT_TRUE(expected.ok());
   ASSERT_GT(plain_stats.batch_rows, 0u);
 
-  // Deterministic pressure: every advisory chunk/Bloom reservation is
-  // refused; mandatory reservations proceed.
+  // Deterministic pressure: every advisory chunk/transfer-filter
+  // reservation is refused; mandatory reservations proceed.
   GovernorProbe probe;
   probe.on_reserve = [](size_t, size_t, const char* tag) {
     const std::string t(tag);
-    if (t == "column-chunks" || t == "bloom-filter") {
+    if (t == "column-chunks" || t == "transfer-filter") {
       return Status::ResourceExhausted("injected pressure");
     }
     return Status::OK();
