@@ -32,6 +32,20 @@
 //   \plancache on|off|status   toggle the shape-keyed plan/program cache
 //                    (off also clears it); also honours ICEBERG_PLAN_CACHE
 //                    at startup; status prints entry/hit/miss counters
+//   \queries [n]     flight recorder: the most recent n (default 20)
+//                    query-attempt records (engine, status, latency,
+//                    admission wait, governor peak, plan-cache provenance,
+//                    transfer stats, chaos annotations)
+//   \slow [n]        recent slow records (past the armed threshold, or
+//                    carrying a capture), plus the newest capture payload
+//                    (EXPLAIN ANALYZE tree + trace slice)
+//   \slow threshold <us>   arm slow-query capture at `us` (0 disarms);
+//                    also honours ICEBERG_SLOW_QUERY_US at startup
+//   \querylog on|off|clear|shapes|slo <us>|dump <file>|status
+//                    flight-recorder control: chicken bit (also
+//                    ICEBERG_QUERY_LOG=0 at startup), per-shape p50/p99
+//                    latency table with SLO violation counts, default
+//                    latency SLO, JSONL export of the ring
 //   \q               quit
 // Anything else is executed through the serving layer (session + admission
 // + retry) with the Smart-Iceberg optimizer; statements starting with
@@ -53,6 +67,7 @@
 #include "src/engine/database.h"
 #include "src/expr/compiled.h"
 #include "src/obs/metrics.h"
+#include "src/obs/query_log.h"
 #include "src/obs/trace.h"
 #include "src/server/chaos.h"
 #include "src/server/session.h"
@@ -387,6 +402,95 @@ void RunStatement(Database* db, const std::string& line) {
     }
     return;
   }
+  if (line.rfind("\\queries", 0) == 0) {
+    std::string arg;
+    std::istringstream(line.substr(8)) >> arg;
+    size_t n = 20;
+    if (!arg.empty()) n = static_cast<size_t>(std::strtoull(arg.c_str(),
+                                                            nullptr, 10));
+    std::printf("%s",
+                QueryLog::RenderTable(QueryLog::Global().Tail(n)).c_str());
+    return;
+  }
+  if (line.rfind("\\slow", 0) == 0) {
+    std::string arg, value;
+    std::istringstream args(line.substr(5));
+    args >> arg >> value;
+    if (arg == "threshold") {
+      uint64_t us = value.empty()
+                        ? 0
+                        : std::strtoull(value.c_str(), nullptr, 10);
+      SetSlowQueryThresholdUs(us);
+      if (us == 0) {
+        std::printf("slow-query capture disarmed\n");
+      } else {
+        std::printf("slow-query capture armed at %llu us\n",
+                    (unsigned long long)us);
+      }
+      return;
+    }
+    size_t n = 20;
+    if (!arg.empty()) n = static_cast<size_t>(std::strtoull(arg.c_str(),
+                                                            nullptr, 10));
+    std::vector<QueryRecord> slow = QueryLog::Global().Slow(n);
+    std::printf("%s", QueryLog::RenderTable(slow).c_str());
+    // The full capture payload (EXPLAIN ANALYZE tree + trace slice) of
+    // the most recent captured record, so the terminal shows the detail
+    // the table only flags.
+    for (auto it = slow.rbegin(); it != slow.rend(); ++it) {
+      if (it->slow_capture != nullptr) {
+        std::printf("%s", it->slow_capture->c_str());
+        break;
+      }
+    }
+    return;
+  }
+  if (line.rfind("\\querylog", 0) == 0) {
+    std::string arg, path;
+    std::istringstream args(line.substr(9));
+    args >> arg >> path;
+    if (arg == "on") {
+      SetQueryLogEnabled(true);
+      std::printf("query log on\n");
+    } else if (arg == "off") {
+      SetQueryLogEnabled(false);
+      std::printf("query log off\n");
+    } else if (arg == "clear") {
+      QueryLog::Global().Clear();
+      std::printf("query log cleared\n");
+    } else if (arg == "shapes") {
+      std::printf("%s", QueryLog::Global().RenderShapeTable().c_str());
+    } else if (arg == "slo" && !path.empty()) {
+      uint64_t us = std::strtoull(path.c_str(), nullptr, 10);
+      QueryLog::Global().SetDefaultSloUs(us);
+      std::printf("default latency SLO %s\n",
+                  us == 0 ? "cleared" : (path + " us").c_str());
+    } else if (arg == "dump" && !path.empty()) {
+      if (QueryLog::Global().DumpJsonl(path)) {
+        std::printf("wrote %zu records to %s\n",
+                    QueryLog::Global().Tail().size(), path.c_str());
+      } else {
+        std::printf("cannot open %s\n", path.c_str());
+      }
+    } else if (arg == "status" || arg.empty()) {
+      std::printf(
+          "query log %s: %zu/%zu records, %zu captures, slow threshold "
+          "%llu us, records=%llu overwrites=%llu slo_violations=%llu\n",
+          QueryLogEnabled() ? "on" : "off",
+          QueryLog::Global().Tail().size(), QueryLog::Global().capacity(),
+          QueryLog::Global().captures_held(),
+          (unsigned long long)SlowQueryThresholdUs(),
+          (unsigned long long)ICEBERG_COUNTER("query_log.records")->value(),
+          (unsigned long long)
+              ICEBERG_COUNTER("query_log.overwrites")->value(),
+          (unsigned long long)ICEBERG_COUNTER("slo.violations")->value());
+    } else {
+      std::printf("usage: \\querylog on|off|clear|shapes|slo <us>|"
+                  "dump <file>|status  (currently %s)\n",
+                  QueryLogEnabled() ? "on" : "off");
+    }
+    return;
+  }
   if (line.rfind("\\explain ", 0) == 0) {
     Result<std::string> plan = db->ExplainIceberg(line.substr(9));
     std::printf("%s\n", plan.ok() ? plan->c_str()
@@ -459,7 +563,9 @@ int main() {
       "\\threads [N], \\sessions [N], \\retry [N], \\chaos seed N|off, "
       "\\tables, \\load <table> <csv>, \\metrics [json|reset], "
       "\\trace on|off|clear|dump <file>, \\vectorize on|off, "
-      "\\transfer on|off, \\plancache on|off|status, \\q\n"
+      "\\transfer on|off, \\plancache on|off|status, \\queries [n], "
+      "\\slow [n | threshold <us>], "
+      "\\querylog on|off|clear|shapes|slo <us>|dump <file>|status, \\q\n"
       "EXPLAIN ANALYZE <sql> prints the annotated plan tree.\n");
   std::string line;
   while (true) {

@@ -1,4 +1,4 @@
-#include "src/server/shape.h"
+#include "src/common/shape.h"
 
 #include <cctype>
 

@@ -1,5 +1,5 @@
-#ifndef SMARTICEBERG_SERVER_SHAPE_H_
-#define SMARTICEBERG_SERVER_SHAPE_H_
+#ifndef SMARTICEBERG_COMMON_SHAPE_H_
+#define SMARTICEBERG_COMMON_SHAPE_H_
 
 #include <cstdint>
 #include <string>
@@ -49,4 +49,4 @@ QueryShape ComputeQueryShape(const std::string& sql);
 
 }  // namespace iceberg
 
-#endif  // SMARTICEBERG_SERVER_SHAPE_H_
+#endif  // SMARTICEBERG_COMMON_SHAPE_H_

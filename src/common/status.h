@@ -25,6 +25,10 @@ enum class StatusCode {
   kOverloaded,          // admission shed / queue timeout / snapshot conflict
 };
 
+/// Stable short name for a status code ("OK", "Overloaded", ...), used by
+/// Status::ToString and by structured renderers (query log records).
+const char* StatusCodeName(StatusCode code);
+
 /// A lightweight, exception-free error carrier. Functions that can fail
 /// return `Status` (or `Result<T>` when they also produce a value).
 ///

@@ -4,9 +4,12 @@
 #include <chrono>
 
 #include "src/common/logging.h"
+#include "src/common/shape.h"
 #include "src/common/string_util.h"
 #include "src/engine/analyze.h"
+#include "src/engine/query_record.h"
 #include "src/obs/metrics.h"
+#include "src/obs/query_log.h"
 #include "src/obs/trace.h"
 
 namespace iceberg {
@@ -253,6 +256,50 @@ TablePtr Database::ApplyOrderAndLimit(const QueryBlock& block,
 
 Result<TablePtr> Database::Query(const std::string& sql, ExecOptions exec,
                                  ExecStats* stats) {
+  // Flight-recorder emission for top-level direct calls. The serving layer
+  // opens a QueryLogScope around its Database call (it records the attempt
+  // itself, with admission/retry context this layer cannot see), and the
+  // scope also suppresses the nested Query() an EXPLAIN ANALYZE statement
+  // re-enters with.
+  if (!QueryLogEnabled() || QueryLogScope::Active()) {
+    return QueryImpl(sql, exec, stats);
+  }
+  QueryLogScope scope;
+  QueryShape shape = ComputeQueryShape(sql);
+  ExecStats run_stats;
+  int64_t start_us = TraceNowMicros();
+  Result<TablePtr> result = QueryImpl(sql, exec, &run_stats);
+  int64_t end_us = TraceNowMicros();
+  if (stats != nullptr) stats->Accumulate(run_stats);
+
+  QueryRecord rec;
+  rec.query_id = QueryLog::NextQueryId();
+  rec.iceberg = false;
+  rec.shape_hash = shape.shape_hash;
+  rec.shape = shape.shape;
+  rec.start_us = start_us;
+  rec.latency_us = static_cast<uint64_t>(end_us - start_us);
+  FillRecordStatus(&rec, result.ok() ? Status::OK() : result.status());
+  if (result.ok()) rec.rows_returned = (*result)->num_rows();
+  FillRecordStats(&rec, run_stats);
+  FillRecordGovernor(&rec, exec.governor.get());
+  uint64_t slow_us = SlowQueryThresholdUs();
+  if (slow_us != 0 && rec.latency_us >= slow_us && result.ok()) {
+    Result<std::string> plan = ExplainBaseline(sql, exec);
+    if (plan.ok()) {
+      rec.slow_capture = MakeSlowCapture(
+          RenderAnalyzeBaseline(run_stats, *plan, MetricsSnapshot(),
+                                rec.rows_returned,
+                                static_cast<int64_t>(rec.latency_us)),
+          start_us, end_us);
+    }
+  }
+  QueryLog::Global().Record(std::move(rec));
+  return result;
+}
+
+Result<TablePtr> Database::QueryImpl(const std::string& sql, ExecOptions exec,
+                                     ExecStats* stats) {
   // Check before parsing so an expired deadline or pre-tripped token never
   // starts work.
   if (exec.governor != nullptr) ICEBERG_RETURN_NOT_OK(exec.governor->Check());
@@ -284,6 +331,45 @@ Result<TablePtr> Database::Query(const std::string& sql, ExecOptions exec,
 Result<TablePtr> Database::QueryIceberg(const std::string& sql,
                                         IcebergOptions options,
                                         IcebergReport* report) {
+  // See Query(): top-level direct calls emit one flight-recorder record;
+  // served and nested (EXPLAIN ANALYZE) calls are scope-suppressed.
+  if (!QueryLogEnabled() || QueryLogScope::Active()) {
+    return QueryIcebergImpl(sql, options, report);
+  }
+  QueryLogScope scope;
+  QueryShape shape = ComputeQueryShape(sql);
+  IcebergReport run_report;
+  int64_t start_us = TraceNowMicros();
+  Result<TablePtr> result = QueryIcebergImpl(sql, options, &run_report);
+  int64_t end_us = TraceNowMicros();
+
+  QueryRecord rec;
+  rec.query_id = QueryLog::NextQueryId();
+  rec.iceberg = true;
+  rec.shape_hash = shape.shape_hash;
+  rec.shape = shape.shape;
+  rec.start_us = start_us;
+  rec.latency_us = static_cast<uint64_t>(end_us - start_us);
+  FillRecordStatus(&rec, result.ok() ? Status::OK() : result.status());
+  if (result.ok()) rec.rows_returned = (*result)->num_rows();
+  FillRecordStats(&rec, run_report);
+  FillRecordGovernor(&rec, options.governor.get());
+  uint64_t slow_us = SlowQueryThresholdUs();
+  if (slow_us != 0 && rec.latency_us >= slow_us && result.ok()) {
+    rec.slow_capture = MakeSlowCapture(
+        RenderAnalyzeIceberg(run_report, MetricsSnapshot(),
+                             rec.rows_returned,
+                             static_cast<int64_t>(rec.latency_us)),
+        start_us, end_us);
+  }
+  QueryLog::Global().Record(std::move(rec));
+  if (report != nullptr) *report = std::move(run_report);
+  return result;
+}
+
+Result<TablePtr> Database::QueryIcebergImpl(const std::string& sql,
+                                            IcebergOptions options,
+                                            IcebergReport* report) {
   if (options.governor != nullptr) {
     ICEBERG_RETURN_NOT_OK(options.governor->Check());
   }

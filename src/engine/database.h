@@ -107,6 +107,16 @@ class Database {
   Result<QueryBlock> Prepare(const std::string& sql);
 
  private:
+  /// The actual engine entry points behind Query()/QueryIceberg(). The
+  /// public wrappers add flight-recorder emission for top-level direct
+  /// calls (suppressed under a QueryLogScope, i.e. when the serving layer
+  /// already records the attempt).
+  Result<TablePtr> QueryImpl(const std::string& sql, ExecOptions exec,
+                             ExecStats* stats);
+  Result<TablePtr> QueryIcebergImpl(const std::string& sql,
+                                    IcebergOptions options,
+                                    IcebergReport* report);
+
   /// Applies the block's ORDER BY / LIMIT to a materialized result.
   static TablePtr ApplyOrderAndLimit(const QueryBlock& block,
                                      TablePtr result);

@@ -1,0 +1,59 @@
+#include "src/engine/query_record.h"
+
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace iceberg {
+
+void FillRecordStatus(QueryRecord* rec, const Status& st) {
+  rec->status = StatusCodeName(st.code());
+  rec->error = st.message();
+  rec->retryable = st.IsRetryable();
+}
+
+void FillRecordGovernor(QueryRecord* rec, const QueryGovernor* governor) {
+  if (governor == nullptr) return;
+  Status poison = governor->poison_status();
+  rec->governor_verdict = poison.ok() ? "ok" : StatusCodeName(poison.code());
+  rec->governor_checks = governor->checks_performed();
+  rec->governor_peak_bytes = governor->bytes_peak();
+  rec->governor_shed_entries = governor->cache_shed_entries();
+}
+
+void FillRecordStats(QueryRecord* rec, const ExecStats& stats) {
+  rec->transfer_passes += stats.transfer_passes;
+  rec->transfer_filters_built += stats.transfer_filters_built;
+  rec->transfer_rows_eliminated += stats.transfer_rows_eliminated;
+  rec->transfer_filter_bytes += stats.transfer_filter_bytes;
+}
+
+void FillRecordStats(QueryRecord* rec, const IcebergReport& report) {
+  FillRecordStats(rec, report.exec_stats);
+  const NljpStats& n = report.nljp_stats;
+  rec->transfer_passes += n.transfer_passes;
+  rec->transfer_filters_built += n.transfer_filters_built;
+  rec->transfer_rows_eliminated += n.transfer_rows_eliminated;
+  rec->transfer_filter_bytes += n.transfer_filter_bytes;
+  rec->plan_provenance = report.plan_provenance;
+}
+
+std::shared_ptr<const std::string> MakeSlowCapture(
+    const std::string& analyze_tree, int64_t start_us, int64_t end_us) {
+  std::string capture = "=== slow query capture ===\n";
+  capture += analyze_tree;
+  if (capture.back() != '\n') capture += '\n';
+  if (TraceEnabled()) {
+    std::vector<TraceEvent> slice = SnapshotTraceRange(start_us, end_us);
+    if (!slice.empty()) {
+      capture += "--- trace slice [" + std::to_string(start_us) + "us, " +
+                 std::to_string(end_us) + "us] (" +
+                 std::to_string(slice.size()) + " spans) ---\n";
+      capture += TraceToChromeJson(slice);
+      capture += '\n';
+    }
+  }
+  return std::make_shared<const std::string>(std::move(capture));
+}
+
+}  // namespace iceberg

@@ -1,0 +1,48 @@
+#ifndef SMARTICEBERG_ENGINE_QUERY_RECORD_H_
+#define SMARTICEBERG_ENGINE_QUERY_RECORD_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/exec/exec_options.h"
+#include "src/exec/governor.h"
+#include "src/obs/query_log.h"
+#include "src/optimizer/iceberg_optimizer.h"
+
+namespace iceberg {
+
+/// Assembly of flight-recorder QueryRecords from the engine's run-local
+/// stats blocks — the same sources EXPLAIN ANALYZE renders, so a record's
+/// numbers reconcile exactly with the analyze tree and the metrics delta
+/// of its statement. Lives in the engine layer (not obs) because the
+/// sources (ExecStats, IcebergReport, QueryGovernor) are engine types the
+/// observability library must not depend on.
+
+/// Status name / message / retryability.
+void FillRecordStatus(QueryRecord* rec, const Status& st);
+
+/// Governor verdict ("ok" or the poison status name), checks, peak bytes,
+/// shed entries. No-op when `governor` is null (record keeps "" verdict).
+void FillRecordGovernor(QueryRecord* rec, const QueryGovernor* governor);
+
+/// Transfer-schedule fields from a baseline run's ExecStats.
+void FillRecordStats(QueryRecord* rec, const ExecStats& stats);
+
+/// Transfer-schedule fields from an iceberg run: the executor's ExecStats
+/// plus the NLJP Q_B pipeline's share (EXPLAIN ANALYZE shows them as two
+/// tree lines; the record stores the statement total), and the plan-cache
+/// provenance string.
+void FillRecordStats(QueryRecord* rec, const IcebergReport& report);
+
+/// Builds the slow-query capture payload: the rendered EXPLAIN ANALYZE
+/// tree followed by the trace-span slice overlapping [start_us, end_us]
+/// (Chrome-trace JSON; omitted when tracing is disabled or the slice is
+/// empty). The tree is rendered by the caller from run-local stats — no
+/// re-execution and no registry snapshots on the query path.
+std::shared_ptr<const std::string> MakeSlowCapture(
+    const std::string& analyze_tree, int64_t start_us, int64_t end_us);
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_ENGINE_QUERY_RECORD_H_

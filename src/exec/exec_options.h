@@ -112,6 +112,7 @@ struct ExecStats {
   size_t transfer_hits = 0;
   size_t transfer_rows_eliminated = 0;
   size_t transfer_chunks_refuted = 0;
+  size_t transfer_filter_bytes = 0;
   int64_t transfer_build_ns = 0;
   /// rows_joined produced by each worker (parallel runs only); the spread
   /// shows how well morsel claiming balanced the skewed outer loop.
@@ -141,6 +142,7 @@ struct ExecStats {
     transfer_hits += run.transfer_hits;
     transfer_rows_eliminated += run.transfer_rows_eliminated;
     transfer_chunks_refuted += run.transfer_chunks_refuted;
+    transfer_filter_bytes += run.transfer_filter_bytes;
     transfer_build_ns += run.transfer_build_ns;
     cancel_checks = run.cancel_checks;
     budget_bytes_peak = run.budget_bytes_peak;

@@ -158,6 +158,7 @@ Result<TablePtr> Executor::ExecuteInternal(const QueryBlock& block,
     stats->transfer_hits += ts.hits;
     stats->transfer_rows_eliminated += ts.rows_eliminated;
     stats->transfer_chunks_refuted += ts.chunks_refuted;
+    stats->transfer_filter_bytes += ts.filter_bytes;
     stats->transfer_build_ns += ts.build_ns;
   }
   Aggregator proto(block);

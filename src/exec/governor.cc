@@ -47,6 +47,12 @@ void QueryGovernor::Poison(Status status) {
   poisoned_.store(true, std::memory_order_release);
 }
 
+Status QueryGovernor::poison_status() const {
+  if (!poisoned_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(poison_mu_);
+  return poison_status_;
+}
+
 Status QueryGovernor::Check() {
   size_t ordinal = checks_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (probe_.on_check) {

@@ -142,6 +142,10 @@ class QueryGovernor {
   /// governed workload is running to its SLO.
   int64_t deadline_headroom_ms() const;
 
+  /// The status the governor was poisoned with (OK when never poisoned) —
+  /// the "governor verdict" a flight-recorder record stores at attempt end.
+  Status poison_status() const;
+
  private:
   Status ReserveInternal(size_t bytes, const char* tag, bool hard);
 
@@ -159,7 +163,7 @@ class QueryGovernor {
   std::atomic<size_t> rows_{0};
   std::atomic<size_t> shed_{0};
 
-  std::mutex poison_mu_;  // guards poison_status_
+  mutable std::mutex poison_mu_;  // guards poison_status_
   Status poison_status_;
   std::mutex reserve_mu_;  // serializes budget admission + reclaimer_
   Reclaimer reclaimer_;

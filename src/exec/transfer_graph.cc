@@ -681,6 +681,7 @@ TransferResultPtr TransferGraphBuilder::Build() {
     result->gauge_bytes_ = bitmap_bytes;
   }
 
+  stats_.filter_bytes = filter_bytes_;
   stats_.build_ns = ElapsedNs(t0);
   result->stats_ = stats_;
   return result;

@@ -68,6 +68,7 @@ struct TransferStats {
   size_t hits = 0;              // probes that passed (maybe-present)
   size_t rows_eliminated = 0;   // rows the pipeline will skip via selections
   size_t chunks_refuted = 0;    // whole chunks refuted by zone-vs-key-range
+  size_t filter_bytes = 0;      // peak bytes reserved for Bloom filters
   int64_t build_ns = 0;         // wall time of the whole graph build
   bool degraded = false;        // governor pressure cut the sweeps short
   bool replayed_schedule = false;  // graph shape came from a PlanTrace

@@ -30,6 +30,7 @@ void NljpStats::Accumulate(const NljpStats& run) {
   transfer_probes += run.transfer_probes;
   transfer_hits += run.transfer_hits;
   transfer_rows_eliminated += run.transfer_rows_eliminated;
+  transfer_filter_bytes += run.transfer_filter_bytes;
   transfer_build_ns += run.transfer_build_ns;
   cache_entries += run.cache_entries;
   cache_bytes += run.cache_bytes;
@@ -672,6 +673,7 @@ Result<TablePtr> NljpOperator::ExecuteImpl(NljpStats* stats) {
     stats->transfer_probes += ts.probes;
     stats->transfer_hits += ts.hits;
     stats->transfer_rows_eliminated += ts.rows_eliminated;
+    stats->transfer_filter_bytes += ts.filter_bytes;
     stats->transfer_build_ns += ts.build_ns;
   }
   std::vector<Row> l_rows;

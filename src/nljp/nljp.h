@@ -121,6 +121,7 @@ struct NljpStats {
   size_t transfer_probes = 0;
   size_t transfer_hits = 0;
   size_t transfer_rows_eliminated = 0;
+  size_t transfer_filter_bytes = 0;
   int64_t transfer_build_ns = 0;
   size_t cache_entries = 0;
   size_t cache_bytes = 0;

@@ -14,11 +14,21 @@ uint64_t HistogramSnapshot::Percentile(double p) const {
   if (rank == 0) rank = 1;
   uint64_t seen = 0;
   for (size_t i = 0; i < kBuckets; ++i) {
-    seen += buckets[i];
-    if (seen >= rank) {
-      // Bucket i covers [2^(i-1), 2^i); report the inclusive upper bound.
-      return i == 0 ? 0 : (i >= 64 ? UINT64_MAX : (uint64_t{1} << i) - 1);
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] >= rank) {
+      if (i == 0) return 0;  // bucket 0 holds only the value 0
+      // Bucket i covers [2^(i-1), 2^i); interpolate linearly by the rank's
+      // position within the bucket, capped at the inclusive upper bound.
+      uint64_t lo = uint64_t{1} << (i - 1);
+      uint64_t width = lo;
+      double frac =
+          static_cast<double>(rank - seen) / static_cast<double>(buckets[i]);
+      uint64_t off = static_cast<uint64_t>(frac * static_cast<double>(width));
+      uint64_t v = lo + off;
+      uint64_t hi_inclusive = lo + width - 1;
+      return v > hi_inclusive ? hi_inclusive : v;
     }
+    seen += buckets[i];
   }
   return UINT64_MAX;
 }
@@ -93,12 +103,40 @@ std::string MetricsSnapshot::ToText() const {
   return out;
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 namespace {
 
 void AppendJsonKey(std::string* out, const std::string& name, bool* first) {
   if (!*first) *out += ",";
   *first = false;
-  *out += "\"" + name + "\":";
+  *out += '"';
+  *out += JsonEscape(name);
+  *out += "\":";
 }
 
 }  // namespace

@@ -61,8 +61,10 @@ struct HistogramSnapshot {
   uint64_t sum = 0;
   std::array<uint64_t, kBuckets> buckets{};
 
-  /// Upper bound of the bucket containing the p-th percentile observation
-  /// (p in [0, 100]); 0 when empty.
+  /// Estimate of the p-th percentile observation (p in [0, 100]); 0 when
+  /// empty. Interpolates linearly within the log-scale bucket containing
+  /// the target rank, so the estimate is within the bucket's [2^(i-1), 2^i)
+  /// span rather than pinned to its upper bound.
   uint64_t Percentile(double p) const;
   double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) /
                                                       static_cast<double>(count); }
@@ -103,6 +105,11 @@ class Histogram {
 /// snapshot (counters and histogram buckets; gauges keep their current
 /// value), which is how per-query deltas are reported: snapshot before,
 /// run, snapshot after, diff.
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, and control characters). Shared by every JSON renderer in
+/// the observability layer (metrics, query log, traces).
+std::string JsonEscape(const std::string& s);
+
 struct MetricsSnapshot {
   std::map<std::string, uint64_t> counters;
   std::map<std::string, int64_t> gauges;

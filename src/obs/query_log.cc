@@ -1,0 +1,366 @@
+#include "src/obs/query_log.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace iceberg {
+
+namespace {
+
+bool QueryLogEnvDefault() {
+  // Default ON; only an explicit "0" disables (chicken-bit convention).
+  const char* env = std::getenv("ICEBERG_QUERY_LOG");
+  return env == nullptr || env[0] == '\0' ||
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{QueryLogEnvDefault()};
+  return enabled;
+}
+
+uint64_t SlowEnvDefault() {
+  const char* env = std::getenv("ICEBERG_SLOW_QUERY_US");
+  if (env == nullptr || env[0] == '\0') return 0;
+  return std::strtoull(env, nullptr, 10);
+}
+
+std::atomic<uint64_t>& SlowThresholdFlag() {
+  static std::atomic<uint64_t> threshold{SlowEnvDefault()};
+  return threshold;
+}
+
+size_t CapacityEnvDefault() {
+  const char* env = std::getenv("ICEBERG_QUERY_LOG_CAPACITY");
+  if (env == nullptr || env[0] == '\0') return 1024;
+  size_t cap = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+  return cap == 0 ? 1024 : cap;
+}
+
+thread_local int g_scope_depth = 0;
+
+}  // namespace
+
+bool QueryLogEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetQueryLogEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t SlowQueryThresholdUs() {
+  return SlowThresholdFlag().load(std::memory_order_relaxed);
+}
+
+void SetSlowQueryThresholdUs(uint64_t us) {
+  SlowThresholdFlag().store(us, std::memory_order_relaxed);
+}
+
+QueryLogScope::QueryLogScope() { ++g_scope_depth; }
+QueryLogScope::~QueryLogScope() { --g_scope_depth; }
+bool QueryLogScope::Active() { return g_scope_depth > 0; }
+
+/// One ring shard: records land here when seq % kShards picks this shard,
+/// at slot (seq / kShards) % per-shard capacity. `slots` grows lazily to
+/// capacity and is then overwritten in place; a default-constructed slot
+/// (query_id 0 and seq 0 at nonzero index) is "empty".
+struct QueryLog::Shard {
+  mutable std::mutex mu;
+  std::vector<QueryRecord> slots;
+};
+
+QueryLog::~QueryLog() = default;
+
+QueryLog::Shard& QueryLog::ShardFor(uint64_t seq) const {
+  return shards_[seq % kShards];
+}
+
+QueryLog& QueryLog::Global() {
+  static QueryLog* log = new QueryLog(CapacityEnvDefault());
+  return *log;
+}
+
+uint64_t QueryLog::NextQueryId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+QueryLog::QueryLog(size_t capacity) {
+  per_shard_cap_ = std::max<size_t>(1, (capacity + kShards - 1) / kShards);
+  capacity_ = per_shard_cap_ * kShards;
+  shards_ = std::make_unique<Shard[]>(kShards);
+  const char* keep = std::getenv("ICEBERG_SLOW_CAPTURE_KEEP");
+  if (keep != nullptr && keep[0] != '\0') {
+    capture_keep_ = static_cast<size_t>(std::strtoull(keep, nullptr, 10));
+  }
+}
+
+void QueryLog::NoteShapeLatency(QueryRecord* rec) {
+  if (rec->shape_hash == 0) return;
+  uint64_t slo_us = 0;
+  {
+    std::lock_guard<std::mutex> lock(shape_mu_);
+    auto& slot = shapes_[rec->shape_hash];
+    if (slot == nullptr) {
+      slot = std::make_unique<ShapeStats>();
+      slot->shape = rec->shape;
+    }
+    slot->hist.Record(rec->latency_us);
+    slo_us = slot->slo_us != 0 ? slot->slo_us : default_slo_us_;
+    if (slo_us != 0 && rec->latency_us > slo_us) {
+      rec->slo_violated = true;
+      ++slot->violations;
+    }
+  }
+  if (rec->slo_violated) ICEBERG_COUNTER("slo.violations")->Increment();
+}
+
+void QueryLog::EnforceCaptureBound(uint64_t new_capture_seq) {
+  uint64_t evict_seq = 0;
+  bool evict = false;
+  {
+    std::lock_guard<std::mutex> lock(capture_mu_);
+    capture_seqs_.push_back(new_capture_seq);
+    if (capture_seqs_.size() > capture_keep_) {
+      evict_seq = capture_seqs_.front();
+      capture_seqs_.erase(capture_seqs_.begin());
+      evict = true;
+    }
+  }
+  if (!evict) return;
+  Shard& shard = ShardFor(evict_seq);
+  size_t slot = (evict_seq / kShards) % per_shard_cap_;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (slot < shard.slots.size() && shard.slots[slot].seq == evict_seq) {
+    shard.slots[slot].slow_capture.reset();
+  }
+}
+
+uint64_t QueryLog::Record(QueryRecord rec) {
+  if (!QueryLogEnabled()) return 0;
+  NoteShapeLatency(&rec);
+  ICEBERG_HISTOGRAM("query.latency_us")->Record(rec.latency_us);
+  ICEBERG_COUNTER("query_log.records")->Increment();
+  uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  rec.seq = seq;
+  bool has_capture = rec.slow_capture != nullptr;
+  Shard& shard = ShardFor(seq);
+  size_t slot = (seq / kShards) % per_shard_cap_;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (slot >= shard.slots.size()) {
+      shard.slots.resize(slot + 1);
+    } else {
+      ICEBERG_COUNTER("query_log.overwrites")->Increment();
+    }
+    shard.slots[slot] = std::move(rec);
+  }
+  if (has_capture) EnforceCaptureBound(seq);
+  return seq + 1;
+}
+
+std::vector<QueryRecord> QueryLog::Tail(size_t n) const {
+  std::vector<QueryRecord> all;
+  for (size_t s = 0; s < kShards; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const QueryRecord& rec : shard.slots) {
+      if (rec.query_id != 0) all.push_back(rec);
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const QueryRecord& a, const QueryRecord& b) {
+              return a.seq < b.seq;
+            });
+  if (n != 0 && all.size() > n) {
+    all.erase(all.begin(), all.end() - static_cast<ptrdiff_t>(n));
+  }
+  return all;
+}
+
+std::vector<QueryRecord> QueryLog::Slow(size_t n, uint64_t threshold_us) const {
+  if (threshold_us == 0) threshold_us = SlowQueryThresholdUs();
+  std::vector<QueryRecord> all = Tail(0);
+  std::vector<QueryRecord> slow;
+  for (QueryRecord& rec : all) {
+    bool qualifies = threshold_us != 0 ? rec.latency_us >= threshold_us
+                                       : rec.slow_capture != nullptr;
+    if (qualifies) slow.push_back(std::move(rec));
+  }
+  if (n != 0 && slow.size() > n) {
+    slow.erase(slow.begin(), slow.end() - static_cast<ptrdiff_t>(n));
+  }
+  return slow;
+}
+
+void QueryLog::Clear() {
+  for (size_t s = 0; s < kShards; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.slots.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(capture_mu_);
+    capture_seqs_.clear();
+  }
+  std::lock_guard<std::mutex> lock(shape_mu_);
+  shapes_.clear();
+}
+
+void QueryLog::SetDefaultSloUs(uint64_t us) {
+  std::lock_guard<std::mutex> lock(shape_mu_);
+  default_slo_us_ = us;
+}
+
+void QueryLog::SetShapeSloUs(uint64_t shape_hash, uint64_t us) {
+  std::lock_guard<std::mutex> lock(shape_mu_);
+  auto& slot = shapes_[shape_hash];
+  if (slot == nullptr) slot = std::make_unique<ShapeStats>();
+  slot->slo_us = us;
+}
+
+size_t QueryLog::captures_held() const {
+  std::lock_guard<std::mutex> lock(capture_mu_);
+  return capture_seqs_.size();
+}
+
+std::string QueryLog::RenderShapeTable() const {
+  std::string out =
+      "shape_hash        attempts   p50_us     p99_us     slo_us     "
+      "violations shape\n";
+  char line[512];
+  std::lock_guard<std::mutex> lock(shape_mu_);
+  for (const auto& [hash, stats] : shapes_) {
+    HistogramSnapshot snap = stats->hist.Snapshot();
+    uint64_t slo = stats->slo_us != 0 ? stats->slo_us : default_slo_us_;
+    std::string shape = stats->shape.substr(0, 60);
+    std::snprintf(line, sizeof(line),
+                  "%016" PRIx64 "  %-9" PRIu64 "  %-9" PRIu64 "  %-9" PRIu64
+                  "  %-9" PRIu64 "  %-9" PRIu64 "  %s\n",
+                  hash, snap.count, snap.Percentile(50), snap.Percentile(99),
+                  slo, stats->violations, shape.c_str());
+    out += line;
+  }
+  return out;
+}
+
+std::string QueryLog::ToJson(const QueryRecord& r) {
+  std::string out = "{";
+  auto num = [&out](const char* key, uint64_t v, bool comma = true) {
+    out += "\"";
+    out += key;
+    out += "\":";
+    out += std::to_string(v);
+    if (comma) out += ",";
+  };
+  auto str = [&out](const char* key, const std::string& v, bool comma = true) {
+    out += "\"";
+    out += key;
+    out += "\":\"";
+    out += JsonEscape(v);
+    out += "\"";
+    if (comma) out += ",";
+  };
+  auto boolean = [&out](const char* key, bool v, bool comma = true) {
+    out += "\"";
+    out += key;
+    out += "\":";
+    out += v ? "true" : "false";
+    if (comma) out += ",";
+  };
+  num("seq", r.seq);
+  num("query_id", r.query_id);
+  num("session_id", r.session_id);
+  num("attempt", r.attempt);
+  boolean("iceberg", r.iceberg);
+  char hash[32];
+  std::snprintf(hash, sizeof(hash), "%016" PRIx64, r.shape_hash);
+  str("shape_hash", hash);
+  str("shape", r.shape);
+  str("status", r.status);
+  str("error", r.error);
+  boolean("retryable", r.retryable);
+  boolean("will_retry", r.will_retry);
+  num("backoff_ms", r.backoff_ms);
+  str("retry_cause", r.retry_cause);
+  num("rows_returned", r.rows_returned);
+  num("start_us", static_cast<uint64_t>(r.start_us < 0 ? 0 : r.start_us));
+  num("latency_us", r.latency_us);
+  num("admission_wait_us", r.admission_wait_us);
+  num("queue_depth_at_admit", r.queue_depth_at_admit);
+  str("governor_verdict", r.governor_verdict);
+  num("governor_checks", r.governor_checks);
+  num("governor_peak_bytes", r.governor_peak_bytes);
+  num("governor_shed_entries", r.governor_shed_entries);
+  num("chaos_delays", r.chaos_delays);
+  num("chaos_shed_storms", r.chaos_shed_storms);
+  num("chaos_cancels", r.chaos_cancels);
+  num("chaos_alloc_failures", r.chaos_alloc_failures);
+  str("plan_provenance", r.plan_provenance);
+  num("transfer_passes", r.transfer_passes);
+  num("transfer_filters_built", r.transfer_filters_built);
+  num("transfer_rows_eliminated", r.transfer_rows_eliminated);
+  num("transfer_filter_bytes", r.transfer_filter_bytes);
+  boolean("slo_violated", r.slo_violated);
+  if (r.slow_capture != nullptr) {
+    str("slow_capture", *r.slow_capture, /*comma=*/false);
+  } else {
+    out += "\"slow_capture\":null";
+  }
+  out += "}";
+  return out;
+}
+
+std::string QueryLog::RenderTable(const std::vector<QueryRecord>& recs) {
+  std::string out =
+      "seq    qid    sess  att eng      status            lat_us     "
+      "wait_us    depth  gov_peak_b   cache         transfer(p/f/elim)   "
+      "rows       chaos(d/s/c/a)\n";
+  char line[512];
+  for (const QueryRecord& r : recs) {
+    char transfer[64];
+    std::snprintf(transfer, sizeof(transfer), "%" PRIu64 "/%" PRIu64
+                  "/%" PRIu64,
+                  r.transfer_passes, r.transfer_filters_built,
+                  r.transfer_rows_eliminated);
+    char chaos[64];
+    std::snprintf(chaos, sizeof(chaos),
+                  "%" PRIu64 "/%" PRIu64 "/%" PRIu64 "/%" PRIu64,
+                  r.chaos_delays, r.chaos_shed_storms, r.chaos_cancels,
+                  r.chaos_alloc_failures);
+    std::string status = r.status;
+    if (r.will_retry) status += "*";
+    if (r.slo_violated) status += "!";
+    std::snprintf(line, sizeof(line),
+                  "%-6" PRIu64 " %-6" PRIu64 " %-5" PRIu64 " %-3u %-8s %-17s "
+                  "%-10" PRIu64 " %-10" PRIu64 " %-6" PRIu64 " %-12" PRIu64
+                  " %-13s %-20s %-10" PRIu64 " %s%s\n",
+                  r.seq, r.query_id, r.session_id, r.attempt,
+                  r.iceberg ? "iceberg" : "baseline", status.c_str(),
+                  r.latency_us, r.admission_wait_us, r.queue_depth_at_admit,
+                  r.governor_peak_bytes,
+                  r.plan_provenance.empty() ? "-" : r.plan_provenance.c_str(),
+                  transfer, r.rows_returned, chaos,
+                  r.slow_capture != nullptr ? " [captured]" : "");
+    out += line;
+  }
+  if (recs.empty()) out += "(no records)\n";
+  return out;
+}
+
+bool QueryLog::DumpJsonl(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  for (const QueryRecord& rec : Tail(0)) {
+    std::string json = ToJson(rec);
+    json += "\n";
+    std::fwrite(json.data(), 1, json.size(), file);
+  }
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace iceberg

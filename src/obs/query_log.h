@@ -1,0 +1,200 @@
+#ifndef SMARTICEBERG_OBS_QUERY_LOG_H_
+#define SMARTICEBERG_OBS_QUERY_LOG_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace iceberg {
+
+/// One query *attempt* as seen by the flight recorder: the serving layer
+/// emits one record per admission/retry-loop iteration (a three-attempt
+/// statement leaves three records), and the direct Database entry points
+/// emit one per call. Every numeric field is assembled from the attempt's
+/// own run-local stats blocks — the same sources EXPLAIN ANALYZE renders —
+/// so a record reconciles exactly with the metrics delta for its statement.
+struct QueryRecord {
+  // Identity.
+  uint64_t seq = 0;         ///< assigned by QueryLog::Record; global order
+  uint64_t query_id = 0;    ///< one per statement submission (all attempts share it)
+  uint64_t session_id = 0;  ///< 0 = direct Database call (no server session)
+  uint32_t attempt = 1;     ///< 1-based attempt number within query_id
+  bool iceberg = false;     ///< engine: iceberg-optimized vs baseline
+
+  // Shape.
+  uint64_t shape_hash = 0;
+  std::string shape;  ///< normalized shape text (literals stripped); may be empty
+
+  // Outcome.
+  std::string status = "OK";  ///< StatusCodeName of the attempt's status
+  std::string error;          ///< status message when not OK
+  bool retryable = false;
+  bool will_retry = false;  ///< the retry loop decided to run another attempt
+  uint64_t backoff_ms = 0;  ///< backoff slept *after* this attempt (0 if none)
+  std::string retry_cause;  ///< for attempt > 1: status name that caused the retry
+  uint64_t rows_returned = 0;
+
+  // Timing (TraceNowMicros timebase, so records correlate with trace spans).
+  int64_t start_us = 0;
+  uint64_t latency_us = 0;  ///< end-to-end, including admission wait
+
+  // Admission.
+  uint64_t admission_wait_us = 0;
+  uint64_t queue_depth_at_admit = 0;
+
+  // Governor.
+  std::string governor_verdict;  ///< "" = no governor; "ok" or poison status name
+  uint64_t governor_checks = 0;
+  uint64_t governor_peak_bytes = 0;
+  uint64_t governor_shed_entries = 0;
+
+  // Chaos injections that actually fired against this attempt's probe.
+  uint64_t chaos_delays = 0;
+  uint64_t chaos_shed_storms = 0;
+  uint64_t chaos_cancels = 0;
+  uint64_t chaos_alloc_failures = 0;
+
+  // Plan cache provenance: "", "bypass", "miss", "hit", "hit-fallback".
+  std::string plan_provenance;
+
+  // Predicate-transfer schedule stats.
+  uint64_t transfer_passes = 0;
+  uint64_t transfer_filters_built = 0;
+  uint64_t transfer_rows_eliminated = 0;
+  uint64_t transfer_filter_bytes = 0;
+
+  // SLO / capture.
+  bool slo_violated = false;
+  /// Slow-query capture: EXPLAIN ANALYZE tree plus the trace-span slice
+  /// overlapping the attempt, rendered by the emitter. Shared so ring
+  /// eviction and Tail() copies stay cheap; only the N most recent captures
+  /// are retained (older records keep their scalars, lose the capture).
+  std::shared_ptr<const std::string> slow_capture;
+};
+
+/// Global switch for record emission (admission of records into the log;
+/// the shell's `\querylog on|off` and the ICEBERG_QUERY_LOG env var — "0"
+/// disables — both land here). Reading is one relaxed atomic load.
+bool QueryLogEnabled();
+void SetQueryLogEnabled(bool enabled);
+
+/// Slow-query capture threshold in microseconds; 0 (the default) disarms
+/// capture entirely. Initialized from ICEBERG_SLOW_QUERY_US.
+uint64_t SlowQueryThresholdUs();
+void SetSlowQueryThresholdUs(uint64_t us);
+
+/// Thread-local suppression scope: while one is alive on this thread, the
+/// Database entry points skip their own emission. Session::Run opens one
+/// around the Database call so a served attempt yields exactly one record
+/// (the session's), never two.
+class QueryLogScope {
+ public:
+  QueryLogScope();
+  ~QueryLogScope();
+  QueryLogScope(const QueryLogScope&) = delete;
+  QueryLogScope& operator=(const QueryLogScope&) = delete;
+  static bool Active();
+};
+
+/// The process-wide flight recorder: a fixed-capacity ring of QueryRecords
+/// sharded by sequence number. Publication takes one shard mutex (shards
+/// are touched round-robin, so concurrent sessions rarely collide); all
+/// heavy assembly happens on the query's own thread before Record() is
+/// called. Layered on top: a per-shape latency histogram registry with
+/// optional SLO thresholds, bounded slow-capture retention, and JSONL
+/// export.
+class QueryLog {
+ public:
+  /// Process singleton, sized from ICEBERG_QUERY_LOG_CAPACITY (default
+  /// 1024 records, rounded up to a multiple of the shard count).
+  static QueryLog& Global();
+
+  /// Allocates the next statement-level query id (shared by all attempts).
+  static uint64_t NextQueryId();
+
+  explicit QueryLog(size_t capacity);
+  ~QueryLog();
+
+  /// Publishes one attempt record: assigns `seq`, feeds the per-shape
+  /// latency histogram, applies the SLO check (sets rec.slo_violated and
+  /// bumps `slo.violations`), enforces the slow-capture retention bound,
+  /// and overwrites the oldest slot once the ring is full. No-op (returns
+  /// 0) while the log is disabled. Returns the assigned seq + 1 (so 0
+  /// means "not recorded").
+  uint64_t Record(QueryRecord rec);
+
+  /// The most recent `n` records, oldest first. n = 0 means everything
+  /// still in the ring.
+  std::vector<QueryRecord> Tail(size_t n = 0) const;
+
+  /// The most recent `n` records whose latency meets `threshold_us`
+  /// (default: the armed slow-query threshold; if that is 0, falls back to
+  /// records carrying a capture). Oldest first.
+  std::vector<QueryRecord> Slow(size_t n = 0, uint64_t threshold_us = 0) const;
+
+  void Clear();
+  size_t capacity() const { return capacity_; }
+
+  /// SLO thresholds: per-shape overrides win over the default; 0 disables.
+  void SetDefaultSloUs(uint64_t us);
+  void SetShapeSloUs(uint64_t shape_hash, uint64_t us);
+
+  /// Per-shape latency table: shape hash, attempts, p50/p99 (us), SLO
+  /// threshold and violation count — the `\querylog shapes` surface.
+  std::string RenderShapeTable() const;
+
+  /// One record as a single-line JSON object (JSONL-ready).
+  static std::string ToJson(const QueryRecord& rec);
+
+  /// Human-oriented fixed-width table of `recs` (the `\queries` surface).
+  static std::string RenderTable(const std::vector<QueryRecord>& recs);
+
+  /// Writes every ring record as one JSON object per line; false when the
+  /// file cannot be opened.
+  bool DumpJsonl(const std::string& path) const;
+
+  /// Number of records retaining a slow capture (test/monitoring surface).
+  size_t captures_held() const;
+
+ private:
+  struct Shard;
+
+  static constexpr size_t kShards = 8;
+  /// Record seq `s` lives at shard s % kShards, slot (s / kShards) %
+  /// per_shard_cap_ — deterministic, so capture eviction can find an old
+  /// record without scanning.
+  Shard& ShardFor(uint64_t seq) const;
+
+  void NoteShapeLatency(QueryRecord* rec);
+  void EnforceCaptureBound(uint64_t new_capture_seq);
+
+  size_t capacity_ = 0;
+  size_t per_shard_cap_ = 0;
+  mutable std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> next_seq_{0};
+
+  mutable std::mutex shape_mu_;
+  struct ShapeStats {
+    Histogram hist;
+    uint64_t slo_us = 0;  // 0 = use default
+    uint64_t violations = 0;
+    std::string shape;  // first-seen normalized text, for rendering
+  };
+  std::map<uint64_t, std::unique_ptr<ShapeStats>> shapes_;
+  uint64_t default_slo_us_ = 0;
+
+  mutable std::mutex capture_mu_;
+  std::vector<uint64_t> capture_seqs_;  // FIFO of seqs holding captures
+  size_t capture_keep_ = 16;
+};
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_OBS_QUERY_LOG_H_

@@ -7,6 +7,8 @@
 #include <memory>
 #include <mutex>
 
+#include "src/obs/metrics.h"
+
 namespace iceberg {
 
 namespace {
@@ -22,13 +24,27 @@ std::atomic<bool>& EnabledFlag() {
   return enabled;
 }
 
+size_t TraceBufferLimitDefault() {
+  const char* env = std::getenv("ICEBERG_TRACE_BUFFER_LIMIT");
+  if (env == nullptr || env[0] == '\0') return 65536;
+  return static_cast<size_t>(std::strtoull(env, nullptr, 10));
+}
+
+std::atomic<size_t>& BufferLimitFlag() {
+  static std::atomic<size_t> limit{TraceBufferLimitDefault()};
+  return limit;
+}
+
 /// Events recorded by one thread. The owning thread appends under the
 /// buffer mutex (uncontended in steady state); SnapshotTrace/ClearTrace
 /// take the same mutex from the draining thread, which is what makes the
-/// hand-off tsan-clean even while workers are still recording.
+/// hand-off tsan-clean even while workers are still recording. Past the
+/// buffer limit the vector is treated as a ring: `next_slot` names the
+/// oldest event, which the next append overwrites.
 struct TraceBuffer {
   std::mutex mu;
   uint32_t tid = 0;
+  size_t next_slot = 0;
   std::vector<TraceEvent> events;
 };
 
@@ -73,15 +89,36 @@ int64_t TraceNowMicros() {
       .count();
 }
 
+size_t TraceBufferLimit() {
+  return BufferLimitFlag().load(std::memory_order_relaxed);
+}
+
+void SetTraceBufferLimit(size_t limit) {
+  BufferLimitFlag().store(limit, std::memory_order_relaxed);
+}
+
 void TraceSpan::End() {
   if (start_us_ < 0) return;
   int64_t end_us = TraceNowMicros();
   TraceBuffer* buffer = ThisThreadBuffer();
   TraceEvent event{name_, cat_, start_us_, end_us - start_us_, buffer->tid};
+  size_t limit = TraceBufferLimit();
+  bool dropped = false;
   {
     std::lock_guard<std::mutex> lock(buffer->mu);
-    buffer->events.push_back(event);
+    if (limit == 0 || buffer->events.size() < limit) {
+      buffer->events.push_back(event);
+    } else {
+      // At capacity: overwrite the oldest slot. The modulus is the live
+      // size, not the (possibly shrunk) limit, so a mid-run limit change
+      // keeps every slot reachable.
+      buffer->events[buffer->next_slot % buffer->events.size()] = event;
+      buffer->next_slot =
+          (buffer->next_slot + 1) % buffer->events.size();
+      dropped = true;
+    }
   }
+  if (dropped) ICEBERG_COUNTER("trace.events_dropped")->Increment();
   start_us_ = -1;
 }
 
@@ -100,12 +137,24 @@ std::vector<TraceEvent> SnapshotTrace() {
   return all;
 }
 
+std::vector<TraceEvent> SnapshotTraceRange(int64_t start_us, int64_t end_us) {
+  std::vector<TraceEvent> all = SnapshotTrace();
+  std::vector<TraceEvent> slice;
+  for (const TraceEvent& e : all) {
+    if (e.start_us <= end_us && e.start_us + e.dur_us >= start_us) {
+      slice.push_back(e);
+    }
+  }
+  return slice;
+}
+
 void ClearTrace() {
   BufferRegistry& registry = Registry();
   std::lock_guard<std::mutex> registry_lock(registry.mu);
   for (const auto& buffer : registry.buffers) {
     std::lock_guard<std::mutex> lock(buffer->mu);
     buffer->events.clear();
+    buffer->next_slot = 0;
   }
 }
 

@@ -56,9 +56,21 @@ class TraceSpan {
   int64_t start_us_;  // -1 = disabled at construction / already ended
 };
 
+/// Per-thread buffer capacity, in events. Past the limit a buffer behaves
+/// as a ring: the oldest event is overwritten and the process-wide
+/// `trace.events_dropped` counter is incremented, so a long traced soak
+/// holds bounded memory. Initialized from ICEBERG_TRACE_BUFFER_LIMIT
+/// (default 65536); 0 means unbounded.
+size_t TraceBufferLimit();
+void SetTraceBufferLimit(size_t limit);
+
 /// Copies every thread's recorded events, ordered by start time. The
 /// buffers are left intact (dump-then-keep); ClearTrace() empties them.
 std::vector<TraceEvent> SnapshotTrace();
+/// SnapshotTrace() restricted to events overlapping [start_us, end_us]
+/// (span start before end_us and span end at/after start_us) — the slice a
+/// slow-query capture attaches to its record.
+std::vector<TraceEvent> SnapshotTraceRange(int64_t start_us, int64_t end_us);
 void ClearTrace();
 
 /// Renders events as a chrome://tracing / Perfetto-loadable JSON document

@@ -62,6 +62,7 @@ Result<AdmissionController::Ticket> AdmissionController::Admit() {
   ticket.queue_wait_us = std::chrono::duration_cast<std::chrono::microseconds>(
                              std::chrono::steady_clock::now() - start)
                              .count();
+  ticket.queue_depth_at_admit = waiters_.size();
   ICEBERG_COUNTER("admission.admitted")->Increment();
   ICEBERG_HISTOGRAM("admission.queue_wait_us")
       ->Record(static_cast<uint64_t>(ticket.queue_wait_us));

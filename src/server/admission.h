@@ -57,6 +57,10 @@ class AdmissionController {
     int thread_grant = 0;
     /// Microseconds spent queued before admission.
     int64_t queue_wait_us = 0;
+    /// Queue length observed at the moment of admission (queries still
+    /// waiting behind this one) — per-query congestion attribution for the
+    /// flight recorder.
+    size_t queue_depth_at_admit = 0;
   };
 
   explicit AdmissionController(AdmissionConfig config);

@@ -81,7 +81,24 @@ struct ChaosSchedule::BoundProbe::State {
   ChaosConfig config;
   uint64_t stream = 0;
   std::atomic<QueryGovernor*> governor{nullptr};
+  // Per-probe injection tallies (the probe may be called from any worker
+  // thread, hence atomics; read at attempt end via injected()).
+  std::atomic<uint64_t> delays{0};
+  std::atomic<uint64_t> shed_storms{0};
+  std::atomic<uint64_t> cancels{0};
+  std::atomic<uint64_t> alloc_failures{0};
 };
+
+ChaosSchedule::BoundProbe::Counts ChaosSchedule::BoundProbe::injected() const {
+  Counts counts;
+  if (state_ == nullptr) return counts;
+  counts.delays = state_->delays.load(std::memory_order_relaxed);
+  counts.shed_storms = state_->shed_storms.load(std::memory_order_relaxed);
+  counts.cancels = state_->cancels.load(std::memory_order_relaxed);
+  counts.alloc_failures =
+      state_->alloc_failures.load(std::memory_order_relaxed);
+  return counts;
+}
 
 void ChaosSchedule::BoundProbe::Bind(QueryGovernor* governor) {
   if (state_ != nullptr) {
@@ -103,6 +120,7 @@ ChaosSchedule::BoundProbe ChaosSchedule::MakeProbe(uint64_t stream_id) {
     const ChaosConfig& c = state->config;
     if (Hit(state->stream, kSiteDelay, ordinal, c.delay_every)) {
       ICEBERG_COUNTER("chaos.injected_delays")->Increment();
+      state->delays.fetch_add(1, std::memory_order_relaxed);
       std::this_thread::sleep_for(std::chrono::microseconds(c.delay_us));
     }
     if (Hit(state->stream, kSiteShedStorm, ordinal, c.shed_storm_every)) {
@@ -110,11 +128,13 @@ ChaosSchedule::BoundProbe ChaosSchedule::MakeProbe(uint64_t stream_id) {
           state->governor.load(std::memory_order_acquire);
       if (governor != nullptr) {
         ICEBERG_COUNTER("chaos.injected_shed_storms")->Increment();
+        state->shed_storms.fetch_add(1, std::memory_order_relaxed);
         governor->ShedAdvisory(std::numeric_limits<size_t>::max());
       }
     }
     if (Hit(state->stream, kSiteCancel, ordinal, c.cancel_every)) {
       ICEBERG_COUNTER("chaos.injected_cancels")->Increment();
+      state->cancels.fetch_add(1, std::memory_order_relaxed);
       return Status::Cancelled("chaos: injected spurious cancellation")
           .MarkRetryable();
     }
@@ -127,6 +147,7 @@ ChaosSchedule::BoundProbe ChaosSchedule::MakeProbe(uint64_t stream_id) {
     const ChaosConfig& c = state->config;
     if (Hit(state->stream, kSiteAllocFail, ordinal, c.alloc_fail_every)) {
       ICEBERG_COUNTER("chaos.injected_alloc_failures")->Increment();
+      state->alloc_failures.fetch_add(1, std::memory_order_relaxed);
       // Soft (TryReserve) call sites degrade — shed/skip the entry — and
       // the query completes exactly; hard sites fail the attempt with a
       // clean retryable status.

@@ -81,6 +81,18 @@ class ChaosSchedule {
     /// probe, so it trivially does).
     void Bind(QueryGovernor* governor);
 
+    /// Injections this probe actually fired, by fault class — the
+    /// per-attempt attribution the flight recorder stores alongside the
+    /// process-wide chaos.injected_* counters. All zeros when chaos is
+    /// disabled (no state allocated).
+    struct Counts {
+      uint64_t delays = 0;
+      uint64_t shed_storms = 0;
+      uint64_t cancels = 0;
+      uint64_t alloc_failures = 0;
+    };
+    Counts injected() const;
+
    private:
     friend class ChaosSchedule;
     struct State;

@@ -4,8 +4,12 @@
 #include <mutex>
 #include <thread>
 
+#include "src/engine/analyze.h"
+#include "src/engine/query_record.h"
 #include "src/expr/compiled.h"
 #include "src/obs/metrics.h"
+#include "src/obs/query_log.h"
+#include "src/obs/trace.h"
 #include "src/server/chaos.h"
 
 namespace iceberg {
@@ -70,10 +74,29 @@ QueryOutcome Session::Run(const std::string& sql, bool use_iceberg) {
   outcome.fingerprint = shape.fingerprint;
   outcome.shape_hash = shape.shape_hash;
 
+  // Flight recorder: one record per attempt, all sharing one query id.
+  // `recording` is latched per statement so a mid-statement flip of the
+  // chicken bit cannot tear a retry sequence.
+  const bool recording = QueryLogEnabled();
+  const uint64_t query_id = recording ? QueryLog::NextQueryId() : 0;
+  std::string prev_status_name;
+
   const int max_attempts = retry_.max_attempts <= 0 ? 1 : retry_.max_attempts;
   for (int attempt = 1;; ++attempt) {
     outcome.attempts = attempt;
     ICEBERG_COUNTER("server.attempts")->Increment();
+
+    QueryRecord rec;
+    rec.start_us = TraceNowMicros();
+    if (recording) {
+      rec.query_id = query_id;
+      rec.session_id = id_;
+      rec.attempt = static_cast<uint32_t>(attempt);
+      rec.iceberg = use_iceberg;
+      rec.shape_hash = shape.shape_hash;
+      rec.shape = shape.shape;
+      rec.retry_cause = prev_status_name;
+    }
 
     // --- Submit: pin every table's snapshot under the shared lock. ---
     std::vector<std::pair<std::string, TableSnapshot>> pins;
@@ -91,6 +114,9 @@ QueryOutcome Session::Run(const std::string& sql, bool use_iceberg) {
     if (admitted.ok()) {
       TicketGuard guard{&server_->admission_, *admitted};
       outcome.queue_wait_us = guard.ticket.queue_wait_us;
+      rec.admission_wait_us =
+          static_cast<uint64_t>(guard.ticket.queue_wait_us);
+      rec.queue_depth_at_admit = guard.ticket.queue_depth_at_admit;
 
       // --- Fresh per-attempt state (satellite: governors are single-use
       // and reports/stats append, so reuse across attempts would double
@@ -115,6 +141,9 @@ QueryOutcome Session::Run(const std::string& sql, bool use_iceberg) {
       Result<TablePtr> result = Status::Internal("not executed");
       {
         std::shared_lock<std::shared_mutex> lock(server_->catalog_mu_);
+        // This attempt is recorded here, with its admission/retry context;
+        // suppress the Database layer's own record for the nested call.
+        QueryLogScope suppress;
         if (!PinsStillValid(pins, server_->db_->SnapshotTables())) {
           ++outcome.snapshot_conflicts;
           ICEBERG_COUNTER("server.snapshot_conflicts")->Increment();
@@ -161,12 +190,58 @@ QueryOutcome Session::Run(const std::string& sql, bool use_iceberg) {
         }
       }
 
+      // Assemble the record's execution fields while the governor and the
+      // chaos probe are still alive — everything comes from this attempt's
+      // own run-local state, never from global counters.
+      if (recording) {
+        FillRecordStatus(&rec,
+                         result.ok() ? Status::OK() : result.status());
+        rec.latency_us =
+            static_cast<uint64_t>(TraceNowMicros() - rec.start_us);
+        FillRecordGovernor(&rec, governor.get());
+        ChaosSchedule::BoundProbe::Counts injected = chaos.injected();
+        rec.chaos_delays = injected.delays;
+        rec.chaos_shed_storms = injected.shed_storms;
+        rec.chaos_cancels = injected.cancels;
+        rec.chaos_alloc_failures = injected.alloc_failures;
+        if (use_iceberg) {
+          FillRecordStats(&rec, report);
+        } else {
+          FillRecordStats(&rec, stats);
+        }
+        if (result.ok()) rec.rows_returned = (*result)->num_rows();
+        uint64_t slow_us = SlowQueryThresholdUs();
+        if (slow_us != 0 && rec.latency_us >= slow_us && result.ok()) {
+          int64_t end_us = rec.start_us + static_cast<int64_t>(rec.latency_us);
+          if (use_iceberg) {
+            rec.slow_capture = MakeSlowCapture(
+                RenderAnalyzeIceberg(report, MetricsSnapshot(),
+                                     rec.rows_returned,
+                                     static_cast<int64_t>(rec.latency_us)),
+                rec.start_us, end_us);
+          } else {
+            std::shared_lock<std::shared_mutex> lock(server_->catalog_mu_);
+            ExecOptions plan_exec = config.iceberg.base_exec;
+            Result<std::string> plan = server_->db_->ExplainBaseline(
+                sql, plan_exec);
+            if (plan.ok()) {
+              rec.slow_capture = MakeSlowCapture(
+                  RenderAnalyzeBaseline(stats, *plan, MetricsSnapshot(),
+                                        rec.rows_returned,
+                                        static_cast<int64_t>(rec.latency_us)),
+                  rec.start_us, end_us);
+            }
+          }
+        }
+      }
+
       if (result.ok()) {
         outcome.status = Status::OK();
         outcome.table = std::move(result).value();
         outcome.report = std::move(report);
         outcome.exec_stats = stats;
         ICEBERG_COUNTER("server.queries_ok")->Increment();
+        if (recording) QueryLog::Global().Record(std::move(rec));
         return outcome;
       }
       st = result.status();
@@ -174,17 +249,33 @@ QueryOutcome Session::Run(const std::string& sql, bool use_iceberg) {
       outcome.exec_stats = stats;
     } else {
       st = admitted.status();
+      // Shed before admission: the record carries the shed status and the
+      // time burned waiting, but no governor/execution fields (none ran).
+      if (recording) {
+        FillRecordStatus(&rec, st);
+        rec.latency_us =
+            static_cast<uint64_t>(TraceNowMicros() - rec.start_us);
+      }
     }
 
-    if (retry_.ShouldRetry(st, attempt) && attempt < max_attempts) {
+    const bool will_retry =
+        retry_.ShouldRetry(st, attempt) && attempt < max_attempts;
+    if (recording) {
+      rec.will_retry = will_retry;
+      prev_status_name = rec.status;
+    }
+    if (will_retry) {
       int64_t backoff = retry_.BackoffMs(attempt);
       outcome.backoff_total_ms += backoff;
+      rec.backoff_ms = static_cast<uint64_t>(backoff);
       ICEBERG_COUNTER("server.retries")->Increment();
+      if (recording) QueryLog::Global().Record(std::move(rec));
       if (backoff > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
       }
       continue;
     }
+    if (recording) QueryLog::Global().Record(std::move(rec));
     outcome.status = st;
     if (st.IsRetryable()) {
       ICEBERG_COUNTER("server.queries_shed")->Increment();

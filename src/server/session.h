@@ -15,7 +15,7 @@
 #include "src/server/admission.h"
 #include "src/server/plan_cache.h"
 #include "src/server/retry.h"
-#include "src/server/shape.h"
+#include "src/common/shape.h"
 
 namespace iceberg {
 

@@ -11,9 +11,12 @@
 #include <gtest/gtest.h>
 
 #include "src/obs/trace.h"
+#include "tests/json_check.h"
 
 namespace iceberg {
 namespace {
+
+using iceberg::testing::IsValidJson;
 
 TEST(CounterTest, AddAndReset) {
   Counter c;
@@ -43,12 +46,35 @@ TEST(HistogramTest, LogBucketsAndPercentiles) {
   EXPECT_EQ(s.count, 101u);
   EXPECT_EQ(s.sum, 100u * 10 + 1000);
   EXPECT_NEAR(s.Mean(), static_cast<double>(s.sum) / 101.0, 1e-9);
-  // p50 lands in the bucket of 10: bit_width(10)=4, bucket covers [8,16).
-  EXPECT_EQ(s.Percentile(50), 15u);
-  // p100 lands in the bucket of 1000: [512, 1024).
+  // p50 lands in the bucket of 10 ([8,16)); rank 50 of the 100 observations
+  // there interpolates to 8 + 0.5 * 8 = 12.
+  EXPECT_EQ(s.Percentile(50), 12u);
+  // p100 is the sole observation in [512, 1024): frac = 1.0 caps at the
+  // bucket's inclusive upper bound.
   EXPECT_EQ(s.Percentile(100), 1023u);
   h.Reset();
   EXPECT_EQ(h.Snapshot().count, 0u);
+}
+
+TEST(HistogramTest, PercentileInterpolationErrorBounded) {
+  // Uniform 1..1000: interpolation keeps the relative error well under the
+  // 25% budget that log-scale bucketing alone cannot guarantee (a pure
+  // upper-bound estimate is off by up to ~2x at bucket bottoms).
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  HistogramSnapshot s = h.Snapshot();
+  // True p50 = 500, p99 = 990.
+  EXPECT_NEAR(static_cast<double>(s.Percentile(50)), 500.0, 0.25 * 500.0);
+  EXPECT_NEAR(static_cast<double>(s.Percentile(99)), 990.0, 0.25 * 990.0);
+
+  // Point mass at 10 (mid-bucket of [8,16)): p50 interpolates to 12, a 20%
+  // error, where the old upper-bound estimate returned 15 (50% off). Tail
+  // percentiles of a point mass still pay the bucket-resolution cost; the
+  // 25% budget is pinned for the median, which drives the \queries table.
+  Histogram point;
+  for (int i = 0; i < 1000; ++i) point.Record(10);
+  HistogramSnapshot ps = point.Snapshot();
+  EXPECT_NEAR(static_cast<double>(ps.Percentile(50)), 10.0, 2.5);
 }
 
 TEST(HistogramTest, ZeroGoesToFirstBucket) {
@@ -114,6 +140,37 @@ TEST(RegistryTest, RenderTextAndJson) {
   EXPECT_NE(json.find("\"test.render.counter\""), std::string::npos);
   EXPECT_EQ(json.front(), '{');
   EXPECT_EQ(json.back(), '}');
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("plain.name"), "plain.name");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape("line\nfeed"), "line\\nfeed");
+  EXPECT_EQ(JsonEscape(std::string("nul\x01mid")), "nul\\u0001mid");
+}
+
+TEST(RegistryTest, ToJsonIsValidWithHostileMetricNames) {
+  // Metric names are free-form strings; a name carrying quotes,
+  // backslashes, or control characters must not corrupt the JSON
+  // document. (Nothing in the repo names metrics like this, but the
+  // exporter must not rely on that.)
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const std::string hostile = "test.esc.\"quoted\"\\back\nslash";
+  reg.GetCounter(hostile)->Add(3);
+  reg.GetGauge("test.esc.gauge\twith\ttabs")->Set(-7);
+  reg.GetHistogram("test.esc.hist")->Record(42);
+
+  std::string json = reg.Snapshot().ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  // The hostile name round-trips: its escaped form appears as a key.
+  EXPECT_NE(json.find("test.esc.\\\"quoted\\\"\\\\back\\nslash"),
+            std::string::npos);
+  // No raw (unescaped) control characters anywhere in the document.
+  for (char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
 }
 
 TEST(RegistryTest, ConcurrentIncrementsAreExactAtEightThreads) {
@@ -192,6 +249,41 @@ TEST(TraceTest, ChromeJsonIsWellFormed) {
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"test.json\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(TraceTest, BufferLimitRingsAndCountsDrops) {
+  size_t prev_limit = TraceBufferLimit();
+  SetTraceBufferLimit(16);
+  SetTraceEnabled(true);
+  ClearTrace();
+  Counter* dropped = ICEBERG_COUNTER("trace.events_dropped");
+  uint64_t dropped_before = dropped->value();
+  for (int i = 0; i < 100; ++i) {
+    TraceSpan span("test.ring", "test");
+  }
+  std::vector<TraceEvent> events = SnapshotTrace();
+  SetTraceEnabled(false);
+  ClearTrace();
+  SetTraceBufferLimit(prev_limit);
+  // The per-thread buffer holds only the most recent `limit` spans; every
+  // overwritten span is accounted for in trace.events_dropped.
+  EXPECT_EQ(events.size(), 16u);
+  EXPECT_EQ(dropped->value() - dropped_before, 100u - 16u);
+}
+
+TEST(TraceTest, UnboundedWhenLimitIsZero) {
+  size_t prev_limit = TraceBufferLimit();
+  SetTraceBufferLimit(0);
+  SetTraceEnabled(true);
+  ClearTrace();
+  for (int i = 0; i < 100; ++i) {
+    TraceSpan span("test.unbounded", "test");
+  }
+  std::vector<TraceEvent> events = SnapshotTrace();
+  SetTraceEnabled(false);
+  ClearTrace();
+  SetTraceBufferLimit(prev_limit);
+  EXPECT_EQ(events.size(), 100u);
 }
 
 TEST(TraceTest, ConcurrentSpansAllRecorded) {

@@ -22,7 +22,7 @@
 #include "src/server/chaos.h"
 #include "src/server/plan_cache.h"
 #include "src/server/session.h"
-#include "src/server/shape.h"
+#include "src/common/shape.h"
 
 namespace iceberg {
 namespace {

@@ -1,0 +1,586 @@
+// Flight-recorder tests: ring overwrite, one record per retry attempt
+// (reconciling with the governor lifecycle), scope suppression, chaos
+// annotations, SLO accounting, slow-capture arming and retention, JSONL
+// export, and an eight-session storm (tsan preset).
+
+#include "src/obs/query_log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+#include "src/obs/metrics.h"
+#include "src/server/chaos.h"
+#include "src/server/session.h"
+#include "tests/json_check.h"
+
+namespace iceberg {
+namespace {
+
+using iceberg::testing::IsValidJson;
+
+/// Restores the emission flag and slow threshold no matter how a test
+/// exits, and clears the global ring so tests see only their own records.
+struct QueryLogGuard {
+  QueryLogGuard() : was_enabled(QueryLogEnabled()),
+                    prev_slow_us(SlowQueryThresholdUs()) {
+    SetQueryLogEnabled(true);
+    SetSlowQueryThresholdUs(0);
+    QueryLog::Global().Clear();
+  }
+  ~QueryLogGuard() {
+    SetQueryLogEnabled(was_enabled);
+    SetSlowQueryThresholdUs(prev_slow_us);
+    QueryLog::Global().Clear();
+  }
+  bool was_enabled;
+  uint64_t prev_slow_us;
+};
+
+struct ChaosGuard {
+  explicit ChaosGuard(ChaosConfig config) { ChaosSchedule::SetGlobal(config); }
+  ~ChaosGuard() { ChaosSchedule::SetGlobal(ChaosConfig{}); }
+};
+
+QueryRecord MakeRecord(uint64_t query_id, uint64_t latency_us,
+                       uint64_t shape_hash = 0) {
+  QueryRecord rec;
+  rec.query_id = query_id;
+  rec.latency_us = latency_us;
+  rec.shape_hash = shape_hash;
+  rec.shape = shape_hash != 0 ? "select ?" : "";
+  return rec;
+}
+
+Database MakeDb() {
+  Database db;
+  EXPECT_TRUE(db.CreateTable("object", Schema({{"id", DataType::kInt64},
+                                               {"x", DataType::kInt64},
+                                               {"y", DataType::kInt64}}))
+                  .ok());
+  EXPECT_TRUE(db.DeclareKey("object", {"id"}).ok());
+  for (int64_t i = 0; i < 24; ++i) {
+    EXPECT_TRUE(db.Insert("object", {Value::Int(i), Value::Int((i * 13) % 7),
+                                     Value::Int((i * 5) % 11)})
+                    .ok());
+  }
+  return db;
+}
+
+const char* kSkylineSql =
+    "SELECT L.id, COUNT(*) FROM object L, object R "
+    "WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y) "
+    "GROUP BY L.id HAVING COUNT(*) <= 50";
+
+ServerConfig TestServerConfig() {
+  ServerConfig config;
+  config.admission.max_concurrent = 4;
+  config.admission.max_queue_depth = 64;
+  config.admission.queue_timeout_ms = 10000;
+  config.retry.max_attempts = 6;
+  config.retry.initial_backoff_ms = 1;
+  config.retry.max_backoff_ms = 2;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Ring mechanics (private instances; the global enable flag still gates)
+// ---------------------------------------------------------------------------
+
+TEST(QueryLogRingTest, CapacityRoundsUpToShardMultiple) {
+  QueryLogGuard guard;
+  QueryLog log(/*capacity=*/13);
+  EXPECT_EQ(log.capacity() % 8, 0u);
+  EXPECT_GE(log.capacity(), 13u);
+}
+
+TEST(QueryLogRingTest, OverwritesOldestAtCapacity) {
+  QueryLogGuard guard;
+  QueryLog log(/*capacity=*/16);
+  ASSERT_EQ(log.capacity(), 16u);
+  Counter* overwrites = ICEBERG_COUNTER("query_log.overwrites");
+  uint64_t overwrites_before = overwrites->value();
+
+  for (uint64_t i = 0; i < 40; ++i) {
+    uint64_t handle = log.Record(MakeRecord(/*query_id=*/i + 1,
+                                            /*latency_us=*/i));
+    EXPECT_EQ(handle, i + 1);  // seq + 1
+  }
+
+  std::vector<QueryRecord> tail = log.Tail();
+  ASSERT_EQ(tail.size(), 16u);
+  // Oldest-first, and exactly the last 16 seqs survive.
+  for (size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_EQ(tail[i].seq, 24 + i);
+    EXPECT_EQ(tail[i].query_id, 24 + i + 1);
+  }
+  EXPECT_EQ(overwrites->value() - overwrites_before, 40u - 16u);
+
+  std::vector<QueryRecord> last5 = log.Tail(5);
+  ASSERT_EQ(last5.size(), 5u);
+  EXPECT_EQ(last5.front().seq, 35u);
+  EXPECT_EQ(last5.back().seq, 39u);
+}
+
+TEST(QueryLogRingTest, DisabledLogRecordsNothing) {
+  QueryLogGuard guard;
+  QueryLog log(/*capacity=*/16);
+  SetQueryLogEnabled(false);
+  EXPECT_EQ(log.Record(MakeRecord(1, 10)), 0u);
+  SetQueryLogEnabled(true);
+  EXPECT_TRUE(log.Tail().empty());
+  EXPECT_NE(log.Record(MakeRecord(2, 10)), 0u);
+  EXPECT_EQ(log.Tail().size(), 1u);
+}
+
+TEST(QueryLogRingTest, ClearEmptiesEverything) {
+  QueryLogGuard guard;
+  QueryLog log(/*capacity=*/16);
+  log.Record(MakeRecord(1, 10, /*shape_hash=*/7));
+  log.Clear();
+  EXPECT_TRUE(log.Tail().empty());
+  EXPECT_EQ(log.captures_held(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Slow filter and capture retention
+// ---------------------------------------------------------------------------
+
+TEST(QueryLogSlowTest, ThresholdBoundaryIsInclusive) {
+  QueryLogGuard guard;
+  QueryLog log(/*capacity=*/16);
+  log.Record(MakeRecord(1, /*latency_us=*/99));
+  log.Record(MakeRecord(2, /*latency_us=*/100));
+  log.Record(MakeRecord(3, /*latency_us=*/101));
+
+  std::vector<QueryRecord> slow = log.Slow(/*n=*/0, /*threshold_us=*/100);
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(slow[0].query_id, 2u);
+  EXPECT_EQ(slow[1].query_id, 3u);
+}
+
+TEST(QueryLogSlowTest, ZeroThresholdFallsBackToCapturedRecords) {
+  QueryLogGuard guard;  // global slow threshold forced to 0
+  QueryLog log(/*capacity=*/16);
+  QueryRecord with_capture = MakeRecord(1, 5);
+  with_capture.slow_capture =
+      std::make_shared<const std::string>("=== slow query capture ===\n");
+  log.Record(std::move(with_capture));
+  log.Record(MakeRecord(2, 500));
+
+  std::vector<QueryRecord> slow = log.Slow();
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow[0].query_id, 1u);
+  ASSERT_NE(slow[0].slow_capture, nullptr);
+}
+
+TEST(QueryLogSlowTest, CaptureRetentionBoundDropsOldestPayloads) {
+  QueryLogGuard guard;
+  QueryLog log(/*capacity=*/64);  // ring larger than the capture bound (16)
+  for (uint64_t i = 0; i < 20; ++i) {
+    QueryRecord rec = MakeRecord(i + 1, 1000 + i);
+    rec.slow_capture = std::make_shared<const std::string>(
+        "capture #" + std::to_string(i + 1));
+    log.Record(std::move(rec));
+  }
+  EXPECT_EQ(log.captures_held(), 16u);
+
+  std::vector<QueryRecord> tail = log.Tail();
+  ASSERT_EQ(tail.size(), 20u);
+  size_t with_payload = 0;
+  for (const QueryRecord& rec : tail) {
+    if (rec.slow_capture != nullptr) ++with_payload;
+    // Eviction strips only the payload; the scalars survive in the ring.
+    EXPECT_EQ(rec.latency_us, 1000 + rec.seq);
+  }
+  EXPECT_EQ(with_payload, 16u);
+  // FIFO: the four oldest captures are the ones gone.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(tail[i].slow_capture, nullptr) << "seq " << tail[i].seq;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SLO accounting
+// ---------------------------------------------------------------------------
+
+TEST(QueryLogSloTest, DefaultAndPerShapeThresholds) {
+  QueryLogGuard guard;
+  QueryLog log(/*capacity=*/32);
+  Counter* violations = ICEBERG_COUNTER("slo.violations");
+  uint64_t violations_before = violations->value();
+
+  log.SetDefaultSloUs(100);
+  log.Record(MakeRecord(1, /*latency_us=*/50, /*shape_hash=*/0xAB));
+  log.Record(MakeRecord(2, /*latency_us=*/150, /*shape_hash=*/0xAB));
+  // Per-shape override wins over the default: 150us is fine under 1000us.
+  log.SetShapeSloUs(0xCD, 1000);
+  log.Record(MakeRecord(3, /*latency_us=*/150, /*shape_hash=*/0xCD));
+
+  std::vector<QueryRecord> tail = log.Tail();
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_FALSE(tail[0].slo_violated);
+  EXPECT_TRUE(tail[1].slo_violated);
+  EXPECT_FALSE(tail[2].slo_violated);
+  EXPECT_EQ(violations->value() - violations_before, 1u);
+
+  std::string table = log.RenderShapeTable();
+  EXPECT_NE(table.find("00000000000000ab"), std::string::npos);
+  EXPECT_NE(table.find("00000000000000cd"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// JSON / JSONL export
+// ---------------------------------------------------------------------------
+
+TEST(QueryLogJsonTest, RecordJsonIsValidWithHostileStrings) {
+  QueryRecord rec = MakeRecord(7, 123, /*shape_hash=*/0x1234);
+  rec.status = "CANCELLED";
+  rec.error = "chaos \"quoted\"\\back\nslash";
+  rec.retryable = true;
+  rec.will_retry = true;
+  rec.plan_provenance = "hit";
+  rec.slow_capture = std::make_shared<const std::string>(
+      "tree with \"quotes\"\nand newlines");
+  std::string json = QueryLog::ToJson(rec);
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"query_id\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"shape_hash\":\"0000000000001234\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"will_retry\":true"), std::string::npos);
+
+  rec.slow_capture = nullptr;
+  std::string no_capture = QueryLog::ToJson(rec);
+  EXPECT_TRUE(IsValidJson(no_capture)) << no_capture;
+  EXPECT_NE(no_capture.find("\"slow_capture\":null"), std::string::npos);
+}
+
+TEST(QueryLogJsonTest, DumpJsonlRoundTrips) {
+  QueryLogGuard guard;
+  QueryLog log(/*capacity=*/16);
+  for (uint64_t i = 0; i < 5; ++i) {
+    QueryRecord rec = MakeRecord(i + 1, 10 * (i + 1), /*shape_hash=*/i);
+    rec.error = "err\n#" + std::to_string(i);
+    log.Record(std::move(rec));
+  }
+  std::string path = ::testing::TempDir() + "querylog_roundtrip.jsonl";
+  ASSERT_TRUE(log.DumpJsonl(path));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(IsValidJson(line)) << line;
+    EXPECT_NE(line.find("\"query_id\":" + std::to_string(lines + 1)),
+              std::string::npos);
+    ++lines;
+  }
+  EXPECT_EQ(lines, log.Tail().size());
+  std::remove(path.c_str());
+}
+
+TEST(QueryLogJsonTest, RenderTableMarksRetriesAndCaptures) {
+  QueryRecord retrying = MakeRecord(1, 10);
+  retrying.status = "OVERLOADED";
+  retrying.will_retry = true;
+  QueryRecord captured = MakeRecord(2, 20);
+  captured.slow_capture = std::make_shared<const std::string>("tree");
+  std::string table = QueryLog::RenderTable({retrying, captured});
+  EXPECT_NE(table.find("OVERLOADED*"), std::string::npos);
+  EXPECT_NE(table.find("[captured]"), std::string::npos);
+  EXPECT_NE(QueryLog::RenderTable({}).find("(no records)"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Emission wiring: direct Database calls
+// ---------------------------------------------------------------------------
+
+TEST(QueryLogEmissionTest, DirectDatabaseCallEmitsOneRecordPerEngine) {
+  QueryLogGuard guard;
+  Database db = MakeDb();
+
+  ExecStats stats;
+  Result<TablePtr> base = db.Query(kSkylineSql, ExecOptions(), &stats);
+  ASSERT_TRUE(base.ok());
+  IcebergReport report;
+  Result<TablePtr> ice = db.QueryIceberg(kSkylineSql, IcebergOptions(),
+                                         &report);
+  ASSERT_TRUE(ice.ok());
+
+  std::vector<QueryRecord> tail = QueryLog::Global().Tail();
+  ASSERT_EQ(tail.size(), 2u);
+  const QueryRecord& b = tail[0];
+  const QueryRecord& i = tail[1];
+  EXPECT_FALSE(b.iceberg);
+  EXPECT_TRUE(i.iceberg);
+  for (const QueryRecord* rec : {&b, &i}) {
+    EXPECT_EQ(rec->session_id, 0u) << "direct calls have no session";
+    EXPECT_EQ(rec->attempt, 1u);
+    EXPECT_EQ(rec->status, "OK");
+    EXPECT_EQ(rec->rows_returned, (*base)->num_rows());
+    EXPECT_NE(rec->shape_hash, 0u);
+    EXPECT_GT(rec->latency_us, 0u);
+  }
+  EXPECT_EQ(b.shape_hash, i.shape_hash);
+  // The baseline record reconciles with the caller's ExecStats block...
+  EXPECT_EQ(b.transfer_passes, stats.transfer_passes);
+  EXPECT_EQ(b.transfer_rows_eliminated, stats.transfer_rows_eliminated);
+  // ...and the iceberg record with the report (executor + NLJP shares).
+  EXPECT_EQ(i.transfer_passes, report.exec_stats.transfer_passes +
+                                   report.nljp_stats.transfer_passes);
+  EXPECT_EQ(i.transfer_filters_built,
+            report.exec_stats.transfer_filters_built +
+                report.nljp_stats.transfer_filters_built);
+  EXPECT_EQ(i.transfer_rows_eliminated,
+            report.exec_stats.transfer_rows_eliminated +
+                report.nljp_stats.transfer_rows_eliminated);
+  EXPECT_EQ(i.plan_provenance, report.plan_provenance);
+}
+
+TEST(QueryLogEmissionTest, ScopeSuppressesDatabaseEmission) {
+  QueryLogGuard guard;
+  Database db = MakeDb();
+  {
+    QueryLogScope suppress;
+    EXPECT_TRUE(QueryLogScope::Active());
+    ASSERT_TRUE(db.Query(kSkylineSql).ok());
+    ASSERT_TRUE(db.QueryIceberg(kSkylineSql).ok());
+  }
+  EXPECT_FALSE(QueryLogScope::Active());
+  EXPECT_TRUE(QueryLog::Global().Tail().empty());
+}
+
+TEST(QueryLogEmissionTest, ChickenBitSilencesServedQueries) {
+  QueryLogGuard guard;
+  SetQueryLogEnabled(false);
+  Database db = MakeDb();
+  IcebergServer server(&db, TestServerConfig());
+  auto session = server.OpenSession();
+  ASSERT_TRUE(session->Execute(kSkylineSql).status.ok());
+  ASSERT_TRUE(session->ExecuteBaseline(kSkylineSql).status.ok());
+  EXPECT_TRUE(QueryLog::Global().Tail().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Emission wiring: served queries (sessions, retries, chaos)
+// ---------------------------------------------------------------------------
+
+TEST(QueryLogEmissionTest, ServedQueryEmitsOneRecordReconcilingWithOutcome) {
+  QueryLogGuard guard;
+  Database db = MakeDb();
+  IcebergServer server(&db, TestServerConfig());
+  auto session = server.OpenSession();
+
+  QueryOutcome outcome = session->Execute(kSkylineSql);
+  ASSERT_TRUE(outcome.status.ok());
+  ASSERT_EQ(outcome.attempts, 1);
+
+  std::vector<QueryRecord> tail = QueryLog::Global().Tail();
+  ASSERT_EQ(tail.size(), 1u) << "session wraps the Database call: one record";
+  const QueryRecord& rec = tail[0];
+  EXPECT_EQ(rec.session_id, session->id());
+  EXPECT_EQ(rec.attempt, 1u);
+  EXPECT_TRUE(rec.iceberg);
+  EXPECT_EQ(rec.status, "OK");
+  EXPECT_FALSE(rec.will_retry);
+  EXPECT_EQ(rec.shape_hash, outcome.shape_hash);
+  EXPECT_EQ(rec.rows_returned, outcome.table->num_rows());
+  EXPECT_EQ(rec.governor_verdict, "ok");
+  EXPECT_GT(rec.governor_checks, 0u);
+  // Transfer fields reconcile with the outcome's own report — the same
+  // blocks EXPLAIN ANALYZE renders for this statement.
+  EXPECT_EQ(rec.transfer_passes,
+            outcome.report.exec_stats.transfer_passes +
+                outcome.report.nljp_stats.transfer_passes);
+  EXPECT_EQ(rec.transfer_rows_eliminated,
+            outcome.report.exec_stats.transfer_rows_eliminated +
+                outcome.report.nljp_stats.transfer_rows_eliminated);
+  EXPECT_EQ(rec.plan_provenance, outcome.report.plan_provenance);
+}
+
+TEST(QueryLogEmissionTest, OneRecordPerRetryAttemptMatchingGovernorDelta) {
+  QueryLogGuard guard;
+  Database db = MakeDb();
+  IcebergServer server(&db, TestServerConfig());
+  // Heavy retryable cancels: most statements need several attempts.
+  ChaosConfig chaos;
+  chaos.seed = 17;
+  chaos.cancel_every = 300;
+  ChaosGuard chaos_guard(chaos);
+
+  Counter* governor_queries = ICEBERG_COUNTER("governor.queries");
+  uint64_t governors_before = governor_queries->value();
+
+  auto session = server.OpenSession();
+  int total_attempts = 0;
+  int retried_statements = 0;
+  for (int i = 0; i < 12; ++i) {
+    QueryOutcome outcome = session->Execute(kSkylineSql);
+    total_attempts += outcome.attempts;
+    if (outcome.attempts > 1) ++retried_statements;
+  }
+  ASSERT_GT(retried_statements, 0)
+      << "chaos rate too low: no statement retried, test proves nothing";
+
+  std::vector<QueryRecord> tail = QueryLog::Global().Tail();
+  ASSERT_EQ(tail.size(), static_cast<size_t>(total_attempts))
+      << "exactly one record per attempt";
+  // Every admitted attempt constructs exactly one governor, so the
+  // governor.queries delta must equal the record count (a single
+  // sequential session can never be shed pre-admission, and pre-admission
+  // sheds are the one record kind without a governor).
+  EXPECT_EQ(governor_queries->value() - governors_before,
+            static_cast<uint64_t>(total_attempts));
+
+  // Per-statement invariants: shared query_id, 1-based attempt numbers,
+  // will_retry on all but the last, retry_cause echoing the prior status.
+  for (size_t i = 0; i < tail.size(); ++i) {
+    const QueryRecord& rec = tail[i];
+    if (rec.attempt > 1) {
+      ASSERT_GT(i, 0u);
+      const QueryRecord& prev = tail[i - 1];
+      EXPECT_EQ(prev.query_id, rec.query_id);
+      EXPECT_EQ(prev.attempt, rec.attempt - 1);
+      EXPECT_TRUE(prev.will_retry);
+      EXPECT_EQ(rec.retry_cause, prev.status);
+      EXPECT_NE(rec.retry_cause, "OK");
+    }
+  }
+}
+
+TEST(QueryLogEmissionTest, ChaosInjectionsReconcileWithGlobalCounters) {
+  QueryLogGuard guard;
+  Database db = MakeDb();
+  IcebergServer server(&db, TestServerConfig());
+  ChaosConfig chaos;
+  chaos.seed = 5;
+  chaos.delay_every = 50;
+  chaos.delay_us = 1;
+  chaos.cancel_every = 500;
+  ChaosGuard chaos_guard(chaos);
+
+  uint64_t delays_before = ICEBERG_COUNTER("chaos.injected_delays")->value();
+  uint64_t cancels_before =
+      ICEBERG_COUNTER("chaos.injected_cancels")->value();
+
+  auto session = server.OpenSession();
+  for (int i = 0; i < 6; ++i) session->Execute(kSkylineSql);
+
+  uint64_t rec_delays = 0;
+  uint64_t rec_cancels = 0;
+  bool any_annotation = false;
+  for (const QueryRecord& rec : QueryLog::Global().Tail()) {
+    rec_delays += rec.chaos_delays;
+    rec_cancels += rec.chaos_cancels;
+    if (rec.chaos_delays + rec.chaos_shed_storms + rec.chaos_cancels +
+            rec.chaos_alloc_failures >
+        0) {
+      any_annotation = true;
+    }
+  }
+  ASSERT_TRUE(any_annotation) << "chaos rate too low to annotate any record";
+  // Per-record attribution is complete: summing the annotations recovers
+  // the global chaos counter deltas exactly.
+  EXPECT_EQ(rec_delays,
+            ICEBERG_COUNTER("chaos.injected_delays")->value() -
+                delays_before);
+  EXPECT_EQ(rec_cancels,
+            ICEBERG_COUNTER("chaos.injected_cancels")->value() -
+                cancels_before);
+}
+
+TEST(QueryLogEmissionTest, SlowCaptureArmsAtThresholdBothEngines) {
+  QueryLogGuard guard;
+  Database db = MakeDb();
+  IcebergServer server(&db, TestServerConfig());
+  auto session = server.OpenSession();
+
+  // Armed at 1us: everything is slow; both engines must attach a capture.
+  SetSlowQueryThresholdUs(1);
+  ASSERT_TRUE(session->Execute(kSkylineSql).status.ok());
+  ASSERT_TRUE(session->ExecuteBaseline(kSkylineSql).status.ok());
+  // Disarmed via an unreachable threshold: no capture.
+  SetSlowQueryThresholdUs(uint64_t{1} << 60);
+  ASSERT_TRUE(session->Execute(kSkylineSql).status.ok());
+  SetSlowQueryThresholdUs(0);
+
+  std::vector<QueryRecord> tail = QueryLog::Global().Tail();
+  ASSERT_EQ(tail.size(), 3u);
+  for (size_t i = 0; i < 2; ++i) {
+    ASSERT_NE(tail[i].slow_capture, nullptr) << "record " << i;
+    EXPECT_NE(tail[i].slow_capture->find("=== slow query capture ==="),
+              std::string::npos);
+    // The capture embeds the per-operator analyze tree, not a plain plan.
+    EXPECT_NE(tail[i].slow_capture->find("actual"), std::string::npos);
+  }
+  EXPECT_EQ(tail[2].slow_capture, nullptr);
+  EXPECT_EQ(QueryLog::Global().Slow().size(), 2u);
+}
+
+TEST(QueryLogStormTest, EightSessionsReconcileUnderChaos) {
+  QueryLogGuard guard;
+  Database db = MakeDb();
+  ServerConfig config = TestServerConfig();
+  config.admission.max_concurrent = 2;
+  IcebergServer server(&db, config);
+  ChaosConfig chaos;
+  chaos.seed = 99;
+  chaos.cancel_every = 1500;
+  chaos.delay_every = 400;
+  chaos.delay_us = 2;
+  ChaosGuard chaos_guard(chaos);
+
+  Counter* records_counter = ICEBERG_COUNTER("query_log.records");
+  uint64_t records_before = records_counter->value();
+
+  constexpr int kSessions = 8;
+  constexpr int kQueriesPerSession = 6;
+  std::atomic<int> total_attempts{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int s = 0; s < kSessions; ++s) {
+    workers.emplace_back([&, s]() {
+      auto session = server.OpenSession();
+      for (int i = 0; i < kQueriesPerSession; ++i) {
+        // Alternate engines so both paths run concurrently.
+        QueryOutcome outcome = (s + i) % 2 == 0
+                                   ? session->Execute(kSkylineSql)
+                                   : session->ExecuteBaseline(kSkylineSql);
+        total_attempts.fetch_add(outcome.attempts);
+        if (!outcome.status.ok() && !outcome.status.IsRetryable()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(failures.load(), 0) << "only clean sheds are acceptable";
+  // One record per attempt, across all sessions, exactly.
+  EXPECT_EQ(records_counter->value() - records_before,
+            static_cast<uint64_t>(total_attempts.load()));
+  std::vector<QueryRecord> tail = QueryLog::Global().Tail();
+  ASSERT_EQ(tail.size(), static_cast<size_t>(total_attempts.load()));
+  for (const QueryRecord& rec : tail) {
+    EXPECT_NE(rec.query_id, 0u);
+    EXPECT_GE(rec.session_id, 1u);
+    EXPECT_GE(rec.attempt, 1u);
+    EXPECT_NE(rec.shape_hash, 0u);
+    EXPECT_FALSE(rec.status.empty());
+  }
+  // The per-shape table saw every attempt of the (single) shape.
+  std::string shapes = QueryLog::Global().RenderShapeTable();
+  EXPECT_NE(shapes.find("select l.id"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iceberg

@@ -19,7 +19,7 @@
 #include "src/server/chaos.h"
 #include "src/server/retry.h"
 #include "src/server/session.h"
-#include "src/server/shape.h"
+#include "src/common/shape.h"
 
 namespace iceberg {
 namespace {
