@@ -1,0 +1,193 @@
+// PR 10 join-order A/B: the cost-based optimizer (statistics +
+// cardinality estimation + left-deep enumeration, src/plan/cost/) flipped
+// off and on around the baseline executor, with predicate transfer ON in
+// both states — the CBO must earn its keep on top of the transfer graph,
+// not by re-claiming its wins.
+//
+// Two regimes, reported separately and honestly:
+//
+//  - The stock Fig. 1 queries (Q1-Q8) are self-joins whose FROM order is
+//    already near-optimal (symmetric shapes, no selective tail relation);
+//    this leg measures *overhead* (the no-regression claim; the ratio
+//    must stay ~1.0 and the enumerator usually keeps FROM order).
+//  - The reorder variants place a highly selective roster relation LAST
+//    in FROM order, joined through edges the transfer graph is partly
+//    blind to (the season-offset equality s.year = a.year + 1 is
+//    col-vs-expression, so transfer can restrict the dominance side only
+//    by pid, not by season). In FROM order the dominance BNL runs over
+//    every surviving row before the roster kills them; the enumerator
+//    fronts the roster relation and the BNL runs over a sliver. This leg
+//    is the win artifact (reorders > 0, speedup is the claim under test).
+//
+// Any row disagreement between the two states aborts the run. Emits JSONL
+// via --json= (BENCH_PR10.json in EXPERIMENTS.md):
+//   {"query":...,"threads":N,"ms_off":...,"ms_on":...,"speedup":...,
+//    "reorders":N}
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/workload_queries.h"
+#include "src/common/value.h"
+#include "src/engine/database.h"
+#include "src/exec/exec_options.h"
+#include "src/obs/metrics.h"
+
+namespace iceberg {
+namespace bench {
+namespace {
+
+constexpr int kTrials = 5;
+
+struct Measurement {
+  double ms = 0;
+  TablePtr rows;
+  uint64_t reorders = 0;  // cbo.reorders delta across the best trial
+};
+
+uint64_t Reorders() {
+  return MetricsRegistry::Global().GetCounter("cbo.reorders")->value();
+}
+
+Measurement RunBest(Database* db, const std::string& sql, int threads,
+                    bool cbo) {
+  Measurement best;
+  for (int t = 0; t < kTrials; ++t) {
+    ExecOptions exec;
+    exec.num_threads = threads;
+    exec.cbo = cbo;
+    const uint64_t reorders_before = Reorders();
+    Timer timer;
+    Result<TablePtr> result = db->Query(sql, exec);
+    const double ms = timer.Seconds() * 1e3;
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed (cbo=%d): %s\n%s\n", cbo ? 1 : 0,
+                   result.status().ToString().c_str(), sql.c_str());
+      std::exit(1);
+    }
+    if (t == 0 || ms < best.ms) {
+      best.ms = ms;
+      best.rows = *result;
+      best.reorders = Reorders() - reorders_before;
+    }
+  }
+  return best;
+}
+
+void ExpectIdentical(const std::string& name, const TablePtr& off,
+                     const TablePtr& on) {
+  bool same = off->num_rows() == on->num_rows();
+  if (same) {
+    std::vector<Row> a = off->rows(), b = on->rows();
+    std::sort(a.begin(), a.end(), RowLess());
+    std::sort(b.begin(), b.end(), RowLess());
+    for (size_t i = 0; same && i < a.size(); ++i) {
+      same = CompareRows(a[i], b[i]) == 0;
+    }
+  }
+  if (!same) {
+    std::fprintf(stderr, "%s: cbo on/off results disagree (%zu vs %zu rows)\n",
+                 name.c_str(), off->num_rows(), on->num_rows());
+    std::exit(1);
+  }
+}
+
+void RunAB(Database* db, JsonWriter* json, const std::string& name,
+           const std::string& sql, int threads) {
+  Measurement off = RunBest(db, sql, threads, false);
+  Measurement on = RunBest(db, sql, threads, true);
+  ExpectIdentical(name, off.rows, on.rows);
+  const double speedup = on.ms > 0 ? off.ms / on.ms : 0.0;
+  std::printf("  %-42s t=%d  off %8.2f ms  on %8.2f ms  %5.2fx  reorders %llu\n",
+              name.c_str(), threads, off.ms, on.ms, speedup,
+              (unsigned long long)on.reorders);
+  std::fflush(stdout);
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "{\"query\":\"%s\",\"threads\":%d,\"ms_off\":%.3f,"
+                "\"ms_on\":%.3f,\"speedup\":%.3f,\"reorders\":%llu}",
+                name.c_str(), threads, off.ms, on.ms, speedup,
+                (unsigned long long)on.reorders);
+  json->RecordRaw(line);
+}
+
+/// Dominance skyband anchored on a next-season roster, roster LAST in
+/// FROM order. The s.pid = a.pid edge lets transfer restrict `a` to the
+/// roster's players across all seasons, but the season-offset equality
+/// s.year = a.year + 1 is transfer-blind: FROM order still runs the
+/// a x b dominance BNL for every season of those players, the reordered
+/// plan only for the one season that can reach the output.
+std::string RosterAnchoredSkybandSql(const std::string& a1,
+                                     const std::string& a2, int k, int teamid,
+                                     int year, int min_stat) {
+  std::string filter =
+      min_stat > 0 ? " AND s.hits >= " + std::to_string(min_stat) : "";
+  return "SELECT a.pid, a.year, COUNT(*) "
+         "FROM score a, score b, score s "
+         "WHERE a." + a1 + " <= b." + a1 + " AND a." + a2 + " <= b." + a2 +
+         " AND (a." + a1 + " < b." + a1 + " OR a." + a2 + " < b." + a2 + ")" +
+         " AND s.teamid = " + std::to_string(teamid) +
+         " AND s.year = " + std::to_string(year) + filter +
+         " AND s.pid = a.pid AND s.year = a.year + 1 "
+         "GROUP BY a.pid, a.year HAVING COUNT(*) <= " + std::to_string(k);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace iceberg
+
+int main(int argc, char** argv) {
+  using namespace iceberg;
+  using namespace iceberg::bench;
+
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  JsonWriter json(flags.json_path);
+
+  const size_t rows = Scaled(3000);
+  std::unique_ptr<Database> db = MakeScoreDb(rows);
+  // MakeScoreDb sweeps all players once per season (players = rows/12,
+  // 2 rounds): 6 seasons, 1985..1990. The roster anchors pick mid-range
+  // seasons so the prior season (year - 1) exists.
+
+  const std::vector<int> thread_counts = flags.threads > 0
+                                             ? std::vector<int>{flags.threads}
+                                             : std::vector<int>{1, 8};
+
+  std::printf("join-order A/B over score(%zu rows), transfer ON both ways\n\n",
+              rows);
+  std::printf("stock Fig. 1 queries (FROM order is near-optimal; this leg "
+              "measures overhead):\n");
+  for (int threads : thread_counts) {
+    for (const NamedQuery& q : Figure1Queries()) {
+      RunAB(db.get(), &json, q.name, q.sql, threads);
+    }
+  }
+
+  std::printf("\nreorder variants (selective roster last in FROM order; "
+              "this leg measures the win):\n");
+  struct Variant {
+    std::string name;
+    std::string sql;
+  };
+  const std::vector<Variant> variants = {
+      {"JO1 skyband(hits,hruns) roster team=5 y=1987",
+       RosterAnchoredSkybandSql("hits", "hruns", 50, 5, 1987, 0)},
+      {"JO2 skyband(h2,sb) top-roster team=12 y=1988",
+       RosterAnchoredSkybandSql("h2", "sb", 80, 12, 1988, 40)},
+      {"JO3 skyband(hits,hruns) roster team=21 y=1989",
+       RosterAnchoredSkybandSql("hits", "hruns", 30, 21, 1989, 0)},
+  };
+  for (int threads : thread_counts) {
+    for (const Variant& v : variants) {
+      RunAB(db.get(), &json, v.name, v.sql, threads);
+    }
+  }
+
+  json.RecordMetrics("join_order end-of-run");
+  FinishBenchTrace(flags);
+  return 0;
+}

@@ -71,6 +71,7 @@
 #include "src/obs/trace.h"
 #include "src/server/chaos.h"
 #include "src/server/session.h"
+#include "src/stats/column_stats.h"
 #include "src/workload/baseball.h"
 #include "src/workload/basket.h"
 #include "src/workload/object.h"
@@ -341,6 +342,55 @@ void RunStatement(Database* db, const std::string& line) {
     }
     return;
   }
+  if (line.rfind("\\cbo", 0) == 0) {
+    std::string arg;
+    std::istringstream(line.substr(4)) >> arg;
+    if (arg == "on") {
+      SetCboEnabled(true);
+      std::printf("cost-based optimizer on\n");
+    } else if (arg == "off") {
+      SetCboEnabled(false);
+      std::printf("cost-based optimizer off\n");
+    } else if (arg == "status" || arg.empty()) {
+      std::printf(
+          "cbo %s: plans=%llu reorders=%llu order_replays=%llu "
+          "stats_builds=%llu apriori_skipped=%llu nljp_vetoed=%llu\n",
+          CboEnabled() ? "on" : "off",
+          (unsigned long long)ICEBERG_COUNTER("cbo.plans")->value(),
+          (unsigned long long)ICEBERG_COUNTER("cbo.reorders")->value(),
+          (unsigned long long)ICEBERG_COUNTER("cbo.order_replays")->value(),
+          (unsigned long long)ICEBERG_COUNTER("cbo.stats_builds")->value(),
+          (unsigned long long)ICEBERG_COUNTER("cbo.apriori_skipped")->value(),
+          (unsigned long long)ICEBERG_COUNTER("cbo.nljp_vetoed")->value());
+    } else {
+      std::printf("usage: \\cbo on|off|status  (currently %s)\n",
+                  CboEnabled() ? "on" : "off");
+    }
+    return;
+  }
+  if (line.rfind("\\stats", 0) == 0) {
+    std::string arg;
+    std::istringstream(line.substr(6)) >> arg;
+    std::vector<std::string> names;
+    if (!arg.empty()) {
+      names.push_back(arg);
+    } else {
+      names = {"object", "basket", "score"};
+    }
+    for (const std::string& name : names) {
+      Result<TablePtr> t = db->GetTable(name);
+      if (!t.ok()) {
+        std::printf("%s: %s\n", name.c_str(),
+                    t.status().message().c_str());
+        continue;
+      }
+      TableStatsPtr stats = GetOrBuildTableStats(**t);
+      std::printf("%s (version=%llu, ~%zu stat bytes)\n%s", name.c_str(),
+                  (unsigned long long)stats->version(), stats->ApproxBytes(),
+                  stats->ToString((*t)->schema()).c_str());
+    }
+    return;
+  }
   if (line.rfind("\\plancache", 0) == 0) {
     std::string arg;
     std::istringstream(line.substr(10)) >> arg;
@@ -563,7 +613,8 @@ int main() {
       "\\threads [N], \\sessions [N], \\retry [N], \\chaos seed N|off, "
       "\\tables, \\load <table> <csv>, \\metrics [json|reset], "
       "\\trace on|off|clear|dump <file>, \\vectorize on|off, "
-      "\\transfer on|off, \\plancache on|off|status, \\queries [n], "
+      "\\transfer on|off, \\cbo on|off|status, \\stats [table], "
+      "\\plancache on|off|status, \\queries [n], "
       "\\slow [n | threshold <us>], "
       "\\querylog on|off|clear|shapes|slo <us>|dump <file>|status, \\q\n"
       "EXPLAIN ANALYZE <sql> prints the annotated plan tree.\n");

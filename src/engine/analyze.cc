@@ -165,6 +165,11 @@ std::string RenderAnalyzeIceberg(const IcebergReport& report,
            ", rows_joined=" + std::to_string(e.rows_joined) +
            ", groups=" + std::to_string(e.groups_created) + " -> " +
            std::to_string(e.groups_output) + " after HAVING)\n";
+    if (!e.level_rows.empty()) {
+      out += "     cardinality: actual_rows_per_level=";
+      AppendList(&out, e.level_rows);
+      out += "\n";
+    }
     if (e.batch_rows > 0 || e.chunks_skipped > 0) {
       out += "     vectorized: batch_rows=" + std::to_string(e.batch_rows) +
              ", chunks_skipped=" + std::to_string(e.chunks_skipped) + "\n";
@@ -202,6 +207,13 @@ std::string RenderAnalyzeBaseline(const ExecStats& stats,
   out += "  join: pairs_examined=" + std::to_string(stats.join_pairs_examined) +
          ", rows_joined=" + std::to_string(stats.rows_joined) +
          ", index_probes=" + std::to_string(stats.index_probes) + "\n";
+  if (!stats.level_rows.empty()) {
+    // Actual cumulative rows surviving each pipeline level; the plan text
+    // above carries the estimator's est_rows= per level for comparison.
+    out += "  cardinality: actual_rows_per_level=";
+    AppendList(&out, stats.level_rows);
+    out += "\n";
+  }
   if (stats.batch_rows > 0 || stats.chunks_skipped > 0) {
     out += "  vectorized: batch_rows=" + std::to_string(stats.batch_rows) +
            ", chunks_skipped=" + std::to_string(stats.chunks_skipped) + "\n";

@@ -22,6 +22,13 @@ bool InitialPredicateTransferEnabled() {
 std::atomic<bool> g_predicate_transfer_enabled{
     InitialPredicateTransferEnabled()};
 
+bool InitialCboEnabled() {
+  const char* env = std::getenv("ICEBERG_CBO");
+  return env == nullptr || env[0] != '0';
+}
+
+std::atomic<bool> g_cbo_enabled{InitialCboEnabled()};
+
 }  // namespace
 
 bool VectorizedExecEnabled() {
@@ -38,6 +45,14 @@ bool PredicateTransferEnabled() {
 
 void SetPredicateTransferEnabled(bool enabled) {
   g_predicate_transfer_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool CboEnabled() {
+  return g_cbo_enabled.load(std::memory_order_relaxed);
+}
+
+void SetCboEnabled(bool enabled) {
+  g_cbo_enabled.store(enabled, std::memory_order_relaxed);
 }
 
 }  // namespace iceberg

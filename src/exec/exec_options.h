@@ -35,7 +35,18 @@ void SetVectorizedExecEnabled(bool enabled);
 bool PredicateTransferEnabled();
 void SetPredicateTransferEnabled(bool enabled);
 
-struct TransferSchedule;  // src/exec/transfer_graph.h
+/// Process-wide chicken bit for the cost-based optimizer (column
+/// statistics, cardinality estimation, transfer-aware join ordering;
+/// src/plan/cost/). Default on; seeded once from the ICEBERG_CBO
+/// environment variable (set to "0..." to disable). When off, every plan
+/// decision reverts to the pre-CBO heuristics: FROM-order joins, always-on
+/// iceberg rewrites, size-threshold vectorization — byte-identical plans
+/// to builds that predate the optimizer. Checked at plan time.
+bool CboEnabled();
+void SetCboEnabled(bool enabled);
+
+struct TransferSchedule;   // src/exec/transfer_graph.h
+struct JoinOrderSchedule;  // src/plan/cost/join_order.h
 
 struct ExecOptions {
   ExecProfile profile = ExecProfile::kPostgres;
@@ -81,6 +92,23 @@ struct ExecOptions {
   TransferSchedule* transfer_capture = nullptr;
   const TransferSchedule* transfer_replay = nullptr;
 
+  /// Per-query switch for the cost-based optimizer: collect column
+  /// statistics, estimate cardinalities (exact post-transfer survivor
+  /// counts when the transfer graph ran), and enumerate left-deep join
+  /// orders, executing the cheapest instead of FROM order. ANDed with the
+  /// process-wide CboEnabled() chicken bit. Results are byte-identical
+  /// either way (the join result is order-independent; output ordering is
+  /// canonicalized downstream).
+  bool cbo = true;
+
+  /// Plan-cache integration for the chosen join order (both borrowed, may
+  /// be null): `capture` records the enumerator's decision; `replay`
+  /// supplies a previously captured order, skipping the enumeration.
+  /// Replayed orders are validated (a permutation of the block's tables)
+  /// and ignored on mismatch.
+  JoinOrderSchedule* join_order_capture = nullptr;
+  const JoinOrderSchedule* join_order_replay = nullptr;
+
   static ExecOptions Postgres() { return ExecOptions{}; }
   static ExecOptions VendorA() {
     ExecOptions o;
@@ -114,6 +142,10 @@ struct ExecStats {
   size_t transfer_chunks_refuted = 0;
   size_t transfer_filter_bytes = 0;
   int64_t transfer_build_ns = 0;
+  /// Rows surviving each join level's predicates (indexed by pipeline
+  /// level, cumulative over the run). EXPLAIN ANALYZE pairs these actuals
+  /// against the cost model's est_rows per operator.
+  std::vector<size_t> level_rows;
   /// rows_joined produced by each worker (parallel runs only); the spread
   /// shows how well morsel claiming balanced the skewed outer loop.
   std::vector<size_t> rows_joined_per_worker;
@@ -144,6 +176,12 @@ struct ExecStats {
     transfer_chunks_refuted += run.transfer_chunks_refuted;
     transfer_filter_bytes += run.transfer_filter_bytes;
     transfer_build_ns += run.transfer_build_ns;
+    if (level_rows.size() < run.level_rows.size()) {
+      level_rows.resize(run.level_rows.size(), 0);
+    }
+    for (size_t i = 0; i < run.level_rows.size(); ++i) {
+      level_rows[i] += run.level_rows[i];
+    }
     cancel_checks = run.cancel_checks;
     budget_bytes_peak = run.budget_bytes_peak;
     workers = run.workers;

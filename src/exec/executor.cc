@@ -9,6 +9,7 @@
 #include "src/exec/aggregator.h"
 #include "src/exec/join_pipeline.h"
 #include "src/exec/task_pool.h"
+#include "src/plan/cost/join_order.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -87,6 +88,12 @@ void MergeWorkerStats(const std::vector<ExecStats>& partials,
     stats->index_probes += s.index_probes;
     stats->chunks_skipped += s.chunks_skipped;
     stats->batch_rows += s.batch_rows;
+    if (stats->level_rows.size() < s.level_rows.size()) {
+      stats->level_rows.resize(s.level_rows.size(), 0);
+    }
+    for (size_t i = 0; i < s.level_rows.size(); ++i) {
+      stats->level_rows[i] += s.level_rows[i];
+    }
     stats->rows_joined_per_worker.push_back(s.rows_joined);
   }
   stats->busy_us_per_worker = pool.last_busy_micros();
@@ -118,6 +125,122 @@ void PublishExecMetrics(const ExecStats& run) {
       ->Record(static_cast<uint64_t>(run.execute_us));
 }
 
+/// Output of the cost-based optimizer's pre-planning pass. `block` is the
+/// block the pipeline should execute: the original, or `permuted` when the
+/// enumerator deviated from FROM order. `topts` always carries a prebuilt
+/// transfer decision so JoinPipeline::Plan never rebuilds the graph the
+/// pass already ran.
+struct CboPlan {
+  const QueryBlock* block = nullptr;
+  QueryBlock permuted;
+  TransferPlanOptions topts;
+  PipelinePlanHints hints;
+  bool use_hints = false;
+  std::vector<double> est_rows;  // cumulative per pipeline level
+  bool reordered = false;
+};
+
+/// Runs the CBO ahead of physical planning: predicate transfer first (on
+/// the as-written block, so transfer schedules in plan traces keep stable
+/// level indexing, and survivor counts become exact cardinalities), then
+/// join-order enumeration (or replay of a cached schedule), then block +
+/// transfer-selection permutation when a cheaper order won. With the
+/// optimizer off (per-query or chicken bit) this is a no-op that leaves
+/// every decision to the pipeline's own heuristics.
+CboPlan PlanCboOrder(const QueryBlock& block, const ExecOptions& options,
+                     QueryGovernor* governor, int threads) {
+  CboPlan plan;
+  plan.block = &block;
+  plan.topts.enabled = options.predicate_transfer;
+  plan.topts.num_threads = threads;
+  plan.topts.capture = options.transfer_capture;
+  plan.topts.replay = options.transfer_replay;
+  const size_t n = block.tables.size();
+  if (!options.cbo || !CboEnabled() || n < 2) return plan;
+  ICEBERG_COUNTER("cbo.plans")->Increment();
+
+  TransferResultPtr xfer;
+  if (plan.topts.enabled && PredicateTransferEnabled()) {
+    TransferPlanOptions topts = plan.topts;
+    topts.governor = governor;
+    const bool vec = options.vectorize && VectorizedExecEnabled() &&
+                     CompiledExprEnabled();
+    topts.use_zone_maps = topts.use_zone_maps && vec;
+    xfer = BuildTransferGraph(block, topts);
+  }
+  plan.topts.prebuilt_valid = true;
+  plan.topts.prebuilt = xfer;
+
+  std::vector<size_t> order;
+  const JoinOrderSchedule* replay = options.join_order_replay;
+  if (replay != nullptr && replay->valid && replay->order.size() == n) {
+    // Cached schedule: skip statistics collection and enumeration.
+    order.assign(replay->order.begin(), replay->order.end());
+    plan.est_rows = replay->est_rows;
+    ICEBERG_COUNTER("cbo.order_replays")->Increment();
+  } else {
+    // Post-transfer survivor counts are *exact* plan-time cardinalities;
+    // levels transfer never touched fall back to histogram estimates.
+    std::vector<double> exact(n, -1.0);
+    bool any_exact = false;
+    if (xfer != nullptr && xfer->Live()) {
+      for (size_t i = 0; i < n; ++i) {
+        if (xfer->HasSelection(i)) {
+          exact[i] = static_cast<double>(xfer->KeptRows(i));
+          any_exact = true;
+        }
+      }
+    }
+    CardinalityEstimator est(block);
+    JoinOrderInputs inputs =
+        MakeJoinOrderInputs(est, any_exact ? &exact : nullptr);
+    JoinOrderPlan chosen = ChooseJoinOrder(est, inputs);
+    order = std::move(chosen.order);
+    plan.est_rows = std::move(chosen.est_rows);
+  }
+
+  bool identity = true;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] != i) identity = false;
+  }
+  if (options.join_order_capture != nullptr) {
+    JoinOrderSchedule* cap = options.join_order_capture;
+    cap->order.clear();
+    cap->order.reserve(order.size());
+    for (size_t t : order) cap->order.push_back(static_cast<uint32_t>(t));
+    cap->est_rows = plan.est_rows;
+    cap->valid = true;
+  }
+  if (identity) return plan;
+
+  Result<QueryBlock> permuted = PermuteBlock(block, order);
+  if (!permuted.ok()) return plan;  // stale replay; the FROM order stands
+  ICEBERG_COUNTER("cbo.reorders")->Increment();
+  plan.permuted = std::move(permuted).value();
+  plan.block = &plan.permuted;
+  plan.reordered = true;
+  plan.topts.prebuilt = PermuteTransferResult(xfer, order);
+  // Transfer schedules index the as-written block's levels; nothing should
+  // capture or replay against the permuted layout.
+  plan.topts.capture = nullptr;
+  plan.topts.replay = nullptr;
+  // Row-vs-vectorized advice: a scan whose total expected volume
+  // (invocations × table rows) is tiny never amortizes batch setup.
+  if (plan.est_rows.size() == n) {
+    plan.use_hints = true;
+    plan.hints.prefer_row_scan.assign(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const TablePtr& table = plan.permuted.tables[i].table;
+      double raw =
+          table != nullptr ? static_cast<double>(table->num_rows()) : 0.0;
+      double invocations =
+          i == 0 ? 1.0 : std::max(0.0, plan.est_rows[i - 1]);
+      if (invocations * raw < 1024.0) plan.hints.prefer_row_scan[i] = 1;
+    }
+  }
+  return plan;
+}
+
 }  // namespace
 
 Result<TablePtr> Executor::Execute(const QueryBlock& block,
@@ -134,20 +257,23 @@ Result<TablePtr> Executor::Execute(const QueryBlock& block,
   return result;
 }
 
-Result<TablePtr> Executor::ExecuteInternal(const QueryBlock& block,
+Result<TablePtr> Executor::ExecuteInternal(const QueryBlock& original,
                                            ExecStats* stats) {
   QueryGovernor* governor = options_.governor.get();
   if (governor != nullptr) ICEBERG_RETURN_NOT_OK(governor->Check());
   const int threads = ResolveThreads(options_.num_threads);
-  TransferPlanOptions topts;
-  topts.enabled = options_.predicate_transfer;
-  topts.num_threads = threads;
-  topts.capture = options_.transfer_capture;
-  topts.replay = options_.transfer_replay;
+  // Cost-based pre-planning: transfer, join-order choice, permutation.
+  // Everything below executes `block` — the as-written block, or the
+  // reordered one (same output schema and projection semantics, so the
+  // downstream aggregation/projection paths are unaffected).
+  CboPlan cbo = PlanCboOrder(original, options_, governor, threads);
+  const QueryBlock& block = *cbo.block;
   ICEBERG_ASSIGN_OR_RETURN(
       JoinPipeline pipeline,
       JoinPipeline::Plan(block, options_.use_indexes, options_.vectorize,
-                         governor, topts));
+                         governor, cbo.topts,
+                         cbo.use_hints ? &cbo.hints : nullptr));
+  if (!cbo.est_rows.empty()) pipeline.AnnotateEstimates(cbo.est_rows);
   // Predicate transfer happens once at plan time; its counters are charged
   // to the run here (Run-time counters accumulate per morsel).
   if (stats != nullptr && pipeline.transfer() != nullptr) {
@@ -281,23 +407,38 @@ Result<TablePtr> Executor::ExecuteInternal(const QueryBlock& block,
   return result;
 }
 
-std::string Executor::Explain(const QueryBlock& block) const {
-  // No governor here: EXPLAIN must not charge the query's budget.
-  TransferPlanOptions topts;
-  topts.enabled = options_.predicate_transfer;
-  topts.num_threads = ResolveThreads(options_.num_threads);
+std::string Executor::Explain(const QueryBlock& original) const {
+  // No governor here: EXPLAIN must not charge the query's budget, and no
+  // capture: EXPLAIN must not overwrite a statement's plan trace.
+  ExecOptions explain_options = options_;
+  explain_options.governor = nullptr;
+  explain_options.transfer_capture = nullptr;
+  explain_options.join_order_capture = nullptr;
+  const int threads = ResolveThreads(options_.num_threads);
+  CboPlan cbo =
+      PlanCboOrder(original, explain_options, /*governor=*/nullptr, threads);
+  const QueryBlock& block = *cbo.block;
   Result<JoinPipeline> pipeline =
       JoinPipeline::Plan(block, options_.use_indexes, options_.vectorize,
-                         /*governor=*/nullptr, topts);
+                         /*governor=*/nullptr, cbo.topts,
+                         cbo.use_hints ? &cbo.hints : nullptr);
   if (!pipeline.ok()) return "<plan error: " + pipeline.status().ToString() + ">";
+  if (!cbo.est_rows.empty()) pipeline->AnnotateEstimates(cbo.est_rows);
 
   Aggregator agg(block);
   std::string out;
   std::string indent;
-  const int threads = ResolveThreads(options_.num_threads);
   if (threads > 1) {
     out += "Gather (workers=" + std::to_string(threads) + ")\n";
     indent = "  ";
+  }
+  if (cbo.reordered) {
+    out += indent + "JoinOrder (cbo) order=(";
+    for (size_t i = 0; i < block.tables.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += block.tables[i].alias;
+    }
+    out += ")\n";
   }
   if (agg.IsAggregated()) {
     out += indent + "HashAggregate group_by=(";

@@ -1,6 +1,7 @@
 #include "src/exec/join_pipeline.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "src/common/logging.h"
 #include "src/expr/evaluator.h"
@@ -64,7 +65,8 @@ constexpr size_t kMinVectorRows = 64;
 Result<JoinPipeline> JoinPipeline::Plan(const QueryBlock& block,
                                         bool use_indexes, bool vectorize,
                                         QueryGovernor* governor,
-                                        const TransferPlanOptions& transfer) {
+                                        const TransferPlanOptions& transfer,
+                                        const PipelinePlanHints* hints) {
   JoinPipeline pipeline(block);
   const bool vec =
       vectorize && VectorizedExecEnabled() && CompiledExprEnabled();
@@ -239,9 +241,16 @@ Result<JoinPipeline> JoinPipeline::Plan(const QueryBlock& block,
     // Attach columnar projections to kSeqScan levels whose filters can all
     // run in batch mode. Chunk bytes are charged to the governor as an
     // advisory reservation; under pressure the level stays row-at-a-time.
-    for (JoinLevel& jl : pipeline.levels_) {
+    for (size_t level = 0; level < pipeline.levels_.size(); ++level) {
+      JoinLevel& jl = pipeline.levels_[level];
       if (jl.method != JoinMethod::kSeqScan) continue;
       if (jl.residual.empty()) continue;
+      // The optimizer expects too little scan volume here for batch setup
+      // to pay off: keep the reference row path.
+      if (hints != nullptr && level < hints->prefer_row_scan.size() &&
+          hints->prefer_row_scan[level] != 0) {
+        continue;
+      }
       if (jl.residual_progs.size() != jl.residual.size()) continue;
       bool batchable = true;
       for (const CompiledExpr& p : jl.residual_progs) {
@@ -264,7 +273,13 @@ Result<JoinPipeline> JoinPipeline::Plan(const QueryBlock& block,
   // The per-relation selections it produces shrink every scan, index
   // probe, and hash build below — this subsumes the old one-shot
   // first-join Bloom pre-filters, without their size-skew heuristics.
-  if (transfer.enabled && PredicateTransferEnabled() && num_tables >= 2) {
+  if (transfer.prebuilt_valid) {
+    // The cost-based optimizer already ran transfer (ahead of join
+    // ordering, so survivor counts could feed the enumerator); adopt its
+    // result — including a null one — instead of rebuilding.
+    pipeline.transfer_ = transfer.prebuilt;
+  } else if (transfer.enabled && PredicateTransferEnabled() &&
+             num_tables >= 2) {
     TransferPlanOptions topts = transfer;
     topts.governor = governor;
     // Zone-map refutation needs column chunks; don't build them just for
@@ -298,6 +313,12 @@ size_t JoinPipeline::OuterSize() const {
   return block_->tables[0].table->num_rows();
 }
 
+void JoinPipeline::AnnotateEstimates(const std::vector<double>& est_rows) {
+  for (size_t i = 0; i < levels_.size() && i < est_rows.size(); ++i) {
+    levels_[i].est_rows = est_rows[i];
+  }
+}
+
 Status JoinPipeline::Run(size_t outer_begin, size_t outer_end,
                          const RowCallback& callback, ExecStats* stats,
                          QueryGovernor* governor) const {
@@ -310,6 +331,9 @@ Status JoinPipeline::Run(size_t outer_begin, size_t outer_end,
   RunScratch scratch;
   scratch.probe_keys.resize(levels_.size());
   scratch.sel.resize(levels_.size());
+  if (stats != nullptr && stats->level_rows.size() < levels_.size()) {
+    stats->level_rows.resize(levels_.size(), 0);
+  }
   // Transfer selections stand down wholesale if any participating table
   // mutated after planning (e.g. NLJP parameter rebinding): the bitmaps
   // were baked against a cross-relation version snapshot.
@@ -326,6 +350,7 @@ Status JoinPipeline::Run(size_t outer_begin, size_t outer_end,
   // shapes. Returns false when the intermediate-row limit tripped and the
   // scan must stop.
   auto emit_outer = [&]() {
+    if (stats != nullptr) ++stats->level_rows[0];
     if (levels_.size() == 1) {
       if (stats != nullptr) ++stats->rows_joined;
       if (governor != nullptr && !governor->CountIntermediateRows(1).ok()) {
@@ -466,6 +491,7 @@ void JoinPipeline::RunLevel(size_t level, Row* partial,
       }
     }
     if (pass) {
+      if (stats != nullptr) ++stats->level_rows[level];
       if (level + 1 == levels_.size()) {
         if (stats != nullptr) ++stats->rows_joined;
         if (governor == nullptr || governor->CountIntermediateRows(1).ok()) {
@@ -543,6 +569,7 @@ void JoinPipeline::RunLevel(size_t level, Row* partial,
         }
         for (size_t k = 0; k < n; ++k) {
           if (governor != nullptr && governor->poisoned()) break;
+          if (stats != nullptr) ++stats->level_rows[level];
           const Row& inner_row = table.row(chunk.begin + sel[k]);
           partial->insert(partial->end(), inner_row.begin(), inner_row.end());
           if (level + 1 == levels_.size()) {
@@ -647,6 +674,16 @@ std::string JoinPipeline::Explain() const {
     if (jl.chunks != nullptr) {
       out += " [vectorized: " + std::to_string(jl.chunks->chunks().size()) +
              " chunks]";
+    }
+    if (jl.est_rows >= 0.0) {
+      char buf[32];
+      if (jl.est_rows < 1e7) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(jl.est_rows + 0.5));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.3g", jl.est_rows);
+      }
+      out += std::string(" est_rows=") + buf;
     }
     if (i == 0 && transfer_ != nullptr) {
       out += " [transfer: " + transfer_->Summary() + "]";

@@ -62,6 +62,20 @@ struct JoinLevel {
   // batchable; Run revalidates the snapshot version against the table and
   // falls back to rows on mismatch.
   ColumnChunkSetPtr chunks;
+
+  // Cost-model estimate of the cumulative joined rows surviving this level
+  // (-1 = not annotated). EXPLAIN renders it; EXPLAIN ANALYZE pairs it
+  // with the measured ExecStats::level_rows.
+  double est_rows = -1.0;
+};
+
+/// Optional per-level advice from the cost-based optimizer to Plan.
+struct PipelinePlanHints {
+  /// Levels (by pipeline position) whose scan should stay row-at-a-time
+  /// even when a vectorized chunk projection could be attached: the
+  /// estimator expects too few scan invocations × rows for the batch setup
+  /// to amortize. Entries beyond the FROM list are ignored.
+  std::vector<uint8_t> prefer_row_scan;
 };
 
 /// A compiled left-deep join pipeline over the block's FROM list, in FROM
@@ -80,10 +94,13 @@ class JoinPipeline {
   /// PredicateTransferEnabled() chicken bit. `governor`, when given, is
   /// charged (advisory) for chunk and filter bytes; under pressure the
   /// plan quietly degrades (row path, fewer transfer passes).
+  /// `hints`, when given, carries the cost-based optimizer's per-level
+  /// physical advice (currently: keep a scan row-at-a-time).
   static Result<JoinPipeline> Plan(const QueryBlock& block, bool use_indexes,
                                    bool vectorize = true,
                                    QueryGovernor* governor = nullptr,
-                                   const TransferPlanOptions& transfer = {});
+                                   const TransferPlanOptions& transfer = {},
+                                   const PipelinePlanHints* hints = nullptr);
 
   using RowCallback = std::function<void(const Row&)>;
 
@@ -104,6 +121,10 @@ class JoinPipeline {
   /// run's ExecStats once per Execute (the pipeline may Run many morsels);
   /// Run consults its selections only while Live() holds.
   const TransferResultPtr& transfer() const { return transfer_; }
+
+  /// Attaches the enumerator's cumulative per-level row estimates (indexed
+  /// by pipeline level) for EXPLAIN / EXPLAIN ANALYZE rendering.
+  void AnnotateEstimates(const std::vector<double>& est_rows);
 
   std::string Explain() const;
 

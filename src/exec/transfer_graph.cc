@@ -122,6 +122,30 @@ std::string TransferResult::Summary() const {
          (stats_.replayed_schedule ? " [schedule replayed]" : "");
 }
 
+TransferResultPtr PermuteTransferResult(const TransferResultPtr& result,
+                                        const std::vector<size_t>& order) {
+  if (result == nullptr) return nullptr;
+  auto permuted = std::shared_ptr<TransferResult>(new TransferResult());
+  const size_t n = order.size();
+  permuted->keep_.resize(n);
+  permuted->kept_.resize(n, 0);
+  permuted->total_.resize(n, 0);
+  for (size_t p = 0; p < n; ++p) {
+    const size_t old_level = order[p];
+    if (old_level >= result->keep_.size()) continue;
+    permuted->keep_[p] = result->keep_[old_level];
+    permuted->kept_[p] = result->kept_[old_level];
+    permuted->total_[p] = result->total_[old_level];
+  }
+  // versions_ guard table identity, not level order: copy as-is.
+  permuted->versions_ = result->versions_;
+  permuted->any_selection_ = result->any_selection_;
+  permuted->stats_ = result->stats_;
+  // gauge_bytes_ stays 0: the original owns the metric accounting and its
+  // destructor must be the only one subtracting from the gauge.
+  return permuted;
+}
+
 /// Builder for one BuildTransferGraph call; groups the passes' shared
 /// state so the sweep loops stay readable.
 class TransferGraphBuilder {

@@ -57,6 +57,13 @@ struct TransferPlanOptions {
   /// Plan-cache integration (both borrowed, may be null).
   TransferSchedule* capture = nullptr;
   const TransferSchedule* replay = nullptr;
+  /// When `prebuilt_valid`, JoinPipeline::Plan adopts `prebuilt` (which may
+  /// be null: transfer ran and was structurally inapplicable) instead of
+  /// building the graph itself. The cost-based optimizer uses this to run
+  /// transfer *before* join ordering — survivor counts feed the enumerator
+  /// and the already-built selections are permuted alongside the block.
+  bool prebuilt_valid = false;
+  std::shared_ptr<const class TransferResult> prebuilt;
 };
 
 /// Counters of one BuildTransferGraph run, folded into ExecStats /
@@ -73,6 +80,9 @@ struct TransferStats {
   bool degraded = false;        // governor pressure cut the sweeps short
   bool replayed_schedule = false;  // graph shape came from a PlanTrace
 };
+
+class TransferResult;
+using TransferResultPtr = std::shared_ptr<const TransferResult>;
 
 /// The outcome of predicate transfer over one query block: a keep/drop
 /// bitmap per FROM level (empty bitmap = nothing eliminated there, all
@@ -124,6 +134,8 @@ class TransferResult {
 
  private:
   friend class TransferGraphBuilder;
+  friend TransferResultPtr PermuteTransferResult(
+      const TransferResultPtr& result, const std::vector<size_t>& order);
   TransferResult() = default;
 
   std::vector<std::vector<uint8_t>> keep_;  // per level; empty = all kept
@@ -135,7 +147,13 @@ class TransferResult {
   size_t gauge_bytes_ = 0;  // live bytes tracked in transfer.filter_bytes
 };
 
-using TransferResultPtr = std::shared_ptr<const TransferResult>;
+/// Re-indexes a transfer result onto a permuted FROM order (new level p
+/// holds what old level order[p] held) so selections built before join
+/// reordering stay usable by the reordered pipeline. Returns null for
+/// null input. The copy does not adopt the original's byte-gauge
+/// accounting (the original's destructor settles the metric).
+TransferResultPtr PermuteTransferResult(const TransferResultPtr& result,
+                                        const std::vector<size_t>& order);
 
 /// Builds the block's join graph (nodes = FROM relations, edges =
 /// cross-relation equality conjuncts between plain columns, composite keys

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
+#include <numeric>
 #include <set>
 
 #include "src/common/logging.h"
@@ -36,6 +38,45 @@ uint64_t GuardFnv1a(const std::string& s) {
     h *= 1099511628211ull;
   }
   return h;
+}
+
+/// Cost-gate thresholds for the a-priori reducer: skip a reducer only when
+/// its HAVING is estimated to remove less than this fraction of groups AND
+/// the largest claimed table is big enough that evaluating the reducer
+/// (join + aggregate over its tables) costs more than the scan it saves.
+/// Small tables always take the reducer — the gate must never flip the
+/// paper's worked examples, only degenerate non-selective HAVINGs at scale.
+constexpr size_t kAprioriGateMinRows = 10000;
+constexpr double kAprioriGateMinRemoved = 0.02;
+
+/// NLJP memo pays only when L-side bindings repeat. When almost every
+/// binding is estimated distinct over a large L join, a memo-only operator
+/// (pruning disabled) is a strict loss: every probe misses and pays the
+/// cache insert on top of the component query.
+constexpr double kNljpVetoMinRows = 50000.0;
+constexpr double kNljpVetoRepeatFraction = 0.95;
+
+/// Estimated fraction of reducer groups the HAVING clause keeps, or -1
+/// when the shape is outside the cost model (the gate then stands down).
+double EstimateReducerKeepFraction(const QueryBlock& reducer) {
+  if (reducer.having == nullptr || reducer.tables.empty()) return -1.0;
+  CardinalityEstimator est(reducer);
+  std::vector<size_t> all(reducer.tables.size());
+  std::iota(all.begin(), all.end(), 0);
+  double join_rows = EstimateJoinRows(est, all);
+  std::vector<size_t> group_offsets;
+  for (const ExprPtr& g : reducer.group_by) {
+    std::vector<const Expr*> refs;
+    CollectColumnRefs(g, &refs);
+    for (const Expr* r : refs) {
+      if (r->resolved_index >= 0) {
+        group_offsets.push_back(static_cast<size_t>(r->resolved_index));
+      }
+    }
+  }
+  double groups = EstimateDistinctValues(est, group_offsets, join_rows);
+  double avg_group = join_rows / std::max(groups, 1.0);
+  return EstimateHavingKeepFraction(reducer.having, avg_group);
 }
 
 /// True when the expression holds a non-NULL literal outside of any
@@ -107,6 +148,7 @@ std::vector<AprioriOpportunity> IcebergOptimizer::PickApriori(
   // of tables, remove them from further consideration.
   std::set<size_t> available;
   for (size_t i = 0; i < block.tables.size(); ++i) available.insert(i);
+  const bool cbo_gate = options_.base_exec.cbo && CboEnabled();
 
   bool progress = true;
   while (progress && !available.empty()) {
@@ -133,6 +175,25 @@ std::vector<AprioriOpportunity> IcebergOptimizer::PickApriori(
         size_t score = 1 + view->left_only.size();
         Result<AprioriOpportunity> opp = CheckApriori(*view);
         if (!opp.ok()) continue;
+        if (cbo_gate) {
+          size_t claimed = 0;
+          for (const auto& app : opp->applications) {
+            claimed = std::max(
+                claimed, block.tables[app.table_index].table->num_rows());
+          }
+          if (claimed > kAprioriGateMinRows) {
+            double keep = EstimateReducerKeepFraction(opp->reducer_block);
+            if (keep >= 0.0 && (1.0 - keep) < kAprioriGateMinRemoved) {
+              ICEBERG_COUNTER("cbo.apriori_skipped")->Increment();
+              if (report != nullptr) {
+                report->steps.push_back(
+                    "a-priori on " + partition.ToString(block) +
+                    " skipped by cost model (HAVING keeps ~all groups)");
+              }
+              continue;
+            }
+          }
+        }
         if (!best.has_value() || score > best_score) {
           best = std::move(*opp);
           best_desc = partition.ToString(block);
@@ -201,11 +262,62 @@ Result<std::unique_ptr<NljpOperator>> IcebergOptimizer::PickMemprune(
   nljp_options.replay_artifacts = replay_artifacts;
 
   std::string failures;
-  for (const TablePartition& partition : CandidatePartitions(block)) {
+  std::vector<TablePartition> candidates = CandidatePartitions(block);
+  std::vector<size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  // Under the cost-based optimizer, rank candidate partitions by (1)
+  // pruning capability — a partition satisfying Theorem 3's structural
+  // premise (G_L -> A_L) can skip entire inner executions, which dominates
+  // any memo-reuse difference — then (2) estimated distinct L-side
+  // bindings (ascending): fewer distinct bindings means more memo reuse
+  // per cache entry. Without CBO the emission order stands (minimal L side
+  // covering GROUP BY first), and partitions are analyzed lazily exactly
+  // as before.
+  const bool cbo_active = options_.base_exec.cbo && CboEnabled();
+  std::vector<Result<IcebergView>> views;  // prefilled only under CBO
+  std::vector<double> est_bindings(candidates.size(), -1.0);
+  std::vector<double> est_l_rows(candidates.size(), -1.0);
+  if (cbo_active && !candidates.empty()) {
+    CardinalityEstimator est(block);
+    std::vector<char> prune_capable(candidates.size(), 0);
+    views.reserve(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      views.push_back(AnalyzeIceberg(block, candidates[i]));
+      if (!views[i].ok()) continue;
+      prune_capable[i] =
+          options_.enable_prune && views[i]->GroupDeterminesLeft();
+      est_l_rows[i] = EstimateJoinRows(est, candidates[i].left);
+      est_bindings[i] =
+          EstimateDistinctValues(est, views[i]->jl_offsets, est_l_rows[i]);
+    }
+    auto rank = [&](size_t i) {
+      return est_bindings[i] < 0 ? std::numeric_limits<double>::infinity()
+                                 : est_bindings[i];
+    };
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (prune_capable[a] != prune_capable[b]) return prune_capable[a] != 0;
+      return rank(a) < rank(b);
+    });
+  }
+  for (size_t idx : order) {
+    const TablePartition& partition = candidates[idx];
     // CandidatePartitions emits the minimal L side covering all GROUP BY
     // attributes first — the paper's preferred starting point.
-    Result<IcebergView> view = AnalyzeIceberg(block, partition);
+    Result<IcebergView> view = cbo_active
+                                   ? std::move(views[idx])
+                                   : AnalyzeIceberg(block, partition);
     if (!view.ok()) continue;
+    // Memo-only veto: with pruning disabled, an NLJP whose bindings are
+    // estimated to almost never repeat over a large L join pays the cache
+    // insert on every probe and saves nothing.
+    if (cbo_active && !options_.enable_prune && est_bindings[idx] >= 0.0 &&
+        est_l_rows[idx] > kNljpVetoMinRows &&
+        est_bindings[idx] > kNljpVetoRepeatFraction * est_l_rows[idx]) {
+      ICEBERG_COUNTER("cbo.nljp_vetoed")->Increment();
+      failures += "\n  " + partition.ToString(block) +
+                  ": vetoed by cost model (bindings rarely repeat)";
+      continue;
+    }
     // The pruning decision embeds θ's literal values in the derived p>=
     // predicate, so it transfers across literal re-bindings only when θ
     // carries none. Checked before `view` is consumed by Create.
@@ -383,6 +495,7 @@ Result<TablePtr> IcebergOptimizer::RunFull(const QueryBlock& block,
   fallback_exec.governor = options_.governor;
   if (cap != nullptr) {
     fallback_exec.transfer_capture = &cap->transfer_schedule;
+    fallback_exec.join_order_capture = &cap->join_order;
   }
   Executor executor(fallback_exec);
   PhaseTimer timer(&report->timing.execute_us);
@@ -523,6 +636,9 @@ Result<TablePtr> IcebergOptimizer::RunReplay(const QueryBlock& block,
   fallback_exec.governor = options_.governor;
   if (trace.transfer_schedule.valid) {
     fallback_exec.transfer_replay = &trace.transfer_schedule;
+  }
+  if (trace.join_order.valid) {
+    fallback_exec.join_order_replay = &trace.join_order;
   }
   Executor executor(fallback_exec);
   PhaseTimer timer(&report->timing.execute_us);

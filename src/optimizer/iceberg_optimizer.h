@@ -9,6 +9,7 @@
 #include "src/exec/executor.h"
 #include "src/exec/transfer_graph.h"
 #include "src/nljp/nljp.h"
+#include "src/plan/cost/join_order.h"
 #include "src/rewrite/apriori.h"
 
 namespace iceberg {
@@ -48,6 +49,11 @@ struct PlanTrace {
   /// (NLJP plans re-derive the Q_B graph instead — it is per-binding-block
   /// and cheap relative to the operator's own setup.)
   TransferSchedule transfer_schedule;
+  /// Join order the cost-based enumerator chose for the fallback-executor
+  /// plan, with its per-level row estimates. Replay skips statistics
+  /// collection and enumeration; the executor re-validates the order as a
+  /// permutation of the block's FROM list and ignores it on mismatch.
+  JoinOrderSchedule join_order;
   /// Set once the capture side has fully populated the trace (only
   /// successful plans are inserted into the cache).
   bool captured = false;

@@ -1,0 +1,83 @@
+#ifndef SMARTICEBERG_PLAN_COST_CARDINALITY_H_
+#define SMARTICEBERG_PLAN_COST_CARDINALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/plan/query_block.h"
+#include "src/stats/column_stats.h"
+
+namespace iceberg {
+
+/// Bitmask (bit t = tables[t]) of the FROM tables referenced by a bound
+/// expression. Tables beyond index 63 are ignored (blocks that wide never
+/// reach the enumerator).
+uint64_t TableMask(const QueryBlock& block, const ExprPtr& e);
+
+/// Selectivity / cardinality estimation over one bound query block, backed
+/// by the per-table column statistics (src/stats). Construction collects
+/// (or reuses cached) TableStats for every FROM table and pre-computes the
+/// local-filter selectivity of each table from the single-table WHERE
+/// conjuncts. All estimates are best-effort: unknown shapes fall back to
+/// System-R style magic numbers (eq 1%, range 1/3, <> 90%).
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(const QueryBlock& block);
+
+  const QueryBlock& block() const { return *block_; }
+  size_t num_tables() const { return block_->tables.size(); }
+
+  /// Full table cardinality of FROM entry t.
+  double RawRows(size_t t) const;
+  /// Combined selectivity of t's single-table WHERE conjuncts.
+  double LocalSelectivity(size_t t) const { return local_sel_[t]; }
+  /// RawRows × LocalSelectivity: expected scan survivors of FROM entry t.
+  double LocalRows(size_t t) const;
+
+  /// Selectivity in [0, 1] of an arbitrary bound predicate (local or
+  /// join); assumes independence between conjuncts.
+  double SelectivityOf(const ExprPtr& e) const;
+
+  /// Distinct-value estimate (>= 1) of the column at a flat offset;
+  /// falls back to the table's row count when stats are unavailable.
+  double NdvOfOffset(size_t flat_offset) const;
+
+  /// Column statistics behind a flat offset, or null when unavailable.
+  const ColumnStats* StatsOfOffset(size_t flat_offset) const;
+
+  TableStatsPtr table_stats(size_t t) const { return stats_[t]; }
+
+ private:
+  double PredicateSelectivity(const Expr& e) const;
+  double ComparisonSelectivity(BinaryOp op, const ExprPtr& l,
+                               const ExprPtr& r) const;
+
+  const QueryBlock* block_;
+  std::vector<TableStatsPtr> stats_;
+  std::vector<double> local_sel_;
+};
+
+/// Expected cardinality of joining the given FROM entries (indexes into
+/// block.tables) under every WHERE conjunct whose references fall entirely
+/// inside the set: product of LocalRows × product of join selectivities.
+double EstimateJoinRows(const CardinalityEstimator& est,
+                        const std::vector<size_t>& tables);
+
+/// Expected number of distinct combinations of the columns at the given
+/// flat offsets among `join_rows` joined rows: min(join_rows, product of
+/// per-column NDVs), with the standard "balls into bins" damping
+/// n·(1 - (1 - 1/n)^r) applied for single columns.
+double EstimateDistinctValues(const CardinalityEstimator& est,
+                              const std::vector<size_t>& offsets,
+                              double join_rows);
+
+/// Fraction of groups a HAVING predicate keeps, assuming group sizes are
+/// exponentially distributed with the given mean. Understands comparisons
+/// of COUNT(*) against a constant (possibly under a top-level AND);
+/// returns -1 when the shape is not understood (callers must not gate).
+double EstimateHavingKeepFraction(const ExprPtr& having,
+                                  double avg_group_rows);
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_PLAN_COST_CARDINALITY_H_

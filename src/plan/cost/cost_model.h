@@ -1,0 +1,29 @@
+#ifndef SMARTICEBERG_PLAN_COST_COST_MODEL_H_
+#define SMARTICEBERG_PLAN_COST_COST_MODEL_H_
+
+namespace iceberg {
+
+/// Abstract per-row cost weights for the execution paths the left-deep
+/// pipeline can take at each join level (src/exec/join_pipeline.h). Units
+/// are arbitrary "row touches": only ratios matter, and the defaults are
+/// calibrated against the microbench ratios of the row paths (a hash probe
+/// costs a little less than two sequential row visits; a deferred hash
+/// build is slightly dearer than a scan of the same rows because of key
+/// extraction + insertion).
+struct CostModel {
+  double seq_row = 1.0;     // visit one row in a seq scan / BNL inner loop
+  double probe = 1.8;       // one hash or ordered-index probe
+  double build_row = 1.1;   // insert one row into a deferred hash build
+  double output_row = 0.3;  // materialize one surviving joined row
+
+  /// Hysteresis: the enumerator only deviates from FROM order when its
+  /// best order is modeled at least this much cheaper (cost < threshold ×
+  /// FROM-order cost). Estimates are noisy; a conservative bar keeps
+  /// well-written queries on their stated order and only rescues plans
+  /// with an order-of-magnitude problem.
+  double reorder_threshold = 0.7;
+};
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_PLAN_COST_COST_MODEL_H_

@@ -1,0 +1,306 @@
+#include "src/plan/cost/join_order.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+namespace iceberg {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Exact subset DP is exponential; past this many tables fall back to the
+/// greedy construction.
+constexpr size_t kDpTableLimit = 12;
+/// Past this many tables skip enumeration entirely (FROM order stands).
+constexpr size_t kEnumerateTableLimit = 20;
+
+struct JoinEdge {
+  uint64_t mask = 0;   // tables referenced by the conjunct
+  uint64_t keyed = 0;  // tables probeable as the inner side of an eq key
+  double sel = 1.0;
+};
+
+// One entry per multi-table WHERE conjunct. `keyed` mirrors the pipeline's
+// eq-key extraction: bit t is set when the conjunct is an equality with a
+// plain column of table t on one side and an expression over other tables
+// only on the other — exactly the shape JoinPipeline::Plan turns into a
+// hash/index probe key for level t.
+std::vector<JoinEdge> CollectJoinEdges(const CardinalityEstimator& est) {
+  const QueryBlock& block = est.block();
+  std::vector<JoinEdge> edges;
+  for (const ExprPtr& conjunct : block.where_conjuncts) {
+    uint64_t mask = TableMask(block, conjunct);
+    if (mask == 0 || (mask & (mask - 1)) == 0) continue;  // constant / local
+    JoinEdge edge;
+    edge.mask = mask;
+    edge.sel = est.SelectivityOf(conjunct);
+    if (conjunct->kind == ExprKind::kBinary &&
+        conjunct->bop == BinaryOp::kEq && conjunct->children.size() == 2) {
+      auto mark = [&](const ExprPtr& col_side, const ExprPtr& other) {
+        if (col_side == nullptr || col_side->kind != ExprKind::kColumnRef ||
+            col_side->resolved_index < 0) {
+          return;
+        }
+        size_t t = block.TableOfOffset(
+            static_cast<size_t>(col_side->resolved_index));
+        if (t >= 64) return;
+        uint64_t other_mask = TableMask(block, other);
+        if (other_mask != 0 && (other_mask & (uint64_t{1} << t)) == 0) {
+          edge.keyed |= uint64_t{1} << t;
+        }
+      };
+      mark(conjunct->children[0], conjunct->children[1]);
+      mark(conjunct->children[1], conjunct->children[0]);
+    }
+    edges.push_back(edge);
+  }
+  return edges;
+}
+
+struct CostContext {
+  const JoinOrderInputs* inputs;
+  const std::vector<JoinEdge>* edges;
+  const CostModel* model;
+};
+
+// Cardinality after joining table t onto a prefix with the given
+// cardinality: every edge whose remaining tables are now all present
+// applies exactly once (when its last table joins).
+double StepCard(const CostContext& cx, uint64_t prefix, double prefix_card,
+                size_t t) {
+  double card = (prefix == 0 ? 1.0 : prefix_card) * cx.inputs->base_rows[t];
+  uint64_t joined = prefix | (uint64_t{1} << t);
+  for (const JoinEdge& e : *cx.edges) {
+    if ((e.mask & joined) != e.mask) continue;
+    if (((e.mask >> t) & 1) == 0) continue;  // applied at an earlier level
+    card *= e.sel;
+  }
+  return card;
+}
+
+// Whether table t joins the prefix through an equality key (the pipeline
+// will dispatch a hash/index probe instead of a nested loop).
+bool KeyedAgainst(const CostContext& cx, uint64_t prefix, size_t t) {
+  for (const JoinEdge& e : *cx.edges) {
+    if (((e.keyed >> t) & 1) == 0) continue;
+    uint64_t rest = e.mask & ~(uint64_t{1} << t);
+    if (rest != 0 && (rest & prefix) == rest) return true;
+  }
+  return false;
+}
+
+double StepCost(const CostContext& cx, uint64_t prefix, double prefix_card,
+                size_t t, double out_card) {
+  const CostModel& m = *cx.model;
+  double raw = cx.inputs->raw_rows[t];
+  if (prefix == 0) {  // level 0 is always a sequential scan
+    return raw * m.seq_row + out_card * m.output_row;
+  }
+  if (KeyedAgainst(cx, prefix, t)) {
+    return raw * m.build_row + prefix_card * m.probe +
+           out_card * m.output_row;
+  }
+  return prefix_card * raw * m.seq_row + out_card * m.output_row;
+}
+
+// Cost of a complete order; fills cumulative per-level row estimates.
+double ChainCost(const CostContext& cx, const std::vector<size_t>& order,
+                 std::vector<double>* est_rows) {
+  double cost = 0.0;
+  double card = 1.0;
+  uint64_t prefix = 0;
+  est_rows->clear();
+  est_rows->reserve(order.size());
+  for (size_t t : order) {
+    double out = StepCard(cx, prefix, card, t);
+    cost += StepCost(cx, prefix, card, t, out);
+    prefix |= uint64_t{1} << t;
+    card = out;
+    est_rows->push_back(out);
+  }
+  return cost;
+}
+
+// Exact left-deep DP over table subsets. Ties break toward the
+// lowest-index table (strict <, candidates in FROM order) so results are
+// deterministic and biased toward the as-written order.
+std::vector<size_t> DpOrder(const CostContext& cx, size_t n) {
+  const uint64_t full = (uint64_t{1} << n) - 1;
+  std::vector<double> card(full + 1, 1.0);
+  for (uint64_t s = 1; s <= full; ++s) {
+    double c = 1.0;
+    for (size_t t = 0; t < n; ++t) {
+      if ((s >> t) & 1) c *= cx.inputs->base_rows[t];
+    }
+    for (const JoinEdge& e : *cx.edges) {
+      if ((e.mask & s) == e.mask) c *= e.sel;
+    }
+    card[s] = c;
+  }
+  std::vector<double> best(full + 1, kInf);
+  std::vector<int> pred(full + 1, -1);
+  best[0] = 0.0;
+  for (uint64_t s = 0; s < full; ++s) {
+    if (!(best[s] < kInf)) continue;
+    for (size_t t = 0; t < n; ++t) {
+      if ((s >> t) & 1) continue;
+      uint64_t ns = s | (uint64_t{1} << t);
+      double c = best[s] + StepCost(cx, s, card[s], t, card[ns]);
+      if (c < best[ns]) {
+        best[ns] = c;
+        pred[ns] = static_cast<int>(t);
+      }
+    }
+  }
+  std::vector<size_t> order(n);
+  uint64_t s = full;
+  for (size_t i = n; i-- > 0;) {
+    size_t t = static_cast<size_t>(pred[s]);
+    order[i] = t;
+    s &= ~(uint64_t{1} << t);
+  }
+  return order;
+}
+
+// Greedy fallback for wide blocks: repeatedly append the cheapest next
+// level (ties toward the lowest FROM index).
+std::vector<size_t> GreedyOrder(const CostContext& cx, size_t n) {
+  std::vector<size_t> order;
+  order.reserve(n);
+  uint64_t prefix = 0;
+  double card = 1.0;
+  for (size_t step = 0; step < n; ++step) {
+    size_t pick = n;
+    double pick_cost = kInf;
+    for (size_t t = 0; t < n; ++t) {
+      if ((prefix >> t) & 1) continue;
+      double out = StepCard(cx, prefix, card, t);
+      double c = StepCost(cx, prefix, card, t, out);
+      if (c < pick_cost) {
+        pick_cost = c;
+        pick = t;
+      }
+    }
+    card = StepCard(cx, prefix, card, pick);
+    prefix |= uint64_t{1} << pick;
+    order.push_back(pick);
+  }
+  return order;
+}
+
+}  // namespace
+
+JoinOrderInputs MakeJoinOrderInputs(const CardinalityEstimator& est,
+                                    const std::vector<double>* exact_rows) {
+  const size_t n = est.num_tables();
+  JoinOrderInputs inputs;
+  inputs.raw_rows.resize(n);
+  inputs.base_rows.resize(n);
+  inputs.exact.assign(n, false);
+  for (size_t t = 0; t < n; ++t) {
+    inputs.raw_rows[t] = est.RawRows(t);
+    if (exact_rows != nullptr && t < exact_rows->size() &&
+        (*exact_rows)[t] >= 0.0) {
+      inputs.base_rows[t] = (*exact_rows)[t];
+      inputs.exact[t] = true;
+    } else {
+      inputs.base_rows[t] = est.LocalRows(t);
+    }
+  }
+  return inputs;
+}
+
+JoinOrderPlan ChooseJoinOrder(const CardinalityEstimator& est,
+                              const JoinOrderInputs& inputs,
+                              const CostModel& model) {
+  const size_t n = est.num_tables();
+  JoinOrderPlan plan;
+  plan.order.resize(n);
+  std::iota(plan.order.begin(), plan.order.end(), size_t{0});
+  if (inputs.raw_rows.size() != n || inputs.base_rows.size() != n) {
+    plan.est_rows.assign(n, -1.0);
+    return plan;
+  }
+  std::vector<JoinEdge> edges = CollectJoinEdges(est);
+  CostContext cx{&inputs, &edges, &model};
+  plan.from_order_cost = ChainCost(cx, plan.order, &plan.est_rows);
+  plan.cost = plan.from_order_cost;
+  if (n < 2 || n > kEnumerateTableLimit) return plan;
+  std::vector<size_t> candidate =
+      n <= kDpTableLimit ? DpOrder(cx, n) : GreedyOrder(cx, n);
+  if (candidate == plan.order) return plan;
+  std::vector<double> candidate_est;
+  double candidate_cost = ChainCost(cx, candidate, &candidate_est);
+  if (candidate_cost < model.reorder_threshold * plan.from_order_cost) {
+    plan.order = std::move(candidate);
+    plan.est_rows = std::move(candidate_est);
+    plan.cost = candidate_cost;
+    plan.reordered = true;
+  }
+  return plan;
+}
+
+Result<QueryBlock> PermuteBlock(const QueryBlock& block,
+                                const std::vector<size_t>& order) {
+  const size_t n = block.tables.size();
+  if (order.size() != n) {
+    return Status::InvalidArgument("join order arity mismatch");
+  }
+  std::vector<bool> seen(n, false);
+  for (size_t t : order) {
+    if (t >= n || seen[t]) {
+      return Status::InvalidArgument("join order is not a permutation");
+    }
+    seen[t] = true;
+  }
+  QueryBlock out;
+  out.tables.reserve(n);
+  std::vector<size_t> offset_map(block.TotalWidth(), 0);
+  size_t next = 0;
+  for (size_t p = 0; p < n; ++p) {
+    BoundTableRef tref = block.tables[order[p]];
+    const size_t width =
+        tref.table != nullptr ? tref.table->schema().num_columns() : 0;
+    for (size_t c = 0; c < width; ++c) {
+      offset_map[block.tables[order[p]].offset + c] = next + c;
+    }
+    tref.offset = next;
+    next += width;
+    out.tables.push_back(std::move(tref));
+  }
+  auto remap = [&](const ExprPtr& e) -> ExprPtr {
+    if (e == nullptr) return nullptr;
+    ExprPtr clone = CloneExpr(e);
+    std::vector<Expr*> refs;
+    CollectColumnRefs(clone, &refs);
+    for (Expr* ref : refs) {
+      if (ref->resolved_index >= 0 &&
+          static_cast<size_t>(ref->resolved_index) < offset_map.size()) {
+        ref->resolved_index = static_cast<int>(
+            offset_map[static_cast<size_t>(ref->resolved_index)]);
+      }
+    }
+    return clone;
+  };
+  out.where_conjuncts.reserve(block.where_conjuncts.size());
+  for (const ExprPtr& c : block.where_conjuncts) {
+    out.where_conjuncts.push_back(remap(c));
+  }
+  out.group_by.reserve(block.group_by.size());
+  for (const ExprPtr& g : block.group_by) out.group_by.push_back(remap(g));
+  out.having = remap(block.having);
+  out.select.reserve(block.select.size());
+  for (const BoundSelectItem& item : block.select) {
+    out.select.push_back({remap(item.expr), item.alias});
+  }
+  out.distinct = block.distinct;
+  out.order_by = block.order_by;
+  out.limit = block.limit;
+  out.output_schema = block.output_schema;
+  return out;
+}
+
+}  // namespace iceberg

@@ -1,0 +1,72 @@
+#ifndef SMARTICEBERG_PLAN_COST_JOIN_ORDER_H_
+#define SMARTICEBERG_PLAN_COST_JOIN_ORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/plan/cost/cardinality.h"
+#include "src/plan/cost/cost_model.h"
+#include "src/plan/query_block.h"
+
+namespace iceberg {
+
+/// Plan-cache record of one enumerator decision: the join order chosen for
+/// a block (positions → FROM index) plus the cumulative per-level row
+/// estimates backing it. Replaying a valid schedule skips statistics
+/// collection and enumeration entirely; replays are validated as a
+/// permutation of the block's FROM list and ignored on mismatch.
+struct JoinOrderSchedule {
+  std::vector<uint32_t> order;
+  std::vector<double> est_rows;
+  bool valid = false;
+};
+
+/// Per-table cardinality inputs to the enumerator. `base_rows` is the
+/// expected number of scan survivors: histogram estimates normally, exact
+/// survivor counts when the predicate-transfer graph ran (`exact[t]`).
+struct JoinOrderInputs {
+  std::vector<double> raw_rows;   // full table cardinality
+  std::vector<double> base_rows;  // post-local-filter / post-transfer rows
+  std::vector<bool> exact;        // base_rows[t] is a transfer-exact count
+};
+
+/// Builds enumerator inputs from the estimator, overriding per-table
+/// survivor counts with `exact_rows` entries >= 0 (indexed by FROM
+/// position; pass null when no transfer result is available).
+JoinOrderInputs MakeJoinOrderInputs(const CardinalityEstimator& est,
+                                    const std::vector<double>* exact_rows);
+
+/// One enumerated plan: the chosen order with its modeled cost, and the
+/// FROM-order cost it was measured against.
+struct JoinOrderPlan {
+  std::vector<size_t> order;     // positions → FROM index (identity = as written)
+  std::vector<double> est_rows;  // cumulative joined rows after each level
+  double cost = 0.0;             // modeled cost of `order`
+  double from_order_cost = 0.0;  // modeled cost of the FROM order
+  bool reordered = false;        // order differs from FROM order
+};
+
+/// Bottom-up left-deep enumeration (exact subset DP up to 12 tables,
+/// greedy beyond) over the block's join edges. Level costs follow the
+/// pipeline's actual dispatch: a level with an equality edge into the
+/// prefix is costed as a (deferred-build) hash probe, anything else as a
+/// block-nested loop. The FROM order wins unless the best order beats it
+/// by the model's reorder_threshold — estimates are noisy and the as-
+/// written order is a strong prior.
+JoinOrderPlan ChooseJoinOrder(const CardinalityEstimator& est,
+                              const JoinOrderInputs& inputs,
+                              const CostModel& model = {});
+
+/// Rewrites the block with its FROM tables permuted to `order`, recomputing
+/// flat offsets and remapping every bound column reference (WHERE, GROUP
+/// BY, HAVING, SELECT) onto the new layout. Output schema, ORDER BY,
+/// LIMIT and DISTINCT are untouched, so the permuted block produces
+/// byte-identical results. Fails if `order` is not a permutation of the
+/// FROM list.
+Result<QueryBlock> PermuteBlock(const QueryBlock& block,
+                                const std::vector<size_t>& order);
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_PLAN_COST_JOIN_ORDER_H_

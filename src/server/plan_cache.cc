@@ -22,6 +22,10 @@ uint64_t PlanOptionsFingerprint(const IcebergOptions& options) {
   mix(options.use_indexes ? 1 : 0);
   mix(static_cast<uint64_t>(options.binding_order));
   mix(options.max_cache_entries);
+  // The CBO join-order schedule in a trace is only meaningful to replays
+  // planned with the same CBO state (both the session option and the
+  // process-wide chicken bit), so both rotate the fingerprint.
+  mix(options.base_exec.cbo && CboEnabled() ? 1 : 0);
   return h;
 }
 

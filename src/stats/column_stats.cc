@@ -1,0 +1,208 @@
+#include "src/stats/column_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/obs/metrics.h"
+#include "src/stats/hll.h"
+
+namespace iceberg {
+
+namespace {
+
+/// Numeric view of a value for histogram purposes (ints coerce to double,
+/// matching Value::Compare's cross-type ordering).
+bool NumericOf(const Value& v, double* out) {
+  if (v.is_int()) {
+    *out = static_cast<double>(v.AsInt());
+    return true;
+  }
+  if (v.is_double()) {
+    *out = v.AsDouble();
+    return true;
+  }
+  return false;
+}
+
+constexpr double kDefaultEqSelectivity = 0.01;
+constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
+
+}  // namespace
+
+double ColumnStats::FractionLessOrEqual(double x) const {
+  if (bounds.empty()) return kDefaultRangeSelectivity;
+  if (x < bounds.front()) return 0.0;
+  if (x >= bounds.back()) return 1.0;
+  // bounds[0] is the minimum (lower edge of bucket 1); buckets 1..n-1 each
+  // hold 1/(n-1) of the sample mass.
+  const size_t n = bounds.size();
+  auto it = std::upper_bound(bounds.begin(), bounds.end(), x);
+  size_t idx = static_cast<size_t>(it - bounds.begin());  // >= 1 here
+  const double lo = bounds[idx - 1];
+  const double hi = bounds[idx];
+  const double within = hi > lo ? (x - lo) / (hi - lo) : 1.0;
+  return (static_cast<double>(idx - 1) + within) /
+         static_cast<double>(n - 1);
+}
+
+double ColumnStats::EqSelectivity(const Value& v) const {
+  if (row_count == 0 || v.is_null()) return 0.0;
+  if (!min.is_null() && (v < min || v > max)) return 0.0;
+  if (ndv >= 1.0) {
+    const double nonnull = 1.0 - null_fraction();
+    return std::min(1.0, nonnull / ndv);
+  }
+  return kDefaultEqSelectivity;
+}
+
+double ColumnStats::RangeSelectivity(BinaryOp op, const Value& v) const {
+  if (row_count == 0 || v.is_null()) return 0.0;
+  double x = 0.0;
+  if (!NumericOf(v, &x)) {
+    // String ranges: only the trivially refutable cases via min/max.
+    switch (op) {
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+        if (!min.is_null() && v < min) return 0.0;
+        if (!max.is_null() && v > max) return 1.0 - null_fraction();
+        break;
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        if (!max.is_null() && v > max) return 0.0;
+        if (!min.is_null() && v < min) return 1.0 - null_fraction();
+        break;
+      default:
+        break;
+    }
+    return kDefaultRangeSelectivity;
+  }
+  const double nonnull = 1.0 - null_fraction();
+  const double eq = EqSelectivity(v);
+  switch (op) {
+    case BinaryOp::kEq:
+      return eq;
+    case BinaryOp::kNe:
+      return std::max(0.0, nonnull - eq);
+    case BinaryOp::kLe:
+      return nonnull * FractionLessOrEqual(x);
+    case BinaryOp::kLt:
+      return std::max(0.0, nonnull * FractionLessOrEqual(x) - eq);
+    case BinaryOp::kGt:
+      return std::max(0.0, nonnull * (1.0 - FractionLessOrEqual(x)));
+    case BinaryOp::kGe:
+      return std::min(nonnull,
+                      nonnull * (1.0 - FractionLessOrEqual(x)) + eq);
+    default:
+      return kDefaultRangeSelectivity;
+  }
+}
+
+std::string ColumnStats::ToString() const {
+  std::string out = "rows=" + std::to_string(row_count) +
+                    " nulls=" + std::to_string(null_count) +
+                    " ndv=" + std::to_string(static_cast<int64_t>(ndv + 0.5));
+  if (!min.is_null()) {
+    out += " min=" + min.ToString() + " max=" + max.ToString();
+  }
+  if (!bounds.empty()) {
+    out += " histogram=" + std::to_string(bounds.size() - 1) + " buckets";
+  }
+  return out;
+}
+
+std::shared_ptr<const TableStats> TableStats::Build(const Table& table,
+                                                    uint64_t version) {
+  auto stats = std::make_shared<TableStats>();
+  stats->version_ = version;
+  stats->row_count_ = table.num_rows();
+  const size_t num_cols = table.schema().num_columns();
+  stats->columns_.resize(num_cols);
+
+  const size_t rows = table.num_rows();
+  // Deterministic stride sample: every k-th row so repeated builds over
+  // the same version see the same sample (stats must not wobble run to
+  // run — plans would).
+  const size_t stride = rows <= kSampleCap ? 1 : (rows + kSampleCap - 1) / kSampleCap;
+
+  std::vector<double> numeric;
+  numeric.reserve(std::min(rows, kSampleCap));
+  for (size_t c = 0; c < num_cols; ++c) {
+    ColumnStats& cs = stats->columns_[c];
+    cs.row_count = rows;
+    HllSketch sketch;
+    numeric.clear();
+    bool all_numeric = true;
+    size_t sampled = 0;
+    size_t sampled_nulls = 0;
+    for (size_t i = 0; i < rows; i += stride) {
+      const Value& v = table.row(i)[c];
+      ++sampled;
+      if (v.is_null()) {
+        ++sampled_nulls;
+        continue;
+      }
+      sketch.AddHash(v.Hash());
+      if (cs.min.is_null() || v < cs.min) cs.min = v;
+      if (cs.max.is_null() || v > cs.max) cs.max = v;
+      double x;
+      if (NumericOf(v, &x)) {
+        numeric.push_back(x);
+      } else {
+        all_numeric = false;
+      }
+    }
+    // Scale sampled counts back to the full table.
+    const double scale =
+        sampled == 0 ? 0.0
+                     : static_cast<double>(rows) / static_cast<double>(sampled);
+    cs.null_count = static_cast<size_t>(
+        static_cast<double>(sampled_nulls) * scale + 0.5);
+    cs.ndv = std::min(static_cast<double>(rows), sketch.Estimate());
+    if (all_numeric && numeric.size() >= 2) {
+      std::sort(numeric.begin(), numeric.end());
+      const size_t buckets =
+          std::min(kHistogramBuckets, numeric.size() - 1);
+      cs.bounds.reserve(buckets + 1);
+      cs.bounds.push_back(numeric.front());
+      for (size_t b = 1; b <= buckets; ++b) {
+        const size_t pos = b * (numeric.size() - 1) / buckets;
+        const double bound = numeric[pos];
+        if (bound > cs.bounds.back()) cs.bounds.push_back(bound);
+      }
+      if (cs.bounds.size() < 2) cs.bounds.clear();  // constant column
+    }
+  }
+  ICEBERG_COUNTER("cbo.stats_builds")->Increment();
+  return stats;
+}
+
+size_t TableStats::ApproxBytes() const {
+  size_t bytes = sizeof(TableStats);
+  for (const ColumnStats& cs : columns_) {
+    bytes += sizeof(ColumnStats) + cs.bounds.capacity() * sizeof(double);
+    if (cs.min.is_string()) bytes += cs.min.AsString().capacity();
+    if (cs.max.is_string()) bytes += cs.max.AsString().capacity();
+  }
+  return bytes;
+}
+
+std::string TableStats::ToString(const Schema& schema) const {
+  std::string out = "rows=" + std::to_string(row_count_) +
+                    " version=" + std::to_string(version_) + "\n";
+  for (size_t c = 0; c < columns_.size() && c < schema.num_columns(); ++c) {
+    out += "  " + schema.column(c).name + ": " + columns_[c].ToString() + "\n";
+  }
+  return out;
+}
+
+TableStatsPtr GetOrBuildTableStats(const Table& table) {
+  const uint64_t v = table.version();
+  std::lock_guard<std::mutex> lock(table.stats_mutex_);
+  if (table.stats_cache_ == nullptr || table.stats_cache_->version() != v) {
+    table.stats_cache_ = TableStats::Build(table, v);
+    table.stats_bytes_ = table.stats_cache_->ApproxBytes();
+  }
+  return table.stats_cache_;
+}
+
+}  // namespace iceberg

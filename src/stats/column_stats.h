@@ -1,0 +1,88 @@
+#ifndef SMARTICEBERG_STATS_COLUMN_STATS_H_
+#define SMARTICEBERG_STATS_COLUMN_STATS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/expr/expr.h"
+#include "src/storage/table.h"
+
+namespace iceberg {
+
+/// System-R style statistics of one column: null fraction, min/max,
+/// NDV (HyperLogLog estimate), and an equi-depth histogram over the
+/// numeric domain. Strings keep only null/NDV/min/max (selectivity of
+/// string ranges falls back to defaults).
+struct ColumnStats {
+  size_t row_count = 0;
+  size_t null_count = 0;
+  double ndv = 0.0;  // distinct non-null values (sketch estimate)
+  Value min;         // NULL when the column has no non-null values
+  Value max;
+  /// Equi-depth bucket upper bounds over the sampled non-null numeric
+  /// values; bucket i covers (bounds[i-1], bounds[i]] with equal sample
+  /// mass. Empty for string columns (or all-NULL columns).
+  std::vector<double> bounds;
+
+  double null_fraction() const {
+    return row_count == 0
+               ? 0.0
+               : static_cast<double>(null_count) / static_cast<double>(row_count);
+  }
+
+  /// Estimated fraction of rows with column = v (0 when v falls outside
+  /// the observed [min, max]).
+  double EqSelectivity(const Value& v) const;
+
+  /// Estimated fraction of rows satisfying `col OP v` for a comparison
+  /// operator, via histogram interpolation (defaults when no histogram).
+  double RangeSelectivity(BinaryOp op, const Value& v) const;
+
+  /// Fraction of non-null values <= x by histogram interpolation.
+  double FractionLessOrEqual(double x) const;
+
+  std::string ToString() const;
+};
+
+/// Per-version statistics of one table, built lazily and cached on the
+/// table beside the PR-5 column-chunk cache (same version-stamp
+/// invalidation: a mutation bumps the version and the stale entry is
+/// simply never looked up again).
+class TableStats {
+ public:
+  /// Scans the table (sampled above kSampleCap rows) and builds stats for
+  /// every column.
+  static std::shared_ptr<const TableStats> Build(const Table& table,
+                                                 uint64_t version);
+
+  uint64_t version() const { return version_; }
+  size_t row_count() const { return row_count_; }
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnStats& column(size_t i) const { return columns_[i]; }
+
+  size_t ApproxBytes() const;
+
+  /// Human-readable rendering for the shell's \stats command.
+  std::string ToString(const Schema& schema) const;
+
+  /// Rows scanned per column before deterministic stride sampling kicks in.
+  static constexpr size_t kSampleCap = 65536;
+  static constexpr size_t kHistogramBuckets = 64;
+
+ private:
+  uint64_t version_ = 0;
+  size_t row_count_ = 0;
+  std::vector<ColumnStats> columns_;
+};
+
+/// Returns the statistics of the table's current version, building (and
+/// caching on the table) them on first use. Thread-safe; mirrors
+/// Table::GetOrBuildChunks. The cached entry is keyed by the version
+/// stamp, so any mutation invalidates it lazily.
+TableStatsPtr GetOrBuildTableStats(const Table& table);
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_STATS_COLUMN_STATS_H_

@@ -1,0 +1,75 @@
+#ifndef SMARTICEBERG_STATS_HLL_H_
+#define SMARTICEBERG_STATS_HLL_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace iceberg {
+
+/// A HyperLogLog-style distinct-count sketch (Flajolet et al.), sized for
+/// the optimizer's needs: 256 registers gives a relative standard error of
+/// about 1.04/sqrt(256) = 6.5%, far below what join-selectivity formulas
+/// (1/max(ndv)) are sensitive to. Inputs are pre-hashed 64-bit values; the
+/// caller mixes Value::Hash through SplitMix so low-entropy key spaces
+/// (sequential ids) still spread over the registers.
+class HllSketch {
+ public:
+  static constexpr size_t kRegisters = 256;  // 2^8, one byte each
+  static constexpr int kIndexBits = 8;
+
+  HllSketch() : registers_(kRegisters, 0) {}
+
+  /// Finalizes a raw hash into register index + rank-of-first-one.
+  void AddHash(uint64_t hash) {
+    const uint64_t h = Mix(hash);
+    const size_t idx = static_cast<size_t>(h >> (64 - kIndexBits));
+    const uint64_t rest = h << kIndexBits;
+    // Rank of the leading one bit in the remaining 56 bits (1-based); an
+    // all-zero remainder ranks past the end.
+    uint8_t rank = 1;
+    uint64_t probe = rest;
+    while (rank <= 64 - kIndexBits && (probe & (1ull << 63)) == 0) {
+      ++rank;
+      probe <<= 1;
+    }
+    if (rank > registers_[idx]) registers_[idx] = rank;
+  }
+
+  /// Standard HLL estimate with the small-range (linear counting)
+  /// correction; large-range corrections are unnecessary at 64-bit hashes.
+  double Estimate() const {
+    double sum = 0.0;
+    size_t zeros = 0;
+    for (uint8_t r : registers_) {
+      sum += std::ldexp(1.0, -static_cast<int>(r));
+      if (r == 0) ++zeros;
+    }
+    const double m = static_cast<double>(kRegisters);
+    const double alpha = 0.7213 / (1.0 + 1.079 / m);
+    double est = alpha * m * m / sum;
+    if (est <= 2.5 * m && zeros > 0) {
+      est = m * std::log(m / static_cast<double>(zeros));
+    }
+    return est;
+  }
+
+  size_t ApproxBytes() const { return registers_.capacity(); }
+
+  /// SplitMix64 finalizer: turns weak input hashes (e.g. identity hashes
+  /// of small ints) into well-distributed 64-bit values.
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+ private:
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace iceberg
+
+#endif  // SMARTICEBERG_STATS_HLL_H_

@@ -121,6 +121,10 @@ size_t Table::ApproxBytes() const {
     std::lock_guard<std::mutex> lock(chunks_mutex_);
     if (chunks_cache_ != nullptr) bytes += chunks_cache_->approx_bytes();
   }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (stats_cache_ != nullptr) bytes += stats_bytes_;
+  }
   return bytes;
 }
 

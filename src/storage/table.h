@@ -15,6 +15,9 @@
 
 namespace iceberg {
 
+class TableStats;  // src/stats/column_stats.h
+using TableStatsPtr = std::shared_ptr<const TableStats>;
+
 /// A pinned read point of one table: the mutation-counter version and the
 /// row count it implied. Queries pin a snapshot per referenced table when
 /// they are submitted; the serving layer validates the pins when execution
@@ -114,8 +117,9 @@ class Table {
   void DropIndexes();
 
   /// Approximate memory footprint in bytes: stored rows plus secondary
-  /// indexes (ordered + hash) plus any cached columnar chunk set, so
-  /// governor budgets see the whole physical footprint.
+  /// indexes (ordered + hash) plus any cached columnar chunk set plus any
+  /// cached column statistics, so governor budgets see the whole physical
+  /// footprint.
   size_t ApproxBytes() const;
 
   /// Monotonic mutation counter. Every row mutation (append, in-place
@@ -160,6 +164,16 @@ class Table {
   std::atomic<uint64_t> version_{1};
   mutable std::mutex chunks_mutex_;
   mutable ColumnChunkSetPtr chunks_cache_;
+
+  /// Column-statistics cache slot, managed by GetOrBuildTableStats
+  /// (src/stats/column_stats.h) and keyed by the same version stamp as the
+  /// chunk cache: any mutation bumps version_ and the stale entry is never
+  /// looked up again. `stats_bytes_` mirrors the cached entry's footprint
+  /// so ApproxBytes can account it without the full TableStats type.
+  friend TableStatsPtr GetOrBuildTableStats(const Table& table);
+  mutable std::mutex stats_mutex_;
+  mutable std::shared_ptr<const TableStats> stats_cache_;
+  mutable size_t stats_bytes_ = 0;
 };
 
 using TablePtr = std::shared_ptr<Table>;

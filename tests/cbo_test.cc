@@ -1,0 +1,423 @@
+// Tests for the cost-based optimizer (PR 10): column statistics
+// (equi-depth histograms, HLL NDV), the cardinality estimator, the
+// left-deep join-order enumerator, and their integration into the
+// executor, plan cache and a-priori gate.
+//
+//  - CBO on vs off must be byte-identical on every workload query,
+//    across both engines and 1/8 threads (a join order never changes the
+//    result set, only its cost);
+//  - statistics must be version-cached and sanely bounded (NDV error,
+//    histogram boundaries);
+//  - the enumerator must front-load selective relations and honor exact
+//    post-transfer survivor overrides;
+//  - a captured JoinOrderSchedule must replay without re-enumerating;
+//  - the a-priori cost gate must skip a reducer whose HAVING keeps every
+//    group over a large table, and stand down below the size floor.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/workload_queries.h"
+#include "src/engine/database.h"
+#include "src/exec/exec_options.h"
+#include "src/obs/metrics.h"
+#include "src/optimizer/iceberg_optimizer.h"
+#include "src/plan/cost/cardinality.h"
+#include "src/plan/cost/join_order.h"
+#include "src/stats/column_stats.h"
+#include "src/storage/table.h"
+
+namespace iceberg {
+namespace {
+
+// Restores the process-wide chicken bits on exit (including via assertion
+// failures) so this suite composes with the CI env-var sweeps.
+struct FlagGuard {
+  bool vec = VectorizedExecEnabled();
+  bool transfer = PredicateTransferEnabled();
+  bool cbo = CboEnabled();
+  ~FlagGuard() {
+    SetVectorizedExecEnabled(vec);
+    SetPredicateTransferEnabled(transfer);
+    SetCboEnabled(cbo);
+  }
+};
+
+void ExpectSameRows(const TablePtr& a, const TablePtr& b,
+                    const std::string& ctx) {
+  ASSERT_EQ(a->num_rows(), b->num_rows()) << ctx;
+  std::vector<Row> ra = a->rows(), rb = b->rows();
+  std::sort(ra.begin(), ra.end(), RowLess());
+  std::sort(rb.begin(), rb.end(), RowLess());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    ASSERT_EQ(CompareRows(ra[i], rb[i]), 0) << ctx << " row " << i;
+  }
+}
+
+uint64_t CounterValue(const char* name) {
+  return MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+// ---------------------------------------------------------------------------
+// Workload differential: every query, both engines, 1 and 8 threads
+// ---------------------------------------------------------------------------
+
+TEST(CboWorkloadTest, OnOffIdenticalResults) {
+  FlagGuard guard;
+  SetCboEnabled(true);
+  std::unique_ptr<Database> db = bench::MakeScoreDb(1200);
+  for (const bench::NamedQuery& q : bench::Figure1Queries()) {
+    for (int threads : {1, 8}) {
+      const std::string ctx = q.name + " t=" + std::to_string(threads);
+
+      ExecOptions on;
+      on.num_threads = threads;
+      Result<TablePtr> base_on = db->Query(q.sql, on);
+      ExecOptions off = on;
+      off.cbo = false;
+      Result<TablePtr> base_off = db->Query(q.sql, off);
+      ASSERT_TRUE(base_on.ok()) << ctx << ": " << base_on.status().ToString();
+      ASSERT_TRUE(base_off.ok()) << ctx << ": " << base_off.status().ToString();
+      ExpectSameRows(*base_on, *base_off, ctx + " baseline");
+      if (::testing::Test::HasFatalFailure()) return;
+
+      IcebergOptions ion;
+      ion.base_exec.num_threads = threads;
+      Result<TablePtr> ice_on = db->QueryIceberg(q.sql, ion);
+      IcebergOptions ioff = ion;
+      ioff.base_exec.cbo = false;
+      Result<TablePtr> ice_off = db->QueryIceberg(q.sql, ioff);
+      ASSERT_TRUE(ice_on.ok()) << ctx << ": " << ice_on.status().ToString();
+      ASSERT_TRUE(ice_off.ok()) << ctx << ": " << ice_off.status().ToString();
+      ExpectSameRows(*ice_on, *ice_off, ctx + " iceberg");
+      ExpectSameRows(*base_on, *ice_on, ctx + " engines");
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(CboWorkloadTest, ChickenBitDisablesCbo) {
+  FlagGuard guard;
+  std::unique_ptr<Database> db = bench::MakeScoreDb(600);
+  const std::string sql = bench::SkybandSql("hits", "hruns", 50);
+
+  SetCboEnabled(false);
+  uint64_t plans_before = CounterValue("cbo.plans");
+  ExecOptions exec;  // per-query option stays on; the global bit wins
+  Result<TablePtr> disabled = db->Query(sql, exec);
+  ASSERT_TRUE(disabled.ok()) << disabled.status().ToString();
+  EXPECT_EQ(CounterValue("cbo.plans"), plans_before);
+
+  SetCboEnabled(true);
+  Result<TablePtr> enabled = db->Query(sql, exec);
+  ASSERT_TRUE(enabled.ok()) << enabled.status().ToString();
+  EXPECT_GT(CounterValue("cbo.plans"), plans_before);
+  ExpectSameRows(*disabled, *enabled, "chicken bit");
+}
+
+// ---------------------------------------------------------------------------
+// Column statistics: histogram boundaries, NDV error, version caching
+// ---------------------------------------------------------------------------
+
+class StatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable("u", Schema({{"v", DataType::kInt64},
+                                             {"w", DataType::kInt64}}))
+                    .ok());
+    // v: uniform 0..9999 (all distinct); w: 0..499 cycling (500 distinct).
+    for (int i = 0; i < 10000; ++i) {
+      ASSERT_TRUE(
+          db_.Insert("u", {Value::Int(i), Value::Int(i % 500)}).ok());
+    }
+  }
+  Database db_;
+};
+
+TEST_F(StatsTest, HistogramBoundarySelectivity) {
+  TablePtr t = *db_.GetTable("u");
+  TableStatsPtr stats = GetOrBuildTableStats(*t);
+  ASSERT_EQ(stats->row_count(), 10000u);
+  const ColumnStats& v = stats->column(0);
+
+  // Range selectivity via equi-depth interpolation: the midpoint splits
+  // the uniform domain evenly; the extremes pin to 0 / 1.
+  EXPECT_NEAR(v.RangeSelectivity(BinaryOp::kLt, Value::Int(5000)), 0.5, 0.06);
+  EXPECT_NEAR(v.RangeSelectivity(BinaryOp::kLe, Value::Int(9999)), 1.0, 0.02);
+  EXPECT_LE(v.RangeSelectivity(BinaryOp::kLt, Value::Int(-5)), 0.01);
+  EXPECT_GE(v.RangeSelectivity(BinaryOp::kGt, Value::Int(-5)), 0.99);
+
+  // Point selectivity ~ 1/NDV for an in-domain value; 0 outside [min,max].
+  EXPECT_NEAR(v.EqSelectivity(Value::Int(42)), 1.0 / 10000, 5e-4);
+  EXPECT_EQ(v.EqSelectivity(Value::Int(123456)), 0.0);
+}
+
+TEST_F(StatsTest, NdvSketchErrorBound) {
+  TablePtr t = *db_.GetTable("u");
+  TableStatsPtr stats = GetOrBuildTableStats(*t);
+  // HLL with the implementation's precision stays well within 15% on
+  // 10k/500-distinct columns.
+  EXPECT_NEAR(stats->column(0).ndv, 10000.0, 1500.0);
+  EXPECT_NEAR(stats->column(1).ndv, 500.0, 75.0);
+}
+
+TEST_F(StatsTest, StatsCachedPerVersionAndInvalidated) {
+  TablePtr t = *db_.GetTable("u");
+  TableStatsPtr first = GetOrBuildTableStats(*t);
+  TableStatsPtr again = GetOrBuildTableStats(*t);
+  EXPECT_EQ(first.get(), again.get());  // cached, no rebuild
+  EXPECT_GT(first->ApproxBytes(), 0u);
+
+  // A mutation bumps the version stamp; the next lookup rebuilds.
+  ASSERT_TRUE(db_.Insert("u", {Value::Int(10000), Value::Int(0)}).ok());
+  TableStatsPtr rebuilt = GetOrBuildTableStats(*t);
+  EXPECT_NE(first.get(), rebuilt.get());
+  EXPECT_NE(first->version(), rebuilt->version());
+  EXPECT_EQ(rebuilt->row_count(), 10001u);
+}
+
+// ---------------------------------------------------------------------------
+// Cardinality estimator + join-order enumerator
+// ---------------------------------------------------------------------------
+
+class JoinOrderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BaseballConfig config;
+    config.num_rows = 6000;
+    config.num_players = 500;
+    ASSERT_TRUE(RegisterBaseball(&db_, config).ok());
+  }
+  Database db_;
+};
+
+TEST_F(JoinOrderTest, LocalPredicatesShrinkLocalRows) {
+  auto block = db_.Prepare(
+      "SELECT COUNT(*) FROM score a, score b "
+      "WHERE a.pid = b.pid AND b.hits <= 10");
+  ASSERT_TRUE(block.ok()) << block.status().ToString();
+  CardinalityEstimator est(*block);
+  EXPECT_DOUBLE_EQ(est.RawRows(0), est.LocalRows(0));
+  EXPECT_LT(est.LocalRows(1), 0.5 * est.RawRows(1));
+}
+
+TEST_F(JoinOrderTest, SelectiveTableMovesFirst) {
+  // FROM order scans the unfiltered `a` first; the enumerator must lead
+  // with `c` (hits <= 2 keeps a sliver) and chain the pid joins after.
+  auto block = db_.Prepare(
+      "SELECT COUNT(*) FROM score a, score b, score c "
+      "WHERE a.pid = b.pid AND b.pid = c.pid AND c.hits <= 2");
+  ASSERT_TRUE(block.ok()) << block.status().ToString();
+  CardinalityEstimator est(*block);
+  JoinOrderInputs inputs = MakeJoinOrderInputs(est, nullptr);
+  JoinOrderPlan plan = ChooseJoinOrder(est, inputs);
+  ASSERT_EQ(plan.order.size(), 3u);
+  EXPECT_TRUE(plan.reordered);
+  EXPECT_EQ(plan.order[0], 2u);
+  EXPECT_LT(plan.cost, 0.7 * plan.from_order_cost);
+  // Cumulative estimates are monotone in shape: level 0 carries the
+  // filtered base estimate, well under the raw table size.
+  ASSERT_EQ(plan.est_rows.size(), 3u);
+  EXPECT_LT(plan.est_rows[0], est.RawRows(2));
+}
+
+TEST_F(JoinOrderTest, ExactSurvivorCountsOverrideHistograms) {
+  auto block = db_.Prepare(
+      "SELECT COUNT(*) FROM score a, score b "
+      "WHERE a.pid = b.pid AND b.hits <= 10");
+  ASSERT_TRUE(block.ok()) << block.status().ToString();
+  CardinalityEstimator est(*block);
+  // Transfer reported only 7 survivors for table 0 (exact); table 1 keeps
+  // its histogram estimate (-1 = no override).
+  std::vector<double> exact = {7.0, -1.0};
+  JoinOrderInputs inputs = MakeJoinOrderInputs(est, &exact);
+  EXPECT_DOUBLE_EQ(inputs.base_rows[0], 7.0);
+  EXPECT_TRUE(inputs.exact[0]);
+  EXPECT_FALSE(inputs.exact[1]);
+  EXPECT_DOUBLE_EQ(inputs.base_rows[1], est.LocalRows(1));
+}
+
+TEST_F(JoinOrderTest, PermuteBlockPreservesSemantics) {
+  const std::string sql =
+      "SELECT a.pid, COUNT(*) FROM score a, score b, score c "
+      "WHERE a.pid = b.pid AND b.pid = c.pid AND c.hits <= 20 "
+      "GROUP BY a.pid HAVING COUNT(*) >= 2";
+  auto block = db_.Prepare(sql);
+  ASSERT_TRUE(block.ok()) << block.status().ToString();
+  Result<QueryBlock> permuted = PermuteBlock(*block, {2, 0, 1});
+  ASSERT_TRUE(permuted.ok()) << permuted.status().ToString();
+  EXPECT_EQ(permuted->tables[0].alias, "c");
+  EXPECT_EQ(permuted->tables[1].alias, "a");
+
+  Executor exec((ExecOptions()));
+  Result<TablePtr> orig = exec.Execute(*block);
+  Result<TablePtr> perm = exec.Execute(*permuted);
+  ASSERT_TRUE(orig.ok()) << orig.status().ToString();
+  ASSERT_TRUE(perm.ok()) << perm.status().ToString();
+  ExpectSameRows(*orig, *perm, "permuted block");
+}
+
+TEST_F(JoinOrderTest, InvalidPermutationRejected) {
+  auto block = db_.Prepare(
+      "SELECT COUNT(*) FROM score a, score b WHERE a.pid = b.pid");
+  ASSERT_TRUE(block.ok());
+  EXPECT_FALSE(PermuteBlock(*block, {0, 0}).ok());
+  EXPECT_FALSE(PermuteBlock(*block, {0}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end reordering + schedule capture/replay
+// ---------------------------------------------------------------------------
+
+TEST_F(JoinOrderTest, ReordersSkewedJoinAndMatchesFromOrder) {
+  FlagGuard guard;
+  SetCboEnabled(true);
+  const std::string sql =
+      "SELECT a.pid, COUNT(*) FROM score a, score b, score c "
+      "WHERE a.pid = b.pid AND b.pid = c.pid AND c.hits <= 2 "
+      "GROUP BY a.pid";
+  // Transfer off: with the graph running, its exact survivor counts
+  // already shrink every pid-linked table and FROM order stays cheapest
+  // (correctly, no reorder). Histograms must then carry the decision.
+  uint64_t reorders_before = CounterValue("cbo.reorders");
+  ExecOptions on;
+  on.predicate_transfer = false;
+  Result<TablePtr> with_cbo = db_.Query(sql, on);
+  ASSERT_TRUE(with_cbo.ok()) << with_cbo.status().ToString();
+  EXPECT_GT(CounterValue("cbo.reorders"), reorders_before);
+
+  ExecOptions off;
+  off.cbo = false;
+  off.predicate_transfer = false;
+  Result<TablePtr> without = db_.Query(sql, off);
+  ASSERT_TRUE(without.ok()) << without.status().ToString();
+  ExpectSameRows(*with_cbo, *without, "reordered vs FROM order");
+}
+
+TEST_F(JoinOrderTest, CapturedScheduleReplaysWithoutEnumeration) {
+  FlagGuard guard;
+  SetCboEnabled(true);
+  const std::string sql =
+      "SELECT a.pid, COUNT(*) FROM score a, score b, score c "
+      "WHERE a.pid = b.pid AND b.pid = c.pid AND c.hits <= 2 "
+      "GROUP BY a.pid";
+
+  JoinOrderSchedule schedule;
+  ExecOptions capture;
+  capture.predicate_transfer = false;  // histogram-driven order (see above)
+  capture.join_order_capture = &schedule;
+  Result<TablePtr> first = db_.Query(sql, capture);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(schedule.valid);
+  ASSERT_EQ(schedule.order.size(), 3u);
+  EXPECT_EQ(schedule.order[0], 2u);
+
+  uint64_t replays_before = CounterValue("cbo.order_replays");
+  ExecOptions replay;
+  replay.predicate_transfer = false;
+  replay.join_order_replay = &schedule;
+  Result<TablePtr> second = db_.Query(sql, replay);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_GT(CounterValue("cbo.order_replays"), replays_before);
+  ExpectSameRows(*first, *second, "schedule replay");
+}
+
+// ---------------------------------------------------------------------------
+// HAVING keep-fraction model + the a-priori cost gate
+// ---------------------------------------------------------------------------
+
+TEST(HavingModelTest, KeepFractionShapes) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", Schema({{"k", DataType::kInt64}})).ok());
+  ASSERT_TRUE(db.Insert("t", {Value::Int(1)}).ok());
+  auto ge1 = db.Prepare("SELECT k, COUNT(*) FROM t GROUP BY k "
+                        "HAVING COUNT(*) >= 1");
+  ASSERT_TRUE(ge1.ok());
+  // Every group has at least one row: the exponential tail keeps all.
+  EXPECT_DOUBLE_EQ(EstimateHavingKeepFraction(ge1->having, 4.0), 1.0);
+
+  auto ge100 = db.Prepare("SELECT k, COUNT(*) FROM t GROUP BY k "
+                          "HAVING COUNT(*) >= 100");
+  ASSERT_TRUE(ge100.ok());
+  double tail = EstimateHavingKeepFraction(ge100->having, 4.0);
+  EXPECT_GE(tail, 0.0);
+  EXPECT_LT(tail, 0.01);  // mean 4, threshold 100: almost nothing survives
+
+  auto le = db.Prepare("SELECT k, COUNT(*) FROM t GROUP BY k "
+                       "HAVING COUNT(*) <= 100");
+  ASSERT_TRUE(le.ok());
+  EXPECT_GT(EstimateHavingKeepFraction(le->having, 4.0), 0.99);
+
+  // Unknown shapes must return -1 so the gate stands down.
+  auto sum = db.Prepare("SELECT k, SUM(k) FROM t GROUP BY k "
+                        "HAVING SUM(k) >= 10");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_LT(EstimateHavingKeepFraction(sum->having, 4.0), 0.0);
+}
+
+class AprioriGateTest : public ::testing::Test {
+ protected:
+  void FillBaskets(size_t rows) {
+    ASSERT_TRUE(db_.CreateTable("basket", Schema({{"bid", DataType::kInt64},
+                                                  {"item", DataType::kInt64}}))
+                    .ok());
+    ASSERT_TRUE(db_.DeclareKey("basket", {"bid", "item"}).ok());
+    for (size_t i = 0; i < rows; ++i) {
+      ASSERT_TRUE(db_.Insert("basket", {Value::Int(int64_t(i / 3)),
+                                        Value::Int(int64_t(i % 40))})
+                      .ok());
+    }
+  }
+  Database db_;
+};
+
+TEST_F(AprioriGateTest, SkipsUselessReducerOnLargeTable) {
+  FlagGuard guard;
+  SetCboEnabled(true);
+  FillBaskets(12001);  // above the 10k gate floor
+  // HAVING COUNT(*) >= 1 keeps every group: the reducer would scan and
+  // re-aggregate 12k rows to delete nothing.
+  const std::string sql =
+      "SELECT i1.item, i2.item, COUNT(*) FROM basket i1, basket i2 "
+      "WHERE i1.bid = i2.bid GROUP BY i1.item, i2.item "
+      "HAVING COUNT(*) >= 1";
+
+  uint64_t skipped_before = CounterValue("cbo.apriori_skipped");
+  IcebergReport gated;
+  Result<TablePtr> on = db_.QueryIceberg(sql, IcebergOptions::All(), &gated);
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+  EXPECT_GT(CounterValue("cbo.apriori_skipped"), skipped_before);
+  EXPECT_TRUE(gated.reductions.empty()) << gated.ToString();
+
+  // Chicken bit off: the heuristic reducer applies as before the CBO.
+  SetCboEnabled(false);
+  IcebergReport ungated;
+  Result<TablePtr> off = db_.QueryIceberg(sql, IcebergOptions::All(), &ungated);
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+  EXPECT_FALSE(ungated.reductions.empty()) << ungated.ToString();
+  ExpectSameRows(*on, *off, "gate on/off");
+}
+
+TEST_F(AprioriGateTest, StandsDownOnSelectiveHavingAndSmallTables) {
+  FlagGuard guard;
+  SetCboEnabled(true);
+  FillBaskets(12001);
+  // A selective HAVING (>= 60 with ~3-row baskets) passes the gate even on
+  // a large table — the reducer is expected to delete nearly everything.
+  const std::string selective =
+      "SELECT i1.item, i2.item, COUNT(*) FROM basket i1, basket i2 "
+      "WHERE i1.bid = i2.bid GROUP BY i1.item, i2.item "
+      "HAVING COUNT(*) >= 60";
+  IcebergReport report;
+  Result<TablePtr> r =
+      db_.QueryIceberg(selective, IcebergOptions::All(), &report);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(report.reductions.empty()) << report.ToString();
+}
+
+}  // namespace
+}  // namespace iceberg
